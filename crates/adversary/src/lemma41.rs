@@ -1,0 +1,814 @@
+//! The Lemma 4.1 / Figure 1 construction: the primed 8-node ring `G'`.
+//!
+//! Lemma 4.1 states that any *correct* 2-robot perpetual exploration
+//! algorithm must, from any reachable state `s`, eventually leave a node
+//! that keeps exactly one adjacent edge present (`OneEdge`). Its proof is by
+//! contradiction: assume a state `s`, reached at time `t` by a robot `r1`
+//! that (i) has visited at most two adjacent nodes `{i, a}`, (ii) never met
+//! the other robot, and (iii) would *refuse* to leave a `OneEdge` node in
+//! state `s` forever. Then an 8-node ring `G'` is built hosting **two
+//! mirrored copies** of `r1`:
+//!
+//! - `r1` starts at `i1'`, with its original chirality; `r2` starts at
+//!   `i2'`, with the *opposite* chirality;
+//! - for the first `t` instants, the edges around `i1'/a1'` and (mirrored)
+//!   around `i2'/a2'` replay the presence history of the original edges
+//!   `r(i), l(i), r(a), l(a)`; all other edges stay present;
+//! - the construction places the robots so that the nodes `f1', f2'`
+//!   reached at time `t` are **adjacent**; from time `t` on, the single
+//!   edge `(f1', f2')` is removed forever.
+//!
+//! By symmetry (Claims 1–2) the two copies execute identical, mirrored
+//! runs, never meet, and land in the *same* state `s` at time `t` on the
+//! two endpoints of the removed edge — each satisfying `OneEdge(·, t, ∞)`.
+//! The refusal assumption then freezes both forever: only ≤ 4 of the 8
+//! nodes are ever visited, on a graph with a *single* eventual missing
+//! edge, i.e. a connected-over-time counterexample. Contradiction.
+//!
+//! [`PrimedWitness`] builds `G'` from any captured run; the claims are
+//! verified *executably* by [`PrimedWitness::verify_claims`].
+
+use std::error::Error;
+use std::fmt;
+
+use dynring_graph::{
+    EdgeId, EdgeSchedule, EdgeSet, GlobalDir, NodeId, RingTopology, ScriptedSchedule,
+    TailBehavior, Time, WithEventualMissing,
+};
+
+use dynring_engine::{
+    Algorithm, Chirality, EngineError, ExecutionTrace, LocalDir, Oblivious,
+    RobotId, RobotPlacement, Simulator,
+};
+
+/// The five placement cases of Figure 1, determined by how the robot's
+/// start node `i`, second node `a` and final node `f` relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementCase {
+    /// `i = f ≠ a`, `a` clockwise of `i` (Figure 1, case 1/2 family).
+    BackAtStart {
+        /// `true` when `a` is the clockwise neighbour of `i`.
+        a_clockwise: bool,
+    },
+    /// `f = a ≠ i` (Figure 1, case 3/4 family).
+    EndedAtOther {
+        /// `true` when `a` is the clockwise neighbour of `i`.
+        a_clockwise: bool,
+    },
+    /// `i = a = f`: the robot never moved (Figure 1, case 5).
+    SingleNode,
+}
+
+impl fmt::Display for PlacementCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementCase::BackAtStart { a_clockwise } => {
+                write!(f, "back-at-start (a {})", if *a_clockwise { "cw" } else { "ccw" })
+            }
+            PlacementCase::EndedAtOther { a_clockwise } => {
+                write!(f, "ended-at-other (a {})", if *a_clockwise { "cw" } else { "ccw" })
+            }
+            PlacementCase::SingleNode => write!(f, "single-node"),
+        }
+    }
+}
+
+/// Errors raised while building or checking a [`PrimedWitness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Lemma41Error {
+    /// `a` must equal `i` or be adjacent to it.
+    VisitedNodesNotAdjacent,
+    /// `f` must be `i` or `a`.
+    FinalNodeNotVisited,
+    /// The extracted robot visited three or more nodes before `t`.
+    TooManyNodesVisited,
+    /// A tower formed before `t`, violating Lemma 4.1's hypothesis (ii).
+    TowerInPrefix {
+        /// When the tower formed.
+        at: Time,
+    },
+    /// The requested time exceeds the trace length.
+    TimeBeyondTrace,
+}
+
+impl fmt::Display for Lemma41Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lemma41Error::VisitedNodesNotAdjacent => {
+                write!(f, "nodes i and a are neither equal nor adjacent")
+            }
+            Lemma41Error::FinalNodeNotVisited => write!(f, "final node f is neither i nor a"),
+            Lemma41Error::TooManyNodesVisited => {
+                write!(f, "robot visited more than two nodes before t")
+            }
+            Lemma41Error::TowerInPrefix { at } => {
+                write!(f, "a tower formed at time {at}, before t")
+            }
+            Lemma41Error::TimeBeyondTrace => write!(f, "time t exceeds the trace length"),
+        }
+    }
+}
+
+impl Error for Lemma41Error {}
+
+/// A violated claim reported by [`PrimedWitness::verify_claims`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClaimViolation {
+    /// Claim 1: the two copies stopped acting symmetrically.
+    AsymmetricActions {
+        /// The offending round.
+        at: Time,
+    },
+    /// Claim 2: the robots were at even distance (or met).
+    EvenDistance {
+        /// The offending instant.
+        at: Time,
+    },
+    /// Claim 4: at time `t` the robots are not on `f1'` / `f2'`.
+    WrongFinalNodes,
+    /// Post-`t` freeze expected (for refusal behaviours) but a robot moved.
+    LeftAfterFreeze {
+        /// The offending round.
+        at: Time,
+    },
+}
+
+impl fmt::Display for ClaimViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimViolation::AsymmetricActions { at } => {
+                write!(f, "claim 1 violated: asymmetric actions at round {at}")
+            }
+            ClaimViolation::EvenDistance { at } => {
+                write!(f, "claim 2 violated: even distance at instant {at}")
+            }
+            ClaimViolation::WrongFinalNodes => {
+                write!(f, "claim 4 violated: robots not on f1'/f2' at time t")
+            }
+            ClaimViolation::LeftAfterFreeze { at } => {
+                write!(f, "refusal violated: a robot moved at round {at} after t")
+            }
+        }
+    }
+}
+
+impl Error for ClaimViolation {}
+
+/// The history of one robot in the original execution `ε`, sufficient to
+/// build `G'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobotHistory {
+    /// The robot's initial node `i`.
+    pub i: NodeId,
+    /// The other visited node `a` (equal to `i` when only one node was
+    /// visited).
+    pub a: NodeId,
+    /// The node `f` occupied at time `t`.
+    pub f: NodeId,
+    /// The robot's chirality in `ε`.
+    pub chirality: Chirality,
+    /// The robot's initial direction in `ε`.
+    pub initial_dir: LocalDir,
+    /// Whether the robot moved in each round `0 .. t`.
+    pub moved: Vec<bool>,
+    /// The global direction the robot points to at time `t` (the refusal
+    /// side: for a frozen robot, the side of its missing edge).
+    pub final_global_dir: GlobalDir,
+}
+
+/// Extracts a [`RobotHistory`] for `robot` over the prefix `[0, t]` of a
+/// trace, validating Lemma 4.1's hypotheses.
+///
+/// # Errors
+///
+/// Any of the [`Lemma41Error`] hypothesis violations.
+pub fn extract_history(
+    trace: &ExecutionTrace,
+    robot: RobotId,
+    t: Time,
+) -> Result<RobotHistory, Lemma41Error> {
+    if t > trace.len() as Time {
+        return Err(Lemma41Error::TimeBeyondTrace);
+    }
+    for instant in 0..=t {
+        if !trace.towers_at(instant).is_empty() {
+            return Err(Lemma41Error::TowerInPrefix { at: instant });
+        }
+    }
+    let initial = trace
+        .initial()
+        .iter()
+        .find(|r| r.id == robot)
+        .expect("robot id exists in trace");
+    let i = initial.node;
+    let mut a = i;
+    let mut moved = Vec::with_capacity(t as usize);
+    for round in trace.rounds().iter().take(t as usize) {
+        let row = round
+            .robots
+            .iter()
+            .find(|r| r.id == robot)
+            .expect("robot id exists in every round");
+        moved.push(row.moved);
+        let node = row.node_after;
+        if node != i {
+            if a == i {
+                a = node;
+            } else if node != a {
+                return Err(Lemma41Error::TooManyNodesVisited);
+            }
+        }
+    }
+    let (f, final_global_dir) = if t == 0 {
+        (i, initial.chirality.to_global(initial.dir))
+    } else {
+        let row = trace.rounds()[t as usize - 1]
+            .robots
+            .iter()
+            .find(|r| r.id == robot)
+            .expect("robot id exists");
+        (row.node_after, row.global_dir_after)
+    };
+    let ring = trace.ring();
+    if a != i && !ring.are_adjacent(i, a) {
+        return Err(Lemma41Error::VisitedNodesNotAdjacent);
+    }
+    if f != i && f != a {
+        return Err(Lemma41Error::FinalNodeNotVisited);
+    }
+    Ok(RobotHistory {
+        i,
+        a,
+        f,
+        chirality: initial.chirality,
+        initial_dir: initial.dir,
+        moved,
+        final_global_dir,
+    })
+}
+
+/// The synthesized primed ring `G'`: topology, schedule, placements and
+/// node map.
+#[derive(Debug, Clone)]
+pub struct PrimedWitness {
+    ring: RingTopology,
+    schedule: WithEventualMissing<ScriptedSchedule>,
+    placements: [RobotPlacement; 2],
+    case: PlacementCase,
+    freeze_time: Time,
+    i1: NodeId,
+    a1: NodeId,
+    f1: NodeId,
+    i2: NodeId,
+    a2: NodeId,
+    f2: NodeId,
+    removed_edge: EdgeId,
+}
+
+const PRIMED_N: usize = 8;
+
+fn node8(index: i64) -> NodeId {
+    NodeId::new(index.rem_euclid(PRIMED_N as i64) as usize)
+}
+
+impl PrimedWitness {
+    /// Builds `G'` from the original schedule and the refusing robot's
+    /// history at time `t = history.moved.len()`.
+    ///
+    /// # Errors
+    ///
+    /// [`Lemma41Error::VisitedNodesNotAdjacent`] /
+    /// [`Lemma41Error::FinalNodeNotVisited`] when the history does not meet
+    /// Lemma 4.1's hypotheses.
+    pub fn build<S: EdgeSchedule>(
+        original: &S,
+        history: &RobotHistory,
+    ) -> Result<Self, Lemma41Error> {
+        let src_ring = original.ring();
+        let (i, a, f) = (history.i, history.a, history.f);
+        if a != i && !src_ring.are_adjacent(i, a) {
+            return Err(Lemma41Error::VisitedNodesNotAdjacent);
+        }
+        if f != i && f != a {
+            return Err(Lemma41Error::FinalNodeNotVisited);
+        }
+        let t = history.moved.len() as Time;
+
+        // Orientation of a relative to i (the five Figure 1 cases).
+        let (case, eps) = if a == i {
+            (PlacementCase::SingleNode, 1i64)
+        } else {
+            let a_clockwise = src_ring.neighbor(i, GlobalDir::Clockwise) == a;
+            let eps = if a_clockwise { 1 } else { -1 };
+            if f == i {
+                (PlacementCase::BackAtStart { a_clockwise }, eps)
+            } else {
+                (PlacementCase::EndedAtOther { a_clockwise }, eps)
+            }
+        };
+
+        // Node layout on the 8-ring (see module docs for the derivation).
+        let (i1, a1, f1, i2, a2, f2) = match case {
+            PlacementCase::SingleNode => {
+                // Figure 1, case 5: the mirror twin sits on whichever side
+                // the robot points to at time t, so that the removed edge
+                // (f1', f2') is exactly the edge the refusing robot relies
+                // on being absent.
+                let sigma = history.final_global_dir.sign();
+                let q = node8(sigma);
+                (node8(0), node8(0), node8(0), q, q, q)
+            }
+            PlacementCase::BackAtStart { .. } => {
+                // i1' = f1' = 0, a1' = ε; mirrored: i2' = f2' = -ε,
+                // a2' = -2ε.
+                (
+                    node8(0),
+                    node8(eps),
+                    node8(0),
+                    node8(-eps),
+                    node8(-2 * eps),
+                    node8(-eps),
+                )
+            }
+            PlacementCase::EndedAtOther { .. } => {
+                // i1' = 0, a1' = f1' = ε; mirrored: a2' = f2' = 2ε,
+                // i2' = 3ε.
+                (
+                    node8(0),
+                    node8(eps),
+                    node8(eps),
+                    node8(3 * eps),
+                    node8(2 * eps),
+                    node8(2 * eps),
+                )
+            }
+        };
+
+        let primed = RingTopology::new(PRIMED_N).expect("8-ring is valid");
+
+        // The constrained primed edges and their source edges in G.
+        let src_ri = src_ring.edge_towards(i, GlobalDir::Clockwise);
+        let src_li = src_ring.edge_towards(i, GlobalDir::CounterClockwise);
+        let src_ra = src_ring.edge_towards(a, GlobalDir::Clockwise);
+        let src_la = src_ring.edge_towards(a, GlobalDir::CounterClockwise);
+        let constraints = [
+            (primed.edge_towards(i1, GlobalDir::Clockwise), src_ri),
+            (primed.edge_towards(i2, GlobalDir::CounterClockwise), src_ri),
+            (primed.edge_towards(i1, GlobalDir::CounterClockwise), src_li),
+            (primed.edge_towards(i2, GlobalDir::Clockwise), src_li),
+            (primed.edge_towards(a1, GlobalDir::Clockwise), src_ra),
+            (primed.edge_towards(a2, GlobalDir::CounterClockwise), src_ra),
+            (primed.edge_towards(a1, GlobalDir::CounterClockwise), src_la),
+            (primed.edge_towards(a2, GlobalDir::Clockwise), src_la),
+        ];
+
+        // Replay the first t snapshots under the mirrored constraints.
+        let mut frames = Vec::with_capacity(t as usize);
+        for j in 0..t {
+            // Consistency (footnote 1 of the paper): a primed edge may
+            // receive several constraints, but the node layout guarantees
+            // they agree; `assigned` makes that an executable check.
+            let mut assigned: [Option<bool>; PRIMED_N] = [None; PRIMED_N];
+            for &(primed_edge, src_edge) in &constraints {
+                let present = original.is_present(src_edge, j);
+                match assigned[primed_edge.index()] {
+                    None => assigned[primed_edge.index()] = Some(present),
+                    Some(prev) => assert_eq!(
+                        prev, present,
+                        "contradictory constraints on {primed_edge} at {j}"
+                    ),
+                }
+            }
+            let mut frame = EdgeSet::full(PRIMED_N);
+            for (idx, value) in assigned.iter().enumerate() {
+                if let Some(present) = value {
+                    frame.set(EdgeId::new(idx), *present);
+                }
+            }
+            frames.push(frame);
+        }
+        let script = ScriptedSchedule::new(primed.clone(), frames, TailBehavior::AllPresent)
+            .expect("frames built for the 8-ring");
+
+        // From time t on, the single edge (f1', f2') is removed forever.
+        let removed_edge = edge_between(&primed, f1, f2);
+        let schedule = WithEventualMissing::new(script, removed_edge, t);
+
+        let placements = [
+            RobotPlacement {
+                node: i1,
+                chirality: history.chirality,
+                initial_dir: history.initial_dir,
+            },
+            RobotPlacement {
+                node: i2,
+                chirality: history.chirality.opposite(),
+                initial_dir: history.initial_dir,
+            },
+        ];
+
+        Ok(PrimedWitness {
+            ring: primed,
+            schedule,
+            placements,
+            case,
+            freeze_time: t,
+            i1,
+            a1,
+            f1,
+            i2,
+            a2,
+            f2,
+            removed_edge,
+        })
+    }
+
+    /// The 8-node primed ring.
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The synthesized connected-over-time schedule (single eventual
+    /// missing edge `(f1', f2')` from time `t`).
+    pub fn schedule(&self) -> &WithEventualMissing<ScriptedSchedule> {
+        &self.schedule
+    }
+
+    /// The twin placements `(r1 at i1', r2 at i2')`.
+    pub fn placements(&self) -> [RobotPlacement; 2] {
+        self.placements
+    }
+
+    /// Which Figure 1 case was used.
+    pub fn case(&self) -> PlacementCase {
+        self.case
+    }
+
+    /// The time `t` from which the `(f1', f2')` edge is removed.
+    pub fn freeze_time(&self) -> Time {
+        self.freeze_time
+    }
+
+    /// The removed edge `(f1', f2')`.
+    pub fn removed_edge(&self) -> EdgeId {
+        self.removed_edge
+    }
+
+    /// The primed node map `(i1', a1', f1', i2', a2', f2')`.
+    pub fn node_map(&self) -> (NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        (self.i1, self.a1, self.f1, self.i2, self.a2, self.f2)
+    }
+
+    /// Runs the twin execution `ε'` for `horizon` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from simulator construction (cannot occur
+    /// for a well-formed witness).
+    pub fn run<A: Algorithm>(
+        &self,
+        algorithm: A,
+        horizon: Time,
+    ) -> Result<ExecutionTrace, EngineError> {
+        let mut sim = Simulator::new(
+            self.ring.clone(),
+            algorithm,
+            Oblivious::new(self.schedule.clone()),
+            self.placements.to_vec(),
+        )?;
+        Ok(sim.run_recording(horizon))
+    }
+
+    /// Verifies Claims 1, 2 and 4 of the Lemma 4.1 proof on a trace of the
+    /// twin execution, plus (when `expect_freeze`) the post-`t` refusal
+    /// freeze.
+    ///
+    /// # Errors
+    ///
+    /// The first violated claim.
+    pub fn verify_claims(
+        &self,
+        trace: &ExecutionTrace,
+        expect_freeze: bool,
+    ) -> Result<(), ClaimViolation> {
+        let t = self.freeze_time;
+        // Claim 1: symmetric actions until t — equal move flags, mirrored
+        // global directions.
+        for round in trace.rounds().iter().take(t as usize) {
+            let r1 = &round.robots[0];
+            let r2 = &round.robots[1];
+            let symmetric = r1.moved == r2.moved
+                && r1.global_dir_after == r2.global_dir_after.opposite()
+                && r1.dir_after == r2.dir_after;
+            if !symmetric {
+                return Err(ClaimViolation::AsymmetricActions { at: round.time });
+            }
+        }
+        // Claim 2: odd distance (hence no tower) at every instant ≤ t.
+        for instant in 0..=t.min(trace.len() as Time) {
+            let pos = trace.positions_at(instant);
+            let d = self
+                .ring
+                .directed_distance(pos[0], pos[1], GlobalDir::Clockwise);
+            if d.is_multiple_of(2) {
+                return Err(ClaimViolation::EvenDistance { at: instant });
+            }
+        }
+        // Claim 4: at time t the robots sit on f1' and f2'.
+        if (trace.len() as Time) >= t {
+            let pos = trace.positions_at(t);
+            if pos[0] != self.f1 || pos[1] != self.f2 {
+                return Err(ClaimViolation::WrongFinalNodes);
+            }
+        }
+        // Refusal: nobody leaves f1'/f2' after t.
+        if expect_freeze {
+            for round in trace.rounds().iter().skip(t as usize) {
+                if round.robots.iter().any(|r| r.moved) {
+                    return Err(ClaimViolation::LeftAfterFreeze { at: round.time });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The edge joining two adjacent nodes of `ring`.
+///
+/// # Panics
+///
+/// Panics when the nodes are not adjacent.
+fn edge_between(ring: &RingTopology, x: NodeId, y: NodeId) -> EdgeId {
+    for dir in GlobalDir::ALL {
+        if ring.neighbor(x, dir) == y {
+            return ring.edge_towards(x, dir);
+        }
+    }
+    panic!("{x} and {y} are not adjacent");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SingleRobotConfiner;
+    use dynring_engine::{Capturing, View};
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    /// Never changes direction: the canonical refuser.
+    #[derive(Debug, Clone)]
+    struct Stubborn;
+
+    impl Algorithm for Stubborn {
+        type State = ();
+
+        fn name(&self) -> &str {
+            "stubborn"
+        }
+
+        fn initial_state(&self) {}
+
+        fn compute(&self, _s: &mut (), view: &View) -> LocalDir {
+            view.dir()
+        }
+    }
+
+    /// Bounces on missing edges: moves whenever possible.
+    #[derive(Debug, Clone)]
+    struct Bounce;
+
+    impl Algorithm for Bounce {
+        type State = ();
+
+        fn name(&self) -> &str {
+            "bounce"
+        }
+
+        fn initial_state(&self) {}
+
+        fn compute(&self, _s: &mut (), view: &View) -> LocalDir {
+            if view.exists_edge_ahead() {
+                view.dir()
+            } else {
+                view.dir().opposite()
+            }
+        }
+    }
+
+    /// Runs one robot against the Theorem 5.1 confiner for `t` rounds and
+    /// returns (captured schedule, trace).
+    fn confined_run<A: Algorithm + Clone>(
+        alg: A,
+        n: usize,
+        start: usize,
+        dir: LocalDir,
+        t: u64,
+    ) -> (ScriptedSchedule, ExecutionTrace) {
+        let r = ring(n);
+        let adversary = Capturing::new(SingleRobotConfiner::new(r.clone()));
+        let mut sim = Simulator::new(
+            r,
+            alg,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(start)).with_dir(dir)],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(t);
+        let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+        (script, trace)
+    }
+
+    #[test]
+    fn single_node_case_from_frozen_robot() {
+        // Stubborn robot pointing clockwise at the blocked edge: never
+        // moves; history is the single-node case.
+        let (schedule, trace) = confined_run(Stubborn, 6, 2, LocalDir::Right, 20);
+        let history = extract_history(&trace, RobotId::new(0), 20).expect("valid history");
+        assert_eq!(history.i, history.a);
+        assert_eq!(history.f, history.i);
+        assert!(history.moved.iter().all(|&m| !m));
+        let witness = PrimedWitness::build(&schedule, &history).expect("valid witness");
+        assert_eq!(witness.case(), PlacementCase::SingleNode);
+        let twin_trace = witness.run(Stubborn, 60).expect("twin run");
+        witness
+            .verify_claims(&twin_trace, true)
+            .expect("claims 1, 2, 4 + freeze");
+        // The counterexample: on an 8-ring with one eventual missing edge,
+        // only 2 of 8 nodes are ever visited.
+        assert!(twin_trace.visited_nodes().len() <= 4);
+        assert!(!twin_trace.covers_all_nodes());
+    }
+
+    #[test]
+    fn back_and_forth_case_from_bouncing_robot() {
+        // Bounce oscillates between u and v under the confiner; pick t so
+        // that the robot is back at its start node (i = f) or at the other
+        // node (f = a) — both are legal Figure 1 cases.
+        let (schedule, trace) = confined_run(Bounce, 6, 2, LocalDir::Left, 9);
+        let history = extract_history(&trace, RobotId::new(0), 9).expect("valid history");
+        assert_ne!(history.i, history.a, "bounce must have visited two nodes");
+        let witness = PrimedWitness::build(&schedule, &history).expect("valid witness");
+        assert!(matches!(
+            witness.case(),
+            PlacementCase::BackAtStart { .. } | PlacementCase::EndedAtOther { .. }
+        ));
+        let twin_trace = witness.run(Bounce, 40).expect("twin run");
+        // Bounce does not freeze (it honours Lemma 4.1), so only claims
+        // 1, 2 and 4 are expected.
+        witness
+            .verify_claims(&twin_trace, false)
+            .expect("claims 1, 2, 4");
+    }
+
+    #[test]
+    fn witness_schedule_is_connected_over_time() {
+        use dynring_graph::classes::{certify_connected_over_time, CotVerdict};
+
+        let (schedule, trace) = confined_run(Stubborn, 5, 1, LocalDir::Right, 15);
+        let history = extract_history(&trace, RobotId::new(0), 15).expect("valid history");
+        let witness = PrimedWitness::build(&schedule, &history).expect("valid witness");
+        let verdict = certify_connected_over_time(witness.schedule(), 200, 16);
+        match verdict {
+            CotVerdict::Certified { missing_edge, .. } => {
+                assert_eq!(missing_edge, Some(witness.removed_edge()));
+            }
+            v => panic!("expected certification, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn twin_distance_is_always_odd_for_all_cases() {
+        for (alg_dir, t) in [(LocalDir::Right, 12), (LocalDir::Left, 7), (LocalDir::Left, 8)] {
+            let (schedule, trace) = confined_run(Bounce, 7, 3, alg_dir, t);
+            let history =
+                extract_history(&trace, RobotId::new(0), t).expect("valid history");
+            let witness = PrimedWitness::build(&schedule, &history).expect("valid witness");
+            let twin_trace = witness.run(Bounce, t + 20).expect("twin run");
+            witness
+                .verify_claims(&twin_trace, false)
+                .unwrap_or_else(|v| panic!("case {:?}: {v}", witness.case()));
+            assert_eq!(twin_trace.max_tower_size(), 0);
+        }
+    }
+
+    #[test]
+    fn extract_history_rejects_towers() {
+        // Hand-build a trace with an initial tower.
+        use dynring_engine::RobotSnapshot;
+        let r = ring(4);
+        let snap = |id: usize, node: usize| RobotSnapshot {
+            id: RobotId::new(id),
+            node: NodeId::new(node),
+            chirality: Chirality::Standard,
+            dir: LocalDir::Left,
+            moved_last_round: false,
+        };
+        let trace = ExecutionTrace::new(r, vec![snap(0, 1), snap(1, 1)]);
+        assert_eq!(
+            extract_history(&trace, RobotId::new(0), 0),
+            Err(Lemma41Error::TowerInPrefix { at: 0 })
+        );
+    }
+
+    #[test]
+    fn extract_history_rejects_time_beyond_trace() {
+        use dynring_engine::RobotSnapshot;
+        let r = ring(4);
+        let trace = ExecutionTrace::new(
+            r,
+            vec![RobotSnapshot {
+                id: RobotId::new(0),
+                node: NodeId::new(0),
+                chirality: Chirality::Standard,
+                dir: LocalDir::Left,
+                moved_last_round: false,
+            }],
+        );
+        assert_eq!(
+            extract_history(&trace, RobotId::new(0), 5),
+            Err(Lemma41Error::TimeBeyondTrace)
+        );
+    }
+
+    #[test]
+    fn node_layouts_place_f_nodes_adjacent() {
+        // For each of the five cases, fabricate a minimal history and check
+        // the layout invariant f1' ~ f2'.
+        let src = ring(6);
+        let base_schedule = ScriptedSchedule::empty(src.clone(), TailBehavior::AllPresent);
+        let histories = [
+            // SingleNode.
+            (NodeId::new(2), NodeId::new(2), NodeId::new(2)),
+            // BackAtStart, a cw.
+            (NodeId::new(2), NodeId::new(3), NodeId::new(2)),
+            // BackAtStart, a ccw.
+            (NodeId::new(2), NodeId::new(1), NodeId::new(2)),
+            // EndedAtOther, a cw.
+            (NodeId::new(2), NodeId::new(3), NodeId::new(3)),
+            // EndedAtOther, a ccw.
+            (NodeId::new(2), NodeId::new(1), NodeId::new(1)),
+        ];
+        for (i, a, f) in histories {
+            let history = RobotHistory {
+                i,
+                a,
+                f,
+                chirality: Chirality::Standard,
+                initial_dir: LocalDir::Left,
+                moved: vec![false; 3],
+                final_global_dir: GlobalDir::Clockwise,
+            };
+            let witness =
+                PrimedWitness::build(&base_schedule, &history).expect("valid witness");
+            let (i1, a1, f1, i2, a2, f2) = witness.node_map();
+            assert!(
+                witness.ring().are_adjacent(f1, f2),
+                "case {:?}: f1'={f1}, f2'={f2} not adjacent",
+                witness.case()
+            );
+            // r1-side relations mirror the original ones.
+            if a != i {
+                assert!(witness.ring().are_adjacent(i1, a1));
+                assert!(witness.ring().are_adjacent(i2, a2));
+            }
+            assert_eq!(f == i, f1 == i1);
+            assert_eq!(f == a, f1 == a1);
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_histories() {
+        let src = ring(6);
+        let schedule = ScriptedSchedule::empty(src, TailBehavior::AllPresent);
+        let not_adjacent = RobotHistory {
+            i: NodeId::new(0),
+            a: NodeId::new(2),
+            f: NodeId::new(0),
+            chirality: Chirality::Standard,
+            initial_dir: LocalDir::Left,
+            moved: vec![],
+            final_global_dir: GlobalDir::Clockwise,
+        };
+        assert_eq!(
+            PrimedWitness::build(&schedule, &not_adjacent).err(),
+            Some(Lemma41Error::VisitedNodesNotAdjacent)
+        );
+        let bad_final = RobotHistory {
+            i: NodeId::new(0),
+            a: NodeId::new(1),
+            f: NodeId::new(3),
+            chirality: Chirality::Standard,
+            initial_dir: LocalDir::Left,
+            moved: vec![],
+            final_global_dir: GlobalDir::Clockwise,
+        };
+        assert_eq!(
+            PrimedWitness::build(&schedule, &bad_final).err(),
+            Some(Lemma41Error::FinalNodeNotVisited)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Executable impossibility proofs for perpetual exploration of
+//! connected-over-time rings.
+//!
+//! A theorem of the form "no deterministic algorithm exists" cannot be run
+//! directly; what *can* be run is the proof's **adversary** — the adaptive
+//! edge-removal strategy that defeats every deterministic algorithm. This
+//! crate turns the proofs of Bournat, Dubois & Petit (ICDCS 2017) into
+//! [`dynring_engine::Dynamics`] implementations:
+//!
+//! - [`SingleRobotConfiner`] — Theorem 5.1 / Figure 3: one robot is trapped
+//!   forever on two adjacent nodes, while every edge-removal interval stays
+//!   finite whenever the robot keeps moving (so the produced schedule is
+//!   connected-over-time).
+//! - [`TwoRobotConfiner`] — Theorem 4.1 / Figure 2: the four-phase cycle
+//!   trapping two robots on three consecutive nodes without ever letting a
+//!   tower form.
+//! - [`lemma41`] — the Figure 1 construction: when an algorithm *refuses*
+//!   to leave a one-edge node (violating Lemma 4.1's conclusion), an 8-node
+//!   primed ring `G'` with mirrored twin robots is synthesized on which the
+//!   algorithm freezes forever — a connected-over-time counterexample with a
+//!   single eventual missing edge.
+//! - [`PointedEdgeBlocker`] — a budget-constrained greedy slowdown
+//!   adversary (ablation: it merely slows `PEF_3+` down but cannot stop it).
+//! - [`SsyncBlocker`] — the Di Luna et al. SSYNC adversary that freezes any
+//!   algorithm under semi-synchronous scheduling, motivating the paper's
+//!   FSYNC restriction.
+//!
+//! Every adaptive run can be captured (via [`dynring_engine::Capturing`])
+//! and replayed as a pure schedule; growing-horizon captures feed
+//! [`dynring_graph::convergence::PrefixChain`] to assemble the limit graph
+//! `Gω` exactly as the proofs do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confine_one;
+mod confine_two;
+pub mod lemma41;
+mod pointed;
+mod ssync_blocker;
+
+pub use confine_one::SingleRobotConfiner;
+pub use confine_two::{ConfinerPhase, TwoRobotConfiner};
+pub use pointed::PointedEdgeBlocker;
+pub use ssync_blocker::SsyncBlocker;

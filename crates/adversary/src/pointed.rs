@@ -1,0 +1,189 @@
+//! A greedy, budget-constrained slowdown adversary.
+
+use dynring_graph::{EdgeId, EdgeSet, RingTopology, Time};
+
+use dynring_engine::{Dynamics, Observation};
+
+/// Removes, each round, every edge currently pointed to by a robot —
+/// subject to a per-edge absence budget that keeps the schedule
+/// connected-over-time.
+///
+/// Each edge may stay absent for at most `budget` consecutive rounds; once
+/// the budget is exhausted the edge is forced present for one round (then
+/// the budget resets). An optional `exempt` edge may stay absent forever
+/// (the allowed eventual missing edge).
+///
+/// This adversary is the natural "try hardest within the rules" strategy
+/// and serves as an ablation baseline: it slows `PEF_3+` down by roughly a
+/// factor of `budget` but cannot prevent exploration (Theorem 3.1), while
+/// single robots and robot pairs lose even against the far weaker
+/// confiners.
+#[derive(Debug, Clone)]
+pub struct PointedEdgeBlocker {
+    ring: RingTopology,
+    budget: Time,
+    exempt: Option<EdgeId>,
+    absent_run: Vec<Time>,
+}
+
+impl PointedEdgeBlocker {
+    /// Creates the blocker with the given consecutive-absence `budget`
+    /// (≥ 1) and optional always-absent `exempt` edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget == 0` or `exempt` is not an edge of `ring`.
+    pub fn new(ring: RingTopology, budget: Time, exempt: Option<EdgeId>) -> Self {
+        assert!(budget >= 1, "budget must be at least 1");
+        if let Some(e) = exempt {
+            ring.check_edge(e).unwrap_or_else(|err| panic!("{err}"));
+        }
+        let edges = ring.edge_count();
+        PointedEdgeBlocker {
+            ring,
+            budget,
+            exempt,
+            absent_run: vec![0; edges],
+        }
+    }
+
+    /// The per-edge consecutive-absence budget.
+    pub fn budget(&self) -> Time {
+        self.budget
+    }
+}
+
+impl Dynamics for PointedEdgeBlocker {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        let pointed = obs.pointed_edges();
+        let mut set = EdgeSet::full_for(&self.ring);
+        for e in self.ring.edges() {
+            let run = &mut self.absent_run[e.index()];
+            if Some(e) == self.exempt {
+                set.remove(e);
+                continue;
+            }
+            let wants_removed = pointed.contains(e);
+            if wants_removed && *run < self.budget {
+                set.remove(e);
+                *run += 1;
+            } else {
+                *run = 0;
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynring_engine::{Algorithm, LocalDir, RobotPlacement, Simulator, View};
+    use dynring_graph::NodeId;
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    #[derive(Debug, Clone)]
+    struct KeepDir;
+
+    impl Algorithm for KeepDir {
+        type State = ();
+
+        fn name(&self) -> &str {
+            "keep-dir"
+        }
+
+        fn initial_state(&self) {}
+
+        fn compute(&self, _s: &mut (), view: &View) -> LocalDir {
+            view.dir()
+        }
+    }
+
+    #[test]
+    fn blocker_slows_but_cannot_stop_a_direction_keeper() {
+        let r = ring(6);
+        let adversary = PointedEdgeBlocker::new(r.clone(), 4, None);
+        let mut sim = Simulator::new(
+            r,
+            KeepDir,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(6 * 5 + 10);
+        // Budget 4 ⇒ the robot crosses one edge every 5 rounds: the ring is
+        // fully covered within 6 × 5 rounds.
+        assert!(trace.covers_all_nodes(), "{}", trace.ascii_chart());
+        let moves = trace
+            .rounds()
+            .iter()
+            .filter(|rec| rec.robots[0].moved)
+            .count();
+        assert!((6..=10).contains(&moves), "moves {moves}");
+    }
+
+    #[test]
+    fn budget_keeps_schedule_connected_over_time() {
+        use dynring_engine::Capturing;
+        use dynring_graph::classes::{certify_connected_over_time, CotVerdict};
+        use dynring_graph::TailBehavior;
+
+        let r = ring(5);
+        let adversary = Capturing::new(PointedEdgeBlocker::new(r.clone(), 3, None));
+        let mut sim = Simulator::new(
+            r,
+            KeepDir,
+            adversary,
+            vec![
+                RobotPlacement::at(NodeId::new(0)),
+                RobotPlacement::at(NodeId::new(2)),
+            ],
+        )
+        .expect("valid setup");
+        sim.run(120);
+        let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+        let verdict = certify_connected_over_time(&script, 120, 3);
+        assert!(
+            matches!(verdict, CotVerdict::Certified { missing_edge: None, .. }),
+            "verdict {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn exempt_edge_stays_dead() {
+        use dynring_engine::Capturing;
+        use dynring_graph::{EdgeSchedule, TailBehavior};
+
+        let r = ring(4);
+        let adversary = Capturing::new(PointedEdgeBlocker::new(
+            r.clone(),
+            2,
+            Some(EdgeId::new(1)),
+        ));
+        let mut sim = Simulator::new(
+            r,
+            KeepDir,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        sim.run(50);
+        let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+        for t in 0..50 {
+            assert!(!script.is_present(EdgeId::new(1), t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be at least 1")]
+    fn zero_budget_rejected() {
+        let _ = PointedEdgeBlocker::new(ring(3), 0, None);
+    }
+}

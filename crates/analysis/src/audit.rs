@@ -1,0 +1,282 @@
+//! Trace auditing: verify that a (possibly third-party) execution trace is
+//! consistent with the paper's round semantics.
+//!
+//! Published experiment artifacts are only trustworthy if they can be
+//! re-checked. [`audit_trace`] replays the §2.3 rules over a recorded
+//! [`ExecutionTrace`] without re-running any algorithm:
+//!
+//! - chain consistency: round `t`'s end configuration is round `t+1`'s
+//!   start configuration (positions *and* directions);
+//! - Move soundness: a robot moved iff the edge in its post-Compute
+//!   direction was present in that round's snapshot, and it landed on the
+//!   correct neighbour;
+//! - chirality consistency: local and global directions always translate
+//!   through one fixed per-robot chirality;
+//! - activation consistency: non-activated robots change nothing.
+
+use std::error::Error;
+use std::fmt;
+
+use dynring_engine::{Chirality, ExecutionTrace, RobotId};
+use dynring_graph::Time;
+
+/// A violation found while auditing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceViolation {
+    /// Positions or directions do not chain between consecutive rounds.
+    BrokenChain {
+        /// The earlier round.
+        at: Time,
+        /// The robot whose record breaks the chain.
+        robot: RobotId,
+    },
+    /// A robot moved without its pointed edge, failed to move despite it,
+    /// or landed on the wrong node.
+    IllegalMove {
+        /// The round of the illegal move.
+        at: Time,
+        /// The offending robot.
+        robot: RobotId,
+    },
+    /// Local/global directions are inconsistent with any fixed chirality.
+    ChiralityDrift {
+        /// The round of the drift.
+        at: Time,
+        /// The offending robot.
+        robot: RobotId,
+    },
+    /// A non-activated robot changed position or direction.
+    GhostAction {
+        /// The round of the ghost action.
+        at: Time,
+        /// The offending robot.
+        robot: RobotId,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::BrokenChain { at, robot } => {
+                write!(f, "round {at}: {robot} does not chain into the next round")
+            }
+            TraceViolation::IllegalMove { at, robot } => {
+                write!(f, "round {at}: {robot} made an illegal move")
+            }
+            TraceViolation::ChiralityDrift { at, robot } => {
+                write!(f, "round {at}: {robot} changed chirality")
+            }
+            TraceViolation::GhostAction { at, robot } => {
+                write!(f, "round {at}: non-activated {robot} acted")
+            }
+        }
+    }
+}
+
+impl Error for TraceViolation {}
+
+/// Audits a trace against the engine's round semantics.
+///
+/// # Errors
+///
+/// The earliest [`TraceViolation`] found.
+pub fn audit_trace(trace: &ExecutionTrace) -> Result<(), TraceViolation> {
+    let ring = trace.ring();
+    // Fixed chirality per robot, from the initial snapshots.
+    let chiralities: Vec<Chirality> = trace.initial().iter().map(|r| r.chirality).collect();
+
+    // Initial configuration chains into round 0.
+    if let Some(first) = trace.rounds().first() {
+        for (init, row) in trace.initial().iter().zip(&first.robots) {
+            if init.node != row.node_before || init.dir != row.dir_before {
+                return Err(TraceViolation::BrokenChain {
+                    at: 0,
+                    robot: row.id,
+                });
+            }
+        }
+    }
+
+    for round in trace.rounds() {
+        for row in &round.robots {
+            let chi = chiralities[row.id.index()];
+            // Chirality consistency on both sides of Compute.
+            if chi.to_global(row.dir_before) != row.global_dir_before
+                || chi.to_global(row.dir_after) != row.global_dir_after
+            {
+                return Err(TraceViolation::ChiralityDrift {
+                    at: round.time,
+                    robot: row.id,
+                });
+            }
+            if !row.activated {
+                if row.moved || row.node_after != row.node_before || row.dir_after != row.dir_before
+                {
+                    return Err(TraceViolation::GhostAction {
+                        at: round.time,
+                        robot: row.id,
+                    });
+                }
+                continue;
+            }
+            // Move soundness against the recorded snapshot.
+            let pointed = ring.edge_towards(row.node_before, row.global_dir_after);
+            let present = round.edges.contains(pointed);
+            let expected_node = if present {
+                ring.neighbor(row.node_before, row.global_dir_after)
+            } else {
+                row.node_before
+            };
+            if row.moved != present || row.node_after != expected_node {
+                return Err(TraceViolation::IllegalMove {
+                    at: round.time,
+                    robot: row.id,
+                });
+            }
+        }
+    }
+
+    // Round-to-round chaining.
+    for window in trace.rounds().windows(2) {
+        for (a, b) in window[0].robots.iter().zip(&window[1].robots) {
+            if a.node_after != b.node_before || a.dir_after != b.dir_before {
+                return Err(TraceViolation::BrokenChain {
+                    at: window[0].time,
+                    robot: a.id,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynring_core::Pef3Plus;
+    use dynring_engine::{Oblivious, RobotPlacement, RoundRobinSingle, Simulator};
+    use dynring_graph::generators::{self, RandomCotConfig};
+    use dynring_graph::{NodeId, RingTopology};
+
+    fn genuine_trace() -> ExecutionTrace {
+        let ring = RingTopology::new(7).expect("valid ring");
+        let schedule = generators::random_connected_over_time(
+            &ring,
+            300,
+            &RandomCotConfig::default(),
+            123,
+        )
+        .expect("valid config");
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            Oblivious::new(schedule),
+            vec![
+                RobotPlacement::at(NodeId::new(0)),
+                RobotPlacement::at(NodeId::new(2)),
+                RobotPlacement::at(NodeId::new(5)),
+            ],
+        )
+        .expect("valid setup");
+        sim.run_recording(300)
+    }
+
+    #[test]
+    fn genuine_traces_pass_the_audit() {
+        audit_trace(&genuine_trace()).expect("engine traces are consistent");
+    }
+
+    #[test]
+    fn ssync_traces_pass_the_audit() {
+        let ring = RingTopology::new(6).expect("valid ring");
+        let schedule = generators::random_connected_over_time(
+            &ring,
+            200,
+            &RandomCotConfig::default(),
+            5,
+        )
+        .expect("valid config");
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            Oblivious::new(schedule),
+            vec![
+                RobotPlacement::at(NodeId::new(0)),
+                RobotPlacement::at(NodeId::new(3)),
+            ],
+        )
+        .expect("valid setup");
+        sim.set_activation(RoundRobinSingle);
+        let trace = sim.run_recording(200);
+        audit_trace(&trace).expect("SSYNC traces are consistent");
+    }
+
+    #[test]
+    fn forged_move_is_caught() {
+        let mut trace = genuine_trace();
+        // Forge: claim robot 0 moved somewhere else at round 10.
+        let forged = {
+            let mut rounds: Vec<_> = trace.rounds().to_vec();
+            let row = &mut rounds[10].robots[0];
+            row.node_after = trace.ring().neighbor(
+                row.node_before,
+                row.global_dir_after.opposite(),
+            );
+            rounds
+        };
+        let mut new_trace = ExecutionTrace::new(trace.ring().clone(), trace.initial().to_vec());
+        for r in forged {
+            new_trace.push(r);
+        }
+        trace = new_trace;
+        let result = audit_trace(&trace);
+        assert!(
+            matches!(
+                result,
+                Err(TraceViolation::IllegalMove { .. }) | Err(TraceViolation::BrokenChain { .. })
+            ),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn forged_chirality_is_caught() {
+        let trace = genuine_trace();
+        let mut rounds: Vec<_> = trace.rounds().to_vec();
+        let row = &mut rounds[5].robots[1];
+        row.global_dir_after = row.global_dir_after.opposite(); // breaks translation
+        let mut forged = ExecutionTrace::new(trace.ring().clone(), trace.initial().to_vec());
+        for r in rounds {
+            forged.push(r);
+        }
+        assert!(matches!(
+            audit_trace(&forged),
+            Err(TraceViolation::ChiralityDrift { at: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn forged_initial_configuration_is_caught() {
+        let trace = genuine_trace();
+        let mut initial = trace.initial().to_vec();
+        initial[0].node = NodeId::new(6);
+        let mut forged = ExecutionTrace::new(trace.ring().clone(), initial);
+        for r in trace.rounds().to_vec() {
+            forged.push(r);
+        }
+        assert!(matches!(
+            audit_trace(&forged),
+            Err(TraceViolation::BrokenChain { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn violation_messages() {
+        let v = TraceViolation::IllegalMove {
+            at: 3,
+            robot: RobotId::new(1),
+        };
+        assert_eq!(v.to_string(), "round 3: r1 made an illegal move");
+    }
+}

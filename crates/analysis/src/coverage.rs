@@ -1,0 +1,347 @@
+//! Visit bookkeeping: who visited what, when, and how often.
+
+use serde::{Deserialize, Serialize};
+
+use dynring_engine::ExecutionTrace;
+use dynring_graph::journey::ForemostArrivals;
+use dynring_graph::{EdgeSchedule, NodeId, Time};
+
+/// Per-node visit statistics for one execution, plus rolling *cover*
+/// counting.
+///
+/// A **cover** completes each time every node has been visited at least
+/// once since the previous cover completed; perpetual exploration over an
+/// infinite run means infinitely many covers, so over a finite horizon the
+/// cover count is the natural progress measure (and `horizon / covers` the
+/// empirical cover time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitLedger {
+    node_count: usize,
+    horizon: Time,
+    first_visit: Vec<Option<Time>>,
+    last_visit: Vec<Option<Time>>,
+    visit_count: Vec<u64>,
+    max_gap: Vec<Time>,
+    cover_times: Vec<Time>,
+    current_cover_seen: Vec<bool>,
+    current_cover_missing: usize,
+}
+
+impl VisitLedger {
+    /// An empty ledger over `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        VisitLedger {
+            node_count,
+            horizon: 0,
+            first_visit: vec![None; node_count],
+            last_visit: vec![None; node_count],
+            visit_count: vec![0; node_count],
+            max_gap: vec![0; node_count],
+            cover_times: Vec::new(),
+            current_cover_seen: vec![false; node_count],
+            current_cover_missing: node_count,
+        }
+    }
+
+    /// Records the configuration at time `t` (call with strictly increasing
+    /// `t`, starting at 0).
+    pub fn observe(&mut self, t: Time, positions: &[NodeId]) {
+        self.horizon = self.horizon.max(t + 1);
+        let mut occupied = vec![false; self.node_count];
+        for p in positions {
+            occupied[p.index()] = true;
+        }
+        for (i, occ) in occupied.iter().enumerate() {
+            if *occ {
+                self.first_visit[i].get_or_insert(t);
+                if let Some(last) = self.last_visit[i] {
+                    self.max_gap[i] = self.max_gap[i].max(t - last);
+                } else {
+                    self.max_gap[i] = self.max_gap[i].max(t);
+                }
+                self.last_visit[i] = Some(t);
+                self.visit_count[i] += 1;
+                if !self.current_cover_seen[i] {
+                    self.current_cover_seen[i] = true;
+                    self.current_cover_missing -= 1;
+                }
+            }
+        }
+        if self.current_cover_missing == 0 {
+            self.cover_times.push(t);
+            self.current_cover_seen.iter_mut().for_each(|s| *s = false);
+            self.current_cover_missing = self.node_count;
+        }
+    }
+
+    /// Builds a ledger from a recorded trace (configurations
+    /// `γ_0 ..= γ_len`).
+    pub fn from_trace(trace: &ExecutionTrace) -> Self {
+        let mut ledger = VisitLedger::new(trace.ring().node_count());
+        for t in 0..=(trace.len() as Time) {
+            ledger.observe(t, &trace.positions_at(t));
+        }
+        ledger
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of observed instants.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// First visit time of `node`.
+    pub fn first_visit(&self, node: NodeId) -> Option<Time> {
+        self.first_visit[node.index()]
+    }
+
+    /// Last visit time of `node`.
+    pub fn last_visit(&self, node: NodeId) -> Option<Time> {
+        self.last_visit[node.index()]
+    }
+
+    /// How many instants `node` was occupied.
+    pub fn visit_count(&self, node: NodeId) -> u64 {
+        self.visit_count[node.index()]
+    }
+
+    /// Nodes never visited.
+    pub fn unvisited_nodes(&self) -> Vec<NodeId> {
+        (0..self.node_count)
+            .filter(|&i| self.first_visit[i].is_none())
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// Number of visited nodes.
+    pub fn visited_count(&self) -> usize {
+        self.node_count - self.unvisited_nodes().len()
+    }
+
+    /// `true` when every node was visited at least once.
+    pub fn covered_once(&self) -> bool {
+        self.unvisited_nodes().is_empty()
+    }
+
+    /// Number of completed covers.
+    pub fn covers(&self) -> u64 {
+        self.cover_times.len() as u64
+    }
+
+    /// Completion time of each cover.
+    pub fn cover_times(&self) -> &[Time] {
+        &self.cover_times
+    }
+
+    /// Time of the first complete cover (the empirical *exploration time*).
+    pub fn first_cover(&self) -> Option<Time> {
+        self.cover_times.first().copied()
+    }
+
+    /// The largest revisit gap over all nodes, counting the leading gap
+    /// (time to first visit) and the trailing gap (last visit to horizon
+    /// end). Nodes never visited yield the full horizon.
+    pub fn max_revisit_gap(&self) -> Time {
+        (0..self.node_count)
+            .map(|i| match self.last_visit[i] {
+                Some(last) => self.max_gap[i].max(self.horizon - 1 - last),
+                None => self.horizon,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean rounds per cover (`None` until the first cover completes).
+    pub fn mean_cover_time(&self) -> Option<f64> {
+        if self.cover_times.is_empty() {
+            return None;
+        }
+        Some(self.horizon as f64 / self.cover_times.len() as f64)
+    }
+}
+
+/// How close an execution's first cover came to the information-theoretic
+/// floor given the dynamics.
+///
+/// No algorithm can visit a node before a *journey* from some robot's start
+/// reaches it (robots move exactly like journey walkers), so
+/// `lower_bound = max over nodes of (min over robots of foremost arrival)`
+/// is a hard floor on the first-cover time. `efficiency = lower_bound /
+/// first_cover ∈ (0, 1]`, with 1 meaning the algorithm covered as fast as
+/// the dynamics permits at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverEfficiency {
+    /// The temporal-reachability floor for the first cover.
+    pub lower_bound: Time,
+    /// The measured first cover.
+    pub first_cover: Time,
+    /// `lower_bound / first_cover` (1.0 when both are 0).
+    pub efficiency: f64,
+}
+
+/// Computes [`CoverEfficiency`] for a trace against the schedule it ran on.
+///
+/// Returns `None` when the trace never completed a cover or some node is
+/// unreachable within the horizon (then no bound exists).
+pub fn cover_efficiency<S: EdgeSchedule>(
+    trace: &ExecutionTrace,
+    schedule: &S,
+) -> Option<CoverEfficiency> {
+    let ledger = VisitLedger::from_trace(trace);
+    let first_cover = ledger.first_cover()?;
+    let ring = trace.ring();
+    let horizon = trace.len() as Time + 1;
+    let arrivals: Vec<ForemostArrivals> = trace
+        .initial()
+        .iter()
+        .map(|r| ForemostArrivals::compute(schedule, r.node, 0, horizon))
+        .collect();
+    let mut lower_bound: Time = 0;
+    for node in ring.nodes() {
+        let best = arrivals.iter().filter_map(|fa| fa.arrival(node)).min()?;
+        lower_bound = lower_bound.max(best);
+    }
+    let efficiency = if first_cover == 0 {
+        1.0
+    } else {
+        lower_bound as f64 / first_cover as f64
+    };
+    Some(CoverEfficiency {
+        lower_bound,
+        first_cover,
+        efficiency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn tracks_first_last_and_counts() {
+        let mut ledger = VisitLedger::new(3);
+        ledger.observe(0, &[n(0)]);
+        ledger.observe(1, &[n(1)]);
+        ledger.observe(2, &[n(0)]);
+        assert_eq!(ledger.first_visit(n(0)), Some(0));
+        assert_eq!(ledger.last_visit(n(0)), Some(2));
+        assert_eq!(ledger.visit_count(n(0)), 2);
+        assert_eq!(ledger.unvisited_nodes(), vec![n(2)]);
+        assert_eq!(ledger.visited_count(), 2);
+        assert_eq!(ledger.covers(), 0);
+    }
+
+    #[test]
+    fn covered_once_tracks_unvisited() {
+        let mut ledger = VisitLedger::new(2);
+        ledger.observe(0, &[n(0)]);
+        assert!(!ledger.covered_once());
+        ledger.observe(1, &[n(1)]);
+        assert!(ledger.covered_once());
+    }
+
+    #[test]
+    fn covers_roll_over() {
+        let mut ledger = VisitLedger::new(2);
+        ledger.observe(0, &[n(0)]);
+        ledger.observe(1, &[n(1)]); // cover 1 complete at t=1
+        ledger.observe(2, &[n(1)]);
+        ledger.observe(3, &[n(0)]); // cover 2 complete at t=3
+        assert_eq!(ledger.covers(), 2);
+        assert_eq!(ledger.cover_times(), &[1, 3]);
+        assert_eq!(ledger.first_cover(), Some(1));
+        assert_eq!(ledger.mean_cover_time(), Some(2.0));
+    }
+
+    #[test]
+    fn tower_counts_once_per_instant() {
+        let mut ledger = VisitLedger::new(2);
+        ledger.observe(0, &[n(0), n(0)]);
+        assert_eq!(ledger.visit_count(n(0)), 1);
+    }
+
+    #[test]
+    fn max_revisit_gap_includes_boundaries() {
+        let mut ledger = VisitLedger::new(2);
+        // Node 1 first visited at t=3 (leading gap 3), never again until
+        // horizon end t=5 (trailing gap 2).
+        for (t, node) in [(0, 0), (1, 0), (2, 0), (3, 1), (4, 0), (5, 0)] {
+            ledger.observe(t, &[n(node)]);
+        }
+        assert_eq!(ledger.max_revisit_gap(), 3);
+    }
+
+    #[test]
+    fn unvisited_node_yields_horizon_gap() {
+        let mut ledger = VisitLedger::new(2);
+        ledger.observe(0, &[n(0)]);
+        ledger.observe(1, &[n(0)]);
+        assert_eq!(ledger.max_revisit_gap(), 2);
+    }
+
+    #[test]
+    fn cover_efficiency_is_bounded_and_sane() {
+        use dynring_core::Pef3Plus;
+        use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+        use dynring_graph::{AlwaysPresent, RingTopology};
+
+        let ring = RingTopology::new(8).expect("valid ring");
+        let schedule = AlwaysPresent::new(ring.clone());
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            Oblivious::new(schedule.clone()),
+            vec![
+                RobotPlacement::at(n(0)),
+                RobotPlacement::at(n(3)),
+                RobotPlacement::at(n(5)),
+            ],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(100);
+        let eff = cover_efficiency(&trace, &schedule).expect("covered");
+        assert!(eff.lower_bound <= eff.first_cover);
+        assert!(eff.efficiency > 0.0 && eff.efficiency <= 1.0);
+        // Three spread-out direction-keeping robots on a static 8-ring
+        // cover nearly optimally.
+        assert!(eff.efficiency >= 0.5, "{eff:?}");
+    }
+
+    #[test]
+    fn cover_efficiency_none_without_cover() {
+        use dynring_core::baselines::KeepDirection;
+        use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+        use dynring_graph::{AbsenceIntervals, EdgeId, RingTopology};
+
+        // A robot walled in: never covers.
+        let ring = RingTopology::new(4).expect("valid ring");
+        let mut schedule = AbsenceIntervals::new(ring.clone());
+        schedule.remove_from(EdgeId::new(3), 0);
+        schedule.remove_from(EdgeId::new(0), 0);
+        let mut sim = Simulator::new(
+            ring,
+            KeepDirection,
+            Oblivious::new(schedule.clone()),
+            vec![RobotPlacement::at(n(0))],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(50);
+        assert!(cover_efficiency(&trace, &schedule).is_none());
+    }
+
+    #[test]
+    fn simultaneous_multi_robot_cover() {
+        let mut ledger = VisitLedger::new(3);
+        ledger.observe(0, &[n(0), n(1), n(2)]);
+        assert_eq!(ledger.covers(), 1);
+        assert_eq!(ledger.cover_times(), &[0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Parameter sweeps: the quantitative *extension* experiments (the paper
+//! itself has no empirical section, so these curves characterize the
+//! algorithms beyond the computability table).
+
+use serde::{Deserialize, Serialize};
+
+
+use crate::scenario::{run_scenario, Scenario, ScenarioError};
+use crate::stats::Summary;
+
+/// One point of a sweep: a scenario family evaluated over several seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k`.
+    pub robots: usize,
+    /// Dynamics label.
+    pub dynamics: String,
+    /// The swept parameter (whatever the sweep varies), for plotting.
+    pub parameter: f64,
+    /// Fraction of seeds whose run was judged perpetual.
+    pub success_rate: f64,
+    /// Mean round of the first complete cover (successful seeds only).
+    pub mean_first_cover: f64,
+    /// Mean rounds per cover (successful seeds only).
+    pub mean_cover_time: f64,
+    /// Mean of the largest revisit gap (all seeds).
+    pub mean_max_gap: f64,
+    /// Number of seeds evaluated.
+    pub seeds: usize,
+}
+
+/// Runs `base` once per seed and aggregates the measurements into a
+/// [`SweepPoint`] (`parameter` is echoed for the caller's plot axis).
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`].
+pub fn evaluate_point(
+    base: &Scenario,
+    parameter: f64,
+    seeds: &[u64],
+) -> Result<SweepPoint, ScenarioError> {
+    let mut first_covers = Vec::new();
+    let mut cover_times = Vec::new();
+    let mut gaps = Vec::new();
+    let mut successes = 0usize;
+    for &seed in seeds {
+        let scenario = base.clone().with_seed(seed);
+        let report = run_scenario(&scenario)?;
+        gaps.push(report.max_gap as f64);
+        if report.is_perpetual() {
+            successes += 1;
+            if let Some(fc) = report.first_cover {
+                first_covers.push(fc as f64);
+            }
+            if report.covers > 0 {
+                cover_times.push(scenario.horizon as f64 / report.covers as f64);
+            }
+        }
+    }
+    Ok(SweepPoint {
+        ring_size: base.ring_size,
+        robots: base.placement.count(),
+        dynamics: base.dynamics.name().to_string(),
+        parameter,
+        success_rate: successes as f64 / seeds.len().max(1) as f64,
+        mean_first_cover: Summary::of(&first_covers).mean,
+        mean_cover_time: Summary::of(&cover_times).mean,
+        mean_max_gap: Summary::of(&gaps).mean,
+        seeds: seeds.len(),
+    })
+}
+
+/// Sweeps one scenario family over a parameter axis: `make(parameter)`
+/// builds the base scenario for each requested value.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`].
+pub fn sweep<F>(
+    parameters: &[f64],
+    seeds: &[u64],
+    mut make: F,
+) -> Result<Vec<SweepPoint>, ScenarioError>
+where
+    F: FnMut(f64) -> Scenario,
+{
+    parameters
+        .iter()
+        .map(|&p| evaluate_point(&make(p), p, seeds))
+        .collect()
+}
+
+/// Standard seed list for sweeps (deterministic, spread out).
+pub fn default_seeds(count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1)).collect()
+}
+
+/// Rounds per cover of one scenario, `None` when no cover completed — the
+/// scalar most benches sweep.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`].
+pub fn cover_time(scenario: &Scenario) -> Result<Option<f64>, ScenarioError> {
+    let report = run_scenario(scenario)?;
+    if report.covers == 0 {
+        return Ok(None);
+    }
+    Ok(Some(scenario.horizon as f64 / report.covers as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AlgorithmChoice, DynamicsChoice, PlacementSpec};
+
+    fn base(n: usize, p: f64) -> Scenario {
+        Scenario::new(
+            n,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::BernoulliRecurrent { p, bound: 8 },
+            600,
+        )
+    }
+
+    #[test]
+    fn sweep_over_presence_probability() {
+        let points = sweep(&[0.3, 0.9], &default_seeds(3), |p| base(8, p))
+            .expect("valid scenarios");
+        assert_eq!(points.len(), 2);
+        // Higher presence probability ⇒ faster covers.
+        assert!(points[1].mean_cover_time <= points[0].mean_cover_time);
+        assert!(points.iter().all(|pt| pt.success_rate > 0.99));
+    }
+
+    #[test]
+    fn cover_time_scales_with_ring_size() {
+        let small = cover_time(&base(5, 0.8)).expect("valid").expect("covers");
+        let large = cover_time(&base(12, 0.8)).expect("valid").expect("covers");
+        assert!(
+            large > small,
+            "cover time must grow with n: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn default_seeds_are_distinct() {
+        let seeds = default_seeds(8);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+}

@@ -1,0 +1,298 @@
+//! Executable validators for the lemmas backing Theorem 3.1.
+//!
+//! These checkers replay a recorded [`ExecutionTrace`] of `PEF_3+` and
+//! verify, round by round, the structural properties the paper proves:
+//!
+//! - **Lemma 3.4** — no tower ever involves three or more robots
+//!   ([`check_max_tower_size`]);
+//! - **Lemma 3.3** — the two robots of a tower point to opposite global
+//!   directions once they computed on it ([`check_tower_opposite_dirs`]);
+//! - **Rule 1** — an isolated robot never changes direction
+//!   ([`check_no_flip_when_isolated`]);
+//! - **Lemma 3.7** — with an eventual missing edge, two *sentinels*
+//!   eventually sit forever on its extremities pointing at it
+//!   ([`sentinel_lock_time`]).
+//!
+//! They apply to `PEF_3+` (and to any algorithm claiming the same rule
+//! structure); `PEF_2`, `PEF_1` and the baselines deliberately violate some
+//! of them, which the tests assert too.
+
+use std::error::Error;
+use std::fmt;
+
+use dynring_engine::{ExecutionTrace, RobotId};
+use dynring_graph::{EdgeId, NodeId, Time};
+
+/// A violated structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InvariantViolation {
+    /// Lemma 3.4: a tower of three or more robots.
+    TowerTooLarge {
+        /// The instant of the oversized tower.
+        at: Time,
+        /// Its size.
+        size: usize,
+    },
+    /// Lemma 3.3: two co-located robots computed the same global direction.
+    TowerSameDirection {
+        /// The round where both computed the same direction.
+        at: Time,
+        /// The shared node.
+        node: NodeId,
+    },
+    /// Rule 1: an isolated robot changed direction.
+    IsolatedFlip {
+        /// The round of the flip.
+        at: Time,
+        /// The offending robot.
+        robot: RobotId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::TowerTooLarge { at, size } => {
+                write!(f, "lemma 3.4 violated: tower of {size} robots at time {at}")
+            }
+            InvariantViolation::TowerSameDirection { at, node } => write!(
+                f,
+                "lemma 3.3 violated: tower on {node} with aligned directions at round {at}"
+            ),
+            InvariantViolation::IsolatedFlip { at, robot } => {
+                write!(f, "rule 1 violated: isolated {robot} flipped at round {at}")
+            }
+        }
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// Checks Lemma 3.4: no tower of more than `limit` (= 2 for `PEF_3+`)
+/// robots at any instant.
+///
+/// # Errors
+///
+/// [`InvariantViolation::TowerTooLarge`] with the earliest violation.
+pub fn check_max_tower_size(
+    trace: &ExecutionTrace,
+    limit: usize,
+) -> Result<(), InvariantViolation> {
+    for (t, tower) in trace.all_towers() {
+        if tower.size() > limit {
+            return Err(InvariantViolation::TowerTooLarge {
+                at: t,
+                size: tower.size(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks Lemma 3.3: whenever two robots share a node during a Look phase,
+/// they point to opposite global directions after the Compute phase of
+/// that round.
+///
+/// # Errors
+///
+/// [`InvariantViolation::TowerSameDirection`] with the earliest violation.
+pub fn check_tower_opposite_dirs(trace: &ExecutionTrace) -> Result<(), InvariantViolation> {
+    for round in trace.rounds() {
+        for tower in round.towers_before() {
+            if tower.size() != 2 {
+                continue; // Lemma 3.4 violations are reported separately.
+            }
+            let a = &round.robots[tower.robots[0].index()];
+            let b = &round.robots[tower.robots[1].index()];
+            if !a.activated || !b.activated {
+                continue; // SSYNC: a sleeping robot computed nothing.
+            }
+            if a.global_dir_after == b.global_dir_after {
+                return Err(InvariantViolation::TowerSameDirection {
+                    at: round.time,
+                    node: tower.node,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Rule 1: a robot that is alone on its node keeps its direction
+/// through the Compute phase.
+///
+/// # Errors
+///
+/// [`InvariantViolation::IsolatedFlip`] with the earliest violation.
+pub fn check_no_flip_when_isolated(trace: &ExecutionTrace) -> Result<(), InvariantViolation> {
+    for round in trace.rounds() {
+        let towers = round.towers_before();
+        for robot in &round.robots {
+            if !robot.activated {
+                continue;
+            }
+            let in_tower = towers.iter().any(|tw| tw.robots.contains(&robot.id));
+            if !in_tower && robot.dir_after != robot.dir_before {
+                return Err(InvariantViolation::IsolatedFlip {
+                    at: round.time,
+                    robot: robot.id,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all per-round `PEF_3+` invariants (Lemmas 3.3, 3.4 and Rule 1).
+///
+/// # Errors
+///
+/// The earliest violation found, if any.
+pub fn check_pef3_invariants(trace: &ExecutionTrace) -> Result<(), InvariantViolation> {
+    check_max_tower_size(trace, 2)?;
+    check_tower_opposite_dirs(trace)?;
+    check_no_flip_when_isolated(trace)?;
+    Ok(())
+}
+
+/// Lemma 3.7 witness: the first instant from which, for the rest of the
+/// trace, *both* extremities of `missing_edge` are continuously occupied by
+/// a robot pointing at the missing edge (the *sentinels*).
+///
+/// Returns `None` when the sentinels never lock within the trace.
+pub fn sentinel_lock_time(trace: &ExecutionTrace, missing_edge: EdgeId) -> Option<Time> {
+    let ring = trace.ring();
+    let (end_a, end_b) = ring.endpoints(missing_edge);
+    let horizon = trace.len() as Time;
+    // locked(t): both endpoints hold a robot whose direction points at the
+    // missing edge, in configuration γ_t.
+    let locked = |t: Time| -> bool {
+        let snapshot_dirs: Vec<(NodeId, dynring_graph::GlobalDir)> = if t == 0 {
+            trace
+                .initial()
+                .iter()
+                .map(|r| (r.node, r.global_dir()))
+                .collect()
+        } else {
+            trace.rounds()[(t - 1) as usize]
+                .robots
+                .iter()
+                .map(|r| (r.node_after, r.global_dir_after))
+                .collect()
+        };
+        [end_a, end_b].iter().all(|&endpoint| {
+            snapshot_dirs.iter().any(|&(node, dir)| {
+                node == endpoint && ring.edge_towards(endpoint, dir) == missing_edge
+            })
+        })
+    };
+    // Scan backwards for the earliest suffix of locked configurations.
+    let mut lock_from: Option<Time> = None;
+    for t in (0..=horizon).rev() {
+        if locked(t) {
+            lock_from = Some(t);
+        } else {
+            break;
+        }
+    }
+    lock_from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynring_core::{baselines::AlwaysTurnOnTower, Pef3Plus};
+    use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+    use dynring_graph::generators::{self, RandomCotConfig};
+    use dynring_graph::RingTopology;
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    fn spaced_placements(n: usize, k: usize) -> Vec<RobotPlacement> {
+        (0..k)
+            .map(|i| RobotPlacement::at(NodeId::new(i * n / k)))
+            .collect()
+    }
+
+    #[test]
+    fn pef3_satisfies_all_invariants_on_random_cot() {
+        let r = ring(8);
+        let schedule = generators::random_connected_over_time(
+            &r,
+            500,
+            &RandomCotConfig::default(),
+            7,
+        )
+        .expect("valid config");
+        let mut sim = Simulator::new(
+            r.clone(),
+            Pef3Plus,
+            Oblivious::new(schedule),
+            spaced_placements(8, 3),
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(500);
+        check_pef3_invariants(&trace).expect("all invariants hold");
+    }
+
+    #[test]
+    fn pef3_sentinels_lock_on_missing_edge() {
+        let r = ring(7);
+        let cfg = RandomCotConfig {
+            presence_probability: 0.6,
+            recurrence_bound: 6,
+            eventual_missing: Some((EdgeId::new(3), 40)),
+        };
+        let schedule =
+            generators::random_connected_over_time(&r, 800, &cfg, 11).expect("valid config");
+        let mut sim = Simulator::new(
+            r.clone(),
+            Pef3Plus,
+            Oblivious::new(schedule),
+            spaced_placements(7, 3),
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(800);
+        check_pef3_invariants(&trace).expect("invariants hold");
+        let lock = sentinel_lock_time(&trace, EdgeId::new(3));
+        assert!(lock.is_some(), "sentinels must lock (Lemma 3.7)");
+        assert!(lock.expect("checked") >= 40, "cannot lock before the edge dies");
+    }
+
+    #[test]
+    fn rule2_ablation_violates_lemma_3_3() {
+        // AlwaysTurnOnTower makes *both* robots of a tower turn. Send two
+        // clockwise robots at each other by parking the leading one in
+        // front of a temporarily missing edge: the chaser joins it (the
+        // paper's Case 1 of Lemma 3.3), then both flip — and end up
+        // *aligned* counter-clockwise, violating Lemma 3.3.
+        use dynring_engine::LocalDir;
+        use dynring_graph::AbsenceIntervals;
+
+        let r = ring(6);
+        let mut schedule = AbsenceIntervals::new(r.clone());
+        schedule.remove_during(EdgeId::new(2), 0, 6); // parks the leader at v2
+        let mut sim = Simulator::new(
+            r.clone(),
+            AlwaysTurnOnTower,
+            Oblivious::new(schedule),
+            vec![
+                RobotPlacement::at(NodeId::new(0)).with_dir(LocalDir::Right),
+                RobotPlacement::at(NodeId::new(2)).with_dir(LocalDir::Right),
+            ],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(60);
+        let result = check_tower_opposite_dirs(&trace);
+        assert!(result.is_err(), "rule 2 ablation must break lemma 3.3");
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = InvariantViolation::TowerTooLarge { at: 4, size: 3 };
+        assert!(v.to_string().contains("lemma 3.4"));
+    }
+}

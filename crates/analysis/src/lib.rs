@@ -1,0 +1,56 @@
+//! Specification checking and experiment harness for the `dynring`
+//! reproduction of Bournat, Dubois & Petit (ICDCS 2017).
+//!
+//! - [`coverage`] — visit ledgers and rolling cover counting;
+//! - [`verdict`] — success criteria and exploration outcomes;
+//! - [`invariants`] — executable validators for Lemmas 3.3, 3.4, 3.7 and
+//!   Rule 1;
+//! - [`scenario`] — the uniform runner over the algorithm portfolio × the
+//!   dynamics suite (including the proof adversaries);
+//! - [`table1`] — the end-to-end Table 1 reproduction;
+//! - [`grid`] — parameter sweeps (cover time vs `n`, `k`, dynamicity);
+//! - [`report`] — text / Markdown / CSV rendering;
+//! - [`stats`] — summary statistics.
+//!
+//! # Example: reproduce one Table 1 cell
+//!
+//! ```rust
+//! use dynring_analysis::scenario::{
+//!     run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // k = 3 robots on an n = 8 connected-over-time ring: Possible (Thm 3.1).
+//! let scenario = Scenario::new(
+//!     8,
+//!     PlacementSpec::EvenlySpaced { count: 3 },
+//!     AlgorithmChoice::Pef3Plus,
+//!     DynamicsChoice::BernoulliRecurrent { p: 0.5, bound: 8 },
+//!     800,
+//! );
+//! let report = run_scenario(&scenario)?;
+//! assert!(report.is_perpetual());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod coverage;
+pub mod grid;
+pub mod invariants;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+pub mod table1;
+pub mod verdict;
+
+pub use coverage::VisitLedger;
+pub use scenario::{
+    run_on_schedule, run_scenario, run_scenario_capturing, AlgorithmChoice, DynamicsChoice,
+    PlacementSpec, Scenario, ScenarioError, ScenarioReport,
+};
+pub use table1::{run_table1, Table1Options, Table1Report};
+pub use verdict::{ExplorationOutcome, SuccessCriteria};

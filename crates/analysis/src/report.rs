@@ -1,0 +1,252 @@
+//! Plain-text, Markdown and CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+
+use dynring_engine::ExecutionTrace;
+use dynring_graph::{EdgeId, Time};
+
+/// Renders an execution as one combined ASCII panorama: edge presence on
+/// top (█ present, · absent), robot occupancy below (digits = robots per
+/// node), both over the first `columns` rounds.
+///
+/// The dead corridor, the sentinels parking at its sides and the explorer
+/// shuttling between them are all visible at a glance — the Figure-free
+/// paper drawn by the harness.
+pub fn execution_panorama(trace: &ExecutionTrace, columns: usize) -> String {
+    let ring = trace.ring();
+    let horizon = trace.rounds().len().min(columns);
+    let label_width = format!("v{}", ring.node_count() - 1)
+        .len()
+        .max(format!("e{}", ring.edge_count() - 1).len());
+    let mut out = String::new();
+    let _ = write!(out, "{:label_width$} ", "");
+    for t in 0..horizon {
+        let _ = write!(
+            out,
+            "{}",
+            if t % 10 == 0 {
+                char::from_digit(((t / 10) % 10) as u32, 10).expect("digit")
+            } else {
+                ' '
+            }
+        );
+    }
+    out.push('\n');
+    for e in 0..ring.edge_count() {
+        let _ = write!(out, "{:<label_width$} ", format!("e{e}"));
+        for round in trace.rounds().iter().take(horizon) {
+            out.push(if round.edges.contains(EdgeId::new(e)) {
+                '█'
+            } else {
+                '·'
+            });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{:label_width$} {}", "", "-".repeat(horizon));
+    for node in ring.nodes() {
+        let _ = write!(out, "{:<label_width$} ", format!("v{}", node.index()));
+        for t in 0..horizon {
+            let count = trace
+                .positions_at(t as Time)
+                .iter()
+                .filter(|&&p| p == node)
+                .count();
+            out.push(match count {
+                0 => '·',
+                1..=9 => char::from_digit(count as u32, 10).expect("digit"),
+                _ => '+',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A simple column-aligned text table that can also render as Markdown or
+/// CSV.
+///
+/// ```rust
+/// use dynring_analysis::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["algo".into(), "covers".into()]);
+/// t.add_row(vec!["PEF_3+".into(), "12".into()]);
+/// let text = t.render();
+/// assert!(text.contains("PEF_3+"));
+/// let md = t.markdown();
+/// assert!(md.starts_with("| algo"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn add_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Renders as column-aligned plain text.
+    pub fn render(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "{}{}  ", cell, " ".repeat(pad));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a Markdown table.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas are quoted).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["beta,comma".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn markdown_form() {
+        let md = sample().markdown();
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().csv();
+        assert!(csv.contains("\"beta,comma\""));
+        assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn panorama_renders_edges_and_robots() {
+        use dynring_core::Pef3Plus;
+        use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+        use dynring_graph::{AbsenceIntervals, NodeId, RingTopology};
+
+        let ring = RingTopology::new(4).expect("valid ring");
+        let mut schedule = AbsenceIntervals::new(ring.clone());
+        schedule.remove_during(EdgeId::new(2), 0, 5);
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            Oblivious::new(schedule),
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(12);
+        let panorama = execution_panorama(&trace, 10);
+        // 1 header + 4 edges + 1 separator + 4 nodes.
+        assert_eq!(panorama.lines().count(), 10, "{panorama}");
+        assert!(panorama.contains("e2 ·····"), "{panorama}");
+        assert!(panorama.lines().any(|l| l.starts_with("v0 1")), "{panorama}");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["only".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let csv = t.csv();
+        assert!(csv.lines().nth(1).expect("row").ends_with(','));
+    }
+}

@@ -1,0 +1,405 @@
+//! End-to-end reproduction of the paper's Table 1.
+//!
+//! For every cell `(k robots, n nodes)`:
+//!
+//! - **Possible** cells run the paper's recommended algorithm against the
+//!   benign dynamics suite (plus an eventual-missing-edge schedule) and
+//!   must reach the cover criteria under *every* suite member;
+//! - **Impossible** cells run the matching proof adversary (Theorem 5.1's
+//!   confiner for `k = 1`, Theorem 4.1's for `k = 2`) against the whole
+//!   algorithm portfolio and must stay confined (some node never visited)
+//!   for the whole horizon, for *every* algorithm.
+
+use serde::{Deserialize, Serialize};
+
+use dynring_core::theory::{Feasibility, RecommendedAlgorithm};
+use dynring_graph::Time;
+
+use crate::report::TextTable;
+use crate::scenario::{
+    run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario, ScenarioError,
+};
+use crate::verdict::SuccessCriteria;
+
+/// Options for the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Options {
+    /// Robot counts to test (rows).
+    pub robot_counts: Vec<usize>,
+    /// Ring sizes to test (columns).
+    pub ring_sizes: Vec<usize>,
+    /// Rounds per run.
+    pub horizon: Time,
+    /// Base seed (varied per cell).
+    pub seed: u64,
+    /// Covers required for "Possible" cells.
+    pub min_covers: u64,
+}
+
+impl Default for Table1Options {
+    fn default() -> Self {
+        Table1Options {
+            robot_counts: vec![1, 2, 3, 4, 5],
+            ring_sizes: vec![2, 3, 4, 5, 6, 8, 10],
+            horizon: 1500,
+            seed: 0xBADA55,
+            min_covers: 3,
+        }
+    }
+}
+
+/// What a cell's experiments observed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellObservation {
+    /// All suite runs reached the cover criteria.
+    Explored {
+        /// The fewest covers over the suite.
+        worst_covers: u64,
+        /// Number of suite members run.
+        suite_size: usize,
+    },
+    /// All portfolio algorithms stayed confined under the proof adversary.
+    Confined {
+        /// The most nodes any algorithm visited.
+        worst_visited: usize,
+        /// Number of algorithms run.
+        portfolio_size: usize,
+    },
+    /// The cell is outside the model (`k = 0` or `k ≥ n`).
+    OutOfModel,
+    /// Some run contradicted the expectation (details inside).
+    Mismatch {
+        /// Human-readable description of the first mismatch.
+        detail: String,
+    },
+}
+
+/// One cell of the reproduced Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Robots `k`.
+    pub robots: usize,
+    /// Ring size `n`.
+    pub nodes: usize,
+    /// The paper's verdict.
+    pub expected: Feasibility,
+    /// What the experiments observed.
+    pub observed: CellObservation,
+}
+
+impl CellResult {
+    /// `true` when the observation matches the paper's verdict.
+    pub fn matches_paper(&self) -> bool {
+        matches!(
+            (&self.expected, &self.observed),
+            (Feasibility::Solvable { .. }, CellObservation::Explored { .. })
+                | (Feasibility::Unsolvable { .. }, CellObservation::Confined { .. })
+                | (Feasibility::OutOfModel, CellObservation::OutOfModel)
+        )
+    }
+}
+
+/// The full reproduction report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// All tested cells.
+    pub cells: Vec<CellResult>,
+    /// The options used.
+    pub options: Table1Options,
+}
+
+impl Table1Report {
+    /// `true` when every cell matches the paper.
+    pub fn all_match(&self) -> bool {
+        self.cells.iter().all(CellResult::matches_paper)
+    }
+
+    /// Cells that failed to match.
+    pub fn mismatches(&self) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| !c.matches_paper())
+            .collect()
+    }
+
+    /// Renders the matrix as an ASCII table (rows = k, columns = n).
+    pub fn render(&self) -> String {
+        let mut headers = vec!["k \\ n".to_string()];
+        for n in &self.options.ring_sizes {
+            headers.push(n.to_string());
+        }
+        let mut table = TextTable::new(headers);
+        for &k in &self.options.robot_counts {
+            let mut row = vec![format!("{k}")];
+            for &n in &self.options.ring_sizes {
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| c.robots == k && c.nodes == n);
+                row.push(match cell {
+                    Some(c) => {
+                        let mark = if c.matches_paper() { "✓" } else { "✗" };
+                        match &c.observed {
+                            CellObservation::Explored { worst_covers, .. } => {
+                                format!("P{mark} ({worst_covers}cv)")
+                            }
+                            CellObservation::Confined { worst_visited, .. } => {
+                                format!("I{mark} ({worst_visited}v)")
+                            }
+                            CellObservation::OutOfModel => "—".to_string(),
+                            CellObservation::Mismatch { .. } => format!("?{mark}"),
+                        }
+                    }
+                    None => String::new(),
+                });
+            }
+            table.add_row(row);
+        }
+        table.render()
+    }
+
+    /// Renders the matrix as a Markdown table (for EXPERIMENTS.md-style
+    /// artifacts).
+    pub fn render_markdown(&self) -> String {
+        let mut headers = vec!["k \\ n".to_string()];
+        for n in &self.options.ring_sizes {
+            headers.push(n.to_string());
+        }
+        let mut table = TextTable::new(headers);
+        for &k in &self.options.robot_counts {
+            let mut row = vec![format!("{k}")];
+            for &n in &self.options.ring_sizes {
+                let cell = self.cells.iter().find(|c| c.robots == k && c.nodes == n);
+                row.push(match cell {
+                    Some(c) => match &c.observed {
+                        CellObservation::Explored { .. } => "Possible ✓".to_string(),
+                        CellObservation::Confined { .. } => "Impossible ✓".to_string(),
+                        CellObservation::OutOfModel => "—".to_string(),
+                        CellObservation::Mismatch { .. } => "MISMATCH".to_string(),
+                    },
+                    None => String::new(),
+                });
+            }
+            table.add_row(row);
+        }
+        table.markdown()
+    }
+}
+
+fn algorithm_for(recommended: RecommendedAlgorithm) -> AlgorithmChoice {
+    match recommended {
+        RecommendedAlgorithm::Pef1 => AlgorithmChoice::Pef1,
+        RecommendedAlgorithm::Pef2 => AlgorithmChoice::Pef2,
+        RecommendedAlgorithm::Pef3Plus => AlgorithmChoice::Pef3Plus,
+    }
+}
+
+/// The dynamics suite for a "Possible" cell: the benign suite plus an
+/// eventual-missing-edge schedule.
+fn possible_suite(n: usize, horizon: Time) -> Vec<DynamicsChoice> {
+    let mut suite = DynamicsChoice::benign_suite();
+    suite.push(DynamicsChoice::EventualMissing {
+        p: 0.6,
+        bound: 8,
+        edge: n / 2,
+        from: horizon / 10,
+    });
+    suite
+}
+
+/// The portfolio run against a proof adversary in an "Impossible" cell.
+fn impossible_portfolio() -> Vec<AlgorithmChoice> {
+    vec![
+        AlgorithmChoice::Pef3Plus,
+        AlgorithmChoice::Pef2,
+        AlgorithmChoice::Pef1,
+        AlgorithmChoice::KeepDirection,
+        AlgorithmChoice::BounceOnMissingEdge,
+        AlgorithmChoice::AlternateDirection,
+        AlgorithmChoice::RandomDirection { seed: 0xFEED },
+    ]
+}
+
+fn run_possible_cell(
+    k: usize,
+    n: usize,
+    opts: &Table1Options,
+    recommended: RecommendedAlgorithm,
+) -> Result<CellObservation, ScenarioError> {
+    let mut worst_covers = u64::MAX;
+    let suite = possible_suite(n, opts.horizon);
+    let suite_size = suite.len();
+    for (idx, dynamics) in suite.into_iter().enumerate() {
+        let scenario = Scenario::new(
+            n,
+            PlacementSpec::EvenlySpaced { count: k },
+            algorithm_for(recommended),
+            dynamics,
+            opts.horizon,
+        )
+        .with_seed(opts.seed ^ ((k as u64) << 24) ^ ((n as u64) << 12) ^ idx as u64)
+        .with_criteria(SuccessCriteria::covers(opts.min_covers));
+        let report = run_scenario(&scenario)?;
+        if !report.is_perpetual() {
+            return Ok(CellObservation::Mismatch {
+                detail: format!(
+                    "{} with k={k}, n={n} on {}: {}",
+                    recommended.name(),
+                    dynamics.name(),
+                    report.outcome
+                ),
+            });
+        }
+        worst_covers = worst_covers.min(report.covers);
+    }
+    Ok(CellObservation::Explored {
+        worst_covers,
+        suite_size,
+    })
+}
+
+fn run_impossible_cell(
+    k: usize,
+    n: usize,
+    opts: &Table1Options,
+) -> Result<CellObservation, ScenarioError> {
+    let (dynamics, placement, zone) = if k == 1 {
+        (
+            DynamicsChoice::SingleConfiner,
+            PlacementSpec::EvenlySpaced { count: 1 },
+            2usize,
+        )
+    } else {
+        (
+            DynamicsChoice::TwoConfiner { patience: 64 },
+            PlacementSpec::Adjacent { count: 2, start: 0 },
+            3usize,
+        )
+    };
+    let portfolio = impossible_portfolio();
+    let portfolio_size = portfolio.len();
+    let mut worst_visited = 0usize;
+    for algorithm in portfolio {
+        let scenario = Scenario::new(n, placement.clone(), algorithm, dynamics, opts.horizon)
+            .with_seed(opts.seed ^ 0x5EED ^ ((k as u64) << 16) ^ (n as u64));
+        let report = run_scenario(&scenario)?;
+        if !report.outcome.is_confined() || report.visited_nodes > zone {
+            return Ok(CellObservation::Mismatch {
+                detail: format!(
+                    "{} escaped the k={k} confiner on n={n}: {}",
+                    algorithm.name(),
+                    report.outcome
+                ),
+            });
+        }
+        worst_visited = worst_visited.max(report.visited_nodes);
+    }
+    Ok(CellObservation::Confined {
+        worst_visited,
+        portfolio_size,
+    })
+}
+
+/// Runs the full Table 1 reproduction.
+///
+/// # Errors
+///
+/// [`ScenarioError`] only for ill-formed options (all default cells are
+/// well-formed).
+pub fn run_table1(opts: &Table1Options) -> Result<Table1Report, ScenarioError> {
+    let mut cells = Vec::new();
+    for &k in &opts.robot_counts {
+        for &n in &opts.ring_sizes {
+            let expected = Feasibility::for_parameters(k, n);
+            let observed = match expected {
+                Feasibility::OutOfModel => CellObservation::OutOfModel,
+                Feasibility::Solvable { algorithm, .. } => {
+                    run_possible_cell(k, n, opts, algorithm)?
+                }
+                Feasibility::Unsolvable { .. } => run_impossible_cell(k, n, opts)?,
+            };
+            cells.push(CellResult {
+                robots: k,
+                nodes: n,
+                expected,
+                observed,
+            });
+        }
+    }
+    Ok(Table1Report {
+        cells,
+        options: opts.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced grid so the unit test stays fast; the full grid runs in
+    /// the integration tests and benches.
+    fn small_options() -> Table1Options {
+        Table1Options {
+            robot_counts: vec![1, 2, 3],
+            ring_sizes: vec![2, 3, 5],
+            horizon: 700,
+            seed: 42,
+            min_covers: 2,
+        }
+    }
+
+    #[test]
+    fn reduced_table1_matches_the_paper() {
+        let report = run_table1(&small_options()).expect("valid options");
+        assert!(
+            report.all_match(),
+            "mismatches: {:?}",
+            report.mismatches()
+        );
+        // 3 × 3 grid.
+        assert_eq!(report.cells.len(), 9);
+    }
+
+    #[test]
+    fn render_produces_a_grid() {
+        let report = run_table1(&small_options()).expect("valid options");
+        let rendered = report.render();
+        assert!(rendered.contains("k \\ n"), "{rendered}");
+        assert!(rendered.contains('P'), "{rendered}");
+        assert!(rendered.contains('I'), "{rendered}");
+    }
+
+    #[test]
+    fn markdown_render_marks_verdicts() {
+        let report = run_table1(&small_options()).expect("valid options");
+        let md = report.render_markdown();
+        assert!(md.contains("| Possible ✓"), "{md}");
+        assert!(md.contains("| Impossible ✓"), "{md}");
+        assert!(md.contains("| — "), "{md}");
+    }
+
+    #[test]
+    fn report_serializes_for_artifact_export() {
+        let report = run_table1(&small_options()).expect("valid options");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: Table1Report = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn out_of_model_cells_are_marked() {
+        let opts = Table1Options {
+            robot_counts: vec![3],
+            ring_sizes: vec![2, 3],
+            horizon: 50,
+            seed: 1,
+            min_covers: 1,
+        };
+        let report = run_table1(&opts).expect("valid options");
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.observed == CellObservation::OutOfModel));
+        assert!(report.all_match());
+    }
+}

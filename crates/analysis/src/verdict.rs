@@ -1,0 +1,207 @@
+//! Success criteria and exploration verdicts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_graph::{NodeId, Time};
+
+use crate::coverage::VisitLedger;
+
+/// What a finite run must exhibit to count as (evidence of) perpetual
+/// exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessCriteria {
+    /// Minimum number of completed covers.
+    pub min_covers: u64,
+    /// Optional cap on the largest revisit gap (rounds).
+    pub max_gap: Option<Time>,
+}
+
+impl SuccessCriteria {
+    /// At least `min_covers` covers, no gap constraint.
+    pub fn covers(min_covers: u64) -> Self {
+        SuccessCriteria {
+            min_covers,
+            max_gap: None,
+        }
+    }
+}
+
+impl Default for SuccessCriteria {
+    /// Three covers — enough to rule out one-shot exploration.
+    fn default() -> Self {
+        SuccessCriteria::covers(3)
+    }
+}
+
+/// The verdict for one finite execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExplorationOutcome {
+    /// The run satisfied the criteria: exploration keeps happening.
+    Perpetual {
+        /// Completed covers.
+        covers: u64,
+        /// Largest revisit gap observed.
+        max_gap: Time,
+        /// Round of the first complete cover.
+        first_cover: Time,
+    },
+    /// Some nodes were never visited at all — the confinement signature.
+    Confined {
+        /// Number of visited nodes.
+        visited: usize,
+        /// Number of nodes of the ring.
+        total: usize,
+        /// The nodes never visited.
+        never_visited: Vec<NodeId>,
+    },
+    /// Everything was visited at least once, but the criteria were missed
+    /// (too few covers or too large a gap): exploration stalled.
+    Stalled {
+        /// Completed covers.
+        covers: u64,
+        /// Largest revisit gap observed.
+        max_gap: Time,
+    },
+}
+
+impl ExplorationOutcome {
+    /// Judges a ledger against the criteria.
+    pub fn evaluate(ledger: &VisitLedger, criteria: SuccessCriteria) -> Self {
+        let never = ledger.unvisited_nodes();
+        if !never.is_empty() {
+            return ExplorationOutcome::Confined {
+                visited: ledger.visited_count(),
+                total: ledger.node_count(),
+                never_visited: never,
+            };
+        }
+        let covers = ledger.covers();
+        let max_gap = ledger.max_revisit_gap();
+        let gap_ok = criteria.max_gap.is_none_or(|cap| max_gap <= cap);
+        if covers >= criteria.min_covers && gap_ok {
+            ExplorationOutcome::Perpetual {
+                covers,
+                max_gap,
+                first_cover: ledger.first_cover().expect("covers >= 1"),
+            }
+        } else {
+            ExplorationOutcome::Stalled { covers, max_gap }
+        }
+    }
+
+    /// `true` for [`ExplorationOutcome::Perpetual`].
+    pub fn is_perpetual(&self) -> bool {
+        matches!(self, ExplorationOutcome::Perpetual { .. })
+    }
+
+    /// `true` for [`ExplorationOutcome::Confined`].
+    pub fn is_confined(&self) -> bool {
+        matches!(self, ExplorationOutcome::Confined { .. })
+    }
+}
+
+impl fmt::Display for ExplorationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorationOutcome::Perpetual {
+                covers,
+                max_gap,
+                first_cover,
+            } => write!(
+                f,
+                "perpetual ({covers} covers, first at {first_cover}, max gap {max_gap})"
+            ),
+            ExplorationOutcome::Confined { visited, total, .. } => {
+                write!(f, "confined ({visited}/{total} nodes visited)")
+            }
+            ExplorationOutcome::Stalled { covers, max_gap } => {
+                write!(f, "stalled ({covers} covers, max gap {max_gap})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn perpetual_when_covers_reached() {
+        let mut ledger = VisitLedger::new(2);
+        for t in 0..12 {
+            ledger.observe(t, &[n((t % 2) as usize)]);
+        }
+        let outcome = ExplorationOutcome::evaluate(&ledger, SuccessCriteria::covers(3));
+        assert!(outcome.is_perpetual());
+        match outcome {
+            ExplorationOutcome::Perpetual { covers, .. } => assert!(covers >= 3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn confined_when_nodes_missing() {
+        let mut ledger = VisitLedger::new(4);
+        for t in 0..10 {
+            ledger.observe(t, &[n((t % 2) as usize)]);
+        }
+        let outcome = ExplorationOutcome::evaluate(&ledger, SuccessCriteria::default());
+        assert_eq!(
+            outcome,
+            ExplorationOutcome::Confined {
+                visited: 2,
+                total: 4,
+                never_visited: vec![n(2), n(3)]
+            }
+        );
+        assert!(outcome.is_confined());
+    }
+
+    #[test]
+    fn stalled_when_covers_insufficient() {
+        let mut ledger = VisitLedger::new(2);
+        ledger.observe(0, &[n(0)]);
+        ledger.observe(1, &[n(1)]); // exactly one cover
+        ledger.observe(2, &[n(1)]);
+        let outcome = ExplorationOutcome::evaluate(&ledger, SuccessCriteria::covers(3));
+        assert_eq!(
+            outcome,
+            ExplorationOutcome::Stalled {
+                covers: 1,
+                max_gap: 2
+            }
+        );
+    }
+
+    #[test]
+    fn gap_criterion_applies() {
+        let mut ledger = VisitLedger::new(2);
+        for t in 0..20 {
+            ledger.observe(t, &[n((t % 2) as usize)]);
+        }
+        let tight = SuccessCriteria {
+            min_covers: 1,
+            max_gap: Some(1),
+        };
+        let loose = SuccessCriteria {
+            min_covers: 1,
+            max_gap: Some(2),
+        };
+        assert!(!ExplorationOutcome::evaluate(&ledger, tight).is_perpetual());
+        assert!(ExplorationOutcome::evaluate(&ledger, loose).is_perpetual());
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut ledger = VisitLedger::new(1);
+        ledger.observe(0, &[n(0)]);
+        let outcome = ExplorationOutcome::evaluate(&ledger, SuccessCriteria::covers(1));
+        assert!(outcome.to_string().starts_with("perpetual"));
+    }
+}

@@ -1,0 +1,67 @@
+//! E3 — Figure 3 / Theorem 5.1: the single-robot confiner, across ring
+//! sizes, plus the Gω pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dynring_adversary::SingleRobotConfiner;
+use dynring_core::baselines::BounceOnMissingEdge;
+use dynring_engine::{Capturing, RobotPlacement, Simulator};
+use dynring_graph::classes::certify_connected_over_time;
+use dynring_graph::convergence::PrefixChain;
+use dynring_graph::{NodeId, RingTopology, TailBehavior, Time};
+
+fn confiner_run(n: usize, horizon: Time) -> usize {
+    let ring = RingTopology::new(n).expect("valid ring");
+    let adversary = SingleRobotConfiner::new(ring.clone());
+    let mut sim = Simulator::new(
+        ring,
+        BounceOnMissingEdge,
+        adversary,
+        vec![RobotPlacement::at(NodeId::new(0))],
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(horizon);
+    trace.visited_nodes().len()
+}
+
+fn omega_pipeline(n: usize) -> bool {
+    let ring = RingTopology::new(n).expect("valid ring");
+    let capture = |horizon: Time| {
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let mut sim = Simulator::new(
+            ring.clone(),
+            BounceOnMissingEdge,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        sim.run(horizon);
+        sim.dynamics().to_script(TailBehavior::AllPresent)
+    };
+    let mut chain = PrefixChain::new(ring.clone());
+    for horizon in [50u64, 120, 280] {
+        chain.push(&capture(horizon), horizon).expect("growing prefixes");
+    }
+    let omega = chain.limit(TailBehavior::AllPresent);
+    certify_connected_over_time(&omega, 280, 8).is_certified()
+}
+
+fn bench_adversary_single_robot(c: &mut Criterion) {
+    for n in [3usize, 6, 12, 24] {
+        assert!(confiner_run(n, 500) <= 2, "confinement failed for n={n}");
+    }
+    assert!(omega_pipeline(8), "Gω must be connected-over-time");
+
+    let mut group = c.benchmark_group("thm5.1");
+    group.sample_size(10);
+    for n in [3usize, 6, 12, 24] {
+        group.bench_with_input(BenchmarkId::new("confiner_500_rounds", n), &n, |b, &n| {
+            b.iter(|| confiner_run(n, 500))
+        });
+    }
+    group.bench_function("omega_pipeline_n8", |b| b.iter(|| omega_pipeline(8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary_single_robot);
+criterion_main!(benches);

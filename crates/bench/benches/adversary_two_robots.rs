@@ -1,0 +1,95 @@
+//! E2 — Figure 2 / Theorem 4.1: the four-phase two-robot confiner, its
+//! connected-over-time capture, the Gω assembly, and the Lemma 4.1 witness
+//! (E4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dynring_adversary::lemma41::{extract_history, PrimedWitness};
+use dynring_adversary::TwoRobotConfiner;
+use dynring_core::baselines::BounceOnMissingEdge;
+use dynring_core::Pef3Plus;
+use dynring_engine::{Capturing, LocalDir, RobotId, RobotPlacement, Simulator};
+use dynring_graph::classes::certify_connected_over_time;
+use dynring_graph::convergence::PrefixChain;
+use dynring_graph::{NodeId, RingTopology, TailBehavior, Time};
+
+fn confiner_run(horizon: Time) -> (usize, bool) {
+    let ring = RingTopology::new(7).expect("valid ring");
+    let adversary = Capturing::new(TwoRobotConfiner::new(ring.clone(), 64));
+    let mut sim = Simulator::new(
+        ring,
+        BounceOnMissingEdge,
+        adversary,
+        vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(1)),
+        ],
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(horizon);
+    let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+    let certified = certify_connected_over_time(&script, horizon, 64).is_certified();
+    (trace.visited_nodes().len(), certified)
+}
+
+fn omega_assembly() -> Time {
+    let ring = RingTopology::new(7).expect("valid ring");
+    let capture = |horizon: Time| {
+        let adversary = Capturing::new(TwoRobotConfiner::new(ring.clone(), 64));
+        let mut sim = Simulator::new(
+            ring.clone(),
+            BounceOnMissingEdge,
+            adversary,
+            vec![
+                RobotPlacement::at(NodeId::new(0)),
+                RobotPlacement::at(NodeId::new(1)),
+            ],
+        )
+        .expect("valid setup");
+        sim.run(horizon);
+        sim.dynamics().to_script(TailBehavior::AllPresent)
+    };
+    let mut chain = PrefixChain::new(ring.clone());
+    for horizon in [60u64, 140, 300] {
+        chain.push(&capture(horizon), horizon).expect("growing prefixes");
+    }
+    chain.agreed_prefix()
+}
+
+fn lemma41_witness() -> usize {
+    let ring = RingTopology::new(8).expect("valid ring");
+    let adversary = Capturing::new(dynring_adversary::SingleRobotConfiner::new(ring.clone()));
+    let mut sim = Simulator::new(
+        ring,
+        Pef3Plus,
+        adversary,
+        vec![RobotPlacement::at(NodeId::new(0)).with_dir(LocalDir::Right)],
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(40);
+    let original = sim.dynamics().to_script(TailBehavior::AllPresent);
+    let history = extract_history(&trace, RobotId::new(0), 40).expect("valid history");
+    let witness = PrimedWitness::build(&original, &history).expect("valid witness");
+    let twin = witness.run(Pef3Plus, 120).expect("twin run");
+    witness.verify_claims(&twin, true).expect("claims + freeze");
+    twin.visited_nodes().len()
+}
+
+fn bench_adversary_two_robots(c: &mut Criterion) {
+    // Assert the shapes once before timing.
+    let (visited, certified) = confiner_run(800);
+    assert!(visited <= 3, "confinement failed: visited {visited}");
+    assert!(certified, "capture must be connected-over-time");
+    assert!(omega_assembly() >= 300);
+    assert!(lemma41_witness() <= 4);
+
+    let mut group = c.benchmark_group("thm4.1");
+    group.sample_size(10);
+    group.bench_function("confiner_800_rounds", |b| b.iter(|| confiner_run(800)));
+    group.bench_function("omega_assembly", |b| b.iter(omega_assembly));
+    group.bench_function("lemma41_witness", |b| b.iter(lemma41_witness));
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary_two_robots);
+criterion_main!(benches);

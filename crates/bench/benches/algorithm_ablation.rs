@@ -1,0 +1,150 @@
+//! E5 / E8 — ablations of `PEF_3+`'s design choices and the FSYNC/SSYNC
+//! gap.
+//!
+//! Asserted shapes:
+//!
+//! - `PEF_3+` survives an eventual missing edge; `KeepDirection` (Rule 1
+//!   alone) and `AlwaysTurnOnTower` (Rule 2 ablated) fail on the same
+//!   schedule;
+//! - the greedy budgeted blocker slows `PEF_3+` down but cannot stop it;
+//! - the SSYNC blocker freezes everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dynring_analysis::{
+    run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario, SuccessCriteria,
+};
+
+fn missing_edge_scenario(algorithm: AlgorithmChoice) -> Scenario {
+    Scenario::new(
+        8,
+        PlacementSpec::EvenlySpaced { count: 3 },
+        algorithm,
+        DynamicsChoice::EventualMissing {
+            p: 0.6,
+            bound: 8,
+            edge: 4,
+            from: 100,
+        },
+        1500,
+    )
+    .with_criteria(SuccessCriteria {
+        min_covers: 3,
+        max_gap: Some(700),
+    })
+}
+
+/// The static ring with a dead edge from round 0: a deterministic
+/// configuration on which the rule ablations *provably* fail (two flipped
+/// robots pair-lock into a two-node oscillation and one node is never
+/// visited), while `PEF_3+` keeps covering.
+fn deterministic_missing_edge_scenario(algorithm: AlgorithmChoice) -> Scenario {
+    Scenario::new(
+        8,
+        PlacementSpec::EvenlySpaced { count: 3 },
+        algorithm,
+        DynamicsChoice::EventualMissing {
+            p: 1.0,
+            bound: 8,
+            edge: 4,
+            from: 0,
+        },
+        1500,
+    )
+    .with_criteria(SuccessCriteria {
+        min_covers: 3,
+        max_gap: Some(700),
+    })
+}
+
+fn blocker_scenario(budget: u64) -> Scenario {
+    Scenario::new(
+        8,
+        PlacementSpec::EvenlySpaced { count: 3 },
+        AlgorithmChoice::Pef3Plus,
+        DynamicsChoice::PointedBlocker { budget },
+        1500,
+    )
+}
+
+fn ssync_scenario(algorithm: AlgorithmChoice) -> Scenario {
+    Scenario::new(
+        8,
+        PlacementSpec::EvenlySpaced { count: 3 },
+        algorithm,
+        DynamicsChoice::SsyncBlocker,
+        500,
+    )
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Rule ablations on the deterministic dead-edge configuration.
+    let pef3 = run_scenario(&deterministic_missing_edge_scenario(AlgorithmChoice::Pef3Plus))
+        .expect("valid scenario");
+    assert!(pef3.is_perpetual(), "PEF_3+ must survive: {:?}", pef3.outcome);
+    let rule1_only = run_scenario(&deterministic_missing_edge_scenario(
+        AlgorithmChoice::KeepDirection,
+    ))
+    .expect("valid scenario");
+    assert!(
+        rule1_only.outcome.is_confined(),
+        "rule 1 alone must park at the dead edge: {:?}",
+        rule1_only.outcome
+    );
+    let rule2_ablated = run_scenario(&deterministic_missing_edge_scenario(
+        AlgorithmChoice::AlwaysTurnOnTower,
+    ))
+    .expect("valid scenario");
+    assert!(
+        rule2_ablated.outcome.is_confined(),
+        "rule 2 ablation must pair-lock and abandon a node: {:?}",
+        rule2_ablated.outcome
+    );
+    // PEF_3+ also survives the stochastic variant used for timing below.
+    let pef3_stochastic = run_scenario(&missing_edge_scenario(AlgorithmChoice::Pef3Plus))
+        .expect("valid scenario");
+    assert!(pef3_stochastic.is_perpetual());
+
+    // Budgeted blocker: slows, does not stop.
+    let unblocked = run_scenario(&blocker_scenario(1)).expect("valid scenario");
+    let blocked = run_scenario(&blocker_scenario(8)).expect("valid scenario");
+    assert!(unblocked.is_perpetual() && blocked.is_perpetual());
+    assert!(
+        blocked.covers < unblocked.covers,
+        "larger budget must slow exploration: {} vs {}",
+        unblocked.covers,
+        blocked.covers
+    );
+
+    // SSYNC freeze.
+    let frozen = run_scenario(&ssync_scenario(AlgorithmChoice::Pef3Plus)).expect("valid");
+    assert_eq!(frozen.moves, 0);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for algorithm in [
+        AlgorithmChoice::Pef3Plus,
+        AlgorithmChoice::KeepDirection,
+        AlgorithmChoice::AlwaysTurnOnTower,
+        AlgorithmChoice::BounceOnMissingEdge,
+    ] {
+        let s = missing_edge_scenario(algorithm);
+        group.bench_function(format!("missing_edge/{}", algorithm.name()), |b| {
+            b.iter(|| run_scenario(&s).expect("valid scenario"))
+        });
+    }
+    for budget in [1u64, 4, 8] {
+        let s = blocker_scenario(budget);
+        group.bench_function(format!("pointed_blocker/budget_{budget}"), |b| {
+            b.iter(|| run_scenario(&s).expect("valid scenario"))
+        });
+    }
+    group.bench_function("ssync_freeze", |b| {
+        let s = ssync_scenario(AlgorithmChoice::Pef3Plus);
+        b.iter(|| run_scenario(&s).expect("valid scenario"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

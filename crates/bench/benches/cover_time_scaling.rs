@@ -1,0 +1,56 @@
+//! E6 — extension figure: cover time scaling of `PEF_3+` with ring size
+//! `n` (k = 3) and with team size `k` (n = 16).
+//!
+//! Expected shape: roughly linear growth in `n` on recurrent dynamics;
+//! mild improvement with extra robots (the paper's algorithm gains little
+//! from k > 3 — extra explorers shuttle in parallel but cover the same
+//! chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dynring_analysis::grid::cover_time;
+use dynring_analysis::{AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario};
+
+fn scenario(n: usize, k: usize) -> Scenario {
+    Scenario::new(
+        n,
+        PlacementSpec::EvenlySpaced { count: k },
+        AlgorithmChoice::Pef3Plus,
+        DynamicsChoice::BernoulliRecurrent { p: 0.6, bound: 8 },
+        200 * n as u64,
+    )
+}
+
+fn bench_cover_time(c: &mut Criterion) {
+    // Assert the scaling shape once: cover time grows with n.
+    let ct6 = cover_time(&scenario(6, 3))
+        .expect("valid")
+        .expect("covers");
+    let ct16 = cover_time(&scenario(16, 3))
+        .expect("valid")
+        .expect("covers");
+    assert!(ct16 > ct6, "cover time must grow with n: {ct6} vs {ct16}");
+
+    let mut group = c.benchmark_group("cover_time_vs_n_k3");
+    group.sample_size(10);
+    for n in [6usize, 10, 16, 24] {
+        let s = scenario(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| cover_time(s).expect("valid scenario"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cover_time_vs_k_n16");
+    group.sample_size(10);
+    for k in [3usize, 4, 6, 8] {
+        let s = scenario(16, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &s, |b, s| {
+            b.iter(|| cover_time(s).expect("valid scenario"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover_time);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E7 — extension figure: how dynamicity (edge presence probability,
+//! Markov link stability) affects `PEF_3+` cover time.
+//!
+//! Expected shape: cover time decreases monotonically as edges become more
+//! reliable; success rate stays 1.0 throughout (Theorem 3.1 holds for the
+//! whole class, not just friendly members).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dynring_analysis::grid::{default_seeds, evaluate_point};
+use dynring_analysis::{AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario};
+
+fn bernoulli_scenario(p: f64) -> Scenario {
+    Scenario::new(
+        10,
+        PlacementSpec::EvenlySpaced { count: 3 },
+        AlgorithmChoice::Pef3Plus,
+        DynamicsChoice::BernoulliRecurrent { p, bound: 10 },
+        1500,
+    )
+}
+
+fn markov_scenario(p_off: f64) -> Scenario {
+    Scenario::new(
+        10,
+        PlacementSpec::EvenlySpaced { count: 3 },
+        AlgorithmChoice::Pef3Plus,
+        DynamicsChoice::Markov { p_off, p_on: 0.3 },
+        1500,
+    )
+}
+
+fn bench_dynamicity(c: &mut Criterion) {
+    // Assert the shape once: friendlier dynamics ⇒ faster covers, and
+    // every point succeeds.
+    let seeds = default_seeds(3);
+    let harsh = evaluate_point(&bernoulli_scenario(0.25), 0.25, &seeds).expect("valid");
+    let friendly = evaluate_point(&bernoulli_scenario(0.85), 0.85, &seeds).expect("valid");
+    assert!(harsh.success_rate > 0.99 && friendly.success_rate > 0.99);
+    assert!(
+        friendly.mean_cover_time < harsh.mean_cover_time,
+        "cover time must shrink with presence probability: {} vs {}",
+        harsh.mean_cover_time,
+        friendly.mean_cover_time
+    );
+
+    let mut group = c.benchmark_group("bernoulli_presence");
+    group.sample_size(10);
+    for p in [0.25f64, 0.5, 0.85] {
+        let s = bernoulli_scenario(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &s, |b, s| {
+            b.iter(|| dynring_analysis::run_scenario(s).expect("valid scenario"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("markov_stability");
+    group.sample_size(10);
+    for p_off in [0.05f64, 0.2, 0.5] {
+        let s = markov_scenario(p_off);
+        group.bench_with_input(BenchmarkId::from_parameter(p_off), &s, |b, s| {
+            b.iter(|| dynring_analysis::run_scenario(s).expect("valid scenario"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamicity);
+criterion_main!(benches);

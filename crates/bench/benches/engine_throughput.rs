@@ -1,0 +1,63 @@
+//! E9 — engineering benchmark: raw simulator throughput (rounds per
+//! second) as a function of ring size and team size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dynring_core::Pef3Plus;
+use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+use dynring_graph::{AlwaysPresent, BernoulliSchedule, NodeId, RingTopology};
+
+const ROUNDS: u64 = 2_000;
+
+fn run_static(n: usize, k: usize) -> u64 {
+    let ring = RingTopology::new(n).expect("valid ring");
+    let placements = (0..k)
+        .map(|i| RobotPlacement::at(NodeId::new(i * n / k)))
+        .collect();
+    let mut sim = Simulator::new(
+        ring.clone(),
+        Pef3Plus,
+        Oblivious::new(AlwaysPresent::new(ring)),
+        placements,
+    )
+    .expect("valid setup");
+    sim.run(ROUNDS);
+    sim.time()
+}
+
+fn run_bernoulli(n: usize, k: usize) -> u64 {
+    let ring = RingTopology::new(n).expect("valid ring");
+    let placements = (0..k)
+        .map(|i| RobotPlacement::at(NodeId::new(i * n / k)))
+        .collect();
+    let schedule = BernoulliSchedule::new(ring.clone(), 0.5, 7).expect("valid p");
+    let mut sim = Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements)
+        .expect("valid setup");
+    sim.run(ROUNDS);
+    sim.time()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    assert_eq!(run_static(64, 3), ROUNDS);
+    assert_eq!(run_bernoulli(64, 3), ROUNDS);
+
+    let mut group = c.benchmark_group("rounds_per_second");
+    group.throughput(Throughput::Elements(ROUNDS));
+    for n in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("static_k3", n), &n, |b, &n| {
+            b.iter(|| run_static(n, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("bernoulli_k3", n), &n, |b, &n| {
+            b.iter(|| run_bernoulli(n, 3))
+        });
+    }
+    for k in [3usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("static_n64", k), &k, |b, &k| {
+            b.iter(|| run_static(64, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

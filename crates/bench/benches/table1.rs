@@ -1,0 +1,91 @@
+//! E1 — Table 1: one benchmark per row of the paper's table.
+//!
+//! Each bench first *asserts* the row's verdict (possible rows must
+//! explore, impossible rows must confine), then times the cell's
+//! end-to-end scenario run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dynring_analysis::{
+    run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario,
+};
+
+fn row_scenario(row: &str) -> Scenario {
+    match row {
+        // k ≥ 3, n > k: Possible (Theorem 3.1).
+        "k3_n8_possible" => Scenario::new(
+            8,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::BernoulliRecurrent { p: 0.5, bound: 8 },
+            800,
+        ),
+        // k = 2, n > 3: Impossible (Theorem 4.1).
+        "k2_n6_impossible" => Scenario::new(
+            6,
+            PlacementSpec::Adjacent { count: 2, start: 0 },
+            AlgorithmChoice::Pef2,
+            DynamicsChoice::TwoConfiner { patience: 64 },
+            800,
+        ),
+        // k = 2, n = 3: Possible (Theorem 4.2).
+        "k2_n3_possible" => Scenario::new(
+            3,
+            PlacementSpec::Adjacent { count: 2, start: 0 },
+            AlgorithmChoice::Pef2,
+            DynamicsChoice::BernoulliRecurrent { p: 0.5, bound: 6 },
+            800,
+        ),
+        // k = 1, n > 2: Impossible (Theorem 5.1).
+        "k1_n6_impossible" => Scenario::new(
+            6,
+            PlacementSpec::EvenlySpaced { count: 1 },
+            AlgorithmChoice::Pef1,
+            DynamicsChoice::SingleConfiner,
+            800,
+        ),
+        // k = 1, n = 2: Possible (Theorem 5.2).
+        "k1_n2_possible" => Scenario::new(
+            2,
+            PlacementSpec::EvenlySpaced { count: 1 },
+            AlgorithmChoice::Pef1,
+            DynamicsChoice::BernoulliRecurrent { p: 0.5, bound: 5 },
+            800,
+        ),
+        other => panic!("unknown row {other}"),
+    }
+}
+
+fn assert_row(row: &str) {
+    let report = run_scenario(&row_scenario(row)).expect("valid scenario");
+    if row.ends_with("_impossible") {
+        assert!(report.outcome.is_confined(), "{row}: {:?}", report.outcome);
+    } else {
+        assert!(report.is_perpetual(), "{row}: {:?}", report.outcome);
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let rows = [
+        "k3_n8_possible",
+        "k2_n6_impossible",
+        "k2_n3_possible",
+        "k1_n6_impossible",
+        "k1_n2_possible",
+    ];
+    for row in rows {
+        assert_row(row);
+    }
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for row in rows {
+        let scenario = row_scenario(row);
+        group.bench_function(row, |b| {
+            b.iter(|| run_scenario(&scenario).expect("valid scenario"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

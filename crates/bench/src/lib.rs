@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench asserts
+//! its scenario verdict before timing it, so `cargo bench` doubles as a
+//! regression suite for the experiment shapes.

@@ -1,0 +1,56 @@
+//! The perpetual-exploration algorithms of Bournat, Dubois & Petit
+//! (ICDCS 2017) and the paper's computability map (Table 1).
+//!
+//! # The three algorithms
+//!
+//! | algorithm | robots | rings | theorem |
+//! |-----------|--------|-------|---------|
+//! | [`Pef3Plus`] | `k ≥ 3` | `n > k` | 3.1 (possible) |
+//! | [`Pef2`]     | `k = 2` | `n = 3` | 4.2 (possible) |
+//! | [`Pef1`]     | `k = 1` | `n = 2` | 5.2 (possible) |
+//!
+//! The complementary impossibility results (Theorems 4.1 and 5.1) are
+//! *executable adversaries* living in `dynring-adversary`; the
+//! [`theory`] module encodes the full Table 1 as queryable data.
+//!
+//! # Example: PEF_3+ exploring a dynamic ring
+//!
+//! ```rust
+//! use dynring_core::Pef3Plus;
+//! use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+//! use dynring_graph::generators::{self, RandomCotConfig};
+//! use dynring_graph::{NodeId, RingTopology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ring = RingTopology::new(8)?;
+//! let schedule = generators::random_connected_over_time(
+//!     &ring, 400, &RandomCotConfig::default(), 42)?;
+//! let mut sim = Simulator::new(
+//!     ring,
+//!     Pef3Plus,
+//!     Oblivious::new(schedule),
+//!     vec![
+//!         RobotPlacement::at(NodeId::new(0)),
+//!         RobotPlacement::at(NodeId::new(3)),
+//!         RobotPlacement::at(NodeId::new(5)),
+//!     ],
+//! )?;
+//! let trace = sim.run_recording(400);
+//! assert!(trace.covers_all_nodes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod pef1;
+mod pef2;
+mod pef3;
+pub mod theory;
+
+pub use pef1::Pef1;
+pub use pef2::Pef2;
+pub use pef3::{Pef3Plus, Pef3State};
+pub use theory::{Feasibility, RecommendedAlgorithm, Table1Row};

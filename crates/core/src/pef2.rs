@@ -1,0 +1,91 @@
+//! `PEF_2` — §4.2: perpetual exploration of 3-node connected-over-time
+//! rings with two robots.
+
+use serde::{Deserialize, Serialize};
+
+use dynring_engine::{Algorithm, LocalDir, View};
+
+/// `PEF_2` (§4.2): two fully synchronous robots on a 3-node
+/// connected-over-time ring.
+///
+/// The rule, verbatim from the paper: *"If at a time `t`, a robot is
+/// isolated on a node with only one adjacent edge, then it points to this
+/// edge. Otherwise (i.e., none of the adjacent edges is present, both
+/// adjacent edges are present, or the other robot is present on the same
+/// node), the robot keeps its current direction."*
+///
+/// The robot needs no persistent memory beyond its direction variable
+/// (which the engine owns), so the state is `()`.
+///
+/// Correctness (Theorem 4.2) hinges on `n = 3`: whenever a tower forms, all
+/// three nodes were visited between the previous and the current instant;
+/// and when the robots stay isolated, the single-edge rule steers some
+/// robot towards the unvisited node. Theorem 4.1 shows no algorithm — this
+/// one included — can cope with `n ≥ 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Pef2;
+
+impl Pef2 {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Pef2
+    }
+}
+
+impl Algorithm for Pef2 {
+    type State = ();
+
+    fn name(&self) -> &str {
+        "PEF_2"
+    }
+
+    fn initial_state(&self) {}
+
+    fn compute(&self, _state: &mut (), view: &View) -> LocalDir {
+        if view.is_isolated() {
+            if let Some(single) = view.single_present_edge() {
+                return single;
+            }
+        }
+        view.dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_with_single_edge_points_to_it() {
+        let alg = Pef2::new();
+        let mut s = ();
+        let d = alg.compute(&mut s, &View::new(LocalDir::Left, false, true, false));
+        assert_eq!(d, LocalDir::Right);
+        let d = alg.compute(&mut s, &View::new(LocalDir::Right, true, false, false));
+        assert_eq!(d, LocalDir::Left);
+    }
+
+    #[test]
+    fn keeps_direction_with_both_edges() {
+        let alg = Pef2::new();
+        let mut s = ();
+        let d = alg.compute(&mut s, &View::new(LocalDir::Left, true, true, false));
+        assert_eq!(d, LocalDir::Left);
+    }
+
+    #[test]
+    fn keeps_direction_with_no_edge() {
+        let alg = Pef2::new();
+        let mut s = ();
+        let d = alg.compute(&mut s, &View::new(LocalDir::Right, false, false, false));
+        assert_eq!(d, LocalDir::Right);
+    }
+
+    #[test]
+    fn keeps_direction_in_a_tower_even_with_single_edge() {
+        let alg = Pef2::new();
+        let mut s = ();
+        let d = alg.compute(&mut s, &View::new(LocalDir::Left, false, true, true));
+        assert_eq!(d, LocalDir::Left);
+    }
+}

@@ -1,0 +1,313 @@
+//! Table 1 of the paper, encoded as queryable data: the exact number of
+//! robots that deterministic FSYNC perpetual exploration of
+//! connected-over-time rings requires.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's algorithms solves a given `(k, n)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecommendedAlgorithm {
+    /// [`crate::Pef1`]: one robot, 2-node ring (Theorem 5.2).
+    Pef1,
+    /// [`crate::Pef2`]: two robots, 3-node ring (Theorem 4.2).
+    Pef2,
+    /// [`crate::Pef3Plus`]: `k ≥ 3` robots, `n > k` nodes (Theorem 3.1).
+    Pef3Plus,
+}
+
+impl RecommendedAlgorithm {
+    /// The algorithm's display name (matches `Algorithm::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecommendedAlgorithm::Pef1 => "PEF_1",
+            RecommendedAlgorithm::Pef2 => "PEF_2",
+            RecommendedAlgorithm::Pef3Plus => "PEF_3+",
+        }
+    }
+}
+
+impl fmt::Display for RecommendedAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The computability status of one `(k robots, n nodes)` cell of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feasibility {
+    /// Deterministic perpetual exploration is possible; the named algorithm
+    /// achieves it.
+    Solvable {
+        /// The paper's algorithm for this cell.
+        algorithm: RecommendedAlgorithm,
+        /// The theorem establishing possibility.
+        theorem: Theorem,
+    },
+    /// No deterministic algorithm exists.
+    Unsolvable {
+        /// The theorem establishing impossibility.
+        theorem: Theorem,
+    },
+    /// Outside the model: the paper requires `1 ≤ k < n` (a well-initiated
+    /// execution needs strictly fewer robots than nodes, and at least one
+    /// robot).
+    OutOfModel,
+}
+
+impl Feasibility {
+    /// The paper's verdict for `k` robots on a connected-over-time ring of
+    /// `n` nodes.
+    ///
+    /// ```rust
+    /// use dynring_core::theory::{Feasibility, RecommendedAlgorithm};
+    ///
+    /// assert!(matches!(
+    ///     Feasibility::for_parameters(3, 10),
+    ///     Feasibility::Solvable { algorithm: RecommendedAlgorithm::Pef3Plus, .. }
+    /// ));
+    /// assert!(matches!(
+    ///     Feasibility::for_parameters(2, 7),
+    ///     Feasibility::Unsolvable { .. }
+    /// ));
+    /// ```
+    pub fn for_parameters(robots: usize, nodes: usize) -> Feasibility {
+        if robots == 0 || nodes < 2 || robots >= nodes {
+            return Feasibility::OutOfModel;
+        }
+        match robots {
+            1 => {
+                if nodes == 2 {
+                    Feasibility::Solvable {
+                        algorithm: RecommendedAlgorithm::Pef1,
+                        theorem: Theorem::T52,
+                    }
+                } else {
+                    Feasibility::Unsolvable { theorem: Theorem::T51 }
+                }
+            }
+            2 => {
+                if nodes == 3 {
+                    Feasibility::Solvable {
+                        algorithm: RecommendedAlgorithm::Pef2,
+                        theorem: Theorem::T42,
+                    }
+                } else {
+                    Feasibility::Unsolvable { theorem: Theorem::T41 }
+                }
+            }
+            _ => Feasibility::Solvable {
+                algorithm: RecommendedAlgorithm::Pef3Plus,
+                theorem: Theorem::T31,
+            },
+        }
+    }
+
+    /// `true` for [`Feasibility::Solvable`].
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, Feasibility::Solvable { .. })
+    }
+
+    /// The recommended algorithm, when solvable.
+    pub fn algorithm(&self) -> Option<RecommendedAlgorithm> {
+        match self {
+            Feasibility::Solvable { algorithm, .. } => Some(*algorithm),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's theorems, for cross-referencing verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Theorem {
+    /// Theorem 3.1: `PEF_3+` with `k ≥ 3` robots on rings of size `> k`.
+    T31,
+    /// Theorem 4.1: impossibility with 2 robots on rings of size ≥ 4.
+    T41,
+    /// Theorem 4.2: `PEF_2` with 2 robots on 3-node rings.
+    T42,
+    /// Theorem 5.1: impossibility with 1 robot on rings of size ≥ 3.
+    T51,
+    /// Theorem 5.2: `PEF_1` with 1 robot on 2-node rings.
+    T52,
+}
+
+impl fmt::Display for Theorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            Theorem::T31 => "Theorem 3.1",
+            Theorem::T41 => "Theorem 4.1",
+            Theorem::T42 => "Theorem 4.2",
+            Theorem::T51 => "Theorem 5.1",
+            Theorem::T52 => "Theorem 5.2",
+        };
+        f.write_str(label)
+    }
+}
+
+/// The minimum number of robots that can perpetually explore every
+/// connected-over-time ring of `n` nodes (`n ≥ 2`).
+///
+/// # Panics
+///
+/// Panics when `n < 2` (no such ring exists).
+pub fn minimum_robots(nodes: usize) -> usize {
+    assert!(nodes >= 2, "rings have at least 2 nodes");
+    match nodes {
+        2 => 1,
+        3 => 2,
+        _ => 3,
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Robot count description (e.g. "3 and more").
+    pub robots: &'static str,
+    /// Ring size description (e.g. "≥ 4").
+    pub ring_size: &'static str,
+    /// "Possible" / "Impossible".
+    pub result: &'static str,
+    /// The theorem backing the row.
+    pub theorem: Theorem,
+}
+
+/// The paper's Table 1, verbatim.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            robots: "3 and more",
+            ring_size: "≥ 4 (n > k)",
+            result: "Possible",
+            theorem: Theorem::T31,
+        },
+        Table1Row {
+            robots: "2",
+            ring_size: "> 3",
+            result: "Impossible",
+            theorem: Theorem::T41,
+        },
+        Table1Row {
+            robots: "2",
+            ring_size: "= 3",
+            result: "Possible",
+            theorem: Theorem::T42,
+        },
+        Table1Row {
+            robots: "1",
+            ring_size: "> 2",
+            result: "Impossible",
+            theorem: Theorem::T51,
+        },
+        Table1Row {
+            robots: "1",
+            ring_size: "= 2",
+            result: "Possible",
+            theorem: Theorem::T52,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_table1() {
+        use Feasibility as F;
+        // k = 1.
+        assert!(matches!(
+            F::for_parameters(1, 2),
+            F::Solvable {
+                algorithm: RecommendedAlgorithm::Pef1,
+                theorem: Theorem::T52
+            }
+        ));
+        for n in 3..12 {
+            assert!(matches!(
+                F::for_parameters(1, n),
+                F::Unsolvable { theorem: Theorem::T51 }
+            ));
+        }
+        // k = 2.
+        assert!(matches!(
+            F::for_parameters(2, 3),
+            F::Solvable {
+                algorithm: RecommendedAlgorithm::Pef2,
+                theorem: Theorem::T42
+            }
+        ));
+        for n in 4..12 {
+            assert!(matches!(
+                F::for_parameters(2, n),
+                F::Unsolvable { theorem: Theorem::T41 }
+            ));
+        }
+        // k ≥ 3 (with n > k).
+        for k in 3..6 {
+            for n in (k + 1)..12 {
+                assert!(matches!(
+                    F::for_parameters(k, n),
+                    F::Solvable {
+                        algorithm: RecommendedAlgorithm::Pef3Plus,
+                        theorem: Theorem::T31
+                    }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_model_cells() {
+        assert_eq!(Feasibility::for_parameters(0, 5), Feasibility::OutOfModel);
+        assert_eq!(Feasibility::for_parameters(5, 5), Feasibility::OutOfModel);
+        assert_eq!(Feasibility::for_parameters(6, 5), Feasibility::OutOfModel);
+        assert_eq!(Feasibility::for_parameters(1, 1), Feasibility::OutOfModel);
+    }
+
+    #[test]
+    fn minimum_robots_curve() {
+        assert_eq!(minimum_robots(2), 1);
+        assert_eq!(minimum_robots(3), 2);
+        for n in 4..20 {
+            assert_eq!(minimum_robots(n), 3);
+        }
+    }
+
+    #[test]
+    fn minimum_robots_is_consistent_with_feasibility() {
+        for n in 2..16 {
+            let k = minimum_robots(n);
+            if k < n {
+                assert!(
+                    Feasibility::for_parameters(k, n).is_solvable(),
+                    "minimum {k} robots must solve n = {n}"
+                );
+            }
+            if k > 1 {
+                assert!(
+                    !Feasibility::for_parameters(k - 1, n).is_solvable(),
+                    "{} robots must not solve n = {n}",
+                    k - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_has_five_rows() {
+        let rows = table1();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].result, "Possible");
+        assert_eq!(rows[1].result, "Impossible");
+        assert_eq!(rows[1].theorem, Theorem::T41);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RecommendedAlgorithm::Pef3Plus.to_string(), "PEF_3+");
+        assert_eq!(Theorem::T51.to_string(), "Theorem 5.1");
+    }
+}

@@ -1,0 +1,163 @@
+//! Exhaustive decision tables: every algorithm's Compute rule is checked
+//! against the paper's prose for *all* 2⁴ view combinations (direction ×
+//! left edge × right edge × multiplicity) and both values of persistent
+//! state where applicable.
+
+use dynring_core::baselines::{
+    AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection,
+};
+use dynring_core::{Pef1, Pef2, Pef3Plus, Pef3State};
+use dynring_engine::{Algorithm, LocalDir, View};
+
+fn all_views() -> Vec<View> {
+    let mut views = Vec::new();
+    for dir in LocalDir::ALL {
+        for left in [false, true] {
+            for right in [false, true] {
+                for others in [false, true] {
+                    views.push(View::new(dir, left, right, others));
+                }
+            }
+        }
+    }
+    views
+}
+
+#[test]
+fn pef3_decision_table_matches_algorithm_1() {
+    let alg = Pef3Plus::new();
+    for view in all_views() {
+        for has_moved in [false, true] {
+            let mut state = Pef3State {
+                has_moved_previous_step: has_moved,
+            };
+            let out = alg.compute(&mut state, &view);
+            // Line 1–3: flip iff moved last step AND other robots present.
+            let expected_dir = if has_moved && view.other_robots_on_current_node() {
+                view.dir().opposite()
+            } else {
+                view.dir()
+            };
+            assert_eq!(out, expected_dir, "view {view}, has_moved {has_moved}");
+            // Line 4: HasMoved ← ExistsEdge(new dir).
+            assert_eq!(
+                state.has_moved_previous_step,
+                view.exists_edge(expected_dir),
+                "view {view}, has_moved {has_moved}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pef2_decision_table_matches_section_4_2() {
+    let alg = Pef2::new();
+    for view in all_views() {
+        let mut state = ();
+        let out = alg.compute(&mut state, &view);
+        // "If isolated on a node with only one adjacent edge, point to it;
+        // otherwise keep the current direction."
+        let expected = if view.is_isolated() {
+            match (view.exists_edge(LocalDir::Left), view.exists_edge(LocalDir::Right)) {
+                (true, false) => LocalDir::Left,
+                (false, true) => LocalDir::Right,
+                _ => view.dir(),
+            }
+        } else {
+            view.dir()
+        };
+        assert_eq!(out, expected, "view {view}");
+    }
+}
+
+#[test]
+fn pef1_decision_table_matches_section_5_2() {
+    let alg = Pef1::new();
+    for view in all_views() {
+        let mut state = ();
+        let out = alg.compute(&mut state, &view);
+        // "As soon as at least one adjacent edge is present, dir points to
+        // one of these edges" — deterministically: prefer the current one.
+        if view.exists_edge_ahead() {
+            assert_eq!(out, view.dir(), "view {view}");
+        } else if view.exists_edge_behind() {
+            assert_eq!(out, view.dir().opposite(), "view {view}");
+        } else {
+            assert_eq!(out, view.dir(), "view {view}");
+        }
+        // Whenever an edge is present, the output points at a present edge.
+        if view.present_edge_count() > 0 {
+            assert!(view.exists_edge(out), "view {view} must point at a present edge");
+        }
+    }
+}
+
+#[test]
+fn baseline_decision_tables() {
+    for view in all_views() {
+        let mut unit = ();
+        assert_eq!(KeepDirection.compute(&mut unit, &view), view.dir());
+        assert_eq!(
+            AlternateDirection.compute(&mut unit, &view),
+            view.dir().opposite()
+        );
+        let bounce = BounceOnMissingEdge.compute(&mut unit, &view);
+        assert_eq!(
+            bounce,
+            if view.exists_edge_ahead() {
+                view.dir()
+            } else {
+                view.dir().opposite()
+            }
+        );
+        let turner = AlwaysTurnOnTower.compute(&mut unit, &view);
+        assert_eq!(
+            turner,
+            if view.other_robots_on_current_node() {
+                view.dir().opposite()
+            } else {
+                view.dir()
+            }
+        );
+    }
+}
+
+#[test]
+fn pef3_state_machine_round_trip() {
+    // A short scripted life of one PEF_3+ robot, transition by transition:
+    // move, get joined while parked (sentinel), bounce as explorer.
+    let alg = Pef3Plus::new();
+    let mut state = alg.initial_state();
+
+    // Round 0: isolated, both edges present → walks its way, HasMoved set.
+    let d = alg.compute(&mut state, &View::new(LocalDir::Left, true, true, false));
+    assert_eq!(d, LocalDir::Left);
+    assert!(state.has_moved_previous_step);
+
+    // Round 1: moved onto another robot → Rule 3 flips; the flipped edge is
+    // present, so it will move again.
+    let d = alg.compute(&mut state, &View::new(LocalDir::Left, true, true, true));
+    assert_eq!(d, LocalDir::Right);
+    assert!(state.has_moved_previous_step);
+
+    // Round 2: moved away, isolated again, pointed edge missing → keeps
+    // direction, HasMoved drops.
+    let d = alg.compute(&mut state, &View::new(LocalDir::Right, true, false, false));
+    assert_eq!(d, LocalDir::Right);
+    assert!(!state.has_moved_previous_step);
+
+    // Round 3: still parked, joined by an explorer → Rule 2: keeps pointing
+    // (it is now the sentinel).
+    let d = alg.compute(&mut state, &View::new(LocalDir::Right, true, false, true));
+    assert_eq!(d, LocalDir::Right);
+    assert!(!state.has_moved_previous_step);
+}
+
+#[test]
+fn algorithm_names_are_stable() {
+    assert_eq!(Pef3Plus::new().name(), "PEF_3+");
+    assert_eq!(Pef2::new().name(), "PEF_2");
+    assert_eq!(Pef1::new().name(), "PEF_1");
+    assert_eq!(KeepDirection.name(), "keep-direction");
+    assert_eq!(BounceOnMissingEdge.name(), "bounce-on-missing");
+}

@@ -1,0 +1,106 @@
+//! The deterministic robot algorithm abstraction.
+
+use std::fmt;
+
+use crate::{LocalDir, View};
+
+/// A deterministic robot algorithm, executed identically by every robot
+/// (robots are *uniform*) with no access to identifiers (robots are
+/// *anonymous*).
+///
+/// The algorithm owns two things:
+///
+/// - a persistent [`Algorithm::State`] (the robot's memory across rounds);
+/// - the Compute rule: given the state and the Look-phase [`View`], update
+///   the state and return the new direction.
+///
+/// The engine stores the direction variable and performs the Move phase; an
+/// algorithm therefore *only* decides directions — exactly the paper's
+/// "designing an algorithm consists in choosing when we want a robot to
+/// keep its direction and when we want it to change its direction".
+///
+/// Determinism is required: [`Algorithm::compute`] must be a pure function
+/// of `(state, view)` (up to its own state update). Pseudo-random baselines
+/// keep a seeded counter in their state to stay deterministic.
+pub trait Algorithm {
+    /// The robot's persistent memory.
+    type State: Clone + fmt::Debug + PartialEq;
+
+    /// A short human-readable name (used in reports and benches).
+    fn name(&self) -> &str;
+
+    /// The state every robot starts with.
+    fn initial_state(&self) -> Self::State;
+
+    /// The Compute phase: observe `view`, update `state`, return the new
+    /// direction (the Move phase will cross that edge iff it is present in
+    /// the same snapshot the view was taken from).
+    fn compute(&self, state: &mut Self::State, view: &View) -> LocalDir;
+}
+
+impl<A: Algorithm> Algorithm for &A {
+    type State = A::State;
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn initial_state(&self) -> Self::State {
+        (**self).initial_state()
+    }
+
+    fn compute(&self, state: &mut Self::State, view: &View) -> LocalDir {
+        (**self).compute(state, view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Bouncer;
+
+    impl Algorithm for Bouncer {
+        type State = u32;
+
+        fn name(&self) -> &str {
+            "bouncer"
+        }
+
+        fn initial_state(&self) -> u32 {
+            0
+        }
+
+        fn compute(&self, state: &mut u32, view: &View) -> LocalDir {
+            *state += 1;
+            if view.exists_edge_ahead() {
+                view.dir()
+            } else {
+                view.dir().opposite()
+            }
+        }
+    }
+
+    #[test]
+    fn state_persists_across_compute_calls() {
+        let alg = Bouncer;
+        let mut state = alg.initial_state();
+        let view = View::new(LocalDir::Left, true, true, false);
+        let d1 = alg.compute(&mut state, &view);
+        let d2 = alg.compute(&mut state, &view);
+        assert_eq!(state, 2);
+        assert_eq!(d1, LocalDir::Left);
+        assert_eq!(d2, LocalDir::Left);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let alg = Bouncer;
+        let by_ref: &Bouncer = &alg;
+        assert_eq!(by_ref.name(), "bouncer");
+        let mut state = by_ref.initial_state();
+        let view = View::new(LocalDir::Left, false, true, false);
+        assert_eq!(by_ref.compute(&mut state, &view), LocalDir::Right);
+    }
+}

@@ -1,0 +1,167 @@
+//! Local directions and chirality.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_graph::GlobalDir;
+
+/// A robot's *local* direction: the port label it points to.
+///
+/// Each robot labels the two ports of its current node `left` and `right`
+/// consistently over the ring and over time (its *chirality*), but two
+/// robots may disagree on the labelling. The paper initializes every
+/// robot's `dir` variable to `left`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalDir {
+    /// The port the robot labels "left".
+    Left,
+    /// The port the robot labels "right".
+    Right,
+}
+
+impl LocalDir {
+    /// Both local directions, left first.
+    pub const ALL: [LocalDir; 2] = [LocalDir::Left, LocalDir::Right];
+
+    /// The opposite local direction (the paper's `dir̄`).
+    pub fn opposite(self) -> Self {
+        match self {
+            LocalDir::Left => LocalDir::Right,
+            LocalDir::Right => LocalDir::Left,
+        }
+    }
+}
+
+impl Default for LocalDir {
+    /// The paper's initial value: `left`.
+    fn default() -> Self {
+        LocalDir::Left
+    }
+}
+
+impl fmt::Display for LocalDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalDir::Left => write!(f, "left"),
+            LocalDir::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// A robot's fixed mapping from local directions to global ones.
+///
+/// Each robot has its own *stable* chirality: the mapping never changes, but
+/// different robots may have different chiralities (they share no common
+/// sense of direction). The external observer uses this to translate a
+/// robot's `dir` into the global clockwise / counter-clockwise frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Chirality {
+    /// `right` is global clockwise (and `left` counter-clockwise).
+    #[default]
+    Standard,
+    /// `right` is global counter-clockwise (mirror image).
+    Mirrored,
+}
+
+impl Chirality {
+    /// Both chiralities, standard first.
+    pub const ALL: [Chirality; 2] = [Chirality::Standard, Chirality::Mirrored];
+
+    /// Translates a local direction into the global frame.
+    pub fn to_global(self, dir: LocalDir) -> GlobalDir {
+        match (self, dir) {
+            (Chirality::Standard, LocalDir::Right) | (Chirality::Mirrored, LocalDir::Left) => {
+                GlobalDir::Clockwise
+            }
+            (Chirality::Standard, LocalDir::Left) | (Chirality::Mirrored, LocalDir::Right) => {
+                GlobalDir::CounterClockwise
+            }
+        }
+    }
+
+    /// Translates a global direction into this robot's local frame.
+    pub fn to_local(self, dir: GlobalDir) -> LocalDir {
+        match (self, dir) {
+            (Chirality::Standard, GlobalDir::Clockwise)
+            | (Chirality::Mirrored, GlobalDir::CounterClockwise) => LocalDir::Right,
+            (Chirality::Standard, GlobalDir::CounterClockwise)
+            | (Chirality::Mirrored, GlobalDir::Clockwise) => LocalDir::Left,
+        }
+    }
+
+    /// The mirror chirality.
+    pub fn opposite(self) -> Self {
+        match self {
+            Chirality::Standard => Chirality::Mirrored,
+            Chirality::Mirrored => Chirality::Standard,
+        }
+    }
+}
+
+
+impl fmt::Display for Chirality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Chirality::Standard => write!(f, "standard"),
+            Chirality::Mirrored => write!(f, "mirrored"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in LocalDir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+        for c in Chirality::ALL {
+            assert_eq!(c.opposite().opposite(), c);
+        }
+    }
+
+    #[test]
+    fn default_dir_is_left() {
+        assert_eq!(LocalDir::default(), LocalDir::Left);
+    }
+
+    #[test]
+    fn to_global_and_back_round_trips() {
+        for c in Chirality::ALL {
+            for d in LocalDir::ALL {
+                assert_eq!(c.to_local(c.to_global(d)), d);
+            }
+            for g in GlobalDir::ALL {
+                assert_eq!(c.to_global(c.to_local(g)), g);
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_robots_disagree_globally() {
+        // Two robots pointing to their own "left" head opposite global ways
+        // when their chiralities differ.
+        let a = Chirality::Standard.to_global(LocalDir::Left);
+        let b = Chirality::Mirrored.to_global(LocalDir::Left);
+        assert_eq!(a, b.opposite());
+    }
+
+    #[test]
+    fn opposite_local_is_opposite_global() {
+        for c in Chirality::ALL {
+            for d in LocalDir::ALL {
+                assert_eq!(c.to_global(d.opposite()), c.to_global(d).opposite());
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LocalDir::Left.to_string(), "left");
+        assert_eq!(Chirality::Mirrored.to_string(), "mirrored");
+    }
+}

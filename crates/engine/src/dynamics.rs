@@ -1,0 +1,421 @@
+//! Dynamics: how the adversary chooses each snapshot `G_t`.
+//!
+//! The paper's adversary is *online and adaptive*: it may pick the edges of
+//! `G_t` after observing the full configuration `γ_t` (robot positions and
+//! states) — this is exactly how the impossibility proofs operate. The
+//! [`Dynamics`] trait models that; [`Oblivious`] plugs in the pure
+//! time-indexed schedules of `dynring-graph`, [`Recurrent`] repairs any
+//! dynamics to a hard recurrence bound online, and [`Capturing`] records the
+//! emitted snapshots so adaptive runs can be replayed as pure schedules
+//! (feeding the convergence framework).
+
+use dynring_graph::{EdgeId, EdgeSchedule, EdgeSet, NodeId, RingTopology, ScriptedSchedule, TailBehavior, Time};
+
+use crate::RobotSnapshot;
+
+/// What the adversary sees before choosing `G_t`: the time and the full
+/// configuration `γ_t` (positions, directions, chirality, moved-flags of
+/// every robot).
+///
+/// Algorithm-internal state is *not* exposed; the paper's adversaries never
+/// need it (they know the deterministic algorithm and can simulate it).
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    time: Time,
+    ring: &'a RingTopology,
+    robots: &'a [RobotSnapshot],
+}
+
+impl<'a> Observation<'a> {
+    /// Assembles an observation.
+    pub fn new(time: Time, ring: &'a RingTopology, robots: &'a [RobotSnapshot]) -> Self {
+        Observation { time, ring, robots }
+    }
+
+    /// Current time `t` (the snapshot being chosen is `G_t`).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &'a RingTopology {
+        self.ring
+    }
+
+    /// All robot snapshots, in robot-id order.
+    pub fn robots(&self) -> &'a [RobotSnapshot] {
+        self.robots
+    }
+
+    /// Number of robots standing on `node`.
+    pub fn robots_at(&self, node: NodeId) -> usize {
+        self.robots.iter().filter(|r| r.node == node).count()
+    }
+
+    /// Position of robot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn position(&self, index: usize) -> NodeId {
+        self.robots[index].node
+    }
+
+    /// The set of edges currently pointed to by at least one robot (each
+    /// robot points to the adjacent edge in its direction).
+    pub fn pointed_edges(&self) -> EdgeSet {
+        let mut set = EdgeSet::empty_for(self.ring);
+        for r in self.robots {
+            set.insert(self.ring.edge_towards(r.node, r.global_dir()));
+        }
+        set
+    }
+}
+
+/// The adversary: chooses the snapshot `G_t` each round, possibly adaptively.
+pub trait Dynamics {
+    /// The ring whose edges are being scheduled.
+    fn ring(&self) -> &RingTopology;
+
+    /// Chooses the edge set of `G_t` given the observation of `γ_t`.
+    ///
+    /// Called exactly once per round, with strictly increasing times, so
+    /// implementations may keep sequential state.
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet;
+}
+
+impl<D: Dynamics + ?Sized> Dynamics for &mut D {
+    fn ring(&self) -> &RingTopology {
+        (**self).ring()
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        (**self).edges_at(obs)
+    }
+}
+
+impl<D: Dynamics + ?Sized> Dynamics for Box<D> {
+    fn ring(&self) -> &RingTopology {
+        (**self).ring()
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        (**self).edges_at(obs)
+    }
+}
+
+/// An oblivious adversary: plays a pure time-indexed [`EdgeSchedule`],
+/// ignoring the robots entirely.
+#[derive(Debug, Clone)]
+pub struct Oblivious<S> {
+    schedule: S,
+}
+
+impl<S: EdgeSchedule> Oblivious<S> {
+    /// Wraps a schedule.
+    pub fn new(schedule: S) -> Self {
+        Oblivious { schedule }
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &S {
+        &self.schedule
+    }
+
+    /// Unwraps the schedule.
+    pub fn into_inner(self) -> S {
+        self.schedule
+    }
+}
+
+impl<S: EdgeSchedule> Dynamics for Oblivious<S> {
+    fn ring(&self) -> &RingTopology {
+        self.schedule.ring()
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        self.schedule.edges_at(obs.time())
+    }
+}
+
+/// Online recurrence repair: whatever `inner` decides, every edge (except an
+/// optional exempt one) is forced present before its absence run reaches
+/// `bound`.
+///
+/// Wrapping an adversary in `Recurrent` *guarantees* the produced evolving
+/// graph is connected-over-time with recurrence bound `bound` — the
+/// adversary keeps all its power subject to the paper's fairness
+/// obligation.
+#[derive(Debug, Clone)]
+pub struct Recurrent<D> {
+    inner: D,
+    bound: Time,
+    exempt: Option<EdgeId>,
+    absent_run: Vec<Time>,
+}
+
+impl<D: Dynamics> Recurrent<D> {
+    /// Wraps `inner` with recurrence bound `bound` (≥ 1). `exempt` names an
+    /// edge allowed to stay absent forever (the eventual missing edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0` or when `exempt` is not an edge of the ring.
+    pub fn new(inner: D, bound: Time, exempt: Option<EdgeId>) -> Self {
+        assert!(bound >= 1, "recurrence bound must be at least 1");
+        if let Some(e) = exempt {
+            inner
+                .ring()
+                .check_edge(e)
+                .unwrap_or_else(|err| panic!("{err}"));
+        }
+        let edges = inner.ring().edge_count();
+        Recurrent {
+            inner,
+            bound,
+            exempt,
+            absent_run: vec![0; edges],
+        }
+    }
+
+    /// The wrapped dynamics.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The recurrence bound.
+    pub fn bound(&self) -> Time {
+        self.bound
+    }
+}
+
+impl<D: Dynamics> Dynamics for Recurrent<D> {
+    fn ring(&self) -> &RingTopology {
+        self.inner.ring()
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        let mut set = self.inner.edges_at(obs);
+        let ring = self.inner.ring().clone();
+        for e in ring.edges() {
+            if Some(e) == self.exempt {
+                continue;
+            }
+            let run = &mut self.absent_run[e.index()];
+            if set.contains(e) {
+                *run = 0;
+            } else if *run + 1 >= self.bound {
+                set.insert(e);
+                *run = 0;
+            } else {
+                *run += 1;
+            }
+        }
+        set
+    }
+}
+
+/// Records every snapshot emitted by `inner`, so the (possibly adaptive)
+/// run can be replayed later as a pure [`ScriptedSchedule`] — the bridge
+/// from adaptive adversaries to the convergence framework.
+#[derive(Debug, Clone)]
+pub struct Capturing<D> {
+    inner: D,
+    frames: Vec<EdgeSet>,
+}
+
+impl<D: Dynamics> Capturing<D> {
+    /// Wraps `inner` with an empty capture buffer.
+    pub fn new(inner: D) -> Self {
+        Capturing {
+            inner,
+            frames: Vec::new(),
+        }
+    }
+
+    /// The frames captured so far.
+    pub fn frames(&self) -> &[EdgeSet] {
+        &self.frames
+    }
+
+    /// The wrapped dynamics.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Builds a pure schedule replaying the captured frames.
+    pub fn to_script(&self, tail: TailBehavior) -> ScriptedSchedule {
+        ScriptedSchedule::new(self.inner.ring().clone(), self.frames.clone(), tail)
+            .expect("captured frames share the dynamics' ring")
+    }
+}
+
+impl<D: Dynamics> Dynamics for Capturing<D> {
+    fn ring(&self) -> &RingTopology {
+        self.inner.ring()
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        let set = self.inner.edges_at(obs);
+        self.frames.push(set.clone());
+        set
+    }
+}
+
+/// Adaptive dynamics from a closure — convenient for tests and one-off
+/// adversaries.
+pub struct AdaptiveFn<F> {
+    ring: RingTopology,
+    f: F,
+}
+
+impl<F: FnMut(&Observation<'_>) -> EdgeSet> AdaptiveFn<F> {
+    /// Wraps a closure choosing each snapshot.
+    pub fn new(ring: RingTopology, f: F) -> Self {
+        AdaptiveFn { ring, f }
+    }
+}
+
+impl<F: FnMut(&Observation<'_>) -> EdgeSet> Dynamics for AdaptiveFn<F> {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        (self.f)(obs)
+    }
+}
+
+impl<F> std::fmt::Debug for AdaptiveFn<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveFn").field("ring", &self.ring).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chirality, LocalDir, RobotId};
+    use dynring_graph::{AbsenceIntervals, AlwaysPresent, GlobalDir};
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    fn snap(id: usize, node: usize, dir: LocalDir) -> RobotSnapshot {
+        RobotSnapshot {
+            id: RobotId::new(id),
+            node: NodeId::new(node),
+            chirality: Chirality::Standard,
+            dir,
+            moved_last_round: false,
+        }
+    }
+
+    #[test]
+    fn observation_queries() {
+        let r = ring(5);
+        let robots = vec![
+            snap(0, 1, LocalDir::Right),
+            snap(1, 1, LocalDir::Left),
+            snap(2, 3, LocalDir::Left),
+        ];
+        let obs = Observation::new(7, &r, &robots);
+        assert_eq!(obs.time(), 7);
+        assert_eq!(obs.robots_at(NodeId::new(1)), 2);
+        assert_eq!(obs.robots_at(NodeId::new(0)), 0);
+        assert_eq!(obs.position(2), NodeId::new(3));
+        // r0 at v1 pointing right (cw) → e1; r1 at v1 pointing left (ccw) →
+        // e0; r2 at v3 pointing left → e2.
+        let pointed = obs.pointed_edges();
+        assert!(pointed.contains(EdgeId::new(0)));
+        assert!(pointed.contains(EdgeId::new(1)));
+        assert!(pointed.contains(EdgeId::new(2)));
+        assert_eq!(pointed.len(), 3);
+    }
+
+    #[test]
+    fn oblivious_plays_the_schedule() {
+        let mut g = AbsenceIntervals::new(ring(3));
+        g.remove_during(EdgeId::new(1), 2, 4);
+        let mut dyns = Oblivious::new(g);
+        let r = ring(3);
+        let robots: Vec<RobotSnapshot> = Vec::new();
+        for t in 0..6u64 {
+            let obs = Observation::new(t, &r, &robots);
+            let set = dyns.edges_at(&obs);
+            assert_eq!(set.contains(EdgeId::new(1)), !(2..4).contains(&t));
+        }
+    }
+
+    #[test]
+    fn recurrent_forces_presence() {
+        // Inner adversary: always removes everything.
+        let r = ring(3);
+        let inner = AdaptiveFn::new(r.clone(), |obs| EdgeSet::empty_for(obs.ring()));
+        let mut dyns = Recurrent::new(inner, 3, None);
+        let robots: Vec<RobotSnapshot> = Vec::new();
+        let mut history = Vec::new();
+        for t in 0..9u64 {
+            let obs = Observation::new(t, &r, &robots);
+            history.push(dyns.edges_at(&obs));
+        }
+        // Every edge must appear at times 2, 5, 8 (forced by bound 3).
+        for e in r.edges() {
+            for t in [2usize, 5, 8] {
+                assert!(history[t].contains(e), "edge {e} missing at forced {t}");
+            }
+            for t in [0usize, 1, 3, 4, 6, 7] {
+                assert!(!history[t].contains(e), "edge {e} present at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn recurrent_exempts_missing_edge() {
+        let r = ring(3);
+        let inner = AdaptiveFn::new(r.clone(), |obs| EdgeSet::empty_for(obs.ring()));
+        let mut dyns = Recurrent::new(inner, 2, Some(EdgeId::new(0)));
+        let robots: Vec<RobotSnapshot> = Vec::new();
+        for t in 0..8u64 {
+            let obs = Observation::new(t, &r, &robots);
+            let set = dyns.edges_at(&obs);
+            assert!(!set.contains(EdgeId::new(0)), "exempt edge forced at {t}");
+        }
+    }
+
+    #[test]
+    fn capturing_replays_identically() {
+        let r = ring(4);
+        let inner = Oblivious::new(AlwaysPresent::new(r.clone()));
+        let mut dyns = Capturing::new(Recurrent::new(inner, 4, None));
+        let robots: Vec<RobotSnapshot> = Vec::new();
+        for t in 0..5u64 {
+            let obs = Observation::new(t, &r, &robots);
+            dyns.edges_at(&obs);
+        }
+        let script = dyns.to_script(TailBehavior::AllPresent);
+        assert_eq!(script.frame_count(), 5);
+        for t in 0..5u64 {
+            assert!(script.edges_at(t).is_full());
+        }
+    }
+
+    #[test]
+    fn adaptive_fn_sees_robots() {
+        // Remove the edge clockwise of every robot.
+        let r = ring(6);
+        let mut dyns = AdaptiveFn::new(r.clone(), |obs| {
+            let mut set = EdgeSet::full_for(obs.ring());
+            for robot in obs.robots() {
+                set.remove(obs.ring().edge_towards(robot.node, GlobalDir::Clockwise));
+            }
+            set
+        });
+        let robots = vec![snap(0, 2, LocalDir::Left)];
+        let obs = Observation::new(0, &r, &robots);
+        let set = dyns.edges_at(&obs);
+        assert!(!set.contains(EdgeId::new(2)));
+        assert_eq!(set.len(), 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for simulator construction.
+
+use std::error::Error;
+use std::fmt;
+
+use dynring_graph::NodeId;
+
+/// Errors raised while assembling a [`crate::Simulator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// At least one robot is required.
+    NoRobots,
+    /// A *well-initiated* execution (§2.4) requires strictly fewer robots
+    /// than nodes.
+    TooManyRobots {
+        /// Number of robots requested.
+        robots: usize,
+        /// Number of nodes of the ring.
+        nodes: usize,
+    },
+    /// A *well-initiated* execution (§2.4) starts towerless: two robots were
+    /// placed on the same node.
+    InitialTower {
+        /// The shared node.
+        node: NodeId,
+    },
+    /// A placement referenced a node outside the ring.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes of the ring.
+        nodes: usize,
+    },
+    /// The dynamics was built for a different ring.
+    RingMismatch {
+        /// Node count of the simulator's ring.
+        expected: usize,
+        /// Node count of the dynamics' ring.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoRobots => write!(f, "at least one robot is required"),
+            EngineError::TooManyRobots { robots, nodes } => write!(
+                f,
+                "well-initiated executions need fewer robots ({robots}) than nodes ({nodes})"
+            ),
+            EngineError::InitialTower { node } => {
+                write!(f, "initial configuration has a tower on {node}")
+            }
+            EngineError::NodeOutOfRange { node, nodes } => {
+                write!(f, "placement node {node} out of range for {nodes} nodes")
+            }
+            EngineError::RingMismatch { expected, found } => write!(
+                f,
+                "dynamics ring has {found} nodes but the simulator ring has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_concise() {
+        let err = EngineError::TooManyRobots {
+            robots: 5,
+            nodes: 5,
+        };
+        assert!(err.to_string().contains("fewer robots"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<EngineError>();
+    }
+}

@@ -1,0 +1,681 @@
+//! The synchronous round simulator.
+
+use dynring_graph::{GlobalDir, NodeId, RingTopology, Time};
+
+use crate::{
+    ActivationPolicy, Algorithm, Dynamics, EngineError, ExecutionTrace, FullActivation, LocalDir,
+    Observation, RobotId, RobotPlacement, RobotRound, RobotSnapshot, RoundRecord, View,
+};
+
+/// One robot's live data inside the simulator.
+#[derive(Debug, Clone)]
+struct RobotCore<S> {
+    id: RobotId,
+    node: NodeId,
+    chirality: crate::Chirality,
+    dir: LocalDir,
+    state: S,
+    moved_last_round: bool,
+}
+
+/// Executes the paper's synchronous rounds: one [`Algorithm`] (robots are
+/// uniform), one [`Dynamics`] (the adversary), an [`ActivationPolicy`]
+/// (FSYNC by default), and `k` robots on a ring.
+///
+/// See the crate documentation for the precise round semantics. The
+/// simulator validates *well-initiated* executions (§2.4): strictly fewer
+/// robots than nodes, towerless initial configuration. Experiments that
+/// deliberately start otherwise (e.g. self-stabilization probes) use
+/// [`Simulator::new_arbitrary`].
+pub struct Simulator<A: Algorithm, D> {
+    ring: RingTopology,
+    algorithm: A,
+    dynamics: D,
+    robots: Vec<RobotCore<A::State>>,
+    time: Time,
+    activation: Box<dyn ActivationPolicy>,
+    snap_buf: Vec<RobotSnapshot>,
+}
+
+impl<A: Algorithm, D: std::fmt::Debug> std::fmt::Display for Simulator<A, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulator({} robots, {}, t={})",
+            self.robots.len(),
+            self.ring,
+            self.time
+        )
+    }
+}
+
+impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
+    /// Builds a simulator for a *well-initiated* execution.
+    ///
+    /// # Errors
+    ///
+    /// - [`EngineError::NoRobots`] when `placements` is empty;
+    /// - [`EngineError::TooManyRobots`] unless `k < n` (§2.4);
+    /// - [`EngineError::InitialTower`] when two placements share a node;
+    /// - [`EngineError::NodeOutOfRange`] for an invalid node;
+    /// - [`EngineError::RingMismatch`] when the dynamics drives another
+    ///   ring.
+    pub fn new(
+        ring: RingTopology,
+        algorithm: A,
+        dynamics: D,
+        placements: Vec<RobotPlacement>,
+    ) -> Result<Self, EngineError> {
+        if placements.len() >= ring.node_count() {
+            return Err(EngineError::TooManyRobots {
+                robots: placements.len(),
+                nodes: ring.node_count(),
+            });
+        }
+        let mut seen = vec![false; ring.node_count()];
+        for p in &placements {
+            if !ring.contains_node(p.node) {
+                return Err(EngineError::NodeOutOfRange {
+                    node: p.node,
+                    nodes: ring.node_count(),
+                });
+            }
+            if seen[p.node.index()] {
+                return Err(EngineError::InitialTower { node: p.node });
+            }
+            seen[p.node.index()] = true;
+        }
+        Self::new_arbitrary(ring, algorithm, dynamics, placements)
+    }
+
+    /// Builds a simulator without the well-initiated checks (`k < n`,
+    /// towerless start). Node-range, non-emptiness and ring-match are still
+    /// validated.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoRobots`], [`EngineError::NodeOutOfRange`] or
+    /// [`EngineError::RingMismatch`].
+    pub fn new_arbitrary(
+        ring: RingTopology,
+        algorithm: A,
+        dynamics: D,
+        placements: Vec<RobotPlacement>,
+    ) -> Result<Self, EngineError> {
+        if placements.is_empty() {
+            return Err(EngineError::NoRobots);
+        }
+        if dynamics.ring().node_count() != ring.node_count() {
+            return Err(EngineError::RingMismatch {
+                expected: ring.node_count(),
+                found: dynamics.ring().node_count(),
+            });
+        }
+        for p in &placements {
+            if !ring.contains_node(p.node) {
+                return Err(EngineError::NodeOutOfRange {
+                    node: p.node,
+                    nodes: ring.node_count(),
+                });
+            }
+        }
+        let robots = placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RobotCore {
+                id: RobotId::new(i),
+                node: p.node,
+                chirality: p.chirality,
+                dir: p.initial_dir,
+                state: algorithm.initial_state(),
+                moved_last_round: false,
+            })
+            .collect();
+        Ok(Simulator {
+            ring,
+            algorithm,
+            dynamics,
+            robots,
+            time: 0,
+            activation: Box::new(FullActivation),
+            snap_buf: Vec::new(),
+        })
+    }
+
+    /// Replaces the activation policy (FSYNC by default).
+    pub fn set_activation<P: ActivationPolicy + 'static>(&mut self, policy: P) {
+        self.activation = Box::new(policy);
+    }
+
+    /// Current time `t` (number of executed rounds).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The dynamics (adversary).
+    pub fn dynamics(&self) -> &D {
+        &self.dynamics
+    }
+
+    /// Mutable access to the dynamics, e.g. to inspect adversary state.
+    pub fn dynamics_mut(&mut self) -> &mut D {
+        &mut self.dynamics
+    }
+
+    /// Number of robots `k`.
+    pub fn robot_count(&self) -> usize {
+        self.robots.len()
+    }
+
+    /// Current positions, in robot-id order.
+    pub fn positions(&self) -> Vec<NodeId> {
+        self.robots.iter().map(|r| r.node).collect()
+    }
+
+    /// Snapshot of every robot in the current configuration.
+    pub fn snapshots(&self) -> Vec<RobotSnapshot> {
+        self.robots
+            .iter()
+            .map(|r| RobotSnapshot {
+                id: r.id,
+                node: r.node,
+                chirality: r.chirality,
+                dir: r.dir,
+                moved_last_round: r.moved_last_round,
+            })
+            .collect()
+    }
+
+    /// The persistent algorithm state of robot `id` (observer-side
+    /// debugging; robots themselves never expose state to each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn state_of(&self, id: RobotId) -> &A::State {
+        &self.robots[id.index()].state
+    }
+
+    /// Overwrites the persistent state of robot `id` — for
+    /// self-stabilization probes that start from *arbitrary* states (the
+    /// robots' memory is adversarially corrupted before round 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn set_state_of(&mut self, id: RobotId, state: A::State) {
+        self.robots[id.index()].state = state;
+    }
+
+    /// The global direction robot `id` currently points to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn global_dir_of(&self, id: RobotId) -> GlobalDir {
+        let r = &self.robots[id.index()];
+        r.chirality.to_global(r.dir)
+    }
+
+    /// Executes one full round `(G_t, γ_t) → (G_{t+1}, γ_{t+1})` and
+    /// returns its record.
+    pub fn step(&mut self) -> RoundRecord {
+        let t = self.time;
+        // The adversary chooses G_t after observing γ_t.
+        self.snap_buf = self.snapshots();
+        let edges = {
+            let obs = Observation::new(t, &self.ring, &self.snap_buf);
+            self.dynamics.edges_at(&obs)
+        };
+        let active = self.activation.activate(t, self.robots.len());
+
+        // Occupancy during the Look phase (the configuration γ_t).
+        let mut occupancy = vec![0usize; self.ring.node_count()];
+        for r in &self.robots {
+            occupancy[r.node.index()] += 1;
+        }
+
+        let mut rows = Vec::with_capacity(self.robots.len());
+        for (i, robot) in self.robots.iter_mut().enumerate() {
+            let node_before = robot.node;
+            let dir_before = robot.dir;
+            let global_before = robot.chirality.to_global(dir_before);
+            let activated = active.get(i).copied().unwrap_or(false);
+            let (dir_after, moved, node_after) = if activated {
+                // Look.
+                let edge_left = edges
+                    .contains(self.ring.edge_towards(robot.node, robot.chirality.to_global(LocalDir::Left)));
+                let edge_right = edges
+                    .contains(self.ring.edge_towards(robot.node, robot.chirality.to_global(LocalDir::Right)));
+                let others = occupancy[robot.node.index()] > 1;
+                let view = View::new(robot.dir, edge_left, edge_right, others);
+                // Compute.
+                let dir_after = self.algorithm.compute(&mut robot.state, &view);
+                robot.dir = dir_after;
+                // Move: cross the pointed edge iff present in the same
+                // snapshot.
+                let global_after = robot.chirality.to_global(dir_after);
+                let pointed = self.ring.edge_towards(robot.node, global_after);
+                if edges.contains(pointed) {
+                    let dest = self.ring.neighbor(robot.node, global_after);
+                    robot.node = dest;
+                    robot.moved_last_round = true;
+                    (dir_after, true, dest)
+                } else {
+                    robot.moved_last_round = false;
+                    (dir_after, false, node_before)
+                }
+            } else {
+                (dir_before, false, node_before)
+            };
+            rows.push(RobotRound {
+                id: robot.id,
+                node_before,
+                dir_before,
+                global_dir_before: global_before,
+                dir_after,
+                global_dir_after: robot.chirality.to_global(dir_after),
+                moved,
+                node_after,
+                activated,
+            });
+        }
+        self.time += 1;
+        RoundRecord {
+            time: t,
+            edges,
+            robots: rows,
+        }
+    }
+
+    /// Executes `rounds` rounds, discarding the records (memory-light; use
+    /// [`Simulator::run_with`] or [`Simulator::run_recording`] to observe).
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Executes `rounds` rounds, passing each record to `f`.
+    pub fn run_with(&mut self, rounds: u64, mut f: impl FnMut(&RoundRecord)) {
+        for _ in 0..rounds {
+            let record = self.step();
+            f(&record);
+        }
+    }
+
+    /// Executes `rounds` rounds and returns the full [`ExecutionTrace`]
+    /// (including the configuration the simulator was in when called).
+    pub fn run_recording(&mut self, rounds: u64) -> ExecutionTrace {
+        let mut trace = ExecutionTrace::new(self.ring.clone(), self.snapshots());
+        for _ in 0..rounds {
+            trace.push(self.step());
+        }
+        trace
+    }
+
+    /// Runs until `stop` returns `true` for the post-round configuration or
+    /// `max_rounds` elapse; returns the number of rounds executed.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut stop: impl FnMut(&Simulator<A, D>) -> bool,
+    ) -> u64 {
+        for executed in 0..max_rounds {
+            self.step();
+            if stop(self) {
+                return executed + 1;
+            }
+        }
+        max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chirality, Oblivious};
+    use dynring_graph::{AbsenceIntervals, AlwaysPresent, EdgeId};
+
+    /// Keeps its direction forever (Rule 1 alone).
+    #[derive(Debug, Clone)]
+    struct KeepDir;
+
+    impl Algorithm for KeepDir {
+        type State = ();
+
+        fn name(&self) -> &str {
+            "keep-dir"
+        }
+
+        fn initial_state(&self) {}
+
+        fn compute(&self, _state: &mut (), view: &View) -> LocalDir {
+            view.dir()
+        }
+    }
+
+    /// Counts how many times it has computed, in its persistent state.
+    #[derive(Debug, Clone)]
+    struct Counter;
+
+    impl Algorithm for Counter {
+        type State = u64;
+
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn initial_state(&self) -> u64 {
+            0
+        }
+
+        fn compute(&self, state: &mut u64, view: &View) -> LocalDir {
+            *state += 1;
+            view.dir()
+        }
+    }
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    fn static_sim(
+        n: usize,
+        placements: Vec<RobotPlacement>,
+    ) -> Simulator<KeepDir, Oblivious<AlwaysPresent>> {
+        let r = ring(n);
+        Simulator::new(
+            r.clone(),
+            KeepDir,
+            Oblivious::new(AlwaysPresent::new(r)),
+            placements,
+        )
+        .expect("valid setup")
+    }
+
+    #[test]
+    fn validation_rejects_bad_setups() {
+        let r = ring(3);
+        let dynamics = || Oblivious::new(AlwaysPresent::new(ring(3)));
+        assert_eq!(
+            Simulator::new(r.clone(), KeepDir, dynamics(), vec![]).err(),
+            Some(EngineError::NoRobots)
+        );
+        let three = vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(1)),
+            RobotPlacement::at(NodeId::new(2)),
+        ];
+        assert_eq!(
+            Simulator::new(r.clone(), KeepDir, dynamics(), three).err(),
+            Some(EngineError::TooManyRobots {
+                robots: 3,
+                nodes: 3
+            })
+        );
+        let tower = vec![
+            RobotPlacement::at(NodeId::new(1)),
+            RobotPlacement::at(NodeId::new(1)),
+        ];
+        assert_eq!(
+            Simulator::new(r.clone(), KeepDir, dynamics(), tower).err(),
+            Some(EngineError::InitialTower {
+                node: NodeId::new(1)
+            })
+        );
+        let out = vec![RobotPlacement::at(NodeId::new(9))];
+        assert_eq!(
+            Simulator::new(r.clone(), KeepDir, dynamics(), out).err(),
+            Some(EngineError::NodeOutOfRange {
+                node: NodeId::new(9),
+                nodes: 3
+            })
+        );
+        let mismatched = Oblivious::new(AlwaysPresent::new(ring(4)));
+        assert_eq!(
+            Simulator::new(
+                r,
+                KeepDir,
+                mismatched,
+                vec![RobotPlacement::at(NodeId::new(0))]
+            )
+            .err(),
+            Some(EngineError::RingMismatch {
+                expected: 3,
+                found: 4
+            })
+        );
+    }
+
+    #[test]
+    fn arbitrary_allows_towers_and_saturation() {
+        let r = ring(2);
+        let placements = vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(0)),
+        ];
+        let sim = Simulator::new_arbitrary(
+            r.clone(),
+            KeepDir,
+            Oblivious::new(AlwaysPresent::new(r)),
+            placements,
+        );
+        assert!(sim.is_ok());
+    }
+
+    #[test]
+    fn default_direction_walks_counter_clockwise() {
+        // Standard chirality + initial dir left = counter-clockwise.
+        let mut sim = static_sim(5, vec![RobotPlacement::at(NodeId::new(0))]);
+        let rec = sim.step();
+        assert!(rec.robots[0].moved);
+        assert_eq!(rec.robots[0].node_after, NodeId::new(4));
+        assert_eq!(sim.positions(), vec![NodeId::new(4)]);
+        assert_eq!(sim.time(), 1);
+    }
+
+    #[test]
+    fn mirrored_chirality_walks_clockwise() {
+        let mut sim = static_sim(
+            5,
+            vec![RobotPlacement::at(NodeId::new(0)).with_chirality(Chirality::Mirrored)],
+        );
+        sim.step();
+        assert_eq!(sim.positions(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn missing_edge_blocks_the_move() {
+        let r = ring(4);
+        let mut sched = AbsenceIntervals::new(r.clone());
+        // Robot at v0 pointing left (ccw) → edge e3; remove it at t=0 only.
+        sched.remove_during(EdgeId::new(3), 0, 1);
+        let mut sim = Simulator::new(
+            r,
+            KeepDir,
+            Oblivious::new(sched),
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        let rec = sim.step();
+        assert!(!rec.robots[0].moved);
+        assert_eq!(sim.positions(), vec![NodeId::new(0)]);
+        let rec = sim.step();
+        assert!(rec.robots[0].moved);
+        assert_eq!(sim.positions(), vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn opposite_robots_swap_without_tower() {
+        // Two robots on adjacent nodes pointing at each other cross the same
+        // edge in opposite directions and swap — no tower forms on nodes.
+        let mut sim = static_sim(
+            4,
+            vec![
+                // v0 pointing right (cw) → towards v1.
+                RobotPlacement::at(NodeId::new(0)).with_dir(LocalDir::Right),
+                // v1 pointing left (ccw) → towards v0.
+                RobotPlacement::at(NodeId::new(1)),
+            ],
+        );
+        let rec = sim.step();
+        assert_eq!(sim.positions(), vec![NodeId::new(1), NodeId::new(0)]);
+        assert!(rec.towers_after().is_empty());
+    }
+
+    #[test]
+    fn look_sees_colocated_robots() {
+        // Robot 1 walks onto robot 0's node; at the next Look both see
+        // "other robots".
+        #[derive(Debug, Clone)]
+        struct RecordOthers;
+
+        impl Algorithm for RecordOthers {
+            type State = Vec<bool>;
+
+            fn name(&self) -> &str {
+                "record-others"
+            }
+
+            fn initial_state(&self) -> Vec<bool> {
+                Vec::new()
+            }
+
+            fn compute(&self, state: &mut Vec<bool>, view: &View) -> LocalDir {
+                state.push(view.other_robots_on_current_node());
+                view.dir()
+            }
+        }
+
+        let r = ring(5);
+        // r0 at v0 pointing left (→ v4); r1 at v1 pointing left (→ v0)…
+        // instead park r0 by removing its pointed edge forever.
+        let mut sched = AbsenceIntervals::new(r.clone());
+        sched.remove_from(EdgeId::new(4), 0); // v0's ccw edge
+        let mut sim = Simulator::new(
+            r,
+            RecordOthers,
+            Oblivious::new(sched),
+            vec![
+                RobotPlacement::at(NodeId::new(0)),
+                RobotPlacement::at(NodeId::new(1)),
+            ],
+        )
+        .expect("valid setup");
+        sim.run(2);
+        // Round 0: r1 moves v1→v0 (edge e0 present, pointing ccw). Round 1:
+        // both on v0, both see others=true.
+        assert_eq!(sim.positions(), vec![NodeId::new(0), NodeId::new(0)]);
+        let s0 = sim.state_of(RobotId::new(0)).clone();
+        let s1 = sim.state_of(RobotId::new(1)).clone();
+        assert_eq!(s0, vec![false, true]);
+        assert_eq!(s1, vec![false, true]);
+    }
+
+    #[test]
+    fn state_persists_between_rounds() {
+        let r = ring(4);
+        let mut sim = Simulator::new(
+            r.clone(),
+            Counter,
+            Oblivious::new(AlwaysPresent::new(r)),
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        sim.run(7);
+        assert_eq!(*sim.state_of(RobotId::new(0)), 7);
+    }
+
+    #[test]
+    fn run_recording_produces_full_trace() {
+        let mut sim = static_sim(6, vec![RobotPlacement::at(NodeId::new(3))]);
+        let trace = sim.run_recording(6);
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.positions_at(0), vec![NodeId::new(3)]);
+        // Counter-clockwise walk: 3,2,1,0,5,4,3.
+        assert_eq!(trace.positions_at(6), vec![NodeId::new(3)]);
+        assert!(trace.covers_all_nodes());
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let mut sim = static_sim(8, vec![RobotPlacement::at(NodeId::new(0))]);
+        let executed = sim.run_until(100, |s| s.positions()[0] == NodeId::new(4));
+        assert_eq!(executed, 4);
+        assert_eq!(sim.time(), 4);
+    }
+
+    #[test]
+    fn ssync_inactive_robots_do_nothing() {
+        let mut sim = static_sim(
+            6,
+            vec![
+                RobotPlacement::at(NodeId::new(0)),
+                RobotPlacement::at(NodeId::new(3)),
+            ],
+        );
+        sim.set_activation(crate::RoundRobinSingle);
+        let rec0 = sim.step(); // activates r0 only
+        assert!(rec0.robots[0].activated && rec0.robots[0].moved);
+        assert!(!rec0.robots[1].activated && !rec0.robots[1].moved);
+        assert_eq!(sim.positions(), vec![NodeId::new(5), NodeId::new(3)]);
+        let rec1 = sim.step(); // activates r1 only
+        assert!(!rec1.robots[0].activated);
+        assert!(rec1.robots[1].activated && rec1.robots[1].moved);
+        assert_eq!(sim.positions(), vec![NodeId::new(5), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn multigraph_two_ring_moves_through_both_parallel_edges() {
+        // On the 2-node multigraph ring both directions lead to the other
+        // node, through *different* edges: v0's cw edge is e0, its ccw
+        // edge is e1.
+        let r = ring(2);
+        let mut sched = AbsenceIntervals::new(r.clone());
+        sched.remove_from(EdgeId::new(0), 0); // only e1 ever present
+        let mut sim = Simulator::new(
+            r,
+            KeepDir,
+            Oblivious::new(sched),
+            vec![RobotPlacement::at(NodeId::new(0))], // dir left = ccw = e1
+        )
+        .expect("valid setup");
+        let rec = sim.step();
+        assert!(rec.robots[0].moved);
+        assert_eq!(sim.positions(), vec![NodeId::new(1)]);
+        // From v1, ccw edge is e0 (dead): the robot stalls forever after.
+        let rec = sim.step();
+        assert!(!rec.robots[0].moved);
+        assert_eq!(sim.positions(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn multigraph_two_ring_with_all_edges_oscillates() {
+        let r = ring(2);
+        let mut sim = static_sim(2, vec![RobotPlacement::at(NodeId::new(0))]);
+        let _ = &r;
+        sim.run(5);
+        // Five ccw hops on a 2-ring: ends at v1.
+        assert_eq!(sim.positions(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn global_dir_of_reports_translated_direction() {
+        let sim = static_sim(
+            4,
+            vec![RobotPlacement::at(NodeId::new(0)).with_chirality(Chirality::Mirrored)],
+        );
+        assert_eq!(sim.global_dir_of(RobotId::new(0)), GlobalDir::Clockwise);
+    }
+}

@@ -1,0 +1,380 @@
+//! Execution traces: the full record of a run, for checkers and reports.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_graph::{EdgeSet, GlobalDir, NodeId, RingTopology, Time};
+
+use crate::{LocalDir, RobotId, RobotSnapshot};
+
+/// What one robot did during one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobotRound {
+    /// Which robot.
+    pub id: RobotId,
+    /// Node during the Look phase (its position in `γ_t`).
+    pub node_before: NodeId,
+    /// Direction variable during the Look phase (state in `γ_t`).
+    pub dir_before: LocalDir,
+    /// Global translation of [`RobotRound::dir_before`].
+    pub global_dir_before: GlobalDir,
+    /// Direction variable after the Compute phase.
+    pub dir_after: LocalDir,
+    /// Global translation of [`RobotRound::dir_after`].
+    pub global_dir_after: GlobalDir,
+    /// Whether the Move phase crossed an edge.
+    pub moved: bool,
+    /// Node after the Move phase (its position in `γ_{t+1}`).
+    pub node_after: NodeId,
+    /// Whether the robot was activated this round (always `true` under
+    /// FSYNC; SSYNC activation policies may skip robots).
+    pub activated: bool,
+}
+
+/// A group of co-located robots at one instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tower {
+    /// The node the robots share.
+    pub node: NodeId,
+    /// The robots involved (at least two), in id order.
+    pub robots: Vec<RobotId>,
+}
+
+impl Tower {
+    /// Number of robots involved.
+    pub fn size(&self) -> usize {
+        self.robots.len()
+    }
+}
+
+/// The complete record of one round `t → t + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// The round index `t`.
+    pub time: Time,
+    /// The snapshot `G_t` chosen by the dynamics.
+    pub edges: EdgeSet,
+    /// Per-robot actions, in robot-id order.
+    pub robots: Vec<RobotRound>,
+}
+
+impl RoundRecord {
+    /// Towers in the configuration `γ_t` (positions during Look).
+    pub fn towers_before(&self) -> Vec<Tower> {
+        towers_of(self.robots.iter().map(|r| (r.id, r.node_before)))
+    }
+
+    /// Towers in the configuration `γ_{t+1}` (positions after Move).
+    pub fn towers_after(&self) -> Vec<Tower> {
+        towers_of(self.robots.iter().map(|r| (r.id, r.node_after)))
+    }
+}
+
+fn towers_of(positions: impl Iterator<Item = (RobotId, NodeId)>) -> Vec<Tower> {
+    let mut groups: BTreeMap<NodeId, Vec<RobotId>> = BTreeMap::new();
+    for (id, node) in positions {
+        groups.entry(node).or_default().push(id);
+    }
+    groups
+        .into_iter()
+        .filter(|(_, robots)| robots.len() > 1)
+        .map(|(node, mut robots)| {
+            robots.sort();
+            Tower { node, robots }
+        })
+        .collect()
+}
+
+/// A full execution `(G_0, γ_0), (G_1, γ_1), …` over a finite horizon.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    ring: RingTopology,
+    initial: Vec<RobotSnapshot>,
+    rounds: Vec<RoundRecord>,
+}
+
+impl ExecutionTrace {
+    /// Starts a trace from the initial configuration `γ_0`.
+    pub fn new(ring: RingTopology, initial: Vec<RobotSnapshot>) -> Self {
+        ExecutionTrace {
+            ring,
+            initial,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Appends one round record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The initial configuration `γ_0`.
+    pub fn initial(&self) -> &[RobotSnapshot] {
+        &self.initial
+    }
+
+    /// All recorded rounds.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds (the trace spans configurations
+    /// `γ_0 … γ_len`).
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` when no round was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Number of robots.
+    pub fn robot_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Positions in configuration `γ_t`, for `t` in `0 ..= len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t > len`.
+    pub fn positions_at(&self, t: Time) -> Vec<NodeId> {
+        if t == 0 {
+            return self.initial.iter().map(|r| r.node).collect();
+        }
+        let idx = usize::try_from(t - 1).expect("time fits usize");
+        assert!(idx < self.rounds.len(), "time {t} beyond trace length");
+        self.rounds[idx].robots.iter().map(|r| r.node_after).collect()
+    }
+
+    /// Positions in the final configuration.
+    pub fn final_positions(&self) -> Vec<NodeId> {
+        self.positions_at(self.rounds.len() as Time)
+    }
+
+    /// Towers in configuration `γ_t`, for `t` in `0 ..= len`.
+    pub fn towers_at(&self, t: Time) -> Vec<Tower> {
+        if t == 0 {
+            return towers_of(self.initial.iter().map(|r| (r.id, r.node)));
+        }
+        let idx = usize::try_from(t - 1).expect("time fits usize");
+        assert!(idx < self.rounds.len(), "time {t} beyond trace length");
+        self.rounds[idx].towers_after()
+    }
+
+    /// Every `(t, tower)` pair over the whole trace (`t` in `0 ..= len`).
+    pub fn all_towers(&self) -> Vec<(Time, Tower)> {
+        let mut out = Vec::new();
+        for t in 0..=(self.rounds.len() as Time) {
+            for tower in self.towers_at(t) {
+                out.push((t, tower));
+            }
+        }
+        out
+    }
+
+    /// Largest tower size over the whole trace (0 when no tower ever forms).
+    pub fn max_tower_size(&self) -> usize {
+        self.all_towers()
+            .iter()
+            .map(|(_, tw)| tw.size())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The times `t ∈ 0 ..= len` at which some robot stands on `node`.
+    pub fn visit_times(&self, node: NodeId) -> Vec<Time> {
+        (0..=(self.rounds.len() as Time))
+            .filter(|&t| self.positions_at(t).contains(&node))
+            .collect()
+    }
+
+    /// The set of nodes visited at least once (including initial
+    /// positions), in index order.
+    pub fn visited_nodes(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.ring.node_count()];
+        for t in 0..=(self.rounds.len() as Time) {
+            for node in self.positions_at(t) {
+                seen[node.index()] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|&(_i, &s)| s).map(|(i, &_s)| NodeId::new(i))
+            .collect()
+    }
+
+    /// `true` when every node of the ring is visited at least once.
+    pub fn covers_all_nodes(&self) -> bool {
+        self.visited_nodes().len() == self.ring.node_count()
+    }
+
+    /// Renders a node×time ASCII chart: rows are nodes, columns are
+    /// configurations `γ_0 … γ_len`; a digit is the number of robots on the
+    /// node (blank when zero).
+    pub fn ascii_chart(&self) -> String {
+        let mut out = String::new();
+        let horizon = self.rounds.len() as Time;
+        let label_width = format!("v{}", self.ring.node_count() - 1).len();
+        let _ = write!(out, "{:label_width$} ", "");
+        for t in 0..=horizon {
+            if t % 10 == 0 {
+                let _ = write!(out, "{}", (t / 10) % 10);
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+        for node in self.ring.nodes() {
+            let _ = write!(out, "{:<label_width$} ", format!("v{}", node.index()));
+            for t in 0..=horizon {
+                let count = self
+                    .positions_at(t)
+                    .iter()
+                    .filter(|&&p| p == node)
+                    .count();
+                out.push(match count {
+                    0 => '·',
+                    1..=9 => char::from_digit(count as u32, 10).expect("single digit"),
+                    _ => '+',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chirality;
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    fn snapshot(id: usize, node: usize) -> RobotSnapshot {
+        RobotSnapshot {
+            id: RobotId::new(id),
+            node: NodeId::new(node),
+            chirality: Chirality::Standard,
+            dir: LocalDir::Left,
+            moved_last_round: false,
+        }
+    }
+
+    fn round(
+        time: Time,
+        moves: &[(usize, usize, usize)], // (id, before, after)
+        universe: usize,
+    ) -> RoundRecord {
+        RoundRecord {
+            time,
+            edges: EdgeSet::full(universe),
+            robots: moves
+                .iter()
+                .map(|&(id, before, after)| RobotRound {
+                    id: RobotId::new(id),
+                    node_before: NodeId::new(before),
+                    dir_before: LocalDir::Left,
+                    global_dir_before: GlobalDir::CounterClockwise,
+                    dir_after: LocalDir::Left,
+                    global_dir_after: GlobalDir::CounterClockwise,
+                    moved: before != after,
+                    node_after: NodeId::new(after),
+                    activated: true,
+                })
+                .collect(),
+        }
+    }
+
+    fn sample_trace() -> ExecutionTrace {
+        // Two robots on a 4-ring: r0 walks 0→3→2, r1 stays at 2.
+        let mut trace = ExecutionTrace::new(ring(4), vec![snapshot(0, 0), snapshot(1, 2)]);
+        trace.push(round(0, &[(0, 0, 3), (1, 2, 2)], 4));
+        trace.push(round(1, &[(0, 3, 2), (1, 2, 2)], 4));
+        trace
+    }
+
+    #[test]
+    fn positions_follow_rounds() {
+        let trace = sample_trace();
+        assert_eq!(
+            trace.positions_at(0),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(
+            trace.positions_at(1),
+            vec![NodeId::new(3), NodeId::new(2)]
+        );
+        assert_eq!(
+            trace.positions_at(2),
+            vec![NodeId::new(2), NodeId::new(2)]
+        );
+        assert_eq!(trace.final_positions(), trace.positions_at(2));
+    }
+
+    #[test]
+    fn towers_detected_at_meeting() {
+        let trace = sample_trace();
+        assert!(trace.towers_at(0).is_empty());
+        assert!(trace.towers_at(1).is_empty());
+        let towers = trace.towers_at(2);
+        assert_eq!(towers.len(), 1);
+        assert_eq!(towers[0].node, NodeId::new(2));
+        assert_eq!(towers[0].robots, vec![RobotId::new(0), RobotId::new(1)]);
+        assert_eq!(towers[0].size(), 2);
+        assert_eq!(trace.max_tower_size(), 2);
+        let all = trace.all_towers();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, 2);
+    }
+
+    #[test]
+    fn visits_and_coverage() {
+        let trace = sample_trace();
+        assert_eq!(trace.visit_times(NodeId::new(2)), vec![0, 1, 2]);
+        assert_eq!(trace.visit_times(NodeId::new(3)), vec![1]);
+        assert_eq!(trace.visit_times(NodeId::new(1)), Vec::<Time>::new());
+        let visited = trace.visited_nodes();
+        assert_eq!(
+            visited,
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+        assert!(!trace.covers_all_nodes());
+    }
+
+    #[test]
+    fn round_record_towers_before_and_after() {
+        let rec = round(5, &[(0, 1, 2), (1, 2, 2)], 4);
+        assert!(rec.towers_before().is_empty());
+        let after = rec.towers_after();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].node, NodeId::new(2));
+    }
+
+    #[test]
+    fn ascii_chart_shapes() {
+        let trace = sample_trace();
+        let chart = trace.ascii_chart();
+        assert_eq!(chart.lines().count(), 5); // header + 4 nodes
+        assert!(chart.contains("v2 11 2") || chart.contains("v2 112"), "{chart}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace = sample_trace();
+        let json = serde_json::to_string(&trace).expect("serialize");
+        let back: ExecutionTrace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,147 @@
+//! The local snapshot a robot obtains during its Look phase.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::LocalDir;
+
+/// Everything a robot can observe during one Look phase (§2.3).
+///
+/// The *local environment* is the triple
+/// `(ExistsEdge(dir), ExistsEdge(dir̄), ExistsOtherRobotsOnCurrentNode())`;
+/// the view additionally carries the robot's current direction variable so
+/// the predicates can be expressed relative to `dir`. Nothing else is
+/// observable: no identifiers, no node names, no global orientation, no
+/// exact multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct View {
+    dir: LocalDir,
+    edge_left: bool,
+    edge_right: bool,
+    other_robots: bool,
+}
+
+impl View {
+    /// Assembles a view from raw observations.
+    pub fn new(dir: LocalDir, edge_left: bool, edge_right: bool, other_robots: bool) -> Self {
+        View {
+            dir,
+            edge_left,
+            edge_right,
+            other_robots,
+        }
+    }
+
+    /// The robot's current direction variable.
+    pub fn dir(&self) -> LocalDir {
+        self.dir
+    }
+
+    /// The paper's `ExistsEdge(d)`: is there an adjacent edge at the current
+    /// location on local direction `d`?
+    pub fn exists_edge(&self, d: LocalDir) -> bool {
+        match d {
+            LocalDir::Left => self.edge_left,
+            LocalDir::Right => self.edge_right,
+        }
+    }
+
+    /// `ExistsEdge(dir)` for the robot's current direction.
+    pub fn exists_edge_ahead(&self) -> bool {
+        self.exists_edge(self.dir)
+    }
+
+    /// `ExistsEdge(dir̄)` for the opposite of the current direction.
+    pub fn exists_edge_behind(&self) -> bool {
+        self.exists_edge(self.dir.opposite())
+    }
+
+    /// The paper's `ExistsOtherRobotsOnCurrentNode()`: local weak
+    /// multiplicity detection (more than one robot here?).
+    pub fn other_robots_on_current_node(&self) -> bool {
+        self.other_robots
+    }
+
+    /// `true` when the robot is alone on its node (the paper's *isolated*).
+    pub fn is_isolated(&self) -> bool {
+        !self.other_robots
+    }
+
+    /// Number of present adjacent edges (0, 1 or 2).
+    pub fn present_edge_count(&self) -> usize {
+        usize::from(self.edge_left) + usize::from(self.edge_right)
+    }
+
+    /// When exactly one adjacent edge is present, the local direction of
+    /// that edge (used by `PEF_2`).
+    pub fn single_present_edge(&self) -> Option<LocalDir> {
+        match (self.edge_left, self.edge_right) {
+            (true, false) => Some(LocalDir::Left),
+            (false, true) => Some(LocalDir::Right),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view(dir={}, left={}, right={}, others={})",
+            self.dir, self.edge_left, self.edge_right, self.other_robots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_relative_to_dir() {
+        let v = View::new(LocalDir::Right, false, true, false);
+        assert!(v.exists_edge_ahead());
+        assert!(!v.exists_edge_behind());
+        assert!(v.exists_edge(LocalDir::Right));
+        assert!(!v.exists_edge(LocalDir::Left));
+        assert!(v.is_isolated());
+    }
+
+    #[test]
+    fn multiplicity() {
+        let v = View::new(LocalDir::Left, true, true, true);
+        assert!(v.other_robots_on_current_node());
+        assert!(!v.is_isolated());
+        assert_eq!(v.present_edge_count(), 2);
+    }
+
+    #[test]
+    fn single_present_edge() {
+        assert_eq!(
+            View::new(LocalDir::Left, true, false, false).single_present_edge(),
+            Some(LocalDir::Left)
+        );
+        assert_eq!(
+            View::new(LocalDir::Left, false, true, false).single_present_edge(),
+            Some(LocalDir::Right)
+        );
+        assert_eq!(
+            View::new(LocalDir::Left, true, true, false).single_present_edge(),
+            None
+        );
+        assert_eq!(
+            View::new(LocalDir::Left, false, false, false).single_present_edge(),
+            None
+        );
+    }
+
+    #[test]
+    fn display() {
+        let v = View::new(LocalDir::Left, true, false, false);
+        assert_eq!(
+            v.to_string(),
+            "view(dir=left, left=true, right=false, others=false)"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The growing-common-prefix convergence framework of Braud-Santoni,
+//! Dubois, Kaaouachi & Petit (*"The next 700 impossibility results in
+//! time-varying graphs"*), as used by the paper's Theorems 4.1 and 5.1.
+//!
+//! The framework's theorem: take a sequence of evolving graphs
+//! `G_0, G_1, G_2, …` such that each `G_{i+1}` agrees with `G_i` on an
+//! ever-growing time prefix. The sequence then converges to a limit evolving
+//! graph `Gω` (defined by those prefixes), and the execution of any
+//! deterministic algorithm on `Gω` coincides, on every prefix, with its
+//! execution on the corresponding `G_i`.
+//!
+//! [`PrefixChain`] materializes such a sequence: each pushed schedule must
+//! agree with the chain on the previously agreed prefix and extend it
+//! strictly. [`PrefixChain::limit`] then assembles `Gω` as a
+//! [`ScriptedSchedule`]. The impossibility experiments in
+//! `dynring-adversary` capture adversarial runs at growing horizons, push
+//! them into a chain, and replay the limit — executing the proof instead of
+//! merely citing it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    EdgeSchedule, EdgeSet, GraphError, RingTopology, ScriptedSchedule, TailBehavior, Time,
+};
+
+/// A sequence of schedules with strictly growing common prefixes, and its
+/// limit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixChain {
+    ring: RingTopology,
+    /// The agreed frames so far (the union of all agreed prefixes).
+    frames: Vec<EdgeSet>,
+    /// Lengths of the successive agreed prefixes (strictly increasing).
+    prefix_lengths: Vec<Time>,
+}
+
+impl PrefixChain {
+    /// An empty chain over `ring` (agreed prefix of length 0).
+    pub fn new(ring: RingTopology) -> Self {
+        PrefixChain {
+            ring,
+            frames: Vec::new(),
+            prefix_lengths: Vec::new(),
+        }
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// Length of the longest agreed prefix so far.
+    pub fn agreed_prefix(&self) -> Time {
+        self.frames.len() as Time
+    }
+
+    /// Number of schedules pushed so far.
+    pub fn len(&self) -> usize {
+        self.prefix_lengths.len()
+    }
+
+    /// `true` when no schedule was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.prefix_lengths.is_empty()
+    }
+
+    /// The successive agreed prefix lengths.
+    pub fn prefix_lengths(&self) -> &[Time] {
+        &self.prefix_lengths
+    }
+
+    /// Pushes the next schedule of the sequence, agreeing with the chain up
+    /// to (at least) the previous prefix and extending the agreed prefix to
+    /// `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::PrefixNotGrowing`] if `prefix` does not strictly
+    ///   extend the previous agreed prefix;
+    /// - [`GraphError::PrefixMismatch`] if the schedule disagrees with the
+    ///   already-agreed frames.
+    pub fn push<S: EdgeSchedule>(&mut self, schedule: &S, prefix: Time) -> Result<(), GraphError> {
+        let previous = self.agreed_prefix();
+        if prefix <= previous {
+            return Err(GraphError::PrefixNotGrowing {
+                previous,
+                proposed: prefix,
+            });
+        }
+        // Verify agreement on the existing prefix.
+        for (t, frame) in self.frames.iter().enumerate() {
+            if &schedule.edges_at(t as Time) != frame {
+                return Err(GraphError::PrefixMismatch { at: t as Time });
+            }
+        }
+        // Extend with the newly agreed frames.
+        for t in previous..prefix {
+            self.frames.push(schedule.edges_at(t));
+        }
+        self.prefix_lengths.push(prefix);
+        Ok(())
+    }
+
+    /// Assembles the limit evolving graph `Gω` from the agreed frames.
+    ///
+    /// `tail` governs instants beyond the last agreed prefix; the
+    /// impossibility constructions use [`TailBehavior::AllPresent`] (their
+    /// removal intervals are all finite and contained in the prefixes).
+    pub fn limit(&self, tail: TailBehavior) -> ScriptedSchedule {
+        ScriptedSchedule::new(self.ring.clone(), self.frames.clone(), tail)
+            .expect("agreed frames share the chain's ring")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AbsenceIntervals, EdgeId, RingTopology};
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    /// Builds the kind of sequence used in the proof of Theorem 5.1:
+    /// element `k` carries removals `[10j + 5, 10j + 10)` for every `j < k`,
+    /// so element `k + 1` differs from element `k` only beyond time
+    /// `10k + 5`, and element `k` is "settled" up to time `10k`.
+    fn proof_like_sequence(r: &RingTopology, rounds: usize) -> Vec<AbsenceIntervals> {
+        let mut schedules = Vec::new();
+        let mut current = AbsenceIntervals::new(r.clone());
+        schedules.push(current.clone());
+        for i in 0..rounds {
+            let start = (i as Time) * 10 + 5;
+            let edge = EdgeId::new(i % r.edge_count());
+            current.remove_during(edge, start, start + 5);
+            schedules.push(current.clone());
+        }
+        schedules
+    }
+
+    /// Prefix at which element `i` of [`proof_like_sequence`] is settled.
+    fn settled_prefix(i: usize) -> Time {
+        if i == 0 {
+            1
+        } else {
+            (i as Time) * 10
+        }
+    }
+
+    #[test]
+    fn chain_accepts_growing_prefixes_and_builds_limit() {
+        let r = ring(4);
+        let seq = proof_like_sequence(&r, 5);
+        let mut chain = PrefixChain::new(r.clone());
+        for (i, g) in seq.iter().enumerate() {
+            chain
+                .push(g, settled_prefix(i))
+                .expect("prefix grows and agrees");
+        }
+        assert_eq!(chain.len(), 6);
+        assert_eq!(chain.agreed_prefix(), 50);
+        let limit = chain.limit(TailBehavior::AllPresent);
+        // The limit must agree with each sequence element on its prefix.
+        for (i, g) in seq.iter().enumerate() {
+            for t in 0..settled_prefix(i) {
+                assert_eq!(limit.edges_at(t), g.edges_at(t), "element {i}, t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_rejects_non_growing_prefix() {
+        let r = ring(3);
+        let g = AbsenceIntervals::new(r.clone());
+        let mut chain = PrefixChain::new(r);
+        chain.push(&g, 5).expect("first push");
+        let err = chain.push(&g, 5);
+        assert_eq!(
+            err,
+            Err(GraphError::PrefixNotGrowing {
+                previous: 5,
+                proposed: 5
+            })
+        );
+    }
+
+    #[test]
+    fn chain_rejects_disagreeing_schedule() {
+        let r = ring(3);
+        let g0 = AbsenceIntervals::new(r.clone());
+        let mut g1 = AbsenceIntervals::new(r.clone());
+        g1.remove_during(EdgeId::new(0), 2, 4); // disagrees inside prefix
+        let mut chain = PrefixChain::new(r);
+        chain.push(&g0, 5).expect("first push");
+        let err = chain.push(&g1, 10);
+        assert_eq!(err, Err(GraphError::PrefixMismatch { at: 2 }));
+    }
+
+    #[test]
+    fn limit_of_finite_removals_is_connected_over_time() {
+        // Mirrors the Gω argument: all removal intervals are finite and
+        // disjoint, so every edge is infinitely often present in the limit.
+        let r = ring(4);
+        let seq = proof_like_sequence(&r, 8);
+        let mut chain = PrefixChain::new(r.clone());
+        for (i, g) in seq.iter().enumerate() {
+            chain.push(g, settled_prefix(i)).expect("growing");
+        }
+        let limit = chain.limit(TailBehavior::AllPresent);
+        let verdict = crate::classes::certify_connected_over_time(&limit, 90, 6);
+        assert!(verdict.is_certified(), "verdict {verdict:?}");
+    }
+
+    #[test]
+    fn empty_chain_limit_is_tail_only() {
+        let chain = PrefixChain::new(ring(3));
+        assert!(chain.is_empty());
+        let limit = chain.limit(TailBehavior::AllPresent);
+        assert!(limit.edges_at(0).is_full());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = ring(3);
+        let mut chain = PrefixChain::new(r.clone());
+        chain
+            .push(&AbsenceIntervals::new(r), 4)
+            .expect("first push");
+        let json = serde_json::to_string(&chain).expect("serialize");
+        let back: PrefixChain = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(chain, back);
+    }
+}

@@ -1,0 +1,496 @@
+//! A compact set of ring edges — the snapshot `E_t` of an evolving graph.
+
+use std::fmt;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{EdgeId, RingTopology};
+
+const WORD_BITS: usize = 64;
+
+/// A set of edges of a ring with a fixed edge count, stored as a bit-set.
+///
+/// One `EdgeSet` is exactly one snapshot `E_t` of an evolving graph
+/// `G = (V, E_0), (V, E_1), …`. The set knows its *universe size* (the ring's
+/// edge count), so complements and "is the graph connected?" questions are
+/// well-defined.
+///
+/// ```rust
+/// use dynring_graph::{EdgeSet, EdgeId};
+///
+/// let mut set = EdgeSet::empty(5);
+/// set.insert(EdgeId::new(1));
+/// set.insert(EdgeId::new(3));
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(EdgeId::new(3)));
+/// let missing: Vec<_> = set.absent().map(|e| e.index()).collect();
+/// assert_eq!(missing, vec![0, 2, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdgeSet {
+    words: Vec<u64>,
+    universe: u32,
+}
+
+impl EdgeSet {
+    /// The empty set over a universe of `universe` edges.
+    pub fn empty(universe: usize) -> Self {
+        let words = vec![0u64; universe.div_ceil(WORD_BITS)];
+        EdgeSet {
+            words,
+            universe: u32::try_from(universe).expect("universe exceeds u32"),
+        }
+    }
+
+    /// The full set (every edge present) over `universe` edges.
+    pub fn full(universe: usize) -> Self {
+        let mut set = EdgeSet::empty(universe);
+        for w in &mut set.words {
+            *w = u64::MAX;
+        }
+        set.trim();
+        set
+    }
+
+    /// The full set for a specific ring.
+    pub fn full_for(ring: &RingTopology) -> Self {
+        EdgeSet::full(ring.edge_count())
+    }
+
+    /// The empty set for a specific ring.
+    pub fn empty_for(ring: &RingTopology) -> Self {
+        EdgeSet::empty(ring.edge_count())
+    }
+
+    /// Builds a set over `universe` edges from present edge indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is `>= universe`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(universe: usize, present: I) -> Self {
+        let mut set = EdgeSet::empty(universe);
+        for index in present {
+            set.insert(EdgeId::new(index));
+        }
+        set
+    }
+
+    /// Number of edges in the universe (the ring's edge count).
+    pub fn universe(&self) -> usize {
+        self.universe as usize
+    }
+
+    /// Number of present edges.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no edge is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when every edge of the universe is present.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe()
+    }
+
+    /// Number of absent edges.
+    pub fn absent_count(&self) -> usize {
+        self.universe() - self.len()
+    }
+
+    /// `true` when `edge` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is outside the universe.
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        self.check(edge);
+        let i = edge.index();
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Inserts `edge`; returns `true` if it was absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is outside the universe.
+    pub fn insert(&mut self, edge: EdgeId) -> bool {
+        self.check(edge);
+        let i = edge.index();
+        let mask = 1u64 << (i % WORD_BITS);
+        let word = &mut self.words[i / WORD_BITS];
+        let was_absent = *word & mask == 0;
+        *word |= mask;
+        was_absent
+    }
+
+    /// Removes `edge`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is outside the universe.
+    pub fn remove(&mut self, edge: EdgeId) -> bool {
+        self.check(edge);
+        let i = edge.index();
+        let mask = 1u64 << (i % WORD_BITS);
+        let word = &mut self.words[i / WORD_BITS];
+        let was_present = *word & mask != 0;
+        *word &= !mask;
+        was_present
+    }
+
+    /// Sets the membership of `edge` to `present`.
+    pub fn set(&mut self, edge: EdgeId, present: bool) {
+        if present {
+            self.insert(edge);
+        } else {
+            self.remove(edge);
+        }
+    }
+
+    /// Iterates over present edges in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            next: 0,
+        }
+    }
+
+    /// Iterates over *absent* edges in increasing index order.
+    pub fn absent(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.universe()).map(EdgeId::new).filter(move |&e| !self.contains(e))
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &EdgeSet) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: removes every edge present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &EdgeSet) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns the union of `self` and `other` as a new set.
+    pub fn union(&self, other: &EdgeSet) -> EdgeSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns the intersection of `self` and `other` as a new set.
+    pub fn intersection(&self, other: &EdgeSet) -> EdgeSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self \ other` as a new set.
+    pub fn difference(&self, other: &EdgeSet) -> EdgeSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Returns the complement within the universe.
+    pub fn complement(&self) -> EdgeSet {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.trim();
+        out
+    }
+
+    /// `true` when every edge of `self` is also in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset_of(&self, other: &EdgeSet) -> bool {
+        self.check_same(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    fn check(&self, edge: EdgeId) {
+        assert!(
+            edge.index() < self.universe(),
+            "edge {edge} outside universe of {} edges",
+            self.universe()
+        );
+    }
+
+    fn check_same(&self, other: &EdgeSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "edge sets over different universes"
+        );
+    }
+
+    /// Clears bits beyond the universe so that `Eq`/`Hash` stay canonical.
+    fn trim(&mut self) {
+        let bits = self.universe();
+        let full_words = bits / WORD_BITS;
+        let rem = bits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.get_mut(full_words) {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        for w in self.words.iter_mut().skip(full_words + usize::from(rem != 0)) {
+            *w = 0;
+        }
+    }
+}
+
+impl fmt::Display for EdgeSet {
+    /// Renders as a bit-string, `e0` leftmost, `█` present / `·` absent.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.universe() {
+            let c = if self.contains(EdgeId::new(i)) { '█' } else { '·' };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<EdgeId> for EdgeSet {
+    /// Collects edges into a set whose universe is one past the largest
+    /// index seen (use [`EdgeSet::from_indices`] to pin the universe).
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        let edges: Vec<EdgeId> = iter.into_iter().collect();
+        let universe = edges.iter().map(|e| e.index() + 1).max().unwrap_or(0);
+        let mut set = EdgeSet::empty(universe);
+        for e in edges {
+            set.insert(e);
+        }
+        set
+    }
+}
+
+impl Extend<EdgeId> for EdgeSet {
+    fn extend<I: IntoIterator<Item = EdgeId>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeSet {
+    type Item = EdgeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over present edges of an [`EdgeSet`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a EdgeSet,
+    next: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        while self.next < self.set.universe() {
+            let candidate = EdgeId::new(self.next);
+            self.next += 1;
+            if self.set.contains(candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct EdgeSetRepr {
+    universe: u32,
+    present: Vec<u32>,
+}
+
+impl Serialize for EdgeSet {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = EdgeSetRepr {
+            universe: self.universe,
+            present: self.iter().map(|e| e.raw()).collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for EdgeSet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = EdgeSetRepr::deserialize(deserializer)?;
+        let mut set = EdgeSet::empty(repr.universe as usize);
+        for raw in repr.present {
+            if raw >= repr.universe {
+                return Err(D::Error::custom(format!(
+                    "edge index {raw} outside universe {}",
+                    repr.universe
+                )));
+            }
+            set.insert(EdgeId::from(raw));
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let empty = EdgeSet::empty(10);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.absent_count(), 10);
+
+        let full = EdgeSet::full(10);
+        assert!(full.is_full());
+        assert_eq!(full.len(), 10);
+        assert_eq!(full.absent_count(), 0);
+        assert_eq!(empty.complement(), full);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = EdgeSet::empty(70); // spans two words
+        assert!(set.insert(EdgeId::new(0)));
+        assert!(set.insert(EdgeId::new(69)));
+        assert!(!set.insert(EdgeId::new(69)));
+        assert!(set.contains(EdgeId::new(0)));
+        assert!(set.contains(EdgeId::new(69)));
+        assert!(!set.contains(EdgeId::new(35)));
+        assert!(set.remove(EdgeId::new(0)));
+        assert!(!set.remove(EdgeId::new(0)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn set_api() {
+        let mut set = EdgeSet::empty(4);
+        set.set(EdgeId::new(2), true);
+        assert!(set.contains(EdgeId::new(2)));
+        set.set(EdgeId::new(2), false);
+        assert!(!set.contains(EdgeId::new(2)));
+    }
+
+    #[test]
+    fn iteration_orders_by_index() {
+        let set = EdgeSet::from_indices(9, [7, 1, 4]);
+        let present: Vec<usize> = set.iter().map(|e| e.index()).collect();
+        assert_eq!(present, vec![1, 4, 7]);
+        let absent: Vec<usize> = set.absent().map(|e| e.index()).collect();
+        assert_eq!(absent, vec![0, 2, 3, 5, 6, 8]);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = EdgeSet::from_indices(6, [0, 1, 2]);
+        let b = EdgeSet::from_indices(6, [2, 3]);
+        assert_eq!(a.union(&b), EdgeSet::from_indices(6, [0, 1, 2, 3]));
+        assert_eq!(a.intersection(&b), EdgeSet::from_indices(6, [2]));
+        assert_eq!(a.difference(&b), EdgeSet::from_indices(6, [0, 1]));
+        assert!(a.intersection(&b).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn complement_is_canonical_across_word_boundary() {
+        // universe 65: the last word has a single meaningful bit.
+        let set = EdgeSet::from_indices(65, [64]);
+        let comp = set.complement();
+        assert_eq!(comp.len(), 64);
+        assert!(!comp.contains(EdgeId::new(64)));
+        assert_eq!(comp.complement(), set);
+    }
+
+    #[test]
+    fn equality_ignores_padding_bits() {
+        let a = EdgeSet::full(3);
+        let b = EdgeSet::from_indices(3, [0, 1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn contains_panics_out_of_universe() {
+        let set = EdgeSet::empty(3);
+        let _ = set.contains(EdgeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn union_panics_on_mismatched_universes() {
+        let mut a = EdgeSet::empty(3);
+        let b = EdgeSet::empty(4);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut set: EdgeSet = [EdgeId::new(1), EdgeId::new(3)].into_iter().collect();
+        assert_eq!(set.universe(), 4);
+        set.extend([EdgeId::new(0)]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let set = EdgeSet::from_indices(4, [0, 2]);
+        assert_eq!(set.to_string(), "█·█·");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let set = EdgeSet::from_indices(130, [0, 64, 129]);
+        let json = serde_json::to_string(&set).expect("serialize");
+        let back: EdgeSet = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_universe() {
+        let json = r#"{"universe":3,"present":[5]}"#;
+        let result: Result<EdgeSet, _> = serde_json::from_str(json);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Identifier newtypes for nodes and edges of a ring.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node of the ring, in `0..n`.
+///
+/// Nodes are *anonymous* from the robots' point of view; identifiers exist
+/// only for the external observer (simulator, adversaries, checkers), exactly
+/// like the paper distinguishes clockwise from counter-clockwise "as external
+/// observers".
+///
+/// ```rust
+/// use dynring_graph::NodeId;
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(u.to_string(), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the index as `usize` (for table lookups).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Identifier of an edge of the ring, in `0..n`.
+///
+/// Edge `i` joins node `i` to node `(i + 1) mod n` (its clockwise neighbour).
+/// In the 2-node multigraph ring, edges `0` and `1` are two distinct parallel
+/// edges between nodes `0` and `1`.
+///
+/// ```rust
+/// use dynring_graph::EdgeId;
+/// let e = EdgeId::new(0);
+/// assert_eq!(e.to_string(), "e0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge identifier from its index.
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32"))
+    }
+
+    /// Returns the index as `usize` (for table lookups).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let u = NodeId::new(7);
+        assert_eq!(u.index(), 7);
+        assert_eq!(u.raw(), 7);
+        assert_eq!(NodeId::from(7u32), u);
+    }
+
+    #[test]
+    fn edge_id_round_trip() {
+        let e = EdgeId::new(11);
+        assert_eq!(e.index(), 11);
+        assert_eq!(e.raw(), 11);
+        assert_eq!(EdgeId::from(11u32), e);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(EdgeId::new(42).to_string(), "e42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(1));
+    }
+}

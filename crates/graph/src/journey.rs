@@ -1,0 +1,557 @@
+//! Temporal reachability: journeys in evolving graphs.
+//!
+//! A *journey* (Xuan–Ferreira–Jarry; "temporal path" elsewhere) is a path
+//! whose edges are crossed at strictly increasing times, each edge being
+//! present at its crossing instant — exactly the way a robot moves: one hop
+//! per round, only through present edges. The paper's connected-over-time
+//! assumption says every node is infinitely often reachable from every other
+//! one through a journey; this module computes the finite-horizon side of
+//! that statement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EdgeId, EdgeSchedule, NodeId, Time};
+
+/// One hop of a journey: crossing `edge` during round `depart` (arriving at
+/// `depart + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    /// The edge crossed.
+    pub edge: EdgeId,
+    /// The round at whose snapshot the edge was present and crossed.
+    pub depart: Time,
+}
+
+impl Hop {
+    /// Arrival time of this hop.
+    pub fn arrive(&self) -> Time {
+        self.depart + 1
+    }
+}
+
+/// A journey from a source node to a destination node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Journey {
+    source: NodeId,
+    destination: NodeId,
+    hops: Vec<Hop>,
+}
+
+impl Journey {
+    /// The trivial journey (source = destination, no hops).
+    pub fn trivial(node: NodeId) -> Self {
+        Journey {
+            source: node,
+            destination: node,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Destination node.
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// The hops, in temporal order.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of edges crossed (the journey's *topological length*).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// `true` for the trivial journey.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Arrival time: when the destination is reached.
+    pub fn arrival(&self, start: Time) -> Time {
+        self.hops.last().map_or(start, Hop::arrive)
+    }
+
+    /// Departure time of the first hop (`None` for the trivial journey).
+    pub fn departure(&self) -> Option<Time> {
+        self.hops.first().map(|h| h.depart)
+    }
+
+    /// Duration from first departure to final arrival (0 for the trivial
+    /// journey) — the quantity *fastest* journeys minimize.
+    pub fn duration(&self) -> Time {
+        match (self.hops.first(), self.hops.last()) {
+            (Some(first), Some(last)) => last.arrive() - first.depart,
+            _ => 0,
+        }
+    }
+}
+
+/// Foremost (earliest-arrival) reachability from `source` starting at time
+/// `start`, explored up to time `horizon` (exclusive).
+///
+/// `arrivals[v]` is the earliest time at which a walker leaving `source` at
+/// `start` can stand on `v` (the source itself gets `start`), or `None` when
+/// `v` is unreachable within the horizon. Waiting at a node is always
+/// allowed, matching robots blocked by missing edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForemostArrivals {
+    source: NodeId,
+    start: Time,
+    horizon: Time,
+    arrivals: Vec<Option<Time>>,
+    /// parent[v] = (previous node, hop) on a foremost journey to v.
+    parents: Vec<Option<(NodeId, Hop)>>,
+}
+
+impl ForemostArrivals {
+    /// Runs the temporal BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of the schedule's ring.
+    pub fn compute<S: EdgeSchedule>(
+        schedule: &S,
+        source: NodeId,
+        start: Time,
+        horizon: Time,
+    ) -> Self {
+        let ring = schedule.ring();
+        assert!(ring.contains_node(source), "source {source} out of range");
+        let n = ring.node_count();
+        let mut arrivals: Vec<Option<Time>> = vec![None; n];
+        let mut parents: Vec<Option<(NodeId, Hop)>> = vec![None; n];
+        arrivals[source.index()] = Some(start);
+        let mut frontier_nonempty = true;
+        let mut t = start;
+        while t < horizon && frontier_nonempty {
+            let snapshot = schedule.edges_at(t);
+            let mut newly: Vec<(NodeId, NodeId, Hop)> = Vec::new();
+            for e in snapshot.iter() {
+                let (a, b) = ring.endpoints(e);
+                let reach_a = arrivals[a.index()].is_some_and(|ta| ta <= t);
+                let reach_b = arrivals[b.index()].is_some_and(|tb| tb <= t);
+                if reach_a && arrivals[b.index()].is_none() {
+                    newly.push((b, a, Hop { edge: e, depart: t }));
+                }
+                if reach_b && arrivals[a.index()].is_none() {
+                    newly.push((a, b, Hop { edge: e, depart: t }));
+                }
+            }
+            frontier_nonempty = false;
+            for (node, from, hop) in newly {
+                if arrivals[node.index()].is_none() {
+                    arrivals[node.index()] = Some(t + 1);
+                    parents[node.index()] = Some((from, hop));
+                    frontier_nonempty = true;
+                }
+            }
+            // Even when nothing new was reached at time t, a later snapshot
+            // may open an edge: keep scanning until every node is reached or
+            // the horizon ends.
+            if arrivals.iter().any(Option::is_none) {
+                frontier_nonempty = true;
+            }
+            t += 1;
+        }
+        ForemostArrivals {
+            source,
+            start,
+            horizon,
+            arrivals,
+            parents,
+        }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Earliest arrival at `node`, or `None` when unreachable in the window.
+    pub fn arrival(&self, node: NodeId) -> Option<Time> {
+        self.arrivals.get(node.index()).copied().flatten()
+    }
+
+    /// `true` when every node is reachable within the window.
+    pub fn all_reachable(&self) -> bool {
+        self.arrivals.iter().all(Option::is_some)
+    }
+
+    /// The latest foremost arrival over all nodes — the *temporal
+    /// eccentricity* of the source at `start` — or `None` if some node is
+    /// unreachable.
+    pub fn eccentricity(&self) -> Option<Time> {
+        self.arrivals
+            .iter()
+            .map(|a| a.map(|t| t - self.start))
+            .collect::<Option<Vec<_>>>()
+            .map(|ds| ds.into_iter().max().unwrap_or(0))
+    }
+
+    /// Reconstructs a foremost journey from the source to `destination`.
+    ///
+    /// Returns `None` when `destination` is unreachable within the window.
+    pub fn journey_to(&self, destination: NodeId) -> Option<Journey> {
+        self.arrival(destination)?;
+        let mut hops: Vec<Hop> = Vec::new();
+        let mut cursor = destination;
+        while cursor != self.source {
+            let (prev, hop) = self.parents[cursor.index()]?;
+            hops.push(hop);
+            cursor = prev;
+        }
+        hops.reverse();
+        Some(Journey {
+            source: self.source,
+            destination,
+            hops,
+        })
+    }
+}
+
+/// The *temporal diameter* at `start`: the largest temporal eccentricity
+/// over all sources, or `None` when some pair is unreachable within the
+/// window.
+pub fn temporal_diameter<S: EdgeSchedule>(
+    schedule: &S,
+    start: Time,
+    horizon: Time,
+) -> Option<Time> {
+    let ring = schedule.ring();
+    let mut worst = 0;
+    for source in ring.nodes() {
+        let fa = ForemostArrivals::compute(schedule, source, start, horizon);
+        worst = worst.max(fa.eccentricity()?);
+    }
+    Some(worst)
+}
+
+/// A *shortest* journey from `source` to `destination`: among all journeys
+/// departing at or after `start` and arriving before `horizon`, one with
+/// the fewest hops (its topological length); among those, one with the
+/// earliest arrival.
+///
+/// On a ring the hop count of a shortest journey is at least the static
+/// ring distance, but temporal constraints can force the long way round.
+///
+/// Returns `None` when `destination` is unreachable within the window.
+pub fn shortest_journey<S: EdgeSchedule>(
+    schedule: &S,
+    source: NodeId,
+    destination: NodeId,
+    start: Time,
+    horizon: Time,
+) -> Option<Journey> {
+    let ring = schedule.ring();
+    assert!(ring.contains_node(source), "source {source} out of range");
+    assert!(
+        ring.contains_node(destination),
+        "destination {destination} out of range"
+    );
+    if source == destination {
+        return Some(Journey::trivial(source));
+    }
+    let n = ring.node_count();
+    // earliest[h][v]: earliest arrival at v using exactly ≤ h hops (with
+    // the last hop being the h-th); parent pointers for reconstruction.
+    let mut earliest: Vec<Vec<Option<Time>>> = vec![vec![None; n]; n];
+    let mut parents: Vec<Vec<Option<(NodeId, Hop)>>> = vec![vec![None; n]; n];
+    earliest[0][source.index()] = Some(start);
+    for h in 1..n {
+        for v in ring.nodes() {
+            for dir in crate::GlobalDir::ALL {
+                let e = ring.edge_towards(v, dir);
+                let u = ring.neighbor(v, dir);
+                let Some(ready) = earliest[h - 1][u.index()] else {
+                    continue;
+                };
+                // Earliest instant ≥ ready at which the edge is present.
+                let mut t = ready;
+                while t < horizon && !schedule.is_present(e, t) {
+                    t += 1;
+                }
+                if t >= horizon {
+                    continue;
+                }
+                let arrive = t + 1;
+                if earliest[h][v.index()].is_none_or(|cur| arrive < cur) {
+                    earliest[h][v.index()] = Some(arrive);
+                    parents[h][v.index()] = Some((u, Hop { edge: e, depart: t }));
+                }
+            }
+        }
+        if earliest[h][destination.index()].is_some() {
+            // h is minimal: reconstruct backwards.
+            let mut hops = Vec::with_capacity(h);
+            let mut cursor = destination;
+            for level in (1..=h).rev() {
+                let (prev, hop) = parents[level][cursor.index()]?;
+                hops.push(hop);
+                cursor = prev;
+            }
+            hops.reverse();
+            debug_assert_eq!(cursor, source);
+            return Some(Journey {
+                source,
+                destination,
+                hops,
+            });
+        }
+    }
+    None
+}
+
+/// A *fastest* journey from `source` to `destination`: over all departure
+/// times in `[start, horizon)`, one minimizing the duration from first
+/// departure to arrival (ties broken towards earlier departures).
+///
+/// Returns `None` when `destination` is unreachable within the window.
+pub fn fastest_journey<S: EdgeSchedule>(
+    schedule: &S,
+    source: NodeId,
+    destination: NodeId,
+    start: Time,
+    horizon: Time,
+) -> Option<Journey> {
+    let ring = schedule.ring();
+    if source == destination {
+        return Some(Journey::trivial(source));
+    }
+    let floor = ring.distance(source, destination) as Time;
+    let mut best: Option<Journey> = None;
+    for depart in start..horizon {
+        let fa = ForemostArrivals::compute(schedule, source, depart, horizon);
+        if fa.arrival(destination).is_none() {
+            continue;
+        }
+        let candidate = fa.journey_to(destination).expect("arrival implies journey");
+        let duration = candidate.duration();
+        if best.as_ref().is_none_or(|b| duration < b.duration()) {
+            best = Some(candidate);
+            if duration == floor {
+                break; // cannot do better than the static distance
+            }
+        }
+    }
+    best
+}
+
+/// `true` when a journey from `from` to `to` departing at `start` exists
+/// within `[start, horizon)`.
+pub fn is_reachable<S: EdgeSchedule>(
+    schedule: &S,
+    from: NodeId,
+    to: NodeId,
+    start: Time,
+    horizon: Time,
+) -> bool {
+    ForemostArrivals::compute(schedule, from, start, horizon)
+        .arrival(to)
+        .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AbsenceIntervals, AlwaysPresent, RingTopology};
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    #[test]
+    fn static_ring_arrivals_match_ring_distance() {
+        let r = ring(6);
+        let g = AlwaysPresent::new(r.clone());
+        let fa = ForemostArrivals::compute(&g, NodeId::new(0), 0, 50);
+        for v in r.nodes() {
+            let expect = r.distance(NodeId::new(0), v) as Time;
+            assert_eq!(fa.arrival(v), Some(expect), "node {v}");
+        }
+        assert_eq!(fa.eccentricity(), Some(3));
+    }
+
+    #[test]
+    fn journey_reconstruction_is_consistent() {
+        let r = ring(5);
+        let g = AlwaysPresent::new(r.clone());
+        let fa = ForemostArrivals::compute(&g, NodeId::new(1), 0, 50);
+        let j = fa.journey_to(NodeId::new(4)).expect("reachable");
+        assert_eq!(j.source(), NodeId::new(1));
+        assert_eq!(j.destination(), NodeId::new(4));
+        assert_eq!(j.len(), 2); // 1 → 0 → 4 counter-clockwise
+        assert_eq!(j.arrival(0), 2);
+        // Hops must be temporally increasing and form a path.
+        let mut cursor = NodeId::new(1);
+        let mut last_depart = None;
+        for hop in j.hops() {
+            if let Some(prev) = last_depart {
+                assert!(hop.depart > prev);
+            }
+            last_depart = Some(hop.depart);
+            cursor = r.traverse(cursor, hop.edge).expect("adjacent edge");
+        }
+        assert_eq!(cursor, NodeId::new(4));
+    }
+
+    #[test]
+    fn blocked_edge_forces_waiting() {
+        // Ring of 3; edges e0 (v0-v1), e1 (v1-v2), e2 (v2-v0). Remove e0 and
+        // e2 until time 5: v0 is isolated and can only leave at t = 5.
+        let mut g = AbsenceIntervals::new(ring(3));
+        g.remove_during(EdgeId::new(0), 0, 5);
+        g.remove_during(EdgeId::new(2), 0, 5);
+        let fa = ForemostArrivals::compute(&g, NodeId::new(0), 0, 50);
+        assert_eq!(fa.arrival(NodeId::new(0)), Some(0));
+        assert_eq!(fa.arrival(NodeId::new(1)), Some(6));
+        assert_eq!(fa.arrival(NodeId::new(2)), Some(6));
+    }
+
+    #[test]
+    fn unreachable_when_cut_forever() {
+        // Cut both edges around v2 forever: unreachable.
+        let mut g = AbsenceIntervals::new(ring(4));
+        g.remove_from(EdgeId::new(1), 0); // v1-v2
+        g.remove_from(EdgeId::new(2), 0); // v2-v3
+        let fa = ForemostArrivals::compute(&g, NodeId::new(0), 0, 100);
+        assert_eq!(fa.arrival(NodeId::new(2)), None);
+        assert!(!fa.all_reachable());
+        assert_eq!(fa.eccentricity(), None);
+        assert!(fa.journey_to(NodeId::new(2)).is_none());
+        assert!(!is_reachable(&g, NodeId::new(0), NodeId::new(2), 0, 100));
+    }
+
+    #[test]
+    fn one_missing_edge_reroutes_the_long_way() {
+        let mut g = AbsenceIntervals::new(ring(6));
+        g.remove_from(EdgeId::new(0), 0); // v0-v1 dead forever
+        let fa = ForemostArrivals::compute(&g, NodeId::new(0), 0, 100);
+        // v1 is now 5 hops away (the long way round).
+        assert_eq!(fa.arrival(NodeId::new(1)), Some(5));
+        let j = fa.journey_to(NodeId::new(1)).expect("reachable");
+        assert_eq!(j.len(), 5);
+    }
+
+    #[test]
+    fn temporal_diameter_static() {
+        let g = AlwaysPresent::new(ring(8));
+        assert_eq!(temporal_diameter(&g, 0, 100), Some(4));
+    }
+
+    #[test]
+    fn later_start_time_is_respected() {
+        let mut g = AbsenceIntervals::new(ring(3));
+        g.remove_during(EdgeId::new(0), 0, 10);
+        g.remove_during(EdgeId::new(2), 0, 10);
+        let fa = ForemostArrivals::compute(&g, NodeId::new(0), 10, 100);
+        assert_eq!(fa.arrival(NodeId::new(1)), Some(11));
+    }
+
+    #[test]
+    fn trivial_journey() {
+        let j = Journey::trivial(NodeId::new(2));
+        assert!(j.is_empty());
+        assert_eq!(j.arrival(7), 7);
+        assert_eq!(j.source(), j.destination());
+    }
+
+    #[test]
+    fn shortest_journey_prefers_fewer_hops_over_earlier_arrival() {
+        // Ring of 6, from v0 to v1. Edge e0 (v0–v1, one hop) only opens at
+        // time 10; the counter-clockwise way (5 hops) is open immediately.
+        // Foremost arrives at time 5 the long way; shortest waits and uses
+        // one hop.
+        let mut g = AbsenceIntervals::new(ring(6));
+        g.remove_during(EdgeId::new(0), 0, 10);
+        let foremost = ForemostArrivals::compute(&g, NodeId::new(0), 0, 50)
+            .journey_to(NodeId::new(1))
+            .expect("reachable");
+        assert_eq!(foremost.len(), 5);
+        assert_eq!(foremost.arrival(0), 5);
+        let shortest =
+            shortest_journey(&g, NodeId::new(0), NodeId::new(1), 0, 50).expect("reachable");
+        assert_eq!(shortest.len(), 1);
+        assert_eq!(shortest.arrival(0), 11);
+    }
+
+    #[test]
+    fn shortest_journey_takes_long_way_when_forced() {
+        // Edge e0 dead forever: the only way from v0 to v1 is 5 hops.
+        let mut g = AbsenceIntervals::new(ring(6));
+        g.remove_from(EdgeId::new(0), 0);
+        let j = shortest_journey(&g, NodeId::new(0), NodeId::new(1), 0, 100)
+            .expect("reachable");
+        assert_eq!(j.len(), 5);
+    }
+
+    #[test]
+    fn shortest_journey_unreachable_within_horizon() {
+        let mut g = AbsenceIntervals::new(ring(4));
+        g.remove_from(EdgeId::new(0), 0);
+        g.remove_from(EdgeId::new(3), 0); // v0 isolated forever
+        assert!(shortest_journey(&g, NodeId::new(0), NodeId::new(2), 0, 60).is_none());
+    }
+
+    #[test]
+    fn fastest_journey_waits_for_a_better_departure() {
+        // From v0 to v3 on a 6-ring. Early on, the clockwise edges open
+        // one instant each, four rounds apart (a slow crawl of duration 9);
+        // from time 30 everything is open (duration 3). Fastest departs
+        // late.
+        let mut g = AbsenceIntervals::new(ring(6));
+        // e0 present only at t = 2; e1 only at t = 6; e2 only at t = 10 —
+        // until everything reopens at 30.
+        g.remove_during(EdgeId::new(0), 0, 2).remove_during(EdgeId::new(0), 3, 30);
+        g.remove_during(EdgeId::new(1), 0, 6).remove_during(EdgeId::new(1), 7, 30);
+        g.remove_during(EdgeId::new(2), 0, 10).remove_during(EdgeId::new(2), 11, 30);
+        for e in 3..6 {
+            g.remove_during(EdgeId::new(e), 0, 30);
+        }
+        let foremost = ForemostArrivals::compute(&g, NodeId::new(0), 0, 100)
+            .journey_to(NodeId::new(3))
+            .expect("reachable");
+        assert_eq!(foremost.arrival(0), 11);
+        assert_eq!(foremost.duration(), 9); // departs 2, arrives 11
+        let fastest =
+            fastest_journey(&g, NodeId::new(0), NodeId::new(3), 0, 100).expect("reachable");
+        assert_eq!(fastest.duration(), 3);
+        assert!(fastest.departure().expect("has hops") >= 30);
+        assert!(foremost.arrival(0) <= fastest.arrival(0));
+        assert!(foremost.duration() > fastest.duration());
+    }
+
+    #[test]
+    fn fastest_equals_foremost_on_static_rings() {
+        let g = AlwaysPresent::new(ring(8));
+        let fast = fastest_journey(&g, NodeId::new(1), NodeId::new(5), 0, 50)
+            .expect("reachable");
+        assert_eq!(fast.duration(), 4);
+        assert_eq!(fast.len(), 4);
+    }
+
+    #[test]
+    fn trivial_cases_for_shortest_and_fastest() {
+        let g = AlwaysPresent::new(ring(3));
+        let s = shortest_journey(&g, NodeId::new(1), NodeId::new(1), 0, 10).expect("trivial");
+        assert!(s.is_empty());
+        let f = fastest_journey(&g, NodeId::new(2), NodeId::new(2), 0, 10).expect("trivial");
+        assert_eq!(f.duration(), 0);
+        assert_eq!(f.departure(), None);
+    }
+
+    #[test]
+    fn horizon_truncates_search() {
+        let mut g = AbsenceIntervals::new(ring(3));
+        g.remove_during(EdgeId::new(0), 0, 5);
+        g.remove_during(EdgeId::new(2), 0, 5);
+        // Horizon 4 < opening time 5: unreachable within window.
+        let fa = ForemostArrivals::compute(&g, NodeId::new(0), 0, 4);
+        assert_eq!(fa.arrival(NodeId::new(1)), None);
+    }
+}

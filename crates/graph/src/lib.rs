@@ -1,0 +1,84 @@
+//! Evolving-graph substrate for *connected-over-time* rings.
+//!
+//! This crate implements the dynamic-graph model of
+//! Bournat, Dubois & Petit, *"Computability of Perpetual Exploration in
+//! Highly Dynamic Rings"* (ICDCS 2017), which itself builds on the
+//! *evolving graph* model of Xuan, Ferreira & Jarry and the
+//! *time-varying graph* classification of Casteigts et al.
+//!
+//! An evolving graph is a sequence `G_0, G_1, …` of spanning subgraphs of a
+//! static *underlying graph* — here, an anonymous unoriented ring. Edges may
+//! appear and disappear arbitrarily from one instant to the next; the only
+//! assumption made by the paper is *connectivity over time*: every edge that
+//! is not *eventually missing* reappears infinitely often, and the graph of
+//! recurrent edges (the *eventual underlying graph*) is connected. On a ring
+//! this means **at most one edge is eventually missing**.
+//!
+//! # What lives here
+//!
+//! - [`RingTopology`]: the static ring (including the 2-node multigraph
+//!   ring), with global [`GlobalDir`] orientation helpers.
+//! - [`EdgeSet`]: a compact bit-set of ring edges — one per time instant.
+//! - [`EdgeSchedule`]: the trait for edge-presence functions `(e, t) ↦ bool`,
+//!   with implementations ranging from [`AlwaysPresent`] through scripted,
+//!   periodic, stochastic and proof-construction schedules
+//!   ([`AbsenceIntervals`] mirrors the paper's `G \ {(e, τ)}` operator).
+//! - [`classes`]: finite-horizon analysis of dynamic-graph classes
+//!   (instant connectivity, T-interval-connectivity, recurrence gaps,
+//!   connected-over-time certificates).
+//! - [`journey`]: temporal reachability — foremost journeys, temporal
+//!   eccentricity and diameter.
+//! - [`convergence`]: the growing-common-prefix convergence framework of
+//!   Braud-Santoni, Dubois, Kaaouachi & Petit used by the paper's
+//!   impossibility proofs to build the limit graph `Gω`.
+//!
+//! # Example
+//!
+//! ```rust
+//! use dynring_graph::{RingTopology, EdgeSchedule, AbsenceIntervals, EdgeId};
+//!
+//! # fn main() -> Result<(), dynring_graph::GraphError> {
+//! let ring = RingTopology::new(6)?;
+//! // A ring where edge 2 vanishes forever at time 10 (an eventual missing
+//! // edge) and edge 0 blinks off during [3, 5).
+//! let mut sched = AbsenceIntervals::new(ring.clone());
+//! sched.remove_from(EdgeId::new(2), 10);
+//! sched.remove_during(EdgeId::new(0), 3, 5);
+//! assert!(sched.is_present(EdgeId::new(0), 2));
+//! assert!(!sched.is_present(EdgeId::new(0), 4));
+//! assert!(!sched.is_present(EdgeId::new(2), 1_000_000));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod convergence;
+mod edge_set;
+mod error;
+pub mod generators;
+mod ids;
+pub mod journey;
+mod orientation;
+pub mod render;
+mod ring;
+mod schedule;
+
+pub use edge_set::EdgeSet;
+pub use error::GraphError;
+pub use ids::{EdgeId, NodeId};
+pub use orientation::GlobalDir;
+pub use ring::RingTopology;
+pub use schedule::{
+    AbsenceIntervals, AlwaysPresent, BernoulliSchedule, EdgeSchedule, Minus, PeriodicSchedule,
+    RemovalTable, ScriptedSchedule, TailBehavior, TimeInterval, WithEventualMissing,
+};
+
+/// Discrete global time, as in the paper: time is mapped to `ℕ`.
+///
+/// Instant `t` indexes the snapshot `G_t`; the round executed "at time `t`"
+/// reads and moves through `G_t` and produces the configuration observed at
+/// time `t + 1`.
+pub type Time = u64;

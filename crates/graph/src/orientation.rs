@@ -1,0 +1,82 @@
+//! Global ring orientation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A *global* direction around the ring, as seen by an external observer.
+///
+/// The ring itself is unoriented and robots have no common orientation; the
+/// paper (like this crate) distinguishes clockwise from counter-clockwise
+/// purely for presentation and proofs. Robots manipulate *local* directions
+/// (left/right, see `dynring-engine`); each robot's chirality maps its local
+/// directions onto these global ones.
+///
+/// ```rust
+/// use dynring_graph::GlobalDir;
+/// assert_eq!(GlobalDir::Clockwise.opposite(), GlobalDir::CounterClockwise);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GlobalDir {
+    /// Towards increasing node indices (node `i` → node `i + 1 mod n`).
+    Clockwise,
+    /// Towards decreasing node indices (node `i` → node `i - 1 mod n`).
+    CounterClockwise,
+}
+
+impl GlobalDir {
+    /// Both directions, clockwise first.
+    pub const ALL: [GlobalDir; 2] = [GlobalDir::Clockwise, GlobalDir::CounterClockwise];
+
+    /// Returns the opposite direction.
+    pub fn opposite(self) -> Self {
+        match self {
+            GlobalDir::Clockwise => GlobalDir::CounterClockwise,
+            GlobalDir::CounterClockwise => GlobalDir::Clockwise,
+        }
+    }
+
+    /// Returns `+1` for clockwise and `-1` for counter-clockwise.
+    ///
+    /// Useful when accumulating signed progress around the ring.
+    pub fn sign(self) -> i64 {
+        match self {
+            GlobalDir::Clockwise => 1,
+            GlobalDir::CounterClockwise => -1,
+        }
+    }
+}
+
+impl fmt::Display for GlobalDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalDir::Clockwise => write!(f, "cw"),
+            GlobalDir::CounterClockwise => write!(f, "ccw"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for dir in GlobalDir::ALL {
+            assert_eq!(dir.opposite().opposite(), dir);
+            assert_ne!(dir.opposite(), dir);
+        }
+    }
+
+    #[test]
+    fn signs_are_opposed() {
+        assert_eq!(GlobalDir::Clockwise.sign(), 1);
+        assert_eq!(GlobalDir::CounterClockwise.sign(), -1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GlobalDir::Clockwise.to_string(), "cw");
+        assert_eq!(GlobalDir::CounterClockwise.to_string(), "ccw");
+    }
+}

@@ -1,0 +1,80 @@
+//! ASCII rendering of schedules, for logs, examples and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use crate::{EdgeSchedule, Time};
+
+/// Renders the presence matrix of `schedule` over `[0, horizon)` as an
+/// ASCII grid: one row per edge, one column per instant, `█` present and
+/// `·` absent.
+///
+/// ```rust
+/// use dynring_graph::{render, AbsenceIntervals, EdgeId, RingTopology};
+///
+/// # fn main() -> Result<(), dynring_graph::GraphError> {
+/// let mut g = AbsenceIntervals::new(RingTopology::new(3)?);
+/// g.remove_during(EdgeId::new(1), 1, 3);
+/// let grid = render::presence_grid(&g, 4);
+/// assert!(grid.contains("e1 █··█"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn presence_grid<S: EdgeSchedule>(schedule: &S, horizon: Time) -> String {
+    let ring = schedule.ring();
+    let mut out = String::new();
+    let label_width = format!("e{}", ring.edge_count().saturating_sub(1)).len();
+    // Header with time ticks every 10 columns.
+    let _ = write!(out, "{:label_width$} ", "");
+    for t in 0..horizon {
+        if t % 10 == 0 {
+            let _ = write!(out, "{}", (t / 10) % 10);
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+    for e in ring.edges() {
+        let _ = write!(out, "{:<label_width$} ", format!("e{}", e.index()));
+        for t in 0..horizon {
+            out.push(if schedule.is_present(e, t) { '█' } else { '·' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single edge's timeline over `[0, horizon)`.
+pub fn edge_timeline<S: EdgeSchedule>(
+    schedule: &S,
+    edge: crate::EdgeId,
+    horizon: Time,
+) -> String {
+    (0..horizon)
+        .map(|t| if schedule.is_present(edge, t) { '█' } else { '·' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AbsenceIntervals, EdgeId, RingTopology};
+
+    #[test]
+    fn grid_shows_absences() {
+        let ring = RingTopology::new(3).expect("valid ring");
+        let mut g = AbsenceIntervals::new(ring);
+        g.remove_during(EdgeId::new(0), 0, 2);
+        let grid = presence_grid(&g, 5);
+        assert!(grid.contains("e0 ··███"), "grid:\n{grid}");
+        assert!(grid.contains("e1 █████"), "grid:\n{grid}");
+        assert_eq!(grid.lines().count(), 4); // header + 3 edges
+    }
+
+    #[test]
+    fn timeline_of_one_edge() {
+        let ring = RingTopology::new(2).expect("valid ring");
+        let mut g = AbsenceIntervals::new(ring);
+        g.remove_during(EdgeId::new(1), 2, 4);
+        assert_eq!(edge_timeline(&g, EdgeId::new(1), 6), "██··██");
+    }
+}

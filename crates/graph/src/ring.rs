@@ -1,0 +1,337 @@
+//! The static ring topology underlying every evolving graph in this crate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EdgeId, GlobalDir, GraphError, NodeId};
+
+/// An anonymous, unoriented ring of `n ≥ 2` nodes and `n` edges.
+///
+/// Edge `i` joins node `i` to node `(i + 1) mod n`. For `n = 2` this yields
+/// the *multigraph* ring from §5.2 of the paper: two distinct parallel edges
+/// (`e0`, `e1`) between nodes `v0` and `v1`. The 2-node *chain* reading of
+/// §5.2 is obtained by scheduling edge `e1` permanently absent (see
+/// [`crate::AbsenceIntervals`]).
+///
+/// Orientation helpers use the external observer's [`GlobalDir`]: clockwise
+/// walks towards increasing indices.
+///
+/// ```rust
+/// use dynring_graph::{RingTopology, NodeId, GlobalDir};
+///
+/// # fn main() -> Result<(), dynring_graph::GraphError> {
+/// let ring = RingTopology::new(5)?;
+/// let u = NodeId::new(4);
+/// assert_eq!(ring.neighbor(u, GlobalDir::Clockwise), NodeId::new(0));
+/// assert_eq!(ring.edge_towards(u, GlobalDir::Clockwise).index(), 4);
+/// assert_eq!(ring.distance(NodeId::new(0), NodeId::new(4)), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RingTopology {
+    nodes: u32,
+}
+
+impl RingTopology {
+    /// Creates a ring with `n` nodes (and `n` edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::RingTooSmall`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self, GraphError> {
+        if n < 2 {
+            return Err(GraphError::RingTooSmall { size: n });
+        }
+        let nodes = u32::try_from(n).expect("ring size exceeds u32");
+        Ok(RingTopology { nodes })
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Number of edges — always equal to the number of nodes.
+    pub fn edge_count(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// `true` when this is the 2-node multigraph ring.
+    pub fn is_multigraph(&self) -> bool {
+        self.nodes == 2
+    }
+
+    /// Iterates over all nodes in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes).map(NodeId::from)
+    }
+
+    /// Iterates over all edges in index order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.nodes).map(EdgeId::from)
+    }
+
+    /// `true` when `node` is a node of this ring.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.raw() < self.nodes
+    }
+
+    /// `true` when `edge` is an edge of this ring.
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        edge.raw() < self.nodes
+    }
+
+    /// Validates that `edge` belongs to the ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfRange`] otherwise.
+    pub fn check_edge(&self, edge: EdgeId) -> Result<(), GraphError> {
+        if self.contains_edge(edge) {
+            Ok(())
+        } else {
+            Err(GraphError::EdgeOutOfRange {
+                edge,
+                edges: self.edge_count(),
+            })
+        }
+    }
+
+    /// The neighbour of `node` in direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this ring.
+    pub fn neighbor(&self, node: NodeId, dir: GlobalDir) -> NodeId {
+        assert!(self.contains_node(node), "node {node} out of range");
+        let n = self.nodes;
+        let i = node.raw();
+        match dir {
+            GlobalDir::Clockwise => NodeId::from((i + 1) % n),
+            GlobalDir::CounterClockwise => NodeId::from((i + n - 1) % n),
+        }
+    }
+
+    /// The edge adjacent to `node` leading towards direction `dir`.
+    ///
+    /// At node `i`, the clockwise edge is `e_i` and the counter-clockwise
+    /// edge is `e_{(i + n - 1) mod n}`. In the 2-node multigraph the two
+    /// adjacent edges of each node are distinct parallel edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this ring.
+    pub fn edge_towards(&self, node: NodeId, dir: GlobalDir) -> EdgeId {
+        assert!(self.contains_node(node), "node {node} out of range");
+        let n = self.nodes;
+        let i = node.raw();
+        match dir {
+            GlobalDir::Clockwise => EdgeId::from(i),
+            GlobalDir::CounterClockwise => EdgeId::from((i + n - 1) % n),
+        }
+    }
+
+    /// Both adjacent edges of `node`: `(clockwise, counter-clockwise)`.
+    pub fn adjacent_edges(&self, node: NodeId) -> (EdgeId, EdgeId) {
+        (
+            self.edge_towards(node, GlobalDir::Clockwise),
+            self.edge_towards(node, GlobalDir::CounterClockwise),
+        )
+    }
+
+    /// The two endpoints of `edge`, counter-clockwise endpoint first.
+    ///
+    /// Edge `i` joins node `i` (returned first) and node `(i + 1) mod n`.
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        assert!(self.contains_edge(edge), "edge {edge} out of range");
+        let n = self.nodes;
+        let i = edge.raw();
+        (NodeId::from(i), NodeId::from((i + 1) % n))
+    }
+
+    /// Crossing `edge` from `node` lands on the returned node; `None` when
+    /// `edge` is not adjacent to `node`.
+    pub fn traverse(&self, node: NodeId, edge: EdgeId) -> Option<NodeId> {
+        if !self.contains_node(node) || !self.contains_edge(edge) {
+            return None;
+        }
+        for dir in GlobalDir::ALL {
+            if self.edge_towards(node, dir) == edge {
+                return Some(self.neighbor(node, dir));
+            }
+        }
+        None
+    }
+
+    /// The direction in which `edge` leaves `node`, or `None` when `edge` is
+    /// not adjacent to `node`.
+    pub fn direction_of(&self, node: NodeId, edge: EdgeId) -> Option<GlobalDir> {
+        GlobalDir::ALL
+            .into_iter()
+            .find(|&dir| self.contains_node(node) && self.edge_towards(node, dir) == edge)
+    }
+
+    /// Ring distance `d(u, v)`: length of a shortest path in the underlying
+    /// (static) ring.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> usize {
+        let cw = self.directed_distance(u, v, GlobalDir::Clockwise);
+        let ccw = self.directed_distance(u, v, GlobalDir::CounterClockwise);
+        cw.min(ccw)
+    }
+
+    /// Number of hops needed to walk from `u` to `v` going only in direction
+    /// `dir` (0 when `u == v`).
+    pub fn directed_distance(&self, u: NodeId, v: NodeId, dir: GlobalDir) -> usize {
+        assert!(self.contains_node(u), "node {u} out of range");
+        assert!(self.contains_node(v), "node {v} out of range");
+        let n = self.nodes as i64;
+        let delta = (v.raw() as i64 - u.raw() as i64).rem_euclid(n);
+        match dir {
+            GlobalDir::Clockwise => delta as usize,
+            GlobalDir::CounterClockwise => ((n - delta) % n) as usize,
+        }
+    }
+
+    /// `true` when `u` and `v` are joined by at least one edge.
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.distance(u, v) == 1
+    }
+
+    /// The node reached after walking `steps` hops from `node` in `dir`.
+    pub fn walk(&self, node: NodeId, dir: GlobalDir, steps: usize) -> NodeId {
+        assert!(self.contains_node(node), "node {node} out of range");
+        let n = self.nodes as i64;
+        let offset = (steps as i64 % n) * dir.sign();
+        let idx = (node.raw() as i64 + offset).rem_euclid(n);
+        NodeId::from(idx as u32)
+    }
+}
+
+impl fmt::Display for RingTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring(n={})", self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    #[test]
+    fn rejects_tiny_rings() {
+        assert_eq!(
+            RingTopology::new(0),
+            Err(GraphError::RingTooSmall { size: 0 })
+        );
+        assert_eq!(
+            RingTopology::new(1),
+            Err(GraphError::RingTooSmall { size: 1 })
+        );
+        assert!(RingTopology::new(2).is_ok());
+    }
+
+    #[test]
+    fn neighbors_wrap_around() {
+        let r = ring(5);
+        assert_eq!(
+            r.neighbor(NodeId::new(4), GlobalDir::Clockwise),
+            NodeId::new(0)
+        );
+        assert_eq!(
+            r.neighbor(NodeId::new(0), GlobalDir::CounterClockwise),
+            NodeId::new(4)
+        );
+    }
+
+    #[test]
+    fn edges_towards_match_endpoints() {
+        let r = ring(6);
+        for node in r.nodes() {
+            for dir in GlobalDir::ALL {
+                let e = r.edge_towards(node, dir);
+                let (a, b) = r.endpoints(e);
+                assert!(a == node || b == node, "edge {e} must touch {node}");
+                assert_eq!(r.traverse(node, e), Some(r.neighbor(node, dir)));
+                assert_eq!(r.direction_of(node, e), Some(dir));
+            }
+        }
+    }
+
+    #[test]
+    fn multigraph_ring_has_two_parallel_edges() {
+        let r = ring(2);
+        assert!(r.is_multigraph());
+        let (cw0, ccw0) = r.adjacent_edges(NodeId::new(0));
+        assert_eq!(cw0, EdgeId::new(0));
+        assert_eq!(ccw0, EdgeId::new(1));
+        let (cw1, ccw1) = r.adjacent_edges(NodeId::new(1));
+        assert_eq!(cw1, EdgeId::new(1));
+        assert_eq!(ccw1, EdgeId::new(0));
+        // Both edges join the same pair of nodes.
+        assert_eq!(r.endpoints(EdgeId::new(0)), (NodeId::new(0), NodeId::new(1)));
+        assert_eq!(r.endpoints(EdgeId::new(1)), (NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn distances() {
+        let r = ring(8);
+        assert_eq!(r.distance(NodeId::new(0), NodeId::new(0)), 0);
+        assert_eq!(r.distance(NodeId::new(0), NodeId::new(3)), 3);
+        assert_eq!(r.distance(NodeId::new(0), NodeId::new(5)), 3);
+        assert_eq!(
+            r.directed_distance(NodeId::new(0), NodeId::new(5), GlobalDir::Clockwise),
+            5
+        );
+        assert_eq!(
+            r.directed_distance(NodeId::new(0), NodeId::new(5), GlobalDir::CounterClockwise),
+            3
+        );
+    }
+
+    #[test]
+    fn walk_is_consistent_with_neighbor() {
+        let r = ring(7);
+        let mut node = NodeId::new(3);
+        for step in 1..=14 {
+            node = r.neighbor(node, GlobalDir::Clockwise);
+            assert_eq!(r.walk(NodeId::new(3), GlobalDir::Clockwise, step), node);
+        }
+    }
+
+    #[test]
+    fn walk_zero_steps_is_identity() {
+        let r = ring(4);
+        for node in r.nodes() {
+            for dir in GlobalDir::ALL {
+                assert_eq!(r.walk(node, dir, 0), node);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency() {
+        let r = ring(4);
+        assert!(r.are_adjacent(NodeId::new(0), NodeId::new(1)));
+        assert!(r.are_adjacent(NodeId::new(0), NodeId::new(3)));
+        assert!(!r.are_adjacent(NodeId::new(0), NodeId::new(2)));
+        assert!(!r.are_adjacent(NodeId::new(2), NodeId::new(2)));
+    }
+
+    #[test]
+    fn traverse_rejects_non_adjacent_edges() {
+        let r = ring(6);
+        assert_eq!(r.traverse(NodeId::new(0), EdgeId::new(3)), None);
+        assert_eq!(r.direction_of(NodeId::new(0), EdgeId::new(3)), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ring(9).to_string(), "ring(n=9)");
+    }
+}

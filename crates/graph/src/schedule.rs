@@ -1,0 +1,989 @@
+//! Edge-presence schedules: the "dynamics" of an evolving graph.
+//!
+//! A schedule is a total function `(edge, time) ↦ present?`. The paper's
+//! evolving graph `G = {G_0, G_1, …}` is recovered by taking
+//! [`EdgeSchedule::edges_at`] for each instant. The proofs repeatedly use the
+//! operator `G \ {(e_1, τ_1), …, (e_k, τ_k)}` (remove edge `e_i` during time
+//! set `τ_i`); [`RemovalTable`], [`Minus`] and [`AbsenceIntervals`] implement
+//! exactly that operator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EdgeId, EdgeSet, GraphError, RingTopology, Time};
+
+/// A half-open interval of time `[start, end)`; `end = None` means "forever".
+///
+/// The paper writes inclusive time sets `{t, …, t′}`; the equivalent here is
+/// `TimeInterval::bounded(t, t′ + 1)`.
+///
+/// ```rust
+/// use dynring_graph::TimeInterval;
+/// let i = TimeInterval::bounded(3, 7);
+/// assert!(i.contains(3) && i.contains(6) && !i.contains(7));
+/// assert!(TimeInterval::from_instant(5).contains(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeInterval {
+    start: Time,
+    end: Option<Time>,
+}
+
+impl TimeInterval {
+    /// The bounded interval `[start, end)`. An interval with `end <= start`
+    /// is empty (it contains no instant); empty intervals are accepted and
+    /// behave as no-ops when inserted into a [`RemovalTable`].
+    pub fn bounded(start: Time, end: Time) -> Self {
+        TimeInterval {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// The unbounded interval `[start, ∞)`.
+    pub fn from_instant(start: Time) -> Self {
+        TimeInterval { start, end: None }
+    }
+
+    /// Start of the interval (inclusive).
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// End of the interval (exclusive), `None` when unbounded.
+    pub fn end(&self) -> Option<Time> {
+        self.end
+    }
+
+    /// `true` when the interval contains no instant.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.end, Some(end) if end <= self.start)
+    }
+
+    /// `true` when the interval is `[start, ∞)`.
+    pub fn is_unbounded(&self) -> bool {
+        self.end.is_none()
+    }
+
+    /// `true` when `t` lies in the interval.
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.start && self.end.is_none_or(|end| t < end)
+    }
+
+    /// `true` when the two intervals overlap or touch (so that merging them
+    /// yields a single interval).
+    pub fn touches(&self, other: &TimeInterval) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let (a, b) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        a.end.is_none_or(|end| end >= b.start)
+    }
+
+    /// Merges two touching intervals into their union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intervals neither overlap nor touch.
+    pub fn merge(&self, other: &TimeInterval) -> TimeInterval {
+        assert!(self.touches(other), "cannot merge disjoint intervals");
+        let start = self.start.min(other.start);
+        let end = match (self.end, other.end) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        TimeInterval { start, end }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(end) => write!(f, "[{}, {})", self.start, end),
+            None => write!(f, "[{}, ∞)", self.start),
+        }
+    }
+}
+
+/// Per-edge table of *absence* intervals — the `\ {(e, τ)}` operator.
+///
+/// Intervals for a given edge are kept sorted, non-empty and merged, so the
+/// table is a canonical representation of "when is each edge forcibly
+/// absent".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemovalTable {
+    absences: BTreeMap<EdgeId, Vec<TimeInterval>>,
+}
+
+impl RemovalTable {
+    /// An empty table (nothing removed).
+    pub fn new() -> Self {
+        RemovalTable::default()
+    }
+
+    /// Marks `edge` absent during `interval`. Empty intervals are ignored.
+    pub fn insert(&mut self, edge: EdgeId, interval: TimeInterval) {
+        if interval.is_empty() {
+            return;
+        }
+        let entry = self.absences.entry(edge).or_default();
+        entry.push(interval);
+        entry.sort_by_key(|iv| iv.start());
+        // Merge touching intervals to keep the representation canonical.
+        let mut merged: Vec<TimeInterval> = Vec::with_capacity(entry.len());
+        for iv in entry.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.touches(&iv) => *last = last.merge(&iv),
+                _ => merged.push(iv),
+            }
+        }
+        *entry = merged;
+    }
+
+    /// `true` when `edge` is marked absent at time `t`.
+    pub fn is_absent(&self, edge: EdgeId, t: Time) -> bool {
+        let Some(intervals) = self.absences.get(&edge) else {
+            return false;
+        };
+        // Binary search on start times; the candidate interval is the last
+        // one starting at or before `t`.
+        let idx = intervals.partition_point(|iv| iv.start() <= t);
+        idx > 0 && intervals[idx - 1].contains(t)
+    }
+
+    /// The (canonical) absence intervals recorded for `edge`.
+    pub fn intervals(&self, edge: EdgeId) -> &[TimeInterval] {
+        self.absences.get(&edge).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over `(edge, intervals)` pairs in edge order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &[TimeInterval])> + '_ {
+        self.absences.iter().map(|(&e, v)| (e, v.as_slice()))
+    }
+
+    /// Edges that are absent forever after some time (unbounded interval).
+    pub fn eventually_missing(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.absences.iter().filter_map(|(&e, ivs)| {
+            ivs.iter().any(TimeInterval::is_unbounded).then_some(e)
+        })
+    }
+
+    /// `true` when the table removes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.absences.is_empty()
+    }
+}
+
+/// A total edge-presence function: the dynamics of an evolving graph.
+///
+/// Implementations must be *pure*: the same `(edge, t)` always yields the
+/// same answer. Adaptive adversaries (whose choices depend on robot
+/// configurations) live one level up, in `dynring-engine`'s `Dynamics`
+/// trait; any adaptive run can be captured back into a pure
+/// [`ScriptedSchedule`].
+pub trait EdgeSchedule {
+    /// The ring whose edges this schedule drives.
+    fn ring(&self) -> &RingTopology;
+
+    /// `true` when `edge` is present at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `edge` is not an edge of
+    /// [`EdgeSchedule::ring`].
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool;
+
+    /// The snapshot `E_t`: every edge present at time `t`.
+    fn edges_at(&self, t: Time) -> EdgeSet {
+        let mut set = EdgeSet::empty_for(self.ring());
+        for e in self.ring().edges() {
+            if self.is_present(e, t) {
+                set.insert(e);
+            }
+        }
+        set
+    }
+
+    /// Union of the snapshots over `[0, horizon)` — a finite-horizon
+    /// approximation of the underlying graph's edge set `E_G`.
+    fn footprint(&self, horizon: Time) -> EdgeSet {
+        let mut acc = EdgeSet::empty_for(self.ring());
+        for t in 0..horizon {
+            acc.union_with(&self.edges_at(t));
+        }
+        acc
+    }
+}
+
+impl<S: EdgeSchedule + ?Sized> EdgeSchedule for &S {
+    fn ring(&self) -> &RingTopology {
+        (**self).ring()
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        (**self).is_present(edge, t)
+    }
+
+    fn edges_at(&self, t: Time) -> EdgeSet {
+        (**self).edges_at(t)
+    }
+}
+
+impl<S: EdgeSchedule + ?Sized> EdgeSchedule for Box<S> {
+    fn ring(&self) -> &RingTopology {
+        (**self).ring()
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        (**self).is_present(edge, t)
+    }
+
+    fn edges_at(&self, t: Time) -> EdgeSet {
+        (**self).edges_at(t)
+    }
+}
+
+/// The static ring: every edge present at every instant.
+///
+/// This is the graph `G` used as the starting point of both impossibility
+/// proofs ("all the edges of `U_G` are present at each time").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlwaysPresent {
+    ring: RingTopology,
+}
+
+impl AlwaysPresent {
+    /// Creates the static schedule over `ring`.
+    pub fn new(ring: RingTopology) -> Self {
+        AlwaysPresent { ring }
+    }
+}
+
+impl EdgeSchedule for AlwaysPresent {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn is_present(&self, edge: EdgeId, _t: Time) -> bool {
+        self.ring
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        true
+    }
+
+    fn edges_at(&self, _t: Time) -> EdgeSet {
+        EdgeSet::full_for(&self.ring)
+    }
+}
+
+/// What a [`ScriptedSchedule`] does after its recorded frames run out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TailBehavior {
+    /// Repeat the last frame forever (an eventual fixed graph).
+    HoldLast,
+    /// Cycle through the frames again (periodic continuation).
+    Cycle,
+    /// All edges present forever (the safe, connected-over-time default).
+    #[default]
+    AllPresent,
+    /// All edges absent forever. **Not** connected-over-time; intended for
+    /// negative tests only.
+    AllAbsent,
+}
+
+/// A schedule given explicitly as a finite list of snapshots plus a
+/// [`TailBehavior`] for all later instants.
+///
+/// This is the workhorse for captured adversarial runs, generated random
+/// dynamics, and the convergence framework.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedSchedule {
+    ring: RingTopology,
+    frames: Vec<EdgeSet>,
+    tail: TailBehavior,
+}
+
+impl ScriptedSchedule {
+    /// Creates a scripted schedule from explicit frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::FrameSizeMismatch`] when any frame's universe
+    /// differs from the ring's edge count.
+    pub fn new(
+        ring: RingTopology,
+        frames: Vec<EdgeSet>,
+        tail: TailBehavior,
+    ) -> Result<Self, GraphError> {
+        for frame in &frames {
+            if frame.universe() != ring.edge_count() {
+                return Err(GraphError::FrameSizeMismatch {
+                    expected: ring.edge_count(),
+                    found: frame.universe(),
+                });
+            }
+        }
+        Ok(ScriptedSchedule { ring, frames, tail })
+    }
+
+    /// An empty script (tail behaviour applies from time 0).
+    pub fn empty(ring: RingTopology, tail: TailBehavior) -> Self {
+        ScriptedSchedule {
+            ring,
+            frames: Vec::new(),
+            tail,
+        }
+    }
+
+    /// Records `schedule`'s first `horizon` snapshots into a script.
+    pub fn capture<S: EdgeSchedule>(schedule: &S, horizon: Time, tail: TailBehavior) -> Self {
+        let frames = (0..horizon).map(|t| schedule.edges_at(t)).collect();
+        ScriptedSchedule {
+            ring: schedule.ring().clone(),
+            frames,
+            tail,
+        }
+    }
+
+    /// Appends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::FrameSizeMismatch`] when the frame's universe
+    /// differs from the ring's edge count.
+    pub fn push_frame(&mut self, frame: EdgeSet) -> Result<(), GraphError> {
+        if frame.universe() != self.ring.edge_count() {
+            return Err(GraphError::FrameSizeMismatch {
+                expected: self.ring.edge_count(),
+                found: frame.universe(),
+            });
+        }
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    /// Number of explicitly recorded frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The recorded frames.
+    pub fn frames(&self) -> &[EdgeSet] {
+        &self.frames
+    }
+
+    /// The configured tail behaviour.
+    pub fn tail(&self) -> TailBehavior {
+        self.tail
+    }
+
+    /// Replaces the tail behaviour.
+    pub fn set_tail(&mut self, tail: TailBehavior) {
+        self.tail = tail;
+    }
+}
+
+impl EdgeSchedule for ScriptedSchedule {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        self.ring
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.edges_at(t).contains(edge)
+    }
+
+    fn edges_at(&self, t: Time) -> EdgeSet {
+        let len = self.frames.len() as Time;
+        if t < len {
+            return self.frames[t as usize].clone();
+        }
+        match self.tail {
+            TailBehavior::HoldLast => self
+                .frames
+                .last()
+                .cloned()
+                .unwrap_or_else(|| EdgeSet::full_for(&self.ring)),
+            TailBehavior::Cycle => {
+                if self.frames.is_empty() {
+                    EdgeSet::full_for(&self.ring)
+                } else {
+                    self.frames[(t % len) as usize].clone()
+                }
+            }
+            TailBehavior::AllPresent => EdgeSet::full_for(&self.ring),
+            TailBehavior::AllAbsent => EdgeSet::empty_for(&self.ring),
+        }
+    }
+}
+
+/// A periodically varying graph (the class studied in Flocchini–Mans–Santoro
+/// and Ilcinkas–Wade): the frame at time `t` is `frames[t mod p]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicSchedule {
+    ring: RingTopology,
+    frames: Vec<EdgeSet>,
+}
+
+impl PeriodicSchedule {
+    /// Creates a periodic schedule cycling through `frames`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyPeriod`] when `frames` is empty and
+    /// [`GraphError::FrameSizeMismatch`] when a frame has the wrong universe.
+    pub fn new(ring: RingTopology, frames: Vec<EdgeSet>) -> Result<Self, GraphError> {
+        if frames.is_empty() {
+            return Err(GraphError::EmptyPeriod);
+        }
+        for frame in &frames {
+            if frame.universe() != ring.edge_count() {
+                return Err(GraphError::FrameSizeMismatch {
+                    expected: ring.edge_count(),
+                    found: frame.universe(),
+                });
+            }
+        }
+        Ok(PeriodicSchedule { ring, frames })
+    }
+
+    /// The period `p`.
+    pub fn period(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl EdgeSchedule for PeriodicSchedule {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        self.ring
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.frames[(t % self.frames.len() as Time) as usize].contains(edge)
+    }
+
+    fn edges_at(&self, t: Time) -> EdgeSet {
+        self.frames[(t % self.frames.len() as Time) as usize].clone()
+    }
+}
+
+/// `inner` with extra absences applied — the proofs' `G \ {(e, τ), …}`.
+///
+/// ```rust
+/// use dynring_graph::{AlwaysPresent, EdgeSchedule, EdgeId, Minus,
+///                     RingTopology, TimeInterval};
+///
+/// # fn main() -> Result<(), dynring_graph::GraphError> {
+/// let ring = RingTopology::new(4)?;
+/// let mut g = Minus::new(AlwaysPresent::new(ring));
+/// g.remove(EdgeId::new(1), TimeInterval::bounded(2, 5));
+/// assert!(g.is_present(EdgeId::new(1), 1));
+/// assert!(!g.is_present(EdgeId::new(1), 4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Minus<S> {
+    inner: S,
+    removals: RemovalTable,
+}
+
+impl<S: EdgeSchedule> Minus<S> {
+    /// Wraps `inner` with an empty removal table.
+    pub fn new(inner: S) -> Self {
+        Minus {
+            inner,
+            removals: RemovalTable::new(),
+        }
+    }
+
+    /// Marks `edge` absent during `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is not an edge of the inner ring.
+    pub fn remove(&mut self, edge: EdgeId, interval: TimeInterval) -> &mut Self {
+        self.inner
+            .ring()
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.removals.insert(edge, interval);
+        self
+    }
+
+    /// The wrapped schedule.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The removal table.
+    pub fn removals(&self) -> &RemovalTable {
+        &self.removals
+    }
+
+    /// Unwraps, returning the inner schedule and the removal table.
+    pub fn into_parts(self) -> (S, RemovalTable) {
+        (self.inner, self.removals)
+    }
+}
+
+impl<S: EdgeSchedule> EdgeSchedule for Minus<S> {
+    fn ring(&self) -> &RingTopology {
+        self.inner.ring()
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        self.inner.is_present(edge, t) && !self.removals.is_absent(edge, t)
+    }
+}
+
+/// A static ring from which edges are carved out by absence intervals.
+///
+/// Equivalent to `Minus<AlwaysPresent>` but ubiquitous enough in the proofs
+/// to deserve its own named type: "all edges are always present except …".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbsenceIntervals {
+    ring: RingTopology,
+    removals: RemovalTable,
+}
+
+impl AbsenceIntervals {
+    /// A static ring with no absences yet.
+    pub fn new(ring: RingTopology) -> Self {
+        AbsenceIntervals {
+            ring,
+            removals: RemovalTable::new(),
+        }
+    }
+
+    /// Marks `edge` absent during `[start, end)`. Empty intervals are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is not an edge of the ring.
+    pub fn remove_during(&mut self, edge: EdgeId, start: Time, end: Time) -> &mut Self {
+        self.remove(edge, TimeInterval::bounded(start, end))
+    }
+
+    /// Marks `edge` absent forever from `start` on — an *eventual missing
+    /// edge*.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is not an edge of the ring.
+    pub fn remove_from(&mut self, edge: EdgeId, start: Time) -> &mut Self {
+        self.remove(edge, TimeInterval::from_instant(start))
+    }
+
+    /// Marks `edge` absent during `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is not an edge of the ring.
+    pub fn remove(&mut self, edge: EdgeId, interval: TimeInterval) -> &mut Self {
+        self.ring
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.removals.insert(edge, interval);
+        self
+    }
+
+    /// The removal table.
+    pub fn removals(&self) -> &RemovalTable {
+        &self.removals
+    }
+}
+
+impl EdgeSchedule for AbsenceIntervals {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        self.ring
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        !self.removals.is_absent(edge, t)
+    }
+}
+
+/// `inner` with one designated *eventual missing edge*: `edge` is absent
+/// forever from time `from` on.
+///
+/// On a ring this is the extreme point of the connected-over-time class: the
+/// eventual underlying graph is the chain obtained by deleting `edge`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WithEventualMissing<S> {
+    inner: S,
+    edge: EdgeId,
+    from: Time,
+}
+
+impl<S: EdgeSchedule> WithEventualMissing<S> {
+    /// Kills `edge` forever from time `from` on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is not an edge of the inner ring.
+    pub fn new(inner: S, edge: EdgeId, from: Time) -> Self {
+        inner
+            .ring()
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        WithEventualMissing { inner, edge, from }
+    }
+
+    /// The designated eventual missing edge.
+    pub fn missing_edge(&self) -> EdgeId {
+        self.edge
+    }
+
+    /// The time from which the edge is gone.
+    pub fn missing_from(&self) -> Time {
+        self.from
+    }
+
+    /// The wrapped schedule.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: EdgeSchedule> EdgeSchedule for WithEventualMissing<S> {
+    fn ring(&self) -> &RingTopology {
+        self.inner.ring()
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        if edge == self.edge && t >= self.from {
+            return false;
+        }
+        self.inner.is_present(edge, t)
+    }
+}
+
+/// Memoryless random dynamics: each `(edge, t)` is present independently
+/// with probability `p`, decided by a deterministic hash of
+/// `(seed, edge, t)` — so the schedule is pure, reproducible and offers
+/// random access in time.
+///
+/// Almost surely every edge recurs infinitely often (for `p > 0`), making
+/// the infinite schedule connected-over-time with probability 1; over a
+/// finite horizon, pair it with
+/// [`crate::generators::enforce_recurrence`] for a hard guarantee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliSchedule {
+    ring: RingTopology,
+    presence_probability: f64,
+    seed: u64,
+}
+
+impl BernoulliSchedule {
+    /// Creates Bernoulli dynamics with presence probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidProbability`] unless `0 ≤ p ≤ 1`.
+    pub fn new(ring: RingTopology, p: f64, seed: u64) -> Result<Self, GraphError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidProbability { value: p });
+        }
+        Ok(BernoulliSchedule {
+            ring,
+            presence_probability: p,
+            seed,
+        })
+    }
+
+    /// The presence probability `p`.
+    pub fn presence_probability(&self) -> f64 {
+        self.presence_probability
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl EdgeSchedule for BernoulliSchedule {
+    fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        self.ring
+            .check_edge(edge)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let h = mix64(self.seed ^ mix64((edge.raw() as u64) << 32 ^ t));
+        // Map the hash to [0, 1) and compare against p.
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.presence_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    #[test]
+    fn interval_membership() {
+        let iv = TimeInterval::bounded(2, 5);
+        assert!(!iv.contains(1));
+        assert!(iv.contains(2));
+        assert!(iv.contains(4));
+        assert!(!iv.contains(5));
+        assert!(!iv.is_empty());
+        assert!(TimeInterval::bounded(3, 3).is_empty());
+        assert!(TimeInterval::from_instant(0).contains(u64::MAX));
+    }
+
+    #[test]
+    fn interval_touching_and_merge() {
+        let a = TimeInterval::bounded(0, 3);
+        let b = TimeInterval::bounded(3, 6);
+        let c = TimeInterval::bounded(7, 9);
+        assert!(a.touches(&b));
+        assert!(!a.touches(&c));
+        assert_eq!(a.merge(&b), TimeInterval::bounded(0, 6));
+        let unbounded = TimeInterval::from_instant(5);
+        assert!(b.touches(&unbounded));
+        assert_eq!(b.merge(&unbounded), TimeInterval::from_instant(3));
+    }
+
+    #[test]
+    fn removal_table_merges_intervals() {
+        let mut table = RemovalTable::new();
+        let e = EdgeId::new(0);
+        table.insert(e, TimeInterval::bounded(0, 3));
+        table.insert(e, TimeInterval::bounded(5, 8));
+        table.insert(e, TimeInterval::bounded(2, 6)); // bridges the two
+        assert_eq!(table.intervals(e), &[TimeInterval::bounded(0, 8)]);
+        assert!(table.is_absent(e, 7));
+        assert!(!table.is_absent(e, 8));
+    }
+
+    #[test]
+    fn removal_table_ignores_empty_interval() {
+        let mut table = RemovalTable::new();
+        table.insert(EdgeId::new(1), TimeInterval::bounded(4, 4));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn removal_table_eventually_missing() {
+        let mut table = RemovalTable::new();
+        table.insert(EdgeId::new(2), TimeInterval::bounded(0, 9));
+        table.insert(EdgeId::new(3), TimeInterval::from_instant(4));
+        let missing: Vec<_> = table.eventually_missing().collect();
+        assert_eq!(missing, vec![EdgeId::new(3)]);
+    }
+
+    #[test]
+    fn always_present_snapshots_are_full() {
+        let g = AlwaysPresent::new(ring(5));
+        assert!(g.edges_at(0).is_full());
+        assert!(g.edges_at(99).is_full());
+        assert!(g.is_present(EdgeId::new(4), 12));
+        assert!(g.footprint(3).is_full());
+    }
+
+    #[test]
+    fn scripted_schedule_plays_frames_then_tail() {
+        let r = ring(3);
+        let frames = vec![
+            EdgeSet::from_indices(3, [0]),
+            EdgeSet::from_indices(3, [1, 2]),
+        ];
+        let s = ScriptedSchedule::new(r.clone(), frames.clone(), TailBehavior::AllPresent)
+            .expect("valid script");
+        assert_eq!(s.edges_at(0), frames[0]);
+        assert_eq!(s.edges_at(1), frames[1]);
+        assert!(s.edges_at(2).is_full());
+        assert_eq!(s.frame_count(), 2);
+    }
+
+    #[test]
+    fn scripted_tail_behaviours() {
+        let r = ring(2);
+        let frames = vec![
+            EdgeSet::from_indices(2, [0]),
+            EdgeSet::from_indices(2, [1]),
+        ];
+        let hold = ScriptedSchedule::new(r.clone(), frames.clone(), TailBehavior::HoldLast)
+            .expect("valid");
+        assert_eq!(hold.edges_at(10), frames[1]);
+        let cycle =
+            ScriptedSchedule::new(r.clone(), frames.clone(), TailBehavior::Cycle).expect("valid");
+        assert_eq!(cycle.edges_at(4), frames[0]);
+        assert_eq!(cycle.edges_at(5), frames[1]);
+        let absent =
+            ScriptedSchedule::new(r.clone(), frames, TailBehavior::AllAbsent).expect("valid");
+        assert!(absent.edges_at(7).is_empty());
+    }
+
+    #[test]
+    fn scripted_rejects_mismatched_frames() {
+        let r = ring(4);
+        let err = ScriptedSchedule::new(r, vec![EdgeSet::empty(3)], TailBehavior::AllPresent);
+        assert_eq!(
+            err,
+            Err(GraphError::FrameSizeMismatch {
+                expected: 4,
+                found: 3
+            })
+        );
+    }
+
+    #[test]
+    fn capture_round_trips_a_schedule() {
+        let mut src = AbsenceIntervals::new(ring(4));
+        src.remove_during(EdgeId::new(2), 1, 3);
+        let cap = ScriptedSchedule::capture(&src, 5, TailBehavior::AllPresent);
+        for t in 0..5 {
+            assert_eq!(cap.edges_at(t), src.edges_at(t), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn periodic_schedule_cycles() {
+        let r = ring(2);
+        let frames = vec![
+            EdgeSet::from_indices(2, [0]),
+            EdgeSet::from_indices(2, [1]),
+            EdgeSet::from_indices(2, [0, 1]),
+        ];
+        let p = PeriodicSchedule::new(r, frames.clone()).expect("valid period");
+        assert_eq!(p.period(), 3);
+        for t in 0..12u64 {
+            assert_eq!(p.edges_at(t), frames[(t % 3) as usize]);
+        }
+    }
+
+    #[test]
+    fn periodic_rejects_empty() {
+        assert_eq!(
+            PeriodicSchedule::new(ring(2), vec![]),
+            Err(GraphError::EmptyPeriod)
+        );
+    }
+
+    #[test]
+    fn minus_applies_removals() {
+        let mut g = Minus::new(AlwaysPresent::new(ring(4)));
+        g.remove(EdgeId::new(1), TimeInterval::bounded(2, 4));
+        g.remove(EdgeId::new(1), TimeInterval::bounded(6, 7));
+        assert!(g.is_present(EdgeId::new(1), 1));
+        assert!(!g.is_present(EdgeId::new(1), 3));
+        assert!(g.is_present(EdgeId::new(1), 5));
+        assert!(!g.is_present(EdgeId::new(1), 6));
+        assert!(g.is_present(EdgeId::new(0), 3));
+    }
+
+    #[test]
+    fn absence_intervals_eventual_missing_edge() {
+        let mut g = AbsenceIntervals::new(ring(5));
+        g.remove_from(EdgeId::new(3), 10);
+        assert!(g.is_present(EdgeId::new(3), 9));
+        assert!(!g.is_present(EdgeId::new(3), 10));
+        assert!(!g.is_present(EdgeId::new(3), 1_000_000));
+        let missing: Vec<_> = g.removals().eventually_missing().collect();
+        assert_eq!(missing, vec![EdgeId::new(3)]);
+    }
+
+    #[test]
+    fn with_eventual_missing_wrapper() {
+        let g = WithEventualMissing::new(AlwaysPresent::new(ring(4)), EdgeId::new(0), 5);
+        assert!(g.is_present(EdgeId::new(0), 4));
+        assert!(!g.is_present(EdgeId::new(0), 5));
+        assert_eq!(g.missing_edge(), EdgeId::new(0));
+        assert_eq!(g.missing_from(), 5);
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_and_seed_sensitive() {
+        let a = BernoulliSchedule::new(ring(6), 0.5, 42).expect("valid p");
+        let b = BernoulliSchedule::new(ring(6), 0.5, 42).expect("valid p");
+        let c = BernoulliSchedule::new(ring(6), 0.5, 43).expect("valid p");
+        let snap_a: Vec<_> = (0..50).map(|t| a.edges_at(t)).collect();
+        let snap_b: Vec<_> = (0..50).map(|t| b.edges_at(t)).collect();
+        assert_eq!(snap_a, snap_b);
+        let snap_c: Vec<_> = (0..50).map(|t| c.edges_at(t)).collect();
+        assert_ne!(snap_a, snap_c);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let never = BernoulliSchedule::new(ring(3), 0.0, 1).expect("valid p");
+        let always = BernoulliSchedule::new(ring(3), 1.0, 1).expect("valid p");
+        for t in 0..20 {
+            assert!(never.edges_at(t).is_empty());
+            assert!(always.edges_at(t).is_full());
+        }
+    }
+
+    #[test]
+    fn bernoulli_rejects_bad_probability() {
+        assert!(matches!(
+            BernoulliSchedule::new(ring(3), 1.5, 0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_plausible() {
+        let g = BernoulliSchedule::new(ring(10), 0.7, 7).expect("valid p");
+        let total: usize = (0..1000).map(|t| g.edges_at(t).len()).sum();
+        let rate = total as f64 / (1000.0 * 10.0);
+        assert!((rate - 0.7).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn schedule_trait_object_usable_through_references() {
+        let g = AlwaysPresent::new(ring(3));
+        fn takes_schedule<S: EdgeSchedule>(s: S) -> usize {
+            s.edges_at(0).len()
+        }
+        assert_eq!(takes_schedule(&g), 3);
+        let boxed: Box<dyn EdgeSchedule> = Box::new(g);
+        assert_eq!(takes_schedule(&boxed), 3);
+    }
+
+    #[test]
+    fn serde_round_trip_scripted() {
+        let r = ring(3);
+        let s = ScriptedSchedule::new(
+            r,
+            vec![EdgeSet::from_indices(3, [0, 2])],
+            TailBehavior::Cycle,
+        )
+        .expect("valid script");
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: ScriptedSchedule = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

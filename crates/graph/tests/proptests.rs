@@ -1,0 +1,268 @@
+//! Property-based tests for the evolving-graph substrate.
+
+use proptest::prelude::*;
+
+use dynring_graph::classes::{self, CotVerdict};
+use dynring_graph::generators::{self, RandomCotConfig};
+use dynring_graph::journey::ForemostArrivals;
+use dynring_graph::{
+    AbsenceIntervals, AlwaysPresent, EdgeId, EdgeSchedule, EdgeSet, GlobalDir, NodeId,
+    RingTopology, ScriptedSchedule, TailBehavior, TimeInterval,
+};
+
+fn edge_set_strategy(universe: usize) -> impl Strategy<Value = EdgeSet> {
+    proptest::collection::vec(any::<bool>(), universe).prop_map(move |bits| {
+        let mut set = EdgeSet::empty(universe);
+        for (i, bit) in bits.into_iter().enumerate() {
+            if bit {
+                set.insert(EdgeId::new(i));
+            }
+        }
+        set
+    })
+}
+
+proptest! {
+    /// De Morgan's law and double complement on edge sets.
+    #[test]
+    fn edge_set_boolean_laws(
+        universe in 1usize..130,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let a = {
+            let mut s = EdgeSet::empty(universe);
+            for i in 0..universe {
+                if (seed_a >> (i % 64)) & 1 == 1 {
+                    s.insert(EdgeId::new(i));
+                }
+            }
+            s
+        };
+        let b = {
+            let mut s = EdgeSet::empty(universe);
+            for i in 0..universe {
+                if (seed_b >> (i % 64)) & 1 == 1 {
+                    s.insert(EdgeId::new(i));
+                }
+            }
+            s
+        };
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+        prop_assert_eq!(
+            a.intersection(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+        prop_assert_eq!(a.difference(&b), a.intersection(&b.complement()));
+        prop_assert_eq!(a.union(&b).len() + a.intersection(&b).len(), a.len() + b.len());
+    }
+
+    /// Serde round-trips preserve edge sets exactly.
+    #[test]
+    fn edge_set_serde_round_trip(set in (1usize..80).prop_flat_map(edge_set_strategy)) {
+        let json = serde_json::to_string(&set).expect("serialize");
+        let back: EdgeSet = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(set, back);
+    }
+
+    /// Capturing any scripted schedule reproduces it frame by frame.
+    #[test]
+    fn capture_round_trips(
+        n in 2usize..12,
+        frames in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let frames: Vec<EdgeSet> = (0..frames)
+            .map(|f| {
+                let mut set = EdgeSet::empty(n);
+                for e in 0..n {
+                    if (seed >> ((f * 7 + e) % 64)) & 1 == 1 {
+                        set.insert(EdgeId::new(e));
+                    }
+                }
+                set
+            })
+            .collect();
+        let original = ScriptedSchedule::new(ring, frames.clone(), TailBehavior::Cycle)
+            .expect("valid script");
+        let captured = ScriptedSchedule::capture(&original, frames.len() as u64, TailBehavior::Cycle);
+        for t in 0..(frames.len() as u64 * 3) {
+            prop_assert_eq!(original.edges_at(t), captured.edges_at(t), "t = {}", t);
+        }
+    }
+
+    /// Removal-table queries agree with a naive interval scan.
+    #[test]
+    fn absence_intervals_match_naive_scan(
+        n in 2usize..8,
+        intervals in proptest::collection::vec(
+            (0usize..8, 0u64..60, 1u64..20), 0..12),
+        probe in 0u64..90,
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let mut schedule = AbsenceIntervals::new(ring.clone());
+        let mut naive: Vec<(usize, u64, u64)> = Vec::new();
+        for (e, start, len) in intervals {
+            let e = e % n;
+            schedule.remove_during(EdgeId::new(e), start, start + len);
+            naive.push((e, start, start + len));
+        }
+        for e in 0..n {
+            let expected = !naive
+                .iter()
+                .any(|&(ne, s, end)| ne == e && probe >= s && probe < end);
+            prop_assert_eq!(
+                schedule.is_present(EdgeId::new(e), probe),
+                expected,
+                "edge {} at {}", e, probe
+            );
+        }
+    }
+
+    /// The random connected-over-time generator always certifies.
+    #[test]
+    fn random_cot_always_certifies(
+        n in 2usize..10,
+        seed in any::<u64>(),
+        p in 0.05f64..0.95,
+        missing in proptest::option::of(0usize..10),
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let horizon = 160;
+        let cfg = RandomCotConfig {
+            presence_probability: p,
+            recurrence_bound: 7,
+            eventual_missing: missing.map(|e| (EdgeId::new(e % n), 40)),
+        };
+        let schedule = generators::random_connected_over_time(&ring, horizon, &cfg, seed)
+            .expect("valid config");
+        let verdict = classes::certify_connected_over_time(&schedule, horizon, 7);
+        match (missing, verdict) {
+            (Some(e), CotVerdict::Certified { missing_edge, .. }) => {
+                prop_assert_eq!(missing_edge, Some(EdgeId::new(e % n)));
+            }
+            (None, CotVerdict::Certified { missing_edge, .. }) => {
+                prop_assert_eq!(missing_edge, None);
+            }
+            (_, v) => return Err(TestCaseError::fail(format!("not certified: {v:?}"))),
+        }
+    }
+
+    /// Foremost arrival times never exceed the static ring distance on an
+    /// always-present ring, and equal it exactly.
+    #[test]
+    fn foremost_arrivals_on_static_ring(
+        n in 2usize..24,
+        src in 0usize..24,
+    ) {
+        let src = src % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let g = AlwaysPresent::new(ring.clone());
+        let fa = ForemostArrivals::compute(&g, NodeId::new(src), 0, 4 * n as u64);
+        for v in ring.nodes() {
+            let expected = ring.distance(NodeId::new(src), v) as u64;
+            prop_assert_eq!(fa.arrival(v), Some(expected));
+        }
+    }
+
+    /// Journeys are sound: hops use present edges at strictly increasing
+    /// times and trace a path from source to destination.
+    #[test]
+    fn journeys_are_sound(
+        n in 3usize..10,
+        seed in any::<u64>(),
+        src in 0usize..10,
+        dst in 0usize..10,
+    ) {
+        let src = src % n;
+        let dst = dst % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let cfg = RandomCotConfig {
+            presence_probability: 0.45,
+            recurrence_bound: 6,
+            eventual_missing: None,
+        };
+        let schedule = generators::random_connected_over_time(&ring, 200, &cfg, seed)
+            .expect("valid config");
+        let fa = ForemostArrivals::compute(&schedule, NodeId::new(src), 0, 200);
+        let journey = fa.journey_to(NodeId::new(dst));
+        // Connected-over-time with bound 6 over 200 rounds: reachable.
+        let journey = journey.expect("destination reachable");
+        let mut cursor = NodeId::new(src);
+        let mut last: Option<u64> = None;
+        for hop in journey.hops() {
+            prop_assert!(schedule.is_present(hop.edge, hop.depart));
+            if let Some(prev) = last {
+                prop_assert!(hop.depart > prev);
+            }
+            last = Some(hop.depart);
+            cursor = ring.traverse(cursor, hop.edge).expect("adjacent");
+        }
+        prop_assert_eq!(cursor, NodeId::new(dst));
+    }
+
+    /// Ring walk/neighbor arithmetic is consistent for arbitrary sizes.
+    #[test]
+    fn ring_walks_compose(
+        n in 2usize..64,
+        start in 0usize..64,
+        steps_a in 0usize..200,
+        steps_b in 0usize..200,
+    ) {
+        let start = start % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let node = NodeId::new(start);
+        for dir in GlobalDir::ALL {
+            let two_step = ring.walk(ring.walk(node, dir, steps_a), dir, steps_b);
+            let one_step = ring.walk(node, dir, steps_a + steps_b);
+            prop_assert_eq!(two_step, one_step);
+            // Walking forward then backward returns home.
+            prop_assert_eq!(
+                ring.walk(ring.walk(node, dir, steps_a), dir.opposite(), steps_a),
+                node
+            );
+        }
+    }
+
+    /// `directed_distance` is the inverse of `walk`.
+    #[test]
+    fn directed_distance_inverts_walk(
+        n in 2usize..32,
+        start in 0usize..32,
+        steps in 0usize..31,
+    ) {
+        let start = start % n;
+        let steps = steps % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let from = NodeId::new(start);
+        for dir in GlobalDir::ALL {
+            let to = ring.walk(from, dir, steps);
+            prop_assert_eq!(ring.directed_distance(from, to, dir), steps);
+        }
+    }
+
+    /// Interval merging in the removal table is canonical: merging the
+    /// same intervals in any order yields the same table.
+    #[test]
+    fn removal_table_is_order_independent(
+        mut intervals in proptest::collection::vec((0u64..40, 1u64..12), 1..8),
+    ) {
+        use dynring_graph::RemovalTable;
+        let e = EdgeId::new(0);
+        let mut forward = RemovalTable::new();
+        for &(s, len) in &intervals {
+            forward.insert(e, TimeInterval::bounded(s, s + len));
+        }
+        intervals.reverse();
+        let mut backward = RemovalTable::new();
+        for &(s, len) in &intervals {
+            backward.insert(e, TimeInterval::bounded(s, s + len));
+        }
+        prop_assert_eq!(forward.intervals(e), backward.intervals(e));
+    }
+}

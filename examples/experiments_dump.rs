@@ -1,0 +1,342 @@
+//! Regenerates every number reported in EXPERIMENTS.md (E1–E9 of
+//! DESIGN.md). Run with `--release`; output is Markdown-ready.
+//!
+//! ```text
+//! cargo run --release --example experiments_dump
+//! ```
+
+use dynring::adversary::lemma41::{extract_history, PrimedWitness};
+use dynring::analysis::grid::{default_seeds, evaluate_point};
+use dynring::analysis::report::TextTable;
+use dynring::analysis::{
+    run_scenario, run_table1, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario,
+    SuccessCriteria, Table1Options,
+};
+use dynring::engine::{Capturing, RobotId, Simulator};
+use dynring::graph::classes::certify_connected_over_time;
+use dynring::graph::TailBehavior;
+use dynring::{
+    LocalDir, NodeId, Pef3Plus, RingTopology, RobotPlacement, SingleRobotConfiner,
+    TwoRobotConfiner,
+};
+
+fn e1_table1() {
+    println!("## E1 — Table 1 reproduction\n");
+    let opts = Table1Options::default();
+    let report = run_table1(&opts).expect("valid options");
+    println!("```text");
+    println!("{}", report.render());
+    println!("```");
+    println!(
+        "\nall {} cells match the paper: **{}**\n",
+        report.cells.len(),
+        report.all_match()
+    );
+}
+
+fn e2_two_robot_confiner() {
+    println!("## E2 — Theorem 4.1 / Figure 2 (two-robot confiner)\n");
+    let mut table = TextTable::new(vec![
+        "algorithm".into(),
+        "n".into(),
+        "visited".into(),
+        "cycles".into(),
+        "stalemate".into(),
+        "towers".into(),
+        "COT".into(),
+    ]);
+    for n in [5usize, 7, 10] {
+        for algorithm in [
+            AlgorithmChoice::Pef2,
+            AlgorithmChoice::Pef3Plus,
+            AlgorithmChoice::BounceOnMissingEdge,
+            AlgorithmChoice::KeepDirection,
+        ] {
+            let ring = RingTopology::new(n).expect("valid ring");
+            let adversary = Capturing::new(TwoRobotConfiner::new(ring.clone(), 64));
+            macro_rules! run_alg {
+                ($alg:expr) => {{
+                    let mut sim = Simulator::new(
+                        ring.clone(),
+                        $alg,
+                        adversary,
+                        vec![
+                            RobotPlacement::at(NodeId::new(0)),
+                            RobotPlacement::at(NodeId::new(1)),
+                        ],
+                    )
+                    .expect("valid setup");
+                    let trace = sim.run_recording(900);
+                    let confiner = sim.dynamics().inner();
+                    let cycles = confiner.cycles_completed();
+                    let stalemate = confiner
+                        .stalemate()
+                        .map_or("—".to_string(), |(p, t)| format!("{p}@{t}"));
+                    let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+                    let cot = certify_connected_over_time(&script, 900, 64).is_certified();
+                    (trace, cycles, stalemate, cot)
+                }};
+            }
+            let (trace, cycles, stalemate, cot) = match algorithm {
+                AlgorithmChoice::Pef2 => run_alg!(dynring::Pef2),
+                AlgorithmChoice::Pef3Plus => run_alg!(Pef3Plus),
+                AlgorithmChoice::BounceOnMissingEdge => {
+                    run_alg!(dynring::algorithms::baselines::BounceOnMissingEdge)
+                }
+                _ => run_alg!(dynring::algorithms::baselines::KeepDirection),
+            };
+            table.add_row(vec![
+                algorithm.name().into(),
+                n.to_string(),
+                format!("{}/{}", trace.visited_nodes().len(), n),
+                cycles.to_string(),
+                stalemate,
+                trace.max_tower_size().to_string(),
+                if cot { "certified".into() } else { "n/a (stalemate)".into() },
+            ]);
+        }
+    }
+    println!("```text\n{}```\n", table.render());
+}
+
+fn e3_single_robot_confiner() {
+    println!("## E3 — Theorem 5.1 / Figure 3 (single-robot confiner)\n");
+    let mut table = TextTable::new(vec![
+        "algorithm".into(),
+        "n".into(),
+        "visited".into(),
+        "moves".into(),
+        "COT".into(),
+    ]);
+    for n in [3usize, 6, 12] {
+        for algorithm in [
+            AlgorithmChoice::Pef1,
+            AlgorithmChoice::Pef3Plus,
+            AlgorithmChoice::BounceOnMissingEdge,
+            AlgorithmChoice::RandomDirection { seed: 5 },
+        ] {
+            let scenario = Scenario::new(
+                n,
+                PlacementSpec::EvenlySpaced { count: 1 },
+                algorithm,
+                DynamicsChoice::SingleConfiner,
+                600,
+            );
+            let report = run_scenario(&scenario).expect("valid scenario");
+            table.add_row(vec![
+                algorithm.name().into(),
+                n.to_string(),
+                format!("{}/{}", report.visited_nodes, n),
+                report.moves.to_string(),
+                if report.cot.is_certified() {
+                    "certified".into()
+                } else {
+                    "VIOLATED".into()
+                },
+            ]);
+        }
+    }
+    println!("```text\n{}```\n", table.render());
+}
+
+fn e4_lemma41() {
+    println!("## E4 — Lemma 4.1 / Figure 1 (primed-ring witnesses)\n");
+    let mut table = TextTable::new(vec![
+        "refusal source".into(),
+        "figure case".into(),
+        "removed edge".into(),
+        "twin visited".into(),
+        "claims".into(),
+    ]);
+    for (label, dir, t) in [
+        ("frozen PEF_3+ (cw)", LocalDir::Right, 30u64),
+        ("frozen PEF_3+ (ccw)", LocalDir::Left, 31),
+    ] {
+        let ring = RingTopology::new(7).expect("valid ring");
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(2)).with_dir(dir)],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(t);
+        let original = sim.dynamics().to_script(TailBehavior::AllPresent);
+        let history = extract_history(&trace, RobotId::new(0), t).expect("valid history");
+        let witness = PrimedWitness::build(&original, &history).expect("valid witness");
+        let twin = witness.run(Pef3Plus, t + 150).expect("twin run");
+        let claims = witness.verify_claims(&twin, true).map(|()| "1,2,4+freeze ok");
+        table.add_row(vec![
+            label.into(),
+            witness.case().to_string(),
+            witness.removed_edge().to_string(),
+            format!("{}/8", twin.visited_nodes().len()),
+            claims.unwrap_or("VIOLATED").into(),
+        ]);
+    }
+    println!("```text\n{}```\n", table.render());
+}
+
+fn e6_cover_time_scaling() {
+    println!("## E6 — cover time vs n and k (extension)\n");
+    let seeds = default_seeds(5);
+    let mut table = TextTable::new(vec![
+        "n".into(),
+        "k".into(),
+        "mean cover time (rounds)".into(),
+        "mean first cover".into(),
+        "success".into(),
+    ]);
+    for n in [6usize, 10, 16, 24] {
+        let scenario = Scenario::new(
+            n,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::BernoulliRecurrent { p: 0.6, bound: 8 },
+            200 * n as u64,
+        );
+        let pt = evaluate_point(&scenario, n as f64, &seeds).expect("valid scenario");
+        table.add_row(vec![
+            n.to_string(),
+            "3".into(),
+            format!("{:.1}", pt.mean_cover_time),
+            format!("{:.1}", pt.mean_first_cover),
+            format!("{:.0}%", pt.success_rate * 100.0),
+        ]);
+    }
+    for k in [3usize, 4, 6, 8] {
+        let scenario = Scenario::new(
+            16,
+            PlacementSpec::EvenlySpaced { count: k },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::BernoulliRecurrent { p: 0.6, bound: 8 },
+            3200,
+        );
+        let pt = evaluate_point(&scenario, k as f64, &seeds).expect("valid scenario");
+        table.add_row(vec![
+            "16".into(),
+            k.to_string(),
+            format!("{:.1}", pt.mean_cover_time),
+            format!("{:.1}", pt.mean_first_cover),
+            format!("{:.0}%", pt.success_rate * 100.0),
+        ]);
+    }
+    println!("```text\n{}```\n", table.render());
+}
+
+fn e7_dynamicity() {
+    println!("## E7 — dynamicity sweep (extension)\n");
+    let seeds = default_seeds(5);
+    let mut table = TextTable::new(vec![
+        "dynamics".into(),
+        "parameter".into(),
+        "mean cover time".into(),
+        "mean max gap".into(),
+        "success".into(),
+    ]);
+    for p in [0.2f64, 0.4, 0.6, 0.8, 0.95] {
+        let scenario = Scenario::new(
+            10,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::BernoulliRecurrent { p, bound: 10 },
+            1500,
+        );
+        let pt = evaluate_point(&scenario, p, &seeds).expect("valid scenario");
+        table.add_row(vec![
+            "bernoulli".into(),
+            format!("p={p}"),
+            format!("{:.1}", pt.mean_cover_time),
+            format!("{:.1}", pt.mean_max_gap),
+            format!("{:.0}%", pt.success_rate * 100.0),
+        ]);
+    }
+    for p_off in [0.05f64, 0.2, 0.5] {
+        let scenario = Scenario::new(
+            10,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::Markov { p_off, p_on: 0.3 },
+            1500,
+        );
+        let pt = evaluate_point(&scenario, p_off, &seeds).expect("valid scenario");
+        table.add_row(vec![
+            "markov".into(),
+            format!("p_off={p_off}"),
+            format!("{:.1}", pt.mean_cover_time),
+            format!("{:.1}", pt.mean_max_gap),
+            format!("{:.0}%", pt.success_rate * 100.0),
+        ]);
+    }
+    println!("```text\n{}```\n", table.render());
+}
+
+fn e5_e8_ablations() {
+    println!("## E5/E8 — rule ablations and the SSYNC gap\n");
+    let mut table = TextTable::new(vec![
+        "algorithm".into(),
+        "scenario".into(),
+        "outcome".into(),
+    ]);
+    for algorithm in [
+        AlgorithmChoice::Pef3Plus,
+        AlgorithmChoice::KeepDirection,
+        AlgorithmChoice::AlwaysTurnOnTower,
+        AlgorithmChoice::BounceOnMissingEdge,
+    ] {
+        let scenario = Scenario::new(
+            8,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            algorithm,
+            DynamicsChoice::EventualMissing {
+                p: 1.0,
+                bound: 8,
+                edge: 4,
+                from: 0,
+            },
+            1500,
+        )
+        .with_criteria(SuccessCriteria {
+            min_covers: 3,
+            max_gap: Some(700),
+        });
+        let report = run_scenario(&scenario).expect("valid scenario");
+        table.add_row(vec![
+            algorithm.name().into(),
+            "static ring, edge e4 dead from t=0".into(),
+            report.outcome.to_string(),
+        ]);
+    }
+    for (label, dynamics) in [
+        ("ssync blocker (round-robin)", DynamicsChoice::SsyncBlocker),
+        ("pointed blocker budget 4", DynamicsChoice::PointedBlocker { budget: 4 }),
+    ] {
+        let scenario = Scenario::new(
+            8,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            dynamics,
+            800,
+        );
+        let report = run_scenario(&scenario).expect("valid scenario");
+        table.add_row(vec![
+            "PEF_3+".into(),
+            label.into(),
+            format!("{} ({} moves)", report.outcome, report.moves),
+        ]);
+    }
+    println!("```text\n{}```\n", table.render());
+}
+
+fn main() {
+    println!("# dynring experiment dump\n");
+    e1_table1();
+    e2_two_robot_confiner();
+    e3_single_robot_confiner();
+    e4_lemma41();
+    e5_e8_ablations();
+    e6_cover_time_scaling();
+    e7_dynamicity();
+    println!("done.");
+}

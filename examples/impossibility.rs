@@ -1,0 +1,132 @@
+//! The impossibility theorems, live: run the proof adversaries of
+//! Theorems 5.1 and 4.1, then execute the full proof pipeline — capture the
+//! adaptive run, feed growing prefixes into the convergence framework of
+//! Braud-Santoni et al., and replay the limit graph `Gω`.
+//!
+//! ```text
+//! cargo run --example impossibility
+//! ```
+
+use dynring::adversary::lemma41::{extract_history, PrimedWitness};
+use dynring::engine::{Capturing, ExecutionTrace, RobotId};
+use dynring::graph::classes::{certify_connected_over_time, CotVerdict};
+use dynring::graph::convergence::PrefixChain;
+use dynring::graph::{ScriptedSchedule, TailBehavior};
+use dynring::{
+    NodeId, Oblivious, Pef2, Pef3Plus, RingTopology, RobotPlacement, Simulator,
+    SingleRobotConfiner, Time, TwoRobotConfiner,
+};
+
+fn single_robot_demo() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Theorem 5.1: one robot, ring of 6 ===\n");
+    let ring = RingTopology::new(6)?;
+
+    // Run a single robot (using PEF_3+ as the candidate algorithm — any
+    // deterministic algorithm suffers the same fate) against the confiner,
+    // capturing the schedule the adversary actually plays.
+    let run_at = |horizon: Time| -> Result<(ScriptedSchedule, ExecutionTrace), Box<dyn std::error::Error>> {
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let mut sim = Simulator::new(
+            ring.clone(),
+            Pef3Plus,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )?;
+        let trace = sim.run_recording(horizon);
+        Ok((sim.dynamics().to_script(TailBehavior::AllPresent), trace))
+    };
+
+    // The ever-growing-prefix pipeline from the proof: each longer run
+    // agrees with the shorter ones on their whole duration (the adversary
+    // is deterministic), so the captures form a convergent sequence whose
+    // limit is Gω.
+    let mut chain = PrefixChain::new(ring.clone());
+    for horizon in [50u64, 100, 200, 400] {
+        let (script, trace) = run_at(horizon)?;
+        chain.push(&script, horizon)?;
+        println!(
+            "horizon {horizon:>4}: visited {} of 6 nodes",
+            trace.visited_nodes().len()
+        );
+    }
+    let omega = chain.limit(TailBehavior::AllPresent);
+    let verdict = certify_connected_over_time(&omega, 400, 32);
+    println!("Gω connected-over-time certificate: {verdict:?}");
+
+    // Replay Gω obliviously: the same confinement, now on a *pure*
+    // schedule.
+    let mut sim = Simulator::new(
+        ring.clone(),
+        Pef3Plus,
+        Oblivious::new(omega),
+        vec![RobotPlacement::at(NodeId::new(0))],
+    )?;
+    let trace = sim.run_recording(400);
+    println!(
+        "replaying Gω: visited {} of 6 nodes — exploration fails forever\n",
+        trace.visited_nodes().len()
+    );
+    assert!(trace.visited_nodes().len() <= 2);
+    Ok(())
+}
+
+fn two_robot_demo() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Theorem 4.1: two robots, ring of 7 ===\n");
+    let ring = RingTopology::new(7)?;
+    let placements = vec![
+        RobotPlacement::at(NodeId::new(2)),
+        RobotPlacement::at(NodeId::new(3)),
+    ];
+
+    // PEF_2 is a correct explorer for n = 3, but on n = 7 the four-phase
+    // adversary herds it around three nodes forever.
+    let adversary = Capturing::new(TwoRobotConfiner::new(ring.clone(), 64));
+    let mut sim = Simulator::new(ring.clone(), Pef2, adversary, placements.clone())?;
+    let trace = sim.run_recording(800);
+    let confiner = sim.dynamics().inner();
+    let (u, v, w) = confiner.zone().expect("zone anchored");
+    println!("confinement zone  : {u}, {v}, {w}");
+    println!("phase cycles      : {}", confiner.cycles_completed());
+    println!("visited nodes     : {} of 7", trace.visited_nodes().len());
+    println!("towers formed     : {}", trace.max_tower_size());
+    let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+    let verdict = certify_connected_over_time(&script, 800, 64);
+    println!("schedule verdict  : {verdict:?}");
+    assert!(trace.visited_nodes().len() <= 3);
+    assert!(matches!(verdict, CotVerdict::Certified { .. }));
+
+    // The stalemate branch: a direction-stubborn algorithm refuses a
+    // designated move; Lemma 4.1's primed 8-ring is synthesized as the
+    // connected-over-time witness on which the algorithm freezes.
+    println!("\n--- Lemma 4.1 witness for a refusal behaviour ---");
+    let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+    let mut sim = Simulator::new(
+        ring.clone(),
+        Pef3Plus,
+        adversary,
+        vec![RobotPlacement::at(NodeId::new(1)).with_dir(dynring::LocalDir::Right)],
+    )?;
+    let refusal_trace = sim.run_recording(30);
+    let original = sim.dynamics().to_script(TailBehavior::AllPresent);
+    let history = extract_history(&refusal_trace, RobotId::new(0), 30)?;
+    let witness = PrimedWitness::build(&original, &history)?;
+    println!("figure 1 case     : {}", witness.case());
+    let (i1, _a1, f1, i2, _a2, f2) = witness.node_map();
+    println!("twin placement    : r1 at {i1}, r2 at {i2} (mirrored chirality)");
+    println!("removed edge      : {} (from round {})", witness.removed_edge(), witness.freeze_time());
+    let twin_trace = witness.run(Pef3Plus, 200)?;
+    witness.verify_claims(&twin_trace, true)?;
+    println!(
+        "twin run          : {} of 8 nodes visited, robots frozen at {f1}/{f2} — \
+         a connected-over-time counterexample",
+        twin_trace.visited_nodes().len()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    single_robot_demo()?;
+    two_robot_demo()?;
+    println!("\nboth impossibility proofs executed end-to-end.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Temporal reachability on evolving rings: foremost, shortest and fastest
+//! journeys (the Xuan–Ferreira–Jarry triad the paper's model builds on).
+//!
+//! ```text
+//! cargo run --example journeys
+//! ```
+
+use dynring::graph::journey::{fastest_journey, shortest_journey, ForemostArrivals};
+use dynring::graph::render;
+use dynring::graph::{AbsenceIntervals, EdgeId, NodeId, RingTopology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ring = RingTopology::new(6)?;
+    // A hand-built schedule where the three notions of "optimal journey"
+    // disagree: the direct edge v0–v1 only opens late; a slow detour is
+    // available early.
+    let mut g = AbsenceIntervals::new(ring.clone());
+    g.remove_during(EdgeId::new(0), 0, 12); // direct edge closed until 12
+    g.remove_during(EdgeId::new(4), 0, 2); // the detour dribbles open
+    g.remove_during(EdgeId::new(3), 0, 4);
+    g.remove_during(EdgeId::new(2), 0, 6);
+    g.remove_during(EdgeId::new(1), 0, 8);
+
+    println!("edge presence (first 20 instants):\n");
+    println!("{}", render::presence_grid(&g, 20));
+
+    let src = NodeId::new(0);
+    let dst = NodeId::new(1);
+
+    let foremost = ForemostArrivals::compute(&g, src, 0, 100)
+        .journey_to(dst)
+        .expect("reachable");
+    let shortest = shortest_journey(&g, src, dst, 0, 100).expect("reachable");
+    let fastest = fastest_journey(&g, src, dst, 0, 100).expect("reachable");
+
+    let describe = |label: &str, j: &dynring::graph::journey::Journey| {
+        println!(
+            "{label:<9} {} hops, departs {:?}, arrives {}, duration {}",
+            j.len(),
+            j.departure(),
+            j.arrival(0),
+            j.duration()
+        );
+    };
+    println!("journeys from {src} to {dst}:\n");
+    describe("foremost", &foremost); // arrives earliest (the detour)
+    describe("shortest", &shortest); // fewest hops (waits for e0)
+    describe("fastest", &fastest); // least time in motion
+
+    assert!(foremost.arrival(0) <= shortest.arrival(0));
+    assert!(shortest.len() <= foremost.len());
+    assert!(fastest.duration() <= foremost.duration());
+    println!("\nforemost ≤ others by arrival; shortest by hops; fastest by duration.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: three `PEF_3+` robots perpetually exploring a random
+//! connected-over-time ring.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dynring::analysis::VisitLedger;
+use dynring::graph::generators::{self, RandomCotConfig};
+use dynring::graph::render;
+use dynring::{NodeId, Oblivious, Pef3Plus, RingTopology, RobotPlacement, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let horizon = 600;
+    let ring = RingTopology::new(n)?;
+
+    // Random dynamics: every edge flips a fair coin each round, repaired so
+    // that no edge stays absent for 8 consecutive rounds (a certified
+    // connected-over-time schedule).
+    let schedule =
+        generators::random_connected_over_time(&ring, horizon, &RandomCotConfig::default(), 42)?;
+
+    println!("edge presence (first 60 rounds; █ present, · absent):\n");
+    println!("{}", render::presence_grid(&schedule, 60));
+
+    let mut sim = Simulator::new(
+        ring,
+        Pef3Plus,
+        Oblivious::new(schedule),
+        vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(3)),
+            RobotPlacement::at(NodeId::new(7)),
+        ],
+    )?;
+    let trace = sim.run_recording(horizon);
+
+    let ledger = VisitLedger::from_trace(&trace);
+    println!("robot positions (first 60 rounds; digits = robots per node):\n");
+    let chart = trace.ascii_chart();
+    for line in chart.lines() {
+        let cut: String = line.chars().take(64).collect();
+        println!("{cut}");
+    }
+
+    println!();
+    println!("ring size        : {n}");
+    println!("rounds simulated : {horizon}");
+    println!("complete covers  : {}", ledger.covers());
+    println!(
+        "first cover      : round {}",
+        ledger.first_cover().map_or("—".into(), |t| t.to_string())
+    );
+    println!("max revisit gap  : {} rounds", ledger.max_revisit_gap());
+    println!("max tower size   : {} (Lemma 3.4 bound: 2)", trace.max_tower_size());
+    assert!(trace.covers_all_nodes(), "PEF_3+ must explore (Theorem 3.1)");
+    println!("\nTheorem 3.1 in action: every node is visited over and over.");
+    Ok(())
+}

@@ -1,0 +1,464 @@
+//! Command-line interface: `dynring table1 | scenario | sweep`.
+//!
+//! Hand-rolled argument parsing (no CLI dependency): the grammar is small
+//! and fixed. See `dynring --help` or [`USAGE`].
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_analysis::grid::{default_seeds, evaluate_point};
+use dynring_analysis::{
+    run_on_schedule, run_scenario, run_scenario_capturing, run_table1, AlgorithmChoice,
+    DynamicsChoice, PlacementSpec, Scenario, ScenarioReport, SuccessCriteria, Table1Options,
+};
+use dynring_graph::ScriptedSchedule;
+
+/// The usage string printed by `--help`.
+pub const USAGE: &str = "\
+dynring — perpetual exploration of highly dynamic rings (ICDCS 2017 repro)
+
+USAGE:
+    dynring table1   [--horizon N] [--min-covers C] [--seed S]
+    dynring scenario --n N --k K [--algorithm A] [--dynamics D]
+                     [--horizon H] [--seed S] [--min-covers C] [--p P]
+    dynring capture  --n N --k K --out FILE [scenario flags]
+    dynring replay   --file FILE
+    dynring sweep-p  [--n N] [--k K] [--horizon H] [--seeds S]
+    dynring --help
+
+`capture` runs a scenario, records the exact snapshot sequence the
+(possibly adaptive) dynamics played, and writes a JSON artifact. `replay`
+re-runs the artifact's algorithm on the recorded schedule and verifies the
+stored report bit for bit.
+
+ALGORITHMS (for --algorithm):
+    pef3+ (default) | pef2 | pef1 | keep | bounce | turn-on-tower |
+    alternate | random
+
+DYNAMICS (for --dynamics):
+    static | bernoulli (default) | markov | missing-edge | sweep |
+    t-interval | blocker | confiner1 | confiner2 | ssync
+";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Reproduce Table 1.
+    Table1(Table1Options),
+    /// Run one scenario and print its report.
+    Scenario(Scenario),
+    /// Sweep the Bernoulli presence probability.
+    SweepPresence {
+        /// Ring size.
+        n: usize,
+        /// Robot count.
+        k: usize,
+        /// Rounds per run.
+        horizon: u64,
+        /// Seeds per point.
+        seeds: usize,
+    },
+    /// Run a scenario and write a replayable JSON artifact.
+    Capture {
+        /// The scenario to run.
+        scenario: Scenario,
+        /// Output path.
+        out: String,
+    },
+    /// Verify a previously captured artifact.
+    Replay {
+        /// Artifact path.
+        file: String,
+    },
+}
+
+/// The JSON artifact written by `capture` and verified by `replay`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// The exact snapshot sequence the dynamics played.
+    pub schedule: ScriptedSchedule,
+    /// The report the original run produced.
+    pub report: ScenarioReport,
+}
+
+/// A CLI parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Positional arguments and `--key value` pairs, borrowed from the input.
+type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Extracts `--key value` pairs; returns (positional, pairs).
+fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
+    let mut positional = Vec::new();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(key) = arg.strip_prefix("--") {
+            if key == "help" {
+                positional.push("--help");
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| err(format!("flag --{key} needs a value")))?;
+            pairs.push((key, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(arg);
+            i += 1;
+        }
+    }
+    Ok((positional, pairs))
+}
+
+fn lookup<'a>(pairs: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    pairs.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn parse_num<T: std::str::FromStr>(pairs: &[(&str, &str)], key: &str, default: T) -> Result<T, CliError> {
+    match lookup(pairs, key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| err(format!("invalid value for --{key}: {raw}"))),
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<AlgorithmChoice, CliError> {
+    Ok(match name {
+        "pef3+" | "pef3" => AlgorithmChoice::Pef3Plus,
+        "pef2" => AlgorithmChoice::Pef2,
+        "pef1" => AlgorithmChoice::Pef1,
+        "keep" => AlgorithmChoice::KeepDirection,
+        "bounce" => AlgorithmChoice::BounceOnMissingEdge,
+        "turn-on-tower" => AlgorithmChoice::AlwaysTurnOnTower,
+        "alternate" => AlgorithmChoice::AlternateDirection,
+        "random" => AlgorithmChoice::RandomDirection { seed: 0xD1CE },
+        other => return Err(err(format!("unknown algorithm: {other}"))),
+    })
+}
+
+fn parse_dynamics(name: &str, n: usize, horizon: u64, p: f64) -> Result<DynamicsChoice, CliError> {
+    Ok(match name {
+        "static" => DynamicsChoice::Static,
+        "bernoulli" => DynamicsChoice::BernoulliRecurrent { p, bound: 8 },
+        "markov" => DynamicsChoice::Markov {
+            p_off: 0.15,
+            p_on: 0.4,
+        },
+        "missing-edge" => DynamicsChoice::EventualMissing {
+            p,
+            bound: 8,
+            edge: n / 2,
+            from: horizon / 10,
+        },
+        "sweep" => DynamicsChoice::SweepingOutage { dwell: 3 },
+        "t-interval" => DynamicsChoice::TIntervalConnected { stability: 4 },
+        "blocker" => DynamicsChoice::PointedBlocker { budget: 4 },
+        "confiner1" => DynamicsChoice::SingleConfiner,
+        "confiner2" => DynamicsChoice::TwoConfiner { patience: 64 },
+        "ssync" => DynamicsChoice::SsyncBlocker,
+        other => return Err(err(format!("unknown dynamics: {other}"))),
+    })
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`CliError`] with a human-readable message.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let (positional, pairs) = split_flags(args)?;
+    if positional.contains(&"--help") || positional.is_empty() {
+        return Ok(Command::Help);
+    }
+    match positional[0] {
+        "capture" => {
+            let inner: Vec<String> = {
+                // Re-parse as a scenario, then attach the output path.
+                let mut v = vec!["scenario".to_string()];
+                v.extend(args.iter().filter(|a| *a != "capture").cloned());
+                v
+            };
+            let out = lookup(&pairs, "out")
+                .ok_or_else(|| err("capture requires --out FILE"))?
+                .to_string();
+            match parse(&inner)? {
+                Command::Scenario(scenario) => Ok(Command::Capture { scenario, out }),
+                _ => Err(err("capture requires scenario flags (--n, --k, …)")),
+            }
+        }
+        "replay" => {
+            let file = lookup(&pairs, "file")
+                .ok_or_else(|| err("replay requires --file FILE"))?
+                .to_string();
+            Ok(Command::Replay { file })
+        }
+        "table1" => {
+            let mut opts = Table1Options::default();
+            opts.horizon = parse_num(&pairs, "horizon", opts.horizon)?;
+            opts.min_covers = parse_num(&pairs, "min-covers", opts.min_covers)?;
+            opts.seed = parse_num(&pairs, "seed", opts.seed)?;
+            Ok(Command::Table1(opts))
+        }
+        "scenario" => {
+            let n: usize = parse_num(&pairs, "n", 0)?;
+            let k: usize = parse_num(&pairs, "k", 0)?;
+            if n == 0 || k == 0 {
+                return Err(err("scenario requires --n and --k"));
+            }
+            let horizon: u64 = parse_num(&pairs, "horizon", 1000)?;
+            let p: f64 = parse_num(&pairs, "p", 0.5)?;
+            let algorithm = parse_algorithm(lookup(&pairs, "algorithm").unwrap_or("pef3+"))?;
+            let dynamics =
+                parse_dynamics(lookup(&pairs, "dynamics").unwrap_or("bernoulli"), n, horizon, p)?;
+            let placement = if matches!(dynamics, DynamicsChoice::TwoConfiner { .. }) {
+                PlacementSpec::Adjacent { count: k, start: 0 }
+            } else {
+                PlacementSpec::EvenlySpaced { count: k }
+            };
+            let min_covers: u64 = parse_num(&pairs, "min-covers", 3)?;
+            let scenario = Scenario::new(n, placement, algorithm, dynamics, horizon)
+                .with_seed(parse_num(&pairs, "seed", 0xDECADEu64)?)
+                .with_criteria(SuccessCriteria::covers(min_covers));
+            Ok(Command::Scenario(scenario))
+        }
+        "sweep-p" => Ok(Command::SweepPresence {
+            n: parse_num(&pairs, "n", 10)?,
+            k: parse_num(&pairs, "k", 3)?,
+            horizon: parse_num(&pairs, "horizon", 1500)?,
+            seeds: parse_num(&pairs, "seeds", 5)?,
+        }),
+        other => Err(err(format!("unknown command: {other}"))),
+    }
+}
+
+/// Executes a parsed command, printing results to stdout.
+///
+/// # Errors
+///
+/// Boxed scenario/graph errors from the harness.
+pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+        }
+        Command::Table1(opts) => {
+            println!(
+                "reproducing Table 1: k ∈ {:?} × n ∈ {:?}, {} rounds per run…\n",
+                opts.robot_counts, opts.ring_sizes, opts.horizon
+            );
+            let report = run_table1(&opts)?;
+            println!("{}", report.render());
+            if report.all_match() {
+                println!("every cell matches the paper.");
+            } else {
+                println!("MISMATCHES: {:#?}", report.mismatches());
+            }
+        }
+        Command::Scenario(scenario) => {
+            println!(
+                "running {} on {} (n={}, k={}, horizon={})…\n",
+                scenario.algorithm.name(),
+                scenario.dynamics.name(),
+                scenario.ring_size,
+                scenario.placement.count(),
+                scenario.horizon
+            );
+            let report = run_scenario(&scenario)?;
+            println!("outcome        : {}", report.outcome);
+            println!("covers         : {}", report.covers);
+            println!("max revisit gap: {}", report.max_gap);
+            println!("visited nodes  : {}/{}", report.visited_nodes, scenario.ring_size);
+            println!("max tower      : {}", report.max_tower);
+            println!("total moves    : {}", report.moves);
+            println!("schedule       : {:?}", report.cot);
+        }
+        Command::Capture { scenario, out } => {
+            let (report, schedule) = run_scenario_capturing(&scenario)?;
+            println!("outcome: {}", report.outcome);
+            let artifact = Artifact {
+                scenario,
+                schedule,
+                report,
+            };
+            let json = serde_json::to_string(&artifact)?;
+            std::fs::write(&out, json)?;
+            println!("artifact written to {out} (replay with: dynring replay --file {out})");
+        }
+        Command::Replay { file } => {
+            let json = std::fs::read_to_string(&file)?;
+            let artifact: Artifact = serde_json::from_str(&json)?;
+            println!(
+                "replaying {} on the recorded schedule ({} frames)…",
+                artifact.scenario.algorithm.name(),
+                artifact.schedule.frame_count()
+            );
+            let replayed = run_on_schedule(&artifact.scenario, artifact.schedule)?;
+            if replayed == artifact.report {
+                println!("artifact verified: replay reproduces the stored report");
+                println!("outcome: {}", replayed.outcome);
+            } else {
+                println!("ARTIFACT MISMATCH");
+                println!("stored  : {:?}", artifact.report.outcome);
+                println!("replayed: {:?}", replayed.outcome);
+                return Err(Box::new(CliError("artifact verification failed".into())));
+            }
+        }
+        Command::SweepPresence { n, k, horizon, seeds } => {
+            println!("PEF_3+ cover time vs presence probability (n={n}, k={k})\n");
+            println!("p      success  mean-cover-time  mean-max-gap");
+            for p in [0.2f64, 0.35, 0.5, 0.65, 0.8, 0.95] {
+                let scenario = Scenario::new(
+                    n,
+                    PlacementSpec::EvenlySpaced { count: k },
+                    AlgorithmChoice::Pef3Plus,
+                    DynamicsChoice::BernoulliRecurrent { p, bound: 10 },
+                    horizon,
+                );
+                let point = evaluate_point(&scenario, p, &default_seeds(seeds))?;
+                println!(
+                    "{p:<6} {:<8} {:<16.1} {:.1}",
+                    format!("{:.0}%", point.success_rate * 100.0),
+                    point.mean_cover_time,
+                    point.mean_max_gap
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&args(&[])), Ok(Command::Help));
+        assert_eq!(parse(&args(&["--help"])), Ok(Command::Help));
+        assert_eq!(parse(&args(&["table1", "--help"])), Ok(Command::Help));
+    }
+
+    #[test]
+    fn table1_with_flags() {
+        let cmd = parse(&args(&["table1", "--horizon", "500", "--min-covers", "2"]))
+            .expect("parses");
+        match cmd {
+            Command::Table1(opts) => {
+                assert_eq!(opts.horizon, 500);
+                assert_eq!(opts.min_covers, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenario_requires_n_and_k() {
+        assert!(parse(&args(&["scenario", "--n", "8"])).is_err());
+        let cmd = parse(&args(&[
+            "scenario", "--n", "8", "--k", "3", "--dynamics", "missing-edge",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Scenario(s) => {
+                assert_eq!(s.ring_size, 8);
+                assert_eq!(s.placement.count(), 3);
+                assert_eq!(s.dynamics.name(), "eventual-missing");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn confiner2_forces_adjacent_placement() {
+        let cmd = parse(&args(&[
+            "scenario", "--n", "7", "--k", "2", "--dynamics", "confiner2",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Scenario(s) => {
+                assert!(matches!(s.placement, PlacementSpec::Adjacent { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tokens() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["scenario", "--n", "8", "--k", "3", "--algorithm", "nope"]))
+            .is_err());
+        assert!(parse(&args(&["scenario", "--n"])).is_err());
+        assert!(parse(&args(&["table1", "--horizon", "abc"])).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for (name, expected) in [
+            ("pef3+", "PEF_3+"),
+            ("pef2", "PEF_2"),
+            ("pef1", "PEF_1"),
+            ("keep", "keep-direction"),
+            ("bounce", "bounce-on-missing"),
+        ] {
+            assert_eq!(parse_algorithm(name).expect("known").name(), expected);
+        }
+    }
+
+    #[test]
+    fn capture_then_replay_round_trips() {
+        let out = std::env::temp_dir().join("dynring_cli_artifact_test.json");
+        let out_str = out.to_str().expect("utf-8 path").to_string();
+        let cmd = parse(&args(&[
+            "capture", "--n", "6", "--k", "1", "--dynamics", "confiner1", "--horizon", "200",
+            "--out", &out_str,
+        ]))
+        .expect("parses");
+        assert!(matches!(cmd, Command::Capture { .. }));
+        run(cmd).expect("capture runs");
+        let replay = parse(&args(&["replay", "--file", &out_str])).expect("parses");
+        run(replay).expect("replay verifies");
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn capture_requires_out_and_replay_requires_file() {
+        assert!(parse(&args(&["capture", "--n", "6", "--k", "1"])).is_err());
+        assert!(parse(&args(&["replay"])).is_err());
+    }
+
+    #[test]
+    fn running_a_small_scenario_through_the_cli_path() {
+        let cmd = parse(&args(&[
+            "scenario", "--n", "6", "--k", "3", "--dynamics", "static", "--horizon", "100",
+        ]))
+        .expect("parses");
+        run(cmd).expect("runs");
+    }
+}

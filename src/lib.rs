@@ -1,0 +1,75 @@
+//! # dynring — perpetual exploration of highly dynamic rings
+//!
+//! A full reproduction of **Bournat, Dubois & Petit, "Computability of
+//! Perpetual Exploration in Highly Dynamic Rings" (ICDCS 2017 /
+//! arXiv:1612.05767)** as a Rust workspace: the evolving-graph model, the
+//! Look-Compute-Move robot engine, the three `PEF` algorithms, the
+//! impossibility adversaries extracted from the proofs, and the experiment
+//! harness that regenerates the paper's Table 1 and figure constructions.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `dynring-graph` | rings, schedules, dynamic-graph classes, journeys, the `Gω` convergence framework |
+//! | [`engine`] | `dynring-engine` | L-C-M rounds, chirality, adaptive dynamics, FSYNC/SSYNC/ASYNC, traces |
+//! | [`algorithms`] | `dynring-core` | `PEF_3+`, `PEF_2`, `PEF_1`, baselines, Table 1 as data |
+//! | [`adversary`] | `dynring-adversary` | Theorem 5.1 & 4.1 confiners, Lemma 4.1 primed ring, SSYNC blocker |
+//! | [`analysis`] | `dynring-analysis` | verdicts, lemma validators, scenario/grid/Table 1 runners |
+//!
+//! The most common entry points are additionally re-exported at the crate
+//! root.
+//!
+//! # Quickstart
+//!
+//! Three robots perpetually exploring a random connected-over-time ring:
+//!
+//! ```rust
+//! use dynring::{Pef3Plus, Oblivious, RobotPlacement, Simulator};
+//! use dynring::graph::generators::{self, RandomCotConfig};
+//! use dynring::graph::{NodeId, RingTopology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ring = RingTopology::new(10)?;
+//! let schedule = generators::random_connected_over_time(
+//!     &ring, 1_000, &RandomCotConfig::default(), 7)?;
+//! let mut sim = Simulator::new(
+//!     ring,
+//!     Pef3Plus,
+//!     Oblivious::new(schedule),
+//!     vec![
+//!         RobotPlacement::at(NodeId::new(0)),
+//!         RobotPlacement::at(NodeId::new(4)),
+//!         RobotPlacement::at(NodeId::new(7)),
+//!     ],
+//! )?;
+//! let trace = sim.run_recording(1_000);
+//! assert!(trace.covers_all_nodes());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios (quickstart, the
+//! patrolling-with-an-outage story from the paper's introduction, the live
+//! impossibility adversaries, the Table 1 regeneration, and the SSYNC gap).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use dynring_adversary as adversary;
+pub use dynring_analysis as analysis;
+pub use dynring_core as algorithms;
+pub use dynring_engine as engine;
+pub use dynring_graph as graph;
+
+pub use dynring_adversary::{SingleRobotConfiner, TwoRobotConfiner};
+pub use dynring_analysis::{
+    run_scenario, run_table1, ExplorationOutcome, Scenario, SuccessCriteria, Table1Options,
+};
+pub use dynring_core::{Pef1, Pef2, Pef3Plus};
+pub use dynring_engine::{
+    Algorithm, Chirality, LocalDir, Oblivious, RobotPlacement, Simulator, View,
+};
+pub use dynring_graph::{EdgeId, EdgeSchedule, GlobalDir, NodeId, RingTopology, Time};

@@ -1,0 +1,21 @@
+//! The `dynring` command-line tool: reproduce the paper from a shell.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match dynring::cli::parse(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", dynring::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match dynring::cli::run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

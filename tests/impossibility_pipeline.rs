@@ -1,0 +1,223 @@
+//! The impossibility proofs executed end-to-end (E2, E3, E4 in DESIGN.md):
+//! confiners, connected-over-time certification, the growing-prefix → `Gω`
+//! pipeline, and the Lemma 4.1 primed-ring witnesses.
+
+use dynring::adversary::lemma41::{extract_history, PrimedWitness};
+use dynring::analysis::{
+    run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario,
+};
+use dynring::engine::{Capturing, RobotId, Simulator};
+use dynring::graph::convergence::PrefixChain;
+use dynring::graph::classes::{certify_connected_over_time, CotVerdict};
+use dynring::graph::TailBehavior;
+use dynring::{
+    LocalDir, NodeId, Oblivious, Pef3Plus, RingTopology, RobotPlacement, SingleRobotConfiner,
+    Time, TwoRobotConfiner,
+};
+
+/// Every portfolio algorithm loses to the Theorem 5.1 confiner, on every
+/// tested ring size ≥ 3.
+#[test]
+fn theorem_5_1_confines_the_whole_portfolio() {
+    for n in [3usize, 4, 5, 8, 12] {
+        for algorithm in AlgorithmChoice::portfolio() {
+            let scenario = Scenario::new(
+                n,
+                PlacementSpec::EvenlySpaced { count: 1 },
+                algorithm,
+                DynamicsChoice::SingleConfiner,
+                600,
+            );
+            let report = run_scenario(&scenario).expect("valid scenario");
+            assert!(
+                report.visited_nodes <= 2,
+                "n={n}, {}: visited {}",
+                algorithm.name(),
+                report.visited_nodes
+            );
+            assert!(
+                report.cot.is_certified(),
+                "n={n}, {}: schedule not COT",
+                algorithm.name()
+            );
+        }
+    }
+}
+
+/// Every portfolio algorithm loses to the Theorem 4.1 confiner, on every
+/// tested ring size ≥ 4, and no tower ever forms.
+#[test]
+fn theorem_4_1_confines_the_whole_portfolio() {
+    for n in [4usize, 5, 7, 10] {
+        for algorithm in AlgorithmChoice::portfolio() {
+            let scenario = Scenario::new(
+                n,
+                PlacementSpec::Adjacent { count: 2, start: 0 },
+                algorithm,
+                DynamicsChoice::TwoConfiner { patience: 64 },
+                900,
+            );
+            let report = run_scenario(&scenario).expect("valid scenario");
+            assert!(
+                report.visited_nodes <= 3,
+                "n={n}, {}: visited {}",
+                algorithm.name(),
+                report.visited_nodes
+            );
+            assert_eq!(
+                report.max_tower, 0,
+                "n={n}, {}: a tower formed",
+                algorithm.name()
+            );
+        }
+    }
+}
+
+/// The convergence pipeline of Theorem 5.1: growing-horizon captures share
+/// prefixes; their limit `Gω` is connected-over-time; replaying `Gω`
+/// obliviously reproduces the confinement.
+#[test]
+fn omega_pipeline_for_single_robot() {
+    let ring = RingTopology::new(5).expect("valid ring");
+    let capture = |horizon: Time| {
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let mut sim = Simulator::new(
+            ring.clone(),
+            Pef3Plus,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(2))],
+        )
+        .expect("valid setup");
+        sim.run(horizon);
+        sim.dynamics().to_script(TailBehavior::AllPresent)
+    };
+    let mut chain = PrefixChain::new(ring.clone());
+    for horizon in [25u64, 50, 100, 200, 350] {
+        chain
+            .push(&capture(horizon), horizon)
+            .expect("deterministic adversary yields growing common prefixes");
+    }
+    let omega = chain.limit(TailBehavior::AllPresent);
+    assert!(certify_connected_over_time(&omega, 350, 16).is_certified());
+
+    let mut sim = Simulator::new(
+        ring,
+        Pef3Plus,
+        Oblivious::new(omega),
+        vec![RobotPlacement::at(NodeId::new(2))],
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(350);
+    assert!(trace.visited_nodes().len() <= 2);
+}
+
+/// The convergence pipeline of Theorem 4.1, with a cycling algorithm.
+#[test]
+fn omega_pipeline_for_two_robots() {
+    let ring = RingTopology::new(6).expect("valid ring");
+    let placements = vec![
+        RobotPlacement::at(NodeId::new(0)),
+        RobotPlacement::at(NodeId::new(1)),
+    ];
+    let capture = |horizon: Time| {
+        let adversary = Capturing::new(TwoRobotConfiner::new(ring.clone(), 64));
+        let mut sim = Simulator::new(
+            ring.clone(),
+            dynring::algorithms::baselines::BounceOnMissingEdge,
+            adversary,
+            placements.clone(),
+        )
+        .expect("valid setup");
+        sim.run(horizon);
+        sim.dynamics().to_script(TailBehavior::AllPresent)
+    };
+    let mut chain = PrefixChain::new(ring.clone());
+    for horizon in [50u64, 120, 260, 520] {
+        chain.push(&capture(horizon), horizon).expect("growing prefixes");
+    }
+    let omega = chain.limit(TailBehavior::AllPresent);
+    let verdict = certify_connected_over_time(&omega, 520, 64);
+    assert!(
+        matches!(verdict, CotVerdict::Certified { missing_edge: None, .. }),
+        "{verdict:?}"
+    );
+
+    let mut sim = Simulator::new(
+        ring,
+        dynring::algorithms::baselines::BounceOnMissingEdge,
+        Oblivious::new(omega),
+        placements,
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(520);
+    assert!(trace.visited_nodes().len() <= 3);
+    assert_eq!(trace.max_tower_size(), 0);
+}
+
+/// Lemma 4.1 witnesses freeze refusal behaviours on a certified
+/// connected-over-time 8-ring, for several refusal shapes.
+#[test]
+fn lemma_4_1_witnesses_freeze_refusers() {
+    // PEF_3+ with one robot is a refuser (it never turns without towers);
+    // generate refusal histories with both chiralities and both directions.
+    for (chirality, dir) in [
+        (dynring::Chirality::Standard, LocalDir::Right),
+        (dynring::Chirality::Standard, LocalDir::Left),
+        (dynring::Chirality::Mirrored, LocalDir::Right),
+        (dynring::Chirality::Mirrored, LocalDir::Left),
+    ] {
+        let ring = RingTopology::new(6).expect("valid ring");
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let placement = RobotPlacement::at(NodeId::new(3))
+            .with_chirality(chirality)
+            .with_dir(dir);
+        let mut sim = Simulator::new(ring, Pef3Plus, adversary, vec![placement])
+            .expect("valid setup");
+        let trace = sim.run_recording(40);
+        let original = sim.dynamics().to_script(TailBehavior::AllPresent);
+        let history = extract_history(&trace, RobotId::new(0), 40).expect("valid history");
+        let witness = PrimedWitness::build(&original, &history).expect("valid witness");
+
+        // The witness schedule is connected-over-time with exactly the
+        // removed edge missing.
+        match certify_connected_over_time(witness.schedule(), 300, 48) {
+            CotVerdict::Certified { missing_edge, .. } => {
+                assert_eq!(missing_edge, Some(witness.removed_edge()));
+            }
+            v => panic!("{chirality:?}/{dir:?}: {v:?}"),
+        }
+
+        let twin = witness.run(Pef3Plus, 200).expect("twin run");
+        // PEF_3+ robots may move before t (when pointing at the open edge),
+        // but must freeze at f1'/f2' afterwards; claims 1–2–4 hold always.
+        witness
+            .verify_claims(&twin, true)
+            .unwrap_or_else(|v| panic!("{chirality:?}/{dir:?}: {v}"));
+        assert!(!twin.covers_all_nodes(), "exploration must fail on G'");
+    }
+}
+
+/// The stalemate branch of the two-robot confiner hands over to Lemma 4.1:
+/// extract the stuck robot's history at the stalemate and freeze its twins.
+#[test]
+fn stalemate_hands_over_to_lemma_4_1() {
+    let ring = RingTopology::new(8).expect("valid ring");
+    let placements = vec![
+        RobotPlacement::at(NodeId::new(0)).with_dir(LocalDir::Right),
+        RobotPlacement::at(NodeId::new(1)).with_dir(LocalDir::Right),
+    ];
+    let adversary = Capturing::new(TwoRobotConfiner::new(ring.clone(), 20));
+    let mut sim = Simulator::new(ring, Pef3Plus, adversary, placements).expect("valid setup");
+    let trace = sim.run_recording(300);
+    let confiner = sim.dynamics().inner();
+    let (phase, since) = confiner.stalemate().expect("PEF_3+ with 2 robots stalls");
+    assert_eq!(format!("{phase}"), "C");
+
+    // Extract r1's history at the stalemate round and build the witness.
+    let original = sim.dynamics().to_script(TailBehavior::AllPresent);
+    let history = extract_history(&trace, RobotId::new(0), since).expect("valid history");
+    let witness = PrimedWitness::build(&original, &history).expect("valid witness");
+    let twin = witness.run(Pef3Plus, since + 150).expect("twin run");
+    witness.verify_claims(&twin, true).expect("claims + freeze");
+    assert!(!twin.covers_all_nodes());
+}

@@ -1,0 +1,115 @@
+//! Cross-module consistency: robots move exactly like journey walkers, so
+//! temporal reachability lower-bounds every visit the simulator reports.
+
+use proptest::prelude::*;
+
+use dynring::analysis::VisitLedger;
+use dynring::engine::{Oblivious, RobotPlacement, Simulator};
+use dynring::graph::classes::one_edge;
+use dynring::graph::generators::{self, RandomCotConfig};
+use dynring::graph::journey::ForemostArrivals;
+use dynring::graph::EdgeSchedule;
+use dynring::{NodeId, Pef3Plus, RingTopology, SingleRobotConfiner, Time};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No node can be visited earlier than its foremost journey arrival
+    /// from the nearest robot start: `first_visit(v) ≥ min_r foremost(r→v)`.
+    #[test]
+    fn first_visits_respect_temporal_reachability(
+        n in 4usize..10,
+        seed in any::<u64>(),
+        p in 0.2f64..0.9,
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let horizon: Time = 200 * n as u64;
+        let cfg = RandomCotConfig {
+            presence_probability: p,
+            recurrence_bound: 9,
+            eventual_missing: None,
+        };
+        let schedule = generators::random_connected_over_time(&ring, horizon, &cfg, seed)
+            .expect("valid config");
+        let starts = [0usize, n / 3, 2 * n / 3];
+        let placements = starts
+            .iter()
+            .map(|&s| RobotPlacement::at(NodeId::new(s)))
+            .collect();
+        let mut sim = Simulator::new(
+            ring.clone(),
+            Pef3Plus,
+            Oblivious::new(schedule.clone()),
+            placements,
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(horizon);
+        let ledger = VisitLedger::from_trace(&trace);
+
+        let arrivals: Vec<ForemostArrivals> = starts
+            .iter()
+            .map(|&s| ForemostArrivals::compute(&schedule, NodeId::new(s), 0, horizon))
+            .collect();
+        for v in ring.nodes() {
+            let bound = arrivals
+                .iter()
+                .filter_map(|fa| fa.arrival(v))
+                .min()
+                .expect("connected-over-time window reaches everything");
+            let first = ledger.first_visit(v).expect("PEF_3+ visits everything");
+            prop_assert!(
+                first >= bound,
+                "node {v} visited at {first} before its reachability bound {bound}"
+            );
+        }
+    }
+
+    /// The Theorem 5.1 confiner maintains the paper's OneEdge property on
+    /// the node the robot occupies, whenever the robot stays put for a
+    /// while.
+    #[test]
+    fn confiner_maintains_one_edge_windows(
+        n in 3usize..10,
+        start in 0usize..10,
+    ) {
+        use dynring::engine::Capturing;
+        use dynring::graph::TailBehavior;
+
+        let start = start % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            adversary,
+            vec![RobotPlacement::at(NodeId::new(start))],
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(120);
+        let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+        // For every maximal stay of ≥ 2 rounds at a node, the node
+        // satisfied OneEdge over that window (that is how the adversary
+        // corners the robot while staying connected-over-time).
+        let mut t = 0u64;
+        while t < 120 {
+            let node = trace.positions_at(t)[0];
+            let mut end = t;
+            while end < 120 && trace.positions_at(end + 1)[0] == node {
+                end += 1;
+            }
+            if end > t {
+                let missing = one_edge(&script, node, t, end - 1);
+                prop_assert!(
+                    missing.is_some(),
+                    "stay [{t}, {end}] at {node} without OneEdge"
+                );
+                // The missing edge is indeed absent throughout the stay.
+                let e = missing.expect("checked");
+                for instant in t..end {
+                    prop_assert!(!script.is_present(e, instant));
+                }
+            }
+            t = end + 1;
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Property-based tests over the whole stack: random rings, random
+//! connected-over-time dynamics, random placements — the paper's
+//! guarantees must hold for *all* of them.
+
+use proptest::prelude::*;
+
+use dynring::adversary::lemma41::{extract_history, PrimedWitness};
+use dynring::analysis::invariants::check_pef3_invariants;
+use dynring::analysis::VisitLedger;
+use dynring::engine::{Capturing, RobotId, Simulator};
+use dynring::graph::classes::certify_connected_over_time;
+use dynring::graph::generators::{self, RandomCotConfig};
+use dynring::graph::TailBehavior;
+use dynring::{
+    Chirality, LocalDir, NodeId, Oblivious, Pef3Plus, RingTopology, RobotPlacement,
+    SingleRobotConfiner, TwoRobotConfiner,
+};
+
+fn placements_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<RobotPlacement>> {
+    // k distinct nodes with random chirality and initial direction.
+    (
+        proptest::sample::subsequence((0..n).collect::<Vec<_>>(), k),
+        proptest::collection::vec(any::<bool>(), k),
+        proptest::collection::vec(any::<bool>(), k),
+    )
+        .prop_map(|(nodes, chis, dirs)| {
+            nodes
+                .into_iter()
+                .zip(chis)
+                .zip(dirs)
+                .map(|((node, chi), dir)| {
+                    RobotPlacement::at(NodeId::new(node))
+                        .with_chirality(if chi {
+                            Chirality::Standard
+                        } else {
+                            Chirality::Mirrored
+                        })
+                        .with_dir(if dir { LocalDir::Left } else { LocalDir::Right })
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3.1, property form: PEF_3+ with 3 robots explores every
+    /// random connected-over-time ring we can generate, from every
+    /// towerless placement, with every chirality/direction assignment.
+    #[test]
+    fn pef3_explores_random_cot_rings(
+        n in 4usize..11,
+        seed in any::<u64>(),
+        p in 0.25f64..0.95,
+        placements in (4usize..11).prop_flat_map(|n| placements_strategy(n, 3)),
+    ) {
+        // Re-sample placements against the drawn n (the flat_map above
+        // draws its own n; clamp nodes into range instead of discarding).
+        let placements: Vec<RobotPlacement> = {
+            let mut used = std::collections::BTreeSet::new();
+            placements
+                .into_iter()
+                .map(|pl| {
+                    let mut idx = pl.node.index() % n;
+                    while !used.insert(idx) {
+                        idx = (idx + 1) % n;
+                    }
+                    RobotPlacement { node: NodeId::new(idx), ..pl }
+                })
+                .collect()
+        };
+        let ring = RingTopology::new(n).expect("valid ring");
+        let horizon = 260 * n as u64;
+        let cfg = RandomCotConfig {
+            presence_probability: p,
+            recurrence_bound: 8,
+            eventual_missing: None,
+        };
+        let schedule = generators::random_connected_over_time(&ring, horizon, &cfg, seed)
+            .expect("valid config");
+        let mut sim = Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements)
+            .expect("valid setup");
+        let trace = sim.run_recording(horizon);
+        let ledger = VisitLedger::from_trace(&trace);
+        prop_assert!(ledger.covers() >= 2, "only {} covers (n={n}, p={p})", ledger.covers());
+        prop_assert!(check_pef3_invariants(&trace).is_ok());
+    }
+
+    /// Theorem 5.1, property form: the confiner traps a single PEF_3+
+    /// robot on any ring, from any start, with any chirality/direction,
+    /// and the capture is always certified connected-over-time.
+    #[test]
+    fn single_confiner_always_confines(
+        n in 3usize..16,
+        start in 0usize..16,
+        chi in any::<bool>(),
+        dir in any::<bool>(),
+    ) {
+        let start = start % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let placement = RobotPlacement::at(NodeId::new(start))
+            .with_chirality(if chi { Chirality::Standard } else { Chirality::Mirrored })
+            .with_dir(if dir { LocalDir::Left } else { LocalDir::Right });
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+        let mut sim = Simulator::new(ring, Pef3Plus, adversary, vec![placement])
+            .expect("valid setup");
+        let trace = sim.run_recording(400);
+        prop_assert!(trace.visited_nodes().len() <= 2);
+        let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+        prop_assert!(certify_connected_over_time(&script, 400, 8).is_certified());
+    }
+
+    /// Theorem 4.1, property form: the four-phase confiner keeps any two
+    /// adjacent PEF_3+/bounce robots inside three nodes, with no towers.
+    #[test]
+    fn two_confiner_always_confines(
+        n in 4usize..14,
+        start in 0usize..14,
+        dirs in (any::<bool>(), any::<bool>()),
+        bounce in any::<bool>(),
+    ) {
+        let start = start % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let mk = |i: usize, d: bool| {
+            RobotPlacement::at(NodeId::new((start + i) % n))
+                .with_dir(if d { LocalDir::Left } else { LocalDir::Right })
+        };
+        let placements = vec![mk(0, dirs.0), mk(1, dirs.1)];
+        let adversary = TwoRobotConfiner::new(ring.clone(), 48);
+        let visited = if bounce {
+            let mut sim = Simulator::new(
+                ring,
+                dynring::algorithms::baselines::BounceOnMissingEdge,
+                adversary,
+                placements,
+            ).expect("valid setup");
+            let trace = sim.run_recording(600);
+            prop_assert_eq!(trace.max_tower_size(), 0);
+            trace.visited_nodes().len()
+        } else {
+            let mut sim = Simulator::new(ring, Pef3Plus, adversary, placements)
+                .expect("valid setup");
+            let trace = sim.run_recording(600);
+            prop_assert_eq!(trace.max_tower_size(), 0);
+            trace.visited_nodes().len()
+        };
+        prop_assert!(visited <= 3, "visited {visited}");
+    }
+
+    /// Theorem 4.2, property form: PEF_2 explores every random
+    /// connected-over-time 3-ring (with or without an eventual missing
+    /// edge), from every towerless placement.
+    #[test]
+    fn pef2_explores_random_cot_three_rings(
+        seed in any::<u64>(),
+        p in 0.2f64..0.95,
+        start in 0usize..3,
+        dirs in (any::<bool>(), any::<bool>()),
+        chis in (any::<bool>(), any::<bool>()),
+        missing in proptest::option::of((0usize..3, 0u64..80)),
+    ) {
+        use dynring::Pef2;
+        let ring = RingTopology::new(3).expect("valid ring");
+        let horizon = 800;
+        let cfg = RandomCotConfig {
+            presence_probability: p,
+            recurrence_bound: 7,
+            eventual_missing: missing.map(|(e, t)| (dynring::EdgeId::new(e), t)),
+        };
+        let schedule = generators::random_connected_over_time(&ring, horizon, &cfg, seed)
+            .expect("valid config");
+        let mk = |i: usize, d: bool, c: bool| {
+            RobotPlacement::at(NodeId::new((start + i) % 3))
+                .with_dir(if d { LocalDir::Left } else { LocalDir::Right })
+                .with_chirality(if c { Chirality::Standard } else { Chirality::Mirrored })
+        };
+        let placements = vec![mk(0, dirs.0, chis.0), mk(1, dirs.1, chis.1)];
+        let mut sim = Simulator::new(ring, Pef2, Oblivious::new(schedule), placements)
+            .expect("valid setup");
+        let trace = sim.run_recording(horizon);
+        let ledger = VisitLedger::from_trace(&trace);
+        prop_assert!(
+            ledger.covers() >= 3,
+            "PEF_2 got only {} covers (p={p}, missing={missing:?})",
+            ledger.covers()
+        );
+    }
+
+    /// Theorem 5.2, property form: PEF_1 explores every random
+    /// connected-over-time 2-ring — multigraph or chain reading — from
+    /// both starts.
+    #[test]
+    fn pef1_explores_random_cot_two_rings(
+        seed in any::<u64>(),
+        p in 0.15f64..0.95,
+        start in 0usize..2,
+        dir in any::<bool>(),
+        chain in any::<bool>(),
+    ) {
+        use dynring::Pef1;
+        let ring = RingTopology::new(2).expect("valid ring");
+        let horizon = 500;
+        let cfg = RandomCotConfig {
+            presence_probability: p,
+            recurrence_bound: 6,
+            // The chain reading: the second parallel edge never exists.
+            eventual_missing: chain.then_some((dynring::EdgeId::new(1), 0)),
+        };
+        let schedule = generators::random_connected_over_time(&ring, horizon, &cfg, seed)
+            .expect("valid config");
+        let placement = RobotPlacement::at(NodeId::new(start))
+            .with_dir(if dir { LocalDir::Left } else { LocalDir::Right });
+        let mut sim = Simulator::new(ring, Pef1, Oblivious::new(schedule), vec![placement])
+            .expect("valid setup");
+        let trace = sim.run_recording(horizon);
+        let ledger = VisitLedger::from_trace(&trace);
+        prop_assert!(
+            ledger.covers() >= 3,
+            "PEF_1 got only {} covers (p={p}, chain={chain})",
+            ledger.covers()
+        );
+    }
+
+    /// Lemma 4.1, property form: for any prefix length of a confined
+    /// single-robot run, the primed witness satisfies Claims 1, 2, 4.
+    #[test]
+    fn lemma41_claims_hold_for_any_prefix(
+        t in 1u64..60,
+        n in 4usize..10,
+        start in 0usize..10,
+        dir in any::<bool>(),
+        bounce in any::<bool>(),
+    ) {
+        let start = start % n;
+        let ring = RingTopology::new(n).expect("valid ring");
+        let placement = RobotPlacement::at(NodeId::new(start))
+            .with_dir(if dir { LocalDir::Left } else { LocalDir::Right });
+        let adversary = Capturing::new(SingleRobotConfiner::new(ring.clone()));
+
+        macro_rules! run_case {
+            ($alg:expr) => {{
+                let mut sim = Simulator::new(ring.clone(), $alg, adversary, vec![placement])
+                    .expect("valid setup");
+                let trace = sim.run_recording(t);
+                let original = sim.dynamics().to_script(TailBehavior::AllPresent);
+                (trace, original)
+            }};
+        }
+        let (trace, original) = if bounce {
+            run_case!(dynring::algorithms::baselines::BounceOnMissingEdge)
+        } else {
+            run_case!(Pef3Plus)
+        };
+        let history = extract_history(&trace, RobotId::new(0), t).expect("valid history");
+        let witness = PrimedWitness::build(&original, &history).expect("valid witness");
+        macro_rules! verify {
+            ($alg:expr) => {{
+                let twin = witness.run($alg, t + 40).expect("twin run");
+                witness.verify_claims(&twin, false)
+            }};
+        }
+        let result = if bounce {
+            verify!(dynring::algorithms::baselines::BounceOnMissingEdge)
+        } else {
+            verify!(Pef3Plus)
+        };
+        prop_assert!(result.is_ok(), "{:?}", result);
+    }
+}

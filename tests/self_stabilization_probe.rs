@@ -1,0 +1,144 @@
+//! Extension probe: is `PEF_3+` self-stabilizing?
+//!
+//! The paper's predecessor (Bournat, Datta & Dubois, SSS 2016 — reference
+//! [4]) provides a *self-stabilizing* perpetual exploration algorithm for
+//! the same model, i.e. one that works from arbitrary initial
+//! configurations (towers allowed, corrupted memory). The paper itself
+//! drops self-stabilization and assumes towerless starts.
+//!
+//! This probe shows that the assumption is *necessary* for `PEF_3+`: from
+//! most corrupted starts it recovers, but there exist corrupted
+//! configurations from which it never recovers — two robots fuse into a
+//! synchronized pair (co-located, aligned, flipping together), the system
+//! effectively degrades to two robots, and Theorem 4.1 takes over.
+
+use dynring::algorithms::Pef3State;
+use dynring::analysis::VisitLedger;
+use dynring::engine::{Oblivious, RobotId, RobotPlacement, Simulator};
+use dynring::graph::generators::{self, RandomCotConfig};
+use dynring::graph::EdgeId;
+use dynring::{Chirality, LocalDir, NodeId, Pef3Plus, RingTopology};
+
+/// Three robots stacked on one node (a 3-tower!), mixed chirality and
+/// directions, with adversarially corrupted `HasMovedPreviousStep` flags.
+fn corrupted_sim(
+    n: usize,
+    horizon: u64,
+    seed: u64,
+    missing: Option<(EdgeId, u64)>,
+) -> Simulator<Pef3Plus, Oblivious<dynring::graph::ScriptedSchedule>> {
+    let ring = RingTopology::new(n).expect("valid ring");
+    let cfg = RandomCotConfig {
+        presence_probability: 0.5,
+        recurrence_bound: 8,
+        eventual_missing: missing,
+    };
+    let schedule =
+        generators::random_connected_over_time(&ring, horizon, &cfg, seed).expect("valid config");
+    let placements = vec![
+        RobotPlacement::at(NodeId::new(1)),
+        RobotPlacement::at(NodeId::new(1)).with_dir(LocalDir::Right),
+        RobotPlacement::at(NodeId::new(1)).with_chirality(Chirality::Mirrored),
+    ];
+    let mut sim = Simulator::new_arbitrary(ring, Pef3Plus, Oblivious::new(schedule), placements)
+        .expect("valid setup");
+    sim.set_state_of(
+        RobotId::new(0),
+        Pef3State {
+            has_moved_previous_step: true,
+        },
+    );
+    sim.set_state_of(
+        RobotId::new(2),
+        Pef3State {
+            has_moved_previous_step: true,
+        },
+    );
+    sim
+}
+
+#[test]
+fn pef3_recovers_from_most_corrupted_starts() {
+    // Without an eventual missing edge, every probed corrupted start
+    // recovers and keeps exploring.
+    for seed in 0..12u64 {
+        for n in [5usize, 8] {
+            let horizon = 300 * n as u64;
+            let mut sim = corrupted_sim(n, horizon, seed, None);
+            let trace = sim.run_recording(horizon);
+            let ledger = VisitLedger::from_trace(&trace);
+            assert!(
+                ledger.covers() >= 3,
+                "seed {seed}, n {n}: only {} covers",
+                ledger.covers()
+            );
+        }
+    }
+}
+
+#[test]
+fn pef3_is_not_self_stabilizing_a_fused_pair_can_persist() {
+    // Seed 14 on an 8-ring whose edge e6 dies at round 50: robots 0 and 1
+    // fuse into a pair that oscillates forever near one extremity while
+    // robot 2 guards the other — four nodes are visited during the chaotic
+    // prefix but never again. This is why reference [4] needed a dedicated
+    // self-stabilizing algorithm and why the paper assumes towerless
+    // starts.
+    let n = 8;
+    let horizon = 6400;
+    let mut sim = corrupted_sim(n, horizon, 14, Some((EdgeId::new(6), 50)));
+    let trace = sim.run_recording(horizon);
+    let ledger = VisitLedger::from_trace(&trace);
+    assert_eq!(
+        ledger.visited_count(),
+        8,
+        "the chaotic prefix does visit everything"
+    );
+    assert!(
+        ledger.covers() <= 2,
+        "exploration must stall: got {} covers",
+        ledger.covers()
+    );
+    // The signature of the failure: two robots co-located with aligned
+    // directions at the end of the run (an illegal state for well-initiated
+    // PEF_3+ executions, where tower members always point apart).
+    let last = trace.rounds().last().expect("nonempty trace");
+    let fused = last
+        .robots
+        .iter()
+        .enumerate()
+        .any(|(i, a)| {
+            last.robots.iter().skip(i + 1).any(|b| {
+                a.node_after == b.node_after && a.global_dir_after == b.global_dir_after
+            })
+        });
+    assert!(fused, "expected a fused pair at the end of the run");
+}
+
+#[test]
+fn well_initiated_runs_never_fuse() {
+    // Contrast: the same schedules from *towerless* starts keep Lemma 3.3
+    // intact — no fused pair ever appears.
+    use dynring::analysis::invariants::check_pef3_invariants;
+    for seed in [14u64, 3, 7] {
+        let ring = RingTopology::new(8).expect("valid ring");
+        let cfg = RandomCotConfig {
+            presence_probability: 0.5,
+            recurrence_bound: 8,
+            eventual_missing: Some((EdgeId::new(6), 50)),
+        };
+        let schedule = generators::random_connected_over_time(&ring, 3000, &cfg, seed)
+            .expect("valid config");
+        let placements = vec![
+            RobotPlacement::at(NodeId::new(1)),
+            RobotPlacement::at(NodeId::new(4)).with_dir(LocalDir::Right),
+            RobotPlacement::at(NodeId::new(6)).with_chirality(Chirality::Mirrored),
+        ];
+        let mut sim = Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements)
+            .expect("valid setup");
+        let trace = sim.run_recording(3000);
+        check_pef3_invariants(&trace).expect("lemmas hold from towerless starts");
+        let ledger = VisitLedger::from_trace(&trace);
+        assert!(ledger.covers() >= 3, "seed {seed}: {} covers", ledger.covers());
+    }
+}

@@ -1,0 +1,85 @@
+//! E8: the FSYNC/SSYNC gap of Di Luna et al. — the same dynamics freezes
+//! every algorithm under SSYNC but not under FSYNC.
+
+use dynring::adversary::SsyncBlocker;
+use dynring::analysis::{run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario};
+use dynring::engine::{EveryKth, RoundRobinSingle};
+use dynring::{NodeId, Pef3Plus, RingTopology, RobotPlacement, Simulator};
+
+#[test]
+fn ssync_blocker_freezes_every_portfolio_algorithm() {
+    for algorithm in AlgorithmChoice::portfolio() {
+        let scenario = Scenario::new(
+            8,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            algorithm,
+            DynamicsChoice::SsyncBlocker,
+            400,
+        );
+        let report = run_scenario(&scenario).expect("valid scenario");
+        assert_eq!(report.moves, 0, "{} moved under SSYNC", algorithm.name());
+        assert_eq!(report.visited_nodes, 3, "{}", algorithm.name());
+    }
+}
+
+#[test]
+fn fsync_with_the_same_dynamics_explores() {
+    let ring = RingTopology::new(8).expect("valid ring");
+    let mut sim = Simulator::new(
+        ring.clone(),
+        Pef3Plus,
+        SsyncBlocker::new(ring),
+        vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(3)),
+            RobotPlacement::at(NodeId::new(6)),
+        ],
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(400);
+    assert!(trace.covers_all_nodes());
+}
+
+#[test]
+fn partition_activation_also_freezes() {
+    // EveryKth(k) with k = number of robots degenerates to round-robin for
+    // this blocker: the activated robot is always the blocked one.
+    let ring = RingTopology::new(6).expect("valid ring");
+    let mut sim = Simulator::new(
+        ring.clone(),
+        Pef3Plus,
+        SsyncBlocker::new(ring),
+        vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(3)),
+        ],
+    )
+    .expect("valid setup");
+    sim.set_activation(EveryKth::new(2));
+    let trace = sim.run_recording(300);
+    assert_eq!(trace.visited_nodes().len(), 2);
+}
+
+#[test]
+fn round_robin_without_blocking_is_harmless() {
+    // Fair SSYNC with a static graph: exploration still succeeds (the
+    // impossibility needs the adversarial dynamics, not SSYNC alone).
+    use dynring::graph::AlwaysPresent;
+    use dynring::Oblivious;
+
+    let ring = RingTopology::new(6).expect("valid ring");
+    let mut sim = Simulator::new(
+        ring.clone(),
+        Pef3Plus,
+        Oblivious::new(AlwaysPresent::new(ring)),
+        vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(2)),
+            RobotPlacement::at(NodeId::new(4)),
+        ],
+    )
+    .expect("valid setup");
+    sim.set_activation(RoundRobinSingle);
+    let trace = sim.run_recording(400);
+    assert!(trace.covers_all_nodes());
+}

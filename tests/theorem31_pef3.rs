@@ -1,0 +1,199 @@
+//! Theorem 3.1 at scale: `PEF_3+` explores connected-over-time rings for
+//! many sizes, team sizes, chirality assignments and dynamics (E5 in
+//! DESIGN.md), with the paper's lemmas validated on every trace.
+
+use dynring::analysis::invariants::{check_pef3_invariants, sentinel_lock_time};
+use dynring::analysis::VisitLedger;
+use dynring::engine::{Capturing, Oblivious, RobotPlacement, Simulator};
+use dynring::graph::classes::{certify_connected_over_time, CotVerdict};
+use dynring::graph::generators::{self, RandomCotConfig};
+use dynring::graph::{EdgeId, TailBehavior};
+use dynring::{Chirality, LocalDir, NodeId, Pef3Plus, RingTopology};
+
+fn placements(n: usize, k: usize, variant: u64) -> Vec<RobotPlacement> {
+    (0..k)
+        .map(|i| {
+            let node = NodeId::new((i * n / k + variant as usize) % n);
+            let chirality = if (i as u64 + variant).is_multiple_of(2) {
+                Chirality::Standard
+            } else {
+                Chirality::Mirrored
+            };
+            let dir = if (i as u64 + variant).is_multiple_of(3) {
+                LocalDir::Left
+            } else {
+                LocalDir::Right
+            };
+            RobotPlacement::at(node).with_chirality(chirality).with_dir(dir)
+        })
+        .collect()
+}
+
+#[test]
+fn pef3_explores_across_sizes_and_team_sizes() {
+    for (n, k) in [(4, 3), (5, 3), (6, 3), (6, 5), (8, 3), (8, 4), (10, 3), (12, 5)] {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let horizon = 240 * n as u64;
+        let cfg = RandomCotConfig {
+            presence_probability: 0.5,
+            recurrence_bound: 8,
+            eventual_missing: None,
+        };
+        let schedule = generators::random_connected_over_time(
+            &ring,
+            horizon,
+            &cfg,
+            n as u64 * 31 + k as u64,
+        )
+        .expect("valid config");
+        let mut sim = Simulator::new(
+            ring,
+            Pef3Plus,
+            Oblivious::new(schedule),
+            placements(n, k, 0),
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(horizon);
+        let ledger = VisitLedger::from_trace(&trace);
+        assert!(
+            ledger.covers() >= 3,
+            "n={n}, k={k}: only {} covers",
+            ledger.covers()
+        );
+        check_pef3_invariants(&trace)
+            .unwrap_or_else(|v| panic!("n={n}, k={k}: {v}"));
+    }
+}
+
+#[test]
+fn pef3_explores_with_every_chirality_mix() {
+    // All eight chirality assignments of a 3-robot team on a 6-ring.
+    let ring = RingTopology::new(6).expect("valid ring");
+    for mask in 0u8..8 {
+        let placements: Vec<RobotPlacement> = (0..3)
+            .map(|i| {
+                let chirality = if mask & (1 << i) == 0 {
+                    Chirality::Standard
+                } else {
+                    Chirality::Mirrored
+                };
+                RobotPlacement::at(NodeId::new(i * 2)).with_chirality(chirality)
+            })
+            .collect();
+        let schedule = generators::random_connected_over_time(
+            &ring,
+            900,
+            &RandomCotConfig::default(),
+            mask as u64 + 400,
+        )
+        .expect("valid config");
+        let mut sim = Simulator::new(
+            ring.clone(),
+            Pef3Plus,
+            Oblivious::new(schedule),
+            placements,
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(900);
+        let ledger = VisitLedger::from_trace(&trace);
+        assert!(
+            ledger.covers() >= 3,
+            "chirality mask {mask:03b}: {} covers",
+            ledger.covers()
+        );
+        check_pef3_invariants(&trace)
+            .unwrap_or_else(|v| panic!("mask {mask:03b}: {v}"));
+    }
+}
+
+#[test]
+fn pef3_sentinels_lock_for_every_missing_edge_position() {
+    let n = 6;
+    let ring = RingTopology::new(n).expect("valid ring");
+    for dead in 0..n {
+        let cfg = RandomCotConfig {
+            presence_probability: 0.6,
+            recurrence_bound: 6,
+            eventual_missing: Some((EdgeId::new(dead), 60)),
+        };
+        let schedule =
+            generators::random_connected_over_time(&ring, 900, &cfg, dead as u64 + 77)
+                .expect("valid config");
+        let mut sim = Simulator::new(
+            ring.clone(),
+            Pef3Plus,
+            Oblivious::new(schedule),
+            placements(n, 3, dead as u64),
+        )
+        .expect("valid setup");
+        let trace = sim.run_recording(900);
+        let ledger = VisitLedger::from_trace(&trace);
+        assert!(
+            ledger.covers() >= 3,
+            "dead edge e{dead}: {} covers",
+            ledger.covers()
+        );
+        let lock = sentinel_lock_time(&trace, EdgeId::new(dead));
+        assert!(
+            lock.is_some(),
+            "dead edge e{dead}: sentinels never locked (Lemma 3.7)"
+        );
+    }
+}
+
+#[test]
+fn pef3_handles_the_minimal_ring_n_equals_k_plus_1() {
+    // The tightest legal configuration: k = 3 robots, n = 4 nodes.
+    let ring = RingTopology::new(4).expect("valid ring");
+    let cfg = RandomCotConfig {
+        presence_probability: 0.4,
+        recurrence_bound: 6,
+        eventual_missing: Some((EdgeId::new(1), 50)),
+    };
+    let schedule =
+        generators::random_connected_over_time(&ring, 800, &cfg, 9).expect("valid config");
+    let mut sim = Simulator::new(
+        ring,
+        Pef3Plus,
+        Oblivious::new(schedule),
+        vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(1)),
+            RobotPlacement::at(NodeId::new(2)),
+        ],
+    )
+    .expect("valid setup");
+    let trace = sim.run_recording(800);
+    let ledger = VisitLedger::from_trace(&trace);
+    assert!(ledger.covers() >= 3, "{} covers", ledger.covers());
+    check_pef3_invariants(&trace).expect("invariants hold");
+}
+
+#[test]
+fn pef3_runs_on_certified_connected_over_time_schedules_only() {
+    // Meta-check: the suite actually exercises the class the theorem is
+    // about — capture what was played and certify it.
+    let ring = RingTopology::new(7).expect("valid ring");
+    let cfg = RandomCotConfig {
+        presence_probability: 0.35,
+        recurrence_bound: 10,
+        eventual_missing: Some((EdgeId::new(4), 100)),
+    };
+    let schedule =
+        generators::random_connected_over_time(&ring, 700, &cfg, 55).expect("valid config");
+    let mut sim = Simulator::new(
+        ring,
+        Pef3Plus,
+        Capturing::new(Oblivious::new(schedule)),
+        placements(7, 3, 1),
+    )
+    .expect("valid setup");
+    sim.run(700);
+    let script = sim.dynamics().to_script(TailBehavior::AllPresent);
+    match certify_connected_over_time(&script, 700, 10) {
+        CotVerdict::Certified { missing_edge, .. } => {
+            assert_eq!(missing_edge, Some(EdgeId::new(4)));
+        }
+        v => panic!("expected certification, got {v:?}"),
+    }
+}
