@@ -75,6 +75,12 @@ impl Dynamics for SingleRobotConfiner {
     }
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        let mut set = EdgeSet::empty_for(&self.ring);
+        self.edges_at_into(obs, &mut set);
+        set
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         let robot = obs
             .robots()
             .first()
@@ -84,19 +90,19 @@ impl Dynamics for SingleRobotConfiner {
             let v = self.ring.neighbor(u, GlobalDir::CounterClockwise);
             (u, v)
         });
-        let mut set = EdgeSet::full_for(&self.ring);
+        out.reset(self.ring.edge_count());
+        out.fill();
         if robot.node == u {
             // Block e_ur: the robot may only leave counter-clockwise, to v.
-            set.remove(self.ring.edge_towards(u, GlobalDir::Clockwise));
+            out.remove(self.ring.edge_towards(u, GlobalDir::Clockwise));
             self.blocks += 1;
         } else if robot.node == v {
             // Block e_vl: the robot may only leave clockwise, back to u.
-            set.remove(self.ring.edge_towards(v, GlobalDir::CounterClockwise));
+            out.remove(self.ring.edge_towards(v, GlobalDir::CounterClockwise));
             self.blocks += 1;
         } else {
             self.escaped = true;
         }
-        set
     }
 }
 

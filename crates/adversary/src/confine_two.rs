@@ -206,6 +206,12 @@ impl Dynamics for TwoRobotConfiner {
     }
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        let mut set = EdgeSet::empty_for(&self.ring);
+        self.edges_at_into(obs, &mut set);
+        set
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         // Anchor the zone on the first observation.
         if matches!(self.state, State::Init) {
             self.state = match self.anchor(obs) {
@@ -221,7 +227,9 @@ impl Dynamics for TwoRobotConfiner {
         }
 
         let Some(zone) = self.zone else {
-            return EdgeSet::full_for(&self.ring);
+            out.reset(self.ring.edge_count());
+            out.fill();
+            return;
         };
 
         // Advance the phase machine on observed designated moves.
@@ -252,11 +260,11 @@ impl Dynamics for TwoRobotConfiner {
             State::Running { phase, .. } | State::Stalemate { phase, .. } => phase,
             _ => unreachable!("zone anchored implies running or stalemate"),
         };
-        let mut set = EdgeSet::full_for(&self.ring);
+        out.reset(self.ring.edge_count());
+        out.fill();
         for e in self.blocked_edges(zone, phase) {
-            set.remove(e);
+            out.remove(e);
         }
-        set
     }
 }
 

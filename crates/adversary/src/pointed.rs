@@ -24,6 +24,7 @@ pub struct PointedEdgeBlocker {
     budget: Time,
     exempt: Option<EdgeId>,
     absent_run: Vec<Time>,
+    pointed_buf: EdgeSet,
 }
 
 impl PointedEdgeBlocker {
@@ -44,6 +45,7 @@ impl PointedEdgeBlocker {
             budget,
             exempt,
             absent_run: vec![0; edges],
+            pointed_buf: EdgeSet::empty(edges),
         }
     }
 
@@ -59,23 +61,29 @@ impl Dynamics for PointedEdgeBlocker {
     }
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
-        let pointed = obs.pointed_edges();
-        let mut set = EdgeSet::full_for(&self.ring);
+        let mut set = EdgeSet::empty_for(&self.ring);
+        self.edges_at_into(obs, &mut set);
+        set
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        obs.pointed_edges_into(&mut self.pointed_buf);
+        out.reset(self.ring.edge_count());
+        out.fill();
         for e in self.ring.edges() {
             let run = &mut self.absent_run[e.index()];
             if Some(e) == self.exempt {
-                set.remove(e);
+                out.remove(e);
                 continue;
             }
-            let wants_removed = pointed.contains(e);
+            let wants_removed = self.pointed_buf.contains(e);
             if wants_removed && *run < self.budget {
-                set.remove(e);
+                out.remove(e);
                 *run += 1;
             } else {
                 *run = 0;
             }
         }
-        set
     }
 }
 

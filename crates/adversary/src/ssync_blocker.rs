@@ -45,16 +45,22 @@ impl Dynamics for SsyncBlocker {
     }
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
+        let mut set = EdgeSet::empty_for(&self.ring);
+        self.edges_at_into(obs, &mut set);
+        set
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         let robots = obs.robots();
-        let mut set = EdgeSet::full_for(&self.ring);
+        out.reset(self.ring.edge_count());
+        out.fill();
         if robots.is_empty() {
-            return set;
+            return;
         }
         let active = self.activated_robot(obs.time(), robots.len());
         let node = robots[active].node;
-        set.remove(self.ring.edge_towards(node, GlobalDir::Clockwise));
-        set.remove(self.ring.edge_towards(node, GlobalDir::CounterClockwise));
-        set
+        out.remove(self.ring.edge_towards(node, GlobalDir::Clockwise));
+        out.remove(self.ring.edge_towards(node, GlobalDir::CounterClockwise));
     }
 }
 

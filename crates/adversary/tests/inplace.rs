@@ -1,0 +1,129 @@
+//! The in-place dynamics API must be indistinguishable from the
+//! allocating one for every adversary: two identical instances driven
+//! with the same observation sequence — one through `edges_at`, one
+//! through `edges_at_into` — must emit identical snapshot sequences
+//! (adversaries are stateful, so this also checks that internal state
+//! advances identically on both paths).
+
+use proptest::prelude::*;
+
+use dynring_adversary::{PointedEdgeBlocker, SingleRobotConfiner, SsyncBlocker, TwoRobotConfiner};
+use dynring_engine::{Chirality, Dynamics, LocalDir, Observation, RobotId, RobotSnapshot};
+use dynring_graph::{EdgeSet, NodeId, RingTopology};
+
+/// Drives both copies over a pseudo-random robot trajectory and compares
+/// every emitted snapshot.
+fn assert_paths_agree<D: Dynamics>(
+    ring: &RingTopology,
+    mut via_alloc: D,
+    mut via_into: D,
+    robots: usize,
+    seed: u64,
+    rounds: u64,
+) -> Result<(), TestCaseError> {
+    let n = ring.node_count();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut buf = EdgeSet::empty(0); // deliberately stale universe
+    for t in 0..rounds {
+        let snaps: Vec<RobotSnapshot> = (0..robots)
+            .map(|i| RobotSnapshot {
+                id: RobotId::new(i),
+                node: NodeId::new((next() as usize) % n),
+                chirality: if next() & 1 == 0 {
+                    Chirality::Standard
+                } else {
+                    Chirality::Mirrored
+                },
+                dir: if next() & 1 == 0 {
+                    LocalDir::Left
+                } else {
+                    LocalDir::Right
+                },
+                moved_last_round: next() & 1 == 0,
+            })
+            .collect();
+        let obs = Observation::new(t, ring, &snaps);
+        let allocated = via_alloc.edges_at(&obs);
+        via_into.edges_at_into(&obs, &mut buf);
+        prop_assert_eq!(&allocated, &buf, "t = {}", t);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_robot_confiner_paths_agree(
+        n in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        assert_paths_agree(
+            &ring,
+            SingleRobotConfiner::new(ring.clone()),
+            SingleRobotConfiner::new(ring.clone()),
+            1,
+            seed,
+            60,
+        )?;
+    }
+
+    #[test]
+    fn two_robot_confiner_paths_agree(
+        n in 4usize..12,
+        seed in any::<u64>(),
+        patience in 1u64..8,
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        assert_paths_agree(
+            &ring,
+            TwoRobotConfiner::new(ring.clone(), patience),
+            TwoRobotConfiner::new(ring.clone(), patience),
+            2,
+            seed,
+            60,
+        )?;
+    }
+
+    #[test]
+    fn pointed_blocker_paths_agree(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        budget in 1u64..6,
+        robots in 1usize..4,
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        assert_paths_agree(
+            &ring,
+            PointedEdgeBlocker::new(ring.clone(), budget, None),
+            PointedEdgeBlocker::new(ring.clone(), budget, None),
+            robots,
+            seed,
+            60,
+        )?;
+    }
+
+    #[test]
+    fn ssync_blocker_paths_agree(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        robots in 1usize..4,
+    ) {
+        let ring = RingTopology::new(n).expect("valid ring");
+        assert_paths_agree(
+            &ring,
+            SsyncBlocker::new(ring.clone()),
+            SsyncBlocker::new(ring.clone()),
+            robots,
+            seed,
+            60,
+        )?;
+    }
+}

@@ -4,7 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
-
+use crate::parallel::run_scenarios_par;
 use crate::scenario::{run_scenario, Scenario, ScenarioError};
 use crate::stats::Summary;
 
@@ -31,24 +31,29 @@ pub struct SweepPoint {
     pub seeds: usize,
 }
 
-/// Runs `base` once per seed and aggregates the measurements into a
-/// [`SweepPoint`] (`parameter` is echoed for the caller's plot axis).
+/// Runs `base` once per seed — the seed batch fans out over all cores —
+/// and aggregates the measurements into a [`SweepPoint`] (`parameter` is
+/// echoed for the caller's plot axis). Aggregation happens in seed order,
+/// so the point is byte-identical to a serial evaluation.
 ///
 /// # Errors
 ///
-/// Propagates the first [`ScenarioError`].
+/// Propagates the first [`ScenarioError`] (by seed order).
 pub fn evaluate_point(
     base: &Scenario,
     parameter: f64,
     seeds: &[u64],
 ) -> Result<SweepPoint, ScenarioError> {
+    let scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| base.clone().with_seed(seed))
+        .collect();
+    let reports = run_scenarios_par(&scenarios)?;
     let mut first_covers = Vec::new();
     let mut cover_times = Vec::new();
     let mut gaps = Vec::new();
     let mut successes = 0usize;
-    for &seed in seeds {
-        let scenario = base.clone().with_seed(seed);
-        let report = run_scenario(&scenario)?;
+    for (scenario, report) in scenarios.iter().zip(&reports) {
         gaps.push(report.max_gap as f64);
         if report.is_perpetual() {
             successes += 1;

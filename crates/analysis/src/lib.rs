@@ -41,6 +41,7 @@ pub mod audit;
 pub mod coverage;
 pub mod grid;
 pub mod invariants;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 pub mod stats;
@@ -48,9 +49,10 @@ pub mod table1;
 pub mod verdict;
 
 pub use coverage::VisitLedger;
+pub use parallel::{coverage_matrix, run_scenarios_par, run_scenarios_par_with, CoverageMatrix};
 pub use scenario::{
     run_on_schedule, run_scenario, run_scenario_capturing, AlgorithmChoice, DynamicsChoice,
     PlacementSpec, Scenario, ScenarioError, ScenarioReport,
 };
-pub use table1::{run_table1, Table1Options, Table1Report};
+pub use table1::{run_table1, run_table1_serial, Table1Options, Table1Report};
 pub use verdict::{ExplorationOutcome, SuccessCriteria};

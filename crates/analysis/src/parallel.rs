@@ -1,0 +1,332 @@
+//! Deterministic parallel scenario execution.
+//!
+//! Sweeps at paper scale (Table 1 grids, seed batches, dynamicity curves)
+//! are embarrassingly parallel: every [`Scenario`] run is a pure function
+//! of its inputs. This module fans a batch out over a scoped thread pool
+//! (plain `std::thread` — the workspace builds offline, so no external
+//! runtime) while keeping results **byte-identical** to the serial path:
+//!
+//! - results are collected into their input slots, so output order is the
+//!   input order regardless of scheduling;
+//! - error semantics match the serial `?`-loop: the error reported is the
+//!   one of the *first failing scenario by index*, not the first to fail
+//!   in wall-clock time;
+//! - every scenario still runs with its own seed, so reports are
+//!   bit-for-bit those of [`run_scenario`].
+//!
+//! [`par_map`] underlies the batch runner and is reused by the Table 1
+//! grid; [`coverage_matrix`] runs the full algorithm portfolio × benign
+//! dynamics suite as one parallel batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_graph::Time;
+
+use crate::scenario::{
+    run_scenario, AlgorithmChoice, DynamicsChoice, PlacementSpec, Scenario, ScenarioError,
+    ScenarioReport,
+};
+
+/// Worker threads used by default: one per available core.
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on a scoped thread pool, returning results in
+/// input order. With `workers <= 1` this degenerates to a plain serial
+/// map (no threads spawned), which is also the reference for determinism
+/// tests.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(&items[index]);
+                if tx.send((index, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (index, result) in rx {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every item produced a result"))
+            .collect()
+    })
+}
+
+/// Runs a batch of scenarios across all cores.
+///
+/// Reports come back in input order and are byte-identical to running
+/// [`run_scenario`] serially over the same slice.
+///
+/// # Errors
+///
+/// The error of the first failing scenario *by index* (matching the
+/// serial loop), if any.
+pub fn run_scenarios_par(scenarios: &[Scenario]) -> Result<Vec<ScenarioReport>, ScenarioError> {
+    run_scenarios_par_with(scenarios, available_workers())
+}
+
+/// [`run_scenarios_par`] with an explicit worker count (`1` = serial).
+///
+/// # Errors
+///
+/// See [`run_scenarios_par`].
+pub fn run_scenarios_par_with(
+    scenarios: &[Scenario],
+    workers: usize,
+) -> Result<Vec<ScenarioReport>, ScenarioError> {
+    par_map(scenarios, workers, run_scenario)
+        .into_iter()
+        .collect()
+}
+
+/// One cell of a [`CoverageMatrix`]: what one algorithm did under one
+/// dynamics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageCell {
+    /// Dynamics label.
+    pub dynamics: String,
+    /// Whether the run was judged perpetual exploration.
+    pub perpetual: bool,
+    /// Completed covers.
+    pub covers: u64,
+    /// Total robot moves.
+    pub moves: u64,
+}
+
+/// One row of a [`CoverageMatrix`]: one algorithm across the suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Cells in suite order.
+    pub cells: Vec<CoverageCell>,
+}
+
+/// Outcome grid of the full algorithm portfolio × the benign dynamics
+/// suite — the "who survives what" scenario-coverage summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageMatrix {
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k`.
+    pub robots: usize,
+    /// Rounds per run.
+    pub horizon: Time,
+    /// Rows in portfolio order.
+    pub rows: Vec<CoverageRow>,
+}
+
+impl CoverageMatrix {
+    /// Fraction of cells judged perpetual.
+    pub fn survival_rate(&self) -> f64 {
+        let total: usize = self.rows.iter().map(|r| r.cells.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let wins: usize = self
+            .rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .filter(|c| c.perpetual)
+            .count();
+        wins as f64 / total as f64
+    }
+}
+
+/// Runs the full algorithm portfolio against the benign dynamics suite as
+/// one parallel batch.
+///
+/// # Errors
+///
+/// See [`run_scenarios_par`].
+pub fn coverage_matrix(
+    ring_size: usize,
+    robots: usize,
+    horizon: Time,
+    seed: u64,
+) -> Result<CoverageMatrix, ScenarioError> {
+    let portfolio = AlgorithmChoice::portfolio();
+    let suite = DynamicsChoice::benign_suite();
+    let scenarios: Vec<Scenario> = portfolio
+        .iter()
+        .flat_map(|&algorithm| {
+            suite.iter().enumerate().map(move |(j, &dynamics)| {
+                Scenario::new(
+                    ring_size,
+                    PlacementSpec::EvenlySpaced { count: robots },
+                    algorithm,
+                    dynamics,
+                    horizon,
+                )
+                .with_seed(seed ^ ((j as u64) << 32))
+            })
+        })
+        .collect();
+    let reports = run_scenarios_par(&scenarios)?;
+    let rows = portfolio
+        .iter()
+        .enumerate()
+        .map(|(i, algorithm)| CoverageRow {
+            algorithm: algorithm.name().to_string(),
+            cells: suite
+                .iter()
+                .enumerate()
+                .map(|(j, dynamics)| {
+                    let report = &reports[i * suite.len() + j];
+                    CoverageCell {
+                        dynamics: dynamics.name().to_string(),
+                        perpetual: report.is_perpetual(),
+                        covers: report.covers,
+                        moves: report.moves,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Ok(CoverageMatrix {
+        ring_size,
+        robots,
+        horizon,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::SuccessCriteria;
+
+    fn batch() -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for (i, dynamics) in [
+            DynamicsChoice::Static,
+            DynamicsChoice::BernoulliRecurrent { p: 0.5, bound: 8 },
+            DynamicsChoice::SweepingOutage { dwell: 3 },
+            DynamicsChoice::PointedBlocker { budget: 3 },
+            DynamicsChoice::SingleConfiner,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let k = if matches!(dynamics, DynamicsChoice::SingleConfiner) {
+                1
+            } else {
+                3
+            };
+            scenarios.push(
+                Scenario::new(
+                    7,
+                    PlacementSpec::EvenlySpaced { count: k },
+                    AlgorithmChoice::Pef3Plus,
+                    dynamics,
+                    250,
+                )
+                .with_seed(1000 + i as u64)
+                .with_criteria(SuccessCriteria::covers(2)),
+            );
+        }
+        scenarios
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let scenarios = batch();
+        let serial: Vec<ScenarioReport> = scenarios
+            .iter()
+            .map(|s| run_scenario(s).expect("valid scenario"))
+            .collect();
+        for workers in [1usize, 2, 4, 8] {
+            let parallel =
+                run_scenarios_par_with(&scenarios, workers).expect("valid batch");
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_error_by_index_matches_serial() {
+        let mut scenarios = batch();
+        // Two ill-formed scenarios; the reported error must be the first
+        // by index (ring size 1), not whichever thread fails first.
+        scenarios.insert(
+            1,
+            Scenario::new(
+                1,
+                PlacementSpec::EvenlySpaced { count: 1 },
+                AlgorithmChoice::Pef1,
+                DynamicsChoice::Static,
+                10,
+            ),
+        );
+        scenarios.push(Scenario::new(
+            4,
+            PlacementSpec::EvenlySpaced { count: 1 },
+            AlgorithmChoice::Pef1,
+            DynamicsChoice::EventualMissing {
+                p: 0.5,
+                bound: 4,
+                edge: 9,
+                from: 0,
+            },
+            10,
+        ));
+        let serial_err = scenarios
+            .iter()
+            .map(run_scenario)
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("batch contains an invalid scenario");
+        for workers in [2usize, 4] {
+            let parallel_err = run_scenarios_par_with(&scenarios, workers)
+                .expect_err("batch contains an invalid scenario");
+            assert_eq!(serial_err, parallel_err, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn coverage_matrix_shape_and_survivors() {
+        let matrix = coverage_matrix(8, 3, 400, 7).expect("valid grid");
+        assert_eq!(matrix.rows.len(), AlgorithmChoice::portfolio().len());
+        for row in &matrix.rows {
+            assert_eq!(row.cells.len(), DynamicsChoice::benign_suite().len());
+        }
+        // The paper's algorithm survives the whole benign suite.
+        let pef3 = &matrix.rows[0];
+        assert_eq!(pef3.algorithm, "PEF_3+");
+        assert!(pef3.cells.iter().all(|c| c.perpetual), "{pef3:?}");
+        assert!(matrix.survival_rate() > 0.0);
+    }
+}

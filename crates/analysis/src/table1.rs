@@ -300,31 +300,61 @@ fn run_impossible_cell(
     })
 }
 
-/// Runs the full Table 1 reproduction.
+/// Runs the full Table 1 reproduction with the cell grid fanned out over
+/// all cores. The report is byte-identical to [`run_table1_serial`]: cells
+/// are independent, each runs with its own seeds, and results are
+/// assembled in grid order.
 ///
 /// # Errors
 ///
 /// [`ScenarioError`] only for ill-formed options (all default cells are
 /// well-formed).
 pub fn run_table1(opts: &Table1Options) -> Result<Table1Report, ScenarioError> {
-    let mut cells = Vec::new();
-    for &k in &opts.robot_counts {
-        for &n in &opts.ring_sizes {
-            let expected = Feasibility::for_parameters(k, n);
-            let observed = match expected {
-                Feasibility::OutOfModel => CellObservation::OutOfModel,
-                Feasibility::Solvable { algorithm, .. } => {
-                    run_possible_cell(k, n, opts, algorithm)?
-                }
-                Feasibility::Unsolvable { .. } => run_impossible_cell(k, n, opts)?,
-            };
-            cells.push(CellResult {
-                robots: k,
-                nodes: n,
-                expected,
-                observed,
-            });
+    run_table1_with_workers(opts, crate::parallel::available_workers())
+}
+
+/// The serial reference implementation of the Table 1 grid.
+///
+/// # Errors
+///
+/// See [`run_table1`].
+pub fn run_table1_serial(opts: &Table1Options) -> Result<Table1Report, ScenarioError> {
+    run_table1_with_workers(opts, 1)
+}
+
+/// [`run_table1`] with an explicit worker count (`1` = serial).
+///
+/// # Errors
+///
+/// See [`run_table1`].
+pub fn run_table1_with_workers(
+    opts: &Table1Options,
+    workers: usize,
+) -> Result<Table1Report, ScenarioError> {
+    let grid: Vec<(usize, usize, Feasibility)> = opts
+        .robot_counts
+        .iter()
+        .flat_map(|&k| {
+            opts.ring_sizes
+                .iter()
+                .map(move |&n| (k, n, Feasibility::for_parameters(k, n)))
+        })
+        .collect();
+    let observations = crate::parallel::par_map(&grid, workers, |&(k, n, expected)| {
+        match expected {
+            Feasibility::OutOfModel => Ok(CellObservation::OutOfModel),
+            Feasibility::Solvable { algorithm, .. } => run_possible_cell(k, n, opts, algorithm),
+            Feasibility::Unsolvable { .. } => run_impossible_cell(k, n, opts),
         }
+    });
+    let mut cells = Vec::with_capacity(grid.len());
+    for (&(k, n, expected), observed) in grid.iter().zip(observations) {
+        cells.push(CellResult {
+            robots: k,
+            nodes: n,
+            expected,
+            observed: observed?,
+        });
     }
     Ok(Table1Report {
         cells,
@@ -346,6 +376,16 @@ mod tests {
             seed: 42,
             min_covers: 2,
         }
+    }
+
+    #[test]
+    fn parallel_grid_is_byte_identical_to_serial() {
+        let opts = small_options();
+        let serial = run_table1_serial(&opts).expect("valid options");
+        let parallel = run_table1(&opts).expect("valid options");
+        let serial_json = serde_json::to_string(&serial).expect("serialize");
+        let parallel_json = serde_json::to_string(&parallel).expect("serialize");
+        assert_eq!(serial_json, parallel_json);
     }
 
     #[test]

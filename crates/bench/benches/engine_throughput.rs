@@ -1,38 +1,28 @@
 //! E9 — engineering benchmark: raw simulator throughput (rounds per
-//! second) as a function of ring size and team size.
+//! second) as a function of ring size, team size and execution path.
+//!
+//! The `rounds_per_second` group constructs a fresh simulator per
+//! iteration (end-to-end shape, as the seed measured it). The
+//! `quiet_vs_recorded` group times a *persistent* simulator on both
+//! paths, isolating the per-round cost: `quiet` is the allocation-free
+//! fast path ([`Simulator::run`] / `step_quiet`), `recorded` materializes
+//! one `RoundRecord` per round ([`Simulator::run_with`]).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use dynring_core::Pef3Plus;
-use dynring_engine::{Oblivious, RobotPlacement, Simulator};
-use dynring_graph::{AlwaysPresent, BernoulliSchedule, NodeId, RingTopology};
+use dynring_bench::workloads::{bernoulli_sim, static_sim, BERNOULLI_P, BERNOULLI_SEED};
+use dynring_graph::{BernoulliSchedule, EdgeSchedule, RingTopology};
 
 const ROUNDS: u64 = 2_000;
 
 fn run_static(n: usize, k: usize) -> u64 {
-    let ring = RingTopology::new(n).expect("valid ring");
-    let placements = (0..k)
-        .map(|i| RobotPlacement::at(NodeId::new(i * n / k)))
-        .collect();
-    let mut sim = Simulator::new(
-        ring.clone(),
-        Pef3Plus,
-        Oblivious::new(AlwaysPresent::new(ring)),
-        placements,
-    )
-    .expect("valid setup");
+    let mut sim = static_sim(n, k);
     sim.run(ROUNDS);
     sim.time()
 }
 
 fn run_bernoulli(n: usize, k: usize) -> u64 {
-    let ring = RingTopology::new(n).expect("valid ring");
-    let placements = (0..k)
-        .map(|i| RobotPlacement::at(NodeId::new(i * n / k)))
-        .collect();
-    let schedule = BernoulliSchedule::new(ring.clone(), 0.5, 7).expect("valid p");
-    let mut sim = Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements)
-        .expect("valid setup");
+    let mut sim = bernoulli_sim(n, k);
     sim.run(ROUNDS);
     sim.time()
 }
@@ -40,6 +30,16 @@ fn run_bernoulli(n: usize, k: usize) -> u64 {
 fn bench_throughput(c: &mut Criterion) {
     assert_eq!(run_static(64, 3), ROUNDS);
     assert_eq!(run_bernoulli(64, 3), ROUNDS);
+    // The quiet path must agree with the recording path configuration by
+    // configuration: also asserted by the engine's test suite, but benches
+    // double as regression checks.
+    {
+        let mut quiet = static_sim(16, 3);
+        let mut recorded = static_sim(16, 3);
+        quiet.run(500);
+        recorded.run_with(500, |_| {});
+        assert_eq!(quiet.positions(), recorded.positions());
+    }
 
     let mut group = c.benchmark_group("rounds_per_second");
     group.throughput(Throughput::Elements(ROUNDS));
@@ -54,6 +54,49 @@ fn bench_throughput(c: &mut Criterion) {
     for k in [3usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("static_n64", k), &k, |b, &k| {
             b.iter(|| run_static(64, k))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("quiet_vs_recorded");
+    group.throughput(Throughput::Elements(ROUNDS));
+    for n in [8usize, 64, 256] {
+        let mut sim = static_sim(n, 3);
+        group.bench_with_input(BenchmarkId::new("quiet", n), &n, |b, _| {
+            b.iter(|| sim.run(ROUNDS))
+        });
+        let mut sim = static_sim(n, 3);
+        group.bench_with_input(BenchmarkId::new("recorded", n), &n, |b, _| {
+            b.iter(|| {
+                sim.run_with(ROUNDS, |r| {
+                    std::hint::black_box(&r.edges);
+                })
+            })
+        });
+    }
+    group.finish();
+
+    // The in-place schedule surface itself.
+    let mut group = c.benchmark_group("edges_at_into");
+    group.throughput(Throughput::Elements(ROUNDS));
+    for n in [64usize, 256] {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let schedule =
+            BernoulliSchedule::new(ring.clone(), BERNOULLI_P, BERNOULLI_SEED).expect("valid p");
+        let mut buf = dynring_graph::EdgeSet::empty(n);
+        group.bench_with_input(BenchmarkId::new("bernoulli_into", n), &n, |b, _| {
+            b.iter(|| {
+                for t in 0..ROUNDS {
+                    schedule.edges_at_into(t, &mut buf);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bernoulli_alloc", n), &n, |b, _| {
+            b.iter(|| {
+                for t in 0..ROUNDS {
+                    std::hint::black_box(schedule.edges_at(t));
+                }
+            })
         });
     }
     group.finish();

@@ -85,6 +85,30 @@ fn bench_table1(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The grid itself: the serial reference vs the all-cores fan-out. On a
+    // single-core host both degenerate to the same path; the byte-identity
+    // of their reports is asserted in `dynring-analysis`.
+    use dynring_analysis::parallel::available_workers;
+    use dynring_analysis::table1::run_table1_with_workers;
+    use dynring_analysis::Table1Options;
+
+    let opts = Table1Options {
+        robot_counts: vec![1, 2, 3],
+        ring_sizes: vec![2, 3, 5, 8],
+        horizon: 500,
+        seed: 42,
+        min_covers: 2,
+    };
+    let mut group = c.benchmark_group("table1_grid");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| run_table1_with_workers(&opts, 1).expect("valid options"))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| run_table1_with_workers(&opts, available_workers()).expect("valid options"))
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_table1);

@@ -1,3 +1,53 @@
-//! Benchmark-only crate: see the `benches/` directory. Each bench asserts
-//! its scenario verdict before timing it, so `cargo bench` doubles as a
-//! regression suite for the experiment shapes.
+//! Benchmark support crate: see the `benches/` directory. Each bench
+//! asserts its scenario verdict before timing it, so `cargo bench`
+//! doubles as a regression suite for the experiment shapes.
+//!
+//! [`workloads`] holds the canonical benchmark workload definitions,
+//! shared by the criterion benches and the `dynring bench-report` CLI so
+//! both always measure the same thing.
+
+pub mod workloads {
+    //! The canonical engine-benchmark workloads.
+    //!
+    //! `BENCH_engine.json` trajectories are only comparable across PRs if
+    //! every measuring entry point uses identical workloads; define them
+    //! here once.
+
+    use dynring_core::Pef3Plus;
+    use dynring_engine::{Oblivious, RobotPlacement, Simulator};
+    use dynring_graph::{AlwaysPresent, BernoulliSchedule, NodeId, RingTopology};
+
+    /// Presence probability of the Bernoulli workload.
+    pub const BERNOULLI_P: f64 = 0.5;
+    /// Seed of the Bernoulli workload.
+    pub const BERNOULLI_SEED: u64 = 7;
+
+    /// `k` robots spread evenly over `n` nodes (the standard bench
+    /// placement).
+    pub fn placements(n: usize, k: usize) -> Vec<RobotPlacement> {
+        (0..k)
+            .map(|i| RobotPlacement::at(NodeId::new(i * n / k)))
+            .collect()
+    }
+
+    /// `PEF_3+` on the static ring.
+    pub fn static_sim(n: usize, k: usize) -> Simulator<Pef3Plus, Oblivious<AlwaysPresent>> {
+        let ring = RingTopology::new(n).expect("valid ring");
+        Simulator::new(
+            ring.clone(),
+            Pef3Plus,
+            Oblivious::new(AlwaysPresent::new(ring)),
+            placements(n, k),
+        )
+        .expect("valid setup")
+    }
+
+    /// `PEF_3+` on hash-based Bernoulli dynamics.
+    pub fn bernoulli_sim(n: usize, k: usize) -> Simulator<Pef3Plus, Oblivious<BernoulliSchedule>> {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let schedule =
+            BernoulliSchedule::new(ring.clone(), BERNOULLI_P, BERNOULLI_SEED).expect("valid p");
+        Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements(n, k))
+            .expect("valid setup")
+    }
+}

@@ -162,7 +162,7 @@ pub fn minimum_robots(nodes: usize) -> usize {
 }
 
 /// One row of the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Table1Row {
     /// Robot count description (e.g. "3 and more").
     pub robots: &'static str,

@@ -91,6 +91,13 @@ pub trait AsyncDynamics {
 
     /// The snapshot for this tick.
     fn edges_at(&mut self, obs: &AsyncObservation<'_>) -> EdgeSet;
+
+    /// Writes the snapshot into `out` without allocating (the tick
+    /// engine's hot path; the default delegates to
+    /// [`AsyncDynamics::edges_at`]).
+    fn edges_at_into(&mut self, obs: &AsyncObservation<'_>, out: &mut EdgeSet) {
+        *out = self.edges_at(obs);
+    }
 }
 
 /// Phase-oblivious adapter for plain schedules.
@@ -113,6 +120,10 @@ impl<S: dynring_graph::EdgeSchedule> AsyncDynamics for ObliviousAsync<S> {
 
     fn edges_at(&mut self, obs: &AsyncObservation<'_>) -> EdgeSet {
         self.schedule.edges_at(obs.time())
+    }
+
+    fn edges_at_into(&mut self, obs: &AsyncObservation<'_>, out: &mut EdgeSet) {
+        self.schedule.edges_at_into(obs.time(), out);
     }
 }
 
@@ -143,13 +154,19 @@ impl AsyncDynamics for MoveBlocker {
     }
 
     fn edges_at(&mut self, obs: &AsyncObservation<'_>) -> EdgeSet {
-        let mut set = EdgeSet::full_for(&self.ring);
+        let mut set = EdgeSet::empty_for(&self.ring);
+        self.edges_at_into(obs, &mut set);
+        set
+    }
+
+    fn edges_at_into(&mut self, obs: &AsyncObservation<'_>, out: &mut EdgeSet) {
+        out.reset(self.ring.edge_count());
+        out.fill();
         for (robot, phase) in obs.robots().iter().zip(obs.phases()) {
             if *phase == PhaseKind::Move {
-                set.remove(self.ring.edge_towards(robot.node, robot.global_dir()));
+                out.remove(self.ring.edge_towards(robot.node, robot.global_dir()));
             }
         }
-        set
     }
 }
 
@@ -185,6 +202,13 @@ pub struct AsyncSimulator<A: Algorithm, D> {
     states: Vec<A::State>,
     phases: Vec<Phase>,
     moved_last: Vec<bool>,
+    // Persistent scratch buffers (see `Simulator`): reused across ticks so
+    // the quiet path is allocation-free.
+    snap_buf: Vec<RobotSnapshot>,
+    kind_buf: Vec<PhaseKind>,
+    edge_buf: EdgeSet,
+    occupancy_buf: Vec<usize>,
+    active_buf: Vec<bool>,
 }
 
 impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
@@ -229,6 +253,8 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
             seen[p.node.index()] = true;
         }
         let k = placements.len();
+        let edge_buf = EdgeSet::empty(ring.edge_count());
+        let occupancy_buf = vec![0usize; ring.node_count()];
         Ok(AsyncSimulator {
             ring,
             states: (0..k).map(|_| algorithm.initial_state()).collect(),
@@ -241,6 +267,11 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
             dirs: placements.iter().map(|p| p.initial_dir).collect(),
             phases: (0..k).map(|_| Phase::Look).collect(),
             moved_last: vec![false; k],
+            snap_buf: Vec::new(),
+            kind_buf: Vec::new(),
+            edge_buf,
+            occupancy_buf,
+            active_buf: Vec::new(),
         })
     }
 
@@ -264,47 +295,52 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
         self.phases.iter().map(Phase::kind).collect()
     }
 
-    fn snapshots(&self) -> Vec<RobotSnapshot> {
-        (0..self.nodes.len())
-            .map(|i| RobotSnapshot {
+    /// The shared tick body; pushes per-robot records into `records` when
+    /// provided (see [`AsyncSimulator::tick_quiet`] for the silent path).
+    fn tick_impl(&mut self, mut records: Option<&mut Vec<AsyncRobotTick>>) {
+        let t = self.time;
+        self.snap_buf.clear();
+        for i in 0..self.nodes.len() {
+            self.snap_buf.push(RobotSnapshot {
                 id: RobotId::new(i),
                 node: self.nodes[i],
                 chirality: self.chiralities[i],
                 dir: self.dirs[i],
                 moved_last_round: self.moved_last[i],
-            })
-            .collect()
-    }
-
-    /// Executes one tick; each activated robot advances one phase.
-    pub fn tick(&mut self) -> Vec<AsyncRobotTick> {
-        let t = self.time;
-        let snaps = self.snapshots();
-        let kinds: Vec<PhaseKind> = self.phases.iter().map(Phase::kind).collect();
-        let edges = {
+            });
+        }
+        self.kind_buf.clear();
+        self.kind_buf.extend(self.phases.iter().map(Phase::kind));
+        {
             let obs = AsyncObservation {
                 time: t,
                 ring: &self.ring,
-                robots: &snaps,
-                phases: &kinds,
+                robots: &self.snap_buf,
+                phases: &self.kind_buf,
             };
-            self.dynamics.edges_at(&obs)
-        };
-        let active = self.activation.activate(t, self.nodes.len());
-        // Occupancy for Look phases, from the configuration at tick start.
-        let mut occupancy = vec![0usize; self.ring.node_count()];
-        for node in &self.nodes {
-            occupancy[node.index()] += 1;
+            self.dynamics.edges_at_into(&obs, &mut self.edge_buf);
         }
-        let mut records = Vec::with_capacity(self.nodes.len());
+        let all_active = self.activation.is_full();
+        if !all_active {
+            self.activation
+                .activate_into(t, self.nodes.len(), &mut self.active_buf);
+        }
+        // Occupancy for Look phases, from the configuration at tick start.
+        self.occupancy_buf.iter_mut().for_each(|c| *c = 0);
+        for node in &self.nodes {
+            self.occupancy_buf[node.index()] += 1;
+        }
+        let edges = &self.edge_buf;
         for i in 0..self.nodes.len() {
-            if !active.get(i).copied().unwrap_or(false) {
-                records.push(AsyncRobotTick {
-                    id: RobotId::new(i),
-                    executed: None,
-                    node: self.nodes[i],
-                    moved: false,
-                });
+            if !(all_active || self.active_buf.get(i).copied().unwrap_or(false)) {
+                if let Some(records) = records.as_deref_mut() {
+                    records.push(AsyncRobotTick {
+                        id: RobotId::new(i),
+                        executed: None,
+                        node: self.nodes[i],
+                        moved: false,
+                    });
+                }
                 continue;
             }
             let executed = self.phases[i].kind();
@@ -317,7 +353,7 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
                         edges.contains(self.ring.edge_towards(node, chi.to_global(LocalDir::Left)));
                     let right = edges
                         .contains(self.ring.edge_towards(node, chi.to_global(LocalDir::Right)));
-                    let others = occupancy[node.index()] > 1;
+                    let others = self.occupancy_buf[node.index()] > 1;
                     Phase::Compute {
                         view: View::new(self.dirs[i], left, right, others),
                     }
@@ -338,15 +374,29 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
                     Phase::Look
                 }
             };
-            records.push(AsyncRobotTick {
-                id: RobotId::new(i),
-                executed: Some(executed),
-                node: self.nodes[i],
-                moved,
-            });
+            if let Some(records) = records.as_deref_mut() {
+                records.push(AsyncRobotTick {
+                    id: RobotId::new(i),
+                    executed: Some(executed),
+                    node: self.nodes[i],
+                    moved,
+                });
+            }
         }
         self.time += 1;
+    }
+
+    /// Executes one tick; each activated robot advances one phase.
+    pub fn tick(&mut self) -> Vec<AsyncRobotTick> {
+        let mut records = Vec::with_capacity(self.nodes.len());
+        self.tick_impl(Some(&mut records));
         records
+    }
+
+    /// Executes one tick without materializing records — the
+    /// allocation-free fast path.
+    pub fn tick_quiet(&mut self) {
+        self.tick_impl(None);
     }
 
     /// Runs `ticks` ticks, returning the set of visited nodes (including
@@ -357,7 +407,7 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
             seen[node.index()] = true;
         }
         for _ in 0..ticks {
-            self.tick();
+            self.tick_quiet();
             for node in &self.nodes {
                 seen[node.index()] = true;
             }

@@ -65,10 +65,16 @@ impl<'a> Observation<'a> {
     /// robot points to the adjacent edge in its direction).
     pub fn pointed_edges(&self) -> EdgeSet {
         let mut set = EdgeSet::empty_for(self.ring);
-        for r in self.robots {
-            set.insert(self.ring.edge_towards(r.node, r.global_dir()));
-        }
+        self.pointed_edges_into(&mut set);
         set
+    }
+
+    /// Writes the pointed-edge set into `out` without allocating.
+    pub fn pointed_edges_into(&self, out: &mut EdgeSet) {
+        out.reset(self.ring.edge_count());
+        for r in self.robots {
+            out.insert(self.ring.edge_towards(r.node, r.global_dir()));
+        }
     }
 }
 
@@ -82,6 +88,18 @@ pub trait Dynamics {
     /// Called exactly once per round, with strictly increasing times, so
     /// implementations may keep sequential state.
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet;
+
+    /// Writes the snapshot `G_t` into `out` without allocating.
+    ///
+    /// The round engine calls this (never [`Dynamics::edges_at`]) so a
+    /// pooled scratch set is reused across rounds. The default delegates to
+    /// `edges_at`; allocation-free adversaries override it and exactly one
+    /// of the two methods must carry the real choice logic per
+    /// implementation (the paper's adversaries implement `edges_at_into`
+    /// and derive `edges_at` from it).
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        *out = self.edges_at(obs);
+    }
 }
 
 impl<D: Dynamics + ?Sized> Dynamics for &mut D {
@@ -92,6 +110,10 @@ impl<D: Dynamics + ?Sized> Dynamics for &mut D {
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
         (**self).edges_at(obs)
     }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        (**self).edges_at_into(obs, out);
+    }
 }
 
 impl<D: Dynamics + ?Sized> Dynamics for Box<D> {
@@ -101,6 +123,10 @@ impl<D: Dynamics + ?Sized> Dynamics for Box<D> {
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
         (**self).edges_at(obs)
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        (**self).edges_at_into(obs, out);
     }
 }
 
@@ -135,6 +161,10 @@ impl<S: EdgeSchedule> Dynamics for Oblivious<S> {
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
         self.schedule.edges_at(obs.time())
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        self.schedule.edges_at_into(obs.time(), out);
     }
 }
 
@@ -195,23 +225,27 @@ impl<D: Dynamics> Dynamics for Recurrent<D> {
     }
 
     fn edges_at(&mut self, obs: &Observation<'_>) -> EdgeSet {
-        let mut set = self.inner.edges_at(obs);
-        let ring = self.inner.ring().clone();
-        for e in ring.edges() {
+        let mut set = EdgeSet::empty_for(self.inner.ring());
+        self.edges_at_into(obs, &mut set);
+        set
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        self.inner.edges_at_into(obs, out);
+        for (index, run) in self.absent_run.iter_mut().enumerate() {
+            let e = EdgeId::new(index);
             if Some(e) == self.exempt {
                 continue;
             }
-            let run = &mut self.absent_run[e.index()];
-            if set.contains(e) {
+            if out.contains(e) {
                 *run = 0;
             } else if *run + 1 >= self.bound {
-                set.insert(e);
+                out.insert(e);
                 *run = 0;
             } else {
                 *run += 1;
             }
         }
-        set
     }
 }
 
@@ -259,6 +293,13 @@ impl<D: Dynamics> Dynamics for Capturing<D> {
         let set = self.inner.edges_at(obs);
         self.frames.push(set.clone());
         set
+    }
+
+    fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        // Recording inherently allocates one frame per round; the inner
+        // adversary still runs allocation-free.
+        self.inner.edges_at_into(obs, out);
+        self.frames.push(out.clone());
     }
 }
 

@@ -34,7 +34,13 @@ pub struct Simulator<A: Algorithm, D> {
     robots: Vec<RobotCore<A::State>>,
     time: Time,
     activation: Box<dyn ActivationPolicy>,
+    // Persistent scratch buffers: one warm-up round allocates them, every
+    // later round reuses the allocations (the quiet path is then
+    // allocation-free for allocation-free dynamics/activation).
     snap_buf: Vec<RobotSnapshot>,
+    edge_buf: dynring_graph::EdgeSet,
+    occupancy_buf: Vec<usize>,
+    active_buf: Vec<bool>,
 }
 
 impl<A: Algorithm, D: std::fmt::Debug> std::fmt::Display for Simulator<A, D> {
@@ -131,6 +137,8 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
                 moved_last_round: false,
             })
             .collect();
+        let edge_buf = dynring_graph::EdgeSet::empty(ring.edge_count());
+        let occupancy_buf = vec![0usize; ring.node_count()];
         Ok(Simulator {
             ring,
             algorithm,
@@ -139,6 +147,9 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             time: 0,
             activation: Box::new(FullActivation),
             snap_buf: Vec::new(),
+            edge_buf,
+            occupancy_buf,
+            active_buf: Vec::new(),
         })
     }
 
@@ -227,37 +238,49 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
         r.chirality.to_global(r.dir)
     }
 
-    /// Executes one full round `(G_t, γ_t) → (G_{t+1}, γ_{t+1})` and
-    /// returns its record.
-    pub fn step(&mut self) -> RoundRecord {
+    /// The shared round body: advances `(G_t, γ_t) → (G_{t+1}, γ_{t+1})`
+    /// using the persistent scratch buffers. When `rows` is `Some`, the
+    /// per-robot records are pushed into it (the recording path); when
+    /// `None`, nothing is materialized (the quiet path).
+    fn step_impl(&mut self, mut rows: Option<&mut Vec<RobotRound>>) {
         let t = self.time;
         // The adversary chooses G_t after observing γ_t.
-        self.snap_buf = self.snapshots();
-        let edges = {
+        self.snap_buf.clear();
+        self.snap_buf.extend(self.robots.iter().map(|r| RobotSnapshot {
+            id: r.id,
+            node: r.node,
+            chirality: r.chirality,
+            dir: r.dir,
+            moved_last_round: r.moved_last_round,
+        }));
+        {
             let obs = Observation::new(t, &self.ring, &self.snap_buf);
-            self.dynamics.edges_at(&obs)
-        };
-        let active = self.activation.activate(t, self.robots.len());
-
-        // Occupancy during the Look phase (the configuration γ_t).
-        let mut occupancy = vec![0usize; self.ring.node_count()];
-        for r in &self.robots {
-            occupancy[r.node.index()] += 1;
+            self.dynamics.edges_at_into(&obs, &mut self.edge_buf);
+        }
+        let all_active = self.activation.is_full();
+        if !all_active {
+            self.activation
+                .activate_into(t, self.robots.len(), &mut self.active_buf);
         }
 
-        let mut rows = Vec::with_capacity(self.robots.len());
+        // Occupancy during the Look phase (the configuration γ_t).
+        self.occupancy_buf.iter_mut().for_each(|c| *c = 0);
+        for r in &self.robots {
+            self.occupancy_buf[r.node.index()] += 1;
+        }
+
+        let edges = &self.edge_buf;
         for (i, robot) in self.robots.iter_mut().enumerate() {
             let node_before = robot.node;
             let dir_before = robot.dir;
-            let global_before = robot.chirality.to_global(dir_before);
-            let activated = active.get(i).copied().unwrap_or(false);
+            let activated = all_active || self.active_buf.get(i).copied().unwrap_or(false);
             let (dir_after, moved, node_after) = if activated {
                 // Look.
                 let edge_left = edges
                     .contains(self.ring.edge_towards(robot.node, robot.chirality.to_global(LocalDir::Left)));
                 let edge_right = edges
                     .contains(self.ring.edge_towards(robot.node, robot.chirality.to_global(LocalDir::Right)));
-                let others = occupancy[robot.node.index()] > 1;
+                let others = self.occupancy_buf[robot.node.index()] > 1;
                 let view = View::new(robot.dir, edge_left, edge_right, others);
                 // Compute.
                 let dir_after = self.algorithm.compute(&mut robot.state, &view);
@@ -278,31 +301,49 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             } else {
                 (dir_before, false, node_before)
             };
-            rows.push(RobotRound {
-                id: robot.id,
-                node_before,
-                dir_before,
-                global_dir_before: global_before,
-                dir_after,
-                global_dir_after: robot.chirality.to_global(dir_after),
-                moved,
-                node_after,
-                activated,
-            });
+            if let Some(rows) = rows.as_deref_mut() {
+                rows.push(RobotRound {
+                    id: robot.id,
+                    node_before,
+                    dir_before,
+                    global_dir_before: robot.chirality.to_global(dir_before),
+                    dir_after,
+                    global_dir_after: robot.chirality.to_global(dir_after),
+                    moved,
+                    node_after,
+                    activated,
+                });
+            }
         }
         self.time += 1;
+    }
+
+    /// Executes one full round `(G_t, γ_t) → (G_{t+1}, γ_{t+1})` and
+    /// returns its record.
+    pub fn step(&mut self) -> RoundRecord {
+        let t = self.time;
+        let mut rows = Vec::with_capacity(self.robots.len());
+        self.step_impl(Some(&mut rows));
         RoundRecord {
             time: t,
-            edges,
+            edges: self.edge_buf.clone(),
             robots: rows,
         }
     }
 
-    /// Executes `rounds` rounds, discarding the records (memory-light; use
-    /// [`Simulator::run_with`] or [`Simulator::run_recording`] to observe).
+    /// Executes one round without materializing a [`RoundRecord`] — the
+    /// allocation-free fast path. Positions, states and time advance
+    /// exactly as with [`Simulator::step`].
+    pub fn step_quiet(&mut self) {
+        self.step_impl(None);
+    }
+
+    /// Executes `rounds` rounds on the quiet path, discarding all records
+    /// (memory-light; use [`Simulator::run_with`] or
+    /// [`Simulator::run_recording`] to observe).
     pub fn run(&mut self, rounds: u64) {
         for _ in 0..rounds {
-            self.step();
+            self.step_quiet();
         }
     }
 
@@ -332,7 +373,7 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
         mut stop: impl FnMut(&Simulator<A, D>) -> bool,
     ) -> u64 {
         for executed in 0..max_rounds {
-            self.step();
+            self.step_quiet();
             if stop(self) {
                 return executed + 1;
             }

@@ -19,11 +19,37 @@ use dynring_graph::Time;
 pub trait ActivationPolicy {
     /// Activation vector for round `time` over `robots` robots.
     fn activate(&mut self, time: Time, robots: usize) -> Vec<bool>;
+
+    /// Writes the activation vector into `out` without allocating.
+    ///
+    /// The round engine calls this; the default delegates to
+    /// [`ActivationPolicy::activate`]. Built-in policies override it to
+    /// keep the hot path allocation-free.
+    fn activate_into(&mut self, time: Time, robots: usize, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(self.activate(time, robots));
+    }
+
+    /// `true` when this policy activates every robot every round (FSYNC).
+    /// The round engine uses it to skip activation bookkeeping entirely on
+    /// the hot path; policies that ever skip a robot must return `false`
+    /// (the default).
+    fn is_full(&self) -> bool {
+        false
+    }
 }
 
 impl<P: ActivationPolicy + ?Sized> ActivationPolicy for Box<P> {
     fn activate(&mut self, time: Time, robots: usize) -> Vec<bool> {
         (**self).activate(time, robots)
+    }
+
+    fn activate_into(&mut self, time: Time, robots: usize, out: &mut Vec<bool>) {
+        (**self).activate_into(time, robots, out);
+    }
+
+    fn is_full(&self) -> bool {
+        (**self).is_full()
     }
 }
 
@@ -34,6 +60,15 @@ pub struct FullActivation;
 impl ActivationPolicy for FullActivation {
     fn activate(&mut self, _time: Time, robots: usize) -> Vec<bool> {
         vec![true; robots]
+    }
+
+    fn activate_into(&mut self, _time: Time, robots: usize, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(robots, true);
+    }
+
+    fn is_full(&self) -> bool {
+        true
     }
 }
 
@@ -49,6 +84,14 @@ impl ActivationPolicy for RoundRobinSingle {
             v[(time % robots as Time) as usize] = true;
         }
         v
+    }
+
+    fn activate_into(&mut self, time: Time, robots: usize, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(robots, false);
+        if robots > 0 {
+            out[(time % robots as Time) as usize] = true;
+        }
     }
 }
 
@@ -78,9 +121,14 @@ impl EveryKth {
 
 impl ActivationPolicy for EveryKth {
     fn activate(&mut self, time: Time, robots: usize) -> Vec<bool> {
-        (0..robots)
-            .map(|i| (i as Time) % self.k == time % self.k)
-            .collect()
+        let mut out = Vec::new();
+        self.activate_into(time, robots, &mut out);
+        out
+    }
+
+    fn activate_into(&mut self, time: Time, robots: usize, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend((0..robots).map(|i| (i as Time) % self.k == time % self.k));
     }
 }
 

@@ -46,10 +46,7 @@ impl EdgeSet {
     /// The full set (every edge present) over `universe` edges.
     pub fn full(universe: usize) -> Self {
         let mut set = EdgeSet::empty(universe);
-        for w in &mut set.words {
-            *w = u64::MAX;
-        }
-        set.trim();
+        set.fill();
         set
     }
 
@@ -151,6 +148,52 @@ impl EdgeSet {
         }
     }
 
+    /// Removes every edge, keeping the universe (and the allocation).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Makes every edge of the universe present, keeping the allocation.
+    pub fn fill(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.trim();
+    }
+
+    /// Re-targets this set to a (possibly different) universe and clears
+    /// it, reusing the existing allocation whenever it is large enough.
+    ///
+    /// This is the entry point for buffer pooling: one scratch `EdgeSet`
+    /// can serve rings of any size without reallocating after warm-up.
+    pub fn reset(&mut self, universe: usize) {
+        let words = universe.div_ceil(WORD_BITS);
+        self.words.truncate(words);
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words.resize(words, 0);
+        self.universe = u32::try_from(universe).expect("universe exceeds u32");
+    }
+
+    /// Overwrites this set with the contents (and universe) of `other`,
+    /// reusing the existing allocation whenever it is large enough.
+    pub fn copy_from(&mut self, other: &EdgeSet) {
+        self.words.truncate(other.words.len());
+        let shared = self.words.len();
+        self.words.copy_from_slice(&other.words[..shared]);
+        self.words.extend_from_slice(&other.words[shared..]);
+        self.universe = other.universe;
+    }
+
+    /// In-place complement within the universe.
+    pub fn complement_in_place(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
     /// Iterates over present edges in increasing index order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -224,10 +267,7 @@ impl EdgeSet {
     /// Returns the complement within the universe.
     pub fn complement(&self) -> EdgeSet {
         let mut out = self.clone();
-        for w in &mut out.words {
-            *w = !*w;
-        }
-        out.trim();
+        out.complement_in_place();
         out
     }
 

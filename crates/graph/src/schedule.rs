@@ -202,20 +202,34 @@ pub trait EdgeSchedule {
     /// The snapshot `E_t`: every edge present at time `t`.
     fn edges_at(&self, t: Time) -> EdgeSet {
         let mut set = EdgeSet::empty_for(self.ring());
+        self.edges_at_into(t, &mut set);
+        set
+    }
+
+    /// Writes the snapshot `E_t` into `out` without allocating.
+    ///
+    /// `out` is re-targeted to this schedule's universe ([`EdgeSet::reset`])
+    /// so any scratch set can be passed in; its allocation is reused. The
+    /// default implementation queries [`EdgeSchedule::is_present`] per
+    /// edge; implementations with a cheaper snapshot representation should
+    /// override it — this is the hot path of the round engine.
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        out.reset(self.ring().edge_count());
         for e in self.ring().edges() {
             if self.is_present(e, t) {
-                set.insert(e);
+                out.insert(e);
             }
         }
-        set
     }
 
     /// Union of the snapshots over `[0, horizon)` — a finite-horizon
     /// approximation of the underlying graph's edge set `E_G`.
     fn footprint(&self, horizon: Time) -> EdgeSet {
         let mut acc = EdgeSet::empty_for(self.ring());
+        let mut frame = EdgeSet::empty_for(self.ring());
         for t in 0..horizon {
-            acc.union_with(&self.edges_at(t));
+            self.edges_at_into(t, &mut frame);
+            acc.union_with(&frame);
         }
         acc
     }
@@ -233,6 +247,10 @@ impl<S: EdgeSchedule + ?Sized> EdgeSchedule for &S {
     fn edges_at(&self, t: Time) -> EdgeSet {
         (**self).edges_at(t)
     }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        (**self).edges_at_into(t, out);
+    }
 }
 
 impl<S: EdgeSchedule + ?Sized> EdgeSchedule for Box<S> {
@@ -246,6 +264,10 @@ impl<S: EdgeSchedule + ?Sized> EdgeSchedule for Box<S> {
 
     fn edges_at(&self, t: Time) -> EdgeSet {
         (**self).edges_at(t)
+    }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        (**self).edges_at_into(t, out);
     }
 }
 
@@ -279,6 +301,11 @@ impl EdgeSchedule for AlwaysPresent {
 
     fn edges_at(&self, _t: Time) -> EdgeSet {
         EdgeSet::full_for(&self.ring)
+    }
+
+    fn edges_at_into(&self, _t: Time, out: &mut EdgeSet) {
+        out.reset(self.ring.edge_count());
+        out.fill();
     }
 }
 
@@ -387,6 +414,36 @@ impl ScriptedSchedule {
     pub fn set_tail(&mut self, tail: TailBehavior) {
         self.tail = tail;
     }
+
+    /// The single source of truth for "what plays at time `t`": a recorded
+    /// frame, the full ring, or the empty ring. Both [`EdgeSchedule`]
+    /// query paths go through this, so per-edge and whole-snapshot views
+    /// cannot drift.
+    fn frame_at(&self, t: Time) -> ScriptedFrame<'_> {
+        let len = self.frames.len() as Time;
+        if t < len {
+            return ScriptedFrame::Recorded(&self.frames[t as usize]);
+        }
+        match self.tail {
+            TailBehavior::HoldLast => match self.frames.last() {
+                Some(last) => ScriptedFrame::Recorded(last),
+                None => ScriptedFrame::Full,
+            },
+            TailBehavior::Cycle => match self.frames.get((t % len.max(1)) as usize) {
+                Some(frame) => ScriptedFrame::Recorded(frame),
+                None => ScriptedFrame::Full,
+            },
+            TailBehavior::AllPresent => ScriptedFrame::Full,
+            TailBehavior::AllAbsent => ScriptedFrame::Empty,
+        }
+    }
+}
+
+/// What a [`ScriptedSchedule`] plays at one instant.
+enum ScriptedFrame<'a> {
+    Recorded(&'a EdgeSet),
+    Full,
+    Empty,
 }
 
 impl EdgeSchedule for ScriptedSchedule {
@@ -398,29 +455,27 @@ impl EdgeSchedule for ScriptedSchedule {
         self.ring
             .check_edge(edge)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.edges_at(t).contains(edge)
+        match self.frame_at(t) {
+            ScriptedFrame::Recorded(frame) => frame.contains(edge),
+            ScriptedFrame::Full => true,
+            ScriptedFrame::Empty => false,
+        }
     }
 
     fn edges_at(&self, t: Time) -> EdgeSet {
-        let len = self.frames.len() as Time;
-        if t < len {
-            return self.frames[t as usize].clone();
-        }
-        match self.tail {
-            TailBehavior::HoldLast => self
-                .frames
-                .last()
-                .cloned()
-                .unwrap_or_else(|| EdgeSet::full_for(&self.ring)),
-            TailBehavior::Cycle => {
-                if self.frames.is_empty() {
-                    EdgeSet::full_for(&self.ring)
-                } else {
-                    self.frames[(t % len) as usize].clone()
-                }
+        let mut out = EdgeSet::empty_for(&self.ring);
+        self.edges_at_into(t, &mut out);
+        out
+    }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        match self.frame_at(t) {
+            ScriptedFrame::Recorded(frame) => out.copy_from(frame),
+            ScriptedFrame::Full => {
+                out.reset(self.ring.edge_count());
+                out.fill();
             }
-            TailBehavior::AllPresent => EdgeSet::full_for(&self.ring),
-            TailBehavior::AllAbsent => EdgeSet::empty_for(&self.ring),
+            ScriptedFrame::Empty => out.reset(self.ring.edge_count()),
         }
     }
 }
@@ -475,6 +530,10 @@ impl EdgeSchedule for PeriodicSchedule {
 
     fn edges_at(&self, t: Time) -> EdgeSet {
         self.frames[(t % self.frames.len() as Time) as usize].clone()
+    }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        out.copy_from(&self.frames[(t % self.frames.len() as Time) as usize]);
     }
 }
 
@@ -545,6 +604,15 @@ impl<S: EdgeSchedule> EdgeSchedule for Minus<S> {
 
     fn is_present(&self, edge: EdgeId, t: Time) -> bool {
         self.inner.is_present(edge, t) && !self.removals.is_absent(edge, t)
+    }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        self.inner.edges_at_into(t, out);
+        for (edge, _) in self.removals.iter() {
+            if self.removals.is_absent(edge, t) {
+                out.remove(edge);
+            }
+        }
     }
 }
 
@@ -617,6 +685,16 @@ impl EdgeSchedule for AbsenceIntervals {
             .unwrap_or_else(|e| panic!("{e}"));
         !self.removals.is_absent(edge, t)
     }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        out.reset(self.ring.edge_count());
+        out.fill();
+        for (edge, _) in self.removals.iter() {
+            if self.removals.is_absent(edge, t) {
+                out.remove(edge);
+            }
+        }
+    }
 }
 
 /// `inner` with one designated *eventual missing edge*: `edge` is absent
@@ -672,6 +750,13 @@ impl<S: EdgeSchedule> EdgeSchedule for WithEventualMissing<S> {
         }
         self.inner.is_present(edge, t)
     }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        self.inner.edges_at_into(t, out);
+        if t >= self.from {
+            out.remove(self.edge);
+        }
+    }
 }
 
 /// Memoryless random dynamics: each `(edge, t)` is present independently
@@ -716,6 +801,14 @@ impl BernoulliSchedule {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// The presence decision without the edge-validity check (hot path).
+    fn present_unchecked(&self, edge: EdgeId, t: Time) -> bool {
+        let h = mix64(self.seed ^ mix64((edge.raw() as u64) << 32 ^ t));
+        // Map the hash to [0, 1) and compare against p.
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.presence_probability
+    }
 }
 
 /// SplitMix64 finalizer — a high-quality 64-bit mixing function.
@@ -735,10 +828,16 @@ impl EdgeSchedule for BernoulliSchedule {
         self.ring
             .check_edge(edge)
             .unwrap_or_else(|e| panic!("{e}"));
-        let h = mix64(self.seed ^ mix64((edge.raw() as u64) << 32 ^ t));
-        // Map the hash to [0, 1) and compare against p.
-        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.presence_probability
+        self.present_unchecked(edge, t)
+    }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        out.reset(self.ring.edge_count());
+        for e in self.ring.edges() {
+            if self.present_unchecked(e, t) {
+                out.insert(e);
+            }
+        }
     }
 }
 

@@ -266,3 +266,73 @@ proptest! {
         prop_assert_eq!(forward.intervals(e), backward.intervals(e));
     }
 }
+
+proptest! {
+    /// `edges_at_into` agrees with `edges_at` for every schedule type, at
+    /// scripted times and deep into every tail behaviour, regardless of
+    /// the scratch buffer's previous universe.
+    #[test]
+    fn edges_at_into_matches_edges_at(
+        n in 2usize..12,
+        frames in 1usize..12,
+        seed in any::<u64>(),
+        p in 0.05f64..0.95,
+        stale_universe in 0usize..40,
+        probes in proptest::collection::vec(0u64..80, 8),
+    ) {
+        use dynring_graph::{BernoulliSchedule, Minus, PeriodicSchedule, WithEventualMissing};
+
+        let ring = RingTopology::new(n).expect("valid ring");
+        let frame_list: Vec<EdgeSet> = (0..frames)
+            .map(|f| {
+                let mut set = EdgeSet::empty(n);
+                for e in 0..n {
+                    if (seed >> ((f * 5 + e) % 64)) & 1 == 1 {
+                        set.insert(EdgeId::new(e));
+                    }
+                }
+                set
+            })
+            .collect();
+
+        // One scratch set reused across all schedules and probes: `reset`
+        // must re-target it correctly every time.
+        let mut buf = EdgeSet::empty(stale_universe);
+        let mut check = |schedule: &dyn EdgeSchedule| {
+            for &t in &probes {
+                schedule.edges_at_into(t, &mut buf);
+                prop_assert_eq!(&buf, &schedule.edges_at(t), "t = {}", t);
+            }
+            Ok(())
+        };
+
+        check(&AlwaysPresent::new(ring.clone()))?;
+        for tail in [
+            TailBehavior::HoldLast,
+            TailBehavior::Cycle,
+            TailBehavior::AllPresent,
+            TailBehavior::AllAbsent,
+        ] {
+            let scripted = ScriptedSchedule::new(ring.clone(), frame_list.clone(), tail)
+                .expect("valid script");
+            check(&scripted)?;
+        }
+        check(&PeriodicSchedule::new(ring.clone(), frame_list.clone()).expect("valid period"))?;
+        check(&BernoulliSchedule::new(ring.clone(), p, seed).expect("valid p"))?;
+
+        let mut absences = AbsenceIntervals::new(ring.clone());
+        absences.remove_during(EdgeId::new(seed as usize % n), 3, 9);
+        absences.remove_from(EdgeId::new((seed >> 8) as usize % n), 30);
+        check(&absences)?;
+
+        let mut minus = Minus::new(AlwaysPresent::new(ring.clone()));
+        minus.remove(EdgeId::new(seed as usize % n), TimeInterval::bounded(2, 11));
+        check(&minus)?;
+
+        check(&WithEventualMissing::new(
+            AlwaysPresent::new(ring.clone()),
+            EdgeId::new((seed >> 16) as usize % n),
+            17,
+        ))?;
+    }
+}

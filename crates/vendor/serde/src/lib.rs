@@ -1,0 +1,586 @@
+//! Vendored, offline-friendly stand-in for the `serde` crate.
+//!
+//! The workspace builds without network access, so this crate provides the
+//! subset of serde's API the repository uses, over a simple JSON-like
+//! [`Value`] data model instead of serde's visitor machinery:
+//!
+//! - [`Serialize`] / [`Deserialize`] / [`Serializer`] / [`Deserializer`]
+//!   traits with signatures compatible with handwritten serde impls;
+//! - `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro (supports structs, tuple newtypes — treated as
+//!   `#[serde(transparent)]` — and enums with unit/tuple/struct variants);
+//! - the [`de::Error`] / [`ser::Error`] `custom` constructors.
+//!
+//! A [`Serializer`] receives one fully-built [`Value`]; a [`Deserializer`]
+//! surrenders one. `serde_json` (also vendored) renders and parses that
+//! value. This trades serde's zero-copy generality for a tiny, auditable
+//! implementation that keeps round-trip fidelity for every type in this
+//! workspace.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-like data model every serializer/deserializer speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Mirror of `serde::ser::Error`.
+    pub trait Error: Sized + Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Mirror of `serde::de::Error`.
+    pub trait Error: Sized + Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A string-backed error usable on both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleError(pub String);
+
+impl fmt::Display for SimpleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl ser::Error for SimpleError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+impl de::Error for SimpleError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+/// Consumes one [`Value`]; mirror of `serde::Serializer`.
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Accepts the fully-built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Produces one [`Value`]; mirror of `serde::Deserializer`.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Surrenders the input as a value.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Mirror of `serde::Serialize`.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Mirror of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Mirror of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Serializer that simply yields the value (cannot fail).
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SimpleError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SimpleError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned [`Value`].
+pub struct ValueDeserializer {
+    /// The wrapped value.
+    pub value: Value,
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SimpleError;
+
+    fn deserialize_value(self) -> Result<Value, SimpleError> {
+        Ok(self.value)
+    }
+}
+
+/// Support machinery used by the derive macro — not a public API.
+pub mod __private {
+    use super::*;
+
+    /// Serializes `value` into a [`Value`] (infallible in this model).
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+        value
+            .serialize(ValueSerializer)
+            .expect("value serialization is infallible")
+    }
+
+    /// Deserializes a `T` out of a [`Value`].
+    pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, SimpleError> {
+        T::deserialize(ValueDeserializer { value })
+    }
+
+    /// Removes field `key` from an object's entries and deserializes it.
+    /// Missing fields deserialize from `Null` (so `Option` fields work).
+    pub fn take_field<'de, T: Deserialize<'de>>(
+        entries: &mut Vec<(String, Value)>,
+        key: &str,
+    ) -> Result<T, SimpleError> {
+        let value = match entries.iter().position(|(k, _)| k == key) {
+            Some(idx) => entries.swap_remove(idx).1,
+            None => Value::Null,
+        };
+        from_value(value).map_err(|e| SimpleError(format!("field `{key}`: {e}")))
+    }
+
+    /// Converts a value used as a map key into its JSON object-key string.
+    pub fn key_to_string(value: &Value) -> String {
+        match value {
+            Value::String(s) => s.clone(),
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::F64(n) => format!("{n:?}"),
+            Value::Bool(b) => b.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+
+    /// Parses a JSON object-key string back into the value it came from.
+    pub fn key_from_string(key: &str) -> Value {
+        if let Ok(n) = key.parse::<u64>() {
+            return Value::U64(n);
+        }
+        if let Ok(n) = key.parse::<i64>() {
+            return Value::I64(n);
+        }
+        if let Ok(n) = key.parse::<f64>() {
+            return Value::F64(n);
+        }
+        match key {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::String(key.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let value = if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(inner) => inner.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self.iter().map(__private::to_value).collect();
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Array(vec![$(__private::to_value(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let entries = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    __private::key_to_string(&__private::to_value(k)),
+                    __private::to_value(v),
+                )
+            })
+            .collect();
+        serializer.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    __private::key_to_string(&__private::to_value(k)),
+                    __private::to_value(v),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_value(Value::Object(entries))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn number_as_i128(value: &Value) -> Option<i128> {
+    match value {
+        Value::U64(n) => Some(*n as i128),
+        Value::I64(n) => Some(*n as i128),
+        Value::F64(n) if n.fract() == 0.0 && n.abs() < 9.2e18 => Some(*n as i128),
+        _ => None,
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let n = number_as_i128(&value).ok_or_else(|| {
+                    <D::Error as de::Error>::custom(format!(
+                        "expected integer, found {}",
+                        value.kind()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::F64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    other => Err(<D::Error as de::Error>::custom(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as de::Error>::custom("expected single character")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => __private::from_value(other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| __private::from_value(item).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            __private::from_value::<$name>(iter.next().expect("length checked"))
+                                .map_err(<De::Error as de::Error>::custom)?,
+                        )+))
+                    }
+                    other => Err(<De::Error as de::Error>::custom(format!(
+                        "expected array of {} elements, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1usize, A)
+    (2usize, A, B)
+    (3usize, A, B, C)
+    (4usize, A, B, C, D)
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key: K = __private::from_value(__private::key_from_string(&k))
+                        .map_err(<D::Error as de::Error>::custom)?;
+                    let value: V =
+                        __private::from_value(v).map_err(<D::Error as de::Error>::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key: K = __private::from_value(__private::key_from_string(&k))
+                        .map_err(<D::Error as de::Error>::custom)?;
+                    let value: V =
+                        __private::from_value(v).map_err(<D::Error as de::Error>::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value().map(|_| ())
+    }
+}

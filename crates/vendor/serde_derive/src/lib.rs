@@ -1,0 +1,533 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub. Parses the item's token stream directly (no `syn`/`quote`) and
+//! emits impls against the Value-based data model of the sibling `serde`
+//! crate.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - unit structs, named-field structs, tuple structs (a 1-field tuple
+//!   struct serializes transparently, matching `#[serde(transparent)]`);
+//! - enums with unit, tuple and struct variants (externally tagged);
+//! - plain type parameters (bounds `T: Serialize` / `T: Deserialize<'de>`
+//!   are added per parameter).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    // The bracketed attribute body.
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Parses `<A, B: Bound, ...>` returning the parameter names; bounds are
+    /// skipped. Lifetimes and const params are not supported (unused here).
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return params;
+        }
+        self.pos += 1;
+        let mut depth = 1usize;
+        let mut expecting_name = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expecting_name = true;
+                }
+                Some(TokenTree::Ident(i)) if depth == 1 && expecting_name => {
+                    params.push(i.to_string());
+                    expecting_name = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics"),
+            }
+        }
+        params
+    }
+}
+
+/// Parses the comma-separated fields of a braced (named) field list.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut cursor = Cursor::new(group);
+    let mut names = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        cursor.skip_visibility();
+        if cursor.peek().is_none() {
+            break;
+        }
+        names.push(cursor.expect_ident());
+        // Skip `:` then the type tokens up to a top-level comma.
+        let mut depth = 0usize;
+        loop {
+            match cursor.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    names
+}
+
+/// Counts the comma-separated types of a parenthesised (tuple) field list.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for tok in group {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        let name = cursor.expect_ident();
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                cursor.pos += 1;
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                cursor.pos += 1;
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the separating comma.
+        while let Some(tok) = cursor.peek() {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                cursor.pos += 1;
+                break;
+            }
+            cursor.pos += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident();
+    let name = cursor.expect_ident();
+    let generics = cursor.parse_generics();
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cursor.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item {
+                name,
+                generics,
+                body: Body::Struct(fields),
+            }
+        }
+        "enum" => {
+            let variants = loop {
+                match cursor.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        break parse_variants(g.stream());
+                    }
+                    Some(_) => {}
+                    None => panic!("serde_derive: enum without a body"),
+                }
+            };
+            Item {
+                name,
+                generics,
+                body: Body::Enum(variants),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn ty_with_generics(item: &Item) -> String {
+    if item.generics.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, item.generics.join(", "))
+    }
+}
+
+/// Wraps a `Result<_, SimpleError>` expression, converting the error into
+/// the surrounding deserializer's error type.
+fn unwrap_or_custom(expr: &str) -> String {
+    format!(
+        "match {expr} {{ ::core::result::Result::Ok(__v) => __v, \
+         ::core::result::Result::Err(__e) => return ::core::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(__e)) }}"
+    )
+}
+
+fn serialize_fields_to_object(fields: &[String], access_prefix: &str) -> String {
+    let mut code = String::from(
+        "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for field in fields {
+        code.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{field}\"), \
+             ::serde::__private::to_value(&{access_prefix}{field})));\n"
+        ));
+    }
+    code
+}
+
+fn deserialize_fields_from_object(fields: &[String], type_path: &str) -> String {
+    let mut code = format!("{type_path} {{\n");
+    for field in fields {
+        code.push_str(&format!(
+            "{field}: {},\n",
+            unwrap_or_custom(&format!(
+                "::serde::__private::take_field(&mut __obj, \"{field}\")"
+            ))
+        ));
+    }
+    code.push('}');
+    code
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let ty = ty_with_generics(&item);
+    let generics_decl = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    let where_clause = if item.generics.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Serialize"))
+            .collect();
+        format!("where {}", bounds.join(", "))
+    };
+
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => {
+            "__serializer.serialize_value(::serde::Value::Null)".to_string()
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            // Newtype structs serialize transparently.
+            "__serializer.serialize_value(::serde::__private::to_value(&self.0))".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            format!(
+                "{}__serializer.serialize_value(::serde::Value::Object(__obj))",
+                serialize_fields_to_object(fields, "self.")
+            )
+        }
+        Body::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         ::serde::Value::String(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::__private::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::__private::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => __serializer.serialize_value(\
+                             ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), {inner})])),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let obj = serialize_fields_to_object(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {obj} __serializer.serialize_value(\
+                             ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(__obj))])) }},\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+
+    let output = format!(
+        "impl{generics_decl} ::serde::Serialize for {ty} {where_clause} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    );
+    output.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let ty = ty_with_generics(&item);
+    let generics_decl = if item.generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}>", item.generics.join(", "))
+    };
+    let where_clause = if item.generics.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Deserialize<'de>"))
+            .collect();
+        format!("where {}", bounds.join(", "))
+    };
+    let name = &item.name;
+
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!(
+            "let _ = __deserializer.deserialize_value()?;\n\
+             ::core::result::Result::Ok({name})"
+        ),
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "let __value = __deserializer.deserialize_value()?;\n\
+             ::core::result::Result::Ok({name}({}))",
+            unwrap_or_custom("::serde::__private::from_value(__value)")
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut fields = String::new();
+            for _ in 0..*n {
+                fields.push_str(&format!(
+                    "{},\n",
+                    unwrap_or_custom("::serde::__private::from_value(__iter.next().expect(\"length checked\"))")
+                ));
+            }
+            format!(
+                "let __value = __deserializer.deserialize_value()?;\n\
+                 let __items = match __value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                 other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected array of {n} elements for {name}, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 let mut __iter = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({fields}))"
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => format!(
+            "let __value = __deserializer.deserialize_value()?;\n\
+             let mut __obj = match __value {{\n\
+             ::serde::Value::Object(entries) => entries,\n\
+             other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+             format!(\"expected object for {name}, found {{}}\", other.kind()))),\n\
+             }};\n\
+             ::core::result::Result::Ok({})",
+            deserialize_fields_from_object(fields, name)
+        ),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({})),\n",
+                        unwrap_or_custom("::serde::__private::from_value(__inner)")
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut fields = String::new();
+                        for _ in 0..*n {
+                            fields.push_str(&format!(
+                                "{},\n",
+                                unwrap_or_custom("::serde::__private::from_value(__iter.next().expect(\"length checked\"))")
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = match __inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                             other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                             format!(\"expected array of {n} elements for {name}::{vname}, found {{}}\", other.kind()))),\n\
+                             }};\n\
+                             let mut __iter = __items.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vname}({fields}))\n\
+                             }},\n"
+                        ));
+                    }
+                    Fields::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let mut __obj = match __inner {{\n\
+                         ::serde::Value::Object(entries) => entries,\n\
+                         other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                         format!(\"expected object for {name}::{vname}, found {{}}\", other.kind()))),\n\
+                         }};\n\
+                         ::core::result::Result::Ok({})\n\
+                         }},\n",
+                        deserialize_fields_from_object(fields, &format!("{name}::{vname}"))
+                    )),
+                }
+            }
+            format!(
+                "let __value = __deserializer.deserialize_value()?;\n\
+                 match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(mut __entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = __entries.pop().expect(\"length checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected enum {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+
+    let output = format!(
+        "impl{generics_decl} ::serde::Deserialize<'de> for {ty} {where_clause} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    );
+    output
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,33 @@
+# Developer entry points. `just` with no argument lists recipes.
+
+default:
+    @just --list
+
+# Tier-1 verification: what CI runs and what every PR must keep green.
+verify: build test clippy
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Full benchmark pass (asserts scenario verdicts before timing).
+bench:
+    cargo bench -p dynring-bench --bench engine_throughput
+    cargo bench -p dynring-bench --bench table1
+
+# Smoke-size performance snapshot -> BENCH_engine.json (see docs/PERFORMANCE.md).
+bench-report-quick:
+    cargo run --release -- bench-report --quick
+
+# Full-size performance snapshot -> BENCH_engine.json.
+bench-report:
+    cargo run --release -- bench-report
+
+# Reproduce the paper's Table 1 from the CLI.
+table1:
+    cargo run --release -- table1

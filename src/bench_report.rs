@@ -1,0 +1,259 @@
+//! The `dynring bench-report` subcommand: a self-contained performance
+//! snapshot of the round engine and the sweep layer, written as
+//! `BENCH_engine.json` so the throughput trajectory is tracked across PRs.
+//!
+//! The snapshot measures:
+//!
+//! - **quiet path** rounds/sec ([`Simulator::run`], no `RoundRecord`
+//!   materialization — the allocation-free fast path);
+//! - **recorded path** rounds/sec ([`Simulator::run_with`], one record per
+//!   round);
+//! - **adversary path** rounds/sec (the Theorem 5.1 confiner driven
+//!   through the in-place dynamics API);
+//! - **sweep scaling**: a reduced Table 1 grid, serial vs. all-cores
+//!   parallel, with the resulting speedup.
+//!
+//! All workloads are deterministic; only wall-clock timing varies between
+//! machines. Numbers are means over the whole measurement window.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_adversary::SingleRobotConfiner;
+use dynring_analysis::parallel::available_workers;
+use dynring_analysis::table1::run_table1_with_workers;
+use dynring_analysis::Table1Options;
+use dynring_bench::workloads::{bernoulli_sim, placements, static_sim};
+use dynring_core::Pef3Plus;
+use dynring_engine::{Dynamics, Simulator};
+use dynring_graph::RingTopology;
+
+/// Schema tag of the emitted JSON.
+pub const SCHEMA: &str = "dynring-bench-engine/v2";
+
+/// One measured engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSample {
+    /// Workload label (`static` / `bernoulli` / `confiner`).
+    pub workload: String,
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k`.
+    pub robots: usize,
+    /// Rounds per second on the quiet path.
+    pub quiet_rounds_per_sec: f64,
+    /// Rounds per second on the recording path.
+    pub recorded_rounds_per_sec: f64,
+}
+
+/// Sweep-layer measurement: the same grid serial and parallel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSample {
+    /// Grid cells executed.
+    pub cells: usize,
+    /// Worker threads used by the parallel run.
+    pub workers: usize,
+    /// Serial wall-clock milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall-clock milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// A pre-refactor reference point for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSample {
+    /// Workload label.
+    pub workload: String,
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k`.
+    pub robots: usize,
+    /// Rounds per second of the seed engine (its only path allocated a
+    /// record per round).
+    pub rounds_per_sec: f64,
+}
+
+/// The full snapshot written to `BENCH_engine.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag.
+    pub schema: String,
+    /// Free-form provenance note.
+    pub note: String,
+    /// Provenance of the baseline block.
+    pub baseline_note: String,
+    /// Pre-refactor reference numbers (fixed; measured once at the seed
+    /// commit).
+    pub baseline: Vec<BaselineSample>,
+    /// Engine throughput samples.
+    pub engine: Vec<EngineSample>,
+    /// Sweep scaling sample.
+    pub sweep: SweepSample,
+}
+
+/// Reference throughput of the pre-refactor engine: the seed simulator
+/// sources (commit `0276750`) built with this workspace's manifests and
+/// vendored dependency stubs (the seed commit itself carries no Cargo
+/// manifests, so it cannot be built verbatim), 2M rounds, release
+/// profile, the container this PR was developed in. The pre-refactor
+/// engine had a single execution path that built a `RoundRecord` (plus
+/// snapshot/occupancy/edge-set allocations) every round, so these
+/// numbers compare against both of today's paths.
+pub fn seed_baseline() -> Vec<BaselineSample> {
+    let rows: [(&str, usize, usize, f64); 8] = [
+        ("static", 8, 3, 10_518_668.0),
+        ("bernoulli", 8, 3, 4_059_534.0),
+        ("static", 64, 3, 6_193_590.0),
+        ("bernoulli", 64, 3, 924_546.0),
+        ("static", 256, 3, 5_685_382.0),
+        ("bernoulli", 256, 3, 265_484.0),
+        ("static", 64, 16, 2_907_875.0),
+        ("bernoulli", 64, 16, 637_783.0),
+    ];
+    rows.iter()
+        .map(|&(workload, ring_size, robots, rounds_per_sec)| BaselineSample {
+            workload: workload.to_string(),
+            ring_size,
+            robots,
+            rounds_per_sec,
+        })
+        .collect()
+}
+
+fn throughput(rounds: u64, mut run: impl FnMut(u64)) -> f64 {
+    // Warm-up pass (also sizes the scratch buffers), then one timed pass.
+    run(rounds / 10);
+    let start = Instant::now();
+    run(rounds);
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+fn sample_pair<D: Dynamics>(
+    workload: &str,
+    n: usize,
+    k: usize,
+    rounds: u64,
+    make: impl Fn() -> Simulator<Pef3Plus, D>,
+) -> EngineSample {
+    let mut quiet_sim = make();
+    let quiet = throughput(rounds, |r| quiet_sim.run(r));
+    let mut recorded_sim = make();
+    let recorded = throughput(rounds, |r| recorded_sim.run_with(r, |_| {}));
+    EngineSample {
+        workload: workload.to_string(),
+        ring_size: n,
+        robots: k,
+        quiet_rounds_per_sec: quiet,
+        recorded_rounds_per_sec: recorded,
+    }
+}
+
+/// Runs every measurement and assembles the snapshot.
+///
+/// `quick` shrinks the workloads (for CI smoke runs); the shape of the
+/// emitted JSON is identical.
+pub fn collect(quick: bool) -> BenchReport {
+    let rounds: u64 = if quick { 200_000 } else { 2_000_000 };
+    let mut engine = Vec::new();
+    for (n, k) in [(8usize, 3usize), (64, 3), (256, 3), (64, 16)] {
+        engine.push(sample_pair("static", n, k, rounds, || static_sim(n, k)));
+        engine.push(sample_pair("bernoulli", n, k, rounds / 4, || bernoulli_sim(n, k)));
+    }
+    {
+        let n = 64;
+        let ring = RingTopology::new(n).expect("valid ring");
+        engine.push(sample_pair("confiner", n, 1, rounds, || {
+            Simulator::new(
+                ring.clone(),
+                Pef3Plus,
+                SingleRobotConfiner::new(ring.clone()),
+                placements(n, 1),
+            )
+            .expect("valid setup")
+        }));
+    }
+
+    let opts = Table1Options {
+        robot_counts: vec![1, 2, 3],
+        ring_sizes: vec![2, 3, 5, 8],
+        horizon: if quick { 300 } else { 700 },
+        seed: 42,
+        min_covers: 2,
+    };
+    let cells = opts.robot_counts.len() * opts.ring_sizes.len();
+    let start = Instant::now();
+    run_table1_with_workers(&opts, 1).expect("valid options");
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    let workers = available_workers();
+    let start = Instant::now();
+    run_table1_with_workers(&opts, workers).expect("valid options");
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        note: format!(
+            "generated by `dynring bench-report{}`; wall-clock numbers, machine-dependent",
+            if quick { " --quick" } else { "" }
+        ),
+        baseline_note: "pre-refactor engine: seed sources (commit 0276750) built with this \
+                        workspace's manifests + vendored stubs (the seed commit has no \
+                        manifests of its own); 2M rounds, release profile, same container"
+            .to_string(),
+        baseline: seed_baseline(),
+        engine,
+        sweep: SweepSample {
+            cells,
+            workers,
+            serial_ms,
+            parallel_ms,
+            speedup: serial_ms / parallel_ms,
+        },
+    }
+}
+
+/// Renders a human summary for stdout.
+pub fn render(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>4} {:>16} {:>16} {:>9} {:>12}",
+        "workload", "n", "k", "quiet rounds/s", "recorded r/s", "q/r", "vs baseline"
+    );
+    for s in &report.engine {
+        let vs_baseline = report
+            .baseline
+            .iter()
+            .find(|b| {
+                b.workload == s.workload && b.ring_size == s.ring_size && b.robots == s.robots
+            })
+            .map_or_else(String::new, |b| {
+                format!("{:.2}x", s.quiet_rounds_per_sec / b.rounds_per_sec)
+            });
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>4} {:>16.0} {:>16.0} {:>8.2}x {:>12}",
+            s.workload,
+            s.ring_size,
+            s.robots,
+            s.quiet_rounds_per_sec,
+            s.recorded_rounds_per_sec,
+            s.quiet_rounds_per_sec / s.recorded_rounds_per_sec,
+            vs_baseline
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nsweep: {} cells, serial {:.0} ms vs parallel {:.0} ms on {} workers ({:.2}x)",
+        report.sweep.cells,
+        report.sweep.serial_ms,
+        report.sweep.parallel_ms,
+        report.sweep.workers,
+        report.sweep.speedup
+    );
+    out
+}

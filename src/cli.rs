@@ -26,12 +26,17 @@ USAGE:
     dynring capture  --n N --k K --out FILE [scenario flags]
     dynring replay   --file FILE
     dynring sweep-p  [--n N] [--k K] [--horizon H] [--seeds S]
+    dynring coverage [--n N] [--k K] [--horizon H] [--seed S]
+    dynring bench-report [--out FILE] [--quick]
     dynring --help
 
 `capture` runs a scenario, records the exact snapshot sequence the
 (possibly adaptive) dynamics played, and writes a JSON artifact. `replay`
 re-runs the artifact's algorithm on the recorded schedule and verifies the
-stored report bit for bit.
+stored report bit for bit. `coverage` runs the full algorithm portfolio
+against the benign dynamics suite in parallel. `bench-report` measures the
+round engine (quiet vs recording path) and the parallel sweep layer and
+writes a BENCH_engine.json performance snapshot.
 
 ALGORITHMS (for --algorithm):
     pef3+ (default) | pef2 | pef1 | keep | bounce | turn-on-tower |
@@ -74,6 +79,24 @@ pub enum Command {
         /// Artifact path.
         file: String,
     },
+    /// Run the portfolio × benign-suite coverage matrix in parallel.
+    Coverage {
+        /// Ring size.
+        n: usize,
+        /// Robot count.
+        k: usize,
+        /// Rounds per run.
+        horizon: u64,
+        /// Base seed.
+        seed: u64,
+    },
+    /// Measure the engine and sweep layer, writing a JSON snapshot.
+    BenchReport {
+        /// Output path for the snapshot.
+        out: String,
+        /// Shrink workloads for a CI smoke run.
+        quick: bool,
+    },
 }
 
 /// The JSON artifact written by `capture` and verified by `replay`.
@@ -114,8 +137,9 @@ fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
     while i < args.len() {
         let arg = args[i].as_str();
         if let Some(key) = arg.strip_prefix("--") {
-            if key == "help" {
-                positional.push("--help");
+            // Value-less flags.
+            if key == "help" || key == "quick" {
+                positional.push(if key == "help" { "--help" } else { "--quick" });
                 i += 1;
                 continue;
             }
@@ -193,6 +217,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     if positional.contains(&"--help") || positional.is_empty() {
         return Ok(Command::Help);
     }
+    // `--quick` is only meaningful for bench-report; reject it elsewhere
+    // instead of silently running the full-size workload.
+    if positional.contains(&"--quick") && positional[0] != "bench-report" {
+        return Err(err("--quick is only valid with bench-report"));
+    }
     match positional[0] {
         "capture" => {
             let inner: Vec<String> = {
@@ -244,6 +273,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .with_criteria(SuccessCriteria::covers(min_covers));
             Ok(Command::Scenario(scenario))
         }
+        "coverage" => Ok(Command::Coverage {
+            n: parse_num(&pairs, "n", 8)?,
+            k: parse_num(&pairs, "k", 3)?,
+            horizon: parse_num(&pairs, "horizon", 800)?,
+            seed: parse_num(&pairs, "seed", 0xC0FFEEu64)?,
+        }),
+        "bench-report" => Ok(Command::BenchReport {
+            out: lookup(&pairs, "out").unwrap_or("BENCH_engine.json").to_string(),
+            // `--quick` is value-less: split_flags routes it to positional.
+            quick: positional.contains(&"--quick"),
+        }),
         "sweep-p" => Ok(Command::SweepPresence {
             n: parse_num(&pairs, "n", 10)?,
             k: parse_num(&pairs, "k", 3)?,
@@ -325,6 +365,43 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                 println!("replayed: {:?}", replayed.outcome);
                 return Err(Box::new(CliError("artifact verification failed".into())));
             }
+        }
+        Command::Coverage { n, k, horizon, seed } => {
+            use dynring_analysis::parallel::{available_workers, coverage_matrix};
+            println!(
+                "portfolio × benign suite on n={n}, k={k} ({} workers)…\n",
+                available_workers()
+            );
+            let matrix = coverage_matrix(n, k, horizon, seed)?;
+            for row in &matrix.rows {
+                let cells: Vec<String> = row
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{}={}",
+                            c.dynamics,
+                            if c.perpetual { format!("✓{}cv", c.covers) } else { "✗".to_string() }
+                        )
+                    })
+                    .collect();
+                println!("{:<22} {}", row.algorithm, cells.join("  "));
+            }
+            println!(
+                "\nsurvival rate: {:.0}%",
+                matrix.survival_rate() * 100.0
+            );
+        }
+        Command::BenchReport { out, quick } => {
+            println!(
+                "measuring round engine + sweep layer{}…\n",
+                if quick { " (quick)" } else { "" }
+            );
+            let report = crate::bench_report::collect(quick);
+            println!("{}", crate::bench_report::render(&report));
+            let json = serde_json::to_string_pretty(&report)?;
+            std::fs::write(&out, json + "\n")?;
+            println!("snapshot written to {out}");
         }
         Command::SweepPresence { n, k, horizon, seeds } => {
             println!("PEF_3+ cover time vs presence probability (n={n}, k={k})\n");
@@ -445,6 +522,37 @@ mod tests {
         let replay = parse(&args(&["replay", "--file", &out_str])).expect("parses");
         run(replay).expect("replay verifies");
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn bench_report_parses_with_defaults_and_flags() {
+        let cmd = parse(&args(&["bench-report"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::BenchReport {
+                out: "BENCH_engine.json".to_string(),
+                quick: false
+            }
+        );
+        let cmd = parse(&args(&["bench-report", "--quick", "--out", "x.json"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::BenchReport {
+                out: "x.json".to_string(),
+                quick: true
+            }
+        );
+    }
+
+    #[test]
+    fn coverage_parses_with_defaults() {
+        let cmd = parse(&args(&["coverage", "--n", "6", "--horizon", "100"])).expect("parses");
+        match cmd {
+            Command::Coverage { n, k, horizon, .. } => {
+                assert_eq!((n, k, horizon), (6, 3, 100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

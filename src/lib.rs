@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_report;
 pub mod cli;
 
 pub use dynring_adversary as adversary;

@@ -78,15 +78,20 @@ fn pef3_recovers_from_most_corrupted_starts() {
 
 #[test]
 fn pef3_is_not_self_stabilizing_a_fused_pair_can_persist() {
-    // Seed 14 on an 8-ring whose edge e6 dies at round 50: robots 0 and 1
+    // Seed 29 on an 8-ring whose edge e3 dies at round 50: two robots
     // fuse into a pair that oscillates forever near one extremity while
-    // robot 2 guards the other — four nodes are visited during the chaotic
-    // prefix but never again. This is why reference [4] needed a dedicated
-    // self-stabilizing algorithm and why the paper assumes towerless
-    // starts.
+    // the third guards the other — every node is visited during the
+    // chaotic prefix but exploration then stalls. This is why reference
+    // [4] needed a dedicated self-stabilizing algorithm and why the paper
+    // assumes towerless starts.
+    //
+    // The witness (seed, edge) depends on the exact PRNG stream; it was
+    // recalibrated when the workspace switched to the vendored
+    // deterministic `rand` stub. Several seeds exhibit the phenomenon
+    // (29, 39, 169, … with edge e3); any of them pins the same behaviour.
     let n = 8;
     let horizon = 6400;
-    let mut sim = corrupted_sim(n, horizon, 14, Some((EdgeId::new(6), 50)));
+    let mut sim = corrupted_sim(n, horizon, 29, Some((EdgeId::new(3), 50)));
     let trace = sim.run_recording(horizon);
     let ledger = VisitLedger::from_trace(&trace);
     assert_eq!(
