@@ -1,9 +1,9 @@
 //! The Theorem 5.1 adversary: a single robot cannot perpetually explore a
 //! connected-over-time ring of three or more nodes.
 
-use dynring_graph::{EdgeSet, GlobalDir, NodeId, RingTopology};
+use dynring_graph::{EdgeId, EdgeSet, GlobalDir, NodeId, RingTopology};
 
-use dynring_engine::{Dynamics, Observation};
+use dynring_engine::{Dynamics, EdgeProbe, Observation};
 
 /// The adaptive adversary from the proof of Theorem 5.1 (see Figure 3).
 ///
@@ -67,6 +67,34 @@ impl SingleRobotConfiner {
     pub fn blocked_rounds(&self) -> u64 {
         self.blocks
     }
+
+    /// Advances the adversary for the round observed in `obs` and returns
+    /// the single edge blocked this round, if any — the one decision both
+    /// [`Dynamics`] entry points share, so the full-snapshot and sparse
+    /// paths cannot drift.
+    fn choose_block(&mut self, obs: &Observation<'_>) -> Option<EdgeId> {
+        let robot = obs
+            .robots()
+            .first()
+            .expect("SingleRobotConfiner requires at least one robot");
+        let (u, v) = *self.anchor.get_or_insert_with(|| {
+            let u = robot.node;
+            let v = self.ring.neighbor(u, GlobalDir::CounterClockwise);
+            (u, v)
+        });
+        if robot.node == u {
+            // Block e_ur: the robot may only leave counter-clockwise, to v.
+            self.blocks += 1;
+            Some(self.ring.edge_towards(u, GlobalDir::Clockwise))
+        } else if robot.node == v {
+            // Block e_vl: the robot may only leave clockwise, back to u.
+            self.blocks += 1;
+            Some(self.ring.edge_towards(v, GlobalDir::CounterClockwise))
+        } else {
+            self.escaped = true;
+            None
+        }
+    }
 }
 
 impl Dynamics for SingleRobotConfiner {
@@ -81,28 +109,23 @@ impl Dynamics for SingleRobotConfiner {
     }
 
     fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
-        let robot = obs
-            .robots()
-            .first()
-            .expect("SingleRobotConfiner requires at least one robot");
-        let (u, v) = *self.anchor.get_or_insert_with(|| {
-            let u = robot.node;
-            let v = self.ring.neighbor(u, GlobalDir::CounterClockwise);
-            (u, v)
-        });
+        let blocked = self.choose_block(obs);
         out.reset(self.ring.edge_count());
         out.fill();
-        if robot.node == u {
-            // Block e_ur: the robot may only leave counter-clockwise, to v.
-            out.remove(self.ring.edge_towards(u, GlobalDir::Clockwise));
-            self.blocks += 1;
-        } else if robot.node == v {
-            // Block e_vl: the robot may only leave clockwise, back to u.
-            out.remove(self.ring.edge_towards(v, GlobalDir::CounterClockwise));
-            self.blocks += 1;
-        } else {
-            self.escaped = true;
+        if let Some(e) = blocked {
+            out.remove(e);
         }
+    }
+
+    /// The Theorem 5.1 confiner blocks at most one edge per round and its
+    /// state advance is O(1), so it supports the sparse path: adaptive
+    /// does not imply full-set.
+    fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        let blocked = self.choose_block(obs);
+        for q in queries.iter_mut() {
+            q.present = blocked != Some(q.edge);
+        }
+        true
     }
 }
 

@@ -5,7 +5,7 @@ use std::fmt;
 
 use dynring_graph::{EdgeId, EdgeSet, GlobalDir, NodeId, RingTopology, Time};
 
-use dynring_engine::{Dynamics, Observation};
+use dynring_engine::{Dynamics, EdgeProbe, Observation};
 
 /// The four phases of the Figure 2 construction. In each phase a specific
 /// set of edges is removed until the *designated* robot performs the only
@@ -173,16 +173,18 @@ impl TwoRobotConfiner {
         }
     }
 
-    fn blocked_edges(&self, zone: Zone, phase: ConfinerPhase) -> Vec<EdgeId> {
+    /// The ≤ 3 edges `phase` removes, in a fixed buffer (first `len`
+    /// entries) so both [`Dynamics`] entry points stay allocation-free.
+    fn blocked_edges(&self, zone: Zone, phase: ConfinerPhase) -> ([EdgeId; 3], usize) {
         let eul = self.ring.edge_towards(zone.u, GlobalDir::CounterClockwise);
         let eur = self.ring.edge_towards(zone.u, GlobalDir::Clockwise); // = e_vl
         let evr = self.ring.edge_towards(zone.v, GlobalDir::Clockwise); // = e_wl
         let ewr = self.ring.edge_towards(zone.w, GlobalDir::Clockwise);
         match phase {
-            ConfinerPhase::A => vec![eul, eur],
-            ConfinerPhase::B => vec![eul, evr, ewr],
-            ConfinerPhase::C => vec![evr, ewr],
-            ConfinerPhase::D => vec![eul, eur, ewr],
+            ConfinerPhase::A => ([eul, eur, eur], 2),
+            ConfinerPhase::B => ([eul, evr, ewr], 3),
+            ConfinerPhase::C => ([evr, ewr, ewr], 2),
+            ConfinerPhase::D => ([eul, eur, ewr], 3),
         }
     }
 
@@ -212,6 +214,45 @@ impl Dynamics for TwoRobotConfiner {
     }
 
     fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
+        let decision = self.advance(obs);
+        out.reset(self.ring.edge_count());
+        out.fill();
+        if let Some((zone, phase)) = decision {
+            let (blocked, len) = self.blocked_edges(zone, phase);
+            for &e in &blocked[..len] {
+                out.remove(e);
+            }
+        }
+    }
+
+    /// Theorem 4.1's confiner blocks ≤ 3 zone edges per round with an
+    /// O(1) state advance, so it answers point queries directly and stays
+    /// on the sparse path.
+    fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        match self.advance(obs) {
+            None => {
+                for q in queries.iter_mut() {
+                    q.present = true;
+                }
+            }
+            Some((zone, phase)) => {
+                let (blocked, len) = self.blocked_edges(zone, phase);
+                for q in queries.iter_mut() {
+                    q.present = !blocked[..len].contains(&q.edge);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl TwoRobotConfiner {
+    /// Advances the anchor/phase state machine for the round observed in
+    /// `obs`; returns the zone and the phase to play, or `None` when the
+    /// adversary is inapplicable (every edge stays present). Both
+    /// [`Dynamics`] entry points go through here, so the full-snapshot and
+    /// sparse paths cannot drift.
+    fn advance(&mut self, obs: &Observation<'_>) -> Option<(Zone, ConfinerPhase)> {
         // Anchor the zone on the first observation.
         if matches!(self.state, State::Init) {
             self.state = match self.anchor(obs) {
@@ -226,11 +267,7 @@ impl Dynamics for TwoRobotConfiner {
             };
         }
 
-        let Some(zone) = self.zone else {
-            out.reset(self.ring.edge_count());
-            out.fill();
-            return;
-        };
+        let zone = self.zone?;
 
         // Advance the phase machine on observed designated moves.
         if let State::Running { phase, waited } = self.state {
@@ -260,15 +297,8 @@ impl Dynamics for TwoRobotConfiner {
             State::Running { phase, .. } | State::Stalemate { phase, .. } => phase,
             _ => unreachable!("zone anchored implies running or stalemate"),
         };
-        out.reset(self.ring.edge_count());
-        out.fill();
-        for e in self.blocked_edges(zone, phase) {
-            out.remove(e);
-        }
+        Some((zone, phase))
     }
-}
-
-impl TwoRobotConfiner {
     fn anchor(&self, obs: &Observation<'_>) -> Option<Zone> {
         let robots = obs.robots();
         if robots.len() != 2 {

@@ -2,7 +2,7 @@
 
 use dynring_graph::{EdgeId, EdgeSet, RingTopology, Time};
 
-use dynring_engine::{Dynamics, Observation};
+use dynring_engine::{Dynamics, EdgeProbe, Observation};
 
 /// Removes, each round, every edge currently pointed to by a robot —
 /// subject to a per-edge absence budget that keeps the schedule
@@ -84,6 +84,13 @@ impl Dynamics for PointedEdgeBlocker {
                 *run = 0;
             }
         }
+    }
+
+    /// Sparse probing is refused: the per-edge absence budget advances for
+    /// *every* edge every round, so this adversary must see the full
+    /// snapshot — the engine falls back to [`Dynamics::edges_at_into`].
+    fn probe_edges(&mut self, _obs: &Observation<'_>, _queries: &mut [EdgeProbe]) -> bool {
+        false
     }
 }
 

@@ -3,7 +3,7 @@
 
 use dynring_graph::{EdgeSet, GlobalDir, RingTopology, Time};
 
-use dynring_engine::{Dynamics, Observation};
+use dynring_engine::{Dynamics, EdgeProbe, Observation};
 
 /// Freezes every algorithm under SSYNC round-robin scheduling: each round,
 /// both adjacent edges of the *activated* robot are removed.
@@ -61,6 +61,26 @@ impl Dynamics for SsyncBlocker {
         let node = robots[active].node;
         out.remove(self.ring.edge_towards(node, GlobalDir::Clockwise));
         out.remove(self.ring.edge_towards(node, GlobalDir::CounterClockwise));
+    }
+
+    /// Adaptive but stateless — the blocked pair is a pure function of the
+    /// observation — so point queries are answered directly and the
+    /// blocker stays on the sparse path.
+    fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        let robots = obs.robots();
+        if robots.is_empty() {
+            for q in queries.iter_mut() {
+                q.present = true;
+            }
+            return true;
+        }
+        let node = robots[self.activated_robot(obs.time(), robots.len())].node;
+        let cw = self.ring.edge_towards(node, GlobalDir::Clockwise);
+        let ccw = self.ring.edge_towards(node, GlobalDir::CounterClockwise);
+        for q in queries.iter_mut() {
+            q.present = q.edge != cw && q.edge != ccw;
+        }
+        true
     }
 }
 

@@ -1,22 +1,27 @@
-//! The in-place dynamics API must be indistinguishable from the
-//! allocating one for every adversary: two identical instances driven
+//! The in-place and sparse dynamics APIs must be indistinguishable from
+//! the allocating one for every adversary: identical instances driven
 //! with the same observation sequence — one through `edges_at`, one
-//! through `edges_at_into` — must emit identical snapshot sequences
-//! (adversaries are stateful, so this also checks that internal state
-//! advances identically on both paths).
+//! through `edges_at_into`, one through `probe_edges` — must describe
+//! identical snapshot sequences (adversaries are stateful, so this also
+//! checks that internal state advances identically on every path). An
+//! adversary that refuses probes must do so without touching queries or
+//! state, and then agree through its `edges_at_into` fallback.
 
 use proptest::prelude::*;
 
 use dynring_adversary::{PointedEdgeBlocker, SingleRobotConfiner, SsyncBlocker, TwoRobotConfiner};
-use dynring_engine::{Chirality, Dynamics, LocalDir, Observation, RobotId, RobotSnapshot};
+use dynring_engine::{
+    Chirality, Dynamics, EdgeProbe, LocalDir, Observation, RobotId, RobotSnapshot,
+};
 use dynring_graph::{EdgeSet, NodeId, RingTopology};
 
-/// Drives both copies over a pseudo-random robot trajectory and compares
-/// every emitted snapshot.
+/// Drives all three copies over a pseudo-random robot trajectory and
+/// compares every emitted snapshot.
 fn assert_paths_agree<D: Dynamics>(
     ring: &RingTopology,
     mut via_alloc: D,
     mut via_into: D,
+    mut via_probe: D,
     robots: usize,
     seed: u64,
     rounds: u64,
@@ -30,6 +35,7 @@ fn assert_paths_agree<D: Dynamics>(
         state >> 33
     };
     let mut buf = EdgeSet::empty(0); // deliberately stale universe
+    let mut fallback_buf = EdgeSet::empty(0);
     for t in 0..rounds {
         let snaps: Vec<RobotSnapshot> = (0..robots)
             .map(|i| RobotSnapshot {
@@ -52,6 +58,23 @@ fn assert_paths_agree<D: Dynamics>(
         let allocated = via_alloc.edges_at(&obs);
         via_into.edges_at_into(&obs, &mut buf);
         prop_assert_eq!(&allocated, &buf, "t = {}", t);
+        // Sparse path: query every edge. Supporters must answer exactly
+        // the snapshot; refusers must fall back through edges_at_into with
+        // identical results (the engine's fallback sequence).
+        let mut queries: Vec<EdgeProbe> = ring.edges().map(EdgeProbe::new).collect();
+        if via_probe.probe_edges(&obs, &mut queries) {
+            for q in &queries {
+                prop_assert_eq!(
+                    q.present,
+                    allocated.contains(q.edge),
+                    "probe of {} at t = {}", q.edge, t
+                );
+            }
+        } else {
+            prop_assert!(queries.iter().all(|q| !q.present), "refusal touched queries");
+            via_probe.edges_at_into(&obs, &mut fallback_buf);
+            prop_assert_eq!(&allocated, &fallback_buf, "fallback at t = {}", t);
+        }
     }
     Ok(())
 }
@@ -69,6 +92,7 @@ proptest! {
             &ring,
             SingleRobotConfiner::new(ring.clone()),
             SingleRobotConfiner::new(ring.clone()),
+            SingleRobotConfiner::new(ring.clone()),
             1,
             seed,
             60,
@@ -84,6 +108,7 @@ proptest! {
         let ring = RingTopology::new(n).expect("valid ring");
         assert_paths_agree(
             &ring,
+            TwoRobotConfiner::new(ring.clone(), patience),
             TwoRobotConfiner::new(ring.clone(), patience),
             TwoRobotConfiner::new(ring.clone(), patience),
             2,
@@ -104,6 +129,7 @@ proptest! {
             &ring,
             PointedEdgeBlocker::new(ring.clone(), budget, None),
             PointedEdgeBlocker::new(ring.clone(), budget, None),
+            PointedEdgeBlocker::new(ring.clone(), budget, None),
             robots,
             seed,
             60,
@@ -119,6 +145,7 @@ proptest! {
         let ring = RingTopology::new(n).expect("valid ring");
         assert_paths_agree(
             &ring,
+            SsyncBlocker::new(ring.clone()),
             SsyncBlocker::new(ring.clone()),
             SsyncBlocker::new(ring.clone()),
             robots,

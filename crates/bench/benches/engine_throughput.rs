@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use dynring_bench::workloads::{bernoulli_sim, static_sim, BERNOULLI_P, BERNOULLI_SEED};
+use dynring_bench::workloads::{bernoulli_sim, bernoulli_sim_p, static_sim, BERNOULLI_P, BERNOULLI_SEED};
 use dynring_graph::{BernoulliSchedule, EdgeSchedule, RingTopology};
 
 const ROUNDS: u64 = 2_000;
@@ -43,7 +43,9 @@ fn bench_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rounds_per_second");
     group.throughput(Throughput::Elements(ROUNDS));
-    for n in [8usize, 64, 256] {
+    // n ∈ {1024, 4096} exists to pin the sparse probe path's independence
+    // from ring size (the Bernoulli quiet path is O(robots) per round).
+    for n in [8usize, 64, 256, 1024, 4096] {
         group.bench_with_input(BenchmarkId::new("static_k3", n), &n, |b, &n| {
             b.iter(|| run_static(n, 3))
         });
@@ -72,6 +74,18 @@ fn bench_throughput(c: &mut Criterion) {
                     std::hint::black_box(&r.edges);
                 })
             })
+        });
+    }
+    group.finish();
+
+    // Quiet-path cost across presence probabilities: the bit-sliced
+    // sampler's work follows p's binary expansion.
+    let mut group = c.benchmark_group("bernoulli_p_sweep");
+    group.throughput(Throughput::Elements(ROUNDS));
+    for (label, p) in [("p10", 0.1f64), ("p50", 0.5), ("p90", 0.9)] {
+        let mut sim = bernoulli_sim_p(256, 3, p);
+        group.bench_with_input(BenchmarkId::new(label, 256), &p, |b, _| {
+            b.iter(|| sim.run(ROUNDS))
         });
     }
     group.finish();

@@ -42,11 +42,23 @@ pub mod workloads {
         .expect("valid setup")
     }
 
-    /// `PEF_3+` on hash-based Bernoulli dynamics.
+    /// `PEF_3+` on hash-based Bernoulli dynamics (the canonical
+    /// `p = BERNOULLI_P` workload).
     pub fn bernoulli_sim(n: usize, k: usize) -> Simulator<Pef3Plus, Oblivious<BernoulliSchedule>> {
+        bernoulli_sim_p(n, k, BERNOULLI_P)
+    }
+
+    /// `PEF_3+` on hash-based Bernoulli dynamics with an explicit presence
+    /// probability — the p-sweep workload (the bit-sliced sampler's cost
+    /// depends on p's binary expansion, so the sweep is part of the
+    /// tracked surface).
+    pub fn bernoulli_sim_p(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> Simulator<Pef3Plus, Oblivious<BernoulliSchedule>> {
         let ring = RingTopology::new(n).expect("valid ring");
-        let schedule =
-            BernoulliSchedule::new(ring.clone(), BERNOULLI_P, BERNOULLI_SEED).expect("valid p");
+        let schedule = BernoulliSchedule::new(ring.clone(), p, BERNOULLI_SEED).expect("valid p");
         Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements(n, k))
             .expect("valid setup")
     }

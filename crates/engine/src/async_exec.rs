@@ -18,7 +18,7 @@
 use dynring_graph::{EdgeSet, NodeId, RingTopology, Time};
 
 use crate::{
-    ActivationPolicy, Algorithm, EngineError, FullActivation, LocalDir, RobotId,
+    ActivationPolicy, Algorithm, EdgeProbe, EngineError, FullActivation, LocalDir, RobotId,
     RobotPlacement, RobotSnapshot, View,
 };
 
@@ -98,6 +98,17 @@ pub trait AsyncDynamics {
     fn edges_at_into(&mut self, obs: &AsyncObservation<'_>, out: &mut EdgeSet) {
         *out = self.edges_at(obs);
     }
+
+    /// Sparse fast path, mirroring [`crate::Dynamics::probe_edges`]: on
+    /// quiet ticks the engine offers the snapshot as O(robots) point
+    /// queries; answering them (and returning `true`) skips the O(n)
+    /// snapshot scan. The default returns `false` without touching queries
+    /// or state — "fall back to [`AsyncDynamics::edges_at_into`] for this
+    /// tick". Exactly one of the two methods is called per tick, and
+    /// answers must agree with what `edges_at_into` would have produced.
+    fn probe_edges(&mut self, _obs: &AsyncObservation<'_>, _queries: &mut [EdgeProbe]) -> bool {
+        false
+    }
 }
 
 /// Phase-oblivious adapter for plain schedules.
@@ -124,6 +135,14 @@ impl<S: dynring_graph::EdgeSchedule> AsyncDynamics for ObliviousAsync<S> {
 
     fn edges_at_into(&mut self, obs: &AsyncObservation<'_>, out: &mut EdgeSet) {
         self.schedule.edges_at_into(obs.time(), out);
+    }
+
+    fn probe_edges(&mut self, obs: &AsyncObservation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        let t = obs.time();
+        for q in queries.iter_mut() {
+            q.present = self.schedule.is_present(q.edge, t);
+        }
+        true
     }
 }
 
@@ -168,6 +187,19 @@ impl AsyncDynamics for MoveBlocker {
             }
         }
     }
+
+    /// Adaptive but *stateless*: the blocked set is a pure function of the
+    /// observation, so point queries are answered by scanning the ≤ k
+    /// robots — the impossibility adversary runs on the sparse path too.
+    fn probe_edges(&mut self, obs: &AsyncObservation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        for q in queries.iter_mut() {
+            q.present = !obs.robots().iter().zip(obs.phases()).any(|(robot, phase)| {
+                *phase == PhaseKind::Move
+                    && self.ring.edge_towards(robot.node, robot.global_dir()) == q.edge
+            });
+        }
+        true
+    }
 }
 
 /// One robot's tick record in an ASYNC run.
@@ -209,6 +241,7 @@ pub struct AsyncSimulator<A: Algorithm, D> {
     edge_buf: EdgeSet,
     occupancy_buf: Vec<usize>,
     active_buf: Vec<bool>,
+    probe_buf: Vec<EdgeProbe>,
 }
 
 impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
@@ -272,6 +305,7 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
             edge_buf,
             occupancy_buf,
             active_buf: Vec::new(),
+            probe_buf: Vec::new(),
         })
     }
 
@@ -311,6 +345,7 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
         }
         self.kind_buf.clear();
         self.kind_buf.extend(self.phases.iter().map(Phase::kind));
+        let mut probed = false;
         {
             let obs = AsyncObservation {
                 time: t,
@@ -318,7 +353,24 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
                 robots: &self.snap_buf,
                 phases: &self.kind_buf,
             };
-            self.dynamics.edges_at_into(&obs, &mut self.edge_buf);
+            if records.is_none() {
+                // Sparse fast path: robot i's (left, right) adjacent edges
+                // at probe_buf[2i], probe_buf[2i + 1] — the only edges any
+                // Look or Move phase can read this tick.
+                self.probe_buf.clear();
+                for i in 0..self.nodes.len() {
+                    let chi = self.chiralities[i];
+                    for dir in [LocalDir::Left, LocalDir::Right] {
+                        self.probe_buf.push(EdgeProbe::new(
+                            self.ring.edge_towards(self.nodes[i], chi.to_global(dir)),
+                        ));
+                    }
+                }
+                probed = self.dynamics.probe_edges(&obs, &mut self.probe_buf);
+            }
+            if !probed {
+                self.dynamics.edges_at_into(&obs, &mut self.edge_buf);
+            }
         }
         let all_active = self.activation.is_full();
         if !all_active {
@@ -349,10 +401,18 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
                 Phase::Look => {
                     let node = self.nodes[i];
                     let chi = self.chiralities[i];
-                    let left =
-                        edges.contains(self.ring.edge_towards(node, chi.to_global(LocalDir::Left)));
-                    let right = edges
-                        .contains(self.ring.edge_towards(node, chi.to_global(LocalDir::Right)));
+                    let (left, right) = if probed {
+                        (self.probe_buf[2 * i].present, self.probe_buf[2 * i + 1].present)
+                    } else {
+                        (
+                            edges.contains(
+                                self.ring.edge_towards(node, chi.to_global(LocalDir::Left)),
+                            ),
+                            edges.contains(
+                                self.ring.edge_towards(node, chi.to_global(LocalDir::Right)),
+                            ),
+                        )
+                    };
                     let others = self.occupancy_buf[node.index()] > 1;
                     Phase::Compute {
                         view: View::new(self.dirs[i], left, right, others),
@@ -364,9 +424,19 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
                 }
                 Phase::Move => {
                     let node = self.nodes[i];
-                    let global = self.chiralities[i].to_global(self.dirs[i]);
-                    let pointed = self.ring.edge_towards(node, global);
-                    if edges.contains(pointed) {
+                    // The pointed edge is the adjacent edge in the current
+                    // direction — one of the tick's two probe queries.
+                    let pointed_present = if probed {
+                        match self.dirs[i] {
+                            LocalDir::Left => self.probe_buf[2 * i].present,
+                            LocalDir::Right => self.probe_buf[2 * i + 1].present,
+                        }
+                    } else {
+                        let global = self.chiralities[i].to_global(self.dirs[i]);
+                        edges.contains(self.ring.edge_towards(node, global))
+                    };
+                    if pointed_present {
+                        let global = self.chiralities[i].to_global(self.dirs[i]);
                         self.nodes[i] = self.ring.neighbor(node, global);
                         moved = true;
                     }
@@ -602,6 +672,52 @@ mod tests {
             matches!(verdict, CotVerdict::Certified { missing_edge: None, .. }),
             "{verdict:?}"
         );
+    }
+
+    #[test]
+    fn quiet_probe_ticks_match_recorded_ticks() {
+        // tick_quiet answers through AsyncDynamics::probe_edges; tick
+        // materializes the full snapshot. Both must agree — including for
+        // the MoveBlocker, whose probe implementation is adaptive.
+        use dynring_graph::BernoulliSchedule;
+
+        let r = ring(11);
+        let placements = vec![
+            RobotPlacement::at(NodeId::new(0)),
+            RobotPlacement::at(NodeId::new(4)),
+            RobotPlacement::at(NodeId::new(8)),
+        ];
+        let make_bernoulli = || {
+            AsyncSimulator::new(
+                r.clone(),
+                Bounce,
+                ObliviousAsync::new(
+                    BernoulliSchedule::new(r.clone(), 0.45, 31).expect("valid p"),
+                ),
+                placements.clone(),
+            )
+            .expect("valid setup")
+        };
+        let mut quiet = make_bernoulli();
+        let mut recorded = make_bernoulli();
+        for _ in 0..300 {
+            quiet.tick_quiet();
+            recorded.tick();
+            assert_eq!(quiet.positions(), recorded.positions());
+            assert_eq!(quiet.phases(), recorded.phases());
+        }
+
+        let make_blocker = || {
+            AsyncSimulator::new(r.clone(), Bounce, MoveBlocker::new(r.clone()), placements.clone())
+                .expect("valid setup")
+        };
+        let mut quiet = make_blocker();
+        let mut recorded = make_blocker();
+        for _ in 0..120 {
+            quiet.tick_quiet();
+            recorded.tick();
+            assert_eq!(quiet.positions(), recorded.positions());
+        }
     }
 
     #[test]

@@ -78,6 +78,26 @@ impl<'a> Observation<'a> {
     }
 }
 
+/// One point presence query answered by [`Dynamics::probe_edges`]: the
+/// engine fills in `edge`, the dynamics fills in `present`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeProbe {
+    /// The queried edge.
+    pub edge: EdgeId,
+    /// The answer: is `edge` present in `G_t`? Written by the dynamics.
+    pub present: bool,
+}
+
+impl EdgeProbe {
+    /// A query for `edge`, not yet answered.
+    pub fn new(edge: EdgeId) -> Self {
+        EdgeProbe {
+            edge,
+            present: false,
+        }
+    }
+}
+
 /// The adversary: chooses the snapshot `G_t` each round, possibly adaptively.
 pub trait Dynamics {
     /// The ring whose edges are being scheduled.
@@ -100,6 +120,32 @@ pub trait Dynamics {
     fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         *out = self.edges_at(obs);
     }
+
+    /// The sparse fast path: answers point presence queries about `G_t`
+    /// without materializing the whole snapshot.
+    ///
+    /// A round of `k` robots only ever reads the ≤ `2k` edges adjacent to
+    /// robot positions, so on the quiet path (no record materialized) the
+    /// engine first offers the round to this method. A dynamics that can
+    /// answer point queries — pure schedules with random access in time —
+    /// fills every query's `present` field, returns `true`, and the O(n)
+    /// snapshot scan is skipped entirely: the per-round cost becomes
+    /// O(robots), independent of ring size.
+    ///
+    /// The contract mirrors [`Dynamics::edges_at_into`]: the engine calls
+    /// **exactly one** of `probe_edges` / `edges_at_into` per round, with
+    /// strictly increasing times, and the answers must agree with what
+    /// `edges_at_into` would have produced for the same observation.
+    ///
+    /// The default returns `false` **without touching queries or state** —
+    /// "unsupported, fall back to `edges_at_into` for this round" — so
+    /// stateful adversaries that need the full snapshot to advance their
+    /// bookkeeping (recurrence repair, recording, the paper's confiners)
+    /// are unaffected. Implementations that return `false` must do the
+    /// same.
+    fn probe_edges(&mut self, _obs: &Observation<'_>, _queries: &mut [EdgeProbe]) -> bool {
+        false
+    }
 }
 
 impl<D: Dynamics + ?Sized> Dynamics for &mut D {
@@ -114,6 +160,10 @@ impl<D: Dynamics + ?Sized> Dynamics for &mut D {
     fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         (**self).edges_at_into(obs, out);
     }
+
+    fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        (**self).probe_edges(obs, queries)
+    }
 }
 
 impl<D: Dynamics + ?Sized> Dynamics for Box<D> {
@@ -127,6 +177,10 @@ impl<D: Dynamics + ?Sized> Dynamics for Box<D> {
 
     fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         (**self).edges_at_into(obs, out);
+    }
+
+    fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        (**self).probe_edges(obs, queries)
     }
 }
 
@@ -165,6 +219,16 @@ impl<S: EdgeSchedule> Dynamics for Oblivious<S> {
 
     fn edges_at_into(&mut self, obs: &Observation<'_>, out: &mut EdgeSet) {
         self.schedule.edges_at_into(obs.time(), out);
+    }
+
+    /// Pure schedules have random access in time, so every point query is
+    /// one [`EdgeSchedule::is_present`] call — the canonical sparse path.
+    fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
+        let t = obs.time();
+        for q in queries.iter_mut() {
+            q.present = self.schedule.is_present(q.edge, t);
+        }
+        true
     }
 }
 
@@ -219,6 +283,10 @@ impl<D: Dynamics> Recurrent<D> {
     }
 }
 
+// `Recurrent` keeps the refusing `probe_edges` default on purpose: its
+// per-edge absence-run bookkeeping must observe the *full* snapshot every
+// round, so sparse probing is not legal for it (same for `Capturing`,
+// which records whole frames).
 impl<D: Dynamics> Dynamics for Recurrent<D> {
     fn ring(&self) -> &RingTopology {
         self.inner.ring()
@@ -440,6 +508,47 @@ mod tests {
         for t in 0..5u64 {
             assert!(script.edges_at(t).is_full());
         }
+    }
+
+    #[test]
+    fn oblivious_probe_answers_match_the_snapshot() {
+        let mut g = AbsenceIntervals::new(ring(5));
+        g.remove_during(EdgeId::new(1), 2, 6);
+        g.remove_from(EdgeId::new(3), 4);
+        let mut dyns = Oblivious::new(g);
+        let r = ring(5);
+        let robots: Vec<RobotSnapshot> = Vec::new();
+        for t in 0..10u64 {
+            let obs = Observation::new(t, &r, &robots);
+            let snapshot = dyns.edges_at(&obs);
+            let mut queries: Vec<EdgeProbe> = r.edges().map(EdgeProbe::new).collect();
+            assert!(dyns.probe_edges(&obs, &mut queries));
+            for q in &queries {
+                assert_eq!(q.present, snapshot.contains(q.edge), "t={t} e={}", q.edge);
+            }
+        }
+    }
+
+    #[test]
+    fn recurrent_and_capturing_refuse_probes() {
+        // Full-set bookkeeping (absence runs, recorded frames) makes the
+        // sparse path illegal for these wrappers: they must decline without
+        // touching the queries.
+        let r = ring(3);
+        let robots: Vec<RobotSnapshot> = Vec::new();
+        let obs = Observation::new(0, &r, &robots);
+        let mut queries = vec![EdgeProbe::new(EdgeId::new(0))];
+        let untouched = queries.clone();
+
+        let inner = Oblivious::new(AlwaysPresent::new(r.clone()));
+        let mut recurrent = Recurrent::new(inner.clone(), 4, None);
+        assert!(!recurrent.probe_edges(&obs, &mut queries));
+        assert_eq!(queries, untouched);
+
+        let mut capturing = Capturing::new(inner);
+        assert!(!capturing.probe_edges(&obs, &mut queries));
+        assert_eq!(queries, untouched);
+        assert!(capturing.frames().is_empty());
     }
 
     #[test]

@@ -75,7 +75,7 @@ mod view;
 
 pub use algorithm::Algorithm;
 pub use direction::{Chirality, LocalDir};
-pub use dynamics::{AdaptiveFn, Capturing, Dynamics, Oblivious, Observation, Recurrent};
+pub use dynamics::{AdaptiveFn, Capturing, Dynamics, EdgeProbe, Oblivious, Observation, Recurrent};
 pub use error::EngineError;
 pub use robot::{RobotId, RobotPlacement, RobotSnapshot};
 pub use simulator::Simulator;

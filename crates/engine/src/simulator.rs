@@ -3,8 +3,8 @@
 use dynring_graph::{GlobalDir, NodeId, RingTopology, Time};
 
 use crate::{
-    ActivationPolicy, Algorithm, Dynamics, EngineError, ExecutionTrace, FullActivation, LocalDir,
-    Observation, RobotId, RobotPlacement, RobotRound, RobotSnapshot, RoundRecord, View,
+    ActivationPolicy, Algorithm, Dynamics, EdgeProbe, EngineError, ExecutionTrace, FullActivation,
+    LocalDir, Observation, RobotId, RobotPlacement, RobotRound, RobotSnapshot, RoundRecord, View,
 };
 
 /// One robot's live data inside the simulator.
@@ -41,6 +41,7 @@ pub struct Simulator<A: Algorithm, D> {
     edge_buf: dynring_graph::EdgeSet,
     occupancy_buf: Vec<usize>,
     active_buf: Vec<bool>,
+    probe_buf: Vec<EdgeProbe>,
 }
 
 impl<A: Algorithm, D: std::fmt::Debug> std::fmt::Display for Simulator<A, D> {
@@ -150,6 +151,7 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             edge_buf,
             occupancy_buf,
             active_buf: Vec::new(),
+            probe_buf: Vec::new(),
         })
     }
 
@@ -242,6 +244,14 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
     /// using the persistent scratch buffers. When `rows` is `Some`, the
     /// per-robot records are pushed into it (the recording path); when
     /// `None`, nothing is materialized (the quiet path).
+    ///
+    /// On the quiet path the round only ever reads the ≤ 2 edges adjacent
+    /// to each robot, so the snapshot is first offered to
+    /// [`Dynamics::probe_edges`] as O(robots) point queries; only when the
+    /// dynamics declines (adaptive full-set adversaries, recorders) does
+    /// the O(n) [`Dynamics::edges_at_into`] scan run. The recording path
+    /// always materializes the full snapshot — the [`RoundRecord`] needs
+    /// it.
     fn step_impl(&mut self, mut rows: Option<&mut Vec<RobotRound>>) {
         let t = self.time;
         // The adversary chooses G_t after observing γ_t.
@@ -253,7 +263,22 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             dir: r.dir,
             moved_last_round: r.moved_last_round,
         }));
-        {
+        let mut probed = false;
+        if rows.is_none() {
+            // Sparse fast path: queries 2·k — robot i's (left, right) pair
+            // at probe_buf[2i], probe_buf[2i + 1].
+            self.probe_buf.clear();
+            for r in &self.snap_buf {
+                for dir in [LocalDir::Left, LocalDir::Right] {
+                    self.probe_buf.push(EdgeProbe::new(
+                        self.ring.edge_towards(r.node, r.chirality.to_global(dir)),
+                    ));
+                }
+            }
+            let obs = Observation::new(t, &self.ring, &self.snap_buf);
+            probed = self.dynamics.probe_edges(&obs, &mut self.probe_buf);
+        }
+        if !probed {
             let obs = Observation::new(t, &self.ring, &self.snap_buf);
             self.dynamics.edges_at_into(&obs, &mut self.edge_buf);
         }
@@ -276,20 +301,34 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             let activated = all_active || self.active_buf.get(i).copied().unwrap_or(false);
             let (dir_after, moved, node_after) = if activated {
                 // Look.
-                let edge_left = edges
-                    .contains(self.ring.edge_towards(robot.node, robot.chirality.to_global(LocalDir::Left)));
-                let edge_right = edges
-                    .contains(self.ring.edge_towards(robot.node, robot.chirality.to_global(LocalDir::Right)));
+                let (edge_left, edge_right) = if probed {
+                    (self.probe_buf[2 * i].present, self.probe_buf[2 * i + 1].present)
+                } else {
+                    (
+                        edges.contains(
+                            self.ring
+                                .edge_towards(robot.node, robot.chirality.to_global(LocalDir::Left)),
+                        ),
+                        edges.contains(
+                            self.ring
+                                .edge_towards(robot.node, robot.chirality.to_global(LocalDir::Right)),
+                        ),
+                    )
+                };
                 let others = self.occupancy_buf[robot.node.index()] > 1;
                 let view = View::new(robot.dir, edge_left, edge_right, others);
                 // Compute.
                 let dir_after = self.algorithm.compute(&mut robot.state, &view);
                 robot.dir = dir_after;
                 // Move: cross the pointed edge iff present in the same
-                // snapshot.
-                let global_after = robot.chirality.to_global(dir_after);
-                let pointed = self.ring.edge_towards(robot.node, global_after);
-                if edges.contains(pointed) {
+                // snapshot. The pointed edge is the adjacent edge in the
+                // computed direction — exactly one of the two Look queries.
+                let pointed_present = match dir_after {
+                    LocalDir::Left => edge_left,
+                    LocalDir::Right => edge_right,
+                };
+                if pointed_present {
+                    let global_after = robot.chirality.to_global(dir_after);
                     let dest = self.ring.neighbor(robot.node, global_after);
                     robot.node = dest;
                     robot.moved_last_round = true;
@@ -709,6 +748,94 @@ mod tests {
         sim.run(5);
         // Five ccw hops on a 2-ring: ends at v1.
         assert_eq!(sim.positions(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn quiet_probe_path_matches_recorded_path_on_stochastic_dynamics() {
+        // The quiet path answers rounds through Dynamics::probe_edges (O(k)
+        // point queries); the recorded path materializes full snapshots.
+        // Both must advance positions, directions and time identically.
+        use dynring_graph::BernoulliSchedule;
+
+        #[derive(Debug, Clone)]
+        struct Bounce;
+
+        impl Algorithm for Bounce {
+            type State = u32;
+
+            fn name(&self) -> &str {
+                "bounce"
+            }
+
+            fn initial_state(&self) -> u32 {
+                0
+            }
+
+            fn compute(&self, state: &mut u32, view: &View) -> LocalDir {
+                *state += 1;
+                if view.exists_edge_ahead() {
+                    view.dir()
+                } else {
+                    view.dir().opposite()
+                }
+            }
+        }
+
+        let r = ring(17);
+        let make = || {
+            let schedule = BernoulliSchedule::new(r.clone(), 0.4, 0xBEEF).expect("valid p");
+            Simulator::new(
+                r.clone(),
+                Bounce,
+                Oblivious::new(schedule),
+                vec![
+                    RobotPlacement::at(NodeId::new(0)),
+                    RobotPlacement::at(NodeId::new(5)).with_dir(LocalDir::Right),
+                    RobotPlacement::at(NodeId::new(11)).with_chirality(Chirality::Mirrored),
+                ],
+            )
+            .expect("valid setup")
+        };
+        let mut quiet = make();
+        let mut recorded = make();
+        for _ in 0..400 {
+            quiet.step_quiet();
+            recorded.step();
+            assert_eq!(quiet.positions(), recorded.positions());
+        }
+        for id in 0..3 {
+            assert_eq!(
+                quiet.state_of(RobotId::new(id)),
+                recorded.state_of(RobotId::new(id))
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_path_falls_back_when_dynamics_refuses_probes() {
+        // Recurrent needs the full snapshot every round; the quiet path
+        // must fall back to edges_at_into and stay equivalent.
+        use crate::Recurrent;
+        use dynring_graph::BernoulliSchedule;
+
+        let r = ring(9);
+        let make = || {
+            let schedule = BernoulliSchedule::new(r.clone(), 0.2, 7).expect("valid p");
+            Simulator::new(
+                r.clone(),
+                KeepDir,
+                Recurrent::new(Oblivious::new(schedule), 5, None),
+                vec![RobotPlacement::at(NodeId::new(2))],
+            )
+            .expect("valid setup")
+        };
+        let mut quiet = make();
+        let mut recorded = make();
+        for _ in 0..200 {
+            quiet.step_quiet();
+            recorded.step();
+            assert_eq!(quiet.positions(), recorded.positions());
+        }
     }
 
     #[test]

@@ -186,6 +186,72 @@ impl EdgeSet {
         self.universe = other.universe;
     }
 
+    /// Number of 64-bit words backing the set (`universe.div_ceil(64)`).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The backing words, edge `i` at bit `i % 64` of word `i / 64`.
+    ///
+    /// The masked-tail invariant holds: bits at positions `>= universe()`
+    /// in the last word are always zero, so word-level consumers can use
+    /// `count_ones`, equality, etc. without re-masking.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites word `index` — the memberships of edges
+    /// `[64 * index, 64 * index + 64)` — in one store. Bits beyond the
+    /// universe are masked off, preserving the canonical-tail invariant
+    /// that `Eq`/`Hash` rely on.
+    ///
+    /// This is the word-parallel fill entry point: samplers that decide 64
+    /// edges at a time write whole words instead of 64 `insert` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.word_count()`.
+    pub fn set_word(&mut self, index: usize, bits: u64) {
+        assert!(
+            index < self.words.len(),
+            "word {index} outside universe of {} edges",
+            self.universe()
+        );
+        self.words[index] = bits & self.word_mask(index);
+    }
+
+    /// Builds a set over `universe` edges directly from backing words
+    /// (edge `i` present iff bit `i % 64` of `words[i / 64]` is set).
+    /// Tail bits beyond the universe are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `words.len() == universe.div_ceil(64)`.
+    pub fn from_words(universe: usize, words: &[u64]) -> Self {
+        let mut set = EdgeSet::empty(universe);
+        assert_eq!(
+            words.len(),
+            set.words.len(),
+            "universe of {universe} edges needs {} words",
+            set.words.len()
+        );
+        for (index, &bits) in words.iter().enumerate() {
+            set.set_word(index, bits);
+        }
+        set
+    }
+
+    /// The mask of meaningful bits in word `index` (all-ones except for a
+    /// partial last word).
+    fn word_mask(&self, index: usize) -> u64 {
+        let bits = self.universe();
+        if (index + 1) * WORD_BITS <= bits {
+            u64::MAX
+        } else {
+            (1u64 << (bits - index * WORD_BITS)) - 1
+        }
+    }
+
     /// In-place complement within the universe.
     pub fn complement_in_place(&mut self) {
         for w in &mut self.words {
@@ -517,6 +583,50 @@ mod tests {
     fn display_renders_bits() {
         let set = EdgeSet::from_indices(4, [0, 2]);
         assert_eq!(set.to_string(), "█·█·");
+    }
+
+    #[test]
+    fn word_accessors_round_trip() {
+        let set = EdgeSet::from_indices(70, [0, 63, 64, 69]);
+        assert_eq!(set.word_count(), 2);
+        let words = set.as_words().to_vec();
+        assert_eq!(words[0], (1u64 << 63) | 1);
+        assert_eq!(words[1], (1u64 << 5) | 1);
+        assert_eq!(EdgeSet::from_words(70, &words), set);
+    }
+
+    #[test]
+    fn set_word_masks_the_tail() {
+        // universe 67: only 3 meaningful bits in the last word.
+        let mut set = EdgeSet::empty(67);
+        set.set_word(1, u64::MAX);
+        assert_eq!(set.as_words()[1], 0b111);
+        assert_eq!(set.len(), 3);
+        // Masking keeps equality canonical against a bit-level build.
+        assert_eq!(set, EdgeSet::from_indices(67, [64, 65, 66]));
+        set.set_word(0, u64::MAX);
+        assert!(set.is_full());
+    }
+
+    #[test]
+    fn from_words_masks_the_tail() {
+        let set = EdgeSet::from_words(3, &[u64::MAX]);
+        assert!(set.is_full());
+        assert_eq!(set.as_words()[0], 0b111);
+        assert_eq!(set, EdgeSet::full(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn set_word_panics_out_of_range() {
+        let mut set = EdgeSet::empty(64);
+        set.set_word(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2 words")]
+    fn from_words_panics_on_wrong_length() {
+        let _ = EdgeSet::from_words(65, &[0]);
     }
 
     #[test]

@@ -196,8 +196,23 @@ pub trait EdgeSchedule {
     /// # Panics
     ///
     /// Implementations may panic when `edge` is not an edge of
-    /// [`EdgeSchedule::ring`].
+    /// [`EdgeSchedule::ring`] (hot-path implementations downgrade the
+    /// check to a debug assertion; use [`EdgeSchedule::try_is_present`]
+    /// when validity is not guaranteed).
     fn is_present(&self, edge: EdgeId, t: Time) -> bool;
+
+    /// Fallible presence query: returns [`GraphError::EdgeOutOfRange`]
+    /// instead of panicking on a foreign edge, so callers that cannot
+    /// guarantee validity keep the error-handling path.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] when `edge` is not an edge of
+    /// [`EdgeSchedule::ring`].
+    fn try_is_present(&self, edge: EdgeId, t: Time) -> Result<bool, GraphError> {
+        self.ring().check_edge(edge)?;
+        Ok(self.is_present(edge, t))
+    }
 
     /// The snapshot `E_t`: every edge present at time `t`.
     fn edges_at(&self, t: Time) -> EdgeSet {
@@ -244,6 +259,10 @@ impl<S: EdgeSchedule + ?Sized> EdgeSchedule for &S {
         (**self).is_present(edge, t)
     }
 
+    fn try_is_present(&self, edge: EdgeId, t: Time) -> Result<bool, GraphError> {
+        (**self).try_is_present(edge, t)
+    }
+
     fn edges_at(&self, t: Time) -> EdgeSet {
         (**self).edges_at(t)
     }
@@ -260,6 +279,10 @@ impl<S: EdgeSchedule + ?Sized> EdgeSchedule for Box<S> {
 
     fn is_present(&self, edge: EdgeId, t: Time) -> bool {
         (**self).is_present(edge, t)
+    }
+
+    fn try_is_present(&self, edge: EdgeId, t: Time) -> Result<bool, GraphError> {
+        (**self).try_is_present(edge, t)
     }
 
     fn edges_at(&self, t: Time) -> EdgeSet {
@@ -768,6 +791,33 @@ impl<S: EdgeSchedule> EdgeSchedule for WithEventualMissing<S> {
 /// the infinite schedule connected-over-time with probability 1; over a
 /// finite horizon, pair it with
 /// [`crate::generators::enforce_recurrence`] for a hard guarantee.
+///
+/// # The word-parallel bit-sliced sampler
+///
+/// Presence bits are drawn 64 edges at a time. `p` is quantized to
+/// `p_k = round(p · 2^K) / 2^K` with `K = 16`
+/// ([`BernoulliSchedule::SLICE_RESOLUTION_BITS`]) and trailing zero bits
+/// of the numerator are stripped, leaving a `k ≤ K`-bit pattern
+/// `b_1 b_2 … b_k` (MSB first). One fresh [`mix64`] word `r_j` is drawn
+/// per `(time, 64-edge word, level j)` and combined LSB-first through the
+/// AND/OR ladder
+///
+/// ```text
+/// acc ← 0;  for j = k … 1:  acc ← if b_j { r_j | acc } else { r_j & acc }
+/// ```
+///
+/// which realizes, in every bit lane simultaneously, the comparison
+/// "k fresh random bits < p_k" — i.e. 64 independent Bernoulli(`p_k`)
+/// draws per level-`k` ladder, at `k` hashes per 64 edges instead of 64.
+/// Common probabilities are cheap: `p = 0.5` needs one hash per word,
+/// `p = 0.75` two. The trade-off is resolution: realized rates are exact
+/// multiples of `2^-16` (error ≤ `2^-17`, far below statistical noise at
+/// any feasible horizon).
+///
+/// This sampler defines the schedule's deterministic stream (changing `K`
+/// would change every snapshot). The pre-word-parallel per-edge stream
+/// survives as [`BernoulliSchedule::reference_is_present`] (crate feature
+/// `reference`, on by default) for distribution-equivalence tests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BernoulliSchedule {
     ring: RingTopology,
@@ -775,7 +825,30 @@ pub struct BernoulliSchedule {
     seed: u64,
 }
 
+/// How a [`BernoulliSchedule`] realizes its probability: degenerate
+/// constants, or an AND/OR ladder over `levels` random words following the
+/// bits of `pattern` (bit `j` of `pattern` is consumed at ladder level
+/// `j`, i.e. LSB first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlicePlan {
+    /// `p` quantizes to 0: no edge is ever present.
+    Never,
+    /// `p` quantizes to 1: every edge is always present.
+    Always,
+    /// The general case: `levels` slice words realize `pattern / 2^levels`.
+    Sliced {
+        /// Numerator of the realized probability (odd, `< 2^levels`).
+        pattern: u64,
+        /// Number of slice words (≤ [`BernoulliSchedule::SLICE_RESOLUTION_BITS`]).
+        levels: u32,
+    },
+}
+
 impl BernoulliSchedule {
+    /// Probability resolution of the bit-sliced sampler: realized rates
+    /// are exact multiples of `2^-SLICE_RESOLUTION_BITS`.
+    pub const SLICE_RESOLUTION_BITS: u32 = 16;
+
     /// Creates Bernoulli dynamics with presence probability `p`.
     ///
     /// # Errors
@@ -802,12 +875,109 @@ impl BernoulliSchedule {
         self.seed
     }
 
-    /// The presence decision without the edge-validity check (hot path).
+    /// Number of hash draws the sampler spends per 64-edge word (0 for
+    /// the degenerate probabilities) — the cost side of the
+    /// precision/cost trade-off.
+    pub fn slice_levels(&self) -> u32 {
+        match self.slice_plan() {
+            SlicePlan::Never | SlicePlan::Always => 0,
+            SlicePlan::Sliced { levels, .. } => levels,
+        }
+    }
+
+    /// Quantizes `p` to the sampling plan. Cheap enough to recompute per
+    /// call, which keeps the struct free of derived fields (and the serde
+    /// representation unchanged).
+    fn slice_plan(&self) -> SlicePlan {
+        let scale = 1u64 << Self::SLICE_RESOLUTION_BITS;
+        let scaled = (self.presence_probability * scale as f64).round() as u64;
+        if scaled == 0 {
+            SlicePlan::Never
+        } else if scaled >= scale {
+            SlicePlan::Always
+        } else {
+            let strip = scaled.trailing_zeros();
+            SlicePlan::Sliced {
+                pattern: scaled >> strip,
+                levels: Self::SLICE_RESOLUTION_BITS - strip,
+            }
+        }
+    }
+
+    /// One fresh random word per `(seed, t, 64-edge word, ladder level)`.
+    fn slice_word(&self, t: Time, word: usize, level: u32) -> u64 {
+        let lane = ((word as u64) << 32) | u64::from(level);
+        mix64(mix64(self.seed ^ mix64(t)) ^ lane)
+    }
+
+    /// Samples the presence bits of edges `[64·word, 64·word + 64)` at
+    /// time `t` in one AND/OR ladder pass.
+    fn sample_word(&self, plan: SlicePlan, t: Time, word: usize) -> u64 {
+        match plan {
+            SlicePlan::Never => 0,
+            SlicePlan::Always => u64::MAX,
+            SlicePlan::Sliced { pattern, levels } => {
+                let mut acc = 0u64;
+                for level in 0..levels {
+                    let r = self.slice_word(t, word, level);
+                    acc = if (pattern >> level) & 1 == 1 {
+                        r | acc
+                    } else {
+                        r & acc
+                    };
+                }
+                acc
+            }
+        }
+    }
+
+    /// The presence decision without the edge-validity check (hot path):
+    /// the edge's lane of its word's ladder.
     fn present_unchecked(&self, edge: EdgeId, t: Time) -> bool {
+        let i = edge.index();
+        (self.sample_word(self.slice_plan(), t, i / 64) >> (i % 64)) & 1 == 1
+    }
+}
+
+/// The reference per-edge sampler: the exact pre-word-parallel stream,
+/// kept for distribution-equivalence tests (gated behind the `reference`
+/// feature, which is on by default).
+#[cfg(any(test, feature = "reference"))]
+impl BernoulliSchedule {
+    /// The exact integer threshold equivalent of the historical f64
+    /// compare: for **every** 64-bit hash `h`,
+    /// `h < threshold  ⇔  ((h >> 11) as f64 / 2^53) < p`.
+    ///
+    /// `None` encodes "always present" (`p = 1`, whose threshold `2^64`
+    /// does not fit in a `u64`). The equivalence holds because the f64
+    /// compare only reads `h >> 11` (an exactly representable 53-bit
+    /// integer), `p · 2^53` is exact (scaling by a power of two), and
+    /// `m < p · 2^53  ⇔  m < ceil(p · 2^53)` for integer `m`.
+    pub fn reference_threshold(p: f64) -> Option<u64> {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let t53 = (p * (1u64 << 53) as f64).ceil() as u64;
+        if t53 >= 1u64 << 53 {
+            None
+        } else {
+            Some(t53 << 11)
+        }
+    }
+
+    /// Presence under the reference (pre-PR-2) per-edge stream: one
+    /// `mix64` per `(edge, t)`, compared against the integer threshold.
+    /// Statistically equivalent to the word-parallel stream (both are
+    /// Bernoulli(≈`p`)) but bit-for-bit different.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is not an edge of the ring.
+    pub fn reference_is_present(&self, edge: EdgeId, t: Time) -> bool {
+        self.ring.check_edge(edge).unwrap_or_else(|e| panic!("{e}"));
         let h = mix64(self.seed ^ mix64((edge.raw() as u64) << 32 ^ t));
-        // Map the hash to [0, 1) and compare against p.
-        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.presence_probability
+        match Self::reference_threshold(self.presence_probability) {
+            None => true,
+            Some(threshold) => h < threshold,
+        }
     }
 }
 
@@ -824,19 +994,26 @@ impl EdgeSchedule for BernoulliSchedule {
         &self.ring
     }
 
+    /// # Panics
+    ///
+    /// Only debug builds panic on a foreign edge: this is the sparse-probe
+    /// hot path, so release builds skip the range check. Use
+    /// [`EdgeSchedule::try_is_present`] for the checked,
+    /// [`GraphError`]-returning variant.
     fn is_present(&self, edge: EdgeId, t: Time) -> bool {
-        self.ring
-            .check_edge(edge)
-            .unwrap_or_else(|e| panic!("{e}"));
+        debug_assert!(
+            self.ring.check_edge(edge).is_ok(),
+            "edge {edge} outside ring with {} edges",
+            self.ring.edge_count()
+        );
         self.present_unchecked(edge, t)
     }
 
     fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
         out.reset(self.ring.edge_count());
-        for e in self.ring.edges() {
-            if self.present_unchecked(e, t) {
-                out.insert(e);
-            }
+        let plan = self.slice_plan();
+        for word in 0..out.word_count() {
+            out.set_word(word, self.sample_word(plan, t, word));
         }
     }
 }
@@ -1023,6 +1200,12 @@ mod tests {
         assert_eq!(g.missing_from(), 5);
     }
 
+    // NOTE: PR 2 replaced the per-edge f64 Bernoulli stream with the
+    // word-parallel bit-sliced sampler, which defines a *new* deterministic
+    // stream. The Bernoulli tests below assert stream-independent
+    // properties (determinism, seed sensitivity, extremes, rate) and were
+    // re-validated against the new stream; nothing here pins exact
+    // snapshots of the old one.
     #[test]
     fn bernoulli_is_deterministic_and_seed_sensitive() {
         let a = BernoulliSchedule::new(ring(6), 0.5, 42).expect("valid p");
@@ -1059,6 +1242,125 @@ mod tests {
         let total: usize = (0..1000).map(|t| g.edges_at(t).len()).sum();
         let rate = total as f64 / (1000.0 * 10.0);
         assert!((rate - 0.7).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn slice_plan_cost_follows_probability_resolution() {
+        let levels = |p: f64| {
+            BernoulliSchedule::new(ring(3), p, 0)
+                .expect("valid p")
+                .slice_levels()
+        };
+        // p = 1/2 costs one hash per 64-edge word, p = 3/4 two, and the
+        // degenerate probabilities none.
+        assert_eq!(levels(0.5), 1);
+        assert_eq!(levels(0.75), 2);
+        assert_eq!(levels(0.0), 0);
+        assert_eq!(levels(1.0), 0);
+        // Arbitrary probabilities cap out at the quantization resolution.
+        assert!(levels(0.1) <= BernoulliSchedule::SLICE_RESOLUTION_BITS);
+        assert!(levels(0.33) <= BernoulliSchedule::SLICE_RESOLUTION_BITS);
+    }
+
+    #[test]
+    fn bernoulli_word_fill_matches_point_queries() {
+        // The acceptance contract of the sparse probe path: `is_present`
+        // and `edges_at_into` are two views of one stream.
+        for p in [0.1, 0.37, 0.5, 0.9] {
+            let g = BernoulliSchedule::new(ring(130), p, 99).expect("valid p");
+            for t in 0..50 {
+                let set = g.edges_at(t);
+                for e in g.ring().edges() {
+                    assert_eq!(set.contains(e), g.is_present(e, t), "p={p} t={t} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_threshold_matches_f64_compare_exactly() {
+        // The historical compare mapped h to (h >> 11) / 2^53; its decision
+        // can only flip at 2^11-aligned hash values. Sweep every alignment
+        // in a window around each probability's threshold (with low bits 0,
+        // 1 and all-ones) plus a pseudo-random sample of the full range.
+        let old = |h: u64, p: f64| ((h >> 11) as f64 / (1u64 << 53) as f64) < p;
+        let new = |h: u64, p: f64| match BernoulliSchedule::reference_threshold(p) {
+            None => true,
+            Some(threshold) => h < threshold,
+        };
+        #[allow(clippy::approx_constant)]
+        let ps = [
+            0.0,
+            1e-17,
+            f64::EPSILON,
+            0.1,
+            0.25,
+            1.0 / 3.0,
+            0.5,
+            0.7,
+            0.9,
+            0.999_999,
+            1.0 - f64::EPSILON / 2.0,
+            1.0,
+        ];
+        for &p in &ps {
+            let t53 = (p * (1u64 << 53) as f64).ceil() as u64;
+            let lo = t53.saturating_sub(64);
+            let hi = (t53 + 64).min(1u64 << 53);
+            for m in lo..hi {
+                for h in [m << 11, (m << 11) | 1, (m << 11) | 0x7ff] {
+                    assert_eq!(new(h, p), old(h, p), "p={p} h={h:#018x}");
+                }
+            }
+            let mut state = 0x1234_5678_9abc_def0u64;
+            for _ in 0..4096 {
+                state = mix64(state);
+                assert_eq!(new(state, p), old(state, p), "p={p} h={state:#018x}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_and_reference_streams_share_the_rate() {
+        // Distribution equivalence: the bit-sliced stream and the reference
+        // per-edge stream are different bit sequences drawn from the same
+        // Bernoulli(p) distribution.
+        for p in [0.1, 0.5, 0.9] {
+            let g = BernoulliSchedule::new(ring(64), p, 2024).expect("valid p");
+            let horizon = 400u64;
+            let mut word_hits = 0usize;
+            let mut reference_hits = 0usize;
+            for t in 0..horizon {
+                for e in g.ring().edges() {
+                    word_hits += usize::from(g.is_present(e, t));
+                    reference_hits += usize::from(g.reference_is_present(e, t));
+                }
+            }
+            let samples = (64 * horizon) as f64;
+            let sigma = (p * (1.0 - p) / samples).sqrt();
+            let quantization = 1.0 / (1u64 << 17) as f64;
+            for (label, hits) in [("word", word_hits), ("reference", reference_hits)] {
+                let rate = hits as f64 / samples;
+                assert!(
+                    (rate - p).abs() < 4.5 * sigma + quantization,
+                    "{label} rate {rate} too far from {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_is_present_reports_foreign_edges() {
+        let g = BernoulliSchedule::new(ring(4), 0.5, 1).expect("valid p");
+        assert!(matches!(
+            g.try_is_present(EdgeId::new(9), 0),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+        assert!(g.try_is_present(EdgeId::new(2), 3).is_ok());
+        // The trait default covers every schedule type.
+        let s = AlwaysPresent::new(ring(4));
+        assert_eq!(s.try_is_present(EdgeId::new(1), 0), Ok(true));
+        assert!(s.try_is_present(EdgeId::new(4), 0).is_err());
     }
 
     #[test]

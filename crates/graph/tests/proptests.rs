@@ -296,12 +296,21 @@ proptest! {
             .collect();
 
         // One scratch set reused across all schedules and probes: `reset`
-        // must re-target it correctly every time.
+        // must re-target it correctly every time. The snapshot must also
+        // agree with a per-edge `is_present` loop — the contract the
+        // engine's sparse probe path relies on.
         let mut buf = EdgeSet::empty(stale_universe);
         let mut check = |schedule: &dyn EdgeSchedule| {
             for &t in &probes {
                 schedule.edges_at_into(t, &mut buf);
                 prop_assert_eq!(&buf, &schedule.edges_at(t), "t = {}", t);
+                for e in schedule.ring().edges() {
+                    prop_assert_eq!(
+                        buf.contains(e),
+                        schedule.is_present(e, t),
+                        "edge {} at t = {}", e, t
+                    );
+                }
             }
             Ok(())
         };
@@ -334,5 +343,94 @@ proptest! {
             EdgeId::new((seed >> 16) as usize % n),
             17,
         ))?;
+    }
+
+    /// Word-level `EdgeSet` fills agree with bit-level `insert` loops
+    /// (and `as_words` round-trips through `from_words`), across word
+    /// boundaries and partial tail words.
+    #[test]
+    fn word_fills_agree_with_bit_inserts(
+        universe in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let words_needed = universe.div_ceil(64);
+        // A deterministic word stream from the seed.
+        let mut state = seed;
+        let mut words = Vec::with_capacity(words_needed);
+        for _ in 0..words_needed {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            words.push(state);
+        }
+
+        let mut bit_level = EdgeSet::empty(universe);
+        for i in 0..universe {
+            if (words[i / 64] >> (i % 64)) & 1 == 1 {
+                bit_level.insert(EdgeId::new(i));
+            }
+        }
+
+        let from_words = EdgeSet::from_words(universe, &words);
+        prop_assert_eq!(&from_words, &bit_level);
+
+        let mut via_set_word = EdgeSet::empty(universe);
+        for (index, &w) in words.iter().enumerate() {
+            via_set_word.set_word(index, w);
+        }
+        prop_assert_eq!(&via_set_word, &bit_level);
+
+        // The masked-tail invariant: round-tripping through raw words is
+        // lossless and tail bits are zero.
+        prop_assert_eq!(EdgeSet::from_words(universe, via_set_word.as_words()), bit_level);
+        let tail_bits = universe % 64;
+        if tail_bits != 0 {
+            let last = *via_set_word.as_words().last().expect("non-empty");
+            prop_assert_eq!(last >> tail_bits, 0, "tail bits must be masked");
+        }
+    }
+
+    /// Distribution equivalence of the samplers: across seeds, both the
+    /// word-parallel bit-sliced stream and the per-edge reference stream
+    /// hit rate p within a chi-square tolerance (one-cell χ² against the
+    /// binomial, critical value 20.25 ≈ |z| < 4.5, tail mass ~7·10⁻⁶ per
+    /// sample), for p ∈ {0.1, 0.5, 0.9}.
+    #[test]
+    fn bit_sliced_sampling_rate_passes_chi_square(
+        seed in any::<u64>(),
+        p_index in 0usize..3,
+    ) {
+        use dynring_graph::BernoulliSchedule;
+
+        let p = [0.1f64, 0.5, 0.9][p_index];
+        let ring = RingTopology::new(192).expect("valid ring");
+        let schedule = BernoulliSchedule::new(ring.clone(), p, seed).expect("valid p");
+        let horizon = 120u64;
+        let samples = (ring.edge_count() as u64 * horizon) as f64;
+
+        let mut word_hits = 0u64;
+        let mut reference_hits = 0u64;
+        let mut frame = EdgeSet::empty(0);
+        for t in 0..horizon {
+            schedule.edges_at_into(t, &mut frame);
+            word_hits += frame.len() as u64;
+            for e in ring.edges() {
+                reference_hits += u64::from(schedule.reference_is_present(e, t));
+            }
+        }
+
+        // Quantization shifts the word sampler's true rate by ≤ 2^-17;
+        // widen the expected count accordingly before the χ² statistic.
+        let quantization = samples / (1u64 << 17) as f64;
+        for (label, hits) in [("word", word_hits), ("reference", reference_hits)] {
+            let expected = samples * p;
+            let deviation = ((hits as f64 - expected).abs() - quantization).max(0.0);
+            let chi_square = deviation * deviation / (samples * p * (1.0 - p));
+            prop_assert!(
+                chi_square < 20.25,
+                "{} stream: {} hits of {} (p = {}), chi^2 = {}",
+                label, hits, samples, p, chi_square
+            );
+        }
     }
 }

@@ -24,6 +24,11 @@ bench:
 bench-report-quick:
     cargo run --release -- bench-report --quick
 
+# CI gate: quick snapshot + fail if Bernoulli quiet throughput regressed
+# >20% against the committed BENCH_engine.json.
+bench-smoke:
+    cargo run --release -- bench-report --quick --out target/bench-smoke.json --check BENCH_engine.json
+
 # Full-size performance snapshot -> BENCH_engine.json.
 bench-report:
     cargo run --release -- bench-report

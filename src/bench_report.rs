@@ -5,16 +5,24 @@
 //! The snapshot measures:
 //!
 //! - **quiet path** rounds/sec ([`Simulator::run`], no `RoundRecord`
-//!   materialization — the allocation-free fast path);
+//!   materialization — since PR 2 also the *sparse probe* path: pure
+//!   schedules answer O(robots) point queries instead of the O(n) scan);
 //! - **recorded path** rounds/sec ([`Simulator::run_with`], one record per
-//!   round);
+//!   round — always the full-snapshot path);
 //! - **adversary path** rounds/sec (the Theorem 5.1 confiner driven
-//!   through the in-place dynamics API);
+//!   through the in-place/sparse dynamics API);
+//! - **p-sweep**: quiet Bernoulli throughput across presence
+//!   probabilities (the bit-sliced sampler's cost follows p's binary
+//!   expansion);
 //! - **sweep scaling**: a reduced Table 1 grid, serial vs. all-cores
 //!   parallel, with the resulting speedup.
 //!
 //! All workloads are deterministic; only wall-clock timing varies between
 //! machines. Numbers are means over the whole measurement window.
+//!
+//! Schema history: v1/v2 carried the seed-commit baseline; v3 (this PR)
+//! embeds the PR 1 quiet-path numbers as the baseline, adds `psweep`, and
+//! extends the ring sizes to 1024/4096.
 
 use std::time::Instant;
 
@@ -24,13 +32,13 @@ use dynring_adversary::SingleRobotConfiner;
 use dynring_analysis::parallel::available_workers;
 use dynring_analysis::table1::run_table1_with_workers;
 use dynring_analysis::Table1Options;
-use dynring_bench::workloads::{bernoulli_sim, placements, static_sim};
+use dynring_bench::workloads::{bernoulli_sim, bernoulli_sim_p, placements, static_sim};
 use dynring_core::Pef3Plus;
 use dynring_engine::{Dynamics, Simulator};
-use dynring_graph::RingTopology;
+use dynring_graph::{BernoulliSchedule, RingTopology};
 
 /// Schema tag of the emitted JSON.
-pub const SCHEMA: &str = "dynring-bench-engine/v2";
+pub const SCHEMA: &str = "dynring-bench-engine/v3";
 
 /// One measured engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,9 +79,25 @@ pub struct BaselineSample {
     pub ring_size: usize,
     /// Robots `k`.
     pub robots: usize,
-    /// Rounds per second of the seed engine (its only path allocated a
-    /// record per round).
+    /// Quiet-path rounds per second of the PR 1 engine.
     pub rounds_per_sec: f64,
+}
+
+/// One point of the Bernoulli presence-probability sweep (quiet path,
+/// fixed `(n, k)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresenceSweepSample {
+    /// Presence probability `p`.
+    pub p: f64,
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k`.
+    pub robots: usize,
+    /// Slice levels the bit-sliced sampler spends on this `p` (its cost
+    /// per 64-edge word on the full-snapshot path).
+    pub slice_levels: u32,
+    /// Rounds per second on the quiet path.
+    pub quiet_rounds_per_sec: f64,
 }
 
 /// The full snapshot written to `BENCH_engine.json`.
@@ -85,33 +109,33 @@ pub struct BenchReport {
     pub note: String,
     /// Provenance of the baseline block.
     pub baseline_note: String,
-    /// Pre-refactor reference numbers (fixed; measured once at the seed
-    /// commit).
+    /// Pre-refactor reference numbers (fixed; the PR 1 quiet path).
     pub baseline: Vec<BaselineSample>,
     /// Engine throughput samples.
     pub engine: Vec<EngineSample>,
+    /// Bernoulli presence-probability sweep (quiet path).
+    pub psweep: Vec<PresenceSweepSample>,
     /// Sweep scaling sample.
     pub sweep: SweepSample,
 }
 
-/// Reference throughput of the pre-refactor engine: the seed simulator
-/// sources (commit `0276750`) built with this workspace's manifests and
-/// vendored dependency stubs (the seed commit itself carries no Cargo
-/// manifests, so it cannot be built verbatim), 2M rounds, release
-/// profile, the container this PR was developed in. The pre-refactor
-/// engine had a single execution path that built a `RoundRecord` (plus
-/// snapshot/occupancy/edge-set allocations) every round, so these
-/// numbers compare against both of today's paths.
-pub fn seed_baseline() -> Vec<BaselineSample> {
-    let rows: [(&str, usize, usize, f64); 8] = [
-        ("static", 8, 3, 10_518_668.0),
-        ("bernoulli", 8, 3, 4_059_534.0),
-        ("static", 64, 3, 6_193_590.0),
-        ("bernoulli", 64, 3, 924_546.0),
-        ("static", 256, 3, 5_685_382.0),
-        ("bernoulli", 256, 3, 265_484.0),
-        ("static", 64, 16, 2_907_875.0),
-        ("bernoulli", 64, 16, 637_783.0),
+/// Reference throughput of the PR 1 engine (commit `c752028`): the
+/// zero-allocation round engine *before* the word-parallel Bernoulli
+/// sampler and the sparse probe path, quiet-path numbers from the
+/// committed schema-v2 `BENCH_engine.json` (2M rounds, release profile,
+/// same container). The v1/v2 seed-commit baseline is superseded; its
+/// numbers remain in the git history of this file.
+pub fn pr1_baseline() -> Vec<BaselineSample> {
+    let rows: [(&str, usize, usize, f64); 9] = [
+        ("static", 8, 3, 26_763_503.0),
+        ("bernoulli", 8, 3, 5_512_329.0),
+        ("static", 64, 3, 23_245_215.0),
+        ("bernoulli", 64, 3, 1_094_836.0),
+        ("static", 256, 3, 23_047_098.0),
+        ("bernoulli", 256, 3, 285_172.0),
+        ("static", 64, 16, 5_680_410.0),
+        ("bernoulli", 64, 16, 848_688.0),
+        ("confiner", 64, 1, 24_806_906.0),
     ];
     rows.iter()
         .map(|&(workload, ring_size, robots, rounds_per_sec)| BaselineSample {
@@ -123,12 +147,25 @@ pub fn seed_baseline() -> Vec<BaselineSample> {
         .collect()
 }
 
+/// Minimum wall-clock measurement window per sample: quick-mode workloads
+/// finish a single pass in milliseconds, which is noise-dominated, so the
+/// timed pass repeats until the window is filled (this keeps the
+/// `--check` regression gate stable across runs).
+const MIN_MEASURE_SECS: f64 = 0.25;
+
 fn throughput(rounds: u64, mut run: impl FnMut(u64)) -> f64 {
-    // Warm-up pass (also sizes the scratch buffers), then one timed pass.
+    // Warm-up pass (also sizes the scratch buffers), then timed passes.
     run(rounds / 10);
     let start = Instant::now();
-    run(rounds);
-    rounds as f64 / start.elapsed().as_secs_f64()
+    let mut executed = 0u64;
+    loop {
+        run(rounds);
+        executed += rounds;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MIN_MEASURE_SECS || executed >= rounds.saturating_mul(50) {
+            return executed as f64 / elapsed;
+        }
+    }
 }
 
 fn sample_pair<D: Dynamics>(
@@ -158,7 +195,14 @@ fn sample_pair<D: Dynamics>(
 pub fn collect(quick: bool) -> BenchReport {
     let rounds: u64 = if quick { 200_000 } else { 2_000_000 };
     let mut engine = Vec::new();
-    for (n, k) in [(8usize, 3usize), (64, 3), (256, 3), (64, 16)] {
+    for (n, k) in [
+        (8usize, 3usize),
+        (64, 3),
+        (256, 3),
+        (1024, 3),
+        (4096, 3),
+        (64, 16),
+    ] {
         engine.push(sample_pair("static", n, k, rounds, || static_sim(n, k)));
         engine.push(sample_pair("bernoulli", n, k, rounds / 4, || bernoulli_sim(n, k)));
     }
@@ -174,6 +218,28 @@ pub fn collect(quick: bool) -> BenchReport {
             )
             .expect("valid setup")
         }));
+    }
+
+    // Quiet-path p-sweep: the sparse probe cost tracks the bit-sliced
+    // sampler's slice count, which follows p's binary expansion.
+    let mut psweep = Vec::new();
+    {
+        let (n, k) = (256usize, 3usize);
+        let ring = RingTopology::new(n).expect("valid ring");
+        for p in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+            let slice_levels = BernoulliSchedule::new(ring.clone(), p, 0)
+                .expect("valid p")
+                .slice_levels();
+            let mut sim = bernoulli_sim_p(n, k, p);
+            let quiet = throughput(rounds / 4, |r| sim.run(r));
+            psweep.push(PresenceSweepSample {
+                p,
+                ring_size: n,
+                robots: k,
+                slice_levels,
+                quiet_rounds_per_sec: quiet,
+            });
+        }
     }
 
     let opts = Table1Options {
@@ -198,12 +264,14 @@ pub fn collect(quick: bool) -> BenchReport {
             "generated by `dynring bench-report{}`; wall-clock numbers, machine-dependent",
             if quick { " --quick" } else { "" }
         ),
-        baseline_note: "pre-refactor engine: seed sources (commit 0276750) built with this \
-                        workspace's manifests + vendored stubs (the seed commit has no \
-                        manifests of its own); 2M rounds, release profile, same container"
+        baseline_note: "PR 1 engine (commit c752028): zero-allocation round engine before \
+                        the word-parallel Bernoulli sampler and the sparse probe path; \
+                        quiet-path numbers from the committed schema-v2 snapshot (2M \
+                        rounds, release profile, same container)"
             .to_string(),
-        baseline: seed_baseline(),
+        baseline: pr1_baseline(),
         engine,
+        psweep,
         sweep: SweepSample {
             cells,
             workers,
@@ -211,6 +279,101 @@ pub fn collect(quick: bool) -> BenchReport {
             parallel_ms,
             speedup: serial_ms / parallel_ms,
         },
+    }
+}
+
+/// Largest tolerated quiet-throughput drop against a committed snapshot
+/// before [`check_regression`] fails (the CI bench-smoke gate).
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Compares `current` Bernoulli quiet-path throughput against a
+/// `committed` snapshot: every `(bernoulli, n, k)` sample present in both
+/// must reach at least `1 - REGRESSION_TOLERANCE` of the committed
+/// number, **after machine calibration**.
+///
+/// Wall-clock throughput is machine-dependent (the committed snapshot and
+/// a CI runner are different hardware), so raw ratios would gate hardware
+/// rather than code. The calibration factor is the geometric mean of the
+/// static-workload quiet ratios measured in the same run — static rounds
+/// don't touch the code this gate protects, so a uniformly slower/faster
+/// machine cancels out while a Bernoulli-specific slowdown does not.
+///
+/// Returns the per-sample comparison table on success.
+///
+/// # Errors
+///
+/// A human-readable message naming every regressed sample, or the absence
+/// of comparable samples (so a schema drift cannot silently pass).
+pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Result<String, String> {
+    use std::fmt::Write as _;
+
+    let matching = |workload: &str| -> Vec<(&EngineSample, &EngineSample)> {
+        current
+            .engine
+            .iter()
+            .filter(|s| s.workload == workload)
+            .filter_map(|cur| {
+                committed
+                    .engine
+                    .iter()
+                    .find(|b| {
+                        b.workload == cur.workload
+                            && b.ring_size == cur.ring_size
+                            && b.robots == cur.robots
+                    })
+                    .map(|old| (cur, old))
+            })
+            .collect()
+    };
+
+    let static_ratios: Vec<f64> = matching("static")
+        .into_iter()
+        .map(|(cur, old)| cur.quiet_rounds_per_sec / old.quiet_rounds_per_sec)
+        .collect();
+    let calibration = if static_ratios.is_empty() {
+        1.0
+    } else {
+        (static_ratios.iter().map(|r| r.ln()).sum::<f64>() / static_ratios.len() as f64).exp()
+    };
+
+    let mut table = format!("machine calibration (static geomean): {calibration:.2}x\n");
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (cur, old) in matching("bernoulli") {
+        compared += 1;
+        let ratio = cur.quiet_rounds_per_sec / old.quiet_rounds_per_sec / calibration;
+        let _ = writeln!(
+            table,
+            "bernoulli n={:<5} k={:<3} committed {:>14.0} r/s, now {:>14.0} r/s ({:.2}x calibrated)",
+            cur.ring_size, cur.robots, old.quiet_rounds_per_sec, cur.quiet_rounds_per_sec, ratio
+        );
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "bernoulli n={} k={}: {:.0} r/s is {:.0}% of the committed {:.0} r/s \
+                 after {:.2}x machine calibration",
+                cur.ring_size,
+                cur.robots,
+                cur.quiet_rounds_per_sec,
+                ratio * 100.0,
+                old.quiet_rounds_per_sec,
+                calibration
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no comparable bernoulli samples between schemas {} and {}",
+            committed.schema, current.schema
+        ));
+    }
+    if regressions.is_empty() {
+        Ok(table)
+    } else {
+        Err(format!(
+            "Bernoulli quiet throughput regressed more than {:.0}%:\n{}",
+            REGRESSION_TOLERANCE * 100.0,
+            regressions.join("\n")
+        ))
     }
 }
 
@@ -244,6 +407,19 @@ pub fn render(report: &BenchReport) -> String {
             s.recorded_rounds_per_sec,
             s.quiet_rounds_per_sec / s.recorded_rounds_per_sec,
             vs_baseline
+        );
+    }
+    let _ = writeln!(out, "\nbernoulli p-sweep (quiet path):");
+    for s in &report.psweep {
+        let _ = writeln!(
+            out,
+            "  p={:<4} n={:<5} k={:<3} {:>14.0} rounds/s  ({} slice level{})",
+            s.p,
+            s.ring_size,
+            s.robots,
+            s.quiet_rounds_per_sec,
+            s.slice_levels,
+            if s.slice_levels == 1 { "" } else { "s" }
         );
     }
     let _ = writeln!(

@@ -27,7 +27,7 @@ USAGE:
     dynring replay   --file FILE
     dynring sweep-p  [--n N] [--k K] [--horizon H] [--seeds S]
     dynring coverage [--n N] [--k K] [--horizon H] [--seed S]
-    dynring bench-report [--out FILE] [--quick]
+    dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
     dynring --help
 
 `capture` runs a scenario, records the exact snapshot sequence the
@@ -35,8 +35,11 @@ USAGE:
 re-runs the artifact's algorithm on the recorded schedule and verifies the
 stored report bit for bit. `coverage` runs the full algorithm portfolio
 against the benign dynamics suite in parallel. `bench-report` measures the
-round engine (quiet vs recording path) and the parallel sweep layer and
-writes a BENCH_engine.json performance snapshot.
+round engine (quiet vs recording path), the Bernoulli p-sweep and the
+parallel sweep layer and writes a BENCH_engine.json performance snapshot;
+with --check it additionally compares Bernoulli quiet throughput against
+a committed snapshot and fails on a regression of more than 20% (the CI
+bench-smoke gate).
 
 ALGORITHMS (for --algorithm):
     pef3+ (default) | pef2 | pef1 | keep | bounce | turn-on-tower |
@@ -96,6 +99,9 @@ pub enum Command {
         out: String,
         /// Shrink workloads for a CI smoke run.
         quick: bool,
+        /// Committed snapshot to compare Bernoulli quiet throughput
+        /// against; a regression beyond the tolerance fails the command.
+        check: Option<String>,
     },
 }
 
@@ -283,6 +289,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             out: lookup(&pairs, "out").unwrap_or("BENCH_engine.json").to_string(),
             // `--quick` is value-less: split_flags routes it to positional.
             quick: positional.contains(&"--quick"),
+            check: lookup(&pairs, "check").map(str::to_string),
         }),
         "sweep-p" => Ok(Command::SweepPresence {
             n: parse_num(&pairs, "n", 10)?,
@@ -392,7 +399,7 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                 matrix.survival_rate() * 100.0
             );
         }
-        Command::BenchReport { out, quick } => {
+        Command::BenchReport { out, quick, check } => {
             println!(
                 "measuring round engine + sweep layer{}…\n",
                 if quick { " (quick)" } else { "" }
@@ -402,6 +409,27 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
             let json = serde_json::to_string_pretty(&report)?;
             std::fs::write(&out, json + "\n")?;
             println!("snapshot written to {out}");
+            if let Some(snapshot_path) = check {
+                let committed: crate::bench_report::BenchReport =
+                    serde_json::from_str(&std::fs::read_to_string(&snapshot_path)?).map_err(
+                        |e| {
+                            CliError(format!(
+                                "cannot read committed snapshot {snapshot_path}: {e} \
+                                 (older schema? regenerate with `dynring bench-report`)"
+                            ))
+                        },
+                    )?;
+                match crate::bench_report::check_regression(&committed, &report) {
+                    Ok(table) => {
+                        println!("\nregression check against {snapshot_path}: OK");
+                        print!("{table}");
+                    }
+                    Err(message) => {
+                        println!("\nregression check against {snapshot_path}: FAILED");
+                        return Err(Box::new(CliError(message)));
+                    }
+                }
+            }
         }
         Command::SweepPresence { n, k, horizon, seeds } => {
             println!("PEF_3+ cover time vs presence probability (n={n}, k={k})\n");
@@ -531,17 +559,69 @@ mod tests {
             cmd,
             Command::BenchReport {
                 out: "BENCH_engine.json".to_string(),
-                quick: false
+                quick: false,
+                check: None
             }
         );
-        let cmd = parse(&args(&["bench-report", "--quick", "--out", "x.json"])).expect("parses");
+        let cmd = parse(&args(&[
+            "bench-report", "--quick", "--out", "x.json", "--check", "BENCH_engine.json",
+        ]))
+        .expect("parses");
         assert_eq!(
             cmd,
             Command::BenchReport {
                 out: "x.json".to_string(),
-                quick: true
+                quick: true,
+                check: Some("BENCH_engine.json".to_string())
             }
         );
+    }
+
+    #[test]
+    fn regression_check_flags_a_slowdown() {
+        use crate::bench_report::{check_regression, BenchReport, EngineSample, SweepSample};
+
+        let sample = |workload: &str, quiet: f64| EngineSample {
+            workload: workload.to_string(),
+            ring_size: 256,
+            robots: 3,
+            quiet_rounds_per_sec: quiet,
+            recorded_rounds_per_sec: quiet,
+        };
+        let report = |static_quiet: f64, bernoulli_quiet: f64| BenchReport {
+            schema: crate::bench_report::SCHEMA.to_string(),
+            note: String::new(),
+            baseline_note: String::new(),
+            baseline: Vec::new(),
+            engine: vec![
+                sample("static", static_quiet),
+                sample("bernoulli", bernoulli_quiet),
+            ],
+            psweep: Vec::new(),
+            sweep: SweepSample {
+                cells: 0,
+                workers: 1,
+                serial_ms: 1.0,
+                parallel_ms: 1.0,
+                speedup: 1.0,
+            },
+        };
+        let committed = report(1_000_000.0, 1_000_000.0);
+        // Within tolerance (and faster) passes…
+        assert!(check_regression(&committed, &report(1e6, 900_000.0)).is_ok());
+        assert!(check_regression(&committed, &report(1e6, 5_000_000.0)).is_ok());
+        // …a Bernoulli-specific >20% drop fails…
+        assert!(check_regression(&committed, &report(1e6, 700_000.0)).is_err());
+        // …a uniformly slower machine is calibrated out (both workloads at
+        // 40%: hardware, not a code regression)…
+        assert!(check_regression(&committed, &report(400_000.0, 400_000.0)).is_ok());
+        // …while the same Bernoulli drop on that slower machine still
+        // fails (static at 40%, bernoulli at 40% · 70%).
+        assert!(check_regression(&committed, &report(400_000.0, 280_000.0)).is_err());
+        // Zero comparable samples is an error, not a silent pass.
+        let mut alien = report(1e6, 1e6);
+        alien.engine.clear();
+        assert!(check_regression(&committed, &alien).is_err());
     }
 
     #[test]
