@@ -9,6 +9,8 @@
 //!   dynamics suite (including the proof adversaries);
 //! - [`table1`] — the end-to-end Table 1 reproduction;
 //! - [`grid`] — parameter sweeps (cover time vs `n`, `k`, dynamicity);
+//! - [`monte_carlo`] — replica sweeps on the 64-lane lockstep engine
+//!   (cover-time histograms, survival rates);
 //! - [`report`] — text / Markdown / CSV rendering;
 //! - [`stats`] — summary statistics.
 //!
@@ -41,6 +43,7 @@ pub mod audit;
 pub mod coverage;
 pub mod grid;
 pub mod invariants;
+pub mod monte_carlo;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
@@ -49,6 +52,7 @@ pub mod table1;
 pub mod verdict;
 
 pub use coverage::VisitLedger;
+pub use monte_carlo::{run_replicas, run_replicas_with, MonteCarloConfig, MonteCarloSummary};
 pub use parallel::{coverage_matrix, run_scenarios_par, run_scenarios_par_with, CoverageMatrix};
 pub use scenario::{
     run_on_schedule, run_scenario, run_scenario_capturing, AlgorithmChoice, DynamicsChoice,

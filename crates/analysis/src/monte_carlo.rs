@@ -1,0 +1,391 @@
+//! Monte Carlo over replica batches: cover-time distributions and
+//! survival rates from the 64-lane lockstep engine.
+//!
+//! One [`BatchSimulator`] round advances 64 independent Bernoulli
+//! replicas; [`run_replicas`] fans *batches* of 64 out over all cores
+//! ([`crate::parallel::par_map`]), so throughput composes: lanes ×
+//! threads. Replica `r` lives in batch `r / 64`, lane `r % 64`; batch `b`
+//! draws from the deterministic stream seeded by `derive_batch_seed(seed,
+//! b)`, so the whole sweep is a pure function of its
+//! [`MonteCarloConfig`] — parallel results are byte-identical to serial
+//! ones, and any single replica can be replayed bit-for-bit on the
+//! serial engine through [`dynring_graph::BernoulliReplicas::lane`].
+
+use serde::{Deserialize, Serialize};
+
+use dynring_core::baselines::{
+    AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection, RandomDirection,
+};
+use dynring_core::{Pef1, Pef2, Pef3Plus};
+use dynring_engine::{BatchAlgorithm, BatchCoverage, BatchSimulator, LANES};
+use dynring_graph::{BernoulliReplicas, RingTopology, Time};
+
+use crate::parallel::{available_workers, par_map};
+use crate::scenario::{AlgorithmChoice, PlacementSpec, Scenario, ScenarioError};
+
+/// A fully specified Monte Carlo sweep: one `(n, k, p)` point, many
+/// Bernoulli replicas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k` (evenly spaced, mixed chirality — the standard sweep
+    /// placement).
+    pub robots: usize,
+    /// Bernoulli presence probability `p`.
+    pub presence_probability: f64,
+    /// Rounds per replica before a lane is declared uncovered.
+    pub horizon: Time,
+    /// Number of replicas (rounded up to whole 64-lane batches
+    /// internally; the summary reports exactly this many).
+    pub replicas: usize,
+    /// Base seed; batch `b` uses the derived stream seed
+    /// `mix(seed, b)`.
+    pub seed: u64,
+    /// The algorithm under test.
+    pub algorithm: AlgorithmChoice,
+}
+
+impl MonteCarloConfig {
+    /// A sweep with the standard defaults (PEF_3+, `p = 0.5`).
+    pub fn new(ring_size: usize, robots: usize, replicas: usize, horizon: Time) -> Self {
+        MonteCarloConfig {
+            ring_size,
+            robots,
+            presence_probability: 0.5,
+            horizon,
+            replicas,
+            seed: 0xDECADE,
+            algorithm: AlgorithmChoice::Pef3Plus,
+        }
+    }
+
+    /// Number of 64-lane batches this sweep runs.
+    pub fn batches(&self) -> usize {
+        self.replicas.div_ceil(LANES)
+    }
+}
+
+/// One bucket of the cover-time histogram: first covers in
+/// `[lower, upper)` rounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound (rounds).
+    pub lower: Time,
+    /// Exclusive upper bound (rounds).
+    pub upper: Time,
+    /// Replicas whose first cover fell in the bucket.
+    pub count: usize,
+}
+
+/// Everything measured by one [`run_replicas`] sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloSummary {
+    /// The configuration that produced this summary.
+    pub config: MonteCarloConfig,
+    /// 64-lane batches executed.
+    pub batches: usize,
+    /// Replicas that completed a first cover within the horizon.
+    pub covered: usize,
+    /// `covered / replicas`.
+    pub survival_rate: f64,
+    /// Mean first-cover round over the covered replicas (0 when none).
+    pub mean_cover_time: f64,
+    /// Minimum first-cover round over the covered replicas.
+    pub min_cover_time: Option<Time>,
+    /// Maximum first-cover round over the covered replicas.
+    pub max_cover_time: Option<Time>,
+    /// First-cover histogram over `[0, horizon)` in
+    /// [`HISTOGRAM_BUCKETS`] equal buckets.
+    pub histogram: Vec<HistogramBucket>,
+}
+
+/// Buckets of the cover-time histogram.
+pub const HISTOGRAM_BUCKETS: usize = 8;
+
+/// SplitMix64 finalizer (the same mixing function as the graph streams),
+/// local so seed derivation is part of this module's stable contract.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The stream seed of batch `batch`: replicas `64·batch .. 64·batch + 64`
+/// are the 64 lanes of `BernoulliReplicas::new(ring, p, this seed)`.
+pub fn derive_batch_seed(base: u64, batch: usize) -> u64 {
+    mix64(base ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Runs one 64-lane batch to its first-cover times (lanes beyond the
+/// replica budget are still simulated — they ride along for free — but
+/// the caller discards them).
+fn run_batch<A: BatchAlgorithm>(
+    algorithm: A,
+    ring: &RingTopology,
+    placements: &[dynring_engine::RobotPlacement],
+    cfg: &MonteCarloConfig,
+    batch: usize,
+) -> [Option<Time>; LANES] {
+    let replicas = BernoulliReplicas::new(
+        ring.clone(),
+        cfg.presence_probability,
+        derive_batch_seed(cfg.seed, batch),
+    )
+    .expect("probability validated by run_replicas");
+    let mut sim = BatchSimulator::new(ring.clone(), algorithm, replicas, placements.to_vec())
+        .expect("setup validated by run_replicas");
+    let mut coverage = BatchCoverage::new(&sim);
+    sim.run_covering(cfg.horizon, &mut coverage);
+    *coverage.first_covers()
+}
+
+fn sweep_with_algorithm<A: BatchAlgorithm + Clone + Sync>(
+    algorithm: A,
+    ring: &RingTopology,
+    placements: &[dynring_engine::RobotPlacement],
+    cfg: &MonteCarloConfig,
+    workers: usize,
+) -> Vec<Option<Time>> {
+    let batches: Vec<usize> = (0..cfg.batches()).collect();
+    let per_batch = par_map(&batches, workers, |&b| {
+        run_batch(algorithm.clone(), ring, placements, cfg, b)
+    });
+    per_batch
+        .into_iter()
+        .flat_map(|firsts| firsts.into_iter())
+        .take(cfg.replicas)
+        .collect()
+}
+
+/// Runs the sweep on all cores. See [`run_replicas_with`].
+///
+/// # Errors
+///
+/// See [`run_replicas_with`].
+pub fn run_replicas(cfg: &MonteCarloConfig) -> Result<MonteCarloSummary, ScenarioError> {
+    run_replicas_with(cfg, available_workers())
+}
+
+/// Runs `cfg.replicas` independent Bernoulli replicas (64 per lockstep
+/// batch, batches fanned over `workers` threads) and summarizes first
+/// covers. Results are byte-identical for every `workers` value.
+///
+/// # Errors
+///
+/// [`ScenarioError`] when the configuration is ill-formed (ring too
+/// small, too many robots, invalid probability, zero replicas —
+/// reported as the underlying graph/engine error).
+pub fn run_replicas_with(
+    cfg: &MonteCarloConfig,
+    workers: usize,
+) -> Result<MonteCarloSummary, ScenarioError> {
+    let ring = RingTopology::new(cfg.ring_size)?;
+    // Validate probability through the stream constructor once.
+    BernoulliReplicas::new(ring.clone(), cfg.presence_probability, cfg.seed)?;
+    let placements = PlacementSpec::EvenlySpaced { count: cfg.robots }.build(cfg.ring_size);
+    if cfg.replicas == 0 {
+        return Err(ScenarioError::NoReplicas);
+    }
+    // Validate ring/placement compatibility once, with the real engine
+    // error, before fanning out.
+    BatchSimulator::new(
+        ring.clone(),
+        Pef3Plus::new(),
+        BernoulliReplicas::new(ring.clone(), cfg.presence_probability, cfg.seed)?,
+        placements.clone(),
+    )?;
+    let firsts = match cfg.algorithm {
+        AlgorithmChoice::Pef3Plus => {
+            sweep_with_algorithm(Pef3Plus::new(), &ring, &placements, cfg, workers)
+        }
+        AlgorithmChoice::Pef2 => sweep_with_algorithm(Pef2::new(), &ring, &placements, cfg, workers),
+        AlgorithmChoice::Pef1 => sweep_with_algorithm(Pef1::new(), &ring, &placements, cfg, workers),
+        AlgorithmChoice::KeepDirection => {
+            sweep_with_algorithm(KeepDirection, &ring, &placements, cfg, workers)
+        }
+        AlgorithmChoice::BounceOnMissingEdge => {
+            sweep_with_algorithm(BounceOnMissingEdge, &ring, &placements, cfg, workers)
+        }
+        AlgorithmChoice::AlwaysTurnOnTower => {
+            sweep_with_algorithm(AlwaysTurnOnTower, &ring, &placements, cfg, workers)
+        }
+        AlgorithmChoice::AlternateDirection => {
+            sweep_with_algorithm(AlternateDirection, &ring, &placements, cfg, workers)
+        }
+        AlgorithmChoice::RandomDirection { seed } => {
+            sweep_with_algorithm(RandomDirection::new(seed), &ring, &placements, cfg, workers)
+        }
+    };
+    Ok(summarize(cfg.clone(), &firsts))
+}
+
+fn summarize(config: MonteCarloConfig, firsts: &[Option<Time>]) -> MonteCarloSummary {
+    let covered: Vec<Time> = firsts.iter().filter_map(|&c| c).collect();
+    let bucket_width = (config.horizon / HISTOGRAM_BUCKETS as Time).max(1);
+    let histogram = (0..HISTOGRAM_BUCKETS)
+        .map(|b| {
+            let lower = b as Time * bucket_width;
+            // The last bucket absorbs the tail up to the horizon; the
+            // max() keeps the [lower, upper) invariant for horizons
+            // shorter than the bucket count.
+            let upper = if b + 1 == HISTOGRAM_BUCKETS {
+                (lower + bucket_width).max(config.horizon.saturating_add(1))
+            } else {
+                (b as Time + 1) * bucket_width
+            };
+            HistogramBucket {
+                lower,
+                upper,
+                count: covered.iter().filter(|&&c| c >= lower && c < upper).count(),
+            }
+        })
+        .collect();
+    let mean_cover_time = if covered.is_empty() {
+        0.0
+    } else {
+        covered.iter().sum::<Time>() as f64 / covered.len() as f64
+    };
+    MonteCarloSummary {
+        batches: config.batches(),
+        covered: covered.len(),
+        survival_rate: covered.len() as f64 / config.replicas as f64,
+        mean_cover_time,
+        min_cover_time: covered.iter().copied().min(),
+        max_cover_time: covered.iter().copied().max(),
+        histogram,
+        config,
+    }
+}
+
+/// The [`Scenario`]-shaped view of a Monte Carlo point (for reports that
+/// want to pass the configuration through existing machinery).
+pub fn as_scenario(cfg: &MonteCarloConfig) -> Scenario {
+    Scenario::new(
+        cfg.ring_size,
+        PlacementSpec::EvenlySpaced { count: cfg.robots },
+        cfg.algorithm,
+        crate::scenario::DynamicsChoice::BernoulliRecurrent {
+            p: cfg.presence_probability,
+            bound: 8,
+        },
+        cfg.horizon,
+    )
+    .with_seed(cfg.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MonteCarloConfig {
+        MonteCarloConfig {
+            ring_size: 8,
+            robots: 3,
+            presence_probability: 0.5,
+            horizon: 400,
+            replicas: 96, // one full batch + a partial one
+            seed: 0xFEED,
+            algorithm: AlgorithmChoice::Pef3Plus,
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let cfg = small_cfg();
+        let serial = run_replicas_with(&cfg, 1).expect("valid config");
+        for workers in [2usize, 4, 8] {
+            let parallel = run_replicas_with(&cfg, workers).expect("valid config");
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+        let json_a = serde_json::to_string(&serial).expect("serialize");
+        let json_b = serde_json::to_string(&run_replicas(&cfg).expect("valid config"))
+            .expect("serialize");
+        assert_eq!(json_a, json_b);
+    }
+
+    #[test]
+    fn pef3_survives_the_standard_point() {
+        let summary = run_replicas(&small_cfg()).expect("valid config");
+        assert_eq!(summary.batches, 2);
+        assert_eq!(summary.covered, summary.config.replicas, "{summary:?}");
+        assert!((summary.survival_rate - 1.0).abs() < f64::EPSILON);
+        assert!(summary.mean_cover_time > 0.0);
+        assert_eq!(
+            summary.histogram.iter().map(|b| b.count).sum::<usize>(),
+            summary.covered
+        );
+    }
+
+    #[test]
+    fn replica_zero_is_the_scenario_seed_stream() {
+        // Replica r of the sweep is reproducible in isolation: batch
+        // r / 64 lane r % 64 — pinned here for batch seed derivation.
+        let cfg = small_cfg();
+        let summary = run_replicas(&cfg).expect("valid config");
+        let ring = RingTopology::new(cfg.ring_size).expect("valid ring");
+        let replicas = BernoulliReplicas::new(
+            ring.clone(),
+            cfg.presence_probability,
+            derive_batch_seed(cfg.seed, 1),
+        )
+        .expect("valid p");
+        let placements = PlacementSpec::EvenlySpaced { count: cfg.robots }.build(cfg.ring_size);
+        let mut sim = BatchSimulator::new(ring, Pef3Plus::new(), replicas, placements)
+            .expect("valid setup");
+        let mut coverage = BatchCoverage::new(&sim);
+        sim.run_covering(cfg.horizon, &mut coverage);
+        // Replica 64 + 5 is batch 1, lane 5.
+        let direct = coverage.first_cover(5);
+        assert!(direct.is_some());
+        // Its first cover contributed to the histogram bucket of summary.
+        let t = direct.expect("covered");
+        assert!(summary
+            .histogram
+            .iter()
+            .any(|b| t >= b.lower && t < b.upper && b.count > 0));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut cfg = small_cfg();
+        cfg.ring_size = 1;
+        assert!(matches!(run_replicas(&cfg), Err(ScenarioError::Graph(_))));
+        let mut cfg = small_cfg();
+        cfg.presence_probability = 1.5;
+        assert!(matches!(run_replicas(&cfg), Err(ScenarioError::Graph(_))));
+        let mut cfg = small_cfg();
+        cfg.robots = 8;
+        assert!(matches!(run_replicas(&cfg), Err(ScenarioError::Engine(_))));
+        let mut cfg = small_cfg();
+        cfg.replicas = 0;
+        assert!(matches!(run_replicas(&cfg), Err(ScenarioError::NoReplicas)));
+    }
+
+    #[test]
+    fn histogram_buckets_stay_ordered_for_tiny_horizons() {
+        // horizon < HISTOGRAM_BUCKETS: bucket width clamps to 1 and the
+        // tail bucket must still satisfy lower < upper.
+        let mut cfg = small_cfg();
+        cfg.horizon = 4;
+        cfg.replicas = 64;
+        let summary = run_replicas(&cfg).expect("valid config");
+        for bucket in &summary.histogram {
+            assert!(bucket.lower < bucket.upper, "{bucket:?}");
+        }
+        assert_eq!(
+            summary.histogram.iter().map(|b| b.count).sum::<usize>(),
+            summary.covered
+        );
+    }
+
+    #[test]
+    fn as_scenario_round_trips_the_point() {
+        let cfg = small_cfg();
+        let scenario = as_scenario(&cfg);
+        assert_eq!(scenario.ring_size, cfg.ring_size);
+        assert_eq!(scenario.seed, cfg.seed);
+        assert_eq!(scenario.horizon, cfg.horizon);
+    }
+}

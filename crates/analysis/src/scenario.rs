@@ -324,6 +324,8 @@ pub enum ScenarioError {
         /// The offending index.
         index: usize,
     },
+    /// A Monte Carlo sweep was asked for zero replicas.
+    NoReplicas,
 }
 
 impl fmt::Display for ScenarioError {
@@ -332,6 +334,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Graph(e) => write!(f, "graph error: {e}"),
             ScenarioError::Engine(e) => write!(f, "engine error: {e}"),
             ScenarioError::BadEdge { index } => write!(f, "invalid edge index {index}"),
+            ScenarioError::NoReplicas => write!(f, "a sweep needs at least one replica"),
         }
     }
 }

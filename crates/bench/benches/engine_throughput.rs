@@ -10,7 +10,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use dynring_bench::workloads::{bernoulli_sim, bernoulli_sim_p, static_sim, BERNOULLI_P, BERNOULLI_SEED};
+use dynring_bench::workloads::{
+    batch_bernoulli_sim, bernoulli_sim, bernoulli_sim_p, serial_lane_sims, static_sim,
+    BERNOULLI_P, BERNOULLI_SEED,
+};
 use dynring_graph::{BernoulliSchedule, EdgeSchedule, RingTopology};
 
 const ROUNDS: u64 = 2_000;
@@ -56,6 +59,46 @@ fn bench_throughput(c: &mut Criterion) {
     for k in [3usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("static_n64", k), &k, |b, &k| {
             b.iter(|| run_static(64, k))
+        });
+    }
+    // The large-team workload (k = 64 on n = 256) pins the per-robot
+    // loop's cost — activation lookups, occupancy maintenance — at scale.
+    {
+        let k = 64usize;
+        group.bench_with_input(BenchmarkId::new("static_n256", k), &k, |b, &k| {
+            b.iter(|| run_static(256, k))
+        });
+        group.bench_with_input(BenchmarkId::new("bernoulli_n256", k), &k, |b, &k| {
+            b.iter(|| run_bernoulli(256, k))
+        });
+    }
+    group.finish();
+
+    // The 64-replica lockstep engine vs 64 serial lane runs: both sides
+    // advance 64 × ROUNDS replica-rounds per iteration, so the reported
+    // per-element times are directly comparable replica-round costs.
+    {
+        // Sanity: lane 0 of the batch equals the first serial lane sim.
+        let mut batch = batch_bernoulli_sim(64, 3, BERNOULLI_P);
+        let mut lanes = serial_lane_sims(64, 3, BERNOULLI_P);
+        batch.run(200);
+        lanes[0].run(200);
+        assert_eq!(batch.positions_of(0), lanes[0].positions());
+    }
+    let mut group = c.benchmark_group("batch_vs_serial_replicas");
+    group.throughput(Throughput::Elements(ROUNDS * 64));
+    for n in [64usize, 256] {
+        let mut batch = batch_bernoulli_sim(n, 3, BERNOULLI_P);
+        group.bench_with_input(BenchmarkId::new("batch64", n), &n, |b, _| {
+            b.iter(|| batch.run(ROUNDS))
+        });
+        let mut lanes = serial_lane_sims(n, 3, BERNOULLI_P);
+        group.bench_with_input(BenchmarkId::new("serial64", n), &n, |b, _| {
+            b.iter(|| {
+                for sim in &mut lanes {
+                    sim.run(ROUNDS);
+                }
+            })
         });
     }
     group.finish();

@@ -14,8 +14,10 @@ pub mod workloads {
     //! here once.
 
     use dynring_core::Pef3Plus;
-    use dynring_engine::{Oblivious, RobotPlacement, Simulator};
-    use dynring_graph::{AlwaysPresent, BernoulliSchedule, NodeId, RingTopology};
+    use dynring_engine::{BatchSimulator, Oblivious, RobotPlacement, Simulator};
+    use dynring_graph::{
+        AlwaysPresent, BernoulliLane, BernoulliReplicas, BernoulliSchedule, NodeId, RingTopology,
+    };
 
     /// Presence probability of the Bernoulli workload.
     pub const BERNOULLI_P: f64 = 0.5;
@@ -61,5 +63,41 @@ pub mod workloads {
         let schedule = BernoulliSchedule::new(ring.clone(), p, BERNOULLI_SEED).expect("valid p");
         Simulator::new(ring, Pef3Plus, Oblivious::new(schedule), placements(n, k))
             .expect("valid setup")
+    }
+
+    /// `PEF_3+` on the 64-replica lockstep engine over the per-replica
+    /// Bernoulli stream — one batch round = 64 replica-rounds.
+    pub fn batch_bernoulli_sim(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> BatchSimulator<Pef3Plus, BernoulliReplicas> {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let replicas = BernoulliReplicas::new(ring.clone(), p, BERNOULLI_SEED).expect("valid p");
+        BatchSimulator::new(ring, Pef3Plus, replicas, placements(n, k)).expect("valid setup")
+    }
+
+    /// The serial baseline of the batch workload: 64 `Simulator`s, one
+    /// per derived lane schedule, run one after the other on one thread.
+    /// Aggregate replica-rounds/sec of this set is what
+    /// `batch_bernoulli_sim` is measured against.
+    pub fn serial_lane_sims(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> Vec<Simulator<Pef3Plus, Oblivious<BernoulliLane>>> {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let replicas = BernoulliReplicas::new(ring.clone(), p, BERNOULLI_SEED).expect("valid p");
+        (0..64u32)
+            .map(|lane| {
+                Simulator::new(
+                    ring.clone(),
+                    Pef3Plus,
+                    Oblivious::new(replicas.lane(lane)),
+                    placements(n, k),
+                )
+                .expect("valid setup")
+            })
+            .collect()
     }
 }

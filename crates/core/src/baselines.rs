@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, LocalDir, View};
+use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
 
 /// Rule 1 alone: never change direction.
 ///
@@ -38,6 +38,21 @@ impl Algorithm for KeepDirection {
 
     fn compute(&self, _state: &mut (), view: &View) -> LocalDir {
         view.dir()
+    }
+}
+
+/// 64-replica circuit: the identity.
+impl BatchAlgorithm for KeepDirection {
+    type BatchState = ();
+
+    fn initial_batch_state(&self) {}
+
+    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+        view.dir
+    }
+
+    fn lane_state(&self, _state: &(), lane: u32) {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
     }
 }
 
@@ -65,6 +80,21 @@ impl Algorithm for BounceOnMissingEdge {
         } else {
             view.dir().opposite()
         }
+    }
+}
+
+/// 64-replica circuit: flip exactly where the ahead edge is missing.
+impl BatchAlgorithm for BounceOnMissingEdge {
+    type BatchState = ();
+
+    fn initial_batch_state(&self) {}
+
+    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+        view.dir ^ !view.exists_edge_ahead()
+    }
+
+    fn lane_state(&self, _state: &(), lane: u32) {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
     }
 }
 
@@ -96,6 +126,21 @@ impl Algorithm for AlwaysTurnOnTower {
     }
 }
 
+/// 64-replica circuit: flip exactly in the tower lanes.
+impl BatchAlgorithm for AlwaysTurnOnTower {
+    type BatchState = ();
+
+    fn initial_batch_state(&self) {}
+
+    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+        view.dir ^ view.others
+    }
+
+    fn lane_state(&self, _state: &(), lane: u32) {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
+    }
+}
+
 /// Flips direction every round, regardless of anything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AlternateDirection;
@@ -111,6 +156,21 @@ impl Algorithm for AlternateDirection {
 
     fn compute(&self, _state: &mut (), view: &View) -> LocalDir {
         view.dir().opposite()
+    }
+}
+
+/// 64-replica circuit: complement.
+impl BatchAlgorithm for AlternateDirection {
+    type BatchState = ();
+
+    fn initial_batch_state(&self) {}
+
+    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+        !view.dir
+    }
+
+    fn lane_state(&self, _state: &(), lane: u32) {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
     }
 }
 
@@ -155,6 +215,33 @@ impl Algorithm for RandomDirection {
         } else {
             LocalDir::Right
         }
+    }
+}
+
+/// 64-replica form: the direction stream ignores the view, and under
+/// FSYNC every lane computes every round, so the per-lane counters are
+/// always equal — one shared counter and one hash serve all 64 lanes
+/// (the chosen direction is broadcast).
+impl BatchAlgorithm for RandomDirection {
+    type BatchState = u64;
+
+    fn initial_batch_state(&self) -> u64 {
+        0
+    }
+
+    fn compute_word(&self, round: &mut u64, _view: &ViewWords) -> u64 {
+        let h = mix64(self.seed ^ *round);
+        *round += 1;
+        if h & 1 == 0 {
+            0
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn lane_state(&self, round: &u64, lane: u32) -> u64 {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        *round
     }
 }
 

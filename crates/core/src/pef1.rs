@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, LocalDir, View};
+use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
 
 /// `PEF_1` (§5.2): one fully synchronous robot on a 2-node
 /// connected-over-time ring.
@@ -45,6 +45,23 @@ impl Algorithm for Pef1 {
         } else {
             view.dir()
         }
+    }
+}
+
+/// The branch-free 64-replica circuit: turn exactly in the lanes where
+/// the ahead edge is missing but the behind edge is present —
+/// `dir ← dir ⊕ (¬ahead ∧ behind)`.
+impl BatchAlgorithm for Pef1 {
+    type BatchState = ();
+
+    fn initial_batch_state(&self) {}
+
+    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+        view.dir ^ (!view.exists_edge_ahead() & view.exists_edge_behind())
+    }
+
+    fn lane_state(&self, _state: &(), lane: u32) {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
     }
 }
 

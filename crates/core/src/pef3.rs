@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, LocalDir, View};
+use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
 
 /// Persistent state of a `PEF_3+` robot: the single boolean
 /// `HasMovedPreviousStep`.
@@ -78,6 +78,32 @@ impl Algorithm for Pef3Plus {
         }
         state.has_moved_previous_step = view.exists_edge(dir);
         dir
+    }
+}
+
+/// The branch-free 64-replica circuit: `HasMovedPreviousStep` is stored
+/// bit-sliced as one word, and the three rules become three word ops —
+/// `flip = moved ∧ others`, `dir ← dir ⊕ flip`,
+/// `moved ← ExistsEdge(dir)` (the ahead-select on the *new* direction).
+impl BatchAlgorithm for Pef3Plus {
+    type BatchState = u64;
+
+    fn initial_batch_state(&self) -> u64 {
+        0
+    }
+
+    fn compute_word(&self, state: &mut u64, view: &ViewWords) -> u64 {
+        let flip = *state & view.others;
+        let dir = view.dir ^ flip;
+        *state = (dir & view.edge_right) | (!dir & view.edge_left);
+        dir
+    }
+
+    fn lane_state(&self, state: &u64, lane: u32) -> Pef3State {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        Pef3State {
+            has_moved_previous_step: (state >> lane) & 1 == 1,
+        }
     }
 }
 

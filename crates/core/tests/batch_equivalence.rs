@@ -1,0 +1,291 @@
+//! Lane-vs-serial equivalence of the 64-replica lockstep engine, across
+//! the whole algorithm portfolio.
+//!
+//! The contract: lane `i` of a [`BatchSimulator`] driven by
+//! [`BernoulliReplicas`] is **bit-for-bit** the serial [`Simulator`] run
+//! against the lane's derived scalar schedule
+//! ([`BernoulliReplicas::lane`]) — positions, directions, moved flags,
+//! algorithm states and first-cover rounds. The same holds for
+//! [`UniformBatch`] against the shared schedule played serially.
+
+use proptest::prelude::*;
+
+use dynring_core::baselines::{
+    AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection, RandomDirection,
+};
+use dynring_core::{Pef1, Pef2, Pef3Plus};
+use dynring_engine::{
+    BatchAlgorithm, BatchCoverage, BatchSimulator, Chirality, Oblivious, PerLane, RobotId,
+    RobotPlacement, Simulator, UniformBatch, LANES,
+};
+use dynring_graph::{BernoulliReplicas, EdgeSchedule, NodeId, RingTopology, Time};
+
+fn spread(n: usize, k: usize) -> Vec<RobotPlacement> {
+    (0..k)
+        .map(|i| {
+            let chirality = if i % 2 == 0 {
+                Chirality::Standard
+            } else {
+                Chirality::Mirrored
+            };
+            RobotPlacement::at(NodeId::new(i * n / k)).with_chirality(chirality)
+        })
+        .collect()
+}
+
+/// Serial visit ledger mirroring [`BatchCoverage`]'s first-cover rule.
+struct SerialCover {
+    seen: Vec<bool>,
+    missing: usize,
+    first_cover: Option<Time>,
+}
+
+impl SerialCover {
+    fn new(n: usize) -> Self {
+        SerialCover {
+            seen: vec![false; n],
+            missing: n,
+            first_cover: None,
+        }
+    }
+
+    fn note(&mut self, positions: &[NodeId], t: Time) {
+        for p in positions {
+            if !self.seen[p.index()] {
+                self.seen[p.index()] = true;
+                self.missing -= 1;
+                if self.missing == 0 && self.first_cover.is_none() {
+                    self.first_cover = Some(t);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one `(algorithm, n, k, p, seed)` configuration `horizon` rounds
+/// and checks every compared lane against its serial twin each round.
+fn check_bernoulli_equivalence<A>(
+    algorithm: A,
+    n: usize,
+    k: usize,
+    p: f64,
+    seed: u64,
+    horizon: u64,
+    lanes: &[u32],
+) -> Result<(), TestCaseError>
+where
+    A: BatchAlgorithm + Clone,
+{
+    let ring = RingTopology::new(n).expect("valid ring");
+    let replicas = BernoulliReplicas::new(ring.clone(), p, seed).expect("valid p");
+    let placements = spread(n, k);
+    let mut batch = BatchSimulator::new(
+        ring.clone(),
+        algorithm.clone(),
+        replicas.clone(),
+        placements.clone(),
+    )
+    .expect("valid setup");
+    let mut coverage = BatchCoverage::new(&batch);
+    let mut serials: Vec<_> = lanes
+        .iter()
+        .map(|&lane| {
+            Simulator::new(
+                ring.clone(),
+                algorithm.clone(),
+                Oblivious::new(replicas.lane(lane)),
+                placements.clone(),
+            )
+            .expect("valid setup")
+        })
+        .collect();
+    let mut serial_covers: Vec<SerialCover> = lanes.iter().map(|_| SerialCover::new(n)).collect();
+    for (cover, serial) in serial_covers.iter_mut().zip(&serials) {
+        cover.note(&serial.positions(), 0);
+    }
+    for t in 1..=horizon {
+        batch.step();
+        coverage.observe(&batch);
+        for ((&lane, serial), cover) in
+            lanes.iter().zip(serials.iter_mut()).zip(serial_covers.iter_mut())
+        {
+            serial.step_quiet();
+            cover.note(&serial.positions(), t);
+            prop_assert_eq!(
+                batch.positions_of(lane),
+                serial.positions(),
+                "{} n={} k={} p={} t={} lane {}: positions",
+                algorithm.name(),
+                n,
+                k,
+                p,
+                t,
+                lane
+            );
+            let reference = serial.snapshots();
+            let snaps = batch.lane_snapshots(lane);
+            prop_assert_eq!(
+                snaps,
+                reference,
+                "{} n={} k={} p={} t={} lane {}: snapshots (dirs / moved flags)",
+                algorithm.name(),
+                n,
+                k,
+                p,
+                t,
+                lane
+            );
+            for robot in 0..k {
+                prop_assert_eq!(
+                    &batch.lane_state(RobotId::new(robot), lane),
+                    serial.state_of(RobotId::new(robot)),
+                    "{} n={} k={} p={} t={} lane {} robot {}: state",
+                    algorithm.name(),
+                    n,
+                    k,
+                    p,
+                    t,
+                    lane,
+                    robot
+                );
+            }
+        }
+    }
+    for (&lane, cover) in lanes.iter().zip(&serial_covers) {
+        prop_assert_eq!(
+            coverage.first_cover(lane),
+            cover.first_cover,
+            "{} n={} k={} p={}: first cover of lane {}",
+            algorithm.name(),
+            n,
+            k,
+            p,
+            lane
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PEF_3+ (the circuit with bit-sliced state): every lane matches its
+    /// derived serial run, including cover rounds.
+    #[test]
+    fn pef3_circuit_lanes_match_serial(
+        n in 5usize..12,
+        k in 3usize..5,
+        seed in any::<u64>(),
+        p_idx in 0usize..3,
+    ) {
+        let p = [0.3, 0.5, 0.8][p_idx];
+        prop_assume!(k < n);
+        check_bernoulli_equivalence(Pef3Plus::new(), n, k, p, seed, 80, &[0, 1, 31, 63])?;
+    }
+
+    /// PEF_2 on its 3-ring domain.
+    #[test]
+    fn pef2_circuit_lanes_match_serial(seed in any::<u64>()) {
+        check_bernoulli_equivalence(Pef2::new(), 3, 2, 0.5, seed, 80, &[0, 7, 63])?;
+    }
+
+    /// PEF_1 on the 2-node multigraph ring.
+    #[test]
+    fn pef1_circuit_lanes_match_serial(seed in any::<u64>()) {
+        check_bernoulli_equivalence(Pef1::new(), 2, 1, 0.4, seed, 80, &[0, 33, 63])?;
+    }
+
+    /// Every baseline circuit, same contract.
+    #[test]
+    fn baseline_circuit_lanes_match_serial(
+        n in 5usize..10,
+        seed in any::<u64>(),
+    ) {
+        check_bernoulli_equivalence(KeepDirection, n, 3, 0.5, seed, 60, &[0, 63])?;
+        check_bernoulli_equivalence(BounceOnMissingEdge, n, 3, 0.4, seed, 60, &[0, 63])?;
+        check_bernoulli_equivalence(AlwaysTurnOnTower, n, 3, 0.6, seed, 60, &[0, 63])?;
+        check_bernoulli_equivalence(AlternateDirection, n, 3, 0.5, seed, 60, &[0, 63])?;
+        check_bernoulli_equivalence(RandomDirection::new(seed), n, 3, 0.5, seed, 60, &[0, 63])?;
+    }
+
+    /// The scalar fallback wrapper is held to the same contract as the
+    /// circuits — `PerLane(Pef3Plus)` must equal both the serial run and
+    /// (transitively) the circuit implementation.
+    #[test]
+    fn per_lane_fallback_lanes_match_serial(
+        n in 5usize..10,
+        seed in any::<u64>(),
+    ) {
+        check_bernoulli_equivalence(PerLane(Pef3Plus::new()), n, 3, 0.5, seed, 60, &[0, 42])?;
+    }
+}
+
+#[test]
+fn circuit_and_fallback_agree_lane_for_lane() {
+    // The two BatchAlgorithm implementations of PEF_3+ (native circuit vs
+    // PerLane scalar loop) must drive identical batch executions.
+    let ring = RingTopology::new(9).expect("valid ring");
+    let replicas = BernoulliReplicas::new(ring.clone(), 0.45, 0xC0C0A).expect("valid p");
+    let placements = spread(9, 3);
+    let mut circuit = BatchSimulator::new(
+        ring.clone(),
+        Pef3Plus::new(),
+        replicas.clone(),
+        placements.clone(),
+    )
+    .expect("valid setup");
+    let mut fallback =
+        BatchSimulator::new(ring, PerLane(Pef3Plus::new()), replicas, placements)
+            .expect("valid setup");
+    for t in 0..200 {
+        circuit.step();
+        fallback.step();
+        for lane in 0..LANES as u32 {
+            assert_eq!(
+                circuit.lane_snapshots(lane),
+                fallback.lane_snapshots(lane),
+                "t={t} lane {lane}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_batch_plays_the_shared_schedule_in_every_lane() {
+    // Deterministic dynamics: all 64 lanes equal one serial run over the
+    // same schedule, for a stateful circuit algorithm.
+    use dynring_graph::AbsenceIntervals;
+    let ring = RingTopology::new(8).expect("valid ring");
+    let mut schedule = AbsenceIntervals::new(ring.clone());
+    schedule.remove_during(dynring_graph::EdgeId::new(2), 3, 9);
+    schedule.remove_from(dynring_graph::EdgeId::new(6), 15);
+    let placements = spread(8, 3);
+    let mut batch = BatchSimulator::new(
+        ring.clone(),
+        Pef3Plus::new(),
+        UniformBatch::new(schedule.clone()),
+        placements.clone(),
+    )
+    .expect("valid setup");
+    let mut serial = Simulator::new(
+        ring,
+        Pef3Plus::new(),
+        Oblivious::new(schedule),
+        placements,
+    )
+    .expect("valid setup");
+    for t in 0..120 {
+        batch.step();
+        serial.step_quiet();
+        for lane in [0u32, 21, 63] {
+            assert_eq!(batch.lane_snapshots(lane), serial.snapshots(), "t={t} lane {lane}");
+        }
+    }
+}
+
+#[test]
+fn uniform_batch_schedule_accessor_exposes_the_inner_schedule() {
+    let ring = RingTopology::new(4).expect("valid ring");
+    let uniform = UniformBatch::new(dynring_graph::AlwaysPresent::new(ring));
+    assert_eq!(uniform.schedule().ring().node_count(), 4);
+}

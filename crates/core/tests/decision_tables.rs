@@ -1,13 +1,14 @@
 //! Exhaustive decision tables: every algorithm's Compute rule is checked
 //! against the paper's prose for *all* 2⁴ view combinations (direction ×
 //! left edge × right edge × multiplicity) and both values of persistent
-//! state where applicable.
+//! state where applicable — and every `compute_word` boolean circuit is
+//! checked against the scalar rule over the same exhaustive table.
 
 use dynring_core::baselines::{
-    AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection,
+    AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection, RandomDirection,
 };
 use dynring_core::{Pef1, Pef2, Pef3Plus, Pef3State};
-use dynring_engine::{Algorithm, LocalDir, View};
+use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
 
 fn all_views() -> Vec<View> {
     let mut views = Vec::new();
@@ -151,6 +152,120 @@ fn pef3_state_machine_round_trip() {
     let d = alg.compute(&mut state, &View::new(LocalDir::Right, true, false, true));
     assert_eq!(d, LocalDir::Right);
     assert!(!state.has_moved_previous_step);
+}
+
+/// All 16 view combinations packed into the low 16 lanes of one
+/// `ViewWords` (higher lanes repeat the last combination).
+fn all_view_words() -> (Vec<View>, ViewWords) {
+    let views = all_views();
+    let words = ViewWords::from_lanes(&views);
+    (views, words)
+}
+
+/// Checks one stateless circuit against its scalar rule, lane by lane,
+/// over the exhaustive view table.
+fn check_stateless_circuit<A>(alg: A)
+where
+    A: BatchAlgorithm<State = (), BatchState = ()>,
+{
+    let (views, words) = all_view_words();
+    let dir_word = alg.compute_word(&mut (), &words);
+    for (lane, view) in views.iter().enumerate() {
+        let expected = alg.compute(&mut (), view);
+        assert_eq!(
+            ViewWords::dir_from_bit((dir_word >> lane) & 1 == 1),
+            expected,
+            "{}: lane {lane} view {view}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn pef1_circuit_matches_scalar_over_all_views() {
+    check_stateless_circuit(Pef1::new());
+}
+
+#[test]
+fn pef2_circuit_matches_scalar_over_all_views() {
+    check_stateless_circuit(Pef2::new());
+}
+
+#[test]
+fn pef3_circuit_matches_scalar_over_all_views_and_states() {
+    // 16 view combinations × both values of HasMovedPreviousStep: the
+    // word circuit must reproduce the scalar rule's direction *and* state
+    // update in every lane.
+    let alg = Pef3Plus::new();
+    let (views, words) = all_view_words();
+    for has_moved in [false, true] {
+        let mut word_state: u64 = if has_moved { u64::MAX } else { 0 };
+        let dir_word = alg.compute_word(&mut word_state, &words);
+        for (lane, view) in views.iter().enumerate() {
+            let mut scalar_state = Pef3State {
+                has_moved_previous_step: has_moved,
+            };
+            let expected = alg.compute(&mut scalar_state, view);
+            assert_eq!(
+                ViewWords::dir_from_bit((dir_word >> lane) & 1 == 1),
+                expected,
+                "lane {lane} view {view} has_moved {has_moved}"
+            );
+            assert_eq!(
+                alg.lane_state(&word_state, lane as u32),
+                scalar_state,
+                "lane {lane} view {view} has_moved {has_moved} (state update)"
+            );
+        }
+    }
+    // Mixed per-lane states: alternate lanes moved/not-moved.
+    let mut word_state = 0xAAAA_AAAA_AAAA_AAAAu64;
+    let before = word_state;
+    let dir_word = alg.compute_word(&mut word_state, &words);
+    for (lane, view) in views.iter().enumerate() {
+        let mut scalar_state = Pef3State {
+            has_moved_previous_step: (before >> lane) & 1 == 1,
+        };
+        let expected = alg.compute(&mut scalar_state, view);
+        assert_eq!(
+            ViewWords::dir_from_bit((dir_word >> lane) & 1 == 1),
+            expected,
+            "mixed lane {lane} view {view}"
+        );
+        assert_eq!(alg.lane_state(&word_state, lane as u32), scalar_state);
+    }
+}
+
+#[test]
+fn baseline_circuits_match_scalar_over_all_views() {
+    check_stateless_circuit(KeepDirection);
+    check_stateless_circuit(BounceOnMissingEdge);
+    check_stateless_circuit(AlwaysTurnOnTower);
+    check_stateless_circuit(AlternateDirection);
+}
+
+#[test]
+fn random_direction_batch_broadcasts_the_scalar_stream() {
+    let alg = RandomDirection::new(0xD1CE);
+    let (_views, words) = all_view_words();
+    let mut word_state = alg.initial_batch_state();
+    let mut scalar_state = alg.initial_state();
+    for round in 0..32 {
+        let dir_word = alg.compute_word(&mut word_state, &words);
+        let expected = alg.compute(&mut scalar_state, &View::new(LocalDir::Left, true, true, false));
+        // The stream ignores the view, so every lane gets the scalar
+        // stream's direction and the shared counter stays in lockstep.
+        assert!(
+            dir_word == 0 || dir_word == u64::MAX,
+            "round {round}: broadcast word {dir_word:#x}"
+        );
+        assert_eq!(
+            ViewWords::dir_from_bit(dir_word & 1 == 1),
+            expected,
+            "round {round}"
+        );
+        assert_eq!(alg.lane_state(&word_state, 17), scalar_state, "round {round}");
+    }
 }
 
 #[test]

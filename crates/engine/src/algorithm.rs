@@ -1,8 +1,8 @@
-//! The deterministic robot algorithm abstraction.
+//! The deterministic robot algorithm abstraction, scalar and batch forms.
 
 use std::fmt;
 
-use crate::{LocalDir, View};
+use crate::{LocalDir, View, ViewWords};
 
 /// A deterministic robot algorithm, executed identically by every robot
 /// (robots are *uniform*) with no access to identifiers (robots are
@@ -54,6 +54,99 @@ impl<A: Algorithm> Algorithm for &A {
     }
 }
 
+/// The 64-lane form of an [`Algorithm`], for the lockstep batch engine
+/// ([`crate::BatchSimulator`]): one Compute call advances the same robot
+/// in 64 independent replicas at once.
+///
+/// The contract mirrors the scalar one lane by lane: for every lane `l`,
+/// [`BatchAlgorithm::compute_word`] must behave exactly as
+/// [`Algorithm::compute`] on the scalar view [`ViewWords::lane`]`(l)` and
+/// the scalar state [`BatchAlgorithm::lane_state`]`(l)` — same returned
+/// direction (bit `l` of the result, [`ViewWords::dir_bit`] encoding),
+/// same state update. The batch engine's lane-vs-serial equivalence
+/// proptests pin this for every implementation.
+///
+/// Implementations fall in two camps:
+///
+/// - **boolean circuits** over the view words (the portfolio algorithms:
+///   `PEF_1`/`PEF_2`/`PEF_3+` and the baselines) — branch-free, 64
+///   replicas per word operation, with the per-robot state itself stored
+///   bit-sliced (e.g. `PEF_3+`'s `HasMovedPreviousStep` is one `u64`);
+/// - **the scalar fallback** [`PerLane`], which keeps 64 scalar states
+///   and loops [`Algorithm::compute`] over the lanes — every algorithm
+///   works in the batch engine from day one, just without the word-level
+///   speedup.
+pub trait BatchAlgorithm: Algorithm {
+    /// One robot's persistent memory across all 64 lanes (bit-sliced for
+    /// circuit implementations, `Vec<State>` for the scalar fallback).
+    type BatchState: Clone + fmt::Debug;
+
+    /// The batch state with every lane at [`Algorithm::initial_state`].
+    fn initial_batch_state(&self) -> Self::BatchState;
+
+    /// The Compute phase for all 64 lanes of one robot: observe `view`,
+    /// update `state`, return the new direction word (bit `l` set ⇔ lane
+    /// `l` now points `Right`).
+    fn compute_word(&self, state: &mut Self::BatchState, view: &ViewWords) -> u64;
+
+    /// The scalar state of lane `lane` (observer-side: equivalence tests
+    /// and Monte Carlo inspection).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `lane ≥ 64`.
+    fn lane_state(&self, state: &Self::BatchState, lane: u32) -> Self::State;
+}
+
+/// The lane-by-lane scalar fallback: runs any [`Algorithm`] in the batch
+/// engine by keeping 64 per-lane states and calling [`Algorithm::compute`]
+/// once per lane.
+///
+/// No word-level speedup — the point is universality: an algorithm
+/// without a boolean-circuit [`BatchAlgorithm`] implementation still gets
+/// the batch engine's shared Look phase (one slice ladder per edge for
+/// all 64 replicas) and its SoA bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerLane<A>(pub A);
+
+impl<A: Algorithm> Algorithm for PerLane<A> {
+    type State = A::State;
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn initial_state(&self) -> Self::State {
+        self.0.initial_state()
+    }
+
+    fn compute(&self, state: &mut Self::State, view: &View) -> LocalDir {
+        self.0.compute(state, view)
+    }
+}
+
+impl<A: Algorithm> BatchAlgorithm for PerLane<A> {
+    type BatchState = Vec<A::State>;
+
+    fn initial_batch_state(&self) -> Self::BatchState {
+        (0..64).map(|_| self.0.initial_state()).collect()
+    }
+
+    fn compute_word(&self, state: &mut Self::BatchState, view: &ViewWords) -> u64 {
+        debug_assert_eq!(state.len(), 64, "one scalar state per lane");
+        let mut dir = 0u64;
+        for (lane, slot) in state.iter_mut().enumerate() {
+            let scalar = view.lane(lane as u32);
+            dir |= ViewWords::dir_bit(self.0.compute(slot, &scalar)) << lane;
+        }
+        dir
+    }
+
+    fn lane_state(&self, state: &Self::BatchState, lane: u32) -> Self::State {
+        state[lane as usize].clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +185,42 @@ mod tests {
         assert_eq!(state, 2);
         assert_eq!(d1, LocalDir::Left);
         assert_eq!(d2, LocalDir::Left);
+    }
+
+    #[test]
+    fn per_lane_fallback_matches_scalar_compute_in_every_lane() {
+        let batch = PerLane(Bouncer);
+        let mut batch_state = batch.initial_batch_state();
+        // A different view per lane: cycle the 16 observable combinations.
+        let views: Vec<View> = (0..16u32)
+            .map(|bits| {
+                View::new(
+                    ViewWords::dir_from_bit(bits & 1 == 1),
+                    bits & 2 != 0,
+                    bits & 4 != 0,
+                    bits & 8 != 0,
+                )
+            })
+            .collect();
+        let words = ViewWords::from_lanes(&views);
+        let mut scalar_states: Vec<u32> = (0..64).map(|_| Bouncer.initial_state()).collect();
+        for round in 0..5 {
+            let dir_word = batch.compute_word(&mut batch_state, &words);
+            for lane in 0..64u32 {
+                let view = words.lane(lane);
+                let expected = Bouncer.compute(&mut scalar_states[lane as usize], &view);
+                assert_eq!(
+                    ViewWords::dir_from_bit((dir_word >> lane) & 1 == 1),
+                    expected,
+                    "round {round} lane {lane}"
+                );
+                assert_eq!(
+                    batch.lane_state(&batch_state, lane),
+                    scalar_states[lane as usize],
+                    "round {round} lane {lane} state"
+                );
+            }
+        }
     }
 
     #[test]

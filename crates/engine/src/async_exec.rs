@@ -240,6 +240,9 @@ pub struct AsyncSimulator<A: Algorithm, D> {
     kind_buf: Vec<PhaseKind>,
     edge_buf: EdgeSet,
     occupancy_buf: Vec<usize>,
+    // Nodes with a nonzero occupancy count, cleared sparsely (O(robots)
+    // per tick instead of O(n); see `Simulator`).
+    touched_buf: Vec<u32>,
     active_buf: Vec<bool>,
     probe_buf: Vec<EdgeProbe>,
 }
@@ -304,6 +307,7 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
             kind_buf: Vec::new(),
             edge_buf,
             occupancy_buf,
+            touched_buf: Vec::new(),
             active_buf: Vec::new(),
             probe_buf: Vec::new(),
         })
@@ -377,14 +381,24 @@ impl<A: Algorithm, D: AsyncDynamics> AsyncSimulator<A, D> {
             self.activation
                 .activate_into(t, self.nodes.len(), &mut self.active_buf);
         }
-        // Occupancy for Look phases, from the configuration at tick start.
-        self.occupancy_buf.iter_mut().for_each(|c| *c = 0);
-        for node in &self.nodes {
-            self.occupancy_buf[node.index()] += 1;
-        }
+        // Occupancy for Look phases, from the configuration at tick
+        // start, refreshed in O(robots) — see
+        // `crate::simulator::refresh_occupancy`.
+        crate::simulator::refresh_occupancy(
+            &mut self.occupancy_buf,
+            &mut self.touched_buf,
+            self.nodes.iter().map(|node| node.index()),
+        );
         let edges = &self.edge_buf;
+        // Pre-sliced activation vector (see `Simulator::step_impl`).
+        let active: &[bool] = if all_active { &[] } else { &self.active_buf };
+        debug_assert!(all_active || active.len() == self.nodes.len());
+        // The tick body indexes every per-robot column (`nodes`, `phases`,
+        // `dirs`, `states`, …) by robot id; an iterator over one of them
+        // would not simplify anything.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.nodes.len() {
-            if !(all_active || self.active_buf.get(i).copied().unwrap_or(false)) {
+            if !(all_active || active[i]) {
                 if let Some(records) = records.as_deref_mut() {
                     records.push(AsyncRobotTick {
                         id: RobotId::new(i),

@@ -1,0 +1,819 @@
+//! The bit-sliced 64-replica lockstep engine.
+//!
+//! Monte Carlo workloads (cover-time distributions, survival rates over
+//! thousands of Bernoulli seeds) run the *same scenario* under many
+//! independent stochastic schedules. [`BatchSimulator`] executes 64 such
+//! replicas in lockstep, one bit **lane** per replica:
+//!
+//! - the four observable bits of each robot's [`crate::View`] (left edge,
+//!   right edge, other robots, direction) are stored structure-of-arrays
+//!   as one `u64` word per robot ([`crate::ViewWords`]);
+//! - the Compute phase is one [`BatchAlgorithm::compute_word`] call per
+//!   robot — a boolean circuit over whole words for the portfolio
+//!   algorithms, a lane-by-lane scalar loop for [`crate::PerLane`];
+//! - stochastic presence bits come from
+//!   [`dynring_graph::BernoulliReplicas`]: one AND/OR slice ladder per
+//!   edge feeds all 64 replicas, so the Look phase's hash cost is per
+//!   *edge*, not per replica;
+//! - only positions are inherently per-lane integers; moves are applied
+//!   in a short per-lane loop driven by the `moved` word.
+//!
+//! Every lane is bit-for-bit a serial [`crate::Simulator`] run against
+//! the lane's derived scalar schedule
+//! ([`dynring_graph::BernoulliReplicas::lane`]) — pinned by equivalence
+//! proptests across the whole algorithm portfolio.
+//!
+//! The engine is FSYNC-only (the paper's model for all possibility
+//! results): every robot is activated every round.
+
+use dynring_graph::{
+    BernoulliReplicas, EdgeSchedule, EdgeSet, NodeId, RingTopology, Time,
+};
+
+use crate::{
+    BatchAlgorithm, Chirality, EngineError, LocalDir, RobotId, RobotPlacement, RobotSnapshot,
+    ViewWords,
+};
+
+/// Replicas per batch: one bit lane each.
+pub const LANES: usize = 64;
+
+/// The batch adversary: supplies, each round, the presence word of every
+/// edge — bit `l` of `out[e]` is "edge `e` present in replica `l`".
+///
+/// Mirrors [`crate::Dynamics`] one level up: called exactly once per
+/// round with strictly increasing times. Batch dynamics are oblivious by
+/// construction (the replicas diverge, so there is no single
+/// configuration to adapt to); adaptive adversaries stay on the serial
+/// engine.
+pub trait BatchDynamics {
+    /// The ring whose edges are scheduled.
+    fn ring(&self) -> &RingTopology;
+
+    /// Writes one presence word per edge for time `t` (`out.len()` is the
+    /// ring's edge count).
+    fn presence_words_into(&mut self, t: Time, out: &mut [u64]);
+}
+
+impl BatchDynamics for BernoulliReplicas {
+    fn ring(&self) -> &RingTopology {
+        BernoulliReplicas::ring(self)
+    }
+
+    fn presence_words_into(&mut self, t: Time, out: &mut [u64]) {
+        BernoulliReplicas::presence_words_into(self, t, out);
+    }
+}
+
+/// Plays one pure scalar schedule identically in every lane: presence
+/// words are all-ones or all-zeros per edge.
+///
+/// Useful for deterministic dynamics (static rings, scripted outages)
+/// where the 64 replicas only differ through the algorithm's own state —
+/// and as the degenerate reference in equivalence tests.
+#[derive(Debug, Clone)]
+pub struct UniformBatch<S> {
+    schedule: S,
+    frame: EdgeSet,
+}
+
+impl<S: EdgeSchedule> UniformBatch<S> {
+    /// Wraps a pure schedule.
+    pub fn new(schedule: S) -> Self {
+        let frame = EdgeSet::empty(schedule.ring().edge_count());
+        UniformBatch { schedule, frame }
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &S {
+        &self.schedule
+    }
+}
+
+impl<S: EdgeSchedule> BatchDynamics for UniformBatch<S> {
+    fn ring(&self) -> &RingTopology {
+        self.schedule.ring()
+    }
+
+    fn presence_words_into(&mut self, t: Time, out: &mut [u64]) {
+        self.schedule.edges_at_into(t, &mut self.frame);
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = if self.frame.contains(dynring_graph::EdgeId::new(e)) {
+                u64::MAX
+            } else {
+                0
+            };
+        }
+    }
+}
+
+/// 64 independent replicas of one scenario, executed in lockstep.
+///
+/// All replicas share the ring, the algorithm and the initial placements;
+/// they differ only through the dynamics' per-lane presence bits (and the
+/// divergence those induce). See the module docs for the layout and the
+/// crate docs for the round semantics — each lane runs exactly the
+/// paper's FSYNC Look-Compute-Move round.
+pub struct BatchSimulator<A: BatchAlgorithm, D: BatchDynamics> {
+    ring: RingTopology,
+    algorithm: A,
+    dynamics: D,
+    time: Time,
+    /// Per-robot fixed chirality (shared by all lanes).
+    chirality: Vec<Chirality>,
+    /// Robot-major positions: `positions[r * LANES + l]` is robot `r`'s
+    /// node index in lane `l`.
+    positions: Vec<u32>,
+    /// Per-robot direction word (bit set ⇔ `Right`).
+    dirs: Vec<u64>,
+    /// Per-robot moved-last-round word.
+    moved: Vec<u64>,
+    /// Per-robot batch state.
+    states: Vec<A::BatchState>,
+    /// Presence snapshot of the current round: one word per edge.
+    snap_words: Vec<u64>,
+    /// Per-robot "other robots on my node" scratch words.
+    others_words: Vec<u64>,
+    /// Per-lane occupancy scratch (used when the team is too large for
+    /// pairwise comparison), cleared sparsely via `occ_touched`.
+    occ: Vec<u8>,
+    occ_touched: Vec<u32>,
+}
+
+/// Team sizes up to this bound detect towers by pairwise position
+/// comparison (`k·(k-1)/2` word-free compares per lane); larger teams use
+/// the sparse occupancy scratch.
+const PAIRWISE_OCCUPANCY_MAX: usize = 8;
+
+impl<A: BatchAlgorithm, D: BatchDynamics> BatchSimulator<A, D> {
+    /// Builds a batch simulator for a *well-initiated* execution (same
+    /// validation as [`crate::Simulator::new`], applied to the shared
+    /// placements).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::Simulator::new`].
+    pub fn new(
+        ring: RingTopology,
+        algorithm: A,
+        dynamics: D,
+        placements: Vec<RobotPlacement>,
+    ) -> Result<Self, EngineError> {
+        if placements.is_empty() {
+            return Err(EngineError::NoRobots);
+        }
+        if placements.len() >= ring.node_count() {
+            return Err(EngineError::TooManyRobots {
+                robots: placements.len(),
+                nodes: ring.node_count(),
+            });
+        }
+        if dynamics.ring().node_count() != ring.node_count() {
+            return Err(EngineError::RingMismatch {
+                expected: ring.node_count(),
+                found: dynamics.ring().node_count(),
+            });
+        }
+        let mut seen = vec![false; ring.node_count()];
+        for p in &placements {
+            if !ring.contains_node(p.node) {
+                return Err(EngineError::NodeOutOfRange {
+                    node: p.node,
+                    nodes: ring.node_count(),
+                });
+            }
+            if seen[p.node.index()] {
+                return Err(EngineError::InitialTower { node: p.node });
+            }
+            seen[p.node.index()] = true;
+        }
+        let k = placements.len();
+        let mut positions = Vec::with_capacity(k * LANES);
+        for p in &placements {
+            positions.extend(std::iter::repeat_n(p.node.index() as u32, LANES));
+        }
+        let dirs = placements
+            .iter()
+            .map(|p| match p.initial_dir {
+                LocalDir::Left => 0,
+                LocalDir::Right => u64::MAX,
+            })
+            .collect();
+        let states = (0..k).map(|_| algorithm.initial_batch_state()).collect();
+        let snap_words = vec![0u64; ring.edge_count()];
+        let occ = vec![0u8; ring.node_count()];
+        Ok(BatchSimulator {
+            chirality: placements.iter().map(|p| p.chirality).collect(),
+            ring,
+            algorithm,
+            dynamics,
+            time: 0,
+            positions,
+            dirs,
+            moved: vec![0; k],
+            states,
+            snap_words,
+            others_words: vec![0; k],
+            occ,
+            occ_touched: Vec::new(),
+        })
+    }
+
+    /// Current time `t` (rounds executed, identical in every lane).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The batch dynamics.
+    pub fn dynamics(&self) -> &D {
+        &self.dynamics
+    }
+
+    /// Number of robots `k` (per replica).
+    pub fn robot_count(&self) -> usize {
+        self.chirality.len()
+    }
+
+    /// Positions of lane `lane`, in robot-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane ≥ 64`.
+    pub fn positions_of(&self, lane: u32) -> Vec<NodeId> {
+        assert!((lane as usize) < LANES, "lanes are 0..64, got {lane}");
+        (0..self.robot_count())
+            .map(|r| NodeId::new(self.positions[r * LANES + lane as usize] as usize))
+            .collect()
+    }
+
+    /// Direction of robot `robot` in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `robot` or `lane` is out of range.
+    pub fn dir_of(&self, robot: RobotId, lane: u32) -> LocalDir {
+        assert!((lane as usize) < LANES, "lanes are 0..64, got {lane}");
+        ViewWords::dir_from_bit((self.dirs[robot.index()] >> lane) & 1 == 1)
+    }
+
+    /// Whether robot `robot` moved last round in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `robot` or `lane` is out of range.
+    pub fn moved_of(&self, robot: RobotId, lane: u32) -> bool {
+        assert!((lane as usize) < LANES, "lanes are 0..64, got {lane}");
+        (self.moved[robot.index()] >> lane) & 1 == 1
+    }
+
+    /// The moved-last-round word of robot `robot` (bit `l` ⇔ lane `l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `robot` is out of range.
+    pub fn moved_word(&self, robot: RobotId) -> u64 {
+        self.moved[robot.index()]
+    }
+
+    /// The scalar algorithm state of robot `robot` in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `robot` or `lane` is out of range.
+    pub fn lane_state(&self, robot: RobotId, lane: u32) -> A::State {
+        assert!((lane as usize) < LANES, "lanes are 0..64, got {lane}");
+        self.algorithm.lane_state(&self.states[robot.index()], lane)
+    }
+
+    /// The full configuration of lane `lane`, as the serial engine would
+    /// report it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane ≥ 64`.
+    pub fn lane_snapshots(&self, lane: u32) -> Vec<RobotSnapshot> {
+        assert!((lane as usize) < LANES, "lanes are 0..64, got {lane}");
+        (0..self.robot_count())
+            .map(|r| RobotSnapshot {
+                id: RobotId::new(r),
+                node: NodeId::new(self.positions[r * LANES + lane as usize] as usize),
+                chirality: self.chirality[r],
+                dir: ViewWords::dir_from_bit((self.dirs[r] >> lane) & 1 == 1),
+                moved_last_round: (self.moved[r] >> lane) & 1 == 1,
+            })
+            .collect()
+    }
+
+    /// Fills `others_words`: bit `l` of word `r` ⇔ robot `r` shares its
+    /// node with another robot in lane `l` (the Look phase's weak
+    /// multiplicity bit), from the pre-round configuration.
+    fn compute_others(&mut self) {
+        let k = self.robot_count();
+        self.others_words.iter_mut().for_each(|w| *w = 0);
+        if k == 1 {
+            return;
+        }
+        if k <= PAIRWISE_OCCUPANCY_MAX {
+            // Pairwise position equality, lane-major over each pair: two
+            // contiguous 64-lane columns compared element-wise — a
+            // branch-free (and vectorizable) equality scan.
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let pa: &[u32; LANES] = self.positions[a * LANES..(a + 1) * LANES]
+                        .try_into()
+                        .expect("lane column");
+                    let pb: &[u32; LANES] = self.positions[b * LANES..(b + 1) * LANES]
+                        .try_into()
+                        .expect("lane column");
+                    // Byte-at-a-time packing keeps the shift distances
+                    // small and lets the compiler pack the compares.
+                    let mut eq = 0u64;
+                    for (chunk, (ca, cb)) in
+                        pa.chunks_exact(8).zip(pb.chunks_exact(8)).enumerate()
+                    {
+                        let mut byte = 0u8;
+                        for i in 0..8 {
+                            byte |= u8::from(ca[i] == cb[i]) << i;
+                        }
+                        eq |= u64::from(byte) << (chunk * 8);
+                    }
+                    self.others_words[a] |= eq;
+                    self.others_words[b] |= eq;
+                }
+            }
+        } else {
+            // Large teams: per-lane occupancy counts with sparse undo.
+            for lane in 0..LANES {
+                for &node in self.occ_touched.iter() {
+                    self.occ[node as usize] = 0;
+                }
+                self.occ_touched.clear();
+                for r in 0..k {
+                    let node = self.positions[r * LANES + lane];
+                    if self.occ[node as usize] == 0 {
+                        self.occ_touched.push(node);
+                    }
+                    self.occ[node as usize] = self.occ[node as usize].saturating_add(1);
+                }
+                for r in 0..k {
+                    let node = self.positions[r * LANES + lane];
+                    self.others_words[r] |= u64::from(self.occ[node as usize] > 1) << lane;
+                }
+            }
+        }
+    }
+
+    /// Executes one lockstep round in all 64 lanes: one snapshot fill, one
+    /// `compute_word` per robot, one short per-lane move loop.
+    pub fn step(&mut self) {
+        let t = self.time;
+        self.dynamics.presence_words_into(t, &mut self.snap_words);
+        self.compute_others();
+        let n = self.ring.node_count() as u32;
+        let k = self.robot_count();
+        for r in 0..k {
+            // Look: gather the two adjacent presence bits of every lane.
+            // At node v the clockwise edge is e_v and the counter-clockwise
+            // edge is e_{v-1 mod n}; chirality maps them to left/right.
+            // Lane l only needs bit l of each word, so the extraction is a
+            // single mask-AND per word.
+            let mut cw_bits = 0u64;
+            let mut ccw_bits = 0u64;
+            let lane_pos: &[u32; LANES] = self.positions[r * LANES..(r + 1) * LANES]
+                .try_into()
+                .expect("lane column");
+            let mut mask = 1u64;
+            for &v in lane_pos.iter() {
+                let cw_edge = v as usize;
+                // v-1 wraps to u32::MAX at 0; min() folds it to n-1.
+                let ccw_edge = v.wrapping_sub(1).min(n - 1) as usize;
+                cw_bits |= self.snap_words[cw_edge] & mask;
+                ccw_bits |= self.snap_words[ccw_edge] & mask;
+                mask = mask.rotate_left(1);
+            }
+            let (edge_left, edge_right) = match self.chirality[r] {
+                Chirality::Standard => (ccw_bits, cw_bits),
+                Chirality::Mirrored => (cw_bits, ccw_bits),
+            };
+            let view = ViewWords {
+                dir: self.dirs[r],
+                edge_left,
+                edge_right,
+                others: self.others_words[r],
+            };
+            // Compute: all 64 lanes in one call.
+            let dir_after = self.algorithm.compute_word(&mut self.states[r], &view);
+            // Move: cross the pointed edge iff present in the same
+            // snapshot — the adjacent edge in the *new* direction.
+            let moved = (dir_after & edge_right) | (!dir_after & edge_left);
+            // Bit set ⇔ the move (if any) goes globally clockwise.
+            let cw_word = match self.chirality[r] {
+                Chirality::Standard => dir_after,
+                Chirality::Mirrored => !dir_after,
+            };
+            // Branch-free position update in every lane: the (moved, cw)
+            // bit pair selects the step — 0 mod n for parked lanes, +1
+            // for clockwise moves, n-1 for counter-clockwise ones.
+            let step_table = [0u32, 0, n - 1, 1];
+            let lane_pos: &mut [u32; LANES] = (&mut self.positions
+                [r * LANES..(r + 1) * LANES])
+                .try_into()
+                .expect("lane column");
+            let mut mbits = moved;
+            let mut cbits = cw_word;
+            for v in lane_pos.iter_mut() {
+                let idx = (((mbits & 1) << 1) | (cbits & 1)) as usize;
+                mbits >>= 1;
+                cbits >>= 1;
+                let nv = *v + step_table[idx];
+                *v = if nv >= n { nv - n } else { nv };
+            }
+            self.dirs[r] = dir_after;
+            self.moved[r] = moved;
+        }
+        self.time += 1;
+    }
+
+    /// Executes `rounds` lockstep rounds (`rounds × 64` replica-rounds).
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until every lane tracked by `coverage` has completed its
+    /// first cover or `max_rounds` elapse; returns the rounds executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coverage` was built for a different ring size.
+    pub fn run_covering(&mut self, max_rounds: u64, coverage: &mut BatchCoverage) -> u64 {
+        for executed in 0..max_rounds {
+            if coverage.all_covered() {
+                return executed;
+            }
+            self.step();
+            coverage.observe(self);
+        }
+        max_rounds
+    }
+}
+
+/// First-cover tracking across all 64 lanes of a [`BatchSimulator`]:
+/// which rounds each replica first visited every node.
+///
+/// Kept outside the simulator so pure-throughput runs pay nothing for it.
+#[derive(Debug, Clone)]
+pub struct BatchCoverage {
+    /// Per node: the lanes that have visited it.
+    visited: Vec<u64>,
+    /// Per lane: nodes not yet visited.
+    remaining: [u32; LANES],
+    /// Per lane: round of the first complete cover.
+    first_cover: [Option<Time>; LANES],
+}
+
+impl BatchCoverage {
+    /// Starts tracking from `sim`'s current configuration (the occupied
+    /// nodes count as visited, as in [`crate::ExecutionTrace`]).
+    pub fn new<A: BatchAlgorithm, D: BatchDynamics>(sim: &BatchSimulator<A, D>) -> Self {
+        let n = sim.ring().node_count();
+        let mut coverage = BatchCoverage {
+            visited: vec![0; n],
+            remaining: [n as u32; LANES],
+            first_cover: [None; LANES],
+        };
+        coverage.observe(sim);
+        coverage
+    }
+
+    /// Folds `sim`'s current positions into the ledger; call once after
+    /// every [`BatchSimulator::step`].
+    pub fn observe<A: BatchAlgorithm, D: BatchDynamics>(&mut self, sim: &BatchSimulator<A, D>) {
+        let t = sim.time();
+        let k = sim.robot_count();
+        for r in 0..k {
+            let lane_pos = &sim.positions[r * LANES..(r + 1) * LANES];
+            for (lane, &v) in lane_pos.iter().enumerate() {
+                let bit = 1u64 << lane;
+                let seen = &mut self.visited[v as usize];
+                if *seen & bit == 0 {
+                    *seen |= bit;
+                    self.remaining[lane] -= 1;
+                    if self.remaining[lane] == 0 && self.first_cover[lane].is_none() {
+                        self.first_cover[lane] = Some(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Round of lane `lane`'s first complete cover, if it happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane ≥ 64`.
+    pub fn first_cover(&self, lane: u32) -> Option<Time> {
+        self.first_cover[lane as usize]
+    }
+
+    /// First-cover rounds of all 64 lanes.
+    pub fn first_covers(&self) -> &[Option<Time>; LANES] {
+        &self.first_cover
+    }
+
+    /// Lanes that have completed a cover, as a bitmask.
+    pub fn covered_lanes(&self) -> u64 {
+        let mut mask = 0u64;
+        for (lane, c) in self.first_cover.iter().enumerate() {
+            mask |= u64::from(c.is_some()) << lane;
+        }
+        mask
+    }
+
+    /// `true` when every lane has covered the ring.
+    pub fn all_covered(&self) -> bool {
+        self.covered_lanes() == u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, Oblivious, PerLane, Simulator, View};
+    use dynring_graph::{AbsenceIntervals, AlwaysPresent, EdgeId};
+
+    /// Keeps its direction forever.
+    #[derive(Debug, Clone, Copy)]
+    struct KeepDir;
+
+    impl Algorithm for KeepDir {
+        type State = ();
+
+        fn name(&self) -> &str {
+            "keep-dir"
+        }
+
+        fn initial_state(&self) {}
+
+        fn compute(&self, _state: &mut (), view: &View) -> LocalDir {
+            view.dir()
+        }
+    }
+
+    /// Bounces on missing edges, counting computes.
+    #[derive(Debug, Clone, Copy)]
+    struct Bounce;
+
+    impl Algorithm for Bounce {
+        type State = u32;
+
+        fn name(&self) -> &str {
+            "bounce"
+        }
+
+        fn initial_state(&self) -> u32 {
+            0
+        }
+
+        fn compute(&self, state: &mut u32, view: &View) -> LocalDir {
+            *state += 1;
+            if view.exists_edge_ahead() {
+                view.dir()
+            } else {
+                view.dir().opposite()
+            }
+        }
+    }
+
+    fn ring(n: usize) -> RingTopology {
+        RingTopology::new(n).expect("valid ring")
+    }
+
+    fn spread(n: usize, k: usize) -> Vec<RobotPlacement> {
+        (0..k)
+            .map(|i| {
+                let chirality = if i % 2 == 0 {
+                    Chirality::Standard
+                } else {
+                    Chirality::Mirrored
+                };
+                RobotPlacement::at(NodeId::new(i * n / k)).with_chirality(chirality)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validation_mirrors_the_serial_engine() {
+        let r = ring(3);
+        let dynamics = || UniformBatch::new(AlwaysPresent::new(ring(3)));
+        assert!(matches!(
+            BatchSimulator::new(r.clone(), PerLane(KeepDir), dynamics(), vec![]),
+            Err(EngineError::NoRobots)
+        ));
+        let tower = vec![
+            RobotPlacement::at(NodeId::new(1)),
+            RobotPlacement::at(NodeId::new(1)),
+        ];
+        assert!(matches!(
+            BatchSimulator::new(r.clone(), PerLane(KeepDir), dynamics(), tower),
+            Err(EngineError::InitialTower { .. })
+        ));
+        let mismatched = UniformBatch::new(AlwaysPresent::new(ring(4)));
+        assert!(matches!(
+            BatchSimulator::new(
+                r,
+                PerLane(KeepDir),
+                mismatched,
+                vec![RobotPlacement::at(NodeId::new(0))]
+            ),
+            Err(EngineError::RingMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_static_lanes_all_walk_identically() {
+        let r = ring(6);
+        let mut batch = BatchSimulator::new(
+            r.clone(),
+            PerLane(KeepDir),
+            UniformBatch::new(AlwaysPresent::new(r.clone())),
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        let mut serial = Simulator::new(
+            r.clone(),
+            KeepDir,
+            Oblivious::new(AlwaysPresent::new(r)),
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        for _ in 0..10 {
+            batch.step();
+            serial.step_quiet();
+            for lane in [0u32, 17, 63] {
+                assert_eq!(batch.positions_of(lane), serial.positions());
+            }
+        }
+        assert_eq!(batch.time(), 10);
+    }
+
+    #[test]
+    fn uniform_scripted_outage_matches_serial_in_every_lane() {
+        // A deterministic blink forces direction changes through the
+        // Bounce circuit-free fallback; all lanes must track the serial
+        // run exactly (positions, dirs, moved flags, states).
+        let r = ring(5);
+        let mut schedule = AbsenceIntervals::new(r.clone());
+        schedule.remove_during(EdgeId::new(4), 0, 3);
+        schedule.remove_during(EdgeId::new(1), 2, 6);
+        let placements = spread(5, 2);
+        let mut batch = BatchSimulator::new(
+            r.clone(),
+            PerLane(Bounce),
+            UniformBatch::new(schedule.clone()),
+            placements.clone(),
+        )
+        .expect("valid setup");
+        let mut serial = Simulator::new(r, Bounce, Oblivious::new(schedule), placements)
+            .expect("valid setup");
+        for round in 0..30 {
+            batch.step();
+            serial.step_quiet();
+            for lane in [0u32, 40] {
+                let snaps = batch.lane_snapshots(lane);
+                let reference = serial.snapshots();
+                assert_eq!(snaps, reference, "round {round} lane {lane}");
+                for robot in 0..2 {
+                    assert_eq!(
+                        batch.lane_state(RobotId::new(robot), lane),
+                        *serial.state_of(RobotId::new(robot)),
+                        "round {round} lane {lane} robot {robot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_lanes_match_their_derived_serial_schedules() {
+        // The core lockstep contract on stochastic dynamics, including a
+        // team large enough to take the occupancy (non-pairwise) path.
+        for (n, k) in [(9usize, 3usize), (23, 11)] {
+            let r = ring(n);
+            let replicas = BernoulliReplicas::new(r.clone(), 0.45, 0xBEEF).expect("valid p");
+            let placements = spread(n, k);
+            let mut batch = BatchSimulator::new(
+                r.clone(),
+                PerLane(Bounce),
+                replicas.clone(),
+                placements.clone(),
+            )
+            .expect("valid setup");
+            let mut serials: Vec<_> = (0..LANES as u32)
+                .map(|lane| {
+                    Simulator::new(
+                        r.clone(),
+                        Bounce,
+                        Oblivious::new(replicas.lane(lane)),
+                        placements.clone(),
+                    )
+                    .expect("valid setup")
+                })
+                .collect();
+            for round in 0..60 {
+                batch.step();
+                for (lane, serial) in serials.iter_mut().enumerate() {
+                    serial.step_quiet();
+                    assert_eq!(
+                        batch.positions_of(lane as u32),
+                        serial.positions(),
+                        "n={n} k={k} round {round} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_tracks_first_covers_per_lane() {
+        // Single robot on a static 4-ring covers in exactly 3 rounds in
+        // every lane.
+        let r = ring(4);
+        let mut batch = BatchSimulator::new(
+            r.clone(),
+            PerLane(KeepDir),
+            UniformBatch::new(AlwaysPresent::new(r)),
+            vec![RobotPlacement::at(NodeId::new(0))],
+        )
+        .expect("valid setup");
+        let mut coverage = BatchCoverage::new(&batch);
+        assert_eq!(coverage.covered_lanes(), 0);
+        let executed = batch.run_covering(100, &mut coverage);
+        assert_eq!(executed, 3);
+        assert!(coverage.all_covered());
+        for lane in 0..LANES as u32 {
+            assert_eq!(coverage.first_cover(lane), Some(3), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn coverage_matches_a_serial_visit_ledger_per_lane() {
+        let r = ring(7);
+        let replicas = BernoulliReplicas::new(r.clone(), 0.6, 31).expect("valid p");
+        let placements = spread(7, 3);
+        let mut batch = BatchSimulator::new(
+            r.clone(),
+            PerLane(Bounce),
+            replicas.clone(),
+            placements.clone(),
+        )
+        .expect("valid setup");
+        let mut coverage = BatchCoverage::new(&batch);
+        let horizon = 200u64;
+        for _ in 0..horizon {
+            batch.step();
+            coverage.observe(&batch);
+        }
+        for lane in [0u32, 9, 63] {
+            // Serial reference: run the lane's schedule, tracking visits.
+            let mut serial = Simulator::new(
+                r.clone(),
+                Bounce,
+                Oblivious::new(replicas.lane(lane)),
+                placements.clone(),
+            )
+            .expect("valid setup");
+            let mut seen = [false; 7];
+            let mut missing = 7usize;
+            let mut first_cover = None;
+            let mut note = |positions: &[NodeId], t: Time| {
+                for p in positions {
+                    if !seen[p.index()] {
+                        seen[p.index()] = true;
+                        missing -= 1;
+                        if missing == 0 && first_cover.is_none() {
+                            first_cover = Some(t);
+                        }
+                    }
+                }
+            };
+            note(&serial.positions(), 0);
+            for t in 1..=horizon {
+                serial.step_quiet();
+                note(&serial.positions(), t);
+            }
+            assert_eq!(coverage.first_cover(lane), first_cover, "lane {lane}");
+        }
+    }
+}

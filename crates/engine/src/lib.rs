@@ -64,6 +64,7 @@
 
 mod algorithm;
 pub mod async_exec;
+mod batch;
 mod direction;
 mod dynamics;
 mod error;
@@ -73,7 +74,8 @@ mod ssync;
 mod trace;
 mod view;
 
-pub use algorithm::Algorithm;
+pub use algorithm::{Algorithm, BatchAlgorithm, PerLane};
+pub use batch::{BatchCoverage, BatchDynamics, BatchSimulator, UniformBatch, LANES};
 pub use direction::{Chirality, LocalDir};
 pub use dynamics::{AdaptiveFn, Capturing, Dynamics, EdgeProbe, Oblivious, Observation, Recurrent};
 pub use error::EngineError;
@@ -81,4 +83,4 @@ pub use robot::{RobotId, RobotPlacement, RobotSnapshot};
 pub use simulator::Simulator;
 pub use ssync::{ActivationPolicy, EveryKth, FullActivation, RoundRobinSingle};
 pub use trace::{ExecutionTrace, RobotRound, RoundRecord, Tower};
-pub use view::View;
+pub use view::{View, ViewWords};

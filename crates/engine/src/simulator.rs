@@ -7,6 +7,36 @@ use crate::{
     LocalDir, Observation, RobotId, RobotPlacement, RobotRound, RobotSnapshot, RoundRecord, View,
 };
 
+/// Rebuilds the robots-per-node occupancy table for one round (shared by
+/// [`Simulator`] and [`crate::async_exec::AsyncSimulator`]). On rings
+/// much larger than the team the table is cleared sparsely — `touched`
+/// remembers the ≤ k entries with a nonzero count — so the refresh is
+/// O(robots) regardless of ring size. On small rings a straight memset
+/// beats the bookkeeping; the strategy is fixed per simulator (`n` and
+/// `k` never change), so the branch is free.
+pub(crate) fn refresh_occupancy<I>(occupancy: &mut [usize], touched: &mut Vec<u32>, nodes: I)
+where
+    I: ExactSizeIterator<Item = usize>,
+{
+    if occupancy.len() <= 4 * nodes.len() {
+        occupancy.iter_mut().for_each(|c| *c = 0);
+        for node in nodes {
+            occupancy[node] += 1;
+        }
+    } else {
+        for &node in touched.iter() {
+            occupancy[node as usize] = 0;
+        }
+        touched.clear();
+        for node in nodes {
+            if occupancy[node] == 0 {
+                touched.push(node as u32);
+            }
+            occupancy[node] += 1;
+        }
+    }
+}
+
 /// One robot's live data inside the simulator.
 #[derive(Debug, Clone)]
 struct RobotCore<S> {
@@ -40,6 +70,9 @@ pub struct Simulator<A: Algorithm, D> {
     snap_buf: Vec<RobotSnapshot>,
     edge_buf: dynring_graph::EdgeSet,
     occupancy_buf: Vec<usize>,
+    // Nodes with a nonzero occupancy count, so the table is cleared
+    // sparsely (O(robots) instead of O(n) per round).
+    touched_buf: Vec<u32>,
     active_buf: Vec<bool>,
     probe_buf: Vec<EdgeProbe>,
 }
@@ -150,6 +183,7 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             snap_buf: Vec::new(),
             edge_buf,
             occupancy_buf,
+            touched_buf: Vec::new(),
             active_buf: Vec::new(),
             probe_buf: Vec::new(),
         })
@@ -264,6 +298,7 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
             moved_last_round: r.moved_last_round,
         }));
         let mut probed = false;
+        let obs = Observation::new(t, &self.ring, &self.snap_buf);
         if rows.is_none() {
             // Sparse fast path: queries 2·k — robot i's (left, right) pair
             // at probe_buf[2i], probe_buf[2i + 1].
@@ -275,11 +310,9 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
                     ));
                 }
             }
-            let obs = Observation::new(t, &self.ring, &self.snap_buf);
             probed = self.dynamics.probe_edges(&obs, &mut self.probe_buf);
         }
         if !probed {
-            let obs = Observation::new(t, &self.ring, &self.snap_buf);
             self.dynamics.edges_at_into(&obs, &mut self.edge_buf);
         }
         let all_active = self.activation.is_full();
@@ -288,17 +321,23 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
                 .activate_into(t, self.robots.len(), &mut self.active_buf);
         }
 
-        // Occupancy during the Look phase (the configuration γ_t).
-        self.occupancy_buf.iter_mut().for_each(|c| *c = 0);
-        for r in &self.robots {
-            self.occupancy_buf[r.node.index()] += 1;
-        }
+        // Occupancy during the Look phase (the configuration γ_t),
+        // refreshed in O(robots) — see `refresh_occupancy`.
+        refresh_occupancy(
+            &mut self.occupancy_buf,
+            &mut self.touched_buf,
+            self.robots.iter().map(|r| r.node.index()),
+        );
 
         let edges = &self.edge_buf;
+        // Pre-slice the activation vector: under FSYNC it is never read,
+        // otherwise `activate_into` filled exactly one slot per robot.
+        let active: &[bool] = if all_active { &[] } else { &self.active_buf };
+        debug_assert!(all_active || active.len() == self.robots.len());
         for (i, robot) in self.robots.iter_mut().enumerate() {
             let node_before = robot.node;
             let dir_before = robot.dir;
-            let activated = all_active || self.active_buf.get(i).copied().unwrap_or(false);
+            let activated = all_active || active[i];
             let (dir_after, moved, node_after) = if activated {
                 // Look.
                 let (edge_left, edge_right) = if probed {

@@ -84,6 +84,97 @@ impl View {
     }
 }
 
+/// The 64-lane word form of [`View`] used by the batch engine: bit `l` of
+/// every word is replica `l`'s observation of the same robot.
+///
+/// Direction encoding: a set bit means [`LocalDir::Right`], a clear bit
+/// [`LocalDir::Left`] (see [`ViewWords::dir_bit`]). Boolean observations
+/// (`edge_left`, `edge_right`, `others`) are plain bit-sliced booleans.
+/// With this convention every portfolio algorithm's Compute rule becomes a
+/// short boolean circuit over whole words — 64 replicas per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewWords {
+    /// Direction word: bit `l` set ⇔ lane `l`'s `dir` is `Right`.
+    pub dir: u64,
+    /// `ExistsEdge(left)` word.
+    pub edge_left: u64,
+    /// `ExistsEdge(right)` word.
+    pub edge_right: u64,
+    /// `ExistsOtherRobotsOnCurrentNode()` word.
+    pub others: u64,
+}
+
+impl ViewWords {
+    /// The bit encoding a direction: `Right` ↦ 1, `Left` ↦ 0.
+    pub fn dir_bit(dir: LocalDir) -> u64 {
+        match dir {
+            LocalDir::Left => 0,
+            LocalDir::Right => 1,
+        }
+    }
+
+    /// Inverse of [`ViewWords::dir_bit`].
+    pub fn dir_from_bit(bit: bool) -> LocalDir {
+        if bit {
+            LocalDir::Right
+        } else {
+            LocalDir::Left
+        }
+    }
+
+    /// `ExistsEdge(dir)` in every lane: the word form of
+    /// [`View::exists_edge_ahead`].
+    pub fn exists_edge_ahead(&self) -> u64 {
+        (self.dir & self.edge_right) | (!self.dir & self.edge_left)
+    }
+
+    /// `ExistsEdge(dir̄)` in every lane: the word form of
+    /// [`View::exists_edge_behind`].
+    pub fn exists_edge_behind(&self) -> u64 {
+        (self.dir & self.edge_left) | (!self.dir & self.edge_right)
+    }
+
+    /// The scalar [`View`] seen by lane `lane` — the lane-by-lane fallback
+    /// path and the reference for circuit-equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane ≥ 64`.
+    pub fn lane(&self, lane: u32) -> View {
+        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        View::new(
+            Self::dir_from_bit((self.dir >> lane) & 1 == 1),
+            (self.edge_left >> lane) & 1 == 1,
+            (self.edge_right >> lane) & 1 == 1,
+            (self.others >> lane) & 1 == 1,
+        )
+    }
+
+    /// Packs per-lane scalar views into words (test/diagnostic helper;
+    /// lanes beyond `views.len()` repeat the last view).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `views` is empty or holds more than 64 entries.
+    pub fn from_lanes(views: &[View]) -> Self {
+        assert!(!views.is_empty() && views.len() <= 64, "1..=64 lanes");
+        let mut words = ViewWords {
+            dir: 0,
+            edge_left: 0,
+            edge_right: 0,
+            others: 0,
+        };
+        for lane in 0..64usize {
+            let v = views[lane.min(views.len() - 1)];
+            words.dir |= Self::dir_bit(v.dir) << lane;
+            words.edge_left |= u64::from(v.edge_left) << lane;
+            words.edge_right |= u64::from(v.edge_right) << lane;
+            words.others |= u64::from(v.other_robots) << lane;
+        }
+        words
+    }
+}
+
 impl fmt::Display for View {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -143,5 +234,56 @@ mod tests {
             v.to_string(),
             "view(dir=left, left=true, right=false, others=false)"
         );
+    }
+
+    #[test]
+    fn view_words_round_trip_lanes() {
+        // All 16 observable combinations, one per lane (cycled): packing
+        // then extracting reproduces every scalar view.
+        let combos: Vec<View> = (0..16u32)
+            .map(|bits| {
+                View::new(
+                    ViewWords::dir_from_bit(bits & 1 == 1),
+                    bits & 2 != 0,
+                    bits & 4 != 0,
+                    bits & 8 != 0,
+                )
+            })
+            .collect();
+        let words = ViewWords::from_lanes(&combos);
+        for lane in 0..16u32 {
+            assert_eq!(words.lane(lane), combos[lane as usize], "lane {lane}");
+        }
+        // Lanes beyond the input repeat the last view.
+        assert_eq!(words.lane(63), combos[15]);
+    }
+
+    #[test]
+    fn word_predicates_match_scalar_predicates() {
+        let combos: Vec<View> = (0..16u32)
+            .map(|bits| {
+                View::new(
+                    ViewWords::dir_from_bit(bits & 1 == 1),
+                    bits & 2 != 0,
+                    bits & 4 != 0,
+                    bits & 8 != 0,
+                )
+            })
+            .collect();
+        let words = ViewWords::from_lanes(&combos);
+        let ahead = words.exists_edge_ahead();
+        let behind = words.exists_edge_behind();
+        for (lane, v) in combos.iter().enumerate() {
+            assert_eq!((ahead >> lane) & 1 == 1, v.exists_edge_ahead(), "lane {lane}");
+            assert_eq!((behind >> lane) & 1 == 1, v.exists_edge_behind(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn dir_bit_convention() {
+        assert_eq!(ViewWords::dir_bit(LocalDir::Right), 1);
+        assert_eq!(ViewWords::dir_bit(LocalDir::Left), 0);
+        assert_eq!(ViewWords::dir_from_bit(true), LocalDir::Right);
+        assert_eq!(ViewWords::dir_from_bit(false), LocalDir::Left);
     }
 }

@@ -72,8 +72,9 @@ pub use ids::{EdgeId, NodeId};
 pub use orientation::GlobalDir;
 pub use ring::RingTopology;
 pub use schedule::{
-    AbsenceIntervals, AlwaysPresent, BernoulliSchedule, EdgeSchedule, Minus, PeriodicSchedule,
-    RemovalTable, ScriptedSchedule, TailBehavior, TimeInterval, WithEventualMissing,
+    AbsenceIntervals, AlwaysPresent, BernoulliLane, BernoulliReplicas, BernoulliSchedule,
+    EdgeSchedule, Minus, PeriodicSchedule, RemovalTable, ScriptedSchedule, TailBehavior,
+    TimeInterval, WithEventualMissing,
 };
 
 /// Discrete global time, as in the paper: time is mapped to `ℕ`.

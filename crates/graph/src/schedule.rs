@@ -844,6 +844,57 @@ enum SlicePlan {
     },
 }
 
+impl SlicePlan {
+    /// Quantizes `p` to a sampling plan at the sampler's resolution
+    /// (shared by the per-edge and per-replica streams).
+    fn quantize(p: f64) -> SlicePlan {
+        let scale = 1u64 << BernoulliSchedule::SLICE_RESOLUTION_BITS;
+        let scaled = (p * scale as f64).round() as u64;
+        if scaled == 0 {
+            SlicePlan::Never
+        } else if scaled >= scale {
+            SlicePlan::Always
+        } else {
+            let strip = scaled.trailing_zeros();
+            SlicePlan::Sliced {
+                pattern: scaled >> strip,
+                levels: BernoulliSchedule::SLICE_RESOLUTION_BITS - strip,
+            }
+        }
+    }
+
+    /// Hash draws the plan spends per ladder pass (0 for the degenerate
+    /// probabilities).
+    fn levels(self) -> u32 {
+        match self {
+            SlicePlan::Never | SlicePlan::Always => 0,
+            SlicePlan::Sliced { levels, .. } => levels,
+        }
+    }
+
+    /// Runs the AND/OR slice ladder, drawing one fresh random word per
+    /// level through `draw`: every bit lane of the result is an
+    /// independent Bernoulli(`p_k`) sample.
+    fn ladder(self, mut draw: impl FnMut(u32) -> u64) -> u64 {
+        match self {
+            SlicePlan::Never => 0,
+            SlicePlan::Always => u64::MAX,
+            SlicePlan::Sliced { pattern, levels } => {
+                let mut acc = 0u64;
+                for level in 0..levels {
+                    let r = draw(level);
+                    acc = if (pattern >> level) & 1 == 1 {
+                        r | acc
+                    } else {
+                        r & acc
+                    };
+                }
+                acc
+            }
+        }
+    }
+}
+
 impl BernoulliSchedule {
     /// Probability resolution of the bit-sliced sampler: realized rates
     /// are exact multiples of `2^-SLICE_RESOLUTION_BITS`.
@@ -879,29 +930,14 @@ impl BernoulliSchedule {
     /// the degenerate probabilities) — the cost side of the
     /// precision/cost trade-off.
     pub fn slice_levels(&self) -> u32 {
-        match self.slice_plan() {
-            SlicePlan::Never | SlicePlan::Always => 0,
-            SlicePlan::Sliced { levels, .. } => levels,
-        }
+        self.slice_plan().levels()
     }
 
     /// Quantizes `p` to the sampling plan. Cheap enough to recompute per
     /// call, which keeps the struct free of derived fields (and the serde
     /// representation unchanged).
     fn slice_plan(&self) -> SlicePlan {
-        let scale = 1u64 << Self::SLICE_RESOLUTION_BITS;
-        let scaled = (self.presence_probability * scale as f64).round() as u64;
-        if scaled == 0 {
-            SlicePlan::Never
-        } else if scaled >= scale {
-            SlicePlan::Always
-        } else {
-            let strip = scaled.trailing_zeros();
-            SlicePlan::Sliced {
-                pattern: scaled >> strip,
-                levels: Self::SLICE_RESOLUTION_BITS - strip,
-            }
-        }
+        SlicePlan::quantize(self.presence_probability)
     }
 
     /// One fresh random word per `(seed, t, 64-edge word, ladder level)`.
@@ -913,22 +949,7 @@ impl BernoulliSchedule {
     /// Samples the presence bits of edges `[64·word, 64·word + 64)` at
     /// time `t` in one AND/OR ladder pass.
     fn sample_word(&self, plan: SlicePlan, t: Time, word: usize) -> u64 {
-        match plan {
-            SlicePlan::Never => 0,
-            SlicePlan::Always => u64::MAX,
-            SlicePlan::Sliced { pattern, levels } => {
-                let mut acc = 0u64;
-                for level in 0..levels {
-                    let r = self.slice_word(t, word, level);
-                    acc = if (pattern >> level) & 1 == 1 {
-                        r | acc
-                    } else {
-                        r & acc
-                    };
-                }
-                acc
-            }
-        }
+        plan.ladder(|level| self.slice_word(t, word, level))
     }
 
     /// The presence decision without the edge-validity check (hot path):
@@ -1014,6 +1035,207 @@ impl EdgeSchedule for BernoulliSchedule {
         let plan = self.slice_plan();
         for word in 0..out.word_count() {
             out.set_word(word, self.sample_word(plan, t, word));
+        }
+    }
+}
+
+/// The **per-replica** Bernoulli stream: the bit-sliced sampler of
+/// [`BernoulliSchedule`] with the 64 lanes of each ladder word reassigned
+/// from *64 edges* to *64 independent replicas of one edge*.
+///
+/// [`BernoulliReplicas::presence_word`] returns, for one `(edge, t)`, a
+/// word whose bit `l` is an independent Bernoulli(`p_k`) draw — the
+/// presence of `edge` at `t` in replica `l`. One slice ladder
+/// (`slice_levels` hashes) therefore feeds all 64 replicas at once, which
+/// is what makes the lockstep batch engine's stochastic Look phase cost
+/// one ladder per *edge* per round instead of one per *replica*.
+///
+/// Every lane is a well-defined pure schedule in its own right:
+/// [`BernoulliReplicas::lane`] derives the scalar [`BernoulliLane`] view
+/// of lane `l`, and the batch engine's lane `l` is bit-for-bit the serial
+/// engine run against that schedule. Lanes draw from disjoint bit
+/// positions of shared hash words, so they are pairwise independent
+/// Bernoulli streams with a common `(seed, edge, t, level)` keying — the
+/// replica analogue of "one `mix64` per 64 edges per level".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliReplicas {
+    ring: RingTopology,
+    presence_probability: f64,
+    seed: u64,
+}
+
+impl BernoulliReplicas {
+    /// Creates the 64-replica Bernoulli stream with presence probability
+    /// `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidProbability`] unless `0 ≤ p ≤ 1`.
+    pub fn new(ring: RingTopology, p: f64, seed: u64) -> Result<Self, GraphError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidProbability { value: p });
+        }
+        Ok(BernoulliReplicas {
+            ring,
+            presence_probability: p,
+            seed,
+        })
+    }
+
+    /// The ring whose edges are scheduled (identically keyed in every
+    /// replica, independently sampled per replica).
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The presence probability `p`.
+    pub fn presence_probability(&self) -> f64 {
+        self.presence_probability
+    }
+
+    /// The base seed shared by all 64 lanes.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hash draws per `(edge, t)` ladder pass — the cost of feeding all
+    /// 64 replicas one edge's presence bits.
+    pub fn slice_levels(&self) -> u32 {
+        SlicePlan::quantize(self.presence_probability).levels()
+    }
+
+    /// The hash prefix shared by every draw at time `t` (hoisted out of
+    /// the per-edge loop on the hot path), mixed `mix64`-strong.
+    fn time_prefix(&self, t: Time) -> u64 {
+        mix64(self.seed ^ mix64(t))
+    }
+
+    /// One draw: a single widening-multiply fold (the wyhash "mum"
+    /// primitive) of the `(edge, level)` key against the golden-ratio
+    /// constant. The replica stream's snapshot fill is hash-throughput
+    /// bound — one draw per edge per level feeds all 64 replicas — so
+    /// this stream deliberately uses a one-multiply mixer where the
+    /// per-edge stream uses the three-multiply `mix64`; the per-round
+    /// prefix stays `mix64`-strong, and the lane rate/independence tests
+    /// hold the stream to Bernoulli(`p_k`) empirically.
+    fn draw(prefix: u64, edge: usize, level: u32) -> u64 {
+        let key = prefix ^ (((edge as u64) << 32) | u64::from(level));
+        let product = u128::from(key) * u128::from(0x9e37_79b9_7f4a_7c15u64);
+        (product as u64) ^ ((product >> 64) as u64)
+    }
+
+    /// The presence word of `edge` at time `t`: bit `l` is the presence
+    /// of `edge` in replica `l`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a foreign edge (hot path: release builds
+    /// skip the range check).
+    pub fn presence_word(&self, edge: EdgeId, t: Time) -> u64 {
+        debug_assert!(
+            self.ring.check_edge(edge).is_ok(),
+            "edge {edge} outside ring with {} edges",
+            self.ring.edge_count()
+        );
+        let prefix = self.time_prefix(t);
+        let e = edge.index();
+        SlicePlan::quantize(self.presence_probability)
+            .ladder(|level| Self::draw(prefix, e, level))
+    }
+
+    /// Writes the presence word of every edge at time `t` into `out`
+    /// (`out[e]` is [`BernoulliReplicas::presence_word`] of edge `e`) —
+    /// the batch engine's whole-snapshot fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from the ring's edge count.
+    pub fn presence_words_into(&self, t: Time, out: &mut [u64]) {
+        assert_eq!(
+            out.len(),
+            self.ring.edge_count(),
+            "presence buffer must hold one word per edge"
+        );
+        match SlicePlan::quantize(self.presence_probability) {
+            SlicePlan::Never => out.fill(0),
+            SlicePlan::Always => out.fill(u64::MAX),
+            SlicePlan::Sliced { pattern, levels } => {
+                // The ladder inlined with `pattern`/`levels` hoisted out
+                // of the per-edge loop: at p = 0.5 this is exactly one
+                // `mix64` per edge for all 64 replicas.
+                let prefix = self.time_prefix(t);
+                for (e, slot) in out.iter_mut().enumerate() {
+                    let mut acc = 0u64;
+                    for level in 0..levels {
+                        let r = Self::draw(prefix, e, level);
+                        acc = if (pattern >> level) & 1 == 1 { r | acc } else { r & acc };
+                    }
+                    *slot = acc;
+                }
+            }
+        }
+    }
+
+    /// The scalar schedule of lane `lane`: a pure [`EdgeSchedule`] whose
+    /// presence bits are exactly this stream's bit `lane` — the derived
+    /// per-replica seed of the serial-equivalence contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane ≥ 64`.
+    pub fn lane(&self, lane: u32) -> BernoulliLane {
+        assert!(lane < 64, "replica lanes are 0..64, got {lane}");
+        BernoulliLane {
+            replicas: self.clone(),
+            lane,
+        }
+    }
+}
+
+/// One lane of a [`BernoulliReplicas`] stream as a pure scalar
+/// [`EdgeSchedule`]: `is_present(e, t)` is bit `lane` of
+/// [`BernoulliReplicas::presence_word`]. A serial simulator driven by
+/// this schedule reproduces the batch engine's lane `lane` bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliLane {
+    replicas: BernoulliReplicas,
+    lane: u32,
+}
+
+impl BernoulliLane {
+    /// The lane index (0..64).
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// The replica stream this lane is a view of.
+    pub fn replicas(&self) -> &BernoulliReplicas {
+        &self.replicas
+    }
+}
+
+impl EdgeSchedule for BernoulliLane {
+    fn ring(&self) -> &RingTopology {
+        &self.replicas.ring
+    }
+
+    /// # Panics
+    ///
+    /// Debug builds panic on a foreign edge (sparse-probe hot path; use
+    /// [`EdgeSchedule::try_is_present`] for the checked variant).
+    fn is_present(&self, edge: EdgeId, t: Time) -> bool {
+        (self.replicas.presence_word(edge, t) >> self.lane) & 1 == 1
+    }
+
+    fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
+        out.reset(self.replicas.ring.edge_count());
+        let plan = SlicePlan::quantize(self.replicas.presence_probability);
+        let prefix = self.replicas.time_prefix(t);
+        for e in 0..self.replicas.ring.edge_count() {
+            let word = plan.ladder(|level| BernoulliReplicas::draw(prefix, e, level));
+            if (word >> self.lane) & 1 == 1 {
+                out.insert(EdgeId::new(e));
+            }
         }
     }
 }
@@ -1346,6 +1568,84 @@ mod tests {
                     "{label} rate {rate} too far from {p}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn replica_lanes_match_the_word_stream() {
+        // The serial-equivalence contract: lane l's scalar schedule reads
+        // exactly bit l of the presence word, through both query paths.
+        for p in [0.0, 0.3, 0.5, 1.0] {
+            let replicas = BernoulliReplicas::new(ring(9), p, 0xFACADE).expect("valid p");
+            for t in 0..40u64 {
+                for e in replicas.ring().edges() {
+                    let word = replicas.presence_word(e, t);
+                    for lane in [0u32, 1, 31, 63] {
+                        let scalar = replicas.lane(lane);
+                        assert_eq!(
+                            scalar.is_present(e, t),
+                            (word >> lane) & 1 == 1,
+                            "p={p} t={t} e={e} lane={lane}"
+                        );
+                        assert_eq!(
+                            scalar.edges_at(t).contains(e),
+                            scalar.is_present(e, t),
+                            "p={p} t={t} e={e} lane={lane} (snapshot path)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replica_word_fill_matches_point_queries() {
+        let replicas = BernoulliReplicas::new(ring(13), 0.4, 99).expect("valid p");
+        let mut buf = vec![0u64; 13];
+        for t in 0..30u64 {
+            replicas.presence_words_into(t, &mut buf);
+            for e in replicas.ring().edges() {
+                assert_eq!(buf[e.index()], replicas.presence_word(e, t), "t={t} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_lanes_are_distinct_and_rate_correct() {
+        // Lanes are independent Bernoulli streams: distinct realizations,
+        // shared rate.
+        let p = 0.5;
+        let replicas = BernoulliReplicas::new(ring(16), p, 2026).expect("valid p");
+        let horizon = 500u64;
+        let mut lane_bits: Vec<Vec<bool>> = Vec::new();
+        for lane in [0u32, 7, 63] {
+            let s = replicas.lane(lane);
+            let bits: Vec<bool> = (0..horizon)
+                .flat_map(|t| s.ring().edges().map(move |e| (e, t)))
+                .map(|(e, t)| s.is_present(e, t))
+                .collect();
+            let rate = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+            assert!((rate - p).abs() < 0.03, "lane {lane} rate {rate}");
+            lane_bits.push(bits);
+        }
+        assert_ne!(lane_bits[0], lane_bits[1]);
+        assert_ne!(lane_bits[1], lane_bits[2]);
+    }
+
+    #[test]
+    fn replicas_reject_bad_probability() {
+        assert!(matches!(
+            BernoulliReplicas::new(ring(3), -0.1, 0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn replica_slice_cost_matches_the_edge_stream() {
+        for p in [0.0, 0.5, 0.75, 0.1, 1.0] {
+            let edges = BernoulliSchedule::new(ring(4), p, 0).expect("valid p");
+            let lanes = BernoulliReplicas::new(ring(4), p, 0).expect("valid p");
+            assert_eq!(edges.slice_levels(), lanes.slice_levels(), "p={p}");
         }
     }
 

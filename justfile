@@ -36,3 +36,8 @@ bench-report:
 # Reproduce the paper's Table 1 from the CLI.
 table1:
     cargo run --release -- table1
+
+# Small fixed-seed Monte Carlo sweep on the 64-lane batch engine (the
+# summary JSON of this exact configuration is pinned by a test).
+montecarlo:
+    cargo run --release -- montecarlo --n 16 --k 3 --p 0.5 --replicas 256 --horizon 2000 --seed 7

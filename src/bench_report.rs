@@ -17,12 +17,19 @@
 //! - **sweep scaling**: a reduced Table 1 grid, serial vs. all-cores
 //!   parallel, with the resulting speedup.
 //!
+//! - **batch vs serial replicas**: the 64-lane lockstep engine's
+//!   aggregate replica-rounds/sec against 64 serial lane runs on one
+//!   thread (the Monte Carlo workload's two execution strategies).
+//!
 //! All workloads are deterministic; only wall-clock timing varies between
 //! machines. Numbers are means over the whole measurement window.
 //!
-//! Schema history: v1/v2 carried the seed-commit baseline; v3 (this PR)
-//! embeds the PR 1 quiet-path numbers as the baseline, adds `psweep`, and
-//! extends the ring sizes to 1024/4096.
+//! Schema history: v1/v2 carried the seed-commit baseline; v3 embedded
+//! the PR 1 quiet-path numbers as the baseline, added `psweep`, and
+//! extended the ring sizes to 1024/4096; v4 (this PR) rebases the
+//! baseline on the PR 2 (schema-v3) quiet numbers, adds the `batch`
+//! block (`batch_replica_rounds_per_sec`) and the `(n, k) = (256, 64)`
+//! large-team workload, and gates static-path flatness across ring sizes.
 
 use std::time::Instant;
 
@@ -32,13 +39,16 @@ use dynring_adversary::SingleRobotConfiner;
 use dynring_analysis::parallel::available_workers;
 use dynring_analysis::table1::run_table1_with_workers;
 use dynring_analysis::Table1Options;
-use dynring_bench::workloads::{bernoulli_sim, bernoulli_sim_p, placements, static_sim};
+use dynring_bench::workloads::{
+    batch_bernoulli_sim, bernoulli_sim, bernoulli_sim_p, placements, serial_lane_sims, static_sim,
+    BERNOULLI_P,
+};
 use dynring_core::Pef3Plus;
 use dynring_engine::{Dynamics, Simulator};
 use dynring_graph::{BernoulliSchedule, RingTopology};
 
 /// Schema tag of the emitted JSON.
-pub const SCHEMA: &str = "dynring-bench-engine/v3";
+pub const SCHEMA: &str = "dynring-bench-engine/v4";
 
 /// One measured engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,6 +93,31 @@ pub struct BaselineSample {
     pub rounds_per_sec: f64,
 }
 
+/// One measured batch-engine configuration: the 64-replica lockstep
+/// engine against 64 serial lane runs (same stream, same algorithm, one
+/// thread), in aggregate replica-rounds per second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSample {
+    /// Workload label (`bernoulli-batch`).
+    pub workload: String,
+    /// Ring size `n`.
+    pub ring_size: usize,
+    /// Robots `k` (per replica).
+    pub robots: usize,
+    /// Replicas per batch (the lane count, 64).
+    pub lanes: usize,
+    /// Presence probability of the replica stream.
+    pub p: f64,
+    /// Aggregate replica-rounds/sec of the lockstep engine (batch
+    /// rounds/sec × 64).
+    pub batch_replica_rounds_per_sec: f64,
+    /// Aggregate replica-rounds/sec of 64 serial `Simulator` runs over
+    /// the derived lane schedules, one thread.
+    pub serial_replica_rounds_per_sec: f64,
+    /// `batch / serial`.
+    pub speedup: f64,
+}
+
 /// One point of the Bernoulli presence-probability sweep (quiet path,
 /// fixed `(n, k)`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -113,29 +148,35 @@ pub struct BenchReport {
     pub baseline: Vec<BaselineSample>,
     /// Engine throughput samples.
     pub engine: Vec<EngineSample>,
+    /// Batch (64-replica lockstep) vs serial replica throughput.
+    pub batch: Vec<BatchSample>,
     /// Bernoulli presence-probability sweep (quiet path).
     pub psweep: Vec<PresenceSweepSample>,
     /// Sweep scaling sample.
     pub sweep: SweepSample,
 }
 
-/// Reference throughput of the PR 1 engine (commit `c752028`): the
-/// zero-allocation round engine *before* the word-parallel Bernoulli
-/// sampler and the sparse probe path, quiet-path numbers from the
-/// committed schema-v2 `BENCH_engine.json` (2M rounds, release profile,
-/// same container). The v1/v2 seed-commit baseline is superseded; its
-/// numbers remain in the git history of this file.
-pub fn pr1_baseline() -> Vec<BaselineSample> {
-    let rows: [(&str, usize, usize, f64); 9] = [
-        ("static", 8, 3, 26_763_503.0),
-        ("bernoulli", 8, 3, 5_512_329.0),
-        ("static", 64, 3, 23_245_215.0),
-        ("bernoulli", 64, 3, 1_094_836.0),
-        ("static", 256, 3, 23_047_098.0),
-        ("bernoulli", 256, 3, 285_172.0),
-        ("static", 64, 16, 5_680_410.0),
-        ("bernoulli", 64, 16, 848_688.0),
-        ("confiner", 64, 1, 24_806_906.0),
+/// Reference throughput of the PR 2 engine (commit `a03419a`): the
+/// word-parallel Bernoulli sampler and sparse probe path *before* the
+/// sparse-undo occupancy fix and the batch engine, quiet-path numbers
+/// from the committed schema-v3 `BENCH_engine.json` (2M rounds, release
+/// profile, same container). The PR 1 and seed-commit baselines remain
+/// in the git history of this file.
+pub fn pr2_baseline() -> Vec<BaselineSample> {
+    let rows: [(&str, usize, usize, f64); 13] = [
+        ("static", 8, 3, 28_100_927.0),
+        ("bernoulli", 8, 3, 13_691_426.0),
+        ("static", 64, 3, 27_399_520.0),
+        ("bernoulli", 64, 3, 13_676_503.0),
+        ("static", 256, 3, 21_683_614.0),
+        ("bernoulli", 256, 3, 12_673_967.0),
+        ("static", 1024, 3, 12_398_332.0),
+        ("bernoulli", 1024, 3, 7_972_035.0),
+        ("static", 4096, 3, 3_940_105.0),
+        ("bernoulli", 4096, 3, 3_755_157.0),
+        ("static", 64, 16, 7_275_138.0),
+        ("bernoulli", 64, 16, 2_735_595.0),
+        ("confiner", 64, 1, 33_909_271.0),
     ];
     rows.iter()
         .map(|&(workload, ring_size, robots, rounds_per_sec)| BaselineSample {
@@ -202,9 +243,15 @@ pub fn collect(quick: bool) -> BenchReport {
         (1024, 3),
         (4096, 3),
         (64, 16),
+        (256, 64),
     ] {
-        engine.push(sample_pair("static", n, k, rounds, || static_sim(n, k)));
-        engine.push(sample_pair("bernoulli", n, k, rounds / 4, || bernoulli_sim(n, k)));
+        // Large teams do proportionally more per-robot work per round;
+        // shrink the pass so every workload fills the same time window.
+        let scale = (k as u64 / 16).max(1);
+        engine.push(sample_pair("static", n, k, rounds / scale, || static_sim(n, k)));
+        engine.push(sample_pair("bernoulli", n, k, rounds / 4 / scale, || {
+            bernoulli_sim(n, k)
+        }));
     }
     {
         let n = 64;
@@ -218,6 +265,33 @@ pub fn collect(quick: bool) -> BenchReport {
             )
             .expect("valid setup")
         }));
+    }
+
+    // Batch vs serial replica throughput: the Monte Carlo acceptance
+    // workload. Both sides advance 64 replicas of the same scenario over
+    // the same per-replica stream; the batch side runs them in lockstep,
+    // the serial side one lane schedule after another on this thread.
+    let mut batch = Vec::new();
+    for (n, k) in [(64usize, 3usize), (256, 3)] {
+        let mut batch_sim = batch_bernoulli_sim(n, k, BERNOULLI_P);
+        let batch_rate = throughput(rounds / 16, |r| batch_sim.run(r)) * 64.0;
+        let mut lanes = serial_lane_sims(n, k, BERNOULLI_P);
+        // One closure "round" advances every lane once: 64 replica-rounds.
+        let serial_rate = throughput(rounds / 256, |r| {
+            for sim in &mut lanes {
+                sim.run(r);
+            }
+        }) * 64.0;
+        batch.push(BatchSample {
+            workload: "bernoulli-batch".to_string(),
+            ring_size: n,
+            robots: k,
+            lanes: 64,
+            p: BERNOULLI_P,
+            batch_replica_rounds_per_sec: batch_rate,
+            serial_replica_rounds_per_sec: serial_rate,
+            speedup: batch_rate / serial_rate,
+        });
     }
 
     // Quiet-path p-sweep: the sparse probe cost tracks the bit-sliced
@@ -264,13 +338,14 @@ pub fn collect(quick: bool) -> BenchReport {
             "generated by `dynring bench-report{}`; wall-clock numbers, machine-dependent",
             if quick { " --quick" } else { "" }
         ),
-        baseline_note: "PR 1 engine (commit c752028): zero-allocation round engine before \
-                        the word-parallel Bernoulli sampler and the sparse probe path; \
-                        quiet-path numbers from the committed schema-v2 snapshot (2M \
-                        rounds, release profile, same container)"
+        baseline_note: "PR 2 engine (commit a03419a): word-parallel Bernoulli sampler and \
+                        sparse probe path before the sparse-undo occupancy fix and the \
+                        64-replica batch engine; quiet-path numbers from the committed \
+                        schema-v3 snapshot (2M rounds, release profile, same container)"
             .to_string(),
-        baseline: pr1_baseline(),
+        baseline: pr2_baseline(),
         engine,
+        batch,
         psweep,
         sweep: SweepSample {
             cells,
@@ -286,17 +361,22 @@ pub fn collect(quick: bool) -> BenchReport {
 /// before [`check_regression`] fails (the CI bench-smoke gate).
 pub const REGRESSION_TOLERANCE: f64 = 0.20;
 
-/// Compares `current` Bernoulli quiet-path throughput against a
-/// `committed` snapshot: every `(bernoulli, n, k)` sample present in both
-/// must reach at least `1 - REGRESSION_TOLERANCE` of the committed
-/// number, **after machine calibration**.
+/// Compares `current` throughput against a `committed` snapshot: every
+/// `(bernoulli, n, k)` engine sample and every batch sample present in
+/// both must reach at least `1 - REGRESSION_TOLERANCE` of the committed
+/// number, **after machine calibration** — and, within the current run
+/// alone, static quiet throughput at `n = 4096` must stay within the
+/// same tolerance of `n = 64` (the occupancy-is-O(robots) flatness
+/// guarantee).
 ///
 /// Wall-clock throughput is machine-dependent (the committed snapshot and
 /// a CI runner are different hardware), so raw ratios would gate hardware
 /// rather than code. The calibration factor is the geometric mean of the
 /// static-workload quiet ratios measured in the same run — static rounds
 /// don't touch the code this gate protects, so a uniformly slower/faster
-/// machine cancels out while a Bernoulli-specific slowdown does not.
+/// machine cancels out while a Bernoulli- or batch-specific slowdown does
+/// not. The flatness check needs no calibration at all: it compares two
+/// samples of the same run.
 ///
 /// Returns the per-sample comparison table on success.
 ///
@@ -366,11 +446,73 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
             committed.schema, current.schema
         ));
     }
+
+    // Batch (64-replica lockstep) samples: same tolerance, same
+    // calibration. A committed snapshot without batch samples (older
+    // schema) simply contributes no comparisons — the bernoulli check
+    // above already guards against wholesale schema drift.
+    for cur in &current.batch {
+        let Some(old) = committed.batch.iter().find(|b| {
+            b.workload == cur.workload && b.ring_size == cur.ring_size && b.robots == cur.robots
+        }) else {
+            continue;
+        };
+        let ratio = cur.batch_replica_rounds_per_sec / old.batch_replica_rounds_per_sec
+            / calibration;
+        let _ = writeln!(
+            table,
+            "batch     n={:<5} k={:<3} committed {:>14.0} rr/s, now {:>14.0} rr/s ({:.2}x calibrated)",
+            cur.ring_size,
+            cur.robots,
+            old.batch_replica_rounds_per_sec,
+            cur.batch_replica_rounds_per_sec,
+            ratio
+        );
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "batch n={} k={}: {:.0} replica-rounds/s is {:.0}% of the committed {:.0} \
+                 after {:.2}x machine calibration",
+                cur.ring_size,
+                cur.robots,
+                cur.batch_replica_rounds_per_sec,
+                ratio * 100.0,
+                old.batch_replica_rounds_per_sec,
+                calibration
+            ));
+        }
+    }
+
+    // Static flatness within the current run: quiet rounds at n = 4096
+    // must stay within tolerance of n = 64 (occupancy is O(robots), not
+    // O(n)). No calibration — both samples come from the same machine.
+    let static_quiet = |report: &BenchReport, n: usize| {
+        report
+            .engine
+            .iter()
+            .find(|s| s.workload == "static" && s.ring_size == n && s.robots == 3)
+            .map(|s| s.quiet_rounds_per_sec)
+    };
+    if let (Some(small), Some(large)) = (static_quiet(current, 64), static_quiet(current, 4096)) {
+        let flatness = large / small;
+        let _ = writeln!(
+            table,
+            "static flatness: n=4096 at {:.2}x of n=64 ({:>14.0} vs {:>14.0} r/s)",
+            flatness, large, small
+        );
+        if flatness < 1.0 - REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "static quiet throughput is not flat in n: n=4096 runs at {:.0}% of n=64 \
+                 ({:.0} vs {:.0} rounds/s) — an O(n) cost is back on the quiet path",
+                flatness * 100.0, large, small
+            ));
+        }
+    }
+
     if regressions.is_empty() {
         Ok(table)
     } else {
         Err(format!(
-            "Bernoulli quiet throughput regressed more than {:.0}%:\n{}",
+            "throughput regressed more than {:.0}%:\n{}",
             REGRESSION_TOLERANCE * 100.0,
             regressions.join("\n")
         ))
@@ -408,6 +550,22 @@ pub fn render(report: &BenchReport) -> String {
             s.quiet_rounds_per_sec / s.recorded_rounds_per_sec,
             vs_baseline
         );
+    }
+    if !report.batch.is_empty() {
+        let _ = writeln!(out, "\nbatch engine (64 replica lanes) vs 64 serial lane runs:");
+        for s in &report.batch {
+            let _ = writeln!(
+                out,
+                "  {} n={:<5} k={:<3} p={:<4} batch {:>14.0} rr/s, serial {:>14.0} rr/s ({:.1}x)",
+                s.workload,
+                s.ring_size,
+                s.robots,
+                s.p,
+                s.batch_replica_rounds_per_sec,
+                s.serial_replica_rounds_per_sec,
+                s.speedup
+            );
+        }
     }
     let _ = writeln!(out, "\nbernoulli p-sweep (quiet path):");
     for s in &report.psweep {

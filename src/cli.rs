@@ -10,8 +10,9 @@ use serde::{Deserialize, Serialize};
 
 use dynring_analysis::grid::{default_seeds, evaluate_point};
 use dynring_analysis::{
-    run_on_schedule, run_scenario, run_scenario_capturing, run_table1, AlgorithmChoice,
-    DynamicsChoice, PlacementSpec, Scenario, ScenarioReport, SuccessCriteria, Table1Options,
+    run_on_schedule, run_replicas, run_scenario, run_scenario_capturing, run_table1,
+    AlgorithmChoice, DynamicsChoice, MonteCarloConfig, PlacementSpec, Scenario, ScenarioReport,
+    SuccessCriteria, Table1Options,
 };
 use dynring_graph::ScriptedSchedule;
 
@@ -27,6 +28,8 @@ USAGE:
     dynring replay   --file FILE
     dynring sweep-p  [--n N] [--k K] [--horizon H] [--seeds S]
     dynring coverage [--n N] [--k K] [--horizon H] [--seed S]
+    dynring montecarlo [--n N] [--k K] [--p P] [--replicas R]
+                       [--horizon H] [--seed S] [--algorithm A] [--out FILE]
     dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
     dynring --help
 
@@ -34,12 +37,16 @@ USAGE:
 (possibly adaptive) dynamics played, and writes a JSON artifact. `replay`
 re-runs the artifact's algorithm on the recorded schedule and verifies the
 stored report bit for bit. `coverage` runs the full algorithm portfolio
-against the benign dynamics suite in parallel. `bench-report` measures the
-round engine (quiet vs recording path), the Bernoulli p-sweep and the
+against the benign dynamics suite in parallel. `montecarlo` runs R
+independent Bernoulli replicas of one (n, k, p) point on the 64-lane
+lockstep batch engine (batches fan out over all cores) and prints the
+cover-time histogram and survival rate; --out writes the summary JSON.
+`bench-report` measures the round engine (quiet vs recording path), the
+batch engine vs 64 serial replica runs, the Bernoulli p-sweep and the
 parallel sweep layer and writes a BENCH_engine.json performance snapshot;
-with --check it additionally compares Bernoulli quiet throughput against
-a committed snapshot and fails on a regression of more than 20% (the CI
-bench-smoke gate).
+with --check it additionally compares Bernoulli, batch and static-
+flatness throughput against a committed snapshot and fails on a
+regression of more than 20% (the CI bench-smoke gate).
 
 ALGORITHMS (for --algorithm):
     pef3+ (default) | pef2 | pef1 | keep | bounce | turn-on-tower |
@@ -92,6 +99,13 @@ pub enum Command {
         horizon: u64,
         /// Base seed.
         seed: u64,
+    },
+    /// Run a Monte Carlo replica sweep on the batch engine.
+    MonteCarlo {
+        /// The sweep configuration.
+        config: MonteCarloConfig,
+        /// Optional summary JSON output path.
+        out: Option<String>,
     },
     /// Measure the engine and sweep layer, writing a JSON snapshot.
     BenchReport {
@@ -285,6 +299,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             horizon: parse_num(&pairs, "horizon", 800)?,
             seed: parse_num(&pairs, "seed", 0xC0FFEEu64)?,
         }),
+        "montecarlo" => {
+            let config = MonteCarloConfig {
+                ring_size: parse_num(&pairs, "n", 16)?,
+                robots: parse_num(&pairs, "k", 3)?,
+                presence_probability: parse_num(&pairs, "p", 0.5)?,
+                horizon: parse_num(&pairs, "horizon", 2000)?,
+                replicas: parse_num(&pairs, "replicas", 256)?,
+                seed: parse_num(&pairs, "seed", 0xDECADEu64)?,
+                algorithm: parse_algorithm(lookup(&pairs, "algorithm").unwrap_or("pef3+"))?,
+            };
+            Ok(Command::MonteCarlo {
+                config,
+                out: lookup(&pairs, "out").map(str::to_string),
+            })
+        }
         "bench-report" => Ok(Command::BenchReport {
             out: lookup(&pairs, "out").unwrap_or("BENCH_engine.json").to_string(),
             // `--quick` is value-less: split_flags routes it to positional.
@@ -398,6 +427,47 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                 "\nsurvival rate: {:.0}%",
                 matrix.survival_rate() * 100.0
             );
+        }
+        Command::MonteCarlo { config, out } => {
+            use dynring_analysis::parallel::available_workers;
+            println!(
+                "{} × {} Bernoulli replicas on n={}, k={}, p={} (64 lanes/batch, {} workers)…\n",
+                config.batches(),
+                64,
+                config.ring_size,
+                config.robots,
+                config.presence_probability,
+                available_workers()
+            );
+            let summary = run_replicas(&config)?;
+            println!(
+                "replicas : {} ({} batches of 64 lanes)",
+                summary.config.replicas, summary.batches
+            );
+            println!(
+                "covered  : {} ({:.1}% within {} rounds)",
+                summary.covered,
+                summary.survival_rate * 100.0,
+                summary.config.horizon
+            );
+            println!(
+                "cover t  : mean {:.1}, min {:?}, max {:?}",
+                summary.mean_cover_time, summary.min_cover_time, summary.max_cover_time
+            );
+            println!("histogram:");
+            let peak = summary.histogram.iter().map(|b| b.count).max().unwrap_or(1).max(1);
+            for bucket in &summary.histogram {
+                let bar = "#".repeat(bucket.count * 40 / peak);
+                println!(
+                    "  [{:>6}, {:>6})  {:>6}  {bar}",
+                    bucket.lower, bucket.upper, bucket.count
+                );
+            }
+            if let Some(path) = out {
+                let json = serde_json::to_string_pretty(&summary)?;
+                std::fs::write(&path, json + "\n")?;
+                println!("\nsummary written to {path}");
+            }
         }
         Command::BenchReport { out, quick, check } => {
             println!(
@@ -597,6 +667,7 @@ mod tests {
                 sample("static", static_quiet),
                 sample("bernoulli", bernoulli_quiet),
             ],
+            batch: Vec::new(),
             psweep: Vec::new(),
             sweep: SweepSample {
                 cells: 0,
@@ -622,6 +693,116 @@ mod tests {
         let mut alien = report(1e6, 1e6);
         alien.engine.clear();
         assert!(check_regression(&committed, &alien).is_err());
+    }
+
+    #[test]
+    fn regression_check_gates_batch_and_flatness() {
+        use crate::bench_report::{
+            check_regression, BatchSample, BenchReport, EngineSample, SweepSample,
+        };
+
+        let engine_sample = |workload: &str, n: usize, quiet: f64| EngineSample {
+            workload: workload.to_string(),
+            ring_size: n,
+            robots: 3,
+            quiet_rounds_per_sec: quiet,
+            recorded_rounds_per_sec: quiet,
+        };
+        let batch_sample = |rate: f64| BatchSample {
+            workload: "bernoulli-batch".to_string(),
+            ring_size: 256,
+            robots: 3,
+            lanes: 64,
+            p: 0.5,
+            batch_replica_rounds_per_sec: rate,
+            serial_replica_rounds_per_sec: rate / 10.0,
+            speedup: 10.0,
+        };
+        let report = |n4096_quiet: f64, batch_rate: f64| BenchReport {
+            schema: crate::bench_report::SCHEMA.to_string(),
+            note: String::new(),
+            baseline_note: String::new(),
+            baseline: Vec::new(),
+            engine: vec![
+                engine_sample("static", 64, 1e6),
+                engine_sample("static", 4096, n4096_quiet),
+                engine_sample("bernoulli", 64, 1e6),
+            ],
+            batch: vec![batch_sample(batch_rate)],
+            psweep: Vec::new(),
+            sweep: SweepSample {
+                cells: 0,
+                workers: 1,
+                serial_ms: 1.0,
+                parallel_ms: 1.0,
+                speedup: 1.0,
+            },
+        };
+        let committed = report(1e6, 6.4e7);
+        // All flat and fast: passes (table mentions both new gates).
+        let table = check_regression(&committed, &report(1e6, 6.4e7)).expect("no regression");
+        assert!(table.contains("batch"), "{table}");
+        assert!(table.contains("static flatness"), "{table}");
+        // A batch-specific >20% drop fails…
+        assert!(check_regression(&committed, &report(1e6, 4.0e7)).is_err());
+        // …and so does losing static flatness in the *current* run, even
+        // with an equally-degraded committed snapshot (no calibration).
+        let sloped = report(0.5e6, 6.4e7);
+        assert!(check_regression(&sloped, &sloped.clone()).is_err());
+        // A committed snapshot without batch samples skips the batch gate.
+        let mut old = report(1e6, 6.4e7);
+        old.batch.clear();
+        assert!(check_regression(&old, &report(1e6, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn montecarlo_parses_with_defaults_and_flags() {
+        let cmd = parse(&args(&["montecarlo"])).expect("parses");
+        match cmd {
+            Command::MonteCarlo { config, out } => {
+                assert_eq!(config.ring_size, 16);
+                assert_eq!(config.robots, 3);
+                assert_eq!(config.replicas, 256);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&args(&[
+            "montecarlo", "--n", "12", "--k", "4", "--p", "0.3", "--replicas", "128",
+            "--horizon", "900", "--seed", "7", "--algorithm", "bounce", "--out", "mc.json",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::MonteCarlo { config, out } => {
+                assert_eq!(config.ring_size, 12);
+                assert_eq!(config.robots, 4);
+                assert_eq!(config.presence_probability, 0.3);
+                assert_eq!(config.replicas, 128);
+                assert_eq!(config.horizon, 900);
+                assert_eq!(config.seed, 7);
+                assert_eq!(config.algorithm.name(), "bounce-on-missing");
+                assert_eq!(out, Some("mc.json".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_a_small_montecarlo_through_the_cli_path() {
+        let out = std::env::temp_dir().join("dynring_cli_montecarlo_test.json");
+        let out_str = out.to_str().expect("utf-8 path").to_string();
+        let cmd = parse(&args(&[
+            "montecarlo", "--n", "6", "--k", "3", "--replicas", "64", "--horizon", "300",
+            "--out", &out_str,
+        ]))
+        .expect("parses");
+        run(cmd).expect("runs");
+        let json = std::fs::read_to_string(&out).expect("summary written");
+        let summary: dynring_analysis::MonteCarloSummary =
+            serde_json::from_str(&json).expect("valid summary JSON");
+        assert_eq!(summary.config.replicas, 64);
+        assert_eq!(summary.covered, 64, "PEF_3+ covers the small point");
+        let _ = std::fs::remove_file(out);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Pins the `just montecarlo` sweep: the summary of the fixed-seed
+//! configuration `--n 16 --k 3 --p 0.5 --replicas 256 --horizon 2000
+//! --seed 7` is a pure function of the per-replica Bernoulli stream.
+//! Any change to the stream (seed derivation, slice ladder, the `mum`
+//! draw), to the lockstep round, or to the summary statistics shows up
+//! here as a diff — deliberate stream changes must update the pinned
+//! values and say so.
+
+use dynring_analysis::monte_carlo::HISTOGRAM_BUCKETS;
+use dynring_analysis::scenario::AlgorithmChoice;
+use dynring_analysis::{run_replicas_with, MonteCarloConfig};
+
+fn pinned_config() -> MonteCarloConfig {
+    MonteCarloConfig {
+        ring_size: 16,
+        robots: 3,
+        presence_probability: 0.5,
+        horizon: 2000,
+        replicas: 256,
+        seed: 7,
+        algorithm: AlgorithmChoice::Pef3Plus,
+    }
+}
+
+#[test]
+fn pinned_sweep_summary_is_stable() {
+    let summary = run_replicas_with(&pinned_config(), 1).expect("valid config");
+    assert_eq!(summary.batches, 4);
+    assert_eq!(summary.covered, 256);
+    assert!((summary.survival_rate - 1.0).abs() < f64::EPSILON);
+    assert_eq!(summary.mean_cover_time, 17.218_75);
+    assert_eq!(summary.min_cover_time, Some(9));
+    assert_eq!(summary.max_cover_time, Some(28));
+    assert_eq!(summary.histogram.len(), HISTOGRAM_BUCKETS);
+    let counts: Vec<usize> = summary.histogram.iter().map(|b| b.count).collect();
+    assert_eq!(counts, vec![256, 0, 0, 0, 0, 0, 0, 0]);
+    assert_eq!(summary.histogram[0].lower, 0);
+    assert_eq!(summary.histogram[0].upper, 250);
+    assert_eq!(summary.histogram[7].upper, 2001, "tail bucket absorbs the horizon");
+}
+
+#[test]
+fn pinned_sweep_json_round_trips_and_is_worker_independent() {
+    let serial = run_replicas_with(&pinned_config(), 1).expect("valid config");
+    let parallel = run_replicas_with(&pinned_config(), 8).expect("valid config");
+    let json_serial = serde_json::to_string(&serial).expect("serialize");
+    let json_parallel = serde_json::to_string(&parallel).expect("serialize");
+    assert_eq!(json_serial, json_parallel, "worker count must not change the summary");
+    let back: dynring_analysis::MonteCarloSummary =
+        serde_json::from_str(&json_serial).expect("deserialize");
+    assert_eq!(back, serial);
+}
