@@ -152,10 +152,18 @@ fn sweep_with_algorithm<A: BatchAlgorithm + Clone + Sync>(
     let per_batch = par_map(&batches, workers, |&b| {
         run_batch(algorithm.clone(), ring, placements, cfg, b)
     });
+    // Ghost-lane masking: when `replicas` is not a multiple of 64 the
+    // final batch simulates more lanes than the budget. Each batch's
+    // contribution is truncated to its own lane budget here — at the
+    // source, not by a global truncation downstream — so no code path
+    // over the flattened results can ever see a ghost lane.
     per_batch
         .into_iter()
-        .flat_map(|firsts| firsts.into_iter())
-        .take(cfg.replicas)
+        .enumerate()
+        .flat_map(|(b, firsts)| {
+            let lane_budget = cfg.replicas.saturating_sub(b * LANES).min(LANES);
+            firsts.into_iter().take(lane_budget)
+        })
         .collect()
 }
 
@@ -345,6 +353,105 @@ mod tests {
             .histogram
             .iter()
             .any(|b| t >= b.lower && t < b.upper && b.count > 0));
+    }
+
+    #[test]
+    fn partial_final_batch_matches_65_serial_runs_exactly() {
+        // Regression pin for ghost-lane accounting: with replicas = 65
+        // the final batch simulates 63 lanes beyond the budget. The
+        // summary must be a pure function of replicas 0..65 — each the
+        // serial engine run over its derived lane schedule — with no
+        // ghost-lane leakage into covered counts, survival, extrema or
+        // the histogram, under every worker count.
+        use dynring_engine::{Oblivious, Simulator};
+
+        let cfg = MonteCarloConfig {
+            ring_size: 8,
+            robots: 3,
+            presence_probability: 0.5,
+            horizon: 400,
+            replicas: 65,
+            seed: 0xFEED,
+            algorithm: AlgorithmChoice::Pef3Plus,
+        };
+        let ring = RingTopology::new(cfg.ring_size).expect("valid ring");
+        let placements = PlacementSpec::EvenlySpaced { count: cfg.robots }.build(cfg.ring_size);
+        // Serial reference: replica r = batch r/64, lane r%64.
+        let mut serial_firsts: Vec<Option<Time>> = Vec::new();
+        for r in 0..cfg.replicas {
+            let replicas = BernoulliReplicas::new(
+                ring.clone(),
+                cfg.presence_probability,
+                derive_batch_seed(cfg.seed, r / LANES),
+            )
+            .expect("valid p");
+            let mut sim = Simulator::new(
+                ring.clone(),
+                Pef3Plus::new(),
+                Oblivious::new(replicas.lane((r % LANES) as u32)),
+                placements.clone(),
+            )
+            .expect("valid setup");
+            let n = cfg.ring_size;
+            let mut seen = vec![false; n];
+            let mut missing = n;
+            let mut first_cover = None;
+            fn note(
+                seen: &mut [bool],
+                missing: &mut usize,
+                first_cover: &mut Option<Time>,
+                positions: &[dynring_graph::NodeId],
+                t: Time,
+            ) {
+                for p in positions {
+                    if !seen[p.index()] {
+                        seen[p.index()] = true;
+                        *missing -= 1;
+                        if *missing == 0 && first_cover.is_none() {
+                            *first_cover = Some(t);
+                        }
+                    }
+                }
+            }
+            note(&mut seen, &mut missing, &mut first_cover, &sim.positions(), 0);
+            for t in 1..=cfg.horizon {
+                sim.step_quiet();
+                note(&mut seen, &mut missing, &mut first_cover, &sim.positions(), t);
+                if missing == 0 {
+                    break;
+                }
+            }
+            serial_firsts.push(first_cover);
+        }
+        let serial_covered: Vec<Time> = serial_firsts.iter().filter_map(|&c| c).collect();
+        for workers in [1usize, 4] {
+            let summary = run_replicas_with(&cfg, workers).expect("valid config");
+            assert_eq!(summary.batches, 2, "workers={workers}");
+            assert_eq!(summary.covered, serial_covered.len(), "workers={workers}");
+            assert!(
+                (summary.survival_rate - serial_covered.len() as f64 / 65.0).abs()
+                    < f64::EPSILON,
+                "workers={workers}"
+            );
+            assert_eq!(
+                summary.min_cover_time,
+                serial_covered.iter().copied().min(),
+                "workers={workers}"
+            );
+            assert_eq!(
+                summary.max_cover_time,
+                serial_covered.iter().copied().max(),
+                "workers={workers}"
+            );
+            let serial_mean =
+                serial_covered.iter().sum::<Time>() as f64 / serial_covered.len() as f64;
+            assert_eq!(summary.mean_cover_time, serial_mean, "workers={workers}");
+            assert_eq!(
+                summary.histogram.iter().map(|b| b.count).sum::<usize>(),
+                serial_covered.len(),
+                "ghost lanes leaked into the histogram (workers={workers})"
+            );
+        }
     }
 
     #[test]

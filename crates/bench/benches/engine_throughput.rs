@@ -85,9 +85,11 @@ fn bench_throughput(c: &mut Criterion) {
         lanes[0].run(200);
         assert_eq!(batch.positions_of(0), lanes[0].positions());
     }
+    // n ∈ {1024, 4096} exercises the demand-driven sparse snapshot fill
+    // (auto-enabled there): batch throughput must stay roughly flat in n.
     let mut group = c.benchmark_group("batch_vs_serial_replicas");
     group.throughput(Throughput::Elements(ROUNDS * 64));
-    for n in [64usize, 256] {
+    for n in [64usize, 256, 1024, 4096] {
         let mut batch = batch_bernoulli_sim(n, 3, BERNOULLI_P);
         group.bench_with_input(BenchmarkId::new("batch64", n), &n, |b, _| {
             b.iter(|| batch.run(ROUNDS))

@@ -218,6 +218,58 @@ proptest! {
     ) {
         check_bernoulli_equivalence(PerLane(Pef3Plus::new()), n, 3, 0.5, seed, 60, &[0, 42])?;
     }
+
+    /// The demand-driven sparse snapshot fill is held to the very same
+    /// lane-vs-serial contract: forced on (the auto threshold would pick
+    /// the full fill at these sizes), every lane still reproduces its
+    /// derived serial schedule bit for bit — positions, snapshots and
+    /// states.
+    #[test]
+    fn sparse_fill_lanes_match_serial(
+        n in 5usize..14,
+        k in 1usize..4,
+        seed in any::<u64>(),
+        p_idx in 0usize..3,
+    ) {
+        let p = [0.3, 0.5, 0.8][p_idx];
+        prop_assume!(k < n);
+        let ring = RingTopology::new(n).expect("valid ring");
+        let replicas = BernoulliReplicas::new(ring.clone(), p, seed).expect("valid p");
+        let placements = spread(n, k);
+        let mut batch = BatchSimulator::new(
+            ring.clone(),
+            Pef3Plus::new(),
+            replicas.clone(),
+            placements.clone(),
+        )
+        .expect("valid setup");
+        batch.set_sparse_fill(true);
+        let lanes = [0u32, 17, 63];
+        let mut serials: Vec<_> = lanes
+            .iter()
+            .map(|&lane| {
+                Simulator::new(
+                    ring.clone(),
+                    Pef3Plus::new(),
+                    Oblivious::new(replicas.lane(lane)),
+                    placements.clone(),
+                )
+                .expect("valid setup")
+            })
+            .collect();
+        for t in 1..=60u64 {
+            batch.step();
+            for (&lane, serial) in lanes.iter().zip(serials.iter_mut()) {
+                serial.step_quiet();
+                prop_assert_eq!(
+                    batch.lane_snapshots(lane),
+                    serial.snapshots(),
+                    "sparse fill: n={} k={} p={} t={} lane {}",
+                    n, k, p, t, lane
+                );
+            }
+        }
+    }
 }
 
 #[test]

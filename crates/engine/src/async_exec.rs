@@ -138,10 +138,7 @@ impl<S: dynring_graph::EdgeSchedule> AsyncDynamics for ObliviousAsync<S> {
     }
 
     fn probe_edges(&mut self, obs: &AsyncObservation<'_>, queries: &mut [EdgeProbe]) -> bool {
-        let t = obs.time();
-        for q in queries.iter_mut() {
-            q.present = self.schedule.is_present(q.edge, t);
-        }
+        crate::dynamics::answer_probes_from_schedule(&self.schedule, obs.time(), queries);
         true
     }
 }

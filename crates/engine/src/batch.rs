@@ -53,6 +53,34 @@ pub trait BatchDynamics {
     /// Writes one presence word per edge for time `t` (`out.len()` is the
     /// ring's edge count).
     fn presence_words_into(&mut self, t: Time, out: &mut [u64]);
+
+    /// The sparse fill: writes the presence words of **just** the edges
+    /// listed in `edges` into their slots of `out` (`out.len()` is the
+    /// ring's edge count; slots of unlisted edges are left untouched),
+    /// returning `true`. The list may contain duplicates — presence is a
+    /// pure function of `(edge, t)`, so repeated writes must store the
+    /// same word. Answers must be bit-for-bit what
+    /// [`BatchDynamics::presence_words_into`] would have written for the
+    /// same `t`, so the two fills are interchangeable per round.
+    ///
+    /// On large rings the engine only ever consults the ≤ `2·k·64`
+    /// edges adjacent to robot lane positions, so dynamics with per-edge
+    /// random access (the pure replica streams) answer this instead of
+    /// filling all `n` words. The default returns `false` without
+    /// touching anything — "unsupported, use the full fill"; support
+    /// must be static (a dynamics may not refuse on some rounds and
+    /// answer on others), which lets the engine stop asking after one
+    /// refusal.
+    ///
+    /// The engine resolves each round through exactly one *successful*
+    /// fill, with strictly increasing times: on the one round where a
+    /// refusing dynamics is offered this method, the refusal (which
+    /// must touch nothing) is followed by a
+    /// [`BatchDynamics::presence_words_into`] call for the same `t`,
+    /// and the sparse hook is never offered again.
+    fn presence_words_sparse(&mut self, _t: Time, _edges: &[u32], _out: &mut [u64]) -> bool {
+        false
+    }
 }
 
 impl BatchDynamics for BernoulliReplicas {
@@ -62,6 +90,11 @@ impl BatchDynamics for BernoulliReplicas {
 
     fn presence_words_into(&mut self, t: Time, out: &mut [u64]) {
         BernoulliReplicas::presence_words_into(self, t, out);
+    }
+
+    fn presence_words_sparse(&mut self, t: Time, edges: &[u32], out: &mut [u64]) -> bool {
+        self.presence_words_sparse_into(t, edges, out);
+        true
     }
 }
 
@@ -105,6 +138,19 @@ impl<S: EdgeSchedule> BatchDynamics for UniformBatch<S> {
             };
         }
     }
+
+    /// Pure schedules have random access in time, so each listed edge is
+    /// one [`EdgeSchedule::is_present`] point query, broadcast to all
+    /// lanes.
+    fn presence_words_sparse(&mut self, t: Time, edges: &[u32], out: &mut [u64]) -> bool {
+        for &e in edges {
+            let present = self
+                .schedule
+                .is_present(dynring_graph::EdgeId::new(e as usize), t);
+            out[e as usize] = if present { u64::MAX } else { 0 };
+        }
+        true
+    }
 }
 
 /// 64 independent replicas of one scenario, executed in lockstep.
@@ -130,7 +176,9 @@ pub struct BatchSimulator<A: BatchAlgorithm, D: BatchDynamics> {
     moved: Vec<u64>,
     /// Per-robot batch state.
     states: Vec<A::BatchState>,
-    /// Presence snapshot of the current round: one word per edge.
+    /// Presence snapshot of the current round: one word per edge. Under
+    /// the sparse fill only the slots listed in `edge_list` this round
+    /// are fresh; the Look phase reads exactly those.
     snap_words: Vec<u64>,
     /// Per-robot "other robots on my node" scratch words.
     others_words: Vec<u64>,
@@ -138,12 +186,37 @@ pub struct BatchSimulator<A: BatchAlgorithm, D: BatchDynamics> {
     /// pairwise comparison), cleared sparsely via `occ_touched`.
     occ: Vec<u8>,
     occ_touched: Vec<u32>,
+    /// Whether the snapshot fill is demand-driven (only the edges
+    /// adjacent to robot positions); auto-set from the ring/team shape,
+    /// overridable via [`BatchSimulator::set_sparse_fill`], and cleared
+    /// for good on the first refusal by the dynamics.
+    sparse_fill: bool,
+    /// The edges the Look phase will read this round (both adjacent
+    /// edges of every lane position, duplicates included — deduplication
+    /// costs more than the duplicate draws it would save).
+    edge_list: Vec<u32>,
 }
 
 /// Team sizes up to this bound detect towers by pairwise position
 /// comparison (`k·(k-1)/2` word-free compares per lane); larger teams use
 /// the sparse occupancy scratch.
 const PAIRWISE_OCCUPANCY_MAX: usize = 8;
+
+/// The sparse fill is on by default only when the worst-case touched-edge
+/// count (`2·k·64`: every lane of every robot on its own node, two
+/// adjacent edges each) stays below this fraction of the ring — below it
+/// the demand-driven fill is cheaper even with zero lane clustering;
+/// above it the branch-free full fill wins. `2` means "at most half the
+/// ring's words".
+const SPARSE_FILL_HEADROOM: usize = 2;
+
+/// The counter-clockwise edge at node `v`: `e_{v-1 mod n}` (the clockwise
+/// edge is `e_v`). Explicit modular arithmetic — `n` is a `u32` node
+/// count ≥ 2, so `v == 0` wraps to `n - 1`.
+#[inline]
+fn ccw_edge(v: u32, n: u32) -> u32 {
+    if v == 0 { n - 1 } else { v - 1 }
+}
 
 impl<A: BatchAlgorithm, D: BatchDynamics> BatchSimulator<A, D> {
     /// Builds a batch simulator for a *well-initiated* execution (same
@@ -192,6 +265,7 @@ impl<A: BatchAlgorithm, D: BatchDynamics> BatchSimulator<A, D> {
         for p in &placements {
             positions.extend(std::iter::repeat_n(p.node.index() as u32, LANES));
         }
+        let sparse_fill = SPARSE_FILL_HEADROOM * 2 * k * LANES <= ring.edge_count();
         let dirs = placements
             .iter()
             .map(|p| match p.initial_dir {
@@ -216,7 +290,28 @@ impl<A: BatchAlgorithm, D: BatchDynamics> BatchSimulator<A, D> {
             others_words: vec![0; k],
             occ,
             occ_touched: Vec::new(),
+            sparse_fill,
+            edge_list: Vec::new(),
         })
+    }
+
+    /// Whether the snapshot fill is currently demand-driven (see
+    /// [`BatchSimulator::set_sparse_fill`]).
+    pub fn sparse_fill(&self) -> bool {
+        self.sparse_fill
+    }
+
+    /// Forces the snapshot-fill strategy. The default is automatic:
+    /// sparse when the worst-case touched-edge count `2·k·64` fits in
+    /// half the ring, full otherwise. Both strategies produce bit-for-bit
+    /// identical executions (the sparse fill requests the same per-edge
+    /// words the full fill would have written), so this knob only trades
+    /// throughput. Enabling sparse over a dynamics that does not
+    /// implement [`BatchDynamics::presence_words_sparse`] is harmless:
+    /// the engine falls back to the full fill on the first refusal and
+    /// stops asking.
+    pub fn set_sparse_fill(&mut self, enabled: bool) {
+        self.sparse_fill = enabled;
     }
 
     /// Current time `t` (rounds executed, identical in every lane).
@@ -373,11 +468,40 @@ impl<A: BatchAlgorithm, D: BatchDynamics> BatchSimulator<A, D> {
         }
     }
 
-    /// Executes one lockstep round in all 64 lanes: one snapshot fill, one
-    /// `compute_word` per robot, one short per-lane move loop.
+    /// Collects the edges the Look phase will read this round — the two
+    /// adjacent edges of every lane position — into `edge_list`.
+    /// Duplicates are kept: the list has fixed length `2·k·64`, the
+    /// build is a branch-free sequential pass, and duplicate draws are
+    /// idempotent (one extra slice ladder each), which measures faster
+    /// than any per-edge deduplication scheme.
+    fn collect_touched_edges(&mut self) {
+        self.edge_list.resize(2 * self.positions.len(), 0);
+        let n = self.ring.node_count() as u32;
+        for (pair, &v) in self.edge_list.chunks_exact_mut(2).zip(&self.positions) {
+            pair[0] = v;
+            pair[1] = ccw_edge(v, n);
+        }
+    }
+
+    /// Executes one lockstep round in all 64 lanes: one snapshot fill
+    /// (demand-driven on large rings), one `compute_word` per robot, one
+    /// short per-lane move loop.
     pub fn step(&mut self) {
         let t = self.time;
-        self.dynamics.presence_words_into(t, &mut self.snap_words);
+        if self.sparse_fill {
+            self.collect_touched_edges();
+            if !self
+                .dynamics
+                .presence_words_sparse(t, &self.edge_list, &mut self.snap_words)
+            {
+                // Sparse support is static per dynamics: one refusal
+                // means every round would refuse, so stop collecting.
+                self.sparse_fill = false;
+                self.dynamics.presence_words_into(t, &mut self.snap_words);
+            }
+        } else {
+            self.dynamics.presence_words_into(t, &mut self.snap_words);
+        }
         self.compute_others();
         let n = self.ring.node_count() as u32;
         let k = self.robot_count();
@@ -395,8 +519,7 @@ impl<A: BatchAlgorithm, D: BatchDynamics> BatchSimulator<A, D> {
             let mut mask = 1u64;
             for &v in lane_pos.iter() {
                 let cw_edge = v as usize;
-                // v-1 wraps to u32::MAX at 0; min() folds it to n-1.
-                let ccw_edge = v.wrapping_sub(1).min(n - 1) as usize;
+                let ccw_edge = ccw_edge(v, n) as usize;
                 cw_bits |= self.snap_words[cw_edge] & mask;
                 ccw_bits |= self.snap_words[ccw_edge] & mask;
                 mask = mask.rotate_left(1);
@@ -743,6 +866,197 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Exhaustive wraparound check of the adjacent-edge computation: at
+    /// node 0 the ccw edge is `n - 1`, at node `n - 1` it is `n - 2`, and
+    /// in between it is `v - 1` — for every ring size the engine accepts.
+    #[test]
+    fn ccw_edge_wraps_exhaustively() {
+        for n in 2u32..=130 {
+            for v in 0..n {
+                let expected = (u64::from(v) + u64::from(n) - 1) % u64::from(n);
+                assert_eq!(u64::from(ccw_edge(v, n)), expected, "n={n} v={v}");
+            }
+            assert_eq!(ccw_edge(0, n), n - 1, "node 0 wraps to the last edge");
+            assert_eq!(ccw_edge(n - 1, n), n - 2, "node n-1 stays in range");
+        }
+    }
+
+    /// Robots sitting on the wrap boundary (nodes 0 and n−1) must consult
+    /// the correct edges in both directions: a scripted outage of edge
+    /// n−1 (node 0's ccw edge) and edge 0 (node 0's cw edge) steers both
+    /// chirality variants identically in batch and serial.
+    #[test]
+    fn boundary_nodes_read_the_wrapped_edges() {
+        for n in [4usize, 5, 64, 65] {
+            let r = ring(n);
+            let mut schedule = AbsenceIntervals::new(r.clone());
+            schedule.remove_during(EdgeId::new(n - 1), 0, 7);
+            schedule.remove_during(EdgeId::new(0), 3, 11);
+            schedule.remove_during(EdgeId::new(n - 2), 5, 9);
+            for chirality in [Chirality::Standard, Chirality::Mirrored] {
+                for node in [0usize, n - 1] {
+                    let placements =
+                        vec![RobotPlacement::at(NodeId::new(node)).with_chirality(chirality)];
+                    let mut batch = BatchSimulator::new(
+                        r.clone(),
+                        PerLane(Bounce),
+                        UniformBatch::new(schedule.clone()),
+                        placements.clone(),
+                    )
+                    .expect("valid setup");
+                    let mut serial = Simulator::new(
+                        r.clone(),
+                        Bounce,
+                        Oblivious::new(schedule.clone()),
+                        placements,
+                    )
+                    .expect("valid setup");
+                    for round in 0..25 {
+                        batch.step();
+                        serial.step_quiet();
+                        assert_eq!(
+                            batch.positions_of(0),
+                            serial.positions(),
+                            "n={n} chirality={chirality:?} start={node} round={round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A dynamics that supports only the full fill: the refusing default
+    /// for `presence_words_sparse`.
+    struct FullFillOnly(BernoulliReplicas);
+
+    impl BatchDynamics for FullFillOnly {
+        fn ring(&self) -> &RingTopology {
+            BernoulliReplicas::ring(&self.0)
+        }
+
+        fn presence_words_into(&mut self, t: Time, out: &mut [u64]) {
+            self.0.presence_words_into(t, out);
+        }
+    }
+
+    #[test]
+    fn sparse_fill_is_bit_identical_to_full_fill() {
+        // The tentpole contract: forcing the fill strategy either way
+        // changes nothing observable — positions, dirs, moved flags and
+        // states stay bit-for-bit equal, on stochastic and deterministic
+        // dynamics alike.
+        for (n, k) in [(9usize, 3usize), (23, 11), (130, 2)] {
+            let r = ring(n);
+            let replicas = BernoulliReplicas::new(r.clone(), 0.45, 0xCAFE).expect("valid p");
+            let placements = spread(n, k);
+            let make = |sparse: bool| {
+                let mut sim = BatchSimulator::new(
+                    r.clone(),
+                    PerLane(Bounce),
+                    replicas.clone(),
+                    placements.clone(),
+                )
+                .expect("valid setup");
+                sim.set_sparse_fill(sparse);
+                sim
+            };
+            let mut sparse = make(true);
+            let mut full = make(false);
+            assert!(sparse.sparse_fill() && !full.sparse_fill());
+            for round in 0..80 {
+                sparse.step();
+                full.step();
+                for lane in [0u32, 13, 63] {
+                    assert_eq!(
+                        sparse.lane_snapshots(lane),
+                        full.lane_snapshots(lane),
+                        "n={n} k={k} round={round} lane={lane}"
+                    );
+                    for robot in 0..k {
+                        assert_eq!(
+                            sparse.lane_state(RobotId::new(robot), lane),
+                            full.lane_state(RobotId::new(robot), lane),
+                            "n={n} k={k} round={round} lane={lane} robot={robot}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_fill_works_on_uniform_deterministic_dynamics() {
+        let r = ring(70);
+        let mut schedule = AbsenceIntervals::new(r.clone());
+        schedule.remove_during(EdgeId::new(69), 0, 5);
+        schedule.remove_during(EdgeId::new(1), 2, 9);
+        let placements = spread(70, 2);
+        let make = |sparse: bool| {
+            let mut sim = BatchSimulator::new(
+                r.clone(),
+                PerLane(Bounce),
+                UniformBatch::new(schedule.clone()),
+                placements.clone(),
+            )
+            .expect("valid setup");
+            sim.set_sparse_fill(sparse);
+            sim
+        };
+        let mut sparse = make(true);
+        let mut full = make(false);
+        for round in 0..40 {
+            sparse.step();
+            full.step();
+            assert_eq!(sparse.lane_snapshots(0), full.lane_snapshots(0), "round {round}");
+        }
+    }
+
+    #[test]
+    fn sparse_fill_falls_back_for_full_fill_only_dynamics() {
+        let r = ring(40);
+        let replicas = BernoulliReplicas::new(r.clone(), 0.5, 99).expect("valid p");
+        let placements = spread(40, 1);
+        let mut refusing = BatchSimulator::new(
+            r.clone(),
+            PerLane(Bounce),
+            FullFillOnly(replicas.clone()),
+            placements.clone(),
+        )
+        .expect("valid setup");
+        refusing.set_sparse_fill(true);
+        let mut reference =
+            BatchSimulator::new(r, PerLane(Bounce), replicas, placements).expect("valid setup");
+        reference.set_sparse_fill(false);
+        refusing.step();
+        assert!(
+            !refusing.sparse_fill(),
+            "one refusal must disable the sparse fill for good"
+        );
+        reference.step();
+        for _ in 0..30 {
+            refusing.step();
+            reference.step();
+            assert_eq!(refusing.lane_snapshots(7), reference.lane_snapshots(7));
+        }
+    }
+
+    #[test]
+    fn sparse_fill_auto_threshold_follows_ring_and_team_size() {
+        // 2·k·64 touched edges need SPARSE_FILL_HEADROOM× headroom: with
+        // k = 1 the cutover sits at n = 256.
+        let make = |n: usize, k: usize| {
+            let r = ring(n);
+            let replicas = BernoulliReplicas::new(r.clone(), 0.5, 1).expect("valid p");
+            BatchSimulator::new(r, PerLane(KeepDir), replicas, spread(n, k))
+                .expect("valid setup")
+        };
+        assert!(!make(64, 1).sparse_fill());
+        assert!(!make(255, 1).sparse_fill());
+        assert!(make(256, 1).sparse_fill());
+        assert!(make(4096, 3).sparse_fill());
+        assert!(!make(4096, 17).sparse_fill());
     }
 
     #[test]

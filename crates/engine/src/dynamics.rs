@@ -222,13 +222,51 @@ impl<S: EdgeSchedule> Dynamics for Oblivious<S> {
     }
 
     /// Pure schedules have random access in time, so every point query is
-    /// one [`EdgeSchedule::is_present`] call — the canonical sparse path.
+    /// answered directly — the canonical sparse path.
+    ///
+    /// Schedules with word-level random access
+    /// ([`EdgeSchedule::sampled_presence_word`], e.g. the bit-sliced
+    /// Bernoulli sampler) are queried one 64-edge word at a time with a
+    /// last-word memo: the two adjacent-edge probes of one robot usually
+    /// share a word, so consecutive probes reuse the sampled word instead
+    /// of re-running the slice ladder per probe. Schedules without word
+    /// access fall back to per-probe [`EdgeSchedule::is_present`].
     fn probe_edges(&mut self, obs: &Observation<'_>, queries: &mut [EdgeProbe]) -> bool {
-        let t = obs.time();
-        for q in queries.iter_mut() {
-            q.present = self.schedule.is_present(q.edge, t);
-        }
+        answer_probes_from_schedule(&self.schedule, obs.time(), queries);
         true
+    }
+}
+
+/// Answers point presence queries against a pure schedule, one 64-edge
+/// word at a time when the schedule has word-level random access
+/// ([`EdgeSchedule::sampled_presence_word`]) and per-probe
+/// [`EdgeSchedule::is_present`] otherwise. The single-word memo exploits
+/// the probe layout: the two adjacent-edge probes of one robot share a
+/// word unless the robot sits on a word boundary. Shared by
+/// [`Oblivious`] and the ASYNC `ObliviousAsync`.
+pub(crate) fn answer_probes_from_schedule<S: EdgeSchedule>(
+    schedule: &S,
+    t: dynring_graph::Time,
+    queries: &mut [EdgeProbe],
+) {
+    let mut memo: Option<(usize, u64)> = None;
+    for q in queries.iter_mut() {
+        let index = q.edge.index();
+        let word = index / 64;
+        let bits = match memo {
+            Some((w, bits)) if w == word => Some(bits),
+            _ => {
+                let sampled = schedule.sampled_presence_word(t, word);
+                if let Some(bits) = sampled {
+                    memo = Some((word, bits));
+                }
+                sampled
+            }
+        };
+        q.present = match bits {
+            Some(bits) => (bits >> (index % 64)) & 1 == 1,
+            None => schedule.is_present(q.edge, t),
+        };
     }
 }
 

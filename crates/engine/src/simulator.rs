@@ -299,7 +299,12 @@ impl<A: Algorithm, D: Dynamics> Simulator<A, D> {
         }));
         let mut probed = false;
         let obs = Observation::new(t, &self.ring, &self.snap_buf);
-        if rows.is_none() {
+        // The probe path pays ~one schedule query per probe; when the
+        // team's 2·k adjacent edges rival the ring size the O(n) word
+        // fill is the cheaper way to answer the same reads, so dense
+        // teams fall back to the full snapshot even on the quiet path.
+        let probes_are_sparse = 2 * self.robots.len() < self.ring.node_count();
+        if rows.is_none() && probes_are_sparse {
             // Sparse fast path: queries 2·k — robot i's (left, right) pair
             // at probe_buf[2i], probe_buf[2i + 1].
             self.probe_buf.clear();
@@ -847,6 +852,69 @@ mod tests {
                 quiet.state_of(RobotId::new(id)),
                 recorded.state_of(RobotId::new(id))
             );
+        }
+    }
+
+    #[test]
+    fn dense_teams_fall_back_to_the_full_fill_and_stay_equivalent() {
+        // With 2k >= n the probe path would query as many edges as the
+        // ring holds, so the quiet path takes the word fill instead —
+        // behaviour must stay identical to the recorded (always full
+        // fill) path.
+        use dynring_graph::BernoulliSchedule;
+
+        #[derive(Debug, Clone)]
+        struct Bounce;
+
+        impl Algorithm for Bounce {
+            type State = u32;
+
+            fn name(&self) -> &str {
+                "bounce"
+            }
+
+            fn initial_state(&self) -> u32 {
+                0
+            }
+
+            fn compute(&self, state: &mut u32, view: &View) -> LocalDir {
+                *state += 1;
+                if view.exists_edge_ahead() {
+                    view.dir()
+                } else {
+                    view.dir().opposite()
+                }
+            }
+        }
+
+        for (n, k) in [(5usize, 4usize), (8, 4), (9, 8)] {
+            let r = ring(n);
+            let make = || {
+                let schedule = BernoulliSchedule::new(r.clone(), 0.4, 0xD1CE).expect("valid p");
+                let placements = (0..k)
+                    .map(|i| RobotPlacement::at(NodeId::new(i)))
+                    .collect();
+                Simulator::new(r.clone(), Bounce, Oblivious::new(schedule), placements)
+                    .expect("valid setup")
+            };
+            let mut quiet = make();
+            let mut recorded = make();
+            for round in 0..200 {
+                quiet.step_quiet();
+                recorded.step();
+                assert_eq!(
+                    quiet.positions(),
+                    recorded.positions(),
+                    "n={n} k={k} round={round}"
+                );
+            }
+            for id in 0..k {
+                assert_eq!(
+                    quiet.state_of(RobotId::new(id)),
+                    recorded.state_of(RobotId::new(id)),
+                    "n={n} k={k} robot={id}"
+                );
+            }
         }
     }
 

@@ -237,6 +237,30 @@ pub trait EdgeSchedule {
         }
     }
 
+    /// Samples the single 64-edge presence word `word` — the memberships
+    /// of edges `[64·word, 64·word + 64)` — of the snapshot `E_t`, when
+    /// the schedule has cheap word-level random access.
+    ///
+    /// Returns `None` when the schedule has no such access (the default);
+    /// callers then fall back to per-edge [`EdgeSchedule::is_present`]
+    /// queries or the full [`EdgeSchedule::edges_at_into`] scan. A
+    /// `Some(bits)` answer must be **bit-for-bit** the corresponding word
+    /// of `edges_at(t)`, including the masked tail: bits at positions at
+    /// or beyond the universe are zero.
+    ///
+    /// This is the sparse-sampling entry point for large rings: consumers
+    /// that only need the few words covering robot positions (the engine's
+    /// probe path) request exactly those instead of filling all
+    /// `n.div_ceil(64)` words.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `word` is not a word index of the
+    /// ring (`word ≥ edge_count().div_ceil(64)`).
+    fn sampled_presence_word(&self, _t: Time, _word: usize) -> Option<u64> {
+        None
+    }
+
     /// Union of the snapshots over `[0, horizon)` — a finite-horizon
     /// approximation of the underlying graph's edge set `E_G`.
     fn footprint(&self, horizon: Time) -> EdgeSet {
@@ -270,6 +294,10 @@ impl<S: EdgeSchedule + ?Sized> EdgeSchedule for &S {
     fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
         (**self).edges_at_into(t, out);
     }
+
+    fn sampled_presence_word(&self, t: Time, word: usize) -> Option<u64> {
+        (**self).sampled_presence_word(t, word)
+    }
 }
 
 impl<S: EdgeSchedule + ?Sized> EdgeSchedule for Box<S> {
@@ -291,6 +319,10 @@ impl<S: EdgeSchedule + ?Sized> EdgeSchedule for Box<S> {
 
     fn edges_at_into(&self, t: Time, out: &mut EdgeSet) {
         (**self).edges_at_into(t, out);
+    }
+
+    fn sampled_presence_word(&self, t: Time, word: usize) -> Option<u64> {
+        (**self).sampled_presence_word(t, word)
     }
 }
 
@@ -329,6 +361,29 @@ impl EdgeSchedule for AlwaysPresent {
     fn edges_at_into(&self, _t: Time, out: &mut EdgeSet) {
         out.reset(self.ring.edge_count());
         out.fill();
+    }
+
+    fn sampled_presence_word(&self, _t: Time, word: usize) -> Option<u64> {
+        Some(presence_word_mask(self.ring.edge_count(), word))
+    }
+}
+
+/// The mask of meaningful bits in 64-edge word `word` of a ring with
+/// `universe` edges (the [`EdgeSet`] masked-tail invariant at word level).
+///
+/// # Panics
+///
+/// Panics when `word` is not a word index of the ring.
+fn presence_word_mask(universe: usize, word: usize) -> u64 {
+    assert!(
+        word < universe.div_ceil(64),
+        "word {word} outside universe of {universe} edges"
+    );
+    let bits = universe - word * 64;
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
     }
 }
 
@@ -1037,6 +1092,14 @@ impl EdgeSchedule for BernoulliSchedule {
             out.set_word(word, self.sample_word(plan, t, word));
         }
     }
+
+    /// One slice-ladder pass for the requested word only — bit-for-bit
+    /// the word [`EdgeSchedule::edges_at_into`] would have written (tail
+    /// bits masked), at `slice_levels` hashes instead of a full-ring fill.
+    fn sampled_presence_word(&self, t: Time, word: usize) -> Option<u64> {
+        let mask = presence_word_mask(self.ring.edge_count(), word);
+        Some(self.sample_word(self.slice_plan(), t, word) & mask)
+    }
 }
 
 /// The **per-replica** Bernoulli stream: the bit-sliced sampler of
@@ -1171,6 +1234,44 @@ impl BernoulliReplicas {
                         acc = if (pattern >> level) & 1 == 1 { r | acc } else { r & acc };
                     }
                     *slot = acc;
+                }
+            }
+        }
+    }
+
+    /// The sparse counterpart of
+    /// [`BernoulliReplicas::presence_words_into`]: writes the presence
+    /// words of just the listed edges into their slots of `out`
+    /// (`out[e]` for each `e` in `edges`; other slots are untouched).
+    /// Duplicate edges are allowed — the stream is a pure function of
+    /// `(edge, t)`, so repeated draws store the same word. Bit-for-bit
+    /// identical to the full fill, with the same plan/prefix hoisting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge index is at or beyond `out.len()`; `out` is
+    /// expected to span the ring's edges as in the full fill.
+    pub fn presence_words_sparse_into(&self, t: Time, edges: &[u32], out: &mut [u64]) {
+        match SlicePlan::quantize(self.presence_probability) {
+            SlicePlan::Never => {
+                for &e in edges {
+                    out[e as usize] = 0;
+                }
+            }
+            SlicePlan::Always => {
+                for &e in edges {
+                    out[e as usize] = u64::MAX;
+                }
+            }
+            SlicePlan::Sliced { pattern, levels } => {
+                let prefix = self.time_prefix(t);
+                for &e in edges {
+                    let mut acc = 0u64;
+                    for level in 0..levels {
+                        let r = Self::draw(prefix, e as usize, level);
+                        acc = if (pattern >> level) & 1 == 1 { r | acc } else { r & acc };
+                    }
+                    out[e as usize] = acc;
                 }
             }
         }
@@ -1494,6 +1595,86 @@ mod tests {
                 let set = g.edges_at(t);
                 for e in g.ring().edges() {
                     assert_eq!(set.contains(e), g.is_present(e, t), "p={p} t={t} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_word_matches_snapshot_word_extraction() {
+        // The sparse-sampling contract: a sampled word is bit-for-bit the
+        // corresponding word of the full snapshot, including the masked
+        // tail at n % 64 != 0.
+        for n in [2usize, 63, 64, 65, 127, 130] {
+            for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                let g = BernoulliSchedule::new(ring(n), p, 0xABCD).expect("valid p");
+                for t in 0..20u64 {
+                    let snapshot = g.edges_at(t);
+                    for word in 0..snapshot.word_count() {
+                        assert_eq!(
+                            g.sampled_presence_word(t, word),
+                            Some(snapshot.as_words()[word]),
+                            "n={n} p={p} t={t} word={word}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn always_present_sampled_word_is_the_masked_full_word() {
+        let g = AlwaysPresent::new(ring(67));
+        assert_eq!(g.sampled_presence_word(5, 0), Some(u64::MAX));
+        assert_eq!(g.sampled_presence_word(5, 1), Some(0b111));
+        let snapshot = g.edges_at(5);
+        assert_eq!(g.sampled_presence_word(5, 1), Some(snapshot.as_words()[1]));
+    }
+
+    #[test]
+    fn sampled_word_defaults_to_none_for_frame_schedules() {
+        // Calling through a generic bound on `&S` exercises the
+        // forwarding impls, which must propagate the answer unchanged.
+        fn via_forwarding<S: EdgeSchedule>(s: S) -> Option<u64> {
+            s.sampled_presence_word(0, 0)
+        }
+        let s = ScriptedSchedule::empty(ring(3), TailBehavior::AllPresent);
+        assert_eq!(s.sampled_presence_word(0, 0), None);
+        assert_eq!(via_forwarding(&s), None);
+        let boxed: Box<dyn EdgeSchedule> = Box::new(s);
+        assert_eq!(boxed.sampled_presence_word(0, 0), None);
+        let g = BernoulliSchedule::new(ring(3), 0.5, 1).expect("valid p");
+        assert_eq!(via_forwarding(&g), g.sampled_presence_word(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn sampled_word_panics_out_of_range() {
+        let g = BernoulliSchedule::new(ring(64), 0.5, 1).expect("valid p");
+        let _ = g.sampled_presence_word(0, 1);
+    }
+
+    #[test]
+    fn sparse_fill_matches_point_and_full_fills_for_every_edge_and_lane() {
+        // The three replica-word surfaces — point query, full fill,
+        // sparse fill (with duplicate edges in the list) — are one
+        // stream.
+        for p in [0.0, 0.3, 0.5, 0.75, 1.0] {
+            let replicas = BernoulliReplicas::new(ring(13), p, 0xFACE).expect("valid p");
+            let edges: Vec<u32> = (0..13u32).chain([0, 5, 5, 12]).collect();
+            let mut full = vec![0u64; 13];
+            let mut sparse = vec![0u64; 13];
+            for t in 0..30u64 {
+                replicas.presence_words_into(t, &mut full);
+                sparse.fill(0);
+                replicas.presence_words_sparse_into(t, &edges, &mut sparse);
+                assert_eq!(full, sparse, "p={p} t={t}");
+                for e in replicas.ring().edges() {
+                    assert_eq!(
+                        full[e.index()],
+                        replicas.presence_word(e, t),
+                        "p={p} t={t} e={e}"
+                    );
                 }
             }
         }

@@ -390,6 +390,100 @@ proptest! {
         }
     }
 
+    /// The masked-tail invariant and the sampled-word surface at
+    /// off-word-boundary universes (n % 64 != 0): `from_words`,
+    /// `set_word` and `sampled_presence_word` must never leave a stray
+    /// tail bit, and fallible presence queries must report — not panic
+    /// on — out-of-range edges, for every schedule with word access.
+    #[test]
+    fn partial_tail_words_and_fallible_queries_are_hardened(
+        n_index in 0usize..3,
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+        t in 0u64..5000,
+        beyond in 0usize..100,
+    ) {
+        use dynring_graph::{BernoulliReplicas, BernoulliSchedule, GraphError};
+
+        let n = [63usize, 65, 127][n_index];
+        let ring = RingTopology::new(n).expect("valid ring");
+        let tail_bits = n % 64;
+        let last_word = n / 64;
+
+        // set_word / from_words with all-ones input: the tail must be
+        // masked, len must equal the universe, and the canonical forms
+        // must agree.
+        let words = vec![u64::MAX; n.div_ceil(64)];
+        let filled = EdgeSet::from_words(n, &words);
+        prop_assert!(filled.is_full());
+        prop_assert_eq!(filled.as_words()[last_word] >> tail_bits, 0);
+        let mut via_set_word = EdgeSet::empty(n);
+        for w in 0..words.len() {
+            via_set_word.set_word(w, u64::MAX);
+        }
+        prop_assert_eq!(&via_set_word, &filled);
+        prop_assert_eq!(via_set_word.len(), n);
+
+        // Sampled-word extraction: bit-for-bit the snapshot word, tail
+        // masked, at every word index including the partial last one.
+        let schedule = BernoulliSchedule::new(ring.clone(), p, seed).expect("valid p");
+        let snapshot = schedule.edges_at(t);
+        for w in 0..snapshot.word_count() {
+            let sampled = schedule.sampled_presence_word(t, w);
+            prop_assert_eq!(sampled, Some(snapshot.as_words()[w]), "word {}", w);
+        }
+        prop_assert_eq!(
+            schedule.sampled_presence_word(t, last_word).expect("word access") >> tail_bits,
+            0,
+            "stray tail bit in the sampled word"
+        );
+
+        // try_is_present: in-range edges answer the stream, out-of-range
+        // edges return the error (never panic) — through the direct
+        // impls and the forwarding ones.
+        let foreign = EdgeId::new(n + beyond);
+        prop_assert_eq!(
+            schedule.try_is_present(EdgeId::new(n - 1), t),
+            Ok(schedule.is_present(EdgeId::new(n - 1), t))
+        );
+        let direct_err = matches!(
+            schedule.try_is_present(foreign, t),
+            Err(GraphError::EdgeOutOfRange { .. })
+        );
+        prop_assert!(direct_err, "foreign edge must report EdgeOutOfRange");
+        fn via_forwarding<S: EdgeSchedule>(
+            s: S,
+            e: EdgeId,
+            t: u64,
+        ) -> Result<bool, GraphError> {
+            s.try_is_present(e, t)
+        }
+        let forwarded_err = matches!(
+            via_forwarding(&schedule, foreign, t),
+            Err(GraphError::EdgeOutOfRange { .. })
+        );
+        prop_assert!(forwarded_err, "forwarding impl must report EdgeOutOfRange");
+
+        let replicas = BernoulliReplicas::new(ring.clone(), p, seed).expect("valid p");
+        let lane = replicas.lane((seed % 64) as u32);
+        prop_assert_eq!(
+            lane.try_is_present(EdgeId::new(n - 1), t),
+            Ok((replicas.presence_word(EdgeId::new(n - 1), t) >> lane.lane()) & 1 == 1)
+        );
+        let lane_err = matches!(
+            lane.try_is_present(foreign, t),
+            Err(GraphError::EdgeOutOfRange { .. })
+        );
+        prop_assert!(lane_err, "lane schedule must report EdgeOutOfRange");
+
+        let boxed: Box<dyn EdgeSchedule> = Box::new(schedule);
+        let boxed_err = matches!(
+            boxed.try_is_present(foreign, t),
+            Err(GraphError::EdgeOutOfRange { .. })
+        );
+        prop_assert!(boxed_err, "boxed schedule must report EdgeOutOfRange");
+    }
+
     /// Distribution equivalence of the samplers: across seeds, both the
     /// word-parallel bit-sliced stream and the per-edge reference stream
     /// hit rate p within a chi-square tolerance (one-cell χ² against the

@@ -41,3 +41,9 @@ table1:
 # summary JSON of this exact configuration is pinned by a test).
 montecarlo:
     cargo run --release -- montecarlo --n 16 --k 3 --p 0.5 --replicas 256 --horizon 2000 --seed 7
+
+# Large-ring Monte Carlo sweep: n = 4096 rides the demand-driven sparse
+# snapshot fill, so batch throughput stays within 2x of small rings
+# (gated by bench-report --check via the batch flatness tripwire).
+montecarlo-large:
+    cargo run --release -- montecarlo --n 4096 --k 3 --p 0.5 --replicas 256 --horizon 60000 --seed 7

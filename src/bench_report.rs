@@ -26,10 +26,14 @@
 //!
 //! Schema history: v1/v2 carried the seed-commit baseline; v3 embedded
 //! the PR 1 quiet-path numbers as the baseline, added `psweep`, and
-//! extended the ring sizes to 1024/4096; v4 (this PR) rebases the
-//! baseline on the PR 2 (schema-v3) quiet numbers, adds the `batch`
-//! block (`batch_replica_rounds_per_sec`) and the `(n, k) = (256, 64)`
-//! large-team workload, and gates static-path flatness across ring sizes.
+//! extended the ring sizes to 1024/4096; v4 rebased the baseline on the
+//! PR 2 (schema-v3) quiet numbers, added the `batch` block
+//! (`batch_replica_rounds_per_sec`) and the `(n, k) = (256, 64)`
+//! large-team workload, and gated static-path flatness across ring
+//! sizes; v5 (this PR) extends the batch workloads to
+//! `n ∈ {1024, 4096}` — feasible now that the snapshot fill is
+//! demand-driven on large rings — and gates batch flatness: the n = 4096
+//! batch rate must stay within 2× of n = 64 in the same run.
 
 use std::time::Instant;
 
@@ -48,7 +52,7 @@ use dynring_engine::{Dynamics, Simulator};
 use dynring_graph::{BernoulliSchedule, RingTopology};
 
 /// Schema tag of the emitted JSON.
-pub const SCHEMA: &str = "dynring-bench-engine/v4";
+pub const SCHEMA: &str = "dynring-bench-engine/v5";
 
 /// One measured engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -272,7 +276,7 @@ pub fn collect(quick: bool) -> BenchReport {
     // the same per-replica stream; the batch side runs them in lockstep,
     // the serial side one lane schedule after another on this thread.
     let mut batch = Vec::new();
-    for (n, k) in [(64usize, 3usize), (256, 3)] {
+    for (n, k) in [(64usize, 3usize), (256, 3), (1024, 3), (4096, 3)] {
         let mut batch_sim = batch_bernoulli_sim(n, k, BERNOULLI_P);
         let batch_rate = throughput(rounds / 16, |r| batch_sim.run(r)) * 64.0;
         let mut lanes = serial_lane_sims(n, k, BERNOULLI_P);
@@ -361,13 +365,22 @@ pub fn collect(quick: bool) -> BenchReport {
 /// before [`check_regression`] fails (the CI bench-smoke gate).
 pub const REGRESSION_TOLERANCE: f64 = 0.20;
 
+/// Minimum ratio of the batch engine's n = 4096 replica throughput to
+/// its n = 64 throughput within one run: the sparse snapshot fill
+/// decouples the batch round from ring size, so large-ring batch rates
+/// must stay within 2× of the small-ring figure (the tripwire for an
+/// O(n) cost sneaking back into the lockstep round).
+pub const BATCH_FLATNESS_TOLERANCE: f64 = 0.50;
+
 /// Compares `current` throughput against a `committed` snapshot: every
 /// `(bernoulli, n, k)` engine sample and every batch sample present in
 /// both must reach at least `1 - REGRESSION_TOLERANCE` of the committed
 /// number, **after machine calibration** — and, within the current run
 /// alone, static quiet throughput at `n = 4096` must stay within the
 /// same tolerance of `n = 64` (the occupancy-is-O(robots) flatness
-/// guarantee).
+/// guarantee) and batch replica throughput at `n = 4096` must stay
+/// within [`BATCH_FLATNESS_TOLERANCE`] of `n = 64` (the sparse-fill
+/// decoupling guarantee).
 ///
 /// Wall-clock throughput is machine-dependent (the committed snapshot and
 /// a CI runner are different hardware), so raw ratios would gate hardware
@@ -478,6 +491,46 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
                 ratio * 100.0,
                 old.batch_replica_rounds_per_sec,
                 calibration
+            ));
+        }
+    }
+
+    // Batch flatness within the current run: the sparse fill keeps the
+    // lockstep round O(robots), so n = 4096 must deliver at least
+    // BATCH_FLATNESS_TOLERANCE of the n = 64 replica throughput. No
+    // calibration — both samples come from the same machine.
+    let batch_rate = |report: &BenchReport, n: usize| {
+        report
+            .batch
+            .iter()
+            .find(|s| s.ring_size == n && s.robots == 3)
+            .map(|s| s.batch_replica_rounds_per_sec)
+    };
+    let flatness_pair = (batch_rate(current, 64), batch_rate(current, 4096));
+    if !current.batch.is_empty() && (flatness_pair.0.is_none() || flatness_pair.1.is_none()) {
+        // Mirror the zero-comparable-samples rule: losing one of the two
+        // flatness workloads must fail loudly, not skip the gate.
+        regressions.push(
+            "batch flatness gate has no n=64/n=4096 sample pair to compare              (workload dropped or renamed?)"
+                .to_string(),
+        );
+    }
+    if let (Some(small), Some(large)) = flatness_pair {
+        let flatness = large / small;
+        let _ = writeln!(
+            table,
+            "batch flatness:  n=4096 at {:.2}x of n=64 ({:>14.0} vs {:>14.0} rr/s)",
+            flatness, large, small
+        );
+        if flatness < BATCH_FLATNESS_TOLERANCE {
+            regressions.push(format!(
+                "batch replica throughput is not flat in n: n=4096 runs at {:.0}% of n=64 \
+                 ({:.0} vs {:.0} replica-rounds/s, gate {:.0}%) — the sparse snapshot fill \
+                 is no longer decoupling the lockstep round from ring size",
+                flatness * 100.0,
+                large,
+                small,
+                BATCH_FLATNESS_TOLERANCE * 100.0
             ));
         }
     }

@@ -708,9 +708,9 @@ mod tests {
             quiet_rounds_per_sec: quiet,
             recorded_rounds_per_sec: quiet,
         };
-        let batch_sample = |rate: f64| BatchSample {
+        let batch_sample = |n: usize, rate: f64| BatchSample {
             workload: "bernoulli-batch".to_string(),
-            ring_size: 256,
+            ring_size: n,
             robots: 3,
             lanes: 64,
             p: 0.5,
@@ -728,7 +728,13 @@ mod tests {
                 engine_sample("static", 4096, n4096_quiet),
                 engine_sample("bernoulli", 64, 1e6),
             ],
-            batch: vec![batch_sample(batch_rate)],
+            // The flat 64/4096 pair keeps the flatness gate satisfied so
+            // this test isolates the vs-committed batch comparison.
+            batch: vec![
+                batch_sample(256, batch_rate),
+                batch_sample(64, 1e8),
+                batch_sample(4096, 1e8),
+            ],
             psweep: Vec::new(),
             sweep: SweepSample {
                 cells: 0,
@@ -749,10 +755,66 @@ mod tests {
         // with an equally-degraded committed snapshot (no calibration).
         let sloped = report(0.5e6, 6.4e7);
         assert!(check_regression(&sloped, &sloped.clone()).is_err());
-        // A committed snapshot without batch samples skips the batch gate.
+        // A committed snapshot without batch samples skips the
+        // vs-committed batch gate (the within-run flatness pair is still
+        // present and flat).
         let mut old = report(1e6, 6.4e7);
         old.batch.clear();
         assert!(check_regression(&old, &report(1e6, 1.0)).is_ok());
+        // Losing one side of the flatness pair fails loudly instead of
+        // silently skipping the gate.
+        let mut missing_pair = report(1e6, 6.4e7);
+        missing_pair.batch.retain(|b| b.ring_size != 4096);
+        assert!(check_regression(&missing_pair.clone(), &missing_pair).is_err());
+    }
+
+    #[test]
+    fn regression_check_gates_batch_flatness_across_ring_sizes() {
+        use crate::bench_report::{
+            check_regression, BatchSample, BenchReport, EngineSample, SweepSample,
+        };
+
+        let engine_sample = |workload: &str, n: usize, quiet: f64| EngineSample {
+            workload: workload.to_string(),
+            ring_size: n,
+            robots: 3,
+            quiet_rounds_per_sec: quiet,
+            recorded_rounds_per_sec: quiet,
+        };
+        let batch_sample = |n: usize, rate: f64| BatchSample {
+            workload: "bernoulli-batch".to_string(),
+            ring_size: n,
+            robots: 3,
+            lanes: 64,
+            p: 0.5,
+            batch_replica_rounds_per_sec: rate,
+            serial_replica_rounds_per_sec: rate / 5.0,
+            speedup: 5.0,
+        };
+        let report = |n4096_rate: f64| BenchReport {
+            schema: crate::bench_report::SCHEMA.to_string(),
+            note: String::new(),
+            baseline_note: String::new(),
+            baseline: Vec::new(),
+            engine: vec![engine_sample("static", 64, 1e6), engine_sample("bernoulli", 64, 1e6)],
+            batch: vec![batch_sample(64, 1e8), batch_sample(4096, n4096_rate)],
+            psweep: Vec::new(),
+            sweep: SweepSample {
+                cells: 0,
+                workers: 1,
+                serial_ms: 1.0,
+                parallel_ms: 1.0,
+                speedup: 1.0,
+            },
+        };
+        // n=4096 within 2x of n=64: passes, and the table names the gate.
+        let committed = report(6e7);
+        let table = check_regression(&committed, &report(6e7)).expect("flat enough");
+        assert!(table.contains("batch flatness"), "{table}");
+        // n=4096 below half of n=64 fails even against an equally-sloped
+        // committed snapshot: the gate is within-run, not calibrated.
+        let sloped = report(4e7);
+        assert!(check_regression(&sloped, &sloped.clone()).is_err());
     }
 
     #[test]
