@@ -98,10 +98,9 @@ where
         .collect()
 }
 
-/// Standard seed list for sweeps (deterministic, spread out).
-pub fn default_seeds(count: usize) -> Vec<u64> {
-    (0..count as u64).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1)).collect()
-}
+/// Standard seed list for sweeps — re-exported from the shared
+/// [`crate::seeds`] helper so every sweep layer derives seeds one way.
+pub use crate::seeds::default_seeds;
 
 /// Rounds per cover of one scenario, `None` when no cover completed — the
 /// scalar most benches sweep.

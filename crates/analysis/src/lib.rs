@@ -12,6 +12,7 @@
 //! - [`monte_carlo`] — replica sweeps on the 64-lane lockstep engine
 //!   (cover-time histograms, survival rates);
 //! - [`report`] — text / Markdown / CSV rendering;
+//! - [`seeds`] — the shared seed-derivation contract of every sweep;
 //! - [`stats`] — summary statistics.
 //!
 //! # Example: reproduce one Table 1 cell
@@ -47,16 +48,21 @@ pub mod monte_carlo;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
+pub mod seeds;
 pub mod stats;
 pub mod table1;
 pub mod verdict;
 
 pub use coverage::VisitLedger;
-pub use monte_carlo::{run_replicas, run_replicas_with, MonteCarloConfig, MonteCarloSummary};
+pub use monte_carlo::{
+    derive_batch_seed, run_replicas, run_replicas_with, BatchSweep, MonteCarloConfig,
+    MonteCarloSummary,
+};
 pub use parallel::{coverage_matrix, run_scenarios_par, run_scenarios_par_with, CoverageMatrix};
 pub use scenario::{
     run_on_schedule, run_scenario, run_scenario_capturing, AlgorithmChoice, DynamicsChoice,
-    PlacementSpec, Scenario, ScenarioError, ScenarioReport,
+    PlacementSpec, Scenario, ScenarioError, ScenarioReport, SchedulerChoice,
 };
+pub use seeds::{derive_stream_seed, mix64};
 pub use table1::{run_table1, run_table1_serial, Table1Options, Table1Report};
 pub use verdict::{ExplorationOutcome, SuccessCriteria};

@@ -103,68 +103,123 @@ pub struct MonteCarloSummary {
 /// Buckets of the cover-time histogram.
 pub const HISTOGRAM_BUCKETS: usize = 8;
 
-/// SplitMix64 finalizer (the same mixing function as the graph streams),
-/// local so seed derivation is part of this module's stable contract.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// The stream seed of batch `batch`: replicas `64·batch .. 64·batch + 64`
 /// are the 64 lanes of `BernoulliReplicas::new(ring, p, this seed)`.
+/// Delegates to the shared [`crate::seeds::derive_stream_seed`] (same
+/// formula, pinned by a test there), which the campaign executor and the
+/// sweep paths also use.
 pub fn derive_batch_seed(base: u64, batch: usize) -> u64 {
-    mix64(base ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    crate::seeds::derive_stream_seed(base, batch as u64)
 }
 
-/// Runs one 64-lane batch to its first-cover times (lanes beyond the
-/// replica budget are still simulated — they ride along for free — but
-/// the caller discards them).
-fn run_batch<A: BatchAlgorithm>(
-    algorithm: A,
-    ring: &RingTopology,
-    placements: &[dynring_engine::RobotPlacement],
-    cfg: &MonteCarloConfig,
-    batch: usize,
-) -> [Option<Time>; LANES] {
-    let replicas = BernoulliReplicas::new(
-        ring.clone(),
-        cfg.presence_probability,
-        derive_batch_seed(cfg.seed, batch),
-    )
-    .expect("probability validated by run_replicas");
-    let mut sim = BatchSimulator::new(ring.clone(), algorithm, replicas, placements.to_vec())
-        .expect("setup validated by run_replicas");
-    let mut coverage = BatchCoverage::new(&sim);
-    sim.run_covering(cfg.horizon, &mut coverage);
-    *coverage.first_covers()
+/// One batch-engine sweep over arbitrary (non-tower) placements: the
+/// lower-level contract behind [`run_replicas_with`], also driven
+/// directly by the campaign executor (whose units carry explicit
+/// placements the [`MonteCarloConfig`] shape cannot express).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSweep<'a> {
+    /// The algorithm under test.
+    pub algorithm: AlgorithmChoice,
+    /// The ring.
+    pub ring: &'a RingTopology,
+    /// Shared initial placements of every replica.
+    pub placements: &'a [dynring_engine::RobotPlacement],
+    /// Bernoulli presence probability `p`.
+    pub p: f64,
+    /// Rounds per replica before a lane is declared uncovered.
+    pub horizon: Time,
+    /// Number of replicas (64 per lockstep batch; the tail batch's extra
+    /// lanes are simulated but masked out of the result).
+    pub replicas: usize,
+    /// Base seed; batch `b` draws from `derive_batch_seed(seed, b)`.
+    pub seed: u64,
 }
 
-fn sweep_with_algorithm<A: BatchAlgorithm + Clone + Sync>(
-    algorithm: A,
-    ring: &RingTopology,
-    placements: &[dynring_engine::RobotPlacement],
-    cfg: &MonteCarloConfig,
-    workers: usize,
-) -> Vec<Option<Time>> {
-    let batches: Vec<usize> = (0..cfg.batches()).collect();
-    let per_batch = par_map(&batches, workers, |&b| {
-        run_batch(algorithm.clone(), ring, placements, cfg, b)
-    });
-    // Ghost-lane masking: when `replicas` is not a multiple of 64 the
-    // final batch simulates more lanes than the budget. Each batch's
-    // contribution is truncated to its own lane budget here — at the
-    // source, not by a global truncation downstream — so no code path
-    // over the flattened results can ever see a ghost lane.
-    per_batch
-        .into_iter()
-        .enumerate()
-        .flat_map(|(b, firsts)| {
-            let lane_budget = cfg.replicas.saturating_sub(b * LANES).min(LANES);
-            firsts.into_iter().take(lane_budget)
+impl BatchSweep<'_> {
+    /// Number of 64-lane batches this sweep runs.
+    pub fn batches(&self) -> usize {
+        self.replicas.div_ceil(LANES)
+    }
+
+    /// Runs every replica to its first cover (batches fanned over
+    /// `workers` threads; byte-identical for every worker count).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] when the sweep is ill-formed (invalid
+    /// probability, bad placements, zero replicas).
+    pub fn first_covers(&self, workers: usize) -> Result<Vec<Option<Time>>, ScenarioError> {
+        // Validate probability through the stream constructor once, and
+        // ring/placement compatibility with the real engine error, before
+        // fanning out.
+        BatchSimulator::new(
+            self.ring.clone(),
+            Pef3Plus::new(),
+            BernoulliReplicas::new(self.ring.clone(), self.p, self.seed)?,
+            self.placements.to_vec(),
+        )?;
+        if self.replicas == 0 {
+            return Err(ScenarioError::NoReplicas);
+        }
+        Ok(match self.algorithm {
+            AlgorithmChoice::Pef3Plus => self.sweep_with(Pef3Plus::new(), workers),
+            AlgorithmChoice::Pef2 => self.sweep_with(Pef2::new(), workers),
+            AlgorithmChoice::Pef1 => self.sweep_with(Pef1::new(), workers),
+            AlgorithmChoice::KeepDirection => self.sweep_with(KeepDirection, workers),
+            AlgorithmChoice::BounceOnMissingEdge => {
+                self.sweep_with(BounceOnMissingEdge, workers)
+            }
+            AlgorithmChoice::AlwaysTurnOnTower => self.sweep_with(AlwaysTurnOnTower, workers),
+            AlgorithmChoice::AlternateDirection => self.sweep_with(AlternateDirection, workers),
+            AlgorithmChoice::RandomDirection { seed } => {
+                self.sweep_with(RandomDirection::new(seed), workers)
+            }
         })
-        .collect()
+    }
+
+    /// Runs one 64-lane batch to its first-cover times (lanes beyond the
+    /// replica budget are still simulated — they ride along for free —
+    /// but the caller discards them).
+    fn run_batch<A: BatchAlgorithm>(&self, algorithm: A, batch: usize) -> [Option<Time>; LANES] {
+        let replicas = BernoulliReplicas::new(
+            self.ring.clone(),
+            self.p,
+            derive_batch_seed(self.seed, batch),
+        )
+        .expect("probability validated by first_covers");
+        let mut sim = BatchSimulator::new(
+            self.ring.clone(),
+            algorithm,
+            replicas,
+            self.placements.to_vec(),
+        )
+        .expect("setup validated by first_covers");
+        let mut coverage = BatchCoverage::new(&sim);
+        sim.run_covering(self.horizon, &mut coverage);
+        *coverage.first_covers()
+    }
+
+    fn sweep_with<A: BatchAlgorithm + Clone + Sync>(
+        &self,
+        algorithm: A,
+        workers: usize,
+    ) -> Vec<Option<Time>> {
+        let batches: Vec<usize> = (0..self.batches()).collect();
+        let per_batch = par_map(&batches, workers, |&b| self.run_batch(algorithm.clone(), b));
+        // Ghost-lane masking: when `replicas` is not a multiple of 64 the
+        // final batch simulates more lanes than the budget. Each batch's
+        // contribution is truncated to its own lane budget here — at the
+        // source, not by a global truncation downstream — so no code path
+        // over the flattened results can ever see a ghost lane.
+        per_batch
+            .into_iter()
+            .enumerate()
+            .flat_map(|(b, firsts)| {
+                let lane_budget = self.replicas.saturating_sub(b * LANES).min(LANES);
+                firsts.into_iter().take(lane_budget)
+            })
+            .collect()
+    }
 }
 
 /// Runs the sweep on all cores. See [`run_replicas_with`].
@@ -190,42 +245,17 @@ pub fn run_replicas_with(
     workers: usize,
 ) -> Result<MonteCarloSummary, ScenarioError> {
     let ring = RingTopology::new(cfg.ring_size)?;
-    // Validate probability through the stream constructor once.
-    BernoulliReplicas::new(ring.clone(), cfg.presence_probability, cfg.seed)?;
     let placements = PlacementSpec::EvenlySpaced { count: cfg.robots }.build(cfg.ring_size);
-    if cfg.replicas == 0 {
-        return Err(ScenarioError::NoReplicas);
-    }
-    // Validate ring/placement compatibility once, with the real engine
-    // error, before fanning out.
-    BatchSimulator::new(
-        ring.clone(),
-        Pef3Plus::new(),
-        BernoulliReplicas::new(ring.clone(), cfg.presence_probability, cfg.seed)?,
-        placements.clone(),
-    )?;
-    let firsts = match cfg.algorithm {
-        AlgorithmChoice::Pef3Plus => {
-            sweep_with_algorithm(Pef3Plus::new(), &ring, &placements, cfg, workers)
-        }
-        AlgorithmChoice::Pef2 => sweep_with_algorithm(Pef2::new(), &ring, &placements, cfg, workers),
-        AlgorithmChoice::Pef1 => sweep_with_algorithm(Pef1::new(), &ring, &placements, cfg, workers),
-        AlgorithmChoice::KeepDirection => {
-            sweep_with_algorithm(KeepDirection, &ring, &placements, cfg, workers)
-        }
-        AlgorithmChoice::BounceOnMissingEdge => {
-            sweep_with_algorithm(BounceOnMissingEdge, &ring, &placements, cfg, workers)
-        }
-        AlgorithmChoice::AlwaysTurnOnTower => {
-            sweep_with_algorithm(AlwaysTurnOnTower, &ring, &placements, cfg, workers)
-        }
-        AlgorithmChoice::AlternateDirection => {
-            sweep_with_algorithm(AlternateDirection, &ring, &placements, cfg, workers)
-        }
-        AlgorithmChoice::RandomDirection { seed } => {
-            sweep_with_algorithm(RandomDirection::new(seed), &ring, &placements, cfg, workers)
-        }
+    let sweep = BatchSweep {
+        algorithm: cfg.algorithm,
+        ring: &ring,
+        placements: &placements,
+        p: cfg.presence_probability,
+        horizon: cfg.horizon,
+        replicas: cfg.replicas,
+        seed: cfg.seed,
     };
+    let firsts = sweep.first_covers(workers)?;
     Ok(summarize(cfg.clone(), &firsts))
 }
 

@@ -186,7 +186,7 @@ pub fn coverage_matrix(
                     dynamics,
                     horizon,
                 )
-                .with_seed(seed ^ ((j as u64) << 32))
+                .with_seed(crate::seeds::derive_stream_seed(seed, j as u64))
             })
         })
         .collect();

@@ -177,6 +177,56 @@ impl DynamicsChoice {
     }
 }
 
+/// How robots are activated each round (the execution model axis).
+///
+/// Serialized as a plain string (`"fsync"` / `"ssync-round-robin"`);
+/// deserializing `null` or a missing field yields [`SchedulerChoice::Fsync`]
+/// so artifacts captured before this axis existed keep replaying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerChoice {
+    /// Fully synchronous: every robot is activated every round (the
+    /// paper's model for all possibility results).
+    #[default]
+    Fsync,
+    /// Semi-synchronous round-robin: exactly one robot per round, in id
+    /// order (the schedule under which the SSYNC impossibility bites).
+    SsyncRoundRobin,
+}
+
+impl SchedulerChoice {
+    /// Display name (also the serialized form).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerChoice::Fsync => "fsync",
+            SchedulerChoice::SsyncRoundRobin => "ssync-round-robin",
+        }
+    }
+}
+
+impl Serialize for SchedulerChoice {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.name().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SchedulerChoice {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        match deserializer.deserialize_value()? {
+            serde::Value::Null => Ok(SchedulerChoice::Fsync),
+            serde::Value::String(s) => match s.as_str() {
+                "fsync" => Ok(SchedulerChoice::Fsync),
+                "ssync-round-robin" => Ok(SchedulerChoice::SsyncRoundRobin),
+                other => Err(D::Error::custom(format!("unknown scheduler: {other}"))),
+            },
+            other => Err(D::Error::custom(format!(
+                "expected scheduler string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// How robots are placed initially.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PlacementSpec {
@@ -247,6 +297,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Verdict criteria.
     pub criteria: SuccessCriteria,
+    /// The activation scheduler (FSYNC unless stated otherwise).
+    pub scheduler: SchedulerChoice,
 }
 
 impl Scenario {
@@ -266,12 +318,19 @@ impl Scenario {
             horizon,
             seed: 0xDECADE,
             criteria: SuccessCriteria::default(),
+            scheduler: SchedulerChoice::Fsync,
         }
     }
 
     /// Returns the scenario with another seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the scenario with another activation scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerChoice) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -425,7 +484,12 @@ fn run_with_algorithm<A: Algorithm>(
 ) -> Result<(ExecutionTrace, CotVerdict, ScriptedSchedule), ScenarioError> {
     let capturing = Capturing::new(dynamics);
     let mut sim = Simulator::new(ring, algorithm, capturing, placements)?;
-    if matches!(scenario.dynamics, DynamicsChoice::SsyncBlocker) {
+    // The SSYNC blocker only makes sense under round-robin activation, so
+    // that dynamics implies the scheduler regardless of the scenario's own
+    // choice.
+    if matches!(scenario.scheduler, SchedulerChoice::SsyncRoundRobin)
+        || matches!(scenario.dynamics, DynamicsChoice::SsyncBlocker)
+    {
         sim.set_activation(RoundRobinSingle);
     }
     let trace = sim.run_recording(scenario.horizon);
@@ -821,6 +885,45 @@ mod tests {
         let report = run_scenario(&scenario).expect("valid scenario");
         assert!(report.is_perpetual(), "{:?}", report.outcome);
         assert!(report.cot.is_certified());
+    }
+
+    #[test]
+    fn ssync_scheduler_slows_covers_but_still_explores() {
+        let base = Scenario::new(
+            6,
+            PlacementSpec::EvenlySpaced { count: 3 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::Static,
+            600,
+        );
+        let fsync = run_scenario(&base).expect("valid scenario");
+        let ssync = run_scenario(&base.clone().with_scheduler(SchedulerChoice::SsyncRoundRobin))
+            .expect("valid scenario");
+        // One robot per round instead of all three: strictly fewer moves,
+        // strictly later first cover, but the static ring is still covered.
+        assert!(ssync.moves < fsync.moves, "{} vs {}", ssync.moves, fsync.moves);
+        assert!(ssync.first_cover.expect("covers") > fsync.first_cover.expect("covers"));
+    }
+
+    #[test]
+    fn scheduler_field_round_trips_and_defaults_on_old_artifacts() {
+        let scenario = Scenario::new(
+            6,
+            PlacementSpec::EvenlySpaced { count: 2 },
+            AlgorithmChoice::Pef3Plus,
+            DynamicsChoice::Static,
+            100,
+        )
+        .with_scheduler(SchedulerChoice::SsyncRoundRobin);
+        let json = serde_json::to_string(&scenario).expect("serialize");
+        assert!(json.contains("\"ssync-round-robin\""), "{json}");
+        let back: Scenario = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.scheduler, SchedulerChoice::SsyncRoundRobin);
+        // A pre-axis artifact (no scheduler field) deserializes to FSYNC.
+        let old = json.replace(",\"scheduler\":\"ssync-round-robin\"", "");
+        assert_ne!(old, json, "the field must have been present to strip");
+        let legacy: Scenario = serde_json::from_str(&old).expect("deserialize legacy");
+        assert_eq!(legacy.scheduler, SchedulerChoice::Fsync);
     }
 
     #[test]

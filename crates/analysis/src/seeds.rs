@@ -1,0 +1,93 @@
+//! Deterministic seed derivation, shared by every sweep layer.
+//!
+//! The Monte Carlo batch runner, the grid sweeps, the coverage matrix and
+//! the campaign executor all need the same thing: turn one base seed plus
+//! a small index into a well-mixed, collision-free stream seed. Before
+//! this module each path carried its own copy of the formula; they are
+//! now all the same [`derive_stream_seed`] (or, for pre-seeded lists,
+//! [`default_seeds`]), so a unit of any sweep can be replayed in
+//! isolation by re-deriving its seed from `(base, index)`.
+//!
+//! The mixing function is the SplitMix64 finalizer — the same one behind
+//! the graph crate's presence streams — so derived seeds are
+//! indistinguishable from independent draws while staying a pure function
+//! of their inputs.
+
+/// SplitMix64 finalizer.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The stream seed of sub-experiment `index` under `base`: golden-ratio
+/// index spreading followed by [`mix64`].
+///
+/// This is the contract behind batch/replica reproducibility: Monte Carlo
+/// batch `b` of a sweep seeded `s` always draws from
+/// `derive_stream_seed(s, b)`, and a campaign unit's replica `r` always
+/// runs batch `r / 64` lane `r % 64` of the same derivation — so any
+/// single replica can be rebuilt bit-for-bit from the pair alone.
+pub fn derive_stream_seed(base: u64, index: u64) -> u64 {
+    mix64(base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Standard seed list for seed-batch sweeps (deterministic, spread out).
+/// Kept bit-compatible with the historical `grid::default_seeds`.
+pub fn default_seeds(count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_seeds_match_the_historical_batch_formula() {
+        // `monte_carlo::derive_batch_seed` delegated here without changing
+        // a single derived value; this pins the formula so the committed
+        // Monte Carlo summaries (and every campaign store) stay replayable.
+        fn old_derive(base: u64, batch: usize) -> u64 {
+            mix64(base ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+        for base in [0u64, 0xDECADE, 0xFEED, u64::MAX] {
+            for index in [0usize, 1, 2, 63, 64, 1000] {
+                assert_eq!(derive_stream_seed(base, index as u64), old_derive(base, index));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_indices_and_bases() {
+        let mut seen = std::collections::BTreeSet::new();
+        for base in [0u64, 1, 0xDECADE] {
+            for index in 0..1000u64 {
+                assert!(
+                    seen.insert(derive_stream_seed(base, index)),
+                    "collision at base={base} index={index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_seeds_are_distinct_and_stable() {
+        let seeds = default_seeds(8);
+        assert_eq!(seeds[0], 0x9E37_79B9);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_probe() {
+        // Not a proof, but distinct inputs in a window must stay distinct
+        // (mix64 is invertible; a typo in a constant would break this).
+        let mut seen = std::collections::BTreeSet::new();
+        for z in 0..4096u64 {
+            assert!(seen.insert(mix64(z)));
+        }
+    }
+}

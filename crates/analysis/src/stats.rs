@@ -1,5 +1,7 @@
 //! Small numeric helpers for experiment summaries.
 
+use serde::{Deserialize, Serialize};
+
 /// Mean of a slice (0 for empty input).
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -40,7 +42,7 @@ pub fn median(values: &[f64]) -> f64 {
 }
 
 /// Summary statistics of a sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,

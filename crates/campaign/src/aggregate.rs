@@ -1,0 +1,324 @@
+//! Folding a result store into cover-time / survival summary reports.
+//!
+//! The aggregator groups completed units by `(algorithm, dynamics,
+//! scheduler)` — the axes a reader compares — and folds the integer
+//! accumulators of every [`UnitRecord`] in the group. All statistics
+//! derive from integer sums, so a report is a pure function of the store
+//! and byte-identical across machines (the property the pinned
+//! campaign-smoke summary relies on).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dynring_analysis::stats::Summary;
+use dynring_graph::Time;
+
+use crate::executor::UnitRecord;
+use crate::spec::CampaignPlan;
+
+/// One `(algorithm, dynamics, scheduler)` cell of the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignGroup {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Dynamics display name.
+    pub dynamics: String,
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Completed units in the group.
+    pub units: usize,
+    /// Replicas executed across those units.
+    pub replicas: usize,
+    /// Replicas that completed a first cover within their horizon.
+    pub covered: usize,
+    /// `covered / replicas`.
+    pub survival_rate: f64,
+    /// Mean first-cover round over the covered replicas (0 when none).
+    pub mean_cover_time: f64,
+    /// Minimum first-cover round over the covered replicas.
+    pub min_cover_time: Option<Time>,
+    /// Maximum first-cover round over the covered replicas.
+    pub max_cover_time: Option<Time>,
+    /// Distribution of the per-unit survival rates (spread across the
+    /// group's grid points and seeds).
+    pub unit_survival: Summary,
+}
+
+/// The folded report of one campaign store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Spec content hash.
+    pub spec_hash: String,
+    /// Units in the plan.
+    pub planned_units: usize,
+    /// Units completed in the store.
+    pub completed_units: usize,
+    /// Completed units routed to the batch engine.
+    pub batch_units: usize,
+    /// Completed units routed to the serial engines.
+    pub serial_units: usize,
+    /// Replicas executed across all completed units.
+    pub total_replicas: usize,
+    /// Covered replicas across all completed units.
+    pub covered_replicas: usize,
+    /// Groups, sorted by `(algorithm, dynamics, scheduler)`.
+    pub groups: Vec<CampaignGroup>,
+}
+
+impl CampaignReport {
+    /// `true` when every planned unit has a record.
+    pub fn is_complete(&self) -> bool {
+        self.completed_units == self.planned_units
+    }
+}
+
+/// Folds the plan and its completed records into the report. Records not
+/// in the plan (a foreign store — normally rejected earlier via the spec
+/// hash) are ignored; duplicate hashes count once, first record wins.
+pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport {
+    let planned: BTreeMap<&str, ()> =
+        plan.units.iter().map(|u| (u.hash.as_str(), ())).collect();
+    let mut seen: BTreeMap<&str, &UnitRecord> = BTreeMap::new();
+    for record in records {
+        if planned.contains_key(record.hash.as_str()) {
+            seen.entry(record.hash.as_str()).or_insert(record);
+        }
+    }
+    let mut batch_units = 0usize;
+    let mut serial_units = 0usize;
+    let mut total_replicas = 0usize;
+    let mut covered_replicas = 0usize;
+
+    struct Acc {
+        units: usize,
+        replicas: usize,
+        covered: usize,
+        total_cover_time: u64,
+        min: Option<Time>,
+        max: Option<Time>,
+        unit_survivals: Vec<f64>,
+    }
+    let mut groups: BTreeMap<(String, String, String), Acc> = BTreeMap::new();
+    // Iterate in plan order so the per-group survival vectors (and with
+    // them the medians) are deterministic.
+    for planned_unit in &plan.units {
+        let Some(record) = seen.get(planned_unit.hash.as_str()) else {
+            continue;
+        };
+        if record.route == "batch" {
+            batch_units += 1;
+        } else {
+            serial_units += 1;
+        }
+        total_replicas += record.result.replicas;
+        covered_replicas += record.result.covered;
+        let key = (
+            record.unit.algorithm.name().to_string(),
+            record.unit.dynamics.name().to_string(),
+            record.unit.scheduler.name().to_string(),
+        );
+        let acc = groups.entry(key).or_insert(Acc {
+            units: 0,
+            replicas: 0,
+            covered: 0,
+            total_cover_time: 0,
+            min: None,
+            max: None,
+            unit_survivals: Vec::new(),
+        });
+        acc.units += 1;
+        acc.replicas += record.result.replicas;
+        acc.covered += record.result.covered;
+        acc.total_cover_time += record.result.total_cover_time;
+        acc.min = match (acc.min, record.result.min_cover_time) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        acc.max = match (acc.max, record.result.max_cover_time) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        acc.unit_survivals.push(record.result.survival_rate());
+    }
+    let completed_units = batch_units + serial_units;
+    let groups = groups
+        .into_iter()
+        .map(|((algorithm, dynamics, scheduler), acc)| CampaignGroup {
+            algorithm,
+            dynamics,
+            scheduler,
+            units: acc.units,
+            replicas: acc.replicas,
+            covered: acc.covered,
+            survival_rate: if acc.replicas == 0 {
+                0.0
+            } else {
+                acc.covered as f64 / acc.replicas as f64
+            },
+            mean_cover_time: if acc.covered == 0 {
+                0.0
+            } else {
+                acc.total_cover_time as f64 / acc.covered as f64
+            },
+            min_cover_time: acc.min,
+            max_cover_time: acc.max,
+            unit_survival: Summary::of(&acc.unit_survivals),
+        })
+        .collect();
+    CampaignReport {
+        name: plan.name.clone(),
+        spec_hash: plan.spec_hash.clone(),
+        planned_units: plan.units.len(),
+        completed_units,
+        batch_units,
+        serial_units,
+        total_replicas,
+        covered_replicas,
+        groups,
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(report: &CampaignReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign `{}` (spec {}): {}/{} units complete \
+         ({} batch-routed, {} serial), {}/{} replicas covered",
+        report.name,
+        report.spec_hash,
+        report.completed_units,
+        report.planned_units,
+        report.batch_units,
+        report.serial_units,
+        report.covered_replicas,
+        report.total_replicas,
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:<22} {:<7} {:>5} {:>8} {:>9} {:>12} {:>8} {:>8}",
+        "algorithm", "dynamics", "sched", "units", "replicas", "survival", "mean-cover", "min", "max"
+    );
+    for g in &report.groups {
+        let _ = writeln!(
+            out,
+            "{:<22} {:<22} {:<7} {:>5} {:>8} {:>8.0}% {:>12.1} {:>8} {:>8}",
+            g.algorithm,
+            g.dynamics,
+            g.scheduler,
+            g.units,
+            g.replicas,
+            g.survival_rate * 100.0,
+            g.mean_cover_time,
+            g.min_cover_time.map_or_else(|| "-".to_string(), |t| t.to_string()),
+            g.max_cover_time.map_or_else(|| "-".to_string(), |t| t.to_string()),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute_unit, UnitMeasurement};
+    use crate::spec::{CampaignSpec, PlacementAxis, UnitDynamics, UnitScheduler};
+    use dynring_analysis::AlgorithmChoice;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "agg".into(),
+            ring_sizes: vec![5],
+            robots: vec![2],
+            placements: vec![PlacementAxis::EvenlySpaced],
+            algorithms: vec![AlgorithmChoice::Pef3Plus, AlgorithmChoice::KeepDirection],
+            dynamics: vec![UnitDynamics::Bernoulli { p: 0.6 }, UnitDynamics::Static],
+            schedulers: vec![UnitScheduler::Sync],
+            seeds: vec![1, 2],
+            horizon: 300,
+            replicas: 4,
+        }
+    }
+
+    #[test]
+    fn aggregates_groups_and_totals() {
+        let plan = spec().plan().expect("valid spec");
+        let records: Vec<_> = plan
+            .units
+            .iter()
+            .map(|u| execute_unit(u).expect("unit runs"))
+            .collect();
+        let report = aggregate(&plan, &records);
+        assert!(report.is_complete());
+        assert_eq!(report.completed_units, 8);
+        // 2 algorithms × 2 dynamics × 1 scheduler groups.
+        assert_eq!(report.groups.len(), 4);
+        // Bernoulli×sync units are batch-routed, static ones serial.
+        assert_eq!(report.batch_units, 4);
+        assert_eq!(report.serial_units, 4);
+        // Totals tie out against the groups.
+        let group_replicas: usize = report.groups.iter().map(|g| g.replicas).sum();
+        assert_eq!(group_replicas, report.total_replicas);
+        let group_covered: usize = report.groups.iter().map(|g| g.covered).sum();
+        assert_eq!(group_covered, report.covered_replicas);
+        // Rendering mentions every group's algorithm.
+        let text = render(&report);
+        assert!(text.contains("PEF_3+"), "{text}");
+        assert!(text.contains("keep-direction"), "{text}");
+    }
+
+    #[test]
+    fn partial_stores_report_incomplete() {
+        let plan = spec().plan().expect("valid spec");
+        let records: Vec<_> = plan
+            .units
+            .iter()
+            .take(3)
+            .map(|u| execute_unit(u).expect("unit runs"))
+            .collect();
+        let report = aggregate(&plan, &records);
+        assert!(!report.is_complete());
+        assert_eq!(report.completed_units, 3);
+    }
+
+    #[test]
+    fn duplicate_and_foreign_records_do_not_double_count() {
+        let plan = spec().plan().expect("valid spec");
+        let record = execute_unit(&plan.units[0]).expect("unit runs");
+        let mut foreign = record.clone();
+        foreign.hash = "ffffffffffffffff".into();
+        let report = aggregate(&plan, &[record.clone(), record, foreign]);
+        assert_eq!(report.completed_units, 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let plan = spec().plan().expect("valid spec");
+        let records: Vec<_> = plan
+            .units
+            .iter()
+            .map(|u| execute_unit(u).expect("unit runs"))
+            .collect();
+        let report = aggregate(&plan, &records);
+        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let back: CampaignReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn measurement_statistics_are_integer_derived() {
+        let m = UnitMeasurement {
+            replicas: 4,
+            covered: 2,
+            total_cover_time: 30,
+            min_cover_time: Some(10),
+            max_cover_time: Some(20),
+        };
+        assert_eq!(m.mean_cover_time(), 15.0);
+        assert_eq!(m.survival_rate(), 0.5);
+    }
+}

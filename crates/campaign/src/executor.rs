@@ -1,0 +1,632 @@
+//! Unit execution and routing: batch engine when eligible, serial engine
+//! otherwise — with bit-for-bit reproducible measurements either way.
+//!
+//! The routing rule is a pure function of the unit
+//! ([`route_unit`]): a unit runs on the 64-replica lockstep
+//! [`dynring_engine::BatchSimulator`] iff its dynamics is the pure
+//! Bernoulli stream **and** its scheduler is FSYNC — exactly the
+//! combination whose per-lane execution is proven bit-identical to the
+//! serial engine. Everything else (adaptive adversaries, repaired
+//! stochastic classes, SSYNC/ASYNC scheduling) falls back to the serial
+//! engines. Because the decision depends only on the unit, sharding a
+//! campaign over threads cannot change any record's route or bytes.
+//!
+//! Replica seeds follow the Monte Carlo contract
+//! ([`dynring_analysis::seeds::derive_stream_seed`]): replica `r` of a
+//! Bernoulli unit is lane `r % 64` of the stream seeded
+//! `derive_stream_seed(unit.seed, r / 64)`, so any replica of any store
+//! can be replayed in isolation on the serial engine.
+
+use serde::{Deserialize, Serialize};
+
+use dynring_analysis::scenario::SchedulerChoice;
+use dynring_analysis::seeds::derive_stream_seed;
+use dynring_analysis::{BatchSweep, Scenario, ScenarioError};
+use dynring_core::baselines::{
+    AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection, RandomDirection,
+};
+use dynring_core::{Pef1, Pef2, Pef3Plus};
+use dynring_engine::async_exec::{AsyncSimulator, ObliviousAsync};
+use dynring_engine::{
+    Algorithm, Oblivious, RobotPlacement, RoundRobinSingle, Simulator, LANES,
+};
+use dynring_graph::{AlwaysPresent, BernoulliReplicas, EdgeSchedule, NodeId, RingTopology, Time};
+
+use crate::spec::{PlannedUnit, UnitDynamics, UnitScheduler, WorkUnit};
+use crate::CampaignError;
+
+use dynring_analysis::AlgorithmChoice;
+
+/// Where a unit executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The 64-replica lockstep batch engine.
+    Batch,
+    /// The serial engines (round simulator or phase-split async
+    /// simulator).
+    Serial,
+}
+
+impl Route {
+    /// Display name (also the form recorded in the store).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Route::Batch => "batch",
+            Route::Serial => "serial",
+        }
+    }
+}
+
+/// The batch-eligibility rule: pure Bernoulli dynamics under the FSYNC
+/// scheduler. A pure function of the unit, so the decision is identical
+/// on every shard of every run.
+pub fn route_unit(unit: &WorkUnit) -> Route {
+    if unit.dynamics.is_pure_bernoulli() && unit.scheduler == UnitScheduler::Sync {
+        Route::Batch
+    } else {
+        Route::Serial
+    }
+}
+
+/// What one unit measured: first-cover statistics over its replicas.
+/// Integer accumulators only (`total_cover_time` instead of a float sum),
+/// so records are byte-identical across machines and worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitMeasurement {
+    /// Replicas executed.
+    pub replicas: usize,
+    /// Replicas that completed a first cover within the horizon.
+    pub covered: usize,
+    /// Sum of first-cover rounds over the covered replicas.
+    pub total_cover_time: u64,
+    /// Minimum first-cover round over the covered replicas.
+    pub min_cover_time: Option<Time>,
+    /// Maximum first-cover round over the covered replicas.
+    pub max_cover_time: Option<Time>,
+}
+
+impl UnitMeasurement {
+    /// Folds per-replica first covers into the measurement.
+    pub fn from_first_covers(firsts: &[Option<Time>]) -> Self {
+        let covered: Vec<Time> = firsts.iter().filter_map(|&c| c).collect();
+        UnitMeasurement {
+            replicas: firsts.len(),
+            covered: covered.len(),
+            total_cover_time: covered.iter().sum(),
+            min_cover_time: covered.iter().copied().min(),
+            max_cover_time: covered.iter().copied().max(),
+        }
+    }
+
+    /// `covered / replicas`.
+    pub fn survival_rate(&self) -> f64 {
+        if self.replicas == 0 {
+            return 0.0;
+        }
+        self.covered as f64 / self.replicas as f64
+    }
+
+    /// Mean first-cover round over the covered replicas (0 when none).
+    pub fn mean_cover_time(&self) -> f64 {
+        if self.covered == 0 {
+            return 0.0;
+        }
+        self.total_cover_time as f64 / self.covered as f64
+    }
+}
+
+/// One line of the result store: a unit, where it ran, what it measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitRecord {
+    /// [`WorkUnit::content_hash`] — the store key.
+    pub hash: String,
+    /// Position in the plan expansion.
+    pub index: usize,
+    /// `"batch"` or `"serial"` ([`Route::name`]).
+    pub route: String,
+    /// The unit itself (stores are self-describing).
+    pub unit: WorkUnit,
+    /// The measurement.
+    pub result: UnitMeasurement,
+}
+
+/// Dispatches `$body` with `$alg` bound to the concrete algorithm
+/// instance of an [`AlgorithmChoice`] — the serial twin of the batch
+/// dispatch inside [`BatchSweep::first_covers`].
+macro_rules! with_algorithm {
+    ($choice:expr, |$alg:ident| $body:expr) => {
+        match $choice {
+            AlgorithmChoice::Pef3Plus => {
+                let $alg = Pef3Plus::new();
+                $body
+            }
+            AlgorithmChoice::Pef2 => {
+                let $alg = Pef2::new();
+                $body
+            }
+            AlgorithmChoice::Pef1 => {
+                let $alg = Pef1::new();
+                $body
+            }
+            AlgorithmChoice::KeepDirection => {
+                let $alg = KeepDirection;
+                $body
+            }
+            AlgorithmChoice::BounceOnMissingEdge => {
+                let $alg = BounceOnMissingEdge;
+                $body
+            }
+            AlgorithmChoice::AlwaysTurnOnTower => {
+                let $alg = AlwaysTurnOnTower;
+                $body
+            }
+            AlgorithmChoice::AlternateDirection => {
+                let $alg = AlternateDirection;
+                $body
+            }
+            AlgorithmChoice::RandomDirection { seed } => {
+                let $alg = RandomDirection::new(seed);
+                $body
+            }
+        }
+    };
+}
+
+/// First-cover ledger shared by the serial loops.
+struct CoverLedger {
+    seen: Vec<bool>,
+    missing: usize,
+    first_cover: Option<Time>,
+}
+
+impl CoverLedger {
+    fn new(n: usize) -> Self {
+        CoverLedger { seen: vec![false; n], missing: n, first_cover: None }
+    }
+
+    fn note(&mut self, positions: &[NodeId], t: Time) {
+        for p in positions {
+            if !self.seen[p.index()] {
+                self.seen[p.index()] = true;
+                self.missing -= 1;
+                if self.missing == 0 && self.first_cover.is_none() {
+                    self.first_cover = Some(t);
+                }
+            }
+        }
+    }
+
+    fn covered(&self) -> bool {
+        self.missing == 0
+    }
+}
+
+/// One serial replica on the round simulator (FSYNC or SSYNC round-robin)
+/// over a pure schedule.
+fn serial_replica_sync<A: Algorithm, S: EdgeSchedule>(
+    ring: &RingTopology,
+    algorithm: A,
+    schedule: S,
+    placements: &[RobotPlacement],
+    scheduler: UnitScheduler,
+    horizon: Time,
+) -> Result<Option<Time>, ScenarioError> {
+    let mut sim = Simulator::new(
+        ring.clone(),
+        algorithm,
+        Oblivious::new(schedule),
+        placements.to_vec(),
+    )?;
+    if scheduler == UnitScheduler::Ssync {
+        sim.set_activation(RoundRobinSingle);
+    }
+    let mut ledger = CoverLedger::new(ring.node_count());
+    ledger.note(&sim.positions(), 0);
+    for t in 1..=horizon {
+        if ledger.covered() {
+            break;
+        }
+        sim.step_quiet();
+        ledger.note(&sim.positions(), t);
+    }
+    Ok(ledger.first_cover)
+}
+
+/// One serial replica on the phase-split async simulator over a pure
+/// schedule. Time is counted in *ticks*; the horizon buys `3 × horizon`
+/// of them (one full Look-Compute-Move cycle per round).
+fn serial_replica_async<A: Algorithm, S: EdgeSchedule>(
+    ring: &RingTopology,
+    algorithm: A,
+    schedule: S,
+    placements: &[RobotPlacement],
+    horizon: Time,
+) -> Result<Option<Time>, ScenarioError> {
+    let mut sim = AsyncSimulator::new(
+        ring.clone(),
+        algorithm,
+        ObliviousAsync::new(schedule),
+        placements.to_vec(),
+    )?;
+    let mut ledger = CoverLedger::new(ring.node_count());
+    ledger.note(&sim.positions(), 0);
+    let ticks = horizon.saturating_mul(3);
+    for t in 1..=ticks {
+        if ledger.covered() {
+            break;
+        }
+        sim.tick_quiet();
+        ledger.note(&sim.positions(), t);
+    }
+    Ok(ledger.first_cover)
+}
+
+/// Runs a pure-Bernoulli unit replica-by-replica on the serial engines:
+/// the fallback for SSYNC/ASYNC scheduling, and the reference the batch
+/// route is tested bit-identical against.
+fn bernoulli_serial_first_covers(
+    unit: &WorkUnit,
+    p: f64,
+    placements: &[RobotPlacement],
+) -> Result<Vec<Option<Time>>, ScenarioError> {
+    let ring = RingTopology::new(unit.ring_size)?;
+    let mut firsts = Vec::with_capacity(unit.replicas);
+    for r in 0..unit.replicas {
+        let batch = (r / LANES) as u64;
+        let lane = (r % LANES) as u32;
+        let stream =
+            BernoulliReplicas::new(ring.clone(), p, derive_stream_seed(unit.seed, batch))?;
+        let schedule = stream.lane(lane);
+        let first = with_algorithm!(unit.algorithm, |alg| match unit.scheduler {
+            UnitScheduler::Sync | UnitScheduler::Ssync => serial_replica_sync(
+                &ring,
+                alg,
+                schedule,
+                placements,
+                unit.scheduler,
+                unit.horizon,
+            )?,
+            UnitScheduler::Async =>
+                serial_replica_async(&ring, alg, schedule, placements, unit.horizon)?,
+        });
+        firsts.push(first);
+    }
+    Ok(firsts)
+}
+
+/// Runs a static-ring unit on the serial engines (async scheduler
+/// included); deterministic, so the planner clamps it to one replica.
+fn static_serial_first_covers(
+    unit: &WorkUnit,
+    placements: &[RobotPlacement],
+) -> Result<Vec<Option<Time>>, ScenarioError> {
+    let ring = RingTopology::new(unit.ring_size)?;
+    let mut firsts = Vec::with_capacity(unit.replicas);
+    for _ in 0..unit.replicas {
+        let schedule = AlwaysPresent::new(ring.clone());
+        let first = with_algorithm!(unit.algorithm, |alg| match unit.scheduler {
+            UnitScheduler::Sync | UnitScheduler::Ssync => serial_replica_sync(
+                &ring,
+                alg,
+                schedule,
+                placements,
+                unit.scheduler,
+                unit.horizon,
+            )?,
+            UnitScheduler::Async =>
+                serial_replica_async(&ring, alg, schedule, placements, unit.horizon)?,
+        });
+        firsts.push(first);
+    }
+    Ok(firsts)
+}
+
+/// Runs a unit through the scenario harness (generator-built schedules
+/// and the adaptive proof adversaries): replica `r` is the scenario
+/// seeded `derive_stream_seed(unit.seed, r)`.
+fn scenario_first_covers(
+    unit: &WorkUnit,
+    placements: &[RobotPlacement],
+) -> Result<Vec<Option<Time>>, ScenarioError> {
+    let dynamics = unit
+        .dynamics
+        .as_dynamics_choice()
+        .expect("pure Bernoulli units never take the scenario route");
+    let scheduler = match unit.scheduler {
+        UnitScheduler::Sync => SchedulerChoice::Fsync,
+        UnitScheduler::Ssync => SchedulerChoice::SsyncRoundRobin,
+        UnitScheduler::Async => unreachable!("async is restricted to oblivious dynamics"),
+    };
+    let mut firsts = Vec::with_capacity(unit.replicas);
+    for r in 0..unit.replicas {
+        let scenario = Scenario::new(
+            unit.ring_size,
+            dynring_analysis::PlacementSpec::Explicit(placements.to_vec()),
+            unit.algorithm,
+            dynamics,
+            unit.horizon,
+        )
+        .with_seed(derive_stream_seed(unit.seed, r as u64))
+        .with_scheduler(scheduler);
+        firsts.push(dynring_analysis::run_scenario(&scenario)?.first_cover);
+    }
+    Ok(firsts)
+}
+
+/// Executes one planned unit on its natural route.
+///
+/// # Errors
+///
+/// [`CampaignError::Scenario`] when the unit is ill-formed for the
+/// engines (placement/ring mismatch, invalid probability, …).
+pub fn execute_unit(planned: &PlannedUnit) -> Result<UnitRecord, CampaignError> {
+    execute_unit_on(planned, route_unit(&planned.unit))
+}
+
+/// Executes one planned unit on an explicit route — the natural one, or
+/// `Route::Serial` forced onto a batch-eligible unit (the lane-vs-serial
+/// equivalence tests; both routes must measure identical results).
+///
+/// # Errors
+///
+/// See [`execute_unit`]; additionally [`CampaignError::InvalidSpec`] when
+/// `Route::Batch` is forced onto a unit that is not batch-eligible.
+pub fn execute_unit_on(planned: &PlannedUnit, route: Route) -> Result<UnitRecord, CampaignError> {
+    let unit = &planned.unit;
+    if route == Route::Batch && route_unit(unit) != Route::Batch {
+        return Err(CampaignError::InvalidSpec(format!(
+            "unit {} ({} × {}) is not batch-eligible",
+            planned.hash,
+            unit.dynamics.name(),
+            unit.scheduler.name()
+        )));
+    }
+    let placements = unit.placement.build(unit.ring_size);
+    let firsts = match (route, unit.dynamics) {
+        (Route::Batch, UnitDynamics::Bernoulli { p }) => {
+            let ring = RingTopology::new(unit.ring_size).map_err(ScenarioError::from)?;
+            let sweep = BatchSweep {
+                algorithm: unit.algorithm,
+                ring: &ring,
+                placements: &placements,
+                p,
+                horizon: unit.horizon,
+                replicas: unit.replicas,
+                seed: unit.seed,
+            };
+            // Thread-level sharding lives at the campaign layer (units in
+            // parallel), so the sweep itself stays single-threaded.
+            sweep.first_covers(1)?
+        }
+        (Route::Serial, UnitDynamics::Bernoulli { p }) => {
+            bernoulli_serial_first_covers(unit, p, &placements)?
+        }
+        (Route::Serial, UnitDynamics::Static) if unit.scheduler == UnitScheduler::Async => {
+            static_serial_first_covers(unit, &placements)?
+        }
+        (Route::Serial, _) => scenario_first_covers(unit, &placements)?,
+        (Route::Batch, _) => unreachable!("eligibility checked above"),
+    };
+    Ok(UnitRecord {
+        hash: planned.hash.clone(),
+        index: planned.index,
+        route: route.name().to_string(),
+        unit: unit.clone(),
+        result: UnitMeasurement::from_first_covers(&firsts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, ExplicitRobot, PlacementAxis};
+    use dynring_analysis::PlacementSpec;
+
+    fn unit(dynamics: UnitDynamics, scheduler: UnitScheduler) -> PlannedUnit {
+        let unit = WorkUnit {
+            ring_size: 6,
+            robots: 3,
+            placement: PlacementSpec::EvenlySpaced { count: 3 },
+            algorithm: AlgorithmChoice::Pef3Plus,
+            dynamics,
+            scheduler,
+            horizon: 400,
+            seed: 0xFEED,
+            replicas: if dynamics.is_stochastic() { 70 } else { 1 },
+        };
+        PlannedUnit { index: 0, hash: unit.content_hash(), unit }
+    }
+
+    #[test]
+    fn routing_is_bernoulli_times_sync_exactly() {
+        // The unit-level routing-decision pin of the acceptance criteria:
+        // batch iff (pure Bernoulli, FSYNC); every other combination is
+        // serial.
+        let b = UnitDynamics::Bernoulli { p: 0.5 };
+        assert_eq!(route_unit(&unit(b, UnitScheduler::Sync).unit), Route::Batch);
+        assert_eq!(route_unit(&unit(b, UnitScheduler::Ssync).unit), Route::Serial);
+        assert_eq!(route_unit(&unit(b, UnitScheduler::Async).unit), Route::Serial);
+        for dynamics in [
+            UnitDynamics::Static,
+            UnitDynamics::BernoulliRecurrent { p: 0.5, bound: 8 },
+            UnitDynamics::Markov { p_off: 0.15, p_on: 0.4 },
+            UnitDynamics::SweepingOutage { dwell: 3 },
+            UnitDynamics::TIntervalConnected { stability: 4 },
+            UnitDynamics::PointedBlocker { budget: 4 },
+            UnitDynamics::SingleConfiner,
+            UnitDynamics::TwoConfiner { patience: 64 },
+            UnitDynamics::SsyncBlocker,
+        ] {
+            assert_eq!(
+                route_unit(&unit(dynamics, UnitScheduler::Sync).unit),
+                Route::Serial,
+                "{}",
+                dynamics.name()
+            );
+        }
+        // And the executed record names its route.
+        let record = execute_unit(&unit(b, UnitScheduler::Sync)).expect("runs");
+        assert_eq!(record.route, "batch");
+        let record = execute_unit(&unit(UnitDynamics::Static, UnitScheduler::Sync))
+            .expect("runs");
+        assert_eq!(record.route, "serial");
+    }
+
+    #[test]
+    fn batch_route_equals_forced_serial_bit_for_bit() {
+        // 70 replicas: one full batch plus a partial one, so the ghost-
+        // lane masking is exercised on the batch side while the serial
+        // side never builds lane 6+ of batch 1.
+        let planned = unit(UnitDynamics::Bernoulli { p: 0.5 }, UnitScheduler::Sync);
+        let batch = execute_unit_on(&planned, Route::Batch).expect("batch runs");
+        let serial = execute_unit_on(&planned, Route::Serial).expect("serial runs");
+        assert_eq!(batch.result, serial.result);
+        assert_eq!(batch.result.replicas, 70);
+        assert!(batch.result.covered > 0, "{:?}", batch.result);
+    }
+
+    #[test]
+    fn batch_route_equals_forced_serial_for_explicit_placements() {
+        // The new spec axis: arbitrary (non-tower) placements with mixed
+        // chirality and initial directions, lane-vs-serial equivalent.
+        let robots = [
+            ExplicitRobot { node: 0, mirrored: false, start_right: true },
+            ExplicitRobot { node: 1, mirrored: true, start_right: false },
+            ExplicitRobot { node: 4, mirrored: true, start_right: true },
+        ];
+        let placements: Vec<RobotPlacement> =
+            robots.iter().map(ExplicitRobot::build).collect();
+        let work = WorkUnit {
+            ring_size: 7,
+            robots: 3,
+            placement: PlacementSpec::Explicit(placements),
+            algorithm: AlgorithmChoice::Pef3Plus,
+            dynamics: UnitDynamics::Bernoulli { p: 0.5 },
+            scheduler: UnitScheduler::Sync,
+            horizon: 500,
+            seed: 0xBEEF,
+            replicas: 66,
+        };
+        let planned = PlannedUnit { index: 0, hash: work.content_hash(), unit: work };
+        let batch = execute_unit_on(&planned, Route::Batch).expect("batch runs");
+        let serial = execute_unit_on(&planned, Route::Serial).expect("serial runs");
+        assert_eq!(batch.result, serial.result);
+        assert!(batch.result.covered > 0, "{:?}", batch.result);
+    }
+
+    #[test]
+    fn forcing_batch_onto_ineligible_units_errors() {
+        let planned = unit(UnitDynamics::Static, UnitScheduler::Sync);
+        assert!(matches!(
+            execute_unit_on(&planned, Route::Batch),
+            Err(CampaignError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn ssync_and_async_schedulers_produce_plausible_covers() {
+        let sync = execute_unit(&unit(UnitDynamics::Bernoulli { p: 0.9 }, UnitScheduler::Sync))
+            .expect("runs");
+        let ssync =
+            execute_unit(&unit(UnitDynamics::Bernoulli { p: 0.9 }, UnitScheduler::Ssync))
+                .expect("runs");
+        let asynch =
+            execute_unit(&unit(UnitDynamics::Bernoulli { p: 0.9 }, UnitScheduler::Async))
+                .expect("runs");
+        assert_eq!(ssync.route, "serial");
+        assert_eq!(asynch.route, "serial");
+        assert!(sync.result.covered > 0);
+        assert!(ssync.result.covered > 0);
+        assert!(asynch.result.covered > 0);
+        // One robot per round covers strictly later than all-at-once.
+        assert!(
+            ssync.result.mean_cover_time() > sync.result.mean_cover_time(),
+            "{} vs {}",
+            ssync.result.mean_cover_time(),
+            sync.result.mean_cover_time()
+        );
+    }
+
+    #[test]
+    fn adversary_units_confine_and_report_zero_survival() {
+        let work = WorkUnit {
+            ring_size: 6,
+            robots: 1,
+            placement: PlacementSpec::EvenlySpaced { count: 1 },
+            algorithm: AlgorithmChoice::Pef3Plus,
+            dynamics: UnitDynamics::SingleConfiner,
+            scheduler: UnitScheduler::Sync,
+            horizon: 400,
+            seed: 1,
+            replicas: 1,
+        };
+        let planned = PlannedUnit { index: 0, hash: work.content_hash(), unit: work };
+        let record = execute_unit(&planned).expect("runs");
+        assert_eq!(record.route, "serial");
+        assert_eq!(record.result.covered, 0, "{:?}", record.result);
+        assert_eq!(record.result.survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn campaign_replicas_match_the_monte_carlo_sweep() {
+        // A batch-route unit over evenly-spaced placements is exactly a
+        // Monte Carlo sweep point: same seeds, same first covers.
+        use dynring_analysis::{run_replicas_with, MonteCarloConfig};
+        let planned = unit(UnitDynamics::Bernoulli { p: 0.5 }, UnitScheduler::Sync);
+        let record = execute_unit(&planned).expect("runs");
+        let cfg = MonteCarloConfig {
+            ring_size: 6,
+            robots: 3,
+            presence_probability: 0.5,
+            horizon: 400,
+            replicas: 70,
+            seed: 0xFEED,
+            algorithm: AlgorithmChoice::Pef3Plus,
+        };
+        let summary = run_replicas_with(&cfg, 1).expect("valid config");
+        assert_eq!(record.result.covered, summary.covered);
+        assert_eq!(record.result.min_cover_time, summary.min_cover_time);
+        assert_eq!(record.result.max_cover_time, summary.max_cover_time);
+        assert_eq!(record.result.mean_cover_time(), summary.mean_cover_time);
+    }
+
+    #[test]
+    fn scenario_route_units_replay_bit_for_bit() {
+        for dynamics in [
+            UnitDynamics::BernoulliRecurrent { p: 0.5, bound: 8 },
+            UnitDynamics::Markov { p_off: 0.2, p_on: 0.4 },
+            UnitDynamics::PointedBlocker { budget: 3 },
+        ] {
+            let planned = unit(dynamics, UnitScheduler::Sync);
+            let a = execute_unit(&planned).expect("runs");
+            let b = execute_unit(&planned).expect("runs");
+            assert_eq!(a, b, "{}", dynamics.name());
+        }
+    }
+
+    #[test]
+    fn a_spec_unit_executes_end_to_end_per_route() {
+        // Smoke over the planner → executor seam, covering both routes
+        // and all three schedulers from one spec.
+        let spec = CampaignSpec {
+            name: "seam".into(),
+            ring_sizes: vec![5],
+            robots: vec![2],
+            placements: vec![PlacementAxis::EvenlySpaced, PlacementAxis::Adjacent { start: 1 }],
+            algorithms: vec![AlgorithmChoice::Pef3Plus],
+            dynamics: vec![UnitDynamics::Bernoulli { p: 0.6 }, UnitDynamics::Static],
+            schedulers: vec![UnitScheduler::Sync, UnitScheduler::Ssync, UnitScheduler::Async],
+            seeds: vec![3],
+            horizon: 300,
+            replicas: 4,
+        };
+        let plan = spec.plan().expect("valid spec");
+        assert_eq!(plan.units.len(), 12);
+        for planned in &plan.units {
+            let record = execute_unit(planned).expect("unit runs");
+            let expected = route_unit(&planned.unit).name();
+            assert_eq!(record.route, expected);
+            assert_eq!(record.result.replicas, planned.unit.replicas);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The campaign driver: plan → skip completed → shard pending units over
+//! threads → append records in plan order.
+//!
+//! Execution is wave-based: pending units are split into fixed chunks,
+//! each wave fans out over `workers` threads via
+//! [`dynring_analysis::parallel::par_map`] (which returns results in
+//! input order), and the wave's records are appended to the store in
+//! plan order before the next wave starts. An interruption therefore
+//! loses at most one wave of work, and the store is always a plan-order
+//! prefix — the invariant behind byte-exact resume. Because unit
+//! execution and routing are pure functions of the unit, the store bytes
+//! are identical for every `workers` value.
+
+use dynring_analysis::parallel::{available_workers, par_map};
+
+use crate::executor::execute_unit;
+use crate::spec::{CampaignSpec, PlannedUnit};
+use crate::store::{ResultStore, StoreHeader, StoreLine};
+use crate::CampaignError;
+
+/// Knobs of one `run`/`resume` invocation.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (`1` = serial; the default is one per core).
+    pub workers: usize,
+    /// Stop after this many newly executed units (`None` = run to
+    /// completion). The CI smoke uses this to simulate an interruption.
+    pub max_units: Option<usize>,
+    /// `run` semantics: refuse a store that already has content. `resume`
+    /// semantics (`false`): continue wherever the store left off.
+    pub fresh: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: available_workers(),
+            max_units: None,
+            fresh: true,
+        }
+    }
+}
+
+/// What one invocation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Units in the plan.
+    pub planned: usize,
+    /// Units already in the store (skipped).
+    pub skipped: usize,
+    /// Units executed and appended by this invocation.
+    pub executed: usize,
+    /// Units still pending after this invocation (nonzero only when
+    /// `max_units` stopped it early).
+    pub pending: usize,
+}
+
+impl RunOutcome {
+    /// `true` when the store now covers the whole plan.
+    pub fn is_complete(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+/// Plans `spec`, skips units already in `store`, executes the rest over
+/// `opts.workers` threads and appends their records in plan order.
+///
+/// # Errors
+///
+/// - [`CampaignError::InvalidSpec`] / [`CampaignError::EmptyPlan`] from
+///   planning;
+/// - [`CampaignError::StoreExists`] when `opts.fresh` and the store has
+///   content (use `resume`);
+/// - [`CampaignError::SpecMismatch`] when the store belongs to a
+///   different spec;
+/// - [`CampaignError::CorruptStore`] / [`CampaignError::Io`] on store
+///   damage; [`CampaignError::Scenario`] when a unit is ill-formed (the
+///   first failing unit by plan order, matching serial execution).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    store: &ResultStore,
+    opts: &RunOptions,
+) -> Result<RunOutcome, CampaignError> {
+    let plan = spec.plan()?;
+    let loaded = store.load()?;
+    if opts.fresh && (loaded.header.is_some() || !loaded.records.is_empty()) {
+        return Err(CampaignError::StoreExists(
+            store.path().display().to_string(),
+        ));
+    }
+    if let Some(header) = &loaded.header {
+        if header.spec_hash != plan.spec_hash {
+            return Err(CampaignError::SpecMismatch {
+                expected: plan.spec_hash.clone(),
+                found: header.spec_hash.clone(),
+            });
+        }
+    } else if !loaded.records.is_empty() {
+        return Err(CampaignError::CorruptStore(format!(
+            "{}: records without a header",
+            store.path().display()
+        )));
+    }
+    let completed = loaded.completed_hashes();
+    let pending: Vec<&PlannedUnit> = plan
+        .units
+        .iter()
+        .filter(|u| !completed.contains(u.hash.as_str()))
+        .collect();
+    let skipped = plan.units.len() - pending.len();
+    let budget = opts.max_units.unwrap_or(pending.len()).min(pending.len());
+
+    let mut file = store.open_for_append(loaded.valid_len)?;
+    if loaded.header.is_none() {
+        ResultStore::append_line(
+            &mut file,
+            &StoreLine::Header(StoreHeader {
+                name: plan.name.clone(),
+                spec_hash: plan.spec_hash.clone(),
+                planned_units: plan.units.len(),
+            }),
+        )?;
+    }
+    // Waves bound interruption loss; the wave size only shapes latency,
+    // never bytes (records are appended in plan order either way).
+    let workers = opts.workers.max(1);
+    let wave_size = (workers * 4).max(8);
+    let mut executed = 0usize;
+    for wave in pending[..budget].chunks(wave_size) {
+        let results = par_map(wave, workers, |planned| execute_unit(planned));
+        for result in results {
+            ResultStore::append_line(&mut file, &StoreLine::Unit(result?))?;
+            executed += 1;
+        }
+    }
+    Ok(RunOutcome {
+        planned: plan.units.len(),
+        skipped,
+        executed,
+        pending: pending.len() - executed,
+    })
+}
+
+/// Loads a store and folds it into the report for `spec`.
+///
+/// # Errors
+///
+/// See [`run_campaign`] (planning and store errors; nothing is executed).
+pub fn load_report(
+    spec: &CampaignSpec,
+    store: &ResultStore,
+) -> Result<crate::CampaignReport, CampaignError> {
+    let plan = spec.plan()?;
+    let loaded = store.load()?;
+    if let Some(header) = &loaded.header {
+        if header.spec_hash != plan.spec_hash {
+            return Err(CampaignError::SpecMismatch {
+                expected: plan.spec_hash.clone(),
+                found: header.spec_hash.clone(),
+            });
+        }
+    }
+    Ok(crate::aggregate::aggregate(&plan, &loaded.records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PlacementAxis, UnitDynamics, UnitScheduler};
+    use dynring_analysis::AlgorithmChoice;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "runner".into(),
+            ring_sizes: vec![4, 5],
+            robots: vec![1, 2],
+            placements: vec![PlacementAxis::EvenlySpaced],
+            algorithms: vec![AlgorithmChoice::Pef3Plus],
+            dynamics: vec![UnitDynamics::Bernoulli { p: 0.6 }, UnitDynamics::Static],
+            schedulers: vec![UnitScheduler::Sync, UnitScheduler::Ssync],
+            seeds: vec![1, 2],
+            horizon: 250,
+            replicas: 3,
+        }
+    }
+
+    fn temp(name: &str) -> ResultStore {
+        let path = std::env::temp_dir().join(format!("dynring_runner_test_{name}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        ResultStore::new(path)
+    }
+
+    fn cleanup(store: &ResultStore) {
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn run_interrupt_resume_is_byte_identical_to_one_shot() {
+        let spec = spec();
+        let total = spec.plan().expect("valid").units.len();
+        assert_eq!(total, 32);
+
+        let oneshot = temp("oneshot");
+        let outcome = run_campaign(&spec, &oneshot, &RunOptions::default()).expect("runs");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.executed, total);
+
+        let resumed = temp("resumed");
+        let partial = run_campaign(
+            &spec,
+            &resumed,
+            &RunOptions { max_units: Some(10), ..RunOptions::default() },
+        )
+        .expect("runs");
+        assert_eq!(partial.executed, 10);
+        assert_eq!(partial.pending, total - 10);
+        let rest = run_campaign(
+            &spec,
+            &resumed,
+            &RunOptions { fresh: false, ..RunOptions::default() },
+        )
+        .expect("resumes");
+        assert_eq!(rest.skipped, 10);
+        assert!(rest.is_complete());
+
+        let a = std::fs::read(oneshot.path()).expect("read");
+        let b = std::fs::read(resumed.path()).expect("read");
+        assert_eq!(a, b, "resume must reproduce the uninterrupted store");
+        cleanup(&oneshot);
+        cleanup(&resumed);
+    }
+
+    #[test]
+    fn parallel_and_serial_stores_are_byte_identical() {
+        let spec = spec();
+        let serial = temp("serial");
+        run_campaign(
+            &spec,
+            &serial,
+            &RunOptions { workers: 1, ..RunOptions::default() },
+        )
+        .expect("runs");
+        for workers in [2usize, 4, 8] {
+            let parallel = temp(&format!("parallel{workers}"));
+            run_campaign(
+                &spec,
+                &parallel,
+                &RunOptions { workers, ..RunOptions::default() },
+            )
+            .expect("runs");
+            let a = std::fs::read(serial.path()).expect("read");
+            let b = std::fs::read(parallel.path()).expect("read");
+            assert_eq!(a, b, "workers = {workers}");
+            cleanup(&parallel);
+        }
+        cleanup(&serial);
+    }
+
+    #[test]
+    fn finished_campaigns_resume_as_a_no_op() {
+        let spec = spec();
+        let store = temp("noop");
+        run_campaign(&spec, &store, &RunOptions::default()).expect("runs");
+        let before = std::fs::read(store.path()).expect("read");
+        let again = run_campaign(
+            &spec,
+            &store,
+            &RunOptions { fresh: false, ..RunOptions::default() },
+        )
+        .expect("resumes");
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.skipped, again.planned);
+        assert!(again.is_complete());
+        let after = std::fs::read(store.path()).expect("read");
+        assert_eq!(before, after, "a finished campaign must be a no-op");
+        cleanup(&store);
+    }
+
+    #[test]
+    fn fresh_runs_refuse_existing_stores_and_resume_accepts_them() {
+        let spec = spec();
+        let store = temp("refuse");
+        run_campaign(
+            &spec,
+            &store,
+            &RunOptions { max_units: Some(1), ..RunOptions::default() },
+        )
+        .expect("runs");
+        assert!(matches!(
+            run_campaign(&spec, &store, &RunOptions::default()),
+            Err(CampaignError::StoreExists(_))
+        ));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn stores_are_bound_to_their_spec() {
+        let spec = spec();
+        let store = temp("bound");
+        run_campaign(
+            &spec,
+            &store,
+            &RunOptions { max_units: Some(1), ..RunOptions::default() },
+        )
+        .expect("runs");
+        let mut other = spec.clone();
+        other.horizon += 1;
+        assert!(matches!(
+            run_campaign(
+                &other,
+                &store,
+                &RunOptions { fresh: false, ..RunOptions::default() }
+            ),
+            Err(CampaignError::SpecMismatch { .. })
+        ));
+        assert!(matches!(
+            load_report(&other, &store),
+            Err(CampaignError::SpecMismatch { .. })
+        ));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn report_tracks_progress_across_resume() {
+        let spec = spec();
+        let store = temp("report");
+        run_campaign(
+            &spec,
+            &store,
+            &RunOptions { max_units: Some(5), ..RunOptions::default() },
+        )
+        .expect("runs");
+        let partial = load_report(&spec, &store).expect("report");
+        assert_eq!(partial.completed_units, 5);
+        assert!(!partial.is_complete());
+        run_campaign(
+            &spec,
+            &store,
+            &RunOptions { fresh: false, ..RunOptions::default() },
+        )
+        .expect("resumes");
+        let full = load_report(&spec, &store).expect("report");
+        assert!(full.is_complete());
+        assert!(full.batch_units > 0, "bernoulli×sync units must batch-route");
+        assert!(full.serial_units > 0);
+        cleanup(&store);
+    }
+}

@@ -1,0 +1,348 @@
+//! The append-only JSONL result store.
+//!
+//! A store is one file: a header line naming the campaign and its spec
+//! hash, then one line per completed [`UnitRecord`], appended in plan
+//! order. Append order + deterministic execution is what makes resume
+//! byte-exact: an interrupted store is a plan-order prefix of the
+//! uninterrupted one, so `resume` — which appends exactly the missing
+//! units, in plan order — reproduces the uninterrupted file bit for bit.
+//!
+//! Loading is crash-tolerant: a trailing partial line (the write the
+//! interruption cut short) is detected and truncated away before
+//! appending resumes. Records whose hash is not in the current plan are
+//! rejected via the header's spec hash — a store belongs to exactly one
+//! spec.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::UnitRecord;
+use crate::CampaignError;
+
+/// The store's first line: which campaign this file belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreHeader {
+    /// Campaign name (informational).
+    pub name: String,
+    /// [`crate::CampaignSpec::content_hash`] of the owning spec.
+    pub spec_hash: String,
+    /// Planned unit count (informational; the plan is re-derived from the
+    /// spec on every run).
+    pub planned_units: usize,
+}
+
+/// One line of the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoreLine {
+    /// The header (first line).
+    Header(StoreHeader),
+    /// A completed unit.
+    Unit(UnitRecord),
+}
+
+/// A parsed store: everything valid on disk plus where valid bytes end.
+#[derive(Debug)]
+pub struct LoadedStore {
+    /// The header, when the file has one.
+    pub header: Option<StoreHeader>,
+    /// Completed unit records, in file order.
+    pub records: Vec<UnitRecord>,
+    /// Byte offset just past the last valid line. Anything after this is
+    /// a torn write and is truncated before appending resumes.
+    pub valid_len: u64,
+    /// Whether the file carried bytes past `valid_len`.
+    pub torn_tail: bool,
+}
+
+impl LoadedStore {
+    /// The hashes of all completed units.
+    pub fn completed_hashes(&self) -> HashSet<&str> {
+        self.records.iter().map(|r| r.hash.as_str()).collect()
+    }
+}
+
+/// The store handle: a path, plus load/append primitives.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    path: PathBuf,
+}
+
+impl ResultStore {
+    /// A store at `path` (the file need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        ResultStore { path: path.into() }
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Parses the file (missing file = empty store). Invalid or torn
+    /// trailing lines end the valid region; a parse failure anywhere
+    /// *before* the last line is a corrupt store and errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on unreadable files,
+    /// [`CampaignError::CorruptStore`] when a non-trailing line fails to
+    /// parse (truncating the tail cannot repair it).
+    pub fn load(&self) -> Result<LoadedStore, CampaignError> {
+        // Bytes, not a String: a torn write can split a multi-byte UTF-8
+        // character, and that tail must be truncated like any other torn
+        // line, not fail the whole load.
+        let mut bytes = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(LoadedStore {
+                    header: None,
+                    records: Vec::new(),
+                    valid_len: 0,
+                    torn_tail: false,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let mut header = None;
+        let mut records = Vec::new();
+        let mut valid_len = 0u64;
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                // No terminating newline: a torn trailing write.
+                break;
+            };
+            let is_last_line = offset + nl + 1 == bytes.len();
+            let Ok(line) = std::str::from_utf8(&bytes[offset..offset + nl]) else {
+                if is_last_line {
+                    break;
+                }
+                return Err(CampaignError::CorruptStore(format!(
+                    "{}: invalid UTF-8 at offset {offset}",
+                    self.path.display()
+                )));
+            };
+            let parsed: Result<StoreLine, _> = serde_json::from_str(line);
+            match parsed {
+                Ok(StoreLine::Header(h)) => {
+                    if header.is_some() || !records.is_empty() {
+                        return Err(CampaignError::CorruptStore(format!(
+                            "{}: duplicate header at offset {offset}",
+                            self.path.display()
+                        )));
+                    }
+                    header = Some(h);
+                }
+                Ok(StoreLine::Unit(record)) => records.push(record),
+                Err(_) if is_last_line => {
+                    // The final (newline-terminated but unparseable) line:
+                    // also treated as torn — an interruption can land
+                    // after the newline of a partial buffer flush.
+                    break;
+                }
+                Err(e) => {
+                    return Err(CampaignError::CorruptStore(format!(
+                        "{}: unparseable line at offset {offset}: {e}",
+                        self.path.display()
+                    )));
+                }
+            }
+            offset += nl + 1;
+            valid_len = offset as u64;
+        }
+        Ok(LoadedStore {
+            header,
+            records,
+            valid_len,
+            torn_tail: (valid_len as usize) < bytes.len(),
+        })
+    }
+
+    /// Opens the file for appending at `valid_len`, truncating any torn
+    /// tail first. Creates the file when missing.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`].
+    pub fn open_for_append(&self, valid_len: u64) -> Result<File, CampaignError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&self.path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(file)
+    }
+
+    /// Serializes one line and appends it (newline-terminated).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] / [`CampaignError::Json`].
+    pub fn append_line(file: &mut File, line: &StoreLine) -> Result<(), CampaignError> {
+        let mut json = serde_json::to_string(line)?;
+        json.push('\n');
+        file.write_all(json.as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::UnitMeasurement;
+    use crate::spec::{UnitDynamics, UnitScheduler, WorkUnit};
+    use dynring_analysis::{AlgorithmChoice, PlacementSpec};
+
+    fn record(i: usize) -> UnitRecord {
+        let unit = WorkUnit {
+            ring_size: 4 + i,
+            robots: 1,
+            placement: PlacementSpec::EvenlySpaced { count: 1 },
+            algorithm: AlgorithmChoice::Pef1,
+            dynamics: UnitDynamics::Bernoulli { p: 0.5 },
+            scheduler: UnitScheduler::Sync,
+            horizon: 10,
+            seed: i as u64,
+            replicas: 1,
+        };
+        UnitRecord {
+            hash: unit.content_hash(),
+            index: i,
+            route: "batch".into(),
+            unit,
+            result: UnitMeasurement {
+                replicas: 1,
+                covered: 1,
+                total_cover_time: 5,
+                min_cover_time: Some(5),
+                max_cover_time: Some(5),
+            },
+        }
+    }
+
+    fn temp_store(name: &str) -> ResultStore {
+        let path = std::env::temp_dir().join(format!("dynring_store_test_{name}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        ResultStore::new(path)
+    }
+
+    fn write_store(store: &ResultStore, lines: &[StoreLine]) {
+        let mut file = store.open_for_append(0).expect("open");
+        for line in lines {
+            ResultStore::append_line(&mut file, line).expect("append");
+        }
+    }
+
+    fn header() -> StoreLine {
+        StoreLine::Header(StoreHeader {
+            name: "t".into(),
+            spec_hash: "0123456789abcdef".into(),
+            planned_units: 2,
+        })
+    }
+
+    #[test]
+    fn round_trips_header_and_records() {
+        let store = temp_store("roundtrip");
+        write_store(&store, &[header(), StoreLine::Unit(record(0)), StoreLine::Unit(record(1))]);
+        let loaded = store.load().expect("loads");
+        assert_eq!(loaded.header.as_ref().map(|h| h.planned_units), Some(2));
+        assert_eq!(loaded.records, vec![record(0), record(1)]);
+        assert!(!loaded.torn_tail);
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_store() {
+        let store = temp_store("missing");
+        let loaded = store.load().expect("loads");
+        assert!(loaded.header.is_none());
+        assert!(loaded.records.is_empty());
+        assert_eq!(loaded.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated_on_append() {
+        let store = temp_store("torn");
+        write_store(&store, &[header(), StoreLine::Unit(record(0))]);
+        let clean_len = store.load().expect("loads").valid_len;
+        // Simulate an interrupted write: half a record, no newline.
+        let mut file = store.open_for_append(clean_len).expect("open");
+        file.write_all(b"{\"Unit\":{\"hash\":\"dead").expect("write");
+        drop(file);
+        let loaded = store.load().expect("loads");
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.valid_len, clean_len);
+        assert_eq!(loaded.records.len(), 1);
+        // Appending after truncation yields the same file as never having
+        // torn it.
+        let mut file = store.open_for_append(loaded.valid_len).expect("open");
+        ResultStore::append_line(&mut file, &StoreLine::Unit(record(1))).expect("append");
+        drop(file);
+        let reference = temp_store("torn_ref");
+        write_store(
+            &reference,
+            &[header(), StoreLine::Unit(record(0)), StoreLine::Unit(record(1))],
+        );
+        let a = std::fs::read(store.path()).expect("read");
+        let b = std::fs::read(reference.path()).expect("read");
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(store.path());
+        let _ = std::fs::remove_file(reference.path());
+    }
+
+    #[test]
+    fn corrupt_interior_lines_error_instead_of_silently_dropping() {
+        let store = temp_store("corrupt");
+        std::fs::write(
+            store.path(),
+            "not json\n{\"also\": \"not a store line\"}\n",
+        )
+        .expect("write");
+        assert!(matches!(store.load(), Err(CampaignError::CorruptStore(_))));
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn torn_tail_splitting_a_multibyte_character_is_truncated_not_fatal() {
+        // A campaign name with non-ASCII characters lands in every line;
+        // an interruption can cut the file mid-character. That tail must
+        // be truncated like any other torn write.
+        let store = temp_store("torn_utf8");
+        write_store(&store, &[header(), StoreLine::Unit(record(0))]);
+        let clean_len = store.load().expect("loads").valid_len;
+        let mut file = store.open_for_append(clean_len).expect("open");
+        let torn = "{\"Unit\":{\"hash\":\"café".as_bytes();
+        // Cut inside the two-byte 'é'.
+        file.write_all(&torn[..torn.len() - 1]).expect("write");
+        drop(file);
+        let loaded = store.load().expect("a mid-character cut must still load");
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.valid_len, clean_len);
+        assert_eq!(loaded.records.len(), 1);
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn unparseable_final_line_counts_as_torn() {
+        let store = temp_store("torn_final");
+        write_store(&store, &[header()]);
+        let clean_len = store.load().expect("loads").valid_len;
+        let mut file = store.open_for_append(clean_len).expect("open");
+        file.write_all(b"{\"Unit\":{\"hash\"\n").expect("write");
+        drop(file);
+        let loaded = store.load().expect("loads");
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.valid_len, clean_len);
+        let _ = std::fs::remove_file(store.path());
+    }
+}

@@ -47,3 +47,16 @@ montecarlo:
 # (gated by bench-report --check via the batch flatness tripwire).
 montecarlo-large:
     cargo run --release -- montecarlo --n 4096 --k 3 --p 0.5 --replicas 256 --horizon 60000 --seed 7
+
+# CI gate for the campaign layer: run the committed 240-unit smoke spec,
+# interrupt it after 60 units, resume it, check the interrupted store is
+# byte-identical to an uninterrupted run, and diff the report against the
+# pinned examples/campaign_smoke_report.json (see docs/CAMPAIGNS.md).
+campaign-smoke:
+    rm -f target/campaign-smoke.jsonl target/campaign-smoke-oneshot.jsonl target/campaign-smoke-report.json
+    cargo run --release -- campaign run    --spec examples/campaign_smoke.json --store target/campaign-smoke.jsonl --max-units 60
+    cargo run --release -- campaign resume --spec examples/campaign_smoke.json --store target/campaign-smoke.jsonl
+    cargo run --release -- campaign run    --spec examples/campaign_smoke.json --store target/campaign-smoke-oneshot.jsonl
+    cmp target/campaign-smoke.jsonl target/campaign-smoke-oneshot.jsonl
+    cargo run --release -- campaign report --spec examples/campaign_smoke.json --store target/campaign-smoke.jsonl --out target/campaign-smoke-report.json
+    cmp target/campaign-smoke-report.json examples/campaign_smoke_report.json

@@ -441,14 +441,17 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
             cur.ring_size, cur.robots, old.quiet_rounds_per_sec, cur.quiet_rounds_per_sec, ratio
         );
         if ratio < 1.0 - REGRESSION_TOLERANCE {
+            // One greppable line per failure: workload, measured value,
+            // committed value and the gate threshold, no JSON digging.
             regressions.push(format!(
-                "bernoulli n={} k={}: {:.0} r/s is {:.0}% of the committed {:.0} r/s \
-                 after {:.2}x machine calibration",
+                "REGRESSION workload=bernoulli n={} k={} measured={:.0} r/s \
+                 committed={:.0} r/s calibrated-ratio={:.2} gate={:.2} calibration={:.2}x",
                 cur.ring_size,
                 cur.robots,
                 cur.quiet_rounds_per_sec,
-                ratio * 100.0,
                 old.quiet_rounds_per_sec,
+                ratio,
+                1.0 - REGRESSION_TOLERANCE,
                 calibration
             ));
         }
@@ -483,13 +486,14 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
         );
         if ratio < 1.0 - REGRESSION_TOLERANCE {
             regressions.push(format!(
-                "batch n={} k={}: {:.0} replica-rounds/s is {:.0}% of the committed {:.0} \
-                 after {:.2}x machine calibration",
+                "REGRESSION workload=batch n={} k={} measured={:.0} rr/s \
+                 committed={:.0} rr/s calibrated-ratio={:.2} gate={:.2} calibration={:.2}x",
                 cur.ring_size,
                 cur.robots,
                 cur.batch_replica_rounds_per_sec,
-                ratio * 100.0,
                 old.batch_replica_rounds_per_sec,
+                ratio,
+                1.0 - REGRESSION_TOLERANCE,
                 calibration
             ));
         }
@@ -511,7 +515,8 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
         // Mirror the zero-comparable-samples rule: losing one of the two
         // flatness workloads must fail loudly, not skip the gate.
         regressions.push(
-            "batch flatness gate has no n=64/n=4096 sample pair to compare              (workload dropped or renamed?)"
+            "REGRESSION workload=batch-flatness n4096=missing n64=missing \
+             gate=n/a reason=no-n64-n4096-sample-pair (workload dropped or renamed?)"
                 .to_string(),
         );
     }
@@ -523,14 +528,12 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
             flatness, large, small
         );
         if flatness < BATCH_FLATNESS_TOLERANCE {
+            // Both figures come from the *current* run (flatness gates
+            // are within-run), so neither is labeled "committed".
             regressions.push(format!(
-                "batch replica throughput is not flat in n: n=4096 runs at {:.0}% of n=64 \
-                 ({:.0} vs {:.0} replica-rounds/s, gate {:.0}%) — the sparse snapshot fill \
-                 is no longer decoupling the lockstep round from ring size",
-                flatness * 100.0,
-                large,
-                small,
-                BATCH_FLATNESS_TOLERANCE * 100.0
+                "REGRESSION workload=batch-flatness n4096={large:.0} rr/s \
+                 n64={small:.0} rr/s ratio={flatness:.2} gate={BATCH_FLATNESS_TOLERANCE:.2} \
+                 (the sparse snapshot fill no longer decouples the lockstep round from n)"
             ));
         }
     }
@@ -554,9 +557,10 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
         );
         if flatness < 1.0 - REGRESSION_TOLERANCE {
             regressions.push(format!(
-                "static quiet throughput is not flat in n: n=4096 runs at {:.0}% of n=64 \
-                 ({:.0} vs {:.0} rounds/s) — an O(n) cost is back on the quiet path",
-                flatness * 100.0, large, small
+                "REGRESSION workload=static-flatness n4096={large:.0} r/s \
+                 n64={small:.0} r/s ratio={flatness:.2} gate={:.2} \
+                 (an O(n) cost is back on the quiet path)",
+                1.0 - REGRESSION_TOLERANCE
             ));
         }
     }

@@ -30,6 +30,9 @@ USAGE:
     dynring coverage [--n N] [--k K] [--horizon H] [--seed S]
     dynring montecarlo [--n N] [--k K] [--p P] [--replicas R]
                        [--horizon H] [--seed S] [--algorithm A] [--out FILE]
+    dynring campaign run    --spec FILE --store FILE [--workers W] [--max-units N]
+    dynring campaign resume --spec FILE --store FILE [--workers W] [--max-units N]
+    dynring campaign report --spec FILE --store FILE [--out FILE]
     dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
     dynring --help
 
@@ -41,6 +44,13 @@ against the benign dynamics suite in parallel. `montecarlo` runs R
 independent Bernoulli replicas of one (n, k, p) point on the 64-lane
 lockstep batch engine (batches fan out over all cores) and prints the
 cover-time histogram and survival rate; --out writes the summary JSON.
+`campaign` drives a declarative experiment campaign (see
+docs/CAMPAIGNS.md for the JSON spec format): `run` plans the spec's grid
+into content-hashed work units, shards them over all cores (batch-eligible
+units ride the 64-lane lockstep engine) and appends one JSONL record per
+unit to the store; `resume` continues an interrupted store, skipping
+completed units, and reproduces the uninterrupted store byte for byte;
+`report` folds the store into grouped survival / cover-time summaries.
 `bench-report` measures the round engine (quiet vs recording path), the
 batch engine vs 64 serial replica runs, the Bernoulli p-sweep and the
 parallel sweep layer and writes a BENCH_engine.json performance snapshot;
@@ -107,6 +117,21 @@ pub enum Command {
         /// Optional summary JSON output path.
         out: Option<String>,
     },
+    /// Drive a declarative experiment campaign.
+    Campaign {
+        /// Which campaign verb.
+        verb: CampaignVerb,
+        /// Path of the JSON campaign spec.
+        spec: String,
+        /// Path of the JSONL result store.
+        store: String,
+        /// Worker threads (default: one per core).
+        workers: Option<usize>,
+        /// Stop after this many newly executed units (run/resume).
+        max_units: Option<usize>,
+        /// Optional report JSON output path (report only).
+        out: Option<String>,
+    },
     /// Measure the engine and sweep layer, writing a JSON snapshot.
     BenchReport {
         /// Output path for the snapshot.
@@ -128,6 +153,17 @@ pub struct Artifact {
     pub schedule: ScriptedSchedule,
     /// The report the original run produced.
     pub report: ScenarioReport,
+}
+
+/// The three campaign sub-verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignVerb {
+    /// Start a fresh campaign (refuses an existing store).
+    Run,
+    /// Continue an interrupted store, skipping completed units.
+    Resume,
+    /// Fold the store into a summary report.
+    Report,
 }
 
 /// A CLI parsing error.
@@ -185,6 +221,19 @@ fn parse_num<T: std::str::FromStr>(pairs: &[(&str, &str)], key: &str, default: T
         None => Ok(default),
         Some(raw) => raw
             .parse()
+            .map_err(|_| err(format!("invalid value for --{key}: {raw}"))),
+    }
+}
+
+fn parse_opt_num<T: std::str::FromStr>(
+    pairs: &[(&str, &str)],
+    key: &str,
+) -> Result<Option<T>, CliError> {
+    match lookup(pairs, key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
             .map_err(|_| err(format!("invalid value for --{key}: {raw}"))),
     }
 }
@@ -313,6 +362,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 config,
                 out: lookup(&pairs, "out").map(str::to_string),
             })
+        }
+        "campaign" => {
+            let verb = match positional.get(1) {
+                Some(&"run") => CampaignVerb::Run,
+                Some(&"resume") => CampaignVerb::Resume,
+                Some(&"report") => CampaignVerb::Report,
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown campaign verb: {other} (expected run | resume | report)"
+                    )))
+                }
+                None => return Err(err("campaign requires a verb: run | resume | report")),
+            };
+            let spec = lookup(&pairs, "spec")
+                .ok_or_else(|| err("campaign requires --spec FILE"))?
+                .to_string();
+            let store = lookup(&pairs, "store")
+                .ok_or_else(|| err("campaign requires --store FILE"))?
+                .to_string();
+            let out = lookup(&pairs, "out").map(str::to_string);
+            if out.is_some() && verb != CampaignVerb::Report {
+                return Err(err("--out is only valid with campaign report"));
+            }
+            let workers = parse_opt_num(&pairs, "workers")?;
+            let max_units = parse_opt_num(&pairs, "max-units")?;
+            if (workers.is_some() || max_units.is_some()) && verb == CampaignVerb::Report {
+                return Err(err("--workers/--max-units are not valid with campaign report"));
+            }
+            Ok(Command::Campaign { verb, spec, store, workers, max_units, out })
         }
         "bench-report" => Ok(Command::BenchReport {
             out: lookup(&pairs, "out").unwrap_or("BENCH_engine.json").to_string(),
@@ -467,6 +545,55 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                 let json = serde_json::to_string_pretty(&summary)?;
                 std::fs::write(&path, json + "\n")?;
                 println!("\nsummary written to {path}");
+            }
+        }
+        Command::Campaign { verb, spec, store, workers, max_units, out } => {
+            use dynring_analysis::parallel::available_workers;
+            use dynring_campaign::{load_report, render, run_campaign, ResultStore, RunOptions};
+
+            let spec_json = std::fs::read_to_string(&spec)?;
+            let campaign: dynring_campaign::CampaignSpec = serde_json::from_str(&spec_json)
+                .map_err(|e| CliError(format!("cannot parse campaign spec {spec}: {e}")))?;
+            let result_store = ResultStore::new(&store);
+            match verb {
+                CampaignVerb::Run | CampaignVerb::Resume => {
+                    let opts = RunOptions {
+                        workers: workers.unwrap_or_else(available_workers),
+                        max_units,
+                        fresh: verb == CampaignVerb::Run,
+                    };
+                    println!(
+                        "campaign `{}`: {} over {} workers (store {store})…",
+                        campaign.name,
+                        if verb == CampaignVerb::Run { "run" } else { "resume" },
+                        opts.workers
+                    );
+                    let outcome = run_campaign(&campaign, &result_store, &opts)?;
+                    println!(
+                        "planned {} units: {} already stored, {} executed, {} pending",
+                        outcome.planned, outcome.skipped, outcome.executed, outcome.pending
+                    );
+                    if outcome.is_complete() {
+                        println!(
+                            "campaign complete (report with: dynring campaign report \
+                             --spec {spec} --store {store})"
+                        );
+                    } else {
+                        println!(
+                            "campaign interrupted (finish with: dynring campaign resume \
+                             --spec {spec} --store {store})"
+                        );
+                    }
+                }
+                CampaignVerb::Report => {
+                    let report = load_report(&campaign, &result_store)?;
+                    print!("{}", render(&report));
+                    if let Some(path) = out {
+                        let json = serde_json::to_string_pretty(&report)?;
+                        std::fs::write(&path, json + "\n")?;
+                        println!("\nreport written to {path}");
+                    }
+                }
             }
         }
         Command::BenchReport { out, quick, check } => {
@@ -693,6 +820,56 @@ mod tests {
         let mut alien = report(1e6, 1e6);
         alien.engine.clear();
         assert!(check_regression(&committed, &alien).is_err());
+    }
+
+    #[test]
+    fn regression_failures_are_one_greppable_line_each() {
+        use crate::bench_report::{
+            check_regression, BenchReport, EngineSample, SweepSample, REGRESSION_TOLERANCE,
+        };
+
+        let sample = |workload: &str, quiet: f64| EngineSample {
+            workload: workload.to_string(),
+            ring_size: 256,
+            robots: 3,
+            quiet_rounds_per_sec: quiet,
+            recorded_rounds_per_sec: quiet,
+        };
+        let report = |bernoulli_quiet: f64| BenchReport {
+            schema: crate::bench_report::SCHEMA.to_string(),
+            note: String::new(),
+            baseline_note: String::new(),
+            baseline: Vec::new(),
+            engine: vec![sample("static", 1e6), sample("bernoulli", bernoulli_quiet)],
+            batch: Vec::new(),
+            psweep: Vec::new(),
+            sweep: SweepSample {
+                cells: 0,
+                workers: 1,
+                serial_ms: 1.0,
+                parallel_ms: 1.0,
+                speedup: 1.0,
+            },
+        };
+        let message = check_regression(&report(1e6), &report(700_000.0))
+            .expect_err("30% drop must fail");
+        // Exactly one REGRESSION line, and that single line names the
+        // workload, the measured value and the gate threshold — no JSON
+        // digging required to identify the regressing sample.
+        let lines: Vec<&str> = message
+            .lines()
+            .filter(|l| l.starts_with("REGRESSION "))
+            .collect();
+        assert_eq!(lines.len(), 1, "{message}");
+        let line = lines[0];
+        assert!(line.contains("workload=bernoulli"), "{line}");
+        assert!(line.contains("n=256"), "{line}");
+        assert!(line.contains("measured=700000"), "{line}");
+        assert!(line.contains("committed=1000000"), "{line}");
+        assert!(
+            line.contains(&format!("gate={:.2}", 1.0 - REGRESSION_TOLERANCE)),
+            "{line}"
+        );
     }
 
     #[test]
