@@ -39,6 +39,26 @@ pub fn default_seeds(count: usize) -> Vec<u64> {
     (0..count as u64).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1)).collect()
 }
 
+/// A deterministic uniform sample of `sample` distinct indices from
+/// `0..population`, sorted ascending. A partial Fisher–Yates shuffle
+/// driven by [`derive_stream_seed`], so the same `(seed, population,
+/// sample)` triple always picks the same indices — the contract behind
+/// `dynring certify --level 2`, whose sampled re-executions must be
+/// replayable from the verdict's recorded seed. `sample ≥ population`
+/// returns every index.
+pub fn sample_indices(seed: u64, population: usize, sample: usize) -> Vec<usize> {
+    let take = sample.min(population);
+    let mut pool: Vec<usize> = (0..population).collect();
+    for i in 0..take {
+        let draw = derive_stream_seed(seed, i as u64) as usize;
+        let j = i + draw % (population - i);
+        pool.swap(i, j);
+    }
+    let mut chosen = pool[..take].to_vec();
+    chosen.sort_unstable();
+    chosen
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +99,22 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn sampled_indices_are_deterministic_distinct_and_in_range() {
+        for seed in [0u64, 7, 0xCE47] {
+            for (population, sample) in [(10usize, 3usize), (240, 8), (5, 5), (5, 99), (1, 1)] {
+                let a = sample_indices(seed, population, sample);
+                assert_eq!(a, sample_indices(seed, population, sample));
+                assert_eq!(a.len(), sample.min(population));
+                assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted+distinct: {a:?}");
+                assert!(a.iter().all(|&i| i < population));
+            }
+        }
+        // Different seeds actually move the sample (probe, not a proof).
+        assert_ne!(sample_indices(1, 1000, 10), sample_indices(2, 1000, 10));
+        assert!(sample_indices(9, 0, 4).is_empty());
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub struct CampaignReport {
     pub total_replicas: usize,
     /// Covered replicas across all completed units.
     pub covered_replicas: usize,
+    /// Whether the store carried a torn trailing write when it was
+    /// loaded (the torn bytes are excluded from the aggregation).
+    pub torn_tail: bool,
+    /// How many trailing bytes the torn write carried.
+    pub torn_bytes: u64,
+    /// Whether the store ends in a verified seal (see
+    /// [`crate::trace::StoreFooter`]).
+    pub sealed: bool,
     /// Groups, sorted by `(algorithm, dynamics, scheduler)`.
     pub groups: Vec<CampaignGroup>,
 }
@@ -177,6 +185,10 @@ pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport 
         serial_units,
         total_replicas,
         covered_replicas,
+        // Store-level facts; `load_report` overrides them from the load.
+        torn_tail: false,
+        torn_bytes: 0,
+        sealed: false,
         groups,
     }
 }

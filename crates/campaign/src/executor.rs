@@ -113,6 +113,37 @@ impl UnitMeasurement {
         }
         self.total_cover_time as f64 / self.covered as f64
     }
+
+    /// Field-by-field comparison against another measurement:
+    /// `(field, self's value, other's value)` per differing field, empty
+    /// when equal. Certification uses this to name *which* field of a
+    /// stored result diverges from a fresh re-execution.
+    pub fn diff(&self, other: &UnitMeasurement) -> Vec<(&'static str, String, String)> {
+        fn opt(t: Option<Time>) -> String {
+            t.map_or_else(|| "none".to_string(), |t| t.to_string())
+        }
+        let mut diffs = Vec::new();
+        if self.replicas != other.replicas {
+            diffs.push(("replicas", self.replicas.to_string(), other.replicas.to_string()));
+        }
+        if self.covered != other.covered {
+            diffs.push(("covered", self.covered.to_string(), other.covered.to_string()));
+        }
+        if self.total_cover_time != other.total_cover_time {
+            diffs.push((
+                "total_cover_time",
+                self.total_cover_time.to_string(),
+                other.total_cover_time.to_string(),
+            ));
+        }
+        if self.min_cover_time != other.min_cover_time {
+            diffs.push(("min_cover_time", opt(self.min_cover_time), opt(other.min_cover_time)));
+        }
+        if self.max_cover_time != other.max_cover_time {
+            diffs.push(("max_cover_time", opt(self.max_cover_time), opt(other.max_cover_time)));
+        }
+        diffs
+    }
 }
 
 /// One line of the result store: a unit, where it ran, what it measured.

@@ -1,0 +1,138 @@
+//! Deterministic fault injection for the store's append path (a
+//! test-only hook).
+//!
+//! A [`FailPlan`] is a seeded schedule of exactly one storage fault,
+//! threaded through [`crate::RunOptions`] into the
+//! [`crate::store::StoreAppender`]. Crash faults ([`FaultKind::Kill`],
+//! [`FaultKind::TornRecord`]) abort the run with
+//! [`crate::CampaignError::InjectedFault`] after writing a partial line —
+//! the model of a power loss mid-append. Corruption faults
+//! ([`FaultKind::BitFlip`], [`FaultKind::DuplicateAppend`]) damage the
+//! bytes and let the run finish — the model of silent media or logic
+//! corruption that resume must *detect*, not absorb.
+//!
+//! The contract the fault proptests pin (`tests/faults.rs`): for every
+//! injected fault, a subsequent `campaign resume` either reproduces the
+//! uninterrupted store byte for byte (crash faults, and corruption the
+//! torn-tail truncation provably heals) or refuses with a named
+//! `STORE-CORRUPT` diagnostic — it never silently drops, duplicates or
+//! alters a unit.
+
+use dynring_analysis::seeds::mix64;
+
+/// One injectable storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash after exactly `after_bytes` bytes of the store have been
+    /// written (counting everything already on disk): the current line is
+    /// cut mid-write and the run aborts. Models `kill -9` / power loss at
+    /// an arbitrary byte position.
+    Kill {
+        /// Store size, in bytes, at which the crash fires.
+        after_bytes: u64,
+    },
+    /// Write only the first `keep` bytes of the line appending record
+    /// number `record` (0-based count of records already in the file),
+    /// then abort. Models a torn single-record write.
+    TornRecord {
+        /// Record count at which the tear fires.
+        record: usize,
+        /// Bytes of the record line that reach the file (clamped below
+        /// the line length, so the tear never completes the line).
+        keep: usize,
+    },
+    /// XOR one byte of the line appending record number `record` and keep
+    /// running to completion. Models silent corruption.
+    BitFlip {
+        /// Record count at which the flip fires.
+        record: usize,
+        /// Byte position within the line (taken modulo the line length,
+        /// newline included).
+        byte: usize,
+        /// XOR mask; must be nonzero or the flip is a no-op.
+        xor: u8,
+    },
+    /// Append the line of record number `record` twice and keep running.
+    /// Models a replayed write (e.g. a retry straddling a crash).
+    DuplicateAppend {
+        /// Record count at which the duplication fires.
+        record: usize,
+    },
+}
+
+/// A deterministic schedule of one [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailPlan {
+    kind: FaultKind,
+}
+
+impl FailPlan {
+    /// A plan injecting exactly `kind`.
+    pub fn new(kind: FaultKind) -> Self {
+        FailPlan { kind }
+    }
+
+    /// The scheduled fault.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Derives a fault deterministically from `seed`: the kind and its
+    /// parameters come from successive [`mix64`] draws, scaled by hints
+    /// for the store's eventual record count and byte size. The same seed
+    /// always produces the same fault, so a failing case replays exactly.
+    pub fn from_seed(seed: u64, records_hint: usize, bytes_hint: u64) -> Self {
+        let records = records_hint.max(1) as u64;
+        let bytes = bytes_hint.max(1);
+        let draw = |lane: u64| mix64(seed.wrapping_add(lane.wrapping_mul(0x9e37)));
+        let kind = match draw(0) % 4 {
+            0 => FaultKind::Kill { after_bytes: draw(1) % bytes },
+            1 => FaultKind::TornRecord {
+                record: (draw(1) % records) as usize,
+                keep: (draw(2) % 120) as usize,
+            },
+            2 => FaultKind::BitFlip {
+                record: (draw(1) % records) as usize,
+                byte: draw(2) as usize,
+                xor: (draw(3) % 255) as u8 + 1,
+            },
+            _ => FaultKind::DuplicateAppend { record: (draw(1) % records) as usize },
+        };
+        FailPlan { kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_every_kind() {
+        let mut kinds = [false; 4];
+        for seed in 0..64u64 {
+            let plan = FailPlan::from_seed(seed, 10, 1000);
+            assert_eq!(plan, FailPlan::from_seed(seed, 10, 1000));
+            let slot = match plan.kind() {
+                FaultKind::Kill { after_bytes } => {
+                    assert!(after_bytes < 1000);
+                    0
+                }
+                FaultKind::TornRecord { record, .. } => {
+                    assert!(record < 10);
+                    1
+                }
+                FaultKind::BitFlip { record, xor, .. } => {
+                    assert!(record < 10);
+                    assert_ne!(xor, 0, "a zero mask would be a silent no-op");
+                    2
+                }
+                FaultKind::DuplicateAppend { record } => {
+                    assert!(record < 10);
+                    3
+                }
+            };
+            kinds[slot] = true;
+        }
+        assert_eq!(kinds, [true; 4], "64 seeds must hit all four fault kinds");
+    }
+}

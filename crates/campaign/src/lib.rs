@@ -68,21 +68,27 @@ use std::fmt;
 use dynring_analysis::ScenarioError;
 
 pub mod aggregate;
+pub mod certify;
 pub mod executor;
+pub mod fault;
 pub mod runner;
 pub mod spec;
 pub mod store;
+pub mod trace;
 
 pub use aggregate::{aggregate, render, CampaignGroup, CampaignReport};
+pub use certify::{certify, render_verdict, CertifyFailure, CertifyOptions, CertifyVerdict};
 pub use executor::{
     execute_unit, execute_unit_on, route_unit, Route, UnitMeasurement, UnitRecord,
 };
+pub use fault::{FailPlan, FaultKind};
 pub use runner::{load_report, run_campaign, RunOptions, RunOutcome};
 pub use spec::{
     CampaignPlan, CampaignSpec, ExplicitRobot, PlacementAxis, PlannedUnit, UnitDynamics,
     UnitScheduler, WorkUnit,
 };
-pub use store::{LoadedStore, ResultStore, StoreHeader, StoreLine};
+pub use store::{LoadedStore, ResultStore, StoreAppender, StoreHeader, StoreLine};
+pub use trace::{ChainedRecord, StoreFooter, ENGINE_VERSION, STORE_SCHEMA};
 
 /// Errors of the campaign layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +115,9 @@ pub enum CampaignError {
     },
     /// The store is damaged beyond a torn trailing line.
     CorruptStore(String),
+    /// A test-only injected fault fired (see [`fault`]); the message
+    /// names the fault so the crash-safety proptests can assert on it.
+    InjectedFault(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -130,6 +139,7 @@ impl fmt::Display for CampaignError {
                 "store belongs to spec {found}, not the given spec {expected}"
             ),
             CampaignError::CorruptStore(msg) => write!(f, "corrupt store: {msg}"),
+            CampaignError::InjectedFault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

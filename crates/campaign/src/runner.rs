@@ -14,8 +14,9 @@
 use dynring_analysis::parallel::{available_workers, par_map};
 
 use crate::executor::execute_unit;
+use crate::fault::FailPlan;
 use crate::spec::{CampaignSpec, PlannedUnit};
-use crate::store::{ResultStore, StoreHeader, StoreLine};
+use crate::store::{ResultStore, StoreHeader};
 use crate::CampaignError;
 
 /// Knobs of one `run`/`resume` invocation.
@@ -29,6 +30,10 @@ pub struct RunOptions {
     /// `run` semantics: refuse a store that already has content. `resume`
     /// semantics (`false`): continue wherever the store left off.
     pub fresh: bool,
+    /// Test-only fault injection into the store's append path (see
+    /// [`crate::fault`]). `None` — always, outside the crash-safety
+    /// tests — appends normally.
+    pub fault: Option<FailPlan>,
 }
 
 impl Default for RunOptions {
@@ -37,6 +42,7 @@ impl Default for RunOptions {
             workers: available_workers(),
             max_units: None,
             fresh: true,
+            fault: None,
         }
     }
 }
@@ -95,11 +101,35 @@ pub fn run_campaign(
                 found: header.spec_hash.clone(),
             });
         }
+        if header.name != plan.name || header.planned_units != plan.units.len() {
+            return Err(CampaignError::CorruptStore(format!(
+                "{}: header names campaign {}/{} units, the plan is {}/{} units",
+                store.path().display(),
+                header.name,
+                header.planned_units,
+                plan.name,
+                plan.units.len()
+            )));
+        }
     } else if !loaded.records.is_empty() {
         return Err(CampaignError::CorruptStore(format!(
             "{}: records without a header",
             store.path().display()
         )));
+    }
+    // Plan membership: a record must sit at its own plan index. The spec
+    // hash already binds the store to the spec, but this also rejects a
+    // record *transplanted* from another store of the same spec family.
+    for record in &loaded.records {
+        let planned = plan.units.get(record.index);
+        if planned.map(|p| p.hash.as_str()) != Some(record.hash.as_str()) {
+            return Err(CampaignError::CorruptStore(format!(
+                "{}: record {} (unit {}) is not the plan's unit at that index",
+                store.path().display(),
+                record.index,
+                record.hash
+            )));
+        }
     }
     let completed = loaded.completed_hashes();
     let pending: Vec<&PlannedUnit> = plan
@@ -107,31 +137,46 @@ pub fn run_campaign(
         .iter()
         .filter(|u| !completed.contains(u.hash.as_str()))
         .collect();
+    if loaded.sealed && !pending.is_empty() {
+        return Err(CampaignError::CorruptStore(format!(
+            "{}: sealed store is missing {} planned units",
+            store.path().display(),
+            pending.len()
+        )));
+    }
     let skipped = plan.units.len() - pending.len();
     let budget = opts.max_units.unwrap_or(pending.len()).min(pending.len());
 
-    let mut file = store.open_for_append(loaded.valid_len)?;
+    let mut appender = store.appender(&loaded)?;
+    appender.set_fault(opts.fault);
     if loaded.header.is_none() {
-        ResultStore::append_line(
-            &mut file,
-            &StoreLine::Header(StoreHeader {
-                name: plan.name.clone(),
-                spec_hash: plan.spec_hash.clone(),
-                planned_units: plan.units.len(),
-            }),
-        )?;
+        appender.append_header(StoreHeader {
+            name: plan.name.clone(),
+            spec_hash: plan.spec_hash.clone(),
+            planned_units: plan.units.len(),
+        })?;
     }
     // Waves bound interruption loss; the wave size only shapes latency,
-    // never bytes (records are appended in plan order either way).
+    // never bytes (records are appended in plan order either way). Each
+    // wave is fsynced, so a power cut loses at most one wave.
     let workers = opts.workers.max(1);
     let wave_size = (workers * 4).max(8);
     let mut executed = 0usize;
     for wave in pending[..budget].chunks(wave_size) {
         let results = par_map(wave, workers, |planned| execute_unit(planned));
         for result in results {
-            ResultStore::append_line(&mut file, &StoreLine::Unit(result?))?;
+            appender.append_record(result?)?;
             executed += 1;
         }
+        appender.sync()?;
+    }
+    // Seal on completion. A complete-but-unsealed store (a run
+    // interrupted between its last record and the seal, or a legacy v1
+    // store) gets sealed by the resume that finds it complete; a sealed
+    // resume is a pure no-op.
+    if executed == pending.len() && !loaded.sealed {
+        appender.seal()?;
+        appender.sync()?;
     }
     Ok(RunOutcome {
         planned: plan.units.len(),
@@ -160,7 +205,11 @@ pub fn load_report(
             });
         }
     }
-    Ok(crate::aggregate::aggregate(&plan, &loaded.records))
+    let mut report = crate::aggregate::aggregate(&plan, &loaded.records);
+    report.torn_tail = loaded.torn_tail;
+    report.torn_bytes = loaded.torn_bytes;
+    report.sealed = loaded.sealed;
+    Ok(report)
 }
 
 #[cfg(test)]

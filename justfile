@@ -48,6 +48,18 @@ montecarlo:
 montecarlo-large:
     cargo run --release -- montecarlo --n 4096 --k 3 --p 0.5 --replicas 256 --horizon 60000 --seed 7
 
+# CI gate for replay bundles (see docs/CERTIFY.md): certify the smoke
+# store at level 1 (header / hash chain / plan membership / seal) and at
+# level 2 (seeded sampled re-execution), then corrupt one byte of a copy
+# and check certification fails with a greppable CERTIFY-FAIL line.
+certify-smoke: campaign-smoke
+    cargo run --release -- certify target/campaign-smoke.jsonl --spec examples/campaign_smoke.json
+    cargo run --release -- certify target/campaign-smoke.jsonl --spec examples/campaign_smoke.json --level 2 --sample 8 --seed 7 --out target/certify-verdict.json
+    cp target/campaign-smoke.jsonl target/campaign-smoke-corrupt.jsonl
+    printf '\0' | dd of=target/campaign-smoke-corrupt.jsonl bs=1 seek=2048 conv=notrunc status=none
+    if cargo run --release -- certify target/campaign-smoke-corrupt.jsonl --spec examples/campaign_smoke.json > target/certify-corrupt.log 2>&1; then echo "a corrupted bundle must not certify"; exit 1; fi
+    grep -q 'CERTIFY-FAIL' target/certify-corrupt.log
+
 # CI gate for the campaign layer: run the committed 240-unit smoke spec,
 # interrupt it after 60 units, resume it, check the interrupted store is
 # byte-identical to an uninterrupted run, and diff the report against the

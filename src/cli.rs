@@ -33,6 +33,8 @@ USAGE:
     dynring campaign run    --spec FILE --store FILE [--workers W] [--max-units N]
     dynring campaign resume --spec FILE --store FILE [--workers W] [--max-units N]
     dynring campaign report --spec FILE --store FILE [--out FILE]
+    dynring certify STORE --spec FILE [--level 1|2] [--sample N] [--seed S]
+                    [--out FILE]
     dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
     dynring --help
 
@@ -51,6 +53,13 @@ units ride the 64-lane lockstep engine) and appends one JSONL record per
 unit to the store; `resume` continues an interrupted store, skipping
 completed units, and reproduces the uninterrupted store byte for byte;
 `report` folds the store into grouped survival / cover-time summaries.
+`certify` verifies a completed store as a replay bundle (see
+docs/CERTIFY.md): level 1 re-validates the header, every record's hash
+chain, plan membership, ordering and the seal without executing anything;
+level 2 additionally re-executes a deterministic sample of units
+(--sample, --seed; both engine routes covered) and compares the stored
+measurements field by field, printing one `CERTIFY-FAIL` line per
+divergence and exiting nonzero; --out writes the JSON verdict.
 `bench-report` measures the round engine (quiet vs recording path), the
 batch engine vs 64 serial replica runs, the Bernoulli p-sweep and the
 parallel sweep layer and writes a BENCH_engine.json performance snapshot;
@@ -130,6 +139,21 @@ pub enum Command {
         /// Stop after this many newly executed units (run/resume).
         max_units: Option<usize>,
         /// Optional report JSON output path (report only).
+        out: Option<String>,
+    },
+    /// Certify a campaign store as a replay bundle.
+    Certify {
+        /// Path of the JSONL result store.
+        store: String,
+        /// Path of the JSON campaign spec.
+        spec: String,
+        /// Certification level (1 = structural, 2 = sampled re-execution).
+        level: u8,
+        /// Units to re-execute at level 2.
+        sample: usize,
+        /// Seed of the level-2 sample.
+        seed: u64,
+        /// Optional verdict JSON output path.
         out: Option<String>,
     },
     /// Measure the engine and sweep layer, writing a JSON snapshot.
@@ -392,6 +416,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Campaign { verb, spec, store, workers, max_units, out })
         }
+        "certify" => {
+            let store = positional
+                .get(1)
+                .ok_or_else(|| err("certify requires a store path: certify STORE --spec FILE"))?
+                .to_string();
+            let spec = lookup(&pairs, "spec")
+                .ok_or_else(|| err("certify requires --spec FILE"))?
+                .to_string();
+            let level: u8 = parse_num(&pairs, "level", 1)?;
+            if !(1..=2).contains(&level) {
+                return Err(err(format!("--level must be 1 or 2, not {level}")));
+            }
+            if level == 1 && (lookup(&pairs, "sample").is_some() || lookup(&pairs, "seed").is_some())
+            {
+                return Err(err("--sample/--seed are only valid with --level 2"));
+            }
+            Ok(Command::Certify {
+                store,
+                spec,
+                level,
+                sample: parse_num(&pairs, "sample", 8)?,
+                seed: parse_num(&pairs, "seed", 0xCE47u64)?,
+                out: lookup(&pairs, "out").map(str::to_string),
+            })
+        }
         "bench-report" => Ok(Command::BenchReport {
             out: lookup(&pairs, "out").unwrap_or("BENCH_engine.json").to_string(),
             // `--quick` is value-less: split_flags routes it to positional.
@@ -561,6 +610,7 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         workers: workers.unwrap_or_else(available_workers),
                         max_units,
                         fresh: verb == CampaignVerb::Run,
+                        fault: None,
                     };
                     println!(
                         "campaign `{}`: {} over {} workers (store {store})…",
@@ -587,6 +637,12 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                 }
                 CampaignVerb::Report => {
                     let report = load_report(&campaign, &result_store)?;
+                    if report.torn_tail {
+                        eprintln!(
+                            "WARNING: torn tail truncated ({} bytes)",
+                            report.torn_bytes
+                        );
+                    }
                     print!("{}", render(&report));
                     if let Some(path) = out {
                         let json = serde_json::to_string_pretty(&report)?;
@@ -594,6 +650,38 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         println!("\nreport written to {path}");
                     }
                 }
+            }
+        }
+        Command::Certify { store, spec, level, sample, seed, out } => {
+            use dynring_campaign::{certify, render_verdict, CertifyOptions, ResultStore};
+
+            let spec_json = std::fs::read_to_string(&spec)?;
+            let campaign: dynring_campaign::CampaignSpec = serde_json::from_str(&spec_json)
+                .map_err(|e| CliError(format!("cannot parse campaign spec {spec}: {e}")))?;
+            println!(
+                "certifying {store} against spec {spec} at level {level}{}…",
+                if level >= 2 {
+                    format!(" (sample {sample}, seed {seed:#x})")
+                } else {
+                    String::new()
+                }
+            );
+            let verdict = certify(
+                &campaign,
+                &ResultStore::new(&store),
+                &CertifyOptions { level, sample, seed },
+            )?;
+            print!("{}", render_verdict(&verdict));
+            if let Some(path) = out {
+                let json = serde_json::to_string_pretty(&verdict)?;
+                std::fs::write(&path, json + "\n")?;
+                println!("verdict written to {path}");
+            }
+            if !verdict.pass {
+                return Err(Box::new(CliError(format!(
+                    "certification failed: {} divergence(s) in {store}",
+                    verdict.failures.len()
+                ))));
             }
         }
         Command::BenchReport { out, quick, check } => {
@@ -1068,5 +1156,50 @@ mod tests {
         ]))
         .expect("parses");
         run(cmd).expect("runs");
+    }
+
+    #[test]
+    fn certify_parses_with_defaults_and_flags() {
+        let cmd = parse(&args(&["certify", "s.jsonl", "--spec", "c.json"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Certify {
+                store: "s.jsonl".into(),
+                spec: "c.json".into(),
+                level: 1,
+                sample: 8,
+                seed: 0xCE47,
+                out: None,
+            }
+        );
+        let cmd = parse(&args(&[
+            "certify", "s.jsonl", "--spec", "c.json", "--level", "2", "--sample", "16",
+            "--seed", "9", "--out", "v.json",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Certify {
+                store: "s.jsonl".into(),
+                spec: "c.json".into(),
+                level: 2,
+                sample: 16,
+                seed: 9,
+                out: Some("v.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn certify_rejects_bad_levels_and_misplaced_sampling_flags() {
+        assert!(parse(&args(&["certify", "--spec", "c.json"])).is_err(), "store is required");
+        assert!(parse(&args(&["certify", "s.jsonl"])).is_err(), "spec is required");
+        assert!(
+            parse(&args(&["certify", "s.jsonl", "--spec", "c.json", "--level", "3"])).is_err()
+        );
+        assert!(
+            parse(&args(&["certify", "s.jsonl", "--spec", "c.json", "--sample", "4"])).is_err(),
+            "--sample without --level 2 must be rejected"
+        );
     }
 }

@@ -91,6 +91,30 @@ fn cli_run_interrupt_resume_matches_the_pinned_report() {
     assert_eq!(report, pinned_report);
     assert!(report.is_complete());
     assert_eq!(report.batch_units, 60);
+    assert!(report.sealed, "a completed campaign must be sealed");
+
+    // The finished store certifies at level 1 and at level 2 (sampled
+    // re-execution), through the CLI path.
+    cli_run(&["certify", store_a_str, "--spec", SPEC_PATH]);
+    cli_run(&[
+        "certify", store_a_str, "--spec", SPEC_PATH, "--level", "2", "--sample", "6",
+        "--seed", "7",
+    ]);
+
+    // A single flipped byte mid-file fails certification with a nonzero
+    // exit (mirrored in CI with a grep for the CERTIFY-FAIL line).
+    let mut corrupted = a.clone();
+    corrupted[2048] ^= 0x01;
+    std::fs::write(&store_a, &corrupted).expect("write corrupted store");
+    let command = cli::parse(&args(&["certify", store_a_str, "--spec", SPEC_PATH]))
+        .expect("CLI parses");
+    let outcome = cli::run(command);
+    assert!(outcome.is_err(), "a corrupted bundle must fail certification");
+    let message = outcome.expect_err("is err").to_string();
+    assert!(
+        message.contains("certification failed"),
+        "unexpected error: {message}"
+    );
 
     for p in [&store_a, &store_b, &report_path] {
         let _ = std::fs::remove_file(p);
