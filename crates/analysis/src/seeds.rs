@@ -39,6 +39,21 @@ pub fn default_seeds(count: usize) -> Vec<u64> {
     (0..count as u64).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1)).collect()
 }
 
+/// Deterministic retry-backoff jitter: a [`mix64`]-derived value in
+/// `0..=max_ms`, a pure function of `(shard, attempt)`.
+///
+/// The campaign supervisor adds this on top of its exponential backoff so
+/// shards that died together (one machine hiccup killing several workers)
+/// don't restart in lockstep and hiccup together again — while keeping
+/// restart schedules replayable: the same shard on the same attempt
+/// always waits the same extra milliseconds.
+pub fn backoff_jitter_ms(shard: u64, attempt: u64, max_ms: u64) -> u64 {
+    if max_ms == 0 {
+        return 0;
+    }
+    mix64(derive_stream_seed(shard, attempt)) % (max_ms + 1)
+}
+
 /// A deterministic uniform sample of `sample` distinct indices from
 /// `0..population`, sorted ascending. A partial Fisher–Yates shuffle
 /// driven by [`derive_stream_seed`], so the same `(seed, population,
@@ -115,6 +130,23 @@ mod tests {
         // Different seeds actually move the sample (probe, not a proof).
         assert_ne!(sample_indices(1, 1000, 10), sample_indices(2, 1000, 10));
         assert!(sample_indices(9, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_spread() {
+        for shard in 0..4u64 {
+            for attempt in 0..6u64 {
+                let j = backoff_jitter_ms(shard, attempt, 250);
+                assert_eq!(j, backoff_jitter_ms(shard, attempt, 250));
+                assert!(j <= 250);
+                assert_eq!(backoff_jitter_ms(shard, attempt, 0), 0);
+            }
+        }
+        // Different shards on the same attempt must not share a jitter
+        // everywhere (the whole point is de-synchronizing restarts).
+        let all: std::collections::BTreeSet<u64> =
+            (0..16u64).map(|s| backoff_jitter_ms(s, 1, 10_000)).collect();
+        assert!(all.len() > 8, "jitter must spread across shards: {all:?}");
     }
 
     #[test]

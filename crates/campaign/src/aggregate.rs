@@ -72,6 +72,15 @@ pub struct CampaignReport {
     /// Whether the store ends in a verified seal (see
     /// [`crate::trace::StoreFooter`]).
     pub sealed: bool,
+    /// `true` when the store covers only part of the plan. Rendered as a
+    /// loud PARTIAL banner so an unmerged shard store is never mistaken
+    /// for a finished (merely low-unit-count) campaign.
+    pub partial: bool,
+    /// `true` when the store's records are exactly the plan's first
+    /// `completed_units` units. `false` marks a mid-plan slice — i.e. an
+    /// unmerged shard store — whose totals are a window, not a prefix,
+    /// of the campaign.
+    pub plan_prefix: bool,
     /// Groups, sorted by `(algorithm, dynamics, scheduler)`.
     pub groups: Vec<CampaignGroup>,
 }
@@ -111,11 +120,19 @@ pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport 
     }
     let mut groups: BTreeMap<(String, String, String), Acc> = BTreeMap::new();
     // Iterate in plan order so the per-group survival vectors (and with
-    // them the medians) are deterministic.
+    // them the medians) are deterministic. Track whether the completed
+    // units form a plan prefix — a gap followed by more records marks a
+    // mid-plan slice (an unmerged shard store).
+    let mut gap_seen = false;
+    let mut plan_prefix = true;
     for planned_unit in &plan.units {
         let Some(record) = seen.get(planned_unit.hash.as_str()) else {
+            gap_seen = true;
             continue;
         };
+        if gap_seen {
+            plan_prefix = false;
+        }
         if record.route == "batch" {
             batch_units += 1;
         } else {
@@ -189,6 +206,8 @@ pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport 
         torn_tail: false,
         torn_bytes: 0,
         sealed: false,
+        partial: completed_units < plan.units.len(),
+        plan_prefix,
         groups,
     }
 }
@@ -211,6 +230,20 @@ pub fn render(report: &CampaignReport) -> String {
         report.covered_replicas,
         report.total_replicas,
     );
+    if report.partial {
+        let _ = writeln!(
+            out,
+            "PARTIAL: {} of {} planned units missing{}",
+            report.planned_units - report.completed_units,
+            report.planned_units,
+            if report.plan_prefix {
+                "; resume to continue"
+            } else {
+                "; this looks like an unmerged shard store — `campaign merge` it \
+                 with its sibling shards"
+            }
+        );
+    }
     let _ = writeln!(
         out,
         "{:<22} {:<22} {:<7} {:>5} {:>8} {:>9} {:>12} {:>8} {:>8}",
@@ -295,6 +328,33 @@ mod tests {
         let report = aggregate(&plan, &records);
         assert!(!report.is_complete());
         assert_eq!(report.completed_units, 3);
+        assert!(report.partial);
+        assert!(report.plan_prefix, "first 3 units are a plan prefix");
+        assert!(render(&report).contains("PARTIAL"), "partial must render loudly");
+    }
+
+    #[test]
+    fn mid_plan_slices_are_labelled_as_unmerged_shards() {
+        let plan = spec().plan().expect("valid spec");
+        // Units 4.. of the plan: a shard store's slice, not a prefix.
+        let records: Vec<_> = plan
+            .units
+            .iter()
+            .skip(4)
+            .map(|u| execute_unit(u).expect("unit runs"))
+            .collect();
+        let report = aggregate(&plan, &records);
+        assert!(report.partial);
+        assert!(!report.plan_prefix);
+        let text = render(&report);
+        assert!(text.contains("unmerged shard"), "{text}");
+        // A complete store is neither partial nor a mere slice.
+        let all: Vec<_> =
+            plan.units.iter().map(|u| execute_unit(u).expect("unit runs")).collect();
+        let full = aggregate(&plan, &all);
+        assert!(!full.partial);
+        assert!(full.plan_prefix);
+        assert!(!render(&full).contains("PARTIAL"));
     }
 
     #[test]

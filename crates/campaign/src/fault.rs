@@ -17,8 +17,102 @@
 //! torn-tail truncation provably heals) or refuses with a named
 //! `STORE-CORRUPT` diagnostic — it never silently drops, duplicates or
 //! alters a unit.
+//!
+//! [`ProcessFault`] lifts the same idea to *process* level for the
+//! distributed supervisor: a `campaign work` child reads
+//! [`WORKER_FAULT_ENV`] and deliberately dies mid-shard (clean exit,
+//! SIGKILL-style abort, or a stall past the heartbeat timeout), so
+//! supervisor retry, backoff and quarantine paths are exercised
+//! deterministically in tests — never in production, where the variable
+//! is unset.
 
 use dynring_analysis::seeds::mix64;
+
+/// Env var a `campaign work` child reads for a process-level fault:
+/// `exit-after-units:<k>`, `kill-after-bytes:<b>` or
+/// `stall-after-units:<k>`.
+pub const WORKER_FAULT_ENV: &str = "DYNRING_WORKER_FAULT";
+/// Env var restricting [`WORKER_FAULT_ENV`] to one shard index; unset
+/// means every shard faults.
+pub const WORKER_FAULT_SHARD_ENV: &str = "DYNRING_WORKER_FAULT_SHARD";
+/// Env var choosing which attempts fault: `first` (the default — retries
+/// run clean, so the supervisor's restart path succeeds) or `always`
+/// (every attempt faults, driving the shard into quarantine).
+pub const WORKER_FAULT_ATTEMPTS_ENV: &str = "DYNRING_WORKER_FAULT_ATTEMPTS";
+/// Env var the supervisor sets on each child: the 0-based attempt number
+/// for that shard, consulted by the `first`/`always` gating above.
+pub const SHARD_ATTEMPT_ENV: &str = "DYNRING_SHARD_ATTEMPT";
+
+/// Exit code of a worker whose `exit-after-units` fault fired, so tests
+/// can tell an injected death from a real failure.
+pub const WORKER_FAULT_EXIT_CODE: i32 = 113;
+
+/// One injectable process-level fault (see [`WORKER_FAULT_ENV`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessFault {
+    /// Exit with [`WORKER_FAULT_EXIT_CODE`] once at least `k` units of
+    /// this invocation have executed (and fsynced). Models a worker dying
+    /// cleanly mid-shard.
+    ExitAfterUnits(usize),
+    /// Abort the process (no unwinding, no exit handlers) once `bytes` of
+    /// the shard store exist, via [`FaultKind::Kill`] in the append path
+    /// plus `std::process::abort`. Models `kill -9` mid-write.
+    KillAfterBytes(u64),
+    /// Stop making progress (sleep forever) once at least `k` units have
+    /// executed, without exiting. Models a hung worker the supervisor
+    /// must detect by heartbeat timeout and kill.
+    StallAfterUnits(usize),
+}
+
+impl ProcessFault {
+    /// Parses the [`WORKER_FAULT_ENV`] syntax. Malformed strings are an
+    /// error — a typo'd fault must not silently run clean.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (kind, arg) = s
+            .split_once(':')
+            .ok_or_else(|| format!("malformed worker fault {s:?}: expected kind:<n>"))?;
+        let n: u64 = arg
+            .parse()
+            .map_err(|_| format!("malformed worker fault {s:?}: {arg:?} is not a number"))?;
+        match kind {
+            "exit-after-units" => Ok(ProcessFault::ExitAfterUnits(n as usize)),
+            "kill-after-bytes" => Ok(ProcessFault::KillAfterBytes(n)),
+            "stall-after-units" => Ok(ProcessFault::StallAfterUnits(n as usize)),
+            _ => Err(format!("malformed worker fault {s:?}: unknown kind {kind:?}")),
+        }
+    }
+
+    /// Reads the fault armed for shard `shard` on attempt `attempt` from
+    /// the environment; `Ok(None)` when no fault applies.
+    ///
+    /// # Errors
+    ///
+    /// A malformed [`WORKER_FAULT_ENV`] / [`WORKER_FAULT_SHARD_ENV`] /
+    /// [`WORKER_FAULT_ATTEMPTS_ENV`] value.
+    pub fn from_env(shard: usize, attempt: usize) -> Result<Option<Self>, String> {
+        let Ok(spec) = std::env::var(WORKER_FAULT_ENV) else {
+            return Ok(None);
+        };
+        let fault = ProcessFault::parse(&spec)?;
+        if let Ok(only) = std::env::var(WORKER_FAULT_SHARD_ENV) {
+            let only: usize = only.parse().map_err(|_| {
+                format!("malformed {WORKER_FAULT_SHARD_ENV}: {only:?} is not a shard index")
+            })?;
+            if only != shard {
+                return Ok(None);
+            }
+        }
+        let attempts =
+            std::env::var(WORKER_FAULT_ATTEMPTS_ENV).unwrap_or_else(|_| "first".into());
+        match attempts.as_str() {
+            "first" => Ok((attempt == 0).then_some(fault)),
+            "always" => Ok(Some(fault)),
+            other => Err(format!(
+                "malformed {WORKER_FAULT_ATTEMPTS_ENV}: {other:?} (want first|always)"
+            )),
+        }
+    }
+}
 
 /// One injectable storage fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,5 +228,24 @@ mod tests {
             kinds[slot] = true;
         }
         assert_eq!(kinds, [true; 4], "64 seeds must hit all four fault kinds");
+    }
+
+    #[test]
+    fn process_faults_parse_and_refuse_malformed_specs() {
+        assert_eq!(
+            ProcessFault::parse("exit-after-units:3"),
+            Ok(ProcessFault::ExitAfterUnits(3))
+        );
+        assert_eq!(
+            ProcessFault::parse("kill-after-bytes:2048"),
+            Ok(ProcessFault::KillAfterBytes(2048))
+        );
+        assert_eq!(
+            ProcessFault::parse("stall-after-units:0"),
+            Ok(ProcessFault::StallAfterUnits(0))
+        );
+        for bad in ["exit-after-units", "exit-after-units:x", "segfault:1", ""] {
+            assert!(ProcessFault::parse(bad).is_err(), "{bad:?} must refuse");
+        }
     }
 }

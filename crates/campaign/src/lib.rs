@@ -20,10 +20,17 @@
 //!   hash: `resume` skips completed units, re-running a finished campaign
 //!   is a no-op, and a torn trailing write is truncated away;
 //! - [`aggregate`] — folds a store into the grouped cover-time /
-//!   survival [`CampaignReport`].
+//!   survival [`CampaignReport`];
+//! - [`shard`] / [`supervise`] / [`merge`] — the distributed story:
+//!   deterministically partition a plan into disjoint shard ranges
+//!   ([`ShardManifest`]), run each shard as a supervised child process
+//!   with heartbeat monitoring, bounded-backoff restart and quarantine
+//!   ([`supervise`]), then fold the shard stores back into one canonical
+//!   store byte-identical to a serial run ([`merge_manifest`]).
 //!
 //! See `docs/CAMPAIGNS.md` for the spec format and the CLI
-//! (`dynring campaign run | resume | report`).
+//! (`dynring campaign run | resume | report | shard | work | merge |
+//! status`).
 //!
 //! # Example
 //!
@@ -71,9 +78,12 @@ pub mod aggregate;
 pub mod certify;
 pub mod executor;
 pub mod fault;
+pub mod merge;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod store;
+pub mod supervise;
 pub mod trace;
 
 pub use aggregate::{aggregate, render, CampaignGroup, CampaignReport};
@@ -81,8 +91,14 @@ pub use certify::{certify, render_verdict, CertifyFailure, CertifyOptions, Certi
 pub use executor::{
     execute_unit, execute_unit_on, route_unit, Route, UnitMeasurement, UnitRecord,
 };
-pub use fault::{FailPlan, FaultKind};
+pub use fault::{FailPlan, FaultKind, ProcessFault};
+pub use merge::{merge_manifest, merge_stores, MergeOutcome};
 pub use runner::{load_report, run_campaign, RunOptions, RunOutcome};
+pub use shard::{shard_range, ShardEntry, ShardManifest, ShardSel};
+pub use supervise::{
+    render_progress, shard_progress, supervise, ShardProgress, SuperviseOptions,
+    SuperviseOutcome,
+};
 pub use spec::{
     CampaignPlan, CampaignSpec, ExplicitRobot, PlacementAxis, PlannedUnit, UnitDynamics,
     UnitScheduler, WorkUnit,
@@ -115,6 +131,10 @@ pub enum CampaignError {
     },
     /// The store is damaged beyond a torn trailing line.
     CorruptStore(String),
+    /// Shard stores cannot be folded into one canonical store. The
+    /// message is a single greppable `MERGE-CONFLICT reason=…` line
+    /// (see [`merge`]).
+    MergeConflict(String),
     /// A test-only injected fault fired (see [`fault`]); the message
     /// names the fault so the crash-safety proptests can assert on it.
     InjectedFault(String),
@@ -139,6 +159,7 @@ impl fmt::Display for CampaignError {
                 "store belongs to spec {found}, not the given spec {expected}"
             ),
             CampaignError::CorruptStore(msg) => write!(f, "corrupt store: {msg}"),
+            CampaignError::MergeConflict(msg) => write!(f, "{msg}"),
             CampaignError::InjectedFault(msg) => write!(f, "injected fault: {msg}"),
         }
     }

@@ -15,6 +15,7 @@ use dynring_analysis::parallel::{available_workers, par_map};
 
 use crate::executor::execute_unit;
 use crate::fault::FailPlan;
+use crate::shard::ShardSel;
 use crate::spec::{CampaignSpec, PlannedUnit};
 use crate::store::{ResultStore, StoreHeader};
 use crate::CampaignError;
@@ -34,6 +35,11 @@ pub struct RunOptions {
     /// [`crate::fault`]). `None` — always, outside the crash-safety
     /// tests — appends normally.
     pub fault: Option<FailPlan>,
+    /// Restrict execution to one shard's slice of the plan (`campaign
+    /// work`). The store keeps the full-plan header and global plan
+    /// indices — only *which* units this process executes changes — so
+    /// `campaign merge` can re-chain shard stores into the serial bytes.
+    pub shard: Option<ShardSel>,
 }
 
 impl Default for RunOptions {
@@ -43,6 +49,7 @@ impl Default for RunOptions {
             max_units: None,
             fresh: true,
             fault: None,
+            shard: None,
         }
     }
 }
@@ -50,7 +57,8 @@ impl Default for RunOptions {
 /// What one invocation did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
-    /// Units in the plan.
+    /// Units in the plan (this shard's slice when [`RunOptions::shard`]
+    /// is set).
     pub planned: usize,
     /// Units already in the store (skipped).
     pub skipped: usize,
@@ -117,6 +125,18 @@ pub fn run_campaign(
             store.path().display()
         )));
     }
+    // Restrict to one shard's slice of the plan when asked. Everything
+    // else — header, record shape, chaining — is unchanged, so a shard
+    // store is just a normal store whose records happen to be one
+    // contiguous plan range.
+    let shard_range = match &opts.shard {
+        Some(sel) => {
+            sel.validate()?;
+            sel.range(plan.units.len())
+        }
+        None => 0..plan.units.len(),
+    };
+    let slice = &plan.units[shard_range.clone()];
     // Plan membership: a record must sit at its own plan index. The spec
     // hash already binds the store to the spec, but this also rejects a
     // record *transplanted* from another store of the same spec family.
@@ -130,10 +150,18 @@ pub fn run_campaign(
                 record.hash
             )));
         }
+        if opts.shard.is_some() && !shard_range.contains(&record.index) {
+            return Err(CampaignError::CorruptStore(format!(
+                "{}: record {} is outside this shard's range {}..{}",
+                store.path().display(),
+                record.index,
+                shard_range.start,
+                shard_range.end
+            )));
+        }
     }
     let completed = loaded.completed_hashes();
-    let pending: Vec<&PlannedUnit> = plan
-        .units
+    let pending: Vec<&PlannedUnit> = slice
         .iter()
         .filter(|u| !completed.contains(u.hash.as_str()))
         .collect();
@@ -144,7 +172,7 @@ pub fn run_campaign(
             pending.len()
         )));
     }
-    let skipped = plan.units.len() - pending.len();
+    let skipped = slice.len() - pending.len();
     let budget = opts.max_units.unwrap_or(pending.len()).min(pending.len());
 
     let mut appender = store.appender(&loaded)?;
@@ -179,7 +207,7 @@ pub fn run_campaign(
         appender.sync()?;
     }
     Ok(RunOutcome {
-        planned: plan.units.len(),
+        planned: slice.len(),
         skipped,
         executed,
         pending: pending.len() - executed,

@@ -1,0 +1,359 @@
+//! Deterministic plan partitioning for multi-process campaigns.
+//!
+//! A campaign plan is split into `N` disjoint, contiguous unit ranges —
+//! shard `i` owns `shard_range(total, N, i)` of the plan, balanced to
+//! within one unit. Each shard runs as an independent process appending
+//! to its own chained v2 store (records keep their *global* plan index),
+//! and `merge` folds the shard stores back into one canonical store that
+//! is byte-identical to an uninterrupted serial run (see
+//! [`crate::merge`]).
+//!
+//! The partition is written down as a *shard manifest*: a JSON file
+//! naming the spec hash, the shard count and every shard's store path and
+//! unit range. The manifest is the rendezvous point of the distributed
+//! run — `campaign work --index i` reads its shard store path from it,
+//! the supervisor persists per-shard restart attempts into it (fsynced
+//! before a restarted worker is declared live), and `campaign merge`
+//! uses it to refuse overlapping or foreign shard stores by name.
+//! Manifest writes are atomic (temp file + fsync + rename), so a crash
+//! mid-update can never leave a torn manifest wedging the campaign.
+
+use std::fs::File;
+use std::io::Write;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::CampaignPlan;
+use crate::CampaignError;
+
+/// The manifest schema generation (bumped on shape changes).
+pub const MANIFEST_SCHEMA: &str = "dynring-shard-manifest-v1";
+
+/// Which shard of how many a run executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSel {
+    /// 0-based shard index.
+    pub index: usize,
+    /// Total shard count.
+    pub count: usize,
+}
+
+impl ShardSel {
+    /// Validates the selection (`count ≥ 1`, `index < count`).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidSpec`] naming the bad field.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.count == 0 {
+            return Err(CampaignError::InvalidSpec(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        if self.index >= self.count {
+            return Err(CampaignError::InvalidSpec(format!(
+                "shard index {} out of range for {} shards",
+                self.index, self.count
+            )));
+        }
+        Ok(())
+    }
+
+    /// This shard's unit range within a plan of `total` units.
+    pub fn range(&self, total: usize) -> Range<usize> {
+        shard_range(total, self.count, self.index)
+    }
+}
+
+/// The balanced contiguous partition: shard `index` of `count` owns a
+/// range of `total / count` units, with the first `total % count` shards
+/// carrying one extra. Ranges are disjoint, cover `0..total` exactly, and
+/// are a pure function of `(total, count, index)` — every process
+/// computes the same partition from the spec alone.
+pub fn shard_range(total: usize, count: usize, index: usize) -> Range<usize> {
+    let count = count.max(1);
+    let base = total / count;
+    let extra = total % count;
+    let start = index * base + index.min(extra);
+    let len = base + usize::from(index < extra);
+    start..(start + len).min(total)
+}
+
+/// One shard's slot in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// 0-based shard index.
+    pub index: usize,
+    /// Path of this shard's JSONL store.
+    pub store: String,
+    /// First plan index of the shard's range (inclusive).
+    pub start: usize,
+    /// Units in the shard's range.
+    pub units: usize,
+    /// Worker launch attempts recorded by the supervisor (0 = never
+    /// started). Persisted — and fsynced — before each (re)start, so a
+    /// supervisor resumed after a crash sees the true retry history.
+    pub attempts: usize,
+}
+
+/// The shard manifest: the partition of one campaign over `shards`
+/// worker stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// [`MANIFEST_SCHEMA`] at write time.
+    pub schema: String,
+    /// Campaign name (informational).
+    pub name: String,
+    /// The owning spec's content hash; shard stores and merges are
+    /// refused against any other spec.
+    pub spec_hash: String,
+    /// Units in the full plan.
+    pub planned_units: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// One entry per shard, in index order.
+    pub entries: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Builds the manifest for `plan` split into `shards` ranges, with
+    /// shard stores named `<name>.shard-I-of-N.jsonl` under `store_dir`.
+    /// The shard count is clamped to the plan size (no empty shards).
+    pub fn build(plan: &CampaignPlan, shards: usize, store_dir: &Path) -> Self {
+        let shards = shards.clamp(1, plan.units.len().max(1));
+        let entries = (0..shards)
+            .map(|index| {
+                let range = shard_range(plan.units.len(), shards, index);
+                ShardEntry {
+                    index,
+                    store: store_dir
+                        .join(format!("{}.shard-{index}-of-{shards}.jsonl", plan.name))
+                        .display()
+                        .to_string(),
+                    start: range.start,
+                    units: range.len(),
+                    attempts: 0,
+                }
+            })
+            .collect();
+        ShardManifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            name: plan.name.clone(),
+            spec_hash: plan.spec_hash.clone(),
+            planned_units: plan.units.len(),
+            shards,
+            entries,
+        }
+    }
+
+    /// Checks internal consistency: schema, one entry per shard in index
+    /// order, and every range equal to the [`shard_range`] recomputation
+    /// (the partition is canonical, not advisory).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::CorruptStore`] naming the inconsistency.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.schema != MANIFEST_SCHEMA {
+            return Err(CampaignError::CorruptStore(format!(
+                "shard manifest schema {} is not {MANIFEST_SCHEMA}",
+                self.schema
+            )));
+        }
+        if self.entries.len() != self.shards {
+            return Err(CampaignError::CorruptStore(format!(
+                "shard manifest names {} shards but carries {} entries",
+                self.shards,
+                self.entries.len()
+            )));
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            let range = shard_range(self.planned_units, self.shards, i);
+            if entry.index != i || entry.start != range.start || entry.units != range.len() {
+                return Err(CampaignError::CorruptStore(format!(
+                    "shard manifest entry {i} does not match the canonical \
+                     partition (index {}, start {}, {} units; expected start {}, {} units)",
+                    entry.index,
+                    entry.start,
+                    entry.units,
+                    range.start,
+                    range.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the manifest belongs to `plan`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::SpecMismatch`] on a foreign spec,
+    /// [`CampaignError::CorruptStore`] on a name/size drift.
+    pub fn matches(&self, plan: &CampaignPlan) -> Result<(), CampaignError> {
+        if self.spec_hash != plan.spec_hash {
+            return Err(CampaignError::SpecMismatch {
+                expected: plan.spec_hash.clone(),
+                found: self.spec_hash.clone(),
+            });
+        }
+        if self.name != plan.name || self.planned_units != plan.units.len() {
+            return Err(CampaignError::CorruptStore(format!(
+                "shard manifest names campaign {}/{} units, the plan is {}/{} units",
+                self.name,
+                self.planned_units,
+                plan.name,
+                plan.units.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The entry of shard `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidSpec`] when out of range.
+    pub fn entry(&self, index: usize) -> Result<&ShardEntry, CampaignError> {
+        self.entries.get(index).ok_or_else(|| {
+            CampaignError::InvalidSpec(format!(
+                "shard index {index} out of range for {} shards",
+                self.shards
+            ))
+        })
+    }
+
+    /// Writes the manifest atomically: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash at any point leaves either the old
+    /// manifest or the new one, never a torn file — the property the
+    /// supervisor's restart bookkeeping relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] / [`CampaignError::Json`].
+    pub fn write(&self, path: &Path) -> Result<(), CampaignError> {
+        let json = serde_json::to_string_pretty(self)? + "\n";
+        let tmp: PathBuf = {
+            let mut name = path.file_name().unwrap_or_default().to_os_string();
+            name.push(".tmp");
+            path.with_file_name(name)
+        };
+        let mut file = File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] / [`CampaignError::Json`] /
+    /// [`CampaignError::CorruptStore`] (see [`ShardManifest::validate`]).
+    pub fn load(path: &Path) -> Result<Self, CampaignError> {
+        let json = std::fs::read_to_string(path)?;
+        let manifest: ShardManifest = serde_json::from_str(&json)?;
+        manifest.validate()?;
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, PlacementAxis, UnitDynamics, UnitScheduler};
+    use dynring_analysis::AlgorithmChoice;
+
+    fn plan() -> CampaignPlan {
+        CampaignSpec {
+            name: "shardtest".into(),
+            ring_sizes: vec![4, 5],
+            robots: vec![1, 2],
+            placements: vec![PlacementAxis::EvenlySpaced],
+            algorithms: vec![AlgorithmChoice::Pef3Plus],
+            dynamics: vec![UnitDynamics::Bernoulli { p: 0.5 }],
+            schedulers: vec![UnitScheduler::Sync],
+            seeds: vec![1, 2, 3],
+            horizon: 100,
+            replicas: 2,
+        }
+        .plan()
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn ranges_partition_the_plan_exactly() {
+        for total in [0usize, 1, 5, 12, 13, 100] {
+            for count in [1usize, 2, 3, 4, 7, 13] {
+                let mut covered = Vec::new();
+                for index in 0..count {
+                    let range = shard_range(total, count, index);
+                    // Disjoint and contiguous: each range starts where the
+                    // previous ended.
+                    assert_eq!(range.start, covered.len(), "total={total} count={count}");
+                    covered.extend(range);
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>());
+                // Balanced to within one unit.
+                let sizes: Vec<usize> =
+                    (0..count).map(|i| shard_range(total, count, i).len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "total={total} count={count} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sel_validates_bounds() {
+        assert!(ShardSel { index: 0, count: 0 }.validate().is_err());
+        assert!(ShardSel { index: 3, count: 3 }.validate().is_err());
+        assert!(ShardSel { index: 2, count: 3 }.validate().is_ok());
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let plan = plan();
+        let dir = std::env::temp_dir().join("dynring_shard_manifest_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let manifest = ShardManifest::build(&plan, 3, &dir);
+        assert_eq!(manifest.shards, 3);
+        assert_eq!(
+            manifest.entries.iter().map(|e| e.units).sum::<usize>(),
+            plan.units.len()
+        );
+        manifest.validate().expect("consistent");
+        manifest.matches(&plan).expect("matches its plan");
+
+        let path = dir.join("manifest.json");
+        manifest.write(&path).expect("writes");
+        let loaded = ShardManifest::load(&path).expect("loads");
+        assert_eq!(loaded, manifest);
+
+        // A foreign spec is refused by hash.
+        let mut other = plan.clone();
+        other.spec_hash = "ffffffffffffffff".into();
+        assert!(matches!(
+            manifest.matches(&other),
+            Err(CampaignError::SpecMismatch { .. })
+        ));
+
+        // A tampered range is refused as non-canonical.
+        let mut bent = manifest.clone();
+        bent.entries[1].start += 1;
+        assert!(bent.validate().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_plan() {
+        let plan = plan();
+        let manifest = ShardManifest::build(&plan, 1000, Path::new("/tmp"));
+        assert_eq!(manifest.shards, plan.units.len());
+        assert!(manifest.entries.iter().all(|e| e.units == 1));
+    }
+}

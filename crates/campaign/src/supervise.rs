@@ -1,0 +1,553 @@
+//! The shard supervisor: spawn `campaign work` children, watch their
+//! liveness, restart crashed or hung shards with bounded backoff, and
+//! quarantine shards that keep dying.
+//!
+//! Liveness is judged by the shard store's mtime: [`crate::run_campaign`]
+//! fsyncs every wave, so a healthy worker advances its store file at
+//! wave cadence and a worker whose store has not moved for
+//! [`SuperviseOptions::heartbeat_timeout_ms`] is hung — it is killed and
+//! treated like any other death. On death the supervisor loads the shard
+//! store (crash-safe by construction: a torn tail truncates away) and
+//! either marks the shard complete, schedules a restart after
+//! exponential backoff with deterministic per-shard jitter
+//! ([`dynring_analysis::seeds::backoff_jitter_ms`]), or — once
+//! `max_retries` restarts are spent — quarantines it with a greppable
+//! `SHARD-FAIL shard=… attempts=… reason=…` line. A quarantined shard
+//! never wedges the campaign: the other shards run to completion, the
+//! supervisor returns a partial outcome, and a later `campaign resume
+//! --procs` picks the quarantined shard's partial store back up.
+//!
+//! The manifest's per-shard attempt counters are persisted (written to a
+//! temp file, fsynced, renamed) *before* each spawn, so a supervisor
+//! that itself crashes mid-restart never under-counts attempts on
+//! resume.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant, SystemTime};
+
+use dynring_analysis::seeds::backoff_jitter_ms;
+use serde::Serialize;
+
+use crate::fault::SHARD_ATTEMPT_ENV;
+use crate::shard::ShardManifest;
+use crate::store::ResultStore;
+use crate::CampaignError;
+
+/// Exponential backoff is capped here regardless of attempt count.
+const BACKOFF_CAP_MS: u64 = 30_000;
+
+/// Knobs of one supervisor invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseOptions {
+    /// Worker threads per child process.
+    pub workers_per_proc: usize,
+    /// Restarts allowed per shard before quarantine (`0` = one attempt,
+    /// no retries).
+    pub max_retries: usize,
+    /// Base of the per-shard exponential backoff (doubles per failed
+    /// attempt, capped at 30s, plus deterministic jitter in
+    /// `0..=backoff_ms`).
+    pub backoff_ms: u64,
+    /// A shard whose store mtime stalls longer than this is declared
+    /// hung, killed and retried.
+    pub heartbeat_timeout_ms: u64,
+    /// Supervisor poll interval.
+    pub poll_ms: u64,
+    /// Print a per-shard progress table to stderr roughly once a second.
+    pub progress: bool,
+    /// With `progress`: emit JSON lines instead of the table.
+    pub progress_json: bool,
+}
+
+impl Default for SuperviseOptions {
+    fn default() -> Self {
+        SuperviseOptions {
+            workers_per_proc: 1,
+            max_retries: 3,
+            backoff_ms: 250,
+            heartbeat_timeout_ms: 30_000,
+            poll_ms: 50,
+            progress: false,
+            progress_json: false,
+        }
+    }
+}
+
+/// A quarantined shard: `max_retries` restarts were spent and it still
+/// did not complete.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShardFailure {
+    /// Shard index.
+    pub shard: usize,
+    /// Attempts started (initial spawn included).
+    pub attempts: usize,
+    /// Space-free reason token: `exit-status-N`, `killed`, `stalled`,
+    /// `exited-incomplete` or `store-corrupt`.
+    pub reason: String,
+}
+
+/// What one supervisor invocation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperviseOutcome {
+    /// Shards in the manifest.
+    pub shards: usize,
+    /// Shards whose stores now hold their full unit range.
+    pub completed: usize,
+    /// Restarts performed (beyond initial spawns).
+    pub restarts: usize,
+    /// Shards given up on. Empty iff the campaign can merge completely.
+    pub quarantined: Vec<ShardFailure>,
+}
+
+impl SuperviseOutcome {
+    /// `true` when every shard completed (safe to merge and seal).
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.shards
+    }
+}
+
+/// One row of the `campaign status` / `--progress` view.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardProgress {
+    /// Shard index (or position in the `status STORE…` argument list).
+    pub shard: usize,
+    /// Store path.
+    pub store: String,
+    /// Records in the store.
+    pub completed: usize,
+    /// Units this store is expected to hold (the shard's range; for a
+    /// standalone store, the header's planned units).
+    pub total: usize,
+    /// Recent execution rate; `None` when not observable (static view,
+    /// or fewer than two samples).
+    pub units_per_sec: Option<f64>,
+    /// Seconds to completion at `units_per_sec`; `None` when unknown.
+    pub eta_secs: Option<f64>,
+    /// Whether the store carries a seal.
+    pub sealed: bool,
+    /// Whether a torn trailing line was truncated away on load.
+    pub torn: bool,
+    /// One-word state: `sealed`, `complete`, `torn`, `open`, `empty`,
+    /// `running`, `backoff` or `quarantined`.
+    pub state: String,
+}
+
+/// Reads one store into a static [`ShardProgress`] row (no rate/ETA —
+/// those need two observations; the supervisor's `--progress` view has
+/// them). `total` overrides the denominator when the caller knows the
+/// shard's range (manifest); otherwise the header's planned units are
+/// used.
+///
+/// # Errors
+///
+/// Store loading errors ([`CampaignError::CorruptStore`] etc.).
+pub fn shard_progress(
+    store: &ResultStore,
+    shard: usize,
+    total: Option<usize>,
+) -> Result<ShardProgress, CampaignError> {
+    let loaded = store.load()?;
+    let total =
+        total.or_else(|| loaded.header.as_ref().map(|h| h.planned_units)).unwrap_or(0);
+    let completed = loaded.records.len();
+    let state = if loaded.sealed {
+        "sealed"
+    } else if total > 0 && completed >= total {
+        "complete"
+    } else if loaded.torn_tail {
+        "torn"
+    } else if loaded.header.is_none() {
+        "empty"
+    } else {
+        "open"
+    };
+    Ok(ShardProgress {
+        shard,
+        store: store.path().display().to_string(),
+        completed,
+        total,
+        units_per_sec: None,
+        eta_secs: None,
+        sealed: loaded.sealed,
+        torn: loaded.torn_tail,
+        state: state.into(),
+    })
+}
+
+/// Renders progress rows as one aligned table (the non-`--json` form of
+/// `campaign status` and the supervisor's `--progress` ticker).
+pub fn render_progress(rows: &[ShardProgress]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<5} {:>9} {:>8} {:>8}  {:<11} {}\n",
+        "SHARD", "DONE", "UNITS/S", "ETA", "STATE", "STORE"
+    ));
+    for row in rows {
+        let done = format!("{}/{}", row.completed, row.total);
+        let rate = match row.units_per_sec {
+            Some(r) if r > 0.0 => format!("{r:.1}"),
+            _ => "-".into(),
+        };
+        let eta = match row.eta_secs {
+            Some(e) if e.is_finite() => format!("{e:.0}s"),
+            _ => "-".into(),
+        };
+        out.push_str(&format!(
+            "{:<5} {:>9} {:>8} {:>8}  {:<11} {}\n",
+            row.shard, done, rate, eta, row.state, row.store
+        ));
+    }
+    out
+}
+
+/// How a dead worker left its shard store.
+enum ShardHealth {
+    Complete,
+    Incomplete,
+    Corrupt,
+}
+
+fn shard_health(store: &ResultStore, units: usize) -> ShardHealth {
+    match store.load() {
+        Ok(loaded) if loaded.records.len() >= units => ShardHealth::Complete,
+        Ok(_) => ShardHealth::Incomplete,
+        Err(_) => ShardHealth::Corrupt,
+    }
+}
+
+/// Backoff before spawn number `attempts + 1`: exponential in the
+/// attempts already spent, capped, plus deterministic per-shard jitter.
+fn backoff_delay(shard: usize, attempts: usize, base_ms: u64) -> Duration {
+    let shift = (attempts.saturating_sub(1)).min(6) as u32;
+    let exp = base_ms.saturating_mul(1u64 << shift).min(BACKOFF_CAP_MS);
+    Duration::from_millis(exp + backoff_jitter_ms(shard as u64, attempts as u64, base_ms))
+}
+
+struct WorkerSlot {
+    shard: usize,
+    store: ResultStore,
+    log: PathBuf,
+    units: usize,
+    child: Option<Child>,
+    spawned: Instant,
+    restart_at: Option<Instant>,
+    done: bool,
+    quarantined: bool,
+    sample: Option<(Instant, usize)>,
+    rate: Option<f64>,
+}
+
+impl WorkerSlot {
+    fn settled(&self) -> bool {
+        self.done || self.quarantined
+    }
+}
+
+fn mtime(path: &Path) -> Option<SystemTime> {
+    std::fs::metadata(path).ok().and_then(|m| m.modified().ok())
+}
+
+fn spawn_worker(
+    exe: &Path,
+    spec_path: &Path,
+    manifest_path: &Path,
+    slot: &mut WorkerSlot,
+    attempt: usize,
+    workers: usize,
+) -> Result<(), CampaignError> {
+    let log = std::fs::OpenOptions::new().create(true).append(true).open(&slot.log)?;
+    let child = Command::new(exe)
+        .arg("campaign")
+        .arg("work")
+        .arg("--spec")
+        .arg(spec_path)
+        .arg("--manifest")
+        .arg(manifest_path)
+        .arg("--index")
+        .arg(slot.shard.to_string())
+        .arg("--workers")
+        .arg(workers.to_string())
+        .env(SHARD_ATTEMPT_ENV, attempt.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log.try_clone()?))
+        .stderr(Stdio::from(log))
+        .spawn()?;
+    slot.child = Some(child);
+    slot.spawned = Instant::now();
+    slot.restart_at = None;
+    Ok(())
+}
+
+/// Runs every shard of `manifest` as a supervised `campaign work` child
+/// of `exe` (the current binary), restarting dead or hung shards until
+/// each completes or exhausts its retries. Shards whose stores are
+/// already complete (a resumed campaign) are skipped without spawning.
+///
+/// Returns the outcome even when shards were quarantined — the caller
+/// decides the exit code. Only infrastructure trouble (spawn failure,
+/// manifest persistence) is an `Err`.
+///
+/// # Errors
+///
+/// [`CampaignError::Io`] on spawn/poll/manifest-write failure.
+pub fn supervise(
+    exe: &Path,
+    spec_path: &Path,
+    manifest_path: &Path,
+    manifest: &mut ShardManifest,
+    opts: &SuperviseOptions,
+) -> Result<SuperviseOutcome, CampaignError> {
+    let now0 = Instant::now();
+    let mut slots: Vec<WorkerSlot> = manifest
+        .entries
+        .iter()
+        .map(|e| {
+            let store = ResultStore::new(Path::new(&e.store));
+            let done = matches!(shard_health(&store, e.units), ShardHealth::Complete);
+            WorkerSlot {
+                shard: e.index,
+                log: PathBuf::from(format!("{}.log", e.store)),
+                store,
+                units: e.units,
+                child: None,
+                spawned: now0,
+                restart_at: None,
+                done,
+                quarantined: false,
+                sample: None,
+                rate: None,
+            }
+        })
+        .collect();
+
+    // Count the initial spawns as attempts and persist them (fsynced)
+    // before any child exists, so a crashed supervisor never forgets an
+    // attempt it already started.
+    for slot in slots.iter().filter(|s| !s.done) {
+        manifest.entries[slot.shard].attempts += 1;
+    }
+    manifest.write(manifest_path)?;
+    for slot in slots.iter_mut().filter(|s| !s.done) {
+        let attempt = manifest.entries[slot.shard].attempts - 1;
+        spawn_worker(exe, spec_path, manifest_path, slot, attempt, opts.workers_per_proc)?;
+    }
+
+    let timeout = Duration::from_millis(opts.heartbeat_timeout_ms.max(1));
+    let poll = Duration::from_millis(opts.poll_ms.clamp(10, 1000));
+    let mut restarts = 0usize;
+    let mut quarantined: Vec<ShardFailure> = Vec::new();
+    let mut last_progress = Instant::now() - Duration::from_secs(3600);
+
+    loop {
+        let mut settled = true;
+        for slot in slots.iter_mut() {
+            if slot.settled() {
+                continue;
+            }
+            settled = false;
+            // 1. A running child: reap it, or kill it if its heartbeat
+            //    (store mtime) stalled past the timeout.
+            let death: Option<String> = match &mut slot.child {
+                Some(child) => match child.try_wait()? {
+                    Some(status) => {
+                        slot.child = None;
+                        Some(match status.code() {
+                            Some(code) => format!("exit-status-{code}"),
+                            None => "killed".into(),
+                        })
+                    }
+                    None => {
+                        let spawned_for = slot.spawned.elapsed();
+                        let age = mtime(slot.store.path())
+                            .and_then(|m| SystemTime::now().duration_since(m).ok())
+                            .unwrap_or(spawned_for);
+                        if spawned_for > timeout && age > timeout {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            slot.child = None;
+                            Some("stalled".into())
+                        } else {
+                            None
+                        }
+                    }
+                },
+                None => None,
+            };
+            if let Some(mut reason) = death {
+                match shard_health(&slot.store, slot.units) {
+                    // Completed before dying (normal exit, or a fault
+                    // that fired after the last unit): the shard is done
+                    // regardless of how the process ended.
+                    ShardHealth::Complete => {
+                        slot.done = true;
+                        continue;
+                    }
+                    ShardHealth::Corrupt => reason = "store-corrupt".into(),
+                    ShardHealth::Incomplete => {
+                        if reason == "exit-status-0" {
+                            reason = "exited-incomplete".into();
+                        }
+                    }
+                }
+                let attempts = manifest.entries[slot.shard].attempts;
+                let exhausted =
+                    matches!(reason.as_str(), "store-corrupt") || attempts > opts.max_retries;
+                if exhausted {
+                    slot.quarantined = true;
+                    println!("SHARD-FAIL shard={} attempts={attempts} reason={reason}", slot.shard);
+                    quarantined.push(ShardFailure { shard: slot.shard, attempts, reason });
+                } else {
+                    let delay = backoff_delay(slot.shard, attempts, opts.backoff_ms);
+                    eprintln!(
+                        "SHARD-RETRY shard={} attempt={} backoff-ms={} reason={reason}",
+                        slot.shard,
+                        attempts,
+                        delay.as_millis()
+                    );
+                    slot.restart_at = Some(Instant::now() + delay);
+                }
+                continue;
+            }
+            // 2. A shard waiting out its backoff: restart it, persisting
+            //    the bumped attempt counter (fsynced) first.
+            if slot.child.is_none() {
+                if let Some(at) = slot.restart_at {
+                    if Instant::now() >= at {
+                        manifest.entries[slot.shard].attempts += 1;
+                        manifest.write(manifest_path)?;
+                        let attempt = manifest.entries[slot.shard].attempts - 1;
+                        spawn_worker(
+                            exe,
+                            spec_path,
+                            manifest_path,
+                            slot,
+                            attempt,
+                            opts.workers_per_proc,
+                        )?;
+                        restarts += 1;
+                    }
+                }
+            }
+        }
+        if opts.progress && last_progress.elapsed() >= Duration::from_millis(1000) {
+            last_progress = Instant::now();
+            let rows: Vec<ShardProgress> = slots.iter_mut().map(progress_row).collect();
+            if opts.progress_json {
+                for row in &rows {
+                    if let Ok(line) = serde_json::to_string(row) {
+                        eprintln!("{line}");
+                    }
+                }
+            } else {
+                eprint!("{}", render_progress(&rows));
+            }
+        }
+        if settled {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+
+    Ok(SuperviseOutcome {
+        shards: slots.len(),
+        completed: slots.iter().filter(|s| s.done).count(),
+        restarts,
+        quarantined,
+    })
+}
+
+/// Builds one live progress row, updating the slot's rate estimate from
+/// the previous observation.
+fn progress_row(slot: &mut WorkerSlot) -> ShardProgress {
+    let mut row = shard_progress(&slot.store, slot.shard, Some(slot.units)).unwrap_or(
+        ShardProgress {
+            shard: slot.shard,
+            store: slot.store.path().display().to_string(),
+            completed: 0,
+            total: slot.units,
+            units_per_sec: None,
+            eta_secs: None,
+            sealed: false,
+            torn: false,
+            state: "corrupt".into(),
+        },
+    );
+    let now = Instant::now();
+    if let Some((t0, c0)) = slot.sample {
+        let dt = now.duration_since(t0).as_secs_f64();
+        if dt > 0.0 && row.completed >= c0 {
+            slot.rate = Some((row.completed - c0) as f64 / dt);
+        }
+    }
+    slot.sample = Some((now, row.completed));
+    if slot.quarantined {
+        row.state = "quarantined".into();
+    } else if slot.child.is_some() {
+        row.state = "running".into();
+        row.units_per_sec = slot.rate;
+        if let Some(rate) = slot.rate.filter(|r| *r > 0.0) {
+            row.eta_secs = Some((row.total.saturating_sub(row.completed)) as f64 / rate);
+        }
+    } else if slot.restart_at.is_some() {
+        row.state = "backoff".into();
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let base = 100;
+        let d1 = backoff_delay(0, 1, base).as_millis() as u64;
+        let d2 = backoff_delay(0, 2, base).as_millis() as u64;
+        let d4 = backoff_delay(0, 4, base).as_millis() as u64;
+        assert!((100..=200).contains(&d1), "{d1}");
+        assert!((200..=300).contains(&d2), "{d2}");
+        assert!((800..=900).contains(&d4), "{d4}");
+        // Deep attempts stay bounded: cap + one jitter unit.
+        let deep = backoff_delay(3, 40, base).as_millis() as u64;
+        assert!(deep <= BACKOFF_CAP_MS + base, "{deep}");
+        // Deterministic.
+        assert_eq!(backoff_delay(2, 3, base), backoff_delay(2, 3, base));
+    }
+
+    #[test]
+    fn progress_table_renders_one_aligned_row_per_shard() {
+        let rows = vec![
+            ShardProgress {
+                shard: 0,
+                store: "a.jsonl".into(),
+                completed: 3,
+                total: 8,
+                units_per_sec: Some(2.5),
+                eta_secs: Some(2.0),
+                sealed: false,
+                torn: false,
+                state: "running".into(),
+            },
+            ShardProgress {
+                shard: 1,
+                store: "b.jsonl".into(),
+                completed: 8,
+                total: 8,
+                units_per_sec: None,
+                eta_secs: None,
+                sealed: true,
+                torn: false,
+                state: "sealed".into(),
+            },
+        ];
+        let table = render_progress(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("SHARD") && lines[0].contains("ETA"));
+        assert!(lines[1].contains("3/8") && lines[1].contains("2.5"));
+        assert!(lines[2].contains("8/8") && lines[2].contains("sealed"));
+        let json = serde_json::to_string(&rows[0]).expect("progress rows serialize");
+        assert!(json.contains("\"state\""), "{json}");
+    }
+}

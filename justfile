@@ -60,6 +60,21 @@ certify-smoke: campaign-smoke
     if cargo run --release -- certify target/campaign-smoke-corrupt.jsonl --spec examples/campaign_smoke.json > target/certify-corrupt.log 2>&1; then echo "a corrupted bundle must not certify"; exit 1; fi
     grep -q 'CERTIFY-FAIL' target/certify-corrupt.log
 
+# CI gate for distributed campaigns (see docs/CAMPAIGNS.md): shard the
+# committed smoke spec over 4 worker processes, kill shard 1's first
+# attempt mid-run via the env fault hook, let the supervisor retry it,
+# and check the merged canonical store is byte-identical to a
+# single-process run and certifies at level 2. Then drive one shard to
+# quarantine and check the run fails with a greppable SHARD-FAIL line.
+distributed-smoke:
+    rm -rf target/dist-smoke.jsonl target/dist-smoke.jsonl.manifest.json target/dist-smoke.jsonl.shards target/dist-smoke-serial.jsonl target/dist-quarantine.jsonl target/dist-quarantine.jsonl.manifest.json target/dist-quarantine.jsonl.shards
+    cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/dist-smoke-serial.jsonl
+    DYNRING_WORKER_FAULT=exit-after-units:3 DYNRING_WORKER_FAULT_SHARD=1 cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/dist-smoke.jsonl --procs 4 --backoff-ms 50
+    cmp target/dist-smoke.jsonl target/dist-smoke-serial.jsonl
+    cargo run --release -- certify target/dist-smoke.jsonl --spec examples/campaign_smoke.json --level 2 --sample 8 --seed 7
+    if DYNRING_WORKER_FAULT=exit-after-units:2 DYNRING_WORKER_FAULT_SHARD=0 DYNRING_WORKER_FAULT_ATTEMPTS=always cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/dist-quarantine.jsonl --procs 2 --max-retries 1 --backoff-ms 10 > target/dist-quarantine.log 2>&1; then echo "an exhausted shard must fail the campaign"; exit 1; fi
+    grep -q 'SHARD-FAIL shard=0' target/dist-quarantine.log
+
 # CI gate for the campaign layer: run the committed 240-unit smoke spec,
 # interrupt it after 60 units, resume it, check the interrupted store is
 # byte-identical to an uninterrupted run, and diff the report against the

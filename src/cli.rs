@@ -31,8 +31,16 @@ USAGE:
     dynring montecarlo [--n N] [--k K] [--p P] [--replicas R]
                        [--horizon H] [--seed S] [--algorithm A] [--out FILE]
     dynring campaign run    --spec FILE --store FILE [--workers W] [--max-units N]
-    dynring campaign resume --spec FILE --store FILE [--workers W] [--max-units N]
+                            [--procs P] [--max-retries R] [--backoff-ms B]
+                            [--heartbeat-timeout-ms T] [--progress] [--json]
+    dynring campaign resume --spec FILE --store FILE [same flags as run]
     dynring campaign report --spec FILE --store FILE [--out FILE]
+    dynring campaign shard  --spec FILE --shards N [--index I] [--dir DIR]
+                            [--manifest FILE]
+    dynring campaign work   --spec FILE --manifest FILE --index I
+                            [--workers W] [--max-units N]
+    dynring campaign merge  --spec FILE --store OUT (--manifest FILE | STORE…)
+    dynring campaign status STORE… [--json]
     dynring certify STORE --spec FILE [--level 1|2] [--sample N] [--seed S]
                     [--out FILE]
     dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
@@ -52,7 +60,23 @@ into content-hashed work units, shards them over all cores (batch-eligible
 units ride the 64-lane lockstep engine) and appends one JSONL record per
 unit to the store; `resume` continues an interrupted store, skipping
 completed units, and reproduces the uninterrupted store byte for byte;
-`report` folds the store into grouped survival / cover-time summaries.
+`report` folds the store into grouped survival / cover-time summaries
+(a store covering only part of the plan is labelled PARTIAL, and a
+mid-plan slice is flagged as an unmerged shard store).
+With --procs, `run`/`resume` become a *supervisor*: the plan is split
+into P disjoint shard ranges (manifest at <store>.manifest.json, shard
+stores under <store>.shards/), each shard runs as an independent
+`campaign work` child process, dead or hung workers (heartbeat = shard
+store mtime) are restarted with bounded exponential backoff, a shard
+that exhausts --max-retries is quarantined with a `SHARD-FAIL` line and
+a nonzero exit, and on success the shards are merged into --store —
+byte-identical to a single-process run. `shard` writes the manifest
+(with --index I it also prints that shard's unit range); `work` runs one
+shard by manifest index; `merge` folds shard stores into one canonical
+store, refusing overlapping/foreign/out-of-range shards with
+`MERGE-CONFLICT` diagnostics and sealing only when every planned unit is
+present; `status` prints per-store progress (one table row per store,
+or JSON with --json).
 `certify` verifies a completed store as a replay bundle (see
 docs/CERTIFY.md): level 1 re-validates the header, every record's hash
 chain, plan membership, ordering and the seal without executing anything;
@@ -130,16 +154,43 @@ pub enum Command {
     Campaign {
         /// Which campaign verb.
         verb: CampaignVerb,
-        /// Path of the JSON campaign spec.
-        spec: String,
-        /// Path of the JSONL result store.
-        store: String,
-        /// Worker threads (default: one per core).
+        /// Path of the JSON campaign spec (every verb except `status`).
+        spec: Option<String>,
+        /// Path of the JSONL result store (canonical/output store for
+        /// `merge` and the supervisor).
+        store: Option<String>,
+        /// Positional store paths (`status STORE…`, `merge … STORE…`).
+        stores: Vec<String>,
+        /// Worker threads (default: one per core; per child process
+        /// under `--procs`).
         workers: Option<usize>,
-        /// Stop after this many newly executed units (run/resume).
+        /// Stop after this many newly executed units (run/resume/work).
         max_units: Option<usize>,
         /// Optional report JSON output path (report only).
         out: Option<String>,
+        /// Shard manifest path (`work`/`merge`; supervisor default:
+        /// `<store>.manifest.json`).
+        manifest: Option<String>,
+        /// Supervisor mode: split the plan into this many shard
+        /// processes.
+        procs: Option<usize>,
+        /// Shard count (`shard`).
+        shards: Option<usize>,
+        /// Shard index (`work`; optional range printout for `shard`).
+        index: Option<usize>,
+        /// Shard store directory (`shard`; supervisor default:
+        /// `<store>.shards/`).
+        dir: Option<String>,
+        /// Supervisor: restarts allowed per shard before quarantine.
+        max_retries: usize,
+        /// Supervisor: base backoff between restarts.
+        backoff_ms: u64,
+        /// Supervisor: a shard store idle this long is declared hung.
+        heartbeat_timeout_ms: u64,
+        /// Supervisor: print a per-shard progress table while running.
+        progress: bool,
+        /// `status`/`--progress`: emit JSON instead of the table.
+        json: bool,
     },
     /// Certify a campaign store as a replay bundle.
     Certify {
@@ -179,7 +230,7 @@ pub struct Artifact {
     pub report: ScenarioReport,
 }
 
-/// The three campaign sub-verbs.
+/// The campaign sub-verbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignVerb {
     /// Start a fresh campaign (refuses an existing store).
@@ -188,6 +239,15 @@ pub enum CampaignVerb {
     Resume,
     /// Fold the store into a summary report.
     Report,
+    /// Partition the plan into disjoint shard ranges and write the
+    /// manifest.
+    Shard,
+    /// Run one shard (by manifest index) as an independent process.
+    Work,
+    /// Fold shard stores into one canonical store.
+    Merge,
+    /// Print per-store progress (completed/total, torn/sealed state).
+    Status,
 }
 
 /// A CLI parsing error.
@@ -218,8 +278,13 @@ fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
         let arg = args[i].as_str();
         if let Some(key) = arg.strip_prefix("--") {
             // Value-less flags.
-            if key == "help" || key == "quick" {
-                positional.push(if key == "help" { "--help" } else { "--quick" });
+            if matches!(key, "help" | "quick" | "progress" | "json") {
+                positional.push(match key {
+                    "help" => "--help",
+                    "quick" => "--quick",
+                    "progress" => "--progress",
+                    _ => "--json",
+                });
                 i += 1;
                 continue;
             }
@@ -311,9 +376,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         return Ok(Command::Help);
     }
     // `--quick` is only meaningful for bench-report; reject it elsewhere
-    // instead of silently running the full-size workload.
+    // instead of silently running the full-size workload. Same idea for
+    // the campaign-only value-less flags.
     if positional.contains(&"--quick") && positional[0] != "bench-report" {
         return Err(err("--quick is only valid with bench-report"));
+    }
+    if (positional.contains(&"--progress") || positional.contains(&"--json"))
+        && positional[0] != "campaign"
+    {
+        return Err(err("--progress/--json are only valid with campaign"));
     }
     match positional[0] {
         "capture" => {
@@ -392,29 +463,106 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 Some(&"run") => CampaignVerb::Run,
                 Some(&"resume") => CampaignVerb::Resume,
                 Some(&"report") => CampaignVerb::Report,
-                Some(other) => {
+                Some(&"shard") => CampaignVerb::Shard,
+                Some(&"work") => CampaignVerb::Work,
+                Some(&"merge") => CampaignVerb::Merge,
+                Some(&"status") => CampaignVerb::Status,
+                Some(other) if !other.starts_with("--") => {
                     return Err(err(format!(
-                        "unknown campaign verb: {other} (expected run | resume | report)"
+                        "unknown campaign verb: {other} (expected run | resume | \
+                         report | shard | work | merge | status)"
                     )))
                 }
-                None => return Err(err("campaign requires a verb: run | resume | report")),
+                _ => {
+                    return Err(err(
+                        "campaign requires a verb: run | resume | report | shard | \
+                         work | merge | status",
+                    ))
+                }
             };
-            let spec = lookup(&pairs, "spec")
-                .ok_or_else(|| err("campaign requires --spec FILE"))?
-                .to_string();
-            let store = lookup(&pairs, "store")
-                .ok_or_else(|| err("campaign requires --store FILE"))?
-                .to_string();
+            // Everything positional past the verb (minus value-less
+            // flags) is a store path — `status STORE…`, `merge … STORE…`.
+            let stores: Vec<String> = positional[2..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(|a| a.to_string())
+                .collect();
+            let spec = lookup(&pairs, "spec").map(str::to_string);
+            if spec.is_none() && verb != CampaignVerb::Status {
+                return Err(err("campaign requires --spec FILE"));
+            }
+            let store = lookup(&pairs, "store").map(str::to_string);
+            let needs_store = matches!(
+                verb,
+                CampaignVerb::Run
+                    | CampaignVerb::Resume
+                    | CampaignVerb::Report
+                    | CampaignVerb::Merge
+            );
+            if store.is_none() && needs_store {
+                return Err(err("campaign requires --store FILE"));
+            }
+            if verb == CampaignVerb::Status && stores.is_empty() {
+                return Err(err("campaign status requires at least one STORE path"));
+            }
             let out = lookup(&pairs, "out").map(str::to_string);
             if out.is_some() && verb != CampaignVerb::Report {
                 return Err(err("--out is only valid with campaign report"));
             }
             let workers = parse_opt_num(&pairs, "workers")?;
             let max_units = parse_opt_num(&pairs, "max-units")?;
-            if (workers.is_some() || max_units.is_some()) && verb == CampaignVerb::Report {
-                return Err(err("--workers/--max-units are not valid with campaign report"));
+            if (workers.is_some() || max_units.is_some())
+                && !matches!(verb, CampaignVerb::Run | CampaignVerb::Resume | CampaignVerb::Work)
+            {
+                return Err(err(
+                    "--workers/--max-units are only valid with campaign run/resume/work",
+                ));
             }
-            Ok(Command::Campaign { verb, spec, store, workers, max_units, out })
+            let manifest = lookup(&pairs, "manifest").map(str::to_string);
+            let procs = parse_opt_num(&pairs, "procs")?;
+            if procs == Some(0) {
+                return Err(err("--procs must be at least 1"));
+            }
+            if procs.is_some() && !matches!(verb, CampaignVerb::Run | CampaignVerb::Resume) {
+                return Err(err("--procs is only valid with campaign run/resume"));
+            }
+            let shards = parse_opt_num(&pairs, "shards")?;
+            if verb == CampaignVerb::Shard && shards.is_none() {
+                return Err(err("campaign shard requires --shards N"));
+            }
+            let index = parse_opt_num(&pairs, "index")?;
+            if verb == CampaignVerb::Work {
+                if manifest.is_none() {
+                    return Err(err("campaign work requires --manifest FILE"));
+                }
+                if index.is_none() {
+                    return Err(err("campaign work requires --index I"));
+                }
+            }
+            if verb == CampaignVerb::Merge && manifest.is_none() && stores.is_empty() {
+                return Err(err(
+                    "campaign merge needs --manifest FILE or shard STORE… paths",
+                ));
+            }
+            Ok(Command::Campaign {
+                verb,
+                spec,
+                store,
+                stores,
+                workers,
+                max_units,
+                out,
+                manifest,
+                procs,
+                shards,
+                index,
+                dir: lookup(&pairs, "dir").map(str::to_string),
+                max_retries: parse_num(&pairs, "max-retries", 3)?,
+                backoff_ms: parse_num(&pairs, "backoff-ms", 250)?,
+                heartbeat_timeout_ms: parse_num(&pairs, "heartbeat-timeout-ms", 30_000)?,
+                progress: positional.contains(&"--progress"),
+                json: positional.contains(&"--json"),
+            })
         }
         "certify" => {
             let store = positional
@@ -596,26 +744,293 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                 println!("\nsummary written to {path}");
             }
         }
-        Command::Campaign { verb, spec, store, workers, max_units, out } => {
-            use dynring_analysis::parallel::available_workers;
-            use dynring_campaign::{load_report, render, run_campaign, ResultStore, RunOptions};
+        Command::Campaign {
+            verb,
+            spec,
+            store,
+            stores,
+            workers,
+            max_units,
+            out,
+            manifest,
+            procs,
+            shards,
+            index,
+            dir,
+            max_retries,
+            backoff_ms,
+            heartbeat_timeout_ms,
+            progress,
+            json,
+        } => {
+            use std::path::Path;
 
-            let spec_json = std::fs::read_to_string(&spec)?;
+            use dynring_analysis::parallel::available_workers;
+            use dynring_campaign::fault::{
+                ProcessFault, SHARD_ATTEMPT_ENV, WORKER_FAULT_EXIT_CODE,
+            };
+            use dynring_campaign::{
+                load_report, merge_manifest, merge_stores, render, render_progress,
+                run_campaign, shard_progress, supervise, CampaignError, FailPlan, FaultKind,
+                ResultStore, RunOptions, ShardManifest, ShardSel, SuperviseOptions,
+            };
+
+            // `status` is spec-free: each store is read on its own terms
+            // (totals come from its header).
+            if verb == CampaignVerb::Status {
+                let rows = stores
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| shard_progress(&ResultStore::new(s), i, None))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows)?);
+                } else {
+                    print!("{}", render_progress(&rows));
+                }
+                return Ok(());
+            }
+            let spec_path = spec.expect("parse guarantees --spec outside status");
+            let spec_json = std::fs::read_to_string(&spec_path)?;
             let campaign: dynring_campaign::CampaignSpec = serde_json::from_str(&spec_json)
-                .map_err(|e| CliError(format!("cannot parse campaign spec {spec}: {e}")))?;
-            let result_store = ResultStore::new(&store);
+                .map_err(|e| CliError(format!("cannot parse campaign spec {spec_path}: {e}")))?;
             match verb {
+                CampaignVerb::Status => unreachable!("handled above"),
+                CampaignVerb::Shard => {
+                    let plan = campaign.plan()?;
+                    let count = shards.expect("parse guarantees --shards");
+                    let dir_path = dir.unwrap_or_else(|| ".".to_string());
+                    std::fs::create_dir_all(&dir_path)?;
+                    let man = ShardManifest::build(&plan, count, Path::new(&dir_path));
+                    if let Some(i) = index {
+                        let e = man.entry(i)?;
+                        println!(
+                            "shard {i} of {}: units {}..{} → {}",
+                            man.shards,
+                            e.start,
+                            e.start + e.units,
+                            e.store
+                        );
+                    }
+                    let manifest_path = manifest
+                        .unwrap_or_else(|| format!("{}.manifest.json", plan.name));
+                    man.write(Path::new(&manifest_path))?;
+                    println!(
+                        "campaign `{}`: {} units split into {} shards (manifest {manifest_path})",
+                        plan.name,
+                        plan.units.len(),
+                        man.shards
+                    );
+                    for e in &man.entries {
+                        println!(
+                            "  shard {}: units {}..{} → {}",
+                            e.index,
+                            e.start,
+                            e.start + e.units,
+                            e.store
+                        );
+                    }
+                }
+                CampaignVerb::Work => {
+                    let manifest_path = manifest.expect("parse guarantees --manifest");
+                    let man = ShardManifest::load(Path::new(&manifest_path))?;
+                    let plan = campaign.plan()?;
+                    man.matches(&plan)?;
+                    let idx = index.expect("parse guarantees --index");
+                    let entry = man.entry(idx)?.clone();
+                    let shard_store = ResultStore::new(&entry.store);
+                    let attempt: usize = std::env::var(SHARD_ATTEMPT_ENV)
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0);
+                    let fault =
+                        ProcessFault::from_env(idx, attempt).map_err(CliError)?;
+                    let base = RunOptions {
+                        workers: workers.unwrap_or_else(available_workers),
+                        max_units,
+                        fresh: false,
+                        fault: None,
+                        shard: Some(ShardSel { index: idx, count: man.shards }),
+                    };
+                    println!(
+                        "shard {idx}/{}: {} units, attempt {attempt} (store {})",
+                        man.shards, entry.units, entry.store
+                    );
+                    match fault {
+                        None => {
+                            let outcome = run_campaign(&campaign, &shard_store, &base)?;
+                            println!(
+                                "shard {idx}: {} executed, {} skipped, {} pending",
+                                outcome.executed, outcome.skipped, outcome.pending
+                            );
+                        }
+                        Some(ProcessFault::KillAfterBytes(after_bytes)) => {
+                            let opts = RunOptions {
+                                fault: Some(FailPlan::new(FaultKind::Kill { after_bytes })),
+                                ..base
+                            };
+                            match run_campaign(&campaign, &shard_store, &opts) {
+                                Err(CampaignError::InjectedFault(_)) => {
+                                    // Die like `kill -9` would: no unwind,
+                                    // no cleanup, torn tail left behind.
+                                    std::process::abort();
+                                }
+                                other => {
+                                    other?;
+                                }
+                            }
+                        }
+                        Some(ProcessFault::ExitAfterUnits(k))
+                        | Some(ProcessFault::StallAfterUnits(k)) => {
+                            // Execute exactly k units (store fsynced per
+                            // wave), then die or hang as instructed.
+                            let head = RunOptions {
+                                max_units: Some(k.min(max_units.unwrap_or(usize::MAX))),
+                                ..base
+                            };
+                            let outcome = run_campaign(&campaign, &shard_store, &head)?;
+                            if !outcome.is_complete() {
+                                if matches!(fault, Some(ProcessFault::StallAfterUnits(_))) {
+                                    loop {
+                                        std::thread::sleep(
+                                            std::time::Duration::from_secs(3600),
+                                        );
+                                    }
+                                }
+                                std::process::exit(WORKER_FAULT_EXIT_CODE);
+                            }
+                        }
+                    }
+                }
+                CampaignVerb::Merge => {
+                    let out_path = store.expect("parse guarantees --store");
+                    let out_store = ResultStore::new(&out_path);
+                    let outcome = if stores.is_empty() {
+                        let manifest_path =
+                            manifest.expect("parse guarantees manifest or stores");
+                        let man = ShardManifest::load(Path::new(&manifest_path))?;
+                        merge_manifest(&campaign, &man, &out_store)?
+                    } else {
+                        let shard_stores: Vec<ResultStore> =
+                            stores.iter().map(ResultStore::new).collect();
+                        merge_stores(&campaign, &shard_stores, &out_store)?
+                    };
+                    println!(
+                        "merged {} units from {} shard stores into {out_path}",
+                        outcome.merged, outcome.shards
+                    );
+                    if outcome.sealed {
+                        println!(
+                            "canonical store sealed (certify with: dynring certify \
+                             {out_path} --spec {spec_path} --level 2)"
+                        );
+                    } else {
+                        println!(
+                            "partial merge: {} units missing, {} held back past the \
+                             first gap (unsealed; re-merge once the missing shards \
+                             finish)",
+                            outcome.missing, outcome.held_back
+                        );
+                    }
+                }
                 CampaignVerb::Run | CampaignVerb::Resume => {
+                    let store_path = store.expect("parse guarantees --store");
+                    let result_store = ResultStore::new(&store_path);
+                    let fresh = verb == CampaignVerb::Run;
+                    if let Some(procs) = procs {
+                        // Supervisor mode: shard the plan over child
+                        // processes, restart the dead, merge at the end.
+                        let plan = campaign.plan()?;
+                        let manifest_path = manifest
+                            .unwrap_or_else(|| format!("{store_path}.manifest.json"));
+                        let mpath = Path::new(&manifest_path).to_path_buf();
+                        let mut man = if mpath.exists() {
+                            if fresh {
+                                return Err(Box::new(CliError(format!(
+                                    "shard manifest {manifest_path} already exists; \
+                                     use `campaign resume --procs` to continue it"
+                                ))));
+                            }
+                            let m = ShardManifest::load(&mpath)?;
+                            m.matches(&plan)?;
+                            m
+                        } else {
+                            if fresh
+                                && std::fs::metadata(&store_path)
+                                    .map(|m| m.len() > 0)
+                                    .unwrap_or(false)
+                            {
+                                return Err(Box::new(CliError(format!(
+                                    "store {store_path} already has content; use \
+                                     `campaign resume`"
+                                ))));
+                            }
+                            let dir_path =
+                                dir.unwrap_or_else(|| format!("{store_path}.shards"));
+                            std::fs::create_dir_all(&dir_path)?;
+                            ShardManifest::build(&plan, procs, Path::new(&dir_path))
+                        };
+                        let sopts = SuperviseOptions {
+                            workers_per_proc: workers.unwrap_or_else(|| {
+                                (available_workers() / man.shards.max(1)).max(1)
+                            }),
+                            max_retries,
+                            backoff_ms,
+                            heartbeat_timeout_ms,
+                            poll_ms: 50,
+                            progress,
+                            progress_json: json,
+                        };
+                        println!(
+                            "campaign `{}`: {} shards × {} workers over {} units \
+                             (manifest {manifest_path})…",
+                            plan.name,
+                            man.shards,
+                            sopts.workers_per_proc,
+                            plan.units.len()
+                        );
+                        let exe = std::env::current_exe()?;
+                        let outcome =
+                            supervise(&exe, Path::new(&spec_path), &mpath, &mut man, &sopts)?;
+                        println!(
+                            "supervisor: {}/{} shards complete, {} restart(s)",
+                            outcome.completed, outcome.shards, outcome.restarts
+                        );
+                        if !outcome.is_complete() {
+                            return Err(Box::new(CliError(format!(
+                                "campaign partial: {} shard(s) quarantined; continue \
+                                 with: dynring campaign resume --spec {spec_path} \
+                                 --store {store_path} --procs {procs}",
+                                outcome.quarantined.len()
+                            ))));
+                        }
+                        if matches!(result_store.load(), Ok(l) if l.sealed) {
+                            println!(
+                                "canonical store {store_path} already sealed; \
+                                 skipping merge"
+                            );
+                        } else {
+                            let merged = merge_manifest(&campaign, &man, &result_store)?;
+                            println!(
+                                "merged {} units into {store_path} (sealed: {}); \
+                                 certify with: dynring certify {store_path} --spec \
+                                 {spec_path} --level 2",
+                                merged.merged, merged.sealed
+                            );
+                        }
+                        return Ok(());
+                    }
                     let opts = RunOptions {
                         workers: workers.unwrap_or_else(available_workers),
                         max_units,
-                        fresh: verb == CampaignVerb::Run,
+                        fresh,
                         fault: None,
+                        shard: None,
                     };
                     println!(
-                        "campaign `{}`: {} over {} workers (store {store})…",
+                        "campaign `{}`: {} over {} workers (store {store_path})…",
                         campaign.name,
-                        if verb == CampaignVerb::Run { "run" } else { "resume" },
+                        if fresh { "run" } else { "resume" },
                         opts.workers
                     );
                     let outcome = run_campaign(&campaign, &result_store, &opts)?;
@@ -626,16 +1041,18 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                     if outcome.is_complete() {
                         println!(
                             "campaign complete (report with: dynring campaign report \
-                             --spec {spec} --store {store})"
+                             --spec {spec_path} --store {store_path})"
                         );
                     } else {
                         println!(
                             "campaign interrupted (finish with: dynring campaign resume \
-                             --spec {spec} --store {store})"
+                             --spec {spec_path} --store {store_path})"
                         );
                     }
                 }
                 CampaignVerb::Report => {
+                    let store_path = store.expect("parse guarantees --store");
+                    let result_store = ResultStore::new(&store_path);
                     let report = load_report(&campaign, &result_store)?;
                     if report.torn_tail {
                         eprintln!(

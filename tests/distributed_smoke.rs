@@ -1,0 +1,218 @@
+//! Process-level distributed-campaign smoke, mirroring `just
+//! distributed-smoke`: the committed smoke spec is sharded over real
+//! `campaign work` child processes under the supervisor, one worker is
+//! killed mid-run by the env-var fault hook, the supervisor restarts it,
+//! and the merged canonical store is byte-identical to a single-process
+//! run and certifies at level 2. A shard that keeps dying is quarantined
+//! with a `SHARD-FAIL` line and a nonzero exit — and a later `resume
+//! --procs` finishes the campaign from the partial shard stores.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SPEC_PATH: &str = "examples/campaign_smoke.json";
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_dynring")
+}
+
+struct Paths {
+    serial: PathBuf,
+    dist: PathBuf,
+}
+
+/// Fresh store paths for one test, with any leftovers from a previous
+/// run removed (manifest, shard dir, logs).
+fn paths(tag: &str) -> Paths {
+    let dir = std::env::temp_dir();
+    let serial = dir.join(format!("dynring_dist_smoke_{tag}_serial.jsonl"));
+    let dist = dir.join(format!("dynring_dist_smoke_{tag}.jsonl"));
+    let _ = std::fs::remove_file(&serial);
+    let _ = std::fs::remove_file(&dist);
+    let _ = std::fs::remove_file(dir.join(format!("dynring_dist_smoke_{tag}.jsonl.manifest.json")));
+    let _ = std::fs::remove_dir_all(dir.join(format!("dynring_dist_smoke_{tag}.jsonl.shards")));
+    Paths { serial, dist }
+}
+
+fn run_ok(args: &[&str]) {
+    let status = Command::new(exe()).args(args).status().expect("binary spawns");
+    assert!(status.success(), "dynring {args:?} failed");
+}
+
+fn serial_reference(paths: &Paths) -> Vec<u8> {
+    run_ok(&[
+        "campaign",
+        "run",
+        "--spec",
+        SPEC_PATH,
+        "--store",
+        paths.serial.to_str().expect("utf-8"),
+    ]);
+    std::fs::read(&paths.serial).expect("serial store readable")
+}
+
+#[test]
+fn supervised_run_with_a_killed_worker_merges_byte_identically_and_certifies() {
+    let p = paths("kill");
+    let expected = serial_reference(&p);
+    let dist = p.dist.to_str().expect("utf-8");
+
+    // 4 worker processes; shard 1's first attempt exits after 3 units.
+    // The supervisor must retry it (attempt 1 runs clean under the
+    // default `first` gating) and merge to the serial bytes.
+    let output = Command::new(exe())
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            SPEC_PATH,
+            "--store",
+            dist,
+            "--procs",
+            "4",
+            "--backoff-ms",
+            "50",
+        ])
+        .env("DYNRING_WORKER_FAULT", "exit-after-units:3")
+        .env("DYNRING_WORKER_FAULT_SHARD", "1")
+        .output()
+        .expect("supervisor spawns");
+    let log = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(output.status.success(), "supervised run failed:\n{log}");
+    assert!(
+        log.contains("SHARD-RETRY shard=1"),
+        "the killed shard must be retried:\n{log}"
+    );
+
+    let merged = std::fs::read(&p.dist).expect("merged store readable");
+    assert_eq!(
+        merged, expected,
+        "supervised + merged store must equal the single-process bytes"
+    );
+
+    // The merged bundle certifies at level 2 unchanged.
+    run_ok(&[
+        "certify", dist, "--spec", SPEC_PATH, "--level", "2", "--sample", "6", "--seed", "7",
+    ]);
+
+    // `campaign status` sees one sealed, complete store.
+    let status_out = Command::new(exe())
+        .args(["campaign", "status", dist, "--json"])
+        .output()
+        .expect("status runs");
+    assert!(status_out.status.success());
+    let json = String::from_utf8_lossy(&status_out.stdout);
+    assert!(json.contains("\"sealed\": true"), "status must report the seal:\n{json}");
+
+    let _ = std::fs::remove_file(&p.serial);
+    let _ = std::fs::remove_file(&p.dist);
+}
+
+#[test]
+fn exhausted_retries_quarantine_with_a_shard_fail_line_and_resume_finishes() {
+    let p = paths("quarantine");
+    let expected = serial_reference(&p);
+    let dist = p.dist.to_str().expect("utf-8");
+
+    // Shard 0 dies on *every* attempt; with --max-retries 1 the
+    // supervisor must quarantine it, print SHARD-FAIL, and exit nonzero
+    // — while the other shard still completes (no wedged campaign).
+    let output = Command::new(exe())
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            SPEC_PATH,
+            "--store",
+            dist,
+            "--procs",
+            "2",
+            "--max-retries",
+            "1",
+            "--backoff-ms",
+            "10",
+        ])
+        .env("DYNRING_WORKER_FAULT", "exit-after-units:2")
+        .env("DYNRING_WORKER_FAULT_SHARD", "0")
+        .env("DYNRING_WORKER_FAULT_ATTEMPTS", "always")
+        .output()
+        .expect("supervisor spawns");
+    let log = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.status.success(),
+        "exhausted retries must exit nonzero:\n{log}"
+    );
+    assert!(
+        log.contains("SHARD-FAIL shard=0 attempts=2"),
+        "quarantine must print the greppable diagnostic:\n{log}"
+    );
+    assert!(
+        !Path::new(dist).exists(),
+        "a quarantined campaign must not write the canonical store"
+    );
+
+    // A resume without the fault picks the partial shard store back up,
+    // completes it, merges, and matches the serial bytes.
+    run_ok(&[
+        "campaign", "resume", "--spec", SPEC_PATH, "--store", dist, "--procs", "2",
+    ]);
+    let merged = std::fs::read(&p.dist).expect("merged store readable");
+    assert_eq!(merged, expected, "resume after quarantine must converge");
+    run_ok(&["certify", dist, "--spec", SPEC_PATH, "--level", "2"]);
+
+    let _ = std::fs::remove_file(&p.serial);
+    let _ = std::fs::remove_file(&p.dist);
+}
+
+#[test]
+fn a_stalled_worker_is_detected_by_heartbeat_and_restarted() {
+    let p = paths("stall");
+    let expected = serial_reference(&p);
+    let dist = p.dist.to_str().expect("utf-8");
+
+    // Shard 0 hangs (sleeps forever) after 2 units on its first attempt.
+    // The supervisor must notice the dead heartbeat (store mtime), kill
+    // it, and restart it clean.
+    let output = Command::new(exe())
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            SPEC_PATH,
+            "--store",
+            dist,
+            "--procs",
+            "2",
+            "--backoff-ms",
+            "50",
+            "--heartbeat-timeout-ms",
+            "3000",
+        ])
+        .env("DYNRING_WORKER_FAULT", "stall-after-units:2")
+        .env("DYNRING_WORKER_FAULT_SHARD", "0")
+        .output()
+        .expect("supervisor spawns");
+    let log = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(output.status.success(), "stalled shard must recover:\n{log}");
+    assert!(
+        log.contains("reason=stalled"),
+        "the retry must name the stall:\n{log}"
+    );
+    let merged = std::fs::read(&p.dist).expect("merged store readable");
+    assert_eq!(merged, expected);
+
+    let _ = std::fs::remove_file(&p.serial);
+    let _ = std::fs::remove_file(&p.dist);
+}
