@@ -40,7 +40,8 @@ pub fn default_seeds(count: usize) -> Vec<u64> {
 }
 
 /// Deterministic retry-backoff jitter: a [`mix64`]-derived value in
-/// `0..=max_ms`, a pure function of `(shard, attempt)`.
+/// `0..max_ms` (strictly below the base), a pure function of
+/// `(shard, attempt)`.
 ///
 /// The campaign supervisor adds this on top of its exponential backoff so
 /// shards that died together (one machine hiccup killing several workers)
@@ -51,7 +52,7 @@ pub fn backoff_jitter_ms(shard: u64, attempt: u64, max_ms: u64) -> u64 {
     if max_ms == 0 {
         return 0;
     }
-    mix64(derive_stream_seed(shard, attempt)) % (max_ms + 1)
+    mix64(derive_stream_seed(shard, attempt)) % max_ms
 }
 
 /// A deterministic uniform sample of `sample` distinct indices from
@@ -138,8 +139,9 @@ mod tests {
             for attempt in 0..6u64 {
                 let j = backoff_jitter_ms(shard, attempt, 250);
                 assert_eq!(j, backoff_jitter_ms(shard, attempt, 250));
-                assert!(j <= 250);
+                assert!(j < 250, "jitter must stay strictly below the base");
                 assert_eq!(backoff_jitter_ms(shard, attempt, 0), 0);
+                assert_eq!(backoff_jitter_ms(shard, attempt, 1), 0);
             }
         }
         // Different shards on the same attempt must not share a jitter

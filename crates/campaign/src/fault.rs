@@ -29,8 +29,9 @@
 use dynring_analysis::seeds::mix64;
 
 /// Env var a `campaign work` child reads for a process-level fault:
-/// `exit-after-units:<k>`, `kill-after-bytes:<b>` or
-/// `stall-after-units:<k>`.
+/// `exit-after-units:<k>`, `kill-after-bytes:<b>`,
+/// `stall-after-units:<k>`, `io-error-after-units:<k>`,
+/// `poison-unit:<hash>` or `poison-index:<plan index>`.
 pub const WORKER_FAULT_ENV: &str = "DYNRING_WORKER_FAULT";
 /// Env var restricting [`WORKER_FAULT_ENV`] to one shard index; unset
 /// means every shard faults.
@@ -48,7 +49,7 @@ pub const SHARD_ATTEMPT_ENV: &str = "DYNRING_SHARD_ATTEMPT";
 pub const WORKER_FAULT_EXIT_CODE: i32 = 113;
 
 /// One injectable process-level fault (see [`WORKER_FAULT_ENV`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProcessFault {
     /// Exit with [`WORKER_FAULT_EXIT_CODE`] once at least `k` units of
     /// this invocation have executed (and fsynced). Models a worker dying
@@ -62,6 +63,21 @@ pub enum ProcessFault {
     /// executed, without exiting. Models a hung worker the supervisor
     /// must detect by heartbeat timeout and kill.
     StallAfterUnits(usize),
+    /// Fail the append of the `k`-th newly executed unit with an IO
+    /// error ([`FaultKind::IoError`]): nothing of that record reaches the
+    /// disk, the worker exits nonzero with the error on stderr. Models
+    /// ENOSPC / EIO on the shard store.
+    IoErrorAfterUnits(usize),
+    /// Die ([`std::process::abort`]) on reaching the pending unit with
+    /// this hash, after syncing everything before it. The fault follows
+    /// the *unit*, not the shard: whichever worker inherits the unit in a
+    /// re-sharded topology dies too, so a steal provably narrows the
+    /// quarantine to the poisoned unit's own sub-range.
+    PoisonUnit(String),
+    /// [`ProcessFault::PoisonUnit`] addressed by global plan index
+    /// (resolved to the unit hash against the plan); easier to script
+    /// than a 16-hex-digit hash.
+    PoisonIndex(usize),
 }
 
 impl ProcessFault {
@@ -70,7 +86,13 @@ impl ProcessFault {
     pub fn parse(s: &str) -> Result<Self, String> {
         let (kind, arg) = s
             .split_once(':')
-            .ok_or_else(|| format!("malformed worker fault {s:?}: expected kind:<n>"))?;
+            .ok_or_else(|| format!("malformed worker fault {s:?}: expected kind:<arg>"))?;
+        if kind == "poison-unit" {
+            if arg.is_empty() {
+                return Err(format!("malformed worker fault {s:?}: empty unit hash"));
+            }
+            return Ok(ProcessFault::PoisonUnit(arg.to_string()));
+        }
         let n: u64 = arg
             .parse()
             .map_err(|_| format!("malformed worker fault {s:?}: {arg:?} is not a number"))?;
@@ -78,6 +100,8 @@ impl ProcessFault {
             "exit-after-units" => Ok(ProcessFault::ExitAfterUnits(n as usize)),
             "kill-after-bytes" => Ok(ProcessFault::KillAfterBytes(n)),
             "stall-after-units" => Ok(ProcessFault::StallAfterUnits(n as usize)),
+            "io-error-after-units" => Ok(ProcessFault::IoErrorAfterUnits(n as usize)),
+            "poison-index" => Ok(ProcessFault::PoisonIndex(n as usize)),
             _ => Err(format!("malformed worker fault {s:?}: unknown kind {kind:?}")),
         }
     }
@@ -152,6 +176,14 @@ pub enum FaultKind {
         /// Record count at which the duplication fires.
         record: usize,
     },
+    /// Fail the append of record number `record` with
+    /// [`crate::CampaignError::Io`] — nothing of the line reaches the
+    /// file, so the store stays a clean plan-order prefix. Models ENOSPC
+    /// / EIO surfacing through the write path rather than a crash.
+    IoError {
+        /// Record count at which the write error fires.
+        record: usize,
+    },
 }
 
 /// A deterministic schedule of one [`FaultKind`].
@@ -179,7 +211,7 @@ impl FailPlan {
         let records = records_hint.max(1) as u64;
         let bytes = bytes_hint.max(1);
         let draw = |lane: u64| mix64(seed.wrapping_add(lane.wrapping_mul(0x9e37)));
-        let kind = match draw(0) % 4 {
+        let kind = match draw(0) % 5 {
             0 => FaultKind::Kill { after_bytes: draw(1) % bytes },
             1 => FaultKind::TornRecord {
                 record: (draw(1) % records) as usize,
@@ -190,7 +222,8 @@ impl FailPlan {
                 byte: draw(2) as usize,
                 xor: (draw(3) % 255) as u8 + 1,
             },
-            _ => FaultKind::DuplicateAppend { record: (draw(1) % records) as usize },
+            3 => FaultKind::DuplicateAppend { record: (draw(1) % records) as usize },
+            _ => FaultKind::IoError { record: (draw(1) % records) as usize },
         };
         FailPlan { kind }
     }
@@ -202,7 +235,7 @@ mod tests {
 
     #[test]
     fn seeded_plans_are_deterministic_and_cover_every_kind() {
-        let mut kinds = [false; 4];
+        let mut kinds = [false; 5];
         for seed in 0..64u64 {
             let plan = FailPlan::from_seed(seed, 10, 1000);
             assert_eq!(plan, FailPlan::from_seed(seed, 10, 1000));
@@ -224,10 +257,14 @@ mod tests {
                     assert!(record < 10);
                     3
                 }
+                FaultKind::IoError { record } => {
+                    assert!(record < 10);
+                    4
+                }
             };
             kinds[slot] = true;
         }
-        assert_eq!(kinds, [true; 4], "64 seeds must hit all four fault kinds");
+        assert_eq!(kinds, [true; 5], "64 seeds must hit all five fault kinds");
     }
 
     #[test]
@@ -244,7 +281,26 @@ mod tests {
             ProcessFault::parse("stall-after-units:0"),
             Ok(ProcessFault::StallAfterUnits(0))
         );
-        for bad in ["exit-after-units", "exit-after-units:x", "segfault:1", ""] {
+        assert_eq!(
+            ProcessFault::parse("io-error-after-units:2"),
+            Ok(ProcessFault::IoErrorAfterUnits(2))
+        );
+        assert_eq!(
+            ProcessFault::parse("poison-unit:00deadbeef17"),
+            Ok(ProcessFault::PoisonUnit("00deadbeef17".into()))
+        );
+        assert_eq!(
+            ProcessFault::parse("poison-index:37"),
+            Ok(ProcessFault::PoisonIndex(37))
+        );
+        for bad in [
+            "exit-after-units",
+            "exit-after-units:x",
+            "segfault:1",
+            "",
+            "poison-unit:",
+            "poison-index:abc",
+        ] {
             assert!(ProcessFault::parse(bad).is_err(), "{bad:?} must refuse");
         }
     }

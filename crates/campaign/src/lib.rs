@@ -24,9 +24,12 @@
 //! - [`shard`] / [`supervise`] / [`merge`] — the distributed story:
 //!   deterministically partition a plan into disjoint shard ranges
 //!   ([`ShardManifest`]), run each shard as a supervised child process
-//!   with heartbeat monitoring, bounded-backoff restart and quarantine
-//!   ([`supervise`]), then fold the shard stores back into one canonical
-//!   store byte-identical to a serial run ([`merge_manifest`]).
+//!   with heartbeat monitoring, bounded-backoff restart, work-stealing
+//!   re-sharding of exhausted or straggling shards (manifest
+//!   *generations*) and last-resort quarantine ([`supervise`]), then
+//!   fold the shard stores — generation splits included — back into one
+//!   canonical store byte-identical to a serial run
+//!   ([`merge_manifest`]).
 //!
 //! See `docs/CAMPAIGNS.md` for the spec format and the CLI
 //! (`dynring campaign run | resume | report | shard | work | merge |
@@ -94,10 +97,12 @@ pub use executor::{
 pub use fault::{FailPlan, FaultKind, ProcessFault};
 pub use merge::{merge_manifest, merge_stores, MergeOutcome};
 pub use runner::{load_report, run_campaign, RunOptions, RunOutcome};
-pub use shard::{shard_range, ShardEntry, ShardManifest, ShardSel};
+pub use shard::{
+    shard_range, ShardEntry, ShardManifest, ShardSel, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1,
+};
 pub use supervise::{
-    render_progress, shard_progress, supervise, ShardProgress, SuperviseOptions,
-    SuperviseOutcome,
+    render_progress, shard_progress, supervise, ShardFailure, ShardProgress,
+    SuperviseOptions, SuperviseOutcome,
 };
 pub use spec::{
     CampaignPlan, CampaignSpec, ExplicitRobot, PlacementAxis, PlannedUnit, UnitDynamics,

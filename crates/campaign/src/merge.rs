@@ -12,8 +12,13 @@
 //!
 //! Refusals are loud and named: any cross-shard inconsistency produces a
 //! greppable `MERGE-CONFLICT reason=…` diagnostic (`spec-mismatch`,
-//! `overlap`, `foreign-unit`, `shard-membership`) instead of a silently
-//! wrong canonical store. The seal is written only when every planned
+//! `overlap`, `foreign-unit`, `shard-membership`, `range-gap`,
+//! `range-overlap`) instead of a silently wrong canonical store. A
+//! generation-split manifest (a steal retired a shard at its prefix and
+//! re-sharded the rest, see [`crate::shard`]) needs no special casing:
+//! its entries are still an exact disjoint tiling of the plan, so the
+//! partial parent store and the child sub-shard stores fold back into
+//! the same canonical bytes. The seal is written only when every planned
 //! unit is present; otherwise the merge writes the maximal plan-order
 //! *prefix* (still a valid, resumable store) and reports what it held
 //! back. The output is written to a temp file and renamed into place, so
@@ -72,6 +77,36 @@ fn merge_impl(
     let existing = out.load()?;
     if existing.header.is_some() || !existing.records.is_empty() {
         return Err(CampaignError::StoreExists(out.path().display().to_string()));
+    }
+
+    // Manifest ranges (generation splits included) must still tile the
+    // plan exactly: a topology with a hole or a doubly-owned range is
+    // refused by name before any store is read. Empty (retired) ranges
+    // own nothing and are skipped.
+    if let Some(ranges) = expected {
+        let mut owned: Vec<(usize, usize, usize)> =
+            ranges.iter().copied().filter(|&(_, _, units)| units > 0).collect();
+        owned.sort_by_key(|&(_, start, _)| start);
+        let mut next = 0usize;
+        for (shard, start, units) in owned {
+            if start > next {
+                return Err(conflict(format!(
+                    "reason=range-gap units={next}..{start} next-shard={shard}"
+                )));
+            }
+            if start < next {
+                return Err(conflict(format!(
+                    "reason=range-overlap units={start}..{next} shard={shard}"
+                )));
+            }
+            next = start + units;
+        }
+        if next != plan.units.len() {
+            return Err(conflict(format!(
+                "reason=range-gap units={next}..{}",
+                plan.units.len()
+            )));
+        }
     }
 
     // Gather every shard record, keyed by plan index, refusing overlaps
@@ -269,7 +304,7 @@ mod tests {
         let shards: Vec<ResultStore> =
             (0..3).map(|i| temp(&format!("shard{i}"))).collect();
         for (i, store) in shards.iter().enumerate() {
-            run_shard(&spec, store, ShardSel { index: i, count: 3 });
+            run_shard(&spec, store, ShardSel::Balanced { index: i, count: 3 });
         }
         let merged = temp("merged");
         // Shard order must not matter: merge in reverse.
@@ -291,13 +326,16 @@ mod tests {
         let total = spec.plan().expect("plan").units.len();
         let shard0 = temp("partial0");
         let shard1 = temp("partial1");
-        run_shard(&spec, &shard0, ShardSel { index: 0, count: 2 });
+        run_shard(&spec, &shard0, ShardSel::Balanced { index: 0, count: 2 });
         // Shard 1 never ran: its units are missing.
         let merged = temp("partial_merged");
         let outcome = merge_stores(&spec, &[shard0.clone(), shard1.clone()], &merged)
             .expect("partial merge");
         assert!(!outcome.sealed);
-        assert_eq!(outcome.merged, ShardSel { index: 0, count: 2 }.range(total).len());
+        assert_eq!(
+            outcome.merged,
+            ShardSel::Balanced { index: 0, count: 2 }.range(total).len()
+        );
         assert_eq!(outcome.missing, total - outcome.merged);
         // The prefix is a normal resumable store: resume completes it to
         // the serial bytes.
@@ -317,7 +355,7 @@ mod tests {
         let whole = temp("overlap_whole");
         run_campaign(&spec, &whole, &RunOptions::default()).expect("runs");
         let shard0 = temp("overlap_shard0");
-        run_shard(&spec, &shard0, ShardSel { index: 0, count: 2 });
+        run_shard(&spec, &shard0, ShardSel::Balanced { index: 0, count: 2 });
         let merged = temp("overlap_merged");
         let err = merge_stores(&spec, &[whole.clone(), shard0.clone()], &merged)
             .expect_err("overlap must refuse");
@@ -353,6 +391,80 @@ mod tests {
         for e in &manifest.entries {
             let _ = std::fs::remove_file(&e.store);
         }
+        cleanup(&[&merged]);
+    }
+
+    #[test]
+    fn generation_split_stores_fold_back_to_the_serial_bytes() {
+        let spec = spec();
+        let plan = spec.plan().expect("plan");
+        let dir = std::env::temp_dir().join("dynring_merge_gen_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let mut manifest = ShardManifest::build(&plan, 2, &dir);
+        for e in &manifest.entries {
+            let _ = std::fs::remove_file(&e.store);
+        }
+
+        // Shard 0 completes; shard 1 dies after 2 units and its tail is
+        // stolen into two sub-shards, as the supervisor would record it.
+        run_shard(&spec, &ResultStore::new(Path::new(&manifest.entries[0].store)),
+            ShardSel::Balanced { index: 0, count: 2 });
+        let parent = ResultStore::new(Path::new(&manifest.entries[1].store));
+        run_campaign(&spec, &parent, &RunOptions {
+            fresh: false,
+            max_units: Some(2),
+            shard: Some(ShardSel::Balanced { index: 1, count: 2 }),
+            ..RunOptions::default()
+        })
+        .expect("partial parent runs");
+        let children = manifest.split_entry(1, 2, 2).expect("splits");
+        manifest.validate().expect("split manifest validates");
+        for &c in &children {
+            let e = &manifest.entries[c];
+            let _ = std::fs::remove_file(&e.store);
+            run_shard(
+                &spec,
+                &ResultStore::new(Path::new(&e.store)),
+                ShardSel::Range { start: e.start, units: e.units },
+            );
+        }
+
+        let merged = temp("gen_merged");
+        let outcome = merge_manifest(&spec, &manifest, &merged).expect("folds");
+        assert!(outcome.sealed);
+        let serial = temp("gen_serial");
+        run_campaign(&spec, &serial, &RunOptions::default()).expect("serial");
+        let a = std::fs::read(serial.path()).expect("read");
+        let b = std::fs::read(merged.path()).expect("read");
+        assert_eq!(a, b, "generation fold must reproduce the serial bytes");
+
+        for e in &manifest.entries {
+            let _ = std::fs::remove_file(&e.store);
+        }
+        cleanup(&[&merged, &serial]);
+    }
+
+    #[test]
+    fn manifest_range_gaps_and_overlaps_refuse_by_name() {
+        let spec = spec();
+        let plan = spec.plan().expect("plan");
+        let dir = std::env::temp_dir();
+        let manifest = ShardManifest::build(&plan, 2, &dir);
+        let merged = temp("tiling_merged");
+
+        // A hole in the tiling (no store is ever read).
+        let mut holed = manifest.clone();
+        holed.entries[1].start += 1;
+        holed.entries[1].units -= 1;
+        let err = merge_manifest(&spec, &holed, &merged).expect_err("gap must refuse");
+        assert!(err.to_string().contains("reason=range-gap"), "{err}");
+
+        // A doubly-owned unit.
+        let mut doubled = manifest.clone();
+        doubled.entries[1].start -= 1;
+        let err =
+            merge_manifest(&spec, &doubled, &merged).expect_err("overlap must refuse");
+        assert!(err.to_string().contains("reason=range-overlap"), "{err}");
         cleanup(&[&merged]);
     }
 

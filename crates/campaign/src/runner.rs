@@ -40,6 +40,12 @@ pub struct RunOptions {
     /// indices — only *which* units this process executes changes — so
     /// `campaign merge` can re-chain shard stores into the serial bytes.
     pub shard: Option<ShardSel>,
+    /// Test-only "poison unit": execute normally up to — but not
+    /// including — the pending unit with this hash, sync, then return
+    /// [`CampaignError::InjectedFault`]. Whatever process (or sub-shard)
+    /// draws the unit dies; everything before it survives on disk. `None`
+    /// outside the fault-injection tests.
+    pub poison: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -50,6 +56,7 @@ impl Default for RunOptions {
             fresh: true,
             fault: None,
             shard: None,
+            poison: None,
         }
     }
 }
@@ -131,7 +138,7 @@ pub fn run_campaign(
     // contiguous plan range.
     let shard_range = match &opts.shard {
         Some(sel) => {
-            sel.validate()?;
+            sel.validate(plan.units.len())?;
             sel.range(plan.units.len())
         }
         None => 0..plan.units.len(),
@@ -173,7 +180,14 @@ pub fn run_campaign(
         )));
     }
     let skipped = slice.len() - pending.len();
-    let budget = opts.max_units.unwrap_or(pending.len()).min(pending.len());
+    let mut budget = opts.max_units.unwrap_or(pending.len()).min(pending.len());
+    // A poison unit caps the budget at its own position: everything
+    // before it executes and syncs, then the process dies on it.
+    let poisoned = opts.poison.as_deref().and_then(|hash| {
+        let at = pending[..budget].iter().position(|u| u.hash == hash)?;
+        budget = at;
+        Some(hash)
+    });
 
     let mut appender = store.appender(&loaded)?;
     appender.set_fault(opts.fault);
@@ -197,6 +211,11 @@ pub fn run_campaign(
             executed += 1;
         }
         appender.sync()?;
+    }
+    if let Some(hash) = poisoned {
+        return Err(CampaignError::InjectedFault(format!(
+            "poison unit {hash} reached after {executed} units"
+        )));
     }
     // Seal on completion. A complete-but-unsealed store (a run
     // interrupted between its last record and the seal, or a legacy v1

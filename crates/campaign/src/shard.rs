@@ -17,6 +17,16 @@
 //! uses it to refuse overlapping or foreign shard stores by name.
 //! Manifest writes are atomic (temp file + fsync + rename), so a crash
 //! mid-update can never leave a torn manifest wedging the campaign.
+//!
+//! Schema v2 adds *generations*: when the supervisor steals a
+//! quarantined or straggling shard's remaining range
+//! ([`ShardManifest::split_entry`]), the parent entry is retired with its
+//! range truncated to what its store actually holds, and child entries
+//! of the next generation are appended covering the rest. The entries of
+//! a v2 manifest therefore form an arbitrary exact partition of the plan
+//! (validated as such) instead of the canonical balanced one — but they
+//! are still disjoint and complete, so the merge story is unchanged. v1
+//! manifests (always canonical) still load.
 
 use std::fs::File;
 use std::io::Write;
@@ -29,41 +39,72 @@ use crate::spec::CampaignPlan;
 use crate::CampaignError;
 
 /// The manifest schema generation (bumped on shape changes).
-pub const MANIFEST_SCHEMA: &str = "dynring-shard-manifest-v1";
+pub const MANIFEST_SCHEMA: &str = "dynring-shard-manifest-v2";
 
-/// Which shard of how many a run executes.
+/// The previous manifest schema (canonical balanced partitions only);
+/// still accepted by [`ShardManifest::load`].
+pub const MANIFEST_SCHEMA_V1: &str = "dynring-shard-manifest-v1";
+
+/// Which slice of the plan a run executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardSel {
-    /// 0-based shard index.
-    pub index: usize,
-    /// Total shard count.
-    pub count: usize,
+pub enum ShardSel {
+    /// Shard `index` of the canonical `count`-way balanced partition
+    /// ([`shard_range`]).
+    Balanced {
+        /// 0-based shard index.
+        index: usize,
+        /// Total shard count.
+        count: usize,
+    },
+    /// An explicit plan-order range — the shape of generation sub-shards,
+    /// whose ranges are whatever a steal left behind, not a canonical
+    /// recomputation.
+    Range {
+        /// First plan index (inclusive).
+        start: usize,
+        /// Units in the range.
+        units: usize,
+    },
 }
 
 impl ShardSel {
-    /// Validates the selection (`count ≥ 1`, `index < count`).
+    /// Validates the selection against a plan of `total` units.
     ///
     /// # Errors
     ///
     /// [`CampaignError::InvalidSpec`] naming the bad field.
-    pub fn validate(&self) -> Result<(), CampaignError> {
-        if self.count == 0 {
-            return Err(CampaignError::InvalidSpec(
-                "shard count must be at least 1".into(),
-            ));
-        }
-        if self.index >= self.count {
-            return Err(CampaignError::InvalidSpec(format!(
-                "shard index {} out of range for {} shards",
-                self.index, self.count
-            )));
+    pub fn validate(&self, total: usize) -> Result<(), CampaignError> {
+        match self {
+            ShardSel::Balanced { index, count } => {
+                if *count == 0 {
+                    return Err(CampaignError::InvalidSpec(
+                        "shard count must be at least 1".into(),
+                    ));
+                }
+                if index >= count {
+                    return Err(CampaignError::InvalidSpec(format!(
+                        "shard index {index} out of range for {count} shards"
+                    )));
+                }
+            }
+            ShardSel::Range { start, units } => {
+                if start.saturating_add(*units) > total {
+                    return Err(CampaignError::InvalidSpec(format!(
+                        "shard range {start}..{} exceeds the {total}-unit plan",
+                        start + units
+                    )));
+                }
+            }
         }
         Ok(())
     }
 
     /// This shard's unit range within a plan of `total` units.
     pub fn range(&self, total: usize) -> Range<usize> {
-        shard_range(total, self.count, self.index)
+        match self {
+            ShardSel::Balanced { index, count } => shard_range(total, *count, *index),
+            ShardSel::Range { start, units } => *start..(*start + *units).min(total),
+        }
     }
 }
 
@@ -82,7 +123,7 @@ pub fn shard_range(total: usize, count: usize, index: usize) -> Range<usize> {
 }
 
 /// One shard's slot in the manifest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ShardEntry {
     /// 0-based shard index.
     pub index: usize,
@@ -96,6 +137,57 @@ pub struct ShardEntry {
     /// started). Persisted — and fsynced — before each (re)start, so a
     /// supervisor resumed after a crash sees the true retry history.
     pub attempts: usize,
+    /// Split generation: 0 for the original shards, parent's generation
+    /// + 1 for sub-shards created by a steal. (v1 manifests: always 0.)
+    pub generation: usize,
+    /// The entry this sub-shard was split from (`None` for the original
+    /// shards).
+    pub parent: Option<usize>,
+    /// A retired entry is never (re)spawned: its remaining range was
+    /// redistributed to child sub-shards and its own range truncated to
+    /// the plan-order prefix its store actually holds. The store stays
+    /// in place — the merge folds it together with the children.
+    pub retired: bool,
+}
+
+// Hand-written so the v2-only fields default when absent: v1 manifests
+// predate them, and the vendored serde derive has no `#[serde(default)]`
+// (a missing field deserializes from `Null`, which only `Option` takes).
+impl<'de> serde::Deserialize<'de> for ShardEntry {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        use serde::__private::take_field;
+        let mut obj = match deserializer.deserialize_value()? {
+            serde::Value::Object(entries) => entries,
+            other => {
+                return Err(D::Error::custom(format!(
+                    "expected object for ShardEntry, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(ShardEntry {
+            index: take_field(&mut obj, "index").map_err(D::Error::custom)?,
+            store: take_field(&mut obj, "store").map_err(D::Error::custom)?,
+            start: take_field(&mut obj, "start").map_err(D::Error::custom)?,
+            units: take_field(&mut obj, "units").map_err(D::Error::custom)?,
+            attempts: take_field(&mut obj, "attempts").map_err(D::Error::custom)?,
+            generation: take_field::<Option<usize>>(&mut obj, "generation")
+                .map_err(D::Error::custom)?
+                .unwrap_or(0),
+            parent: take_field(&mut obj, "parent").map_err(D::Error::custom)?,
+            retired: take_field::<Option<bool>>(&mut obj, "retired")
+                .map_err(D::Error::custom)?
+                .unwrap_or(false),
+        })
+    }
+}
+
+impl ShardEntry {
+    /// The entry's plan-order unit range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.units
+    }
 }
 
 /// The shard manifest: the partition of one campaign over `shards`
@@ -135,6 +227,9 @@ impl ShardManifest {
                     start: range.start,
                     units: range.len(),
                     attempts: 0,
+                    generation: 0,
+                    parent: None,
+                    retired: false,
                 }
             })
             .collect();
@@ -148,42 +243,207 @@ impl ShardManifest {
         }
     }
 
-    /// Checks internal consistency: schema, one entry per shard in index
-    /// order, and every range equal to the [`shard_range`] recomputation
-    /// (the partition is canonical, not advisory).
+    /// Checks internal consistency. A v1 manifest must be the canonical
+    /// balanced partition — every range equal to the [`shard_range`]
+    /// recomputation. A v2 manifest (which may carry steal generations)
+    /// must instead be an *exact partition*: entries indexed in order,
+    /// non-empty ranges disjoint and covering `0..planned_units` with no
+    /// gap, generation/parent links consistent, and only retired entries
+    /// allowed to be empty.
     ///
     /// # Errors
     ///
     /// [`CampaignError::CorruptStore`] naming the inconsistency.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        if self.schema != MANIFEST_SCHEMA {
-            return Err(CampaignError::CorruptStore(format!(
-                "shard manifest schema {} is not {MANIFEST_SCHEMA}",
-                self.schema
-            )));
-        }
-        if self.entries.len() != self.shards {
+        let v1 = match self.schema.as_str() {
+            s if s == MANIFEST_SCHEMA => false,
+            s if s == MANIFEST_SCHEMA_V1 => true,
+            other => {
+                return Err(CampaignError::CorruptStore(format!(
+                    "shard manifest schema {other} is neither {MANIFEST_SCHEMA} \
+                     nor {MANIFEST_SCHEMA_V1}"
+                )));
+            }
+        };
+        if self.entries.len() < self.shards {
             return Err(CampaignError::CorruptStore(format!(
                 "shard manifest names {} shards but carries {} entries",
                 self.shards,
                 self.entries.len()
             )));
         }
+        if v1 && self.entries.len() != self.shards {
+            return Err(CampaignError::CorruptStore(format!(
+                "v1 shard manifest names {} shards but carries {} entries",
+                self.shards,
+                self.entries.len()
+            )));
+        }
         for (i, entry) in self.entries.iter().enumerate() {
-            let range = shard_range(self.planned_units, self.shards, i);
-            if entry.index != i || entry.start != range.start || entry.units != range.len() {
+            if entry.index != i {
                 return Err(CampaignError::CorruptStore(format!(
-                    "shard manifest entry {i} does not match the canonical \
-                     partition (index {}, start {}, {} units; expected start {}, {} units)",
-                    entry.index,
-                    entry.start,
-                    entry.units,
-                    range.start,
-                    range.len()
+                    "shard manifest entry {i} carries index {}",
+                    entry.index
+                )));
+            }
+            if v1 {
+                let range = shard_range(self.planned_units, self.shards, i);
+                if entry.start != range.start || entry.units != range.len() {
+                    return Err(CampaignError::CorruptStore(format!(
+                        "shard manifest entry {i} does not match the canonical \
+                         partition (start {}, {} units; expected start {}, {} units)",
+                        entry.start,
+                        entry.units,
+                        range.start,
+                        range.len()
+                    )));
+                }
+                continue;
+            }
+            // v2 structural checks per entry.
+            if (i < self.shards) != entry.parent.is_none() {
+                return Err(CampaignError::CorruptStore(format!(
+                    "shard manifest entry {i}: original shards carry no parent, \
+                     sub-shards must (parent = {:?}, {} original shards)",
+                    entry.parent, self.shards
+                )));
+            }
+            if let Some(parent) = entry.parent {
+                let p = self.entries.get(parent).ok_or_else(|| {
+                    CampaignError::CorruptStore(format!(
+                        "shard manifest entry {i} names missing parent {parent}"
+                    ))
+                })?;
+                if parent >= i || !p.retired || entry.generation != p.generation + 1 {
+                    return Err(CampaignError::CorruptStore(format!(
+                        "shard manifest entry {i} (generation {}) has an \
+                         inconsistent parent {parent} (generation {}, retired {})",
+                        entry.generation, p.generation, p.retired
+                    )));
+                }
+            } else if entry.generation != 0 {
+                return Err(CampaignError::CorruptStore(format!(
+                    "shard manifest entry {i} has generation {} but no parent",
+                    entry.generation
+                )));
+            }
+            if entry.units == 0 && !entry.retired {
+                return Err(CampaignError::CorruptStore(format!(
+                    "shard manifest entry {i} is empty but not retired"
+                )));
+            }
+        }
+        if !v1 {
+            // The non-empty ranges must partition 0..planned_units exactly.
+            let mut ranges: Vec<Range<usize>> = self
+                .entries
+                .iter()
+                .filter(|e| e.units > 0)
+                .map(ShardEntry::range)
+                .collect();
+            ranges.sort_by_key(|r| r.start);
+            let mut next = 0usize;
+            for range in &ranges {
+                if range.start != next {
+                    let reason = if range.start > next { "gap" } else { "overlap" };
+                    return Err(CampaignError::CorruptStore(format!(
+                        "shard manifest ranges have a {reason} at unit {next} \
+                         (next range starts at {})",
+                        range.start
+                    )));
+                }
+                next = range.end;
+            }
+            if next != self.planned_units {
+                return Err(CampaignError::CorruptStore(format!(
+                    "shard manifest ranges cover {next} of {} planned units",
+                    self.planned_units
                 )));
             }
         }
         Ok(())
+    }
+
+    /// The entries a supervisor should (re)spawn workers for: not retired
+    /// and owning at least one unit.
+    pub fn runnable(&self) -> impl Iterator<Item = &ShardEntry> {
+        self.entries.iter().filter(|e| !e.retired && e.units > 0)
+    }
+
+    /// Splits entry `parent`'s unexecuted tail into `pieces` child
+    /// sub-shards of the next generation — the manifest side of a steal.
+    ///
+    /// `done` is the plan-order prefix the parent's store actually holds
+    /// (its records are kept and merged). The parent is retired with
+    /// `units = done`, and children are appended covering
+    /// `[start+done, start+units)` as a balanced sub-partition, with
+    /// stores named `<store stem>-g<generation>-<k>.jsonl` next to the
+    /// parent store. The schema is promoted to v2. Returns the child
+    /// entry indices. The caller must [`ShardManifest::write`] before
+    /// acting on the split.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidSpec`] when `parent` is out of range,
+    /// already retired, `done` exceeds its range, or the tail is empty.
+    pub fn split_entry(
+        &mut self,
+        parent: usize,
+        done: usize,
+        pieces: usize,
+    ) -> Result<Vec<usize>, CampaignError> {
+        let entry = self.entry(parent)?.clone();
+        if entry.retired {
+            return Err(CampaignError::InvalidSpec(format!(
+                "shard {parent} is already retired"
+            )));
+        }
+        if done > entry.units {
+            return Err(CampaignError::InvalidSpec(format!(
+                "shard {parent} holds {done} units but owns only {}",
+                entry.units
+            )));
+        }
+        let remaining = entry.units - done;
+        if remaining == 0 {
+            return Err(CampaignError::InvalidSpec(format!(
+                "shard {parent} has no units left to steal"
+            )));
+        }
+        let pieces = pieces.clamp(1, remaining);
+        let tail_start = entry.start + done;
+        let generation = entry.generation + 1;
+        let stem = {
+            let path = Path::new(&entry.store);
+            let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("shard");
+            let dir = path.parent().unwrap_or_else(|| Path::new("."));
+            (dir.to_path_buf(), name.to_string())
+        };
+        let mut children = Vec::with_capacity(pieces);
+        for k in 0..pieces {
+            let sub = shard_range(remaining, pieces, k);
+            let index = self.entries.len();
+            self.entries.push(ShardEntry {
+                index,
+                store: stem
+                    .0
+                    .join(format!("{}-g{generation}-{k}.jsonl", stem.1))
+                    .display()
+                    .to_string(),
+                start: tail_start + sub.start,
+                units: sub.len(),
+                attempts: 0,
+                generation,
+                parent: Some(parent),
+                retired: false,
+            });
+            children.push(index);
+        }
+        let e = &mut self.entries[parent];
+        e.units = done;
+        e.retired = true;
+        self.schema = MANIFEST_SCHEMA.to_string();
+        Ok(children)
     }
 
     /// Checks the manifest belongs to `plan`.
@@ -310,9 +570,12 @@ mod tests {
 
     #[test]
     fn shard_sel_validates_bounds() {
-        assert!(ShardSel { index: 0, count: 0 }.validate().is_err());
-        assert!(ShardSel { index: 3, count: 3 }.validate().is_err());
-        assert!(ShardSel { index: 2, count: 3 }.validate().is_ok());
+        assert!(ShardSel::Balanced { index: 0, count: 0 }.validate(10).is_err());
+        assert!(ShardSel::Balanced { index: 3, count: 3 }.validate(10).is_err());
+        assert!(ShardSel::Balanced { index: 2, count: 3 }.validate(10).is_ok());
+        assert!(ShardSel::Range { start: 4, units: 6 }.validate(10).is_ok());
+        assert!(ShardSel::Range { start: 4, units: 7 }.validate(10).is_err());
+        assert_eq!(ShardSel::Range { start: 4, units: 3 }.range(10), 4..7);
     }
 
     #[test]
@@ -342,11 +605,82 @@ mod tests {
             Err(CampaignError::SpecMismatch { .. })
         ));
 
-        // A tampered range is refused as non-canonical.
+        // A tampered range is refused: shifting one start opens a gap
+        // and an overlap at once.
         let mut bent = manifest.clone();
         bent.entries[1].start += 1;
         assert!(bent.validate().is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_manifests_still_load_and_demand_the_canonical_partition() {
+        let plan = plan();
+        let mut manifest = ShardManifest::build(&plan, 2, Path::new("/tmp"));
+        manifest.schema = MANIFEST_SCHEMA_V1.to_string();
+        let json = serde_json::to_string(&manifest).expect("serializes");
+        // Strip the v2-only fields textually: a real v1 file never wrote
+        // them, and the serde defaults must fill them back in on load.
+        let v1_json = json.replace(",\"generation\":0,\"parent\":null,\"retired\":false", "");
+        assert!(
+            !v1_json.contains("generation") && v1_json != json,
+            "v2-only fields must be stripped: {v1_json}"
+        );
+        let dir = std::env::temp_dir().join("dynring_shard_manifest_v1_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("manifest-v1.json");
+        std::fs::write(&path, v1_json).expect("writes");
+        let loaded = ShardManifest::load(&path).expect("v1 loads");
+        assert_eq!(loaded.entries, manifest.entries);
+
+        // v1 is strictly canonical: a non-canonical (but exact) partition
+        // that v2 would accept is refused under the v1 schema.
+        let mut bent = manifest.clone();
+        bent.entries[0].units += 1;
+        bent.entries[1].start += 1;
+        bent.entries[1].units -= 1;
+        assert!(bent.validate().is_err());
+        bent.schema = MANIFEST_SCHEMA.to_string();
+        bent.validate().expect("v2 accepts any exact partition");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_entry_retires_the_parent_and_partitions_the_tail() {
+        let plan = plan();
+        let total = plan.units.len();
+        let mut manifest = ShardManifest::build(&plan, 3, Path::new("/tmp"));
+        let parent_range = manifest.entries[1].range();
+        let done = 2.min(parent_range.len() - 1);
+        let children = manifest.split_entry(1, done, 2).expect("splits");
+        assert_eq!(children, vec![3, 4]);
+        manifest.validate().expect("split manifest stays an exact partition");
+
+        let parent = &manifest.entries[1];
+        assert!(parent.retired);
+        assert_eq!(parent.units, done);
+        let covered: usize = manifest.entries.iter().map(|e| e.units).sum();
+        assert_eq!(covered, total);
+        for &c in &children {
+            let child = &manifest.entries[c];
+            assert_eq!(child.parent, Some(1));
+            assert_eq!(child.generation, 1);
+            assert_eq!(child.attempts, 0);
+            assert!(child.store.contains("-g1-"), "store {}", child.store);
+        }
+        assert_eq!(manifest.runnable().count(), 4);
+
+        // A child can be split again (generation 2), and the manifest
+        // still validates as an exact partition.
+        let grand = manifest.split_entry(children[0], 0, 2).expect("re-splits");
+        manifest.validate().expect("still exact");
+        assert!(manifest.entries[grand[0]].generation == 2);
+
+        // Refusals: retired parent, done beyond range, empty tail.
+        assert!(manifest.split_entry(1, 0, 2).is_err());
+        assert!(manifest.split_entry(0, total, 2).is_err());
+        let full = manifest.entries[2].units;
+        assert!(manifest.split_entry(2, full, 2).is_err());
     }
 
     #[test]

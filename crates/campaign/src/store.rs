@@ -730,6 +730,11 @@ impl StoreAppender {
                     self.file.write_all(&buf)?;
                     self.bytes += buf.len() as u64;
                 }
+                FaultKind::IoError { record } if is_record && self.records == record => {
+                    return Err(CampaignError::Io(format!(
+                        "injected io error appending record {record}"
+                    )));
+                }
                 _ => {}
             }
         }

@@ -21,6 +21,22 @@
 //! temp file, fsynced, renamed) *before* each spawn, so a supervisor
 //! that itself crashes mid-restart never under-counts attempts on
 //! resume.
+//!
+//! With stealing enabled (the default), exhausting a shard's retries no
+//! longer quarantines it outright: the supervisor *re-shards* — it reads
+//! the plan-order prefix the dead shard's store holds, retires the entry
+//! at that prefix, and splits the rest into child sub-shards handed to
+//! fresh worker slots ([`crate::shard::ShardManifest::split_entry`]),
+//! announced by a greppable `SHARD-STEAL shard=… done=… remaining=…
+//! pieces=…` line. The split is fsynced into the manifest *before* any
+//! child spawns, so an arbitrarily-killed supervisor resumes the
+//! re-sharded topology exactly. Splits strictly shrink (an empty parent
+//! splits into at least two pieces), so a deterministic poison converges
+//! to a terminal one-unit quarantine — `SHARD-FAIL … range=X..Y …` names
+//! exactly the units still missing — while everything else completes.
+//! A shard that outlives the whole surviving fleet past
+//! [`SuperviseOptions::steal_after_ms`] is treated the same way
+//! (`reason=straggler`): killed, retired at its prefix, remainder stolen.
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -58,6 +74,14 @@ pub struct SuperviseOptions {
     pub progress: bool,
     /// With `progress`: emit JSON lines instead of the table.
     pub progress_json: bool,
+    /// Steal the remaining range of an exhausted shard into child
+    /// sub-shards instead of quarantining it (`--no-steal` disables,
+    /// restoring the PR-7 give-up behaviour).
+    pub steal: bool,
+    /// Straggler threshold: a shard still running this long after its
+    /// spawn while every other shard has settled is killed and its
+    /// remainder stolen. `None` disables straggler stealing.
+    pub steal_after_ms: Option<u64>,
 }
 
 impl Default for SuperviseOptions {
@@ -70,12 +94,15 @@ impl Default for SuperviseOptions {
             poll_ms: 50,
             progress: false,
             progress_json: false,
+            steal: true,
+            steal_after_ms: None,
         }
     }
 }
 
-/// A quarantined shard: `max_retries` restarts were spent and it still
-/// did not complete.
+/// A quarantined shard: `max_retries` restarts were spent, it still did
+/// not complete, and (with stealing on) its range could not shrink any
+/// further.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ShardFailure {
     /// Shard index.
@@ -83,8 +110,13 @@ pub struct ShardFailure {
     /// Attempts started (initial spawn included).
     pub attempts: usize,
     /// Space-free reason token: `exit-status-N`, `killed`, `stalled`,
-    /// `exited-incomplete` or `store-corrupt`.
+    /// `exited-incomplete`, `store-corrupt` or `straggler`.
     pub reason: String,
+    /// First plan index of the units actually lost (the shard's range
+    /// minus its completed prefix).
+    pub start: usize,
+    /// Units lost.
+    pub units: usize,
 }
 
 /// What one supervisor invocation did.
@@ -96,6 +128,9 @@ pub struct SuperviseOutcome {
     pub completed: usize,
     /// Restarts performed (beyond initial spawns).
     pub restarts: usize,
+    /// Steals performed: exhausted or straggling shards whose remainder
+    /// was re-sharded onto child sub-shards.
+    pub steals: usize,
     /// Shards given up on. Empty iff the campaign can merge completely.
     pub quarantined: Vec<ShardFailure>,
 }
@@ -128,6 +163,11 @@ pub struct ShardProgress {
     pub sealed: bool,
     /// Whether a torn trailing line was truncated away on load.
     pub torn: bool,
+    /// Bytes of torn trailing data ignored on load (0 when clean).
+    pub torn_bytes: u64,
+    /// Worker attempts recorded in the shard manifest; `None` when no
+    /// manifest is in view (plain `status STORE…`).
+    pub attempts: Option<usize>,
     /// One-word state: `sealed`, `complete`, `torn`, `open`, `empty`,
     /// `running`, `backoff` or `quarantined`.
     pub state: String,
@@ -171,6 +211,8 @@ pub fn shard_progress(
         eta_secs: None,
         sealed: loaded.sealed,
         torn: loaded.torn_tail,
+        torn_bytes: loaded.torn_bytes,
+        attempts: None,
         state: state.into(),
     })
 }
@@ -304,7 +346,10 @@ pub fn supervise(
         .iter()
         .map(|e| {
             let store = ResultStore::new(Path::new(&e.store));
-            let done = matches!(shard_health(&store, e.units), ShardHealth::Complete);
+            // Retired entries hold exactly their truncated prefix; they
+            // are never spawned. Everything else is probed.
+            let done =
+                e.retired || matches!(shard_health(&store, e.units), ShardHealth::Complete);
             WorkerSlot {
                 shard: e.index,
                 log: PathBuf::from(format!("{}.log", e.store)),
@@ -336,18 +381,26 @@ pub fn supervise(
     let timeout = Duration::from_millis(opts.heartbeat_timeout_ms.max(1));
     let poll = Duration::from_millis(opts.poll_ms.clamp(10, 1000));
     let mut restarts = 0usize;
+    let mut steals = 0usize;
     let mut quarantined: Vec<ShardFailure> = Vec::new();
     let mut last_progress = Instant::now() - Duration::from_secs(3600);
 
     loop {
         let mut settled = true;
-        for slot in slots.iter_mut() {
+        // Steals decided during the pass; processed after it, because a
+        // split appends entries and slots mid-iteration.
+        let mut steal_requests: Vec<(usize, usize, bool, String)> = Vec::new();
+        let settled_before = slots.iter().filter(|s| s.settled()).count();
+        let fleet = slots.len();
+        for (idx, slot) in slots.iter_mut().enumerate() {
             if slot.settled() {
                 continue;
             }
             settled = false;
-            // 1. A running child: reap it, or kill it if its heartbeat
-            //    (store mtime) stalled past the timeout.
+            // 1. A running child: reap it, kill it if its heartbeat
+            //    (store mtime) stalled past the timeout, or kill it as a
+            //    straggler when the rest of the fleet has settled and it
+            //    overstayed `steal_after_ms`.
             let death: Option<String> = match &mut slot.child {
                 Some(child) => match child.try_wait()? {
                     Some(status) => {
@@ -362,11 +415,21 @@ pub fn supervise(
                         let age = mtime(slot.store.path())
                             .and_then(|m| SystemTime::now().duration_since(m).ok())
                             .unwrap_or(spawned_for);
+                        let straggling = opts.steal
+                            && opts
+                                .steal_after_ms
+                                .is_some_and(|ms| spawned_for > Duration::from_millis(ms))
+                            && settled_before + 1 >= fleet;
                         if spawned_for > timeout && age > timeout {
                             let _ = child.kill();
                             let _ = child.wait();
                             slot.child = None;
                             Some("stalled".into())
+                        } else if straggling {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            slot.child = None;
+                            Some("straggler".into())
                         } else {
                             None
                         }
@@ -393,10 +456,55 @@ pub fn supervise(
                 let attempts = manifest.entries[slot.shard].attempts;
                 let exhausted =
                     matches!(reason.as_str(), "store-corrupt") || attempts > opts.max_retries;
-                if exhausted {
-                    slot.quarantined = true;
-                    println!("SHARD-FAIL shard={} attempts={attempts} reason={reason}", slot.shard);
-                    quarantined.push(ShardFailure { shard: slot.shard, attempts, reason });
+                if exhausted || reason == "straggler" {
+                    // Steal what remains instead of giving up: retire the
+                    // shard at the plan-order prefix its store holds and
+                    // re-shard the rest — as long as the split can still
+                    // shrink. A corrupt store contributes nothing (its
+                    // records cannot be trusted), so its whole range must
+                    // be re-run and its empty retirement only shrinks
+                    // when split at least two ways.
+                    let corrupt = matches!(reason.as_str(), "store-corrupt");
+                    let done = if corrupt {
+                        0
+                    } else {
+                        slot.store.load().map(|l| l.records.len()).unwrap_or(0)
+                    };
+                    let done = done.min(slot.units);
+                    let remaining = slot.units - done;
+                    let splittable =
+                        opts.steal && remaining > 0 && (done > 0 || remaining >= 2);
+                    if splittable {
+                        steal_requests.push((idx, done, corrupt, reason));
+                    } else if reason == "straggler" {
+                        // Could not shrink (a 1-unit shard with nothing
+                        // done): fall back to an ordinary retry.
+                        let delay = backoff_delay(slot.shard, attempts, opts.backoff_ms);
+                        eprintln!(
+                            "SHARD-RETRY shard={} attempt={} backoff-ms={} reason={reason}",
+                            slot.shard,
+                            attempts,
+                            delay.as_millis()
+                        );
+                        slot.restart_at = Some(Instant::now() + delay);
+                    } else {
+                        let entry = &manifest.entries[slot.shard];
+                        let (start, units) = (entry.start + done, remaining);
+                        slot.quarantined = true;
+                        println!(
+                            "SHARD-FAIL shard={} attempts={attempts} range={start}..{} \
+                             reason={reason}",
+                            slot.shard,
+                            start + units
+                        );
+                        quarantined.push(ShardFailure {
+                            shard: slot.shard,
+                            attempts,
+                            reason,
+                            start,
+                            units,
+                        });
+                    }
                 } else {
                     let delay = backoff_delay(slot.shard, attempts, opts.backoff_ms);
                     eprintln!(
@@ -430,9 +538,72 @@ pub fn supervise(
                 }
             }
         }
+        // 3. Perform the steals: split the manifest, fsync it, then (and
+        //    only then) spawn child workers — the crash-safety order the
+        //    resume topology relies on.
+        for (idx, done, corrupt, reason) in steal_requests {
+            let parent = slots[idx].shard;
+            let attempts = manifest.entries[parent].attempts;
+            // Hand the remainder to as many pieces as there are settled
+            // slots to reuse — at least two when nothing was salvaged,
+            // so every split strictly shrinks.
+            let idle = slots.iter().filter(|s| s.done).count();
+            let remaining = slots[idx].units - done;
+            let mut pieces = idle.clamp(1, remaining);
+            if done == 0 {
+                pieces = pieces.max(2).min(remaining);
+            }
+            if corrupt {
+                // Move the untrustworthy store aside: the retired entry
+                // is empty, so nothing may ever read these bytes again.
+                let path = slots[idx].store.path().to_path_buf();
+                let aside = format!("{}.corrupt-{attempts}", path.display());
+                let _ = std::fs::rename(&path, aside);
+            }
+            let children = manifest.split_entry(parent, done, pieces)?;
+            for &c in &children {
+                manifest.entries[c].attempts = 1;
+            }
+            manifest.write(manifest_path)?;
+            println!(
+                "SHARD-STEAL shard={parent} attempts={attempts} reason={reason} \
+                 done={done} remaining={remaining} pieces={} children={}..{}",
+                children.len(),
+                children[0],
+                children[children.len() - 1] + 1
+            );
+            slots[idx].done = true;
+            slots[idx].units = done;
+            steals += 1;
+            for &c in &children {
+                let entry = &manifest.entries[c];
+                let mut slot = WorkerSlot {
+                    shard: c,
+                    store: ResultStore::new(Path::new(&entry.store)),
+                    log: PathBuf::from(format!("{}.log", entry.store)),
+                    units: entry.units,
+                    child: None,
+                    spawned: Instant::now(),
+                    restart_at: None,
+                    done: false,
+                    quarantined: false,
+                    sample: None,
+                    rate: None,
+                };
+                spawn_worker(exe, spec_path, manifest_path, &mut slot, 0, opts.workers_per_proc)?;
+                slots.push(slot);
+            }
+            settled = false;
+        }
         if opts.progress && last_progress.elapsed() >= Duration::from_millis(1000) {
             last_progress = Instant::now();
-            let rows: Vec<ShardProgress> = slots.iter_mut().map(progress_row).collect();
+            let rows: Vec<ShardProgress> = slots
+                .iter_mut()
+                .map(|slot| {
+                    let attempts = manifest.entries[slot.shard].attempts;
+                    progress_row(slot, Some(attempts))
+                })
+                .collect();
             if opts.progress_json {
                 for row in &rows {
                     if let Ok(line) = serde_json::to_string(row) {
@@ -453,13 +624,14 @@ pub fn supervise(
         shards: slots.len(),
         completed: slots.iter().filter(|s| s.done).count(),
         restarts,
+        steals,
         quarantined,
     })
 }
 
 /// Builds one live progress row, updating the slot's rate estimate from
 /// the previous observation.
-fn progress_row(slot: &mut WorkerSlot) -> ShardProgress {
+fn progress_row(slot: &mut WorkerSlot, attempts: Option<usize>) -> ShardProgress {
     let mut row = shard_progress(&slot.store, slot.shard, Some(slot.units)).unwrap_or(
         ShardProgress {
             shard: slot.shard,
@@ -470,9 +642,12 @@ fn progress_row(slot: &mut WorkerSlot) -> ShardProgress {
             eta_secs: None,
             sealed: false,
             torn: false,
+            torn_bytes: 0,
+            attempts: None,
             state: "corrupt".into(),
         },
     );
+    row.attempts = attempts;
     let now = Instant::now();
     if let Some((t0, c0)) = slot.sample {
         let dt = now.duration_since(t0).as_secs_f64();
@@ -527,6 +702,8 @@ mod tests {
                 eta_secs: Some(2.0),
                 sealed: false,
                 torn: false,
+                torn_bytes: 0,
+                attempts: Some(1),
                 state: "running".into(),
             },
             ShardProgress {
@@ -538,6 +715,8 @@ mod tests {
                 eta_secs: None,
                 sealed: true,
                 torn: false,
+                torn_bytes: 0,
+                attempts: None,
                 state: "sealed".into(),
             },
         ];

@@ -43,7 +43,7 @@ fn remove(store: &ResultStore) {
 }
 
 fn shard_opts(sel: ShardSel, fault: Option<FailPlan>) -> RunOptions {
-    RunOptions { workers: 1, max_units: None, fresh: false, fault, shard: Some(sel) }
+    RunOptions { workers: 1, max_units: None, fresh: false, fault, shard: Some(sel), poison: None }
 }
 
 proptest! {
@@ -64,14 +64,14 @@ proptest! {
 
         let serial = temp_store(&format!("serial_{tag}"));
         run_campaign(&spec, &serial, &RunOptions {
-            workers: 1, max_units: None, fresh: true, fault: None, shard: None,
+            workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None,
         }).expect("serial reference runs");
         let expected = std::fs::read(serial.path()).expect("readable");
 
         let shards: Vec<ResultStore> =
             (0..count).map(|i| temp_store(&format!("shard{i}_{tag}"))).collect();
         for (i, store) in shards.iter().enumerate() {
-            let sel = ShardSel { index: i, count };
+            let sel = ShardSel::Balanced { index: i, count };
             if i == victim {
                 // Kill mid-write at a position scaled to the reference
                 // size; the tear lands in this shard's own store. The
@@ -124,9 +124,9 @@ proptest! {
         let tag = format!("overlap_{count_a}_{count_b}");
         let a = temp_store(&format!("a_{tag}"));
         let b = temp_store(&format!("b_{tag}"));
-        run_campaign(&spec, &a, &shard_opts(ShardSel { index: 0, count: count_a }, None))
+        run_campaign(&spec, &a, &shard_opts(ShardSel::Balanced { index: 0, count: count_a }, None))
             .expect("shard a runs");
-        run_campaign(&spec, &b, &shard_opts(ShardSel { index: 0, count: count_b }, None))
+        run_campaign(&spec, &b, &shard_opts(ShardSel::Balanced { index: 0, count: count_b }, None))
             .expect("shard b runs");
         let merged = temp_store(&format!("m_{tag}"));
         let err = merge_stores(&spec, &[a.clone(), b.clone()], &merged)
@@ -148,7 +148,7 @@ proptest! {
         other.horizon += delta;
         let tag = format!("mismatch_{delta}");
         let foreign = temp_store(&format!("f_{tag}"));
-        run_campaign(&other, &foreign, &shard_opts(ShardSel { index: 0, count: 2 }, None))
+        run_campaign(&other, &foreign, &shard_opts(ShardSel::Balanced { index: 0, count: 2 }, None))
             .expect("foreign shard runs");
         let merged = temp_store(&format!("m_{tag}"));
         let err = merge_stores(&spec, std::slice::from_ref(&foreign), &merged)

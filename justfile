@@ -72,8 +72,23 @@ distributed-smoke:
     DYNRING_WORKER_FAULT=exit-after-units:3 DYNRING_WORKER_FAULT_SHARD=1 cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/dist-smoke.jsonl --procs 4 --backoff-ms 50
     cmp target/dist-smoke.jsonl target/dist-smoke-serial.jsonl
     cargo run --release -- certify target/dist-smoke.jsonl --spec examples/campaign_smoke.json --level 2 --sample 8 --seed 7
-    if DYNRING_WORKER_FAULT=exit-after-units:2 DYNRING_WORKER_FAULT_SHARD=0 DYNRING_WORKER_FAULT_ATTEMPTS=always cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/dist-quarantine.jsonl --procs 2 --max-retries 1 --backoff-ms 10 > target/dist-quarantine.log 2>&1; then echo "an exhausted shard must fail the campaign"; exit 1; fi
+    if DYNRING_WORKER_FAULT=exit-after-units:2 DYNRING_WORKER_FAULT_SHARD=0 DYNRING_WORKER_FAULT_ATTEMPTS=always cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/dist-quarantine.jsonl --procs 2 --max-retries 1 --backoff-ms 10 --no-steal > target/dist-quarantine.log 2>&1; then echo "an exhausted shard must fail the campaign"; exit 1; fi
     grep -q 'SHARD-FAIL shard=0' target/dist-quarantine.log
+
+# CI gate for adaptive re-sharding (see docs/CAMPAIGNS.md): poison one
+# unit so whichever worker executes it dies, on every attempt. The
+# supervisor must steal and re-shard the loss down to a 1-unit
+# quarantine naming exactly that unit (exit code 3), and a clean resume
+# must converge to the single-process bytes and certify at level 2.
+resharding-smoke:
+    rm -rf target/resharding-smoke.jsonl target/resharding-smoke.jsonl.manifest.json target/resharding-smoke.jsonl.shards target/resharding-smoke-serial.jsonl
+    cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/resharding-smoke-serial.jsonl
+    if DYNRING_WORKER_FAULT=poison-index:37 DYNRING_WORKER_FAULT_ATTEMPTS=always cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/resharding-smoke.jsonl --procs 4 --max-retries 0 --backoff-ms 10 > target/resharding-smoke.log 2>&1; then echo "a poisoned unit must leave the campaign partial"; exit 1; fi
+    grep -q 'SHARD-STEAL' target/resharding-smoke.log
+    grep -q 'range=37\.\.38' target/resharding-smoke.log
+    cargo run --release -- campaign resume --spec examples/campaign_smoke.json --store target/resharding-smoke.jsonl --procs 4
+    cmp target/resharding-smoke.jsonl target/resharding-smoke-serial.jsonl
+    cargo run --release -- certify target/resharding-smoke.jsonl --spec examples/campaign_smoke.json --level 2 --sample 8 --seed 7
 
 # CI gate for the campaign layer: run the committed 240-unit smoke spec,
 # interrupt it after 60 units, resume it, check the interrupted store is

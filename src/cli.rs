@@ -32,7 +32,8 @@ USAGE:
                        [--horizon H] [--seed S] [--algorithm A] [--out FILE]
     dynring campaign run    --spec FILE --store FILE [--workers W] [--max-units N]
                             [--procs P] [--max-retries R] [--backoff-ms B]
-                            [--heartbeat-timeout-ms T] [--progress] [--json]
+                            [--heartbeat-timeout-ms T] [--no-steal]
+                            [--steal-after-ms T] [--progress] [--json]
     dynring campaign resume --spec FILE --store FILE [same flags as run]
     dynring campaign report --spec FILE --store FILE [--out FILE]
     dynring campaign shard  --spec FILE --shards N [--index I] [--dir DIR]
@@ -40,7 +41,7 @@ USAGE:
     dynring campaign work   --spec FILE --manifest FILE --index I
                             [--workers W] [--max-units N]
     dynring campaign merge  --spec FILE --store OUT (--manifest FILE | STORE…)
-    dynring campaign status STORE… [--json]
+    dynring campaign status [--manifest FILE] [STORE…] [--json]
     dynring certify STORE --spec FILE [--level 1|2] [--sample N] [--seed S]
                     [--out FILE]
     dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
@@ -67,16 +68,30 @@ With --procs, `run`/`resume` become a *supervisor*: the plan is split
 into P disjoint shard ranges (manifest at <store>.manifest.json, shard
 stores under <store>.shards/), each shard runs as an independent
 `campaign work` child process, dead or hung workers (heartbeat = shard
-store mtime) are restarted with bounded exponential backoff, a shard
-that exhausts --max-retries is quarantined with a `SHARD-FAIL` line and
-a nonzero exit, and on success the shards are merged into --store —
-byte-identical to a single-process run. `shard` writes the manifest
-(with --index I it also prints that shard's unit range); `work` runs one
-shard by manifest index; `merge` folds shard stores into one canonical
-store, refusing overlapping/foreign/out-of-range shards with
+store mtime) are restarted with bounded exponential backoff, and on
+success the shards are merged into --store — byte-identical to a
+single-process run. A shard that exhausts --max-retries is not given up
+on: its remaining range is *stolen* — the shard is retired at the
+plan-order prefix its store holds and the rest is re-sharded onto fresh
+child sub-shards (recorded as manifest generations, fsynced before any
+child spawns, announced by a `SHARD-STEAL` line) — so an arbitrarily
+killed supervisor resumes the re-sharded topology exactly. Only a shard
+that can no longer shrink (a single poisoned unit, typically) is
+quarantined with a `SHARD-FAIL … range=X..Y …` line naming exactly the
+lost units. --no-steal restores the quarantine-on-exhaustion behaviour;
+--steal-after-ms T additionally steals from a straggler still running
+T ms after the rest of the fleet settled. Supervisor exit codes are
+distinct: 0 = complete, 3 = quarantined-but-partial (the other shards
+finished; resume to continue), 1 = spawn/config failure, 2 = usage
+error. `shard` writes the manifest (with --index I it also prints that
+shard's unit range); `work` runs one shard by manifest index; `merge`
+folds shard stores — generation splits included — into one canonical
+store, refusing overlapping/foreign/out-of-range/gapped shards with
 `MERGE-CONFLICT` diagnostics and sealing only when every planned unit is
 present; `status` prints per-store progress (one table row per store,
-or JSON with --json).
+or JSON with --json; rows carry torn-tail bytes, and with
+--manifest FILE they come from the shard manifest with per-shard ranges
+and attempt counts).
 `certify` verifies a completed store as a replay bundle (see
 docs/CERTIFY.md): level 1 re-validates the header, every record's hash
 chain, plan membership, ordering and the seal without executing anything;
@@ -187,6 +202,12 @@ pub enum Command {
         backoff_ms: u64,
         /// Supervisor: a shard store idle this long is declared hung.
         heartbeat_timeout_ms: u64,
+        /// Supervisor: quarantine exhausted shards instead of stealing
+        /// their remaining range into sub-shards.
+        no_steal: bool,
+        /// Supervisor: steal from a shard still running this long after
+        /// the rest of the fleet settled.
+        steal_after_ms: Option<u64>,
         /// Supervisor: print a per-shard progress table while running.
         progress: bool,
         /// `status`/`--progress`: emit JSON instead of the table.
@@ -262,6 +283,26 @@ impl fmt::Display for CliError {
 
 impl Error for CliError {}
 
+/// A supervised campaign that finished with quarantined shards: every
+/// other shard completed and merged, only the quarantined ranges are
+/// missing. `main` maps this to its own exit code
+/// ([`EXIT_PARTIAL_CAMPAIGN`]) so scripts can tell "resume me" from a
+/// spawn/config failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialCampaign(pub String);
+
+impl fmt::Display for PartialCampaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for PartialCampaign {}
+
+/// Exit code for [`PartialCampaign`]: quarantined-but-partial. Distinct
+/// from 1 (runtime/spawn/config failure) and 2 (usage error).
+pub const EXIT_PARTIAL_CAMPAIGN: u8 = 3;
+
 fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
@@ -278,11 +319,12 @@ fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
         let arg = args[i].as_str();
         if let Some(key) = arg.strip_prefix("--") {
             // Value-less flags.
-            if matches!(key, "help" | "quick" | "progress" | "json") {
+            if matches!(key, "help" | "quick" | "progress" | "json" | "no-steal") {
                 positional.push(match key {
                     "help" => "--help",
                     "quick" => "--quick",
                     "progress" => "--progress",
+                    "no-steal" => "--no-steal",
                     _ => "--json",
                 });
                 i += 1;
@@ -502,8 +544,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if store.is_none() && needs_store {
                 return Err(err("campaign requires --store FILE"));
             }
-            if verb == CampaignVerb::Status && stores.is_empty() {
-                return Err(err("campaign status requires at least one STORE path"));
+            let manifest = lookup(&pairs, "manifest").map(str::to_string);
+            if verb == CampaignVerb::Status && stores.is_empty() && manifest.is_none() {
+                return Err(err(
+                    "campaign status requires at least one STORE path or --manifest FILE",
+                ));
             }
             let out = lookup(&pairs, "out").map(str::to_string);
             if out.is_some() && verb != CampaignVerb::Report {
@@ -518,13 +563,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--workers/--max-units are only valid with campaign run/resume/work",
                 ));
             }
-            let manifest = lookup(&pairs, "manifest").map(str::to_string);
             let procs = parse_opt_num(&pairs, "procs")?;
             if procs == Some(0) {
                 return Err(err("--procs must be at least 1"));
             }
             if procs.is_some() && !matches!(verb, CampaignVerb::Run | CampaignVerb::Resume) {
                 return Err(err("--procs is only valid with campaign run/resume"));
+            }
+            let no_steal = positional.contains(&"--no-steal");
+            let steal_after_ms = parse_opt_num(&pairs, "steal-after-ms")?;
+            if (no_steal || steal_after_ms.is_some())
+                && !matches!(verb, CampaignVerb::Run | CampaignVerb::Resume)
+            {
+                return Err(err(
+                    "--no-steal/--steal-after-ms are only valid with campaign run/resume",
+                ));
             }
             let shards = parse_opt_num(&pairs, "shards")?;
             if verb == CampaignVerb::Shard && shards.is_none() {
@@ -560,6 +613,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 max_retries: parse_num(&pairs, "max-retries", 3)?,
                 backoff_ms: parse_num(&pairs, "backoff-ms", 250)?,
                 heartbeat_timeout_ms: parse_num(&pairs, "heartbeat-timeout-ms", 30_000)?,
+                no_steal,
+                steal_after_ms,
                 progress: positional.contains(&"--progress"),
                 json: positional.contains(&"--json"),
             })
@@ -760,6 +815,8 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
             max_retries,
             backoff_ms,
             heartbeat_timeout_ms,
+            no_steal,
+            steal_after_ms,
             progress,
             json,
         } => {
@@ -776,13 +833,40 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
             };
 
             // `status` is spec-free: each store is read on its own terms
-            // (totals come from its header).
+            // (totals come from its header). With --manifest the rows come
+            // from the shard manifest instead: per-shard ranges, attempt
+            // counts, and generation splits included.
             if verb == CampaignVerb::Status {
-                let rows = stores
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| shard_progress(&ResultStore::new(s), i, None))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let mut rows = Vec::new();
+                if let Some(mpath) = &manifest {
+                    let man = ShardManifest::load(Path::new(mpath))?;
+                    for e in &man.entries {
+                        let mut row = shard_progress(
+                            &ResultStore::new(&e.store),
+                            e.index,
+                            Some(e.units),
+                        )
+                        .unwrap_or_else(|_| dynring_campaign::ShardProgress {
+                            shard: e.index,
+                            store: e.store.clone(),
+                            completed: 0,
+                            total: e.units,
+                            units_per_sec: None,
+                            eta_secs: None,
+                            sealed: false,
+                            torn: false,
+                            torn_bytes: 0,
+                            attempts: None,
+                            state: "corrupt".into(),
+                        });
+                        row.attempts = Some(e.attempts);
+                        rows.push(row);
+                    }
+                }
+                let base = rows.len();
+                for (i, s) in stores.iter().enumerate() {
+                    rows.push(shard_progress(&ResultStore::new(s), base + i, None)?);
+                }
                 if json {
                     println!("{}", serde_json::to_string_pretty(&rows)?);
                 } else {
@@ -845,18 +929,25 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         .unwrap_or(0);
                     let fault =
                         ProcessFault::from_env(idx, attempt).map_err(CliError)?;
+                    // The shard runs its manifest *range*, not a balanced
+                    // index: after a steal the entry may be a generation
+                    // child covering an arbitrary sub-range.
                     let base = RunOptions {
                         workers: workers.unwrap_or_else(available_workers),
                         max_units,
                         fresh: false,
                         fault: None,
-                        shard: Some(ShardSel { index: idx, count: man.shards }),
+                        shard: Some(ShardSel::Range {
+                            start: entry.start,
+                            units: entry.units,
+                        }),
+                        poison: None,
                     };
                     println!(
                         "shard {idx}/{}: {} units, attempt {attempt} (store {})",
                         man.shards, entry.units, entry.store
                     );
-                    match fault {
+                    match &fault {
                         None => {
                             let outcome = run_campaign(&campaign, &shard_store, &base)?;
                             println!(
@@ -866,7 +957,9 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         }
                         Some(ProcessFault::KillAfterBytes(after_bytes)) => {
                             let opts = RunOptions {
-                                fault: Some(FailPlan::new(FaultKind::Kill { after_bytes })),
+                                fault: Some(FailPlan::new(FaultKind::Kill {
+                                    after_bytes: *after_bytes,
+                                })),
                                 ..base
                             };
                             match run_campaign(&campaign, &shard_store, &opts) {
@@ -880,12 +973,68 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                                 }
                             }
                         }
+                        Some(ProcessFault::IoErrorAfterUnits(k)) => {
+                            // The fault counts units appended *by this
+                            // invocation*; the store trigger is an absolute
+                            // record index, so offset by what's there.
+                            let existing = shard_store
+                                .load()
+                                .map(|l| l.records.len())
+                                .unwrap_or(0);
+                            let opts = RunOptions {
+                                fault: Some(FailPlan::new(FaultKind::IoError {
+                                    record: existing + k,
+                                })),
+                                ..base
+                            };
+                            // The injected io::Error surfaces as a plain
+                            // runtime error: worker exits 1, nothing torn.
+                            let outcome = run_campaign(&campaign, &shard_store, &opts)?;
+                            println!(
+                                "shard {idx}: {} executed, {} skipped, {} pending",
+                                outcome.executed, outcome.skipped, outcome.pending
+                            );
+                        }
+                        Some(ProcessFault::PoisonUnit(_))
+                        | Some(ProcessFault::PoisonIndex(_)) => {
+                            let hash = match &fault {
+                                Some(ProcessFault::PoisonUnit(h)) => h.clone(),
+                                Some(ProcessFault::PoisonIndex(i)) => plan
+                                    .units
+                                    .get(*i)
+                                    .ok_or_else(|| {
+                                        CliError(format!(
+                                            "poison-index {i} out of range ({} units)",
+                                            plan.units.len()
+                                        ))
+                                    })?
+                                    .hash
+                                    .clone(),
+                                _ => unreachable!(),
+                            };
+                            let opts = RunOptions { poison: Some(hash), ..base };
+                            match run_campaign(&campaign, &shard_store, &opts) {
+                                Err(CampaignError::InjectedFault(_)) => {
+                                    // Whoever draws the poisoned unit dies
+                                    // on the spot, wherever the steal moved
+                                    // it: everything before it is fsynced.
+                                    std::process::abort();
+                                }
+                                other => {
+                                    let outcome = other?;
+                                    println!(
+                                        "shard {idx}: {} executed, {} skipped, {} pending",
+                                        outcome.executed, outcome.skipped, outcome.pending
+                                    );
+                                }
+                            }
+                        }
                         Some(ProcessFault::ExitAfterUnits(k))
                         | Some(ProcessFault::StallAfterUnits(k)) => {
                             // Execute exactly k units (store fsynced per
                             // wave), then die or hang as instructed.
                             let head = RunOptions {
-                                max_units: Some(k.min(max_units.unwrap_or(usize::MAX))),
+                                max_units: Some((*k).min(max_units.unwrap_or(usize::MAX))),
                                 ..base
                             };
                             let outcome = run_campaign(&campaign, &shard_store, &head)?;
@@ -978,6 +1127,8 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             backoff_ms,
                             heartbeat_timeout_ms,
                             poll_ms: 50,
+                            steal: !no_steal,
+                            steal_after_ms,
                             progress,
                             progress_json: json,
                         };
@@ -993,11 +1144,16 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         let outcome =
                             supervise(&exe, Path::new(&spec_path), &mpath, &mut man, &sopts)?;
                         println!(
-                            "supervisor: {}/{} shards complete, {} restart(s)",
-                            outcome.completed, outcome.shards, outcome.restarts
+                            "supervisor: {}/{} shards complete, {} restart(s), \
+                             {} steal(s)",
+                            outcome.completed, outcome.shards, outcome.restarts,
+                            outcome.steals
                         );
                         if !outcome.is_complete() {
-                            return Err(Box::new(CliError(format!(
+                            // Distinct exit code (3): the campaign ran, most
+                            // shards finished, only quarantined ranges are
+                            // missing — unlike a spawn/config failure (1).
+                            return Err(Box::new(PartialCampaign(format!(
                                 "campaign partial: {} shard(s) quarantined; continue \
                                  with: dynring campaign resume --spec {spec_path} \
                                  --store {store_path} --procs {procs}",
@@ -1026,6 +1182,7 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         fresh,
                         fault: None,
                         shard: None,
+                        poison: None,
                     };
                     println!(
                         "campaign `{}`: {} over {} workers (store {store_path})…",

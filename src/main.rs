@@ -1,4 +1,8 @@
 //! The `dynring` command-line tool: reproduce the paper from a shell.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error, and
+//! [`dynring::cli::EXIT_PARTIAL_CAMPAIGN`] (3) for a supervised campaign
+//! that completed except for quarantined shard ranges.
 
 use std::process::ExitCode;
 
@@ -8,13 +12,16 @@ fn main() -> ExitCode {
         Ok(command) => command,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", dynring::cli::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match dynring::cli::run(command) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            if e.is::<dynring::cli::PartialCampaign>() {
+                return ExitCode::from(dynring::cli::EXIT_PARTIAL_CAMPAIGN);
+            }
             ExitCode::FAILURE
         }
     }

@@ -1,11 +1,15 @@
 //! Process-level distributed-campaign smoke, mirroring `just
-//! distributed-smoke`: the committed smoke spec is sharded over real
-//! `campaign work` child processes under the supervisor, one worker is
-//! killed mid-run by the env-var fault hook, the supervisor restarts it,
-//! and the merged canonical store is byte-identical to a single-process
-//! run and certifies at level 2. A shard that keeps dying is quarantined
-//! with a `SHARD-FAIL` line and a nonzero exit — and a later `resume
-//! --procs` finishes the campaign from the partial shard stores.
+//! distributed-smoke` and `just resharding-smoke`: the committed smoke
+//! spec is sharded over real `campaign work` child processes under the
+//! supervisor, one worker is killed mid-run by the env-var fault hook,
+//! the supervisor restarts it, and the merged canonical store is
+//! byte-identical to a single-process run and certifies at level 2.
+//! With stealing disabled, a shard that keeps dying is quarantined with
+//! a `SHARD-FAIL` line and the distinct partial exit code (3) — and a
+//! later `resume --procs` finishes the campaign from the partial shard
+//! stores. With stealing on (the default), an exhausted shard's tail is
+//! re-sharded onto fresh sub-shards instead, and a poisoned unit narrows
+//! to a 1-unit quarantine naming exactly that unit.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -118,9 +122,94 @@ fn exhausted_retries_quarantine_with_a_shard_fail_line_and_resume_finishes() {
     let expected = serial_reference(&p);
     let dist = p.dist.to_str().expect("utf-8");
 
-    // Shard 0 dies on *every* attempt; with --max-retries 1 the
-    // supervisor must quarantine it, print SHARD-FAIL, and exit nonzero
-    // — while the other shard still completes (no wedged campaign).
+    // Shard 0 dies on *every* attempt; with --max-retries 1 and
+    // stealing disabled the supervisor must quarantine it, print
+    // SHARD-FAIL, and exit with the distinct partial code (3) — while
+    // the other shard still completes (no wedged campaign).
+    let output = Command::new(exe())
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            SPEC_PATH,
+            "--store",
+            dist,
+            "--procs",
+            "2",
+            "--max-retries",
+            "1",
+            "--backoff-ms",
+            "10",
+            "--no-steal",
+        ])
+        .env("DYNRING_WORKER_FAULT", "exit-after-units:2")
+        .env("DYNRING_WORKER_FAULT_SHARD", "0")
+        .env("DYNRING_WORKER_FAULT_ATTEMPTS", "always")
+        .output()
+        .expect("supervisor spawns");
+    let log = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "quarantined-but-partial must exit 3:\n{log}"
+    );
+    assert!(
+        log.contains("SHARD-FAIL shard=0 attempts=2"),
+        "quarantine must print the greppable diagnostic:\n{log}"
+    );
+    assert!(
+        !Path::new(dist).exists(),
+        "a quarantined campaign must not write the canonical store"
+    );
+
+    // Satellite checks on the same wreckage: `status --manifest --json`
+    // reports every shard row with attempt counts and torn-tail bytes.
+    let manifest = format!("{dist}.manifest.json");
+    let status_out = Command::new(exe())
+        .args(["campaign", "status", "--manifest", &manifest, "--json"])
+        .output()
+        .expect("status runs");
+    let json = String::from_utf8_lossy(&status_out.stdout);
+    assert!(status_out.status.success(), "status must succeed:\n{json}");
+    for key in
+        ["\"shard\"", "\"store\"", "\"completed\"", "\"total\"", "\"sealed\"",
+         "\"torn\"", "\"torn_bytes\"", "\"attempts\"", "\"state\""]
+    {
+        assert!(json.contains(key), "status row must carry {key}:\n{json}");
+    }
+    assert!(
+        json.contains("\"attempts\": 2"),
+        "the quarantined shard's attempt count must be reported:\n{json}"
+    );
+
+    // A resume without the fault picks the partial shard store back up,
+    // completes it, merges, and matches the serial bytes.
+    run_ok(&[
+        "campaign", "resume", "--spec", SPEC_PATH, "--store", dist, "--procs", "2",
+    ]);
+    let merged = std::fs::read(&p.dist).expect("merged store readable");
+    assert_eq!(merged, expected, "resume after quarantine must converge");
+    run_ok(&["certify", dist, "--spec", SPEC_PATH, "--level", "2"]);
+
+    let _ = std::fs::remove_file(&p.serial);
+    let _ = std::fs::remove_file(&p.dist);
+}
+
+#[test]
+fn an_exhausted_shard_is_stolen_and_the_campaign_still_completes() {
+    let p = paths("steal");
+    let expected = serial_reference(&p);
+    let dist = p.dist.to_str().expect("utf-8");
+
+    // Shard 0 dies after 2 units on *every* attempt. With stealing on
+    // (the default), exhausting --max-retries must not quarantine: the
+    // supervisor retires shard 0 at its 2-unit prefix and re-shards the
+    // tail onto fresh sub-shards (which don't inherit the shard-gated
+    // fault), so the campaign completes, byte-identical to serial.
     let output = Command::new(exe())
         .args([
             "campaign",
@@ -146,30 +235,103 @@ fn exhausted_retries_quarantine_with_a_shard_fail_line_and_resume_finishes() {
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr)
     );
+    assert!(output.status.success(), "stolen shards must complete:\n{log}");
     assert!(
-        !output.status.success(),
-        "exhausted retries must exit nonzero:\n{log}"
+        log.contains("SHARD-STEAL shard=0"),
+        "the steal must print the greppable diagnostic:\n{log}"
     );
-    assert!(
-        log.contains("SHARD-FAIL shard=0 attempts=2"),
-        "quarantine must print the greppable diagnostic:\n{log}"
-    );
-    assert!(
-        !Path::new(dist).exists(),
-        "a quarantined campaign must not write the canonical store"
-    );
+    assert!(!log.contains("SHARD-FAIL"), "nothing may be quarantined:\n{log}");
 
-    // A resume without the fault picks the partial shard store back up,
-    // completes it, merges, and matches the serial bytes.
-    run_ok(&[
-        "campaign", "resume", "--spec", SPEC_PATH, "--store", dist, "--procs", "2",
-    ]);
     let merged = std::fs::read(&p.dist).expect("merged store readable");
-    assert_eq!(merged, expected, "resume after quarantine must converge");
+    assert_eq!(
+        merged, expected,
+        "stolen + merged store must equal the single-process bytes"
+    );
     run_ok(&["certify", dist, "--spec", SPEC_PATH, "--level", "2"]);
 
     let _ = std::fs::remove_file(&p.serial);
     let _ = std::fs::remove_file(&p.dist);
+}
+
+#[test]
+fn a_poisoned_unit_narrows_to_a_single_unit_quarantine_and_resume_converges() {
+    let p = paths("poison");
+    let expected = serial_reference(&p);
+    let dist = p.dist.to_str().expect("utf-8");
+
+    // Unit 37 is poisoned: whichever worker executes it dies, on every
+    // attempt, wherever the steal moves the unit. The supervisor must
+    // narrow the loss, split by split, to a quarantine of exactly
+    // 37..38 — everything else completes.
+    let output = Command::new(exe())
+        .args([
+            "campaign",
+            "run",
+            "--spec",
+            SPEC_PATH,
+            "--store",
+            dist,
+            "--procs",
+            "4",
+            "--max-retries",
+            "0",
+            "--backoff-ms",
+            "10",
+        ])
+        .env("DYNRING_WORKER_FAULT", "poison-index:37")
+        .env("DYNRING_WORKER_FAULT_ATTEMPTS", "always")
+        .output()
+        .expect("supervisor spawns");
+    let log = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "a poisoned unit must end quarantined-but-partial:\n{log}"
+    );
+    assert!(
+        log.contains("SHARD-STEAL"),
+        "narrowing must go through steals:\n{log}"
+    );
+    assert!(
+        log.contains("range=37..38"),
+        "the terminal quarantine must name exactly the poisoned unit:\n{log}"
+    );
+
+    // Without the fault, resume completes the single missing unit and
+    // converges to the serial bytes.
+    run_ok(&[
+        "campaign", "resume", "--spec", SPEC_PATH, "--store", dist, "--procs", "4",
+    ]);
+    let merged = std::fs::read(&p.dist).expect("merged store readable");
+    assert_eq!(merged, expected, "resume after poison must converge");
+    run_ok(&["certify", dist, "--spec", SPEC_PATH, "--level", "2"]);
+
+    let _ = std::fs::remove_file(&p.serial);
+    let _ = std::fs::remove_file(&p.dist);
+}
+
+#[test]
+fn spawn_and_usage_failures_keep_their_own_exit_codes() {
+    // A config failure (unreadable spec) is exit 1 — distinct from the
+    // quarantined-but-partial exit 3 and the usage-error exit 2.
+    let out = Command::new(exe())
+        .args([
+            "campaign", "run", "--spec", "/nonexistent/spec.json", "--store",
+            "/tmp/dynring_dist_smoke_exitcodes.jsonl", "--procs", "2",
+        ])
+        .output()
+        .expect("binary spawns");
+    assert_eq!(out.status.code(), Some(1), "config failure must exit 1");
+
+    let out = Command::new(exe())
+        .args(["campaign", "frobnicate"])
+        .output()
+        .expect("binary spawns");
+    assert_eq!(out.status.code(), Some(2), "usage error must exit 2");
 }
 
 #[test]
