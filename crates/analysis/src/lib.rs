@@ -9,8 +9,9 @@
 //!   dynamics suite (including the proof adversaries);
 //! - [`table1`] — the end-to-end Table 1 reproduction;
 //! - [`grid`] — parameter sweeps (cover time vs `n`, `k`, dynamicity);
-//! - [`monte_carlo`] — replica sweeps on the 64-lane lockstep engine
-//!   (cover-time histograms, survival rates);
+//! - [`monte_carlo`] — replica sweeps on the lane-parallel lockstep
+//!   engine, 64/128/256 lanes per group (cover-time histograms, survival
+//!   rates);
 //! - [`report`] — text / Markdown / CSV rendering;
 //! - [`seeds`] — the shared seed-derivation contract of every sweep;
 //! - [`stats`] — summary statistics.
@@ -55,7 +56,7 @@ pub mod verdict;
 
 pub use coverage::VisitLedger;
 pub use monte_carlo::{
-    derive_batch_seed, run_replicas, run_replicas_with, BatchSweep, MonteCarloConfig,
+    derive_batch_seed, run_replicas, run_replicas_with, BatchArity, BatchSweep, MonteCarloConfig,
     MonteCarloSummary,
 };
 pub use parallel::{coverage_matrix, run_scenarios_par, run_scenarios_par_with, CoverageMatrix};

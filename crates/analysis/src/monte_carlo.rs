@@ -1,15 +1,20 @@
 //! Monte Carlo over replica batches: cover-time distributions and
-//! survival rates from the 64-lane lockstep engine.
+//! survival rates from the lane-parallel lockstep engine.
 //!
-//! One [`BatchSimulator`] round advances 64 independent Bernoulli
-//! replicas; [`run_replicas`] fans *batches* of 64 out over all cores
-//! ([`crate::parallel::par_map`]), so throughput composes: lanes ×
-//! threads. Replica `r` lives in batch `r / 64`, lane `r % 64`; batch `b`
-//! draws from the deterministic stream seeded by `derive_batch_seed(seed,
-//! b)`, so the whole sweep is a pure function of its
-//! [`MonteCarloConfig`] — parallel results are byte-identical to serial
-//! ones, and any single replica can be replayed bit-for-bit on the
-//! serial engine through [`dynring_graph::BernoulliReplicas::lane`].
+//! One [`BatchSimulator`] round advances `W::LANES` independent Bernoulli
+//! replicas (64, 128 or 256 — [`BatchArity`]); [`run_replicas`] fans
+//! *groups* of lanes out over all cores ([`crate::parallel::par_map`]),
+//! so throughput composes: lanes × threads.
+//!
+//! The seed contract is arity-invariant: replica `r` is **always** lane
+//! `r % 64` of the 64-lane stream seeded `derive_batch_seed(seed,
+//! r / 64)`, at every arity — a wide group is the composite of
+//! `W::WORDS` such streams, one per 64-lane plane
+//! ([`dynring_graph::BernoulliReplicaBank`]). A sweep is therefore a pure
+//! function of its [`MonteCarloConfig`]: results are byte-identical
+//! across worker counts *and* lane arities, and any single replica can be
+//! replayed bit-for-bit on the serial engine through
+//! [`dynring_graph::BernoulliReplicas::lane`].
 
 use serde::{Deserialize, Serialize};
 
@@ -17,11 +22,14 @@ use dynring_core::baselines::{
     AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection, RandomDirection,
 };
 use dynring_core::{Pef1, Pef2, Pef3Plus};
-use dynring_engine::{BatchAlgorithm, BatchCoverage, BatchSimulator, LANES};
-use dynring_graph::{BernoulliReplicas, RingTopology, Time};
+use dynring_engine::{
+    BatchAlgorithm, BatchCoverage, BatchSimulator, LaneWord, Lanes128, Lanes256,
+    RoundRobinSingle, LANES,
+};
+use dynring_graph::{BernoulliReplicaBank, BernoulliReplicas, RingTopology, Time};
 
 use crate::parallel::{available_workers, par_map};
-use crate::scenario::{AlgorithmChoice, PlacementSpec, Scenario, ScenarioError};
+use crate::scenario::{AlgorithmChoice, PlacementSpec, Scenario, ScenarioError, SchedulerChoice};
 
 /// A fully specified Monte Carlo sweep: one `(n, k, p)` point, many
 /// Bernoulli replicas.
@@ -112,6 +120,68 @@ pub fn derive_batch_seed(base: u64, batch: usize) -> u64 {
     crate::seeds::derive_stream_seed(base, batch as u64)
 }
 
+/// Lane arity of one lockstep batch group: how many replicas each
+/// [`BatchSimulator`] advances per round.
+///
+/// The seed contract makes results byte-identical across arities (see the
+/// module docs), so the arity is purely a throughput knob — recorded for
+/// observability, never hashed into unit identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchArity {
+    /// 64 lanes: one `u64` plane — the original engine word.
+    Lanes64,
+    /// 128 lanes: two planes.
+    Lanes128,
+    /// 256 lanes: four planes.
+    Lanes256,
+}
+
+impl BatchArity {
+    /// Every arity the batch engine is compiled for, narrowest first.
+    pub const ALL: [BatchArity; 3] = [
+        BatchArity::Lanes64,
+        BatchArity::Lanes128,
+        BatchArity::Lanes256,
+    ];
+
+    /// Replicas per lockstep group at this arity.
+    pub fn lanes(self) -> usize {
+        match self {
+            BatchArity::Lanes64 => 64,
+            BatchArity::Lanes128 => 128,
+            BatchArity::Lanes256 => 256,
+        }
+    }
+
+    /// Display name (`"batch-64"` style suffixes come from this).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchArity::Lanes64 => "64",
+            BatchArity::Lanes128 => "128",
+            BatchArity::Lanes256 => "256",
+        }
+    }
+
+    /// The arity-selection policy: minimize the padded lane cost
+    /// `ceil(replicas / lanes) · lanes` (the replica-rounds actually
+    /// simulated, ghost lanes included); ties go to the widest arity,
+    /// which amortizes per-round overheads over more lanes. Examples:
+    /// 65 → 128, 129 → 64 (192 beats 256), 250 → 256, 257 → 64.
+    pub fn for_replicas(replicas: usize) -> BatchArity {
+        let mut best = BatchArity::Lanes64;
+        let mut best_cost = usize::MAX;
+        for arity in BatchArity::ALL {
+            let lanes = arity.lanes();
+            let cost = replicas.div_ceil(lanes).max(1) * lanes;
+            if cost < best_cost || (cost == best_cost && lanes > best.lanes()) {
+                best = arity;
+                best_cost = cost;
+            }
+        }
+        best
+    }
+}
+
 /// One batch-engine sweep over arbitrary (non-tower) placements: the
 /// lower-level contract behind [`run_replicas_with`], also driven
 /// directly by the campaign executor (whose units carry explicit
@@ -128,27 +198,66 @@ pub struct BatchSweep<'a> {
     pub p: f64,
     /// Rounds per replica before a lane is declared uncovered.
     pub horizon: Time,
-    /// Number of replicas (64 per lockstep batch; the tail batch's extra
-    /// lanes are simulated but masked out of the result).
+    /// Number of replicas (a whole lockstep group each; the tail group's
+    /// extra lanes are simulated but masked out of the result).
     pub replicas: usize,
-    /// Base seed; batch `b` draws from `derive_batch_seed(seed, b)`.
+    /// Base seed; 64-lane plane `b` draws from
+    /// `derive_batch_seed(seed, b)` at every arity.
     pub seed: u64,
+    /// Activation scheduling: FSYNC, or SSYNC round-robin — the same
+    /// deterministic policy the serial engine's
+    /// [`RoundRobinSingle`] plays, word-parallel.
+    pub scheduler: SchedulerChoice,
 }
 
 impl BatchSweep<'_> {
-    /// Number of 64-lane batches this sweep runs.
+    /// Number of 64-lane batches this sweep spans (the arity-invariant
+    /// count of underlying Bernoulli streams; wide arities bundle
+    /// `W::WORDS` of them per lockstep group).
     pub fn batches(&self) -> usize {
         self.replicas.div_ceil(LANES)
     }
 
-    /// Runs every replica to its first cover (batches fanned over
-    /// `workers` threads; byte-identical for every worker count).
+    /// Runs every replica to its first cover at the arity
+    /// [`BatchArity::for_replicas`] picks (groups fanned over `workers`
+    /// threads; byte-identical for every worker count and every arity).
     ///
     /// # Errors
     ///
     /// [`ScenarioError`] when the sweep is ill-formed (invalid
     /// probability, bad placements, zero replicas).
     pub fn first_covers(&self, workers: usize) -> Result<Vec<Option<Time>>, ScenarioError> {
+        self.first_covers_at(BatchArity::for_replicas(self.replicas), workers)
+    }
+
+    /// [`BatchSweep::first_covers`] at an explicit arity.
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchSweep::first_covers`].
+    pub fn first_covers_at(
+        &self,
+        arity: BatchArity,
+        workers: usize,
+    ) -> Result<Vec<Option<Time>>, ScenarioError> {
+        match arity {
+            BatchArity::Lanes64 => self.first_covers_arity::<u64>(workers),
+            BatchArity::Lanes128 => self.first_covers_arity::<Lanes128>(workers),
+            BatchArity::Lanes256 => self.first_covers_arity::<Lanes256>(workers),
+        }
+    }
+
+    /// [`BatchSweep::first_covers`] at the arity of the lane word `W` —
+    /// the monomorphic root of the sweep, and the surface the ragged
+    /// lane-count equivalence tests pin.
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchSweep::first_covers`].
+    pub fn first_covers_arity<W: LaneWord>(
+        &self,
+        workers: usize,
+    ) -> Result<Vec<Option<Time>>, ScenarioError> {
         // Validate probability through the stream constructor once, and
         // ring/placement compatibility with the real engine error, before
         // fanning out.
@@ -162,60 +271,80 @@ impl BatchSweep<'_> {
             return Err(ScenarioError::NoReplicas);
         }
         Ok(match self.algorithm {
-            AlgorithmChoice::Pef3Plus => self.sweep_with(Pef3Plus::new(), workers),
-            AlgorithmChoice::Pef2 => self.sweep_with(Pef2::new(), workers),
-            AlgorithmChoice::Pef1 => self.sweep_with(Pef1::new(), workers),
-            AlgorithmChoice::KeepDirection => self.sweep_with(KeepDirection, workers),
+            AlgorithmChoice::Pef3Plus => self.sweep_with::<_, W>(Pef3Plus::new(), workers),
+            AlgorithmChoice::Pef2 => self.sweep_with::<_, W>(Pef2::new(), workers),
+            AlgorithmChoice::Pef1 => self.sweep_with::<_, W>(Pef1::new(), workers),
+            AlgorithmChoice::KeepDirection => self.sweep_with::<_, W>(KeepDirection, workers),
             AlgorithmChoice::BounceOnMissingEdge => {
-                self.sweep_with(BounceOnMissingEdge, workers)
+                self.sweep_with::<_, W>(BounceOnMissingEdge, workers)
             }
-            AlgorithmChoice::AlwaysTurnOnTower => self.sweep_with(AlwaysTurnOnTower, workers),
-            AlgorithmChoice::AlternateDirection => self.sweep_with(AlternateDirection, workers),
+            AlgorithmChoice::AlwaysTurnOnTower => {
+                self.sweep_with::<_, W>(AlwaysTurnOnTower, workers)
+            }
+            AlgorithmChoice::AlternateDirection => {
+                self.sweep_with::<_, W>(AlternateDirection, workers)
+            }
             AlgorithmChoice::RandomDirection { seed } => {
-                self.sweep_with(RandomDirection::new(seed), workers)
+                self.sweep_with::<_, W>(RandomDirection::new(seed), workers)
             }
         })
     }
 
-    /// Runs one 64-lane batch to its first-cover times (lanes beyond the
-    /// replica budget are still simulated — they ride along for free —
-    /// but the caller discards them).
-    fn run_batch<A: BatchAlgorithm>(&self, algorithm: A, batch: usize) -> [Option<Time>; LANES] {
-        let replicas = BernoulliReplicas::new(
-            self.ring.clone(),
-            self.p,
-            derive_batch_seed(self.seed, batch),
-        )
-        .expect("probability validated by first_covers");
-        let mut sim = BatchSimulator::new(
+    /// The [`BernoulliReplicaBank`] of lockstep group `group` at arity
+    /// `W`: plane `w` is the 64-lane stream seeded
+    /// `derive_batch_seed(seed, group · W::WORDS + w)` — which makes lane
+    /// `l` of the group exactly replica `group · W::LANES + l` of the
+    /// arity-invariant numbering.
+    fn group_bank<W: LaneWord>(&self, group: usize) -> BernoulliReplicaBank {
+        let seeds: Vec<u64> = (0..W::WORDS)
+            .map(|w| derive_batch_seed(self.seed, group * W::WORDS + w))
+            .collect();
+        BernoulliReplicaBank::new(self.ring.clone(), self.p, &seeds)
+            .expect("probability validated by first_covers")
+    }
+
+    /// Runs one `W::LANES`-lane group to its first-cover times (lanes
+    /// beyond the replica budget are still simulated — they ride along
+    /// for free — but the caller discards them).
+    fn run_group<A, W>(&self, algorithm: A, group: usize) -> Vec<Option<Time>>
+    where
+        A: BatchAlgorithm<W>,
+        W: LaneWord,
+    {
+        let mut sim = BatchSimulator::<_, _, W>::new(
             self.ring.clone(),
             algorithm,
-            replicas,
+            self.group_bank::<W>(group),
             self.placements.to_vec(),
         )
         .expect("setup validated by first_covers");
+        if self.scheduler == SchedulerChoice::SsyncRoundRobin {
+            sim.set_activation(RoundRobinSingle);
+        }
         let mut coverage = BatchCoverage::new(&sim);
         sim.run_covering(self.horizon, &mut coverage);
-        *coverage.first_covers()
+        coverage.first_covers().to_vec()
     }
 
-    fn sweep_with<A: BatchAlgorithm + Clone + Sync>(
-        &self,
-        algorithm: A,
-        workers: usize,
-    ) -> Vec<Option<Time>> {
-        let batches: Vec<usize> = (0..self.batches()).collect();
-        let per_batch = par_map(&batches, workers, |&b| self.run_batch(algorithm.clone(), b));
-        // Ghost-lane masking: when `replicas` is not a multiple of 64 the
-        // final batch simulates more lanes than the budget. Each batch's
-        // contribution is truncated to its own lane budget here — at the
-        // source, not by a global truncation downstream — so no code path
-        // over the flattened results can ever see a ghost lane.
-        per_batch
+    fn sweep_with<A, W>(&self, algorithm: A, workers: usize) -> Vec<Option<Time>>
+    where
+        A: BatchAlgorithm<W> + Clone + Sync,
+        W: LaneWord,
+    {
+        let groups: Vec<usize> = (0..self.replicas.div_ceil(W::LANES)).collect();
+        let per_group =
+            par_map(&groups, workers, |&g| self.run_group::<_, W>(algorithm.clone(), g));
+        // Ghost-lane masking: when `replicas` is not a multiple of the
+        // arity the final group simulates more lanes than the budget.
+        // Each group's contribution is truncated to its own lane budget
+        // here — at the source, not by a global truncation downstream —
+        // so no code path over the flattened results can ever see a ghost
+        // lane.
+        per_group
             .into_iter()
             .enumerate()
-            .flat_map(|(b, firsts)| {
-                let lane_budget = self.replicas.saturating_sub(b * LANES).min(LANES);
+            .flat_map(|(g, firsts)| {
+                let lane_budget = self.replicas.saturating_sub(g * W::LANES).min(W::LANES);
                 firsts.into_iter().take(lane_budget)
             })
             .collect()
@@ -254,6 +383,7 @@ pub fn run_replicas_with(
         horizon: cfg.horizon,
         replicas: cfg.replicas,
         seed: cfg.seed,
+        scheduler: SchedulerChoice::Fsync,
     };
     let firsts = sweep.first_covers(workers)?;
     Ok(summarize(cfg.clone(), &firsts))
@@ -525,4 +655,176 @@ mod tests {
         assert_eq!(scenario.seed, cfg.seed);
         assert_eq!(scenario.horizon, cfg.horizon);
     }
+    /// Serial-engine first cover of replica `r` of the arity-invariant
+    /// numbering: lane `r % 64` of the stream seeded
+    /// `derive_batch_seed(seed, r / 64)`, optionally under the serial
+    /// round-robin SSYNC scheduler.
+    fn serial_anchor(
+        ring: &RingTopology,
+        placements: &[dynring_engine::RobotPlacement],
+        p: f64,
+        horizon: Time,
+        seed: u64,
+        r: usize,
+        ssync: bool,
+    ) -> Option<Time> {
+        use dynring_engine::{Oblivious, Simulator};
+        let replicas =
+            BernoulliReplicas::new(ring.clone(), p, derive_batch_seed(seed, r / LANES))
+                .expect("valid p");
+        let mut sim = Simulator::new(
+            ring.clone(),
+            Pef3Plus::new(),
+            Oblivious::new(replicas.lane((r % LANES) as u32)),
+            placements.to_vec(),
+        )
+        .expect("valid setup");
+        if ssync {
+            sim.set_activation(RoundRobinSingle);
+        }
+        let n = ring.node_count();
+        let mut seen = vec![false; n];
+        let mut missing = n;
+        let mut note = move |seen: &mut [bool], positions: &[dynring_graph::NodeId]| {
+            for pos in positions {
+                if !seen[pos.index()] {
+                    seen[pos.index()] = true;
+                    missing -= 1;
+                }
+            }
+            missing == 0
+        };
+        if note(&mut seen, &sim.positions()) {
+            return Some(0);
+        }
+        for t in 1..=horizon {
+            sim.step_quiet();
+            if note(&mut seen, &sim.positions()) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn arity_selection_minimizes_padded_lane_cost() {
+        // The policy pinned: least padded replica-rounds, ties to the
+        // widest arity.
+        for (replicas, expect) in [
+            (1, BatchArity::Lanes64),
+            (63, BatchArity::Lanes64),
+            (64, BatchArity::Lanes64),
+            (65, BatchArity::Lanes128),
+            (128, BatchArity::Lanes128),
+            (129, BatchArity::Lanes64),
+            (192, BatchArity::Lanes64),
+            (250, BatchArity::Lanes256),
+            (256, BatchArity::Lanes256),
+            (257, BatchArity::Lanes64),
+            (512, BatchArity::Lanes256),
+        ] {
+            assert_eq!(
+                BatchArity::for_replicas(replicas),
+                expect,
+                "replicas={replicas}"
+            );
+        }
+        assert_eq!(BatchArity::Lanes128.lanes(), 128);
+        assert_eq!(BatchArity::Lanes256.name(), "256");
+    }
+
+    #[test]
+    fn ragged_lane_counts_are_byte_identical_across_arities() {
+        // The tentpole invariant at every ragged boundary: a sweep over
+        // `replicas` lanes returns the same bytes at 64, 128 and 256
+        // lanes per group, each anchored to the serial engine at the
+        // first and last replica.
+        let ring = RingTopology::new(8).expect("valid ring");
+        let placements = PlacementSpec::EvenlySpaced { count: 3 }.build(8);
+        for replicas in [63usize, 64, 65, 127, 129, 255, 257] {
+            let sweep = BatchSweep {
+                algorithm: AlgorithmChoice::Pef3Plus,
+                ring: &ring,
+                placements: &placements,
+                p: 0.5,
+                horizon: 400,
+                replicas,
+                seed: 0xFEED ^ replicas as u64,
+                scheduler: SchedulerChoice::Fsync,
+            };
+            let narrow = sweep.first_covers_arity::<u64>(1).expect("valid sweep");
+            assert_eq!(narrow.len(), replicas, "replicas={replicas}");
+            let wide128 = sweep.first_covers_arity::<Lanes128>(1).expect("valid sweep");
+            let wide256 = sweep.first_covers_arity::<Lanes256>(2).expect("valid sweep");
+            assert_eq!(narrow, wide128, "128-lane drift at replicas={replicas}");
+            assert_eq!(narrow, wide256, "256-lane drift at replicas={replicas}");
+            let auto = sweep.first_covers(1).expect("valid sweep");
+            assert_eq!(narrow, auto, "auto-arity drift at replicas={replicas}");
+            for r in [0, replicas - 1] {
+                let anchor = serial_anchor(
+                    &ring,
+                    &placements,
+                    sweep.p,
+                    sweep.horizon,
+                    sweep.seed,
+                    r,
+                    false,
+                );
+                assert_eq!(
+                    narrow[r], anchor,
+                    "serial anchor drift at replicas={replicas}, r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ssync_sweeps_match_the_serial_round_robin_engine_at_every_arity() {
+        // SSYNC widening: the word-parallel round-robin activation must
+        // reproduce the serial engine's `RoundRobinSingle` run in every
+        // lane, at every arity, across a ragged group boundary.
+        let ring = RingTopology::new(8).expect("valid ring");
+        let placements = PlacementSpec::EvenlySpaced { count: 3 }.build(8);
+        let replicas = 70;
+        let sweep = BatchSweep {
+            algorithm: AlgorithmChoice::Pef3Plus,
+            ring: &ring,
+            placements: &placements,
+            p: 0.5,
+            horizon: 1200,
+            replicas,
+            seed: 0xC0FFEE,
+            scheduler: SchedulerChoice::SsyncRoundRobin,
+        };
+        let narrow = sweep.first_covers_arity::<u64>(1).expect("valid sweep");
+        let serial: Vec<Option<Time>> = (0..replicas)
+            .map(|r| {
+                serial_anchor(
+                    &ring,
+                    &placements,
+                    sweep.p,
+                    sweep.horizon,
+                    sweep.seed,
+                    r,
+                    true,
+                )
+            })
+            .collect();
+        assert_eq!(narrow, serial, "64-lane SSYNC sweep drifted from serial");
+        assert_eq!(
+            narrow,
+            sweep.first_covers_arity::<Lanes128>(1).expect("valid sweep")
+        );
+        assert_eq!(
+            narrow,
+            sweep.first_covers_arity::<Lanes256>(1).expect("valid sweep")
+        );
+        assert_eq!(
+            narrow,
+            sweep
+                .first_covers_at(BatchArity::for_replicas(replicas), 2)
+                .expect("valid sweep")
+        );
+    }
+
 }

@@ -11,9 +11,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use dynring_bench::workloads::{
-    batch_bernoulli_sim, bernoulli_sim, bernoulli_sim_p, serial_lane_sims, static_sim,
-    BERNOULLI_P, BERNOULLI_SEED,
+    batch_bernoulli_bank_sim, batch_bernoulli_sim, bernoulli_sim, bernoulli_sim_p,
+    serial_bank_lane_sims, ssync_batch_bernoulli_sim, ssync_serial_lane_sims, serial_lane_sims,
+    static_sim, BERNOULLI_P, BERNOULLI_SEED,
 };
+use dynring_engine::{Lanes128, Lanes256};
 use dynring_graph::{BernoulliSchedule, EdgeSchedule, RingTopology};
 
 const ROUNDS: u64 = 2_000;
@@ -96,6 +98,62 @@ fn bench_throughput(c: &mut Criterion) {
         });
         let mut lanes = serial_lane_sims(n, 3, BERNOULLI_P);
         group.bench_with_input(BenchmarkId::new("serial64", n), &n, |b, _| {
+            b.iter(|| {
+                for sim in &mut lanes {
+                    sim.run(ROUNDS);
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // The wide arities over seeded replica banks: one batch round at 256
+    // lanes advances 4× the replicas of a 64-lane round, so the
+    // per-element throughputs stay directly comparable across arities.
+    {
+        // Sanity: lane 0 and a lane of the last plane equal their serial
+        // bank-lane runs.
+        let mut batch = batch_bernoulli_bank_sim::<Lanes256>(64, 3, BERNOULLI_P);
+        let mut lanes = serial_bank_lane_sims::<Lanes256>(64, 3, BERNOULLI_P);
+        batch.run(200);
+        lanes[0].run(200);
+        lanes[200].run(200);
+        assert_eq!(batch.positions_of(0), lanes[0].positions());
+        assert_eq!(batch.positions_of(200), lanes[200].positions());
+    }
+    let mut group = c.benchmark_group("batch_arity");
+    for n in [64usize, 1024] {
+        group.throughput(Throughput::Elements(ROUNDS * 128));
+        let mut batch = batch_bernoulli_bank_sim::<Lanes128>(n, 3, BERNOULLI_P);
+        group.bench_with_input(BenchmarkId::new("batch128", n), &n, |b, _| {
+            b.iter(|| batch.run(ROUNDS))
+        });
+        group.throughput(Throughput::Elements(ROUNDS * 256));
+        let mut batch = batch_bernoulli_bank_sim::<Lanes256>(n, 3, BERNOULLI_P);
+        group.bench_with_input(BenchmarkId::new("batch256", n), &n, |b, _| {
+            b.iter(|| batch.run(ROUNDS))
+        });
+    }
+    group.finish();
+
+    // The SSYNC batch route: round-robin activation words vs the serial
+    // engine under the same policy.
+    {
+        let mut batch = ssync_batch_bernoulli_sim(64, 3, BERNOULLI_P);
+        let mut lanes = ssync_serial_lane_sims(64, 3, BERNOULLI_P);
+        batch.run(200);
+        lanes[0].run(200);
+        assert_eq!(batch.positions_of(0), lanes[0].positions());
+    }
+    let mut group = c.benchmark_group("batch_ssync_vs_serial");
+    group.throughput(Throughput::Elements(ROUNDS * 64));
+    for n in [64usize, 1024] {
+        let mut batch = ssync_batch_bernoulli_sim(n, 3, BERNOULLI_P);
+        group.bench_with_input(BenchmarkId::new("batch64_ssync", n), &n, |b, _| {
+            b.iter(|| batch.run(ROUNDS))
+        });
+        let mut lanes = ssync_serial_lane_sims(n, 3, BERNOULLI_P);
+        group.bench_with_input(BenchmarkId::new("serial64_ssync", n), &n, |b, _| {
             b.iter(|| {
                 for sim in &mut lanes {
                     sim.run(ROUNDS);

@@ -13,10 +13,14 @@ pub mod workloads {
     //! every measuring entry point uses identical workloads; define them
     //! here once.
 
+    use dynring_analysis::derive_batch_seed;
     use dynring_core::Pef3Plus;
-    use dynring_engine::{BatchSimulator, Oblivious, RobotPlacement, Simulator};
+    use dynring_engine::{
+        BatchSimulator, LaneWord, Oblivious, RobotPlacement, RoundRobinSingle, Simulator,
+    };
     use dynring_graph::{
-        AlwaysPresent, BernoulliLane, BernoulliReplicas, BernoulliSchedule, NodeId, RingTopology,
+        AlwaysPresent, BernoulliLane, BernoulliReplicaBank, BernoulliReplicas, BernoulliSchedule,
+        NodeId, RingTopology,
     };
 
     /// Presence probability of the Bernoulli workload.
@@ -75,6 +79,76 @@ pub mod workloads {
         let ring = RingTopology::new(n).expect("valid ring");
         let replicas = BernoulliReplicas::new(ring.clone(), p, BERNOULLI_SEED).expect("valid p");
         BatchSimulator::new(ring, Pef3Plus, replicas, placements(n, k)).expect("valid setup")
+    }
+
+    /// `PEF_3+` on the lockstep engine at an arbitrary lane arity `W`:
+    /// a seeded replica bank with one stream per 64-lane plane, derived
+    /// from `BERNOULLI_SEED` exactly as `BatchSweep` derives its group
+    /// banks, so lane `l` matches a serial run over `bank.lane(l)`.
+    pub fn batch_bernoulli_bank_sim<W: LaneWord>(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> BatchSimulator<Pef3Plus, BernoulliReplicaBank, W> {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let seeds: Vec<u64> = (0..W::WORDS)
+            .map(|w| derive_batch_seed(BERNOULLI_SEED, w))
+            .collect();
+        let bank = BernoulliReplicaBank::new(ring.clone(), p, &seeds).expect("valid p");
+        BatchSimulator::new(ring, Pef3Plus, bank, placements(n, k)).expect("valid setup")
+    }
+
+    /// The serial baseline of the wide-arity batch workload:
+    /// `W::LANES` `Simulator`s over the bank's derived lane schedules,
+    /// run one after the other on one thread.
+    pub fn serial_bank_lane_sims<W: LaneWord>(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> Vec<Simulator<Pef3Plus, Oblivious<BernoulliLane>>> {
+        let ring = RingTopology::new(n).expect("valid ring");
+        let seeds: Vec<u64> = (0..W::WORDS)
+            .map(|w| derive_batch_seed(BERNOULLI_SEED, w))
+            .collect();
+        let bank = BernoulliReplicaBank::new(ring.clone(), p, &seeds).expect("valid p");
+        (0..W::LANES as u32)
+            .map(|lane| {
+                Simulator::new(
+                    ring.clone(),
+                    Pef3Plus,
+                    Oblivious::new(bank.lane(lane)),
+                    placements(n, k),
+                )
+                .expect("valid setup")
+            })
+            .collect()
+    }
+
+    /// The SSYNC batch workload: the 64-lane lockstep engine under the
+    /// word-parallel round-robin activation (one robot active per round
+    /// in every lane).
+    pub fn ssync_batch_bernoulli_sim(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> BatchSimulator<Pef3Plus, BernoulliReplicas> {
+        let mut sim = batch_bernoulli_sim(n, k, p);
+        sim.set_activation(RoundRobinSingle);
+        sim
+    }
+
+    /// The serial baseline of the SSYNC batch workload: the 64 lane
+    /// `Simulator`s under the serial round-robin activation policy.
+    pub fn ssync_serial_lane_sims(
+        n: usize,
+        k: usize,
+        p: f64,
+    ) -> Vec<Simulator<Pef3Plus, Oblivious<BernoulliLane>>> {
+        let mut sims = serial_lane_sims(n, k, p);
+        for sim in &mut sims {
+            sim.set_activation(RoundRobinSingle);
+        }
+        sims
     }
 
     /// The serial baseline of the batch workload: 64 `Simulator`s, one

@@ -6,6 +6,12 @@
 //! derive from integer sums, so a report is a pure function of the store
 //! and byte-identical across machines (the property the pinned
 //! campaign-smoke summary relies on).
+//!
+//! Route accounting is family-based: the stored route string only names
+//! the engine family (`"batch"`/`"serial"`), and the report additionally
+//! breaks the batch family down by lane arity. The arity is recomputed
+//! from each unit via [`route_unit`] — it is a pure function of the unit,
+//! deliberately never stored, so the breakdown costs no record bytes.
 
 use std::collections::BTreeMap;
 
@@ -14,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use dynring_analysis::stats::Summary;
 use dynring_graph::Time;
 
-use crate::executor::UnitRecord;
+use crate::executor::{route_unit, UnitRecord};
 use crate::spec::CampaignPlan;
 
 /// One `(algorithm, dynamics, scheduler)` cell of the report.
@@ -58,6 +64,11 @@ pub struct CampaignReport {
     pub completed_units: usize,
     /// Completed units routed to the batch engine.
     pub batch_units: usize,
+    /// The batch family broken down by lane arity: lanes per group (64,
+    /// 128, 256) → completed units the engine runs at that width. Sums
+    /// to `batch_units`; recomputed from the units, never stored in
+    /// records.
+    pub batch_units_by_arity: BTreeMap<u64, usize>,
     /// Completed units routed to the serial engines.
     pub serial_units: usize,
     /// Replicas executed across all completed units.
@@ -105,6 +116,7 @@ pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport 
         }
     }
     let mut batch_units = 0usize;
+    let mut batch_units_by_arity: BTreeMap<u64, usize> = BTreeMap::new();
     let mut serial_units = 0usize;
     let mut total_replicas = 0usize;
     let mut covered_replicas = 0usize;
@@ -135,6 +147,9 @@ pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport 
         }
         if record.route == "batch" {
             batch_units += 1;
+            if let Some(arity) = route_unit(&record.unit).arity() {
+                *batch_units_by_arity.entry(arity.lanes() as u64).or_insert(0) += 1;
+            }
         } else {
             serial_units += 1;
         }
@@ -199,6 +214,7 @@ pub fn aggregate(plan: &CampaignPlan, records: &[UnitRecord]) -> CampaignReport 
         planned_units: plan.units.len(),
         completed_units,
         batch_units,
+        batch_units_by_arity,
         serial_units,
         total_replicas,
         covered_replicas,
@@ -230,6 +246,14 @@ pub fn render(report: &CampaignReport) -> String {
         report.covered_replicas,
         report.total_replicas,
     );
+    if !report.batch_units_by_arity.is_empty() {
+        let mix: Vec<String> = report
+            .batch_units_by_arity
+            .iter()
+            .map(|(arity, units)| format!("{units} @ {arity} lanes"))
+            .collect();
+        let _ = writeln!(out, "batch arity mix: {}", mix.join(", "));
+    }
     if report.partial {
         let _ = writeln!(
             out,
@@ -302,9 +326,16 @@ mod tests {
         assert_eq!(report.completed_units, 8);
         // 2 algorithms × 2 dynamics × 1 scheduler groups.
         assert_eq!(report.groups.len(), 4);
-        // Bernoulli×sync units are batch-routed, static ones serial.
+        // Bernoulli×sync units are batch-routed, static ones serial;
+        // 4-replica units all pick the 64-lane arity.
         assert_eq!(report.batch_units, 4);
         assert_eq!(report.serial_units, 4);
+        assert_eq!(report.batch_units_by_arity.get(&64), Some(&4));
+        assert_eq!(
+            report.batch_units_by_arity.values().sum::<usize>(),
+            report.batch_units
+        );
+        assert!(render(&report).contains("batch arity mix: 4 @ 64 lanes"));
         // Totals tie out against the groups.
         let group_replicas: usize = report.groups.iter().map(|g| g.replicas).sum();
         assert_eq!(group_replicas, report.total_replicas);

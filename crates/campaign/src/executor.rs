@@ -2,14 +2,20 @@
 //! otherwise — with bit-for-bit reproducible measurements either way.
 //!
 //! The routing rule is a pure function of the unit
-//! ([`route_unit`]): a unit runs on the 64-replica lockstep
+//! ([`route_unit`]): a unit runs on the lane-parallel lockstep
 //! [`dynring_engine::BatchSimulator`] iff its dynamics is the pure
-//! Bernoulli stream **and** its scheduler is FSYNC — exactly the
-//! combination whose per-lane execution is proven bit-identical to the
-//! serial engine. Everything else (adaptive adversaries, repaired
-//! stochastic classes, SSYNC/ASYNC scheduling) falls back to the serial
-//! engines. Because the decision depends only on the unit, sharding a
-//! campaign over threads cannot change any record's route or bytes.
+//! Bernoulli stream **and** its scheduler is FSYNC or SSYNC — exactly
+//! the combinations whose per-lane execution is proven bit-identical to
+//! the serial engine (SSYNC rides the word-parallel round-robin
+//! activation words, the same deterministic policy the serial engine
+//! plays). Everything else (adaptive adversaries, repaired stochastic
+//! classes, ASYNC scheduling) falls back to the serial engines. The
+//! batch route also carries its lane arity
+//! ([`dynring_analysis::BatchArity`], picked per unit by replica count)
+//! — a pure throughput knob that never enters unit hashes or stored
+//! record bytes, since every arity produces the same bytes. Because the
+//! decision depends only on the unit, sharding a campaign over threads
+//! cannot change any record's route or bytes.
 //!
 //! Replica seeds follow the Monte Carlo contract
 //! ([`dynring_analysis::seeds::derive_stream_seed`]): replica `r` of a
@@ -21,7 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use dynring_analysis::scenario::SchedulerChoice;
 use dynring_analysis::seeds::derive_stream_seed;
-use dynring_analysis::{BatchSweep, Scenario, ScenarioError};
+use dynring_analysis::{BatchArity, BatchSweep, Scenario, ScenarioError};
 use dynring_core::baselines::{
     AlternateDirection, AlwaysTurnOnTower, BounceOnMissingEdge, KeepDirection, RandomDirection,
 };
@@ -40,29 +46,49 @@ use dynring_analysis::AlgorithmChoice;
 /// Where a unit executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
-    /// The 64-replica lockstep batch engine.
-    Batch,
+    /// The lockstep batch engine at the given lane arity.
+    Batch(BatchArity),
     /// The serial engines (round simulator or phase-split async
     /// simulator).
     Serial,
 }
 
 impl Route {
-    /// Display name (also the form recorded in the store).
+    /// Display name (also the form recorded in the store). The arity is
+    /// deliberately *not* part of the name: stored route strings stay
+    /// `"batch"`/`"serial"` at every arity, because every arity produces
+    /// the same bytes.
     pub fn name(&self) -> &'static str {
         match self {
-            Route::Batch => "batch",
+            Route::Batch(_) => "batch",
             Route::Serial => "serial",
+        }
+    }
+
+    /// Whether this is the batch route (at any arity).
+    pub fn is_batch(&self) -> bool {
+        matches!(self, Route::Batch(_))
+    }
+
+    /// The lane arity of the batch route, `None` on the serial route.
+    pub fn arity(&self) -> Option<BatchArity> {
+        match self {
+            Route::Batch(arity) => Some(*arity),
+            Route::Serial => None,
         }
     }
 }
 
-/// The batch-eligibility rule: pure Bernoulli dynamics under the FSYNC
-/// scheduler. A pure function of the unit, so the decision is identical
-/// on every shard of every run.
+/// The batch-eligibility rule: pure Bernoulli dynamics under the FSYNC or
+/// SSYNC scheduler (the two whose activation is expressible as
+/// deterministic lane-uniform activation words). A pure function of the
+/// unit, so the decision is identical on every shard of every run; the
+/// arity is [`BatchArity::for_replicas`] on the unit's replica budget.
 pub fn route_unit(unit: &WorkUnit) -> Route {
-    if unit.dynamics.is_pure_bernoulli() && unit.scheduler == UnitScheduler::Sync {
-        Route::Batch
+    if unit.dynamics.is_pure_bernoulli()
+        && matches!(unit.scheduler, UnitScheduler::Sync | UnitScheduler::Ssync)
+    {
+        Route::Batch(BatchArity::for_replicas(unit.replicas))
     } else {
         Route::Serial
     }
@@ -404,7 +430,7 @@ pub fn execute_unit(planned: &PlannedUnit) -> Result<UnitRecord, CampaignError> 
 /// `Route::Batch` is forced onto a unit that is not batch-eligible.
 pub fn execute_unit_on(planned: &PlannedUnit, route: Route) -> Result<UnitRecord, CampaignError> {
     let unit = &planned.unit;
-    if route == Route::Batch && route_unit(unit) != Route::Batch {
+    if route.is_batch() && !route_unit(unit).is_batch() {
         return Err(CampaignError::InvalidSpec(format!(
             "unit {} ({} × {}) is not batch-eligible",
             planned.hash,
@@ -414,7 +440,7 @@ pub fn execute_unit_on(planned: &PlannedUnit, route: Route) -> Result<UnitRecord
     }
     let placements = unit.placement.build(unit.ring_size);
     let firsts = match (route, unit.dynamics) {
-        (Route::Batch, UnitDynamics::Bernoulli { p }) => {
+        (Route::Batch(arity), UnitDynamics::Bernoulli { p }) => {
             let ring = RingTopology::new(unit.ring_size).map_err(ScenarioError::from)?;
             let sweep = BatchSweep {
                 algorithm: unit.algorithm,
@@ -424,10 +450,15 @@ pub fn execute_unit_on(planned: &PlannedUnit, route: Route) -> Result<UnitRecord
                 horizon: unit.horizon,
                 replicas: unit.replicas,
                 seed: unit.seed,
+                scheduler: match unit.scheduler {
+                    UnitScheduler::Sync => SchedulerChoice::Fsync,
+                    UnitScheduler::Ssync => SchedulerChoice::SsyncRoundRobin,
+                    UnitScheduler::Async => unreachable!("eligibility checked above"),
+                },
             };
             // Thread-level sharding lives at the campaign layer (units in
             // parallel), so the sweep itself stays single-threaded.
-            sweep.first_covers(1)?
+            sweep.first_covers_at(arity, 1)?
         }
         (Route::Serial, UnitDynamics::Bernoulli { p }) => {
             bernoulli_serial_first_covers(unit, p, &placements)?
@@ -436,7 +467,7 @@ pub fn execute_unit_on(planned: &PlannedUnit, route: Route) -> Result<UnitRecord
             static_serial_first_covers(unit, &placements)?
         }
         (Route::Serial, _) => scenario_first_covers(unit, &placements)?,
-        (Route::Batch, _) => unreachable!("eligibility checked above"),
+        (Route::Batch(_), _) => unreachable!("eligibility checked above"),
     };
     Ok(UnitRecord {
         hash: planned.hash.clone(),
@@ -469,13 +500,20 @@ mod tests {
     }
 
     #[test]
-    fn routing_is_bernoulli_times_sync_exactly() {
+    fn routing_is_bernoulli_times_lane_uniform_schedulers_exactly() {
         // The unit-level routing-decision pin of the acceptance criteria:
-        // batch iff (pure Bernoulli, FSYNC); every other combination is
-        // serial.
+        // batch iff (pure Bernoulli, FSYNC or SSYNC); every other
+        // combination is serial. The 70-replica test units pad to two
+        // 64-lane groups or one 128-lane group — the tie goes wide.
         let b = UnitDynamics::Bernoulli { p: 0.5 };
-        assert_eq!(route_unit(&unit(b, UnitScheduler::Sync).unit), Route::Batch);
-        assert_eq!(route_unit(&unit(b, UnitScheduler::Ssync).unit), Route::Serial);
+        assert_eq!(
+            route_unit(&unit(b, UnitScheduler::Sync).unit),
+            Route::Batch(BatchArity::Lanes128)
+        );
+        assert_eq!(
+            route_unit(&unit(b, UnitScheduler::Ssync).unit),
+            Route::Batch(BatchArity::Lanes128)
+        );
         assert_eq!(route_unit(&unit(b, UnitScheduler::Async).unit), Route::Serial);
         for dynamics in [
             UnitDynamics::Static,
@@ -495,25 +533,60 @@ mod tests {
                 dynamics.name()
             );
         }
-        // And the executed record names its route.
+        // And the executed record names its route — arity-free, so the
+        // stored bytes of batch-eligible units never depend on the lane
+        // width the engine happened to pick.
         let record = execute_unit(&unit(b, UnitScheduler::Sync)).expect("runs");
         assert_eq!(record.route, "batch");
         let record = execute_unit(&unit(UnitDynamics::Static, UnitScheduler::Sync))
             .expect("runs");
         assert_eq!(record.route, "serial");
+        // The arity accessor: observable on the route, absent serially.
+        assert_eq!(
+            route_unit(&unit(b, UnitScheduler::Sync).unit).arity(),
+            Some(BatchArity::Lanes128)
+        );
+        assert_eq!(Route::Serial.arity(), None);
     }
 
     #[test]
     fn batch_route_equals_forced_serial_bit_for_bit() {
-        // 70 replicas: one full batch plus a partial one, so the ghost-
-        // lane masking is exercised on the batch side while the serial
-        // side never builds lane 6+ of batch 1.
+        // 70 replicas: ragged at every arity (one full 64-lane group plus
+        // a partial one, or one padded wide group), so the ghost-lane
+        // masking is exercised on the batch side while the serial side
+        // never builds the padding lanes. Pinned at all three arities.
         let planned = unit(UnitDynamics::Bernoulli { p: 0.5 }, UnitScheduler::Sync);
-        let batch = execute_unit_on(&planned, Route::Batch).expect("batch runs");
         let serial = execute_unit_on(&planned, Route::Serial).expect("serial runs");
-        assert_eq!(batch.result, serial.result);
-        assert_eq!(batch.result.replicas, 70);
-        assert!(batch.result.covered > 0, "{:?}", batch.result);
+        for arity in BatchArity::ALL {
+            let batch =
+                execute_unit_on(&planned, Route::Batch(arity)).expect("batch runs");
+            assert_eq!(batch.result, serial.result, "arity={}", arity.name());
+            assert_eq!(batch.result.replicas, 70);
+            assert!(batch.result.covered > 0, "{:?}", batch.result);
+        }
+    }
+
+    #[test]
+    fn ssync_batch_route_equals_forced_serial_bit_for_bit() {
+        // The widened route of this change: a pure-Bernoulli SSYNC unit
+        // runs on the batch engine via round-robin activation words, and
+        // its stored record must be byte-identical to the forced-serial
+        // run (which plays `RoundRobinSingle` on the serial engine) — at
+        // every arity, including the natural route.
+        let planned = unit(UnitDynamics::Bernoulli { p: 0.7 }, UnitScheduler::Ssync);
+        let serial = execute_unit_on(&planned, Route::Serial).expect("serial runs");
+        assert_eq!(serial.route, "serial");
+        for arity in BatchArity::ALL {
+            let batch =
+                execute_unit_on(&planned, Route::Batch(arity)).expect("batch runs");
+            assert_eq!(batch.result, serial.result, "arity={}", arity.name());
+        }
+        let natural = execute_unit(&planned).expect("runs");
+        assert_eq!(natural.route, "batch");
+        assert_eq!(natural.result, serial.result);
+        let json_batch = serde_json::to_string(&natural.result).expect("serialize");
+        let json_serial = serde_json::to_string(&serial.result).expect("serialize");
+        assert_eq!(json_batch, json_serial, "stored measurement bytes drifted");
     }
 
     #[test]
@@ -539,7 +612,8 @@ mod tests {
             replicas: 66,
         };
         let planned = PlannedUnit { index: 0, hash: work.content_hash(), unit: work };
-        let batch = execute_unit_on(&planned, Route::Batch).expect("batch runs");
+        let batch = execute_unit_on(&planned, route_unit(&planned.unit)).expect("batch runs");
+        assert_eq!(batch.route, "batch");
         let serial = execute_unit_on(&planned, Route::Serial).expect("serial runs");
         assert_eq!(batch.result, serial.result);
         assert!(batch.result.covered > 0, "{:?}", batch.result);
@@ -548,10 +622,12 @@ mod tests {
     #[test]
     fn forcing_batch_onto_ineligible_units_errors() {
         let planned = unit(UnitDynamics::Static, UnitScheduler::Sync);
-        assert!(matches!(
-            execute_unit_on(&planned, Route::Batch),
-            Err(CampaignError::InvalidSpec(_))
-        ));
+        for arity in BatchArity::ALL {
+            assert!(matches!(
+                execute_unit_on(&planned, Route::Batch(arity)),
+                Err(CampaignError::InvalidSpec(_))
+            ));
+        }
     }
 
     #[test]
@@ -564,7 +640,7 @@ mod tests {
         let asynch =
             execute_unit(&unit(UnitDynamics::Bernoulli { p: 0.9 }, UnitScheduler::Async))
                 .expect("runs");
-        assert_eq!(ssync.route, "serial");
+        assert_eq!(ssync.route, "batch");
         assert_eq!(asynch.route, "serial");
         assert!(sync.result.covered > 0);
         assert!(ssync.result.covered > 0);

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
+use dynring_engine::{Algorithm, BatchAlgorithm, LaneWord, LocalDir, View, ViewWords};
 
 /// Rule 1 alone: never change direction.
 ///
@@ -41,18 +41,27 @@ impl Algorithm for KeepDirection {
     }
 }
 
-/// 64-replica circuit: the identity.
-impl BatchAlgorithm for KeepDirection {
+/// Lane-word circuit at any arity: the identity.
+impl<W: LaneWord> BatchAlgorithm<W> for KeepDirection {
     type BatchState = ();
 
     fn initial_batch_state(&self) {}
 
-    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+    fn compute_word(&self, _state: &mut (), view: &ViewWords<W>) -> W {
+        view.dir
+    }
+
+    fn compute_word_masked(&self, _state: &mut (), view: &ViewWords<W>, _act: W) -> W {
+        // Stateless identity: inactive lanes keep their bit by definition.
         view.dir
     }
 
     fn lane_state(&self, _state: &(), lane: u32) {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
     }
 }
 
@@ -83,18 +92,28 @@ impl Algorithm for BounceOnMissingEdge {
     }
 }
 
-/// 64-replica circuit: flip exactly where the ahead edge is missing.
-impl BatchAlgorithm for BounceOnMissingEdge {
+/// Lane-word circuit at any arity: flip exactly where the ahead edge is
+/// missing.
+impl<W: LaneWord> BatchAlgorithm<W> for BounceOnMissingEdge {
     type BatchState = ();
 
     fn initial_batch_state(&self) {}
 
-    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+    fn compute_word(&self, _state: &mut (), view: &ViewWords<W>) -> W {
         view.dir ^ !view.exists_edge_ahead()
     }
 
+    fn compute_word_masked(&self, state: &mut (), view: &ViewWords<W>, act: W) -> W {
+        let d = self.compute_word(state, view);
+        (act & d) | (!act & view.dir)
+    }
+
     fn lane_state(&self, _state: &(), lane: u32) {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
     }
 }
 
@@ -126,18 +145,27 @@ impl Algorithm for AlwaysTurnOnTower {
     }
 }
 
-/// 64-replica circuit: flip exactly in the tower lanes.
-impl BatchAlgorithm for AlwaysTurnOnTower {
+/// Lane-word circuit at any arity: flip exactly in the tower lanes.
+impl<W: LaneWord> BatchAlgorithm<W> for AlwaysTurnOnTower {
     type BatchState = ();
 
     fn initial_batch_state(&self) {}
 
-    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+    fn compute_word(&self, _state: &mut (), view: &ViewWords<W>) -> W {
         view.dir ^ view.others
     }
 
+    fn compute_word_masked(&self, state: &mut (), view: &ViewWords<W>, act: W) -> W {
+        let d = self.compute_word(state, view);
+        (act & d) | (!act & view.dir)
+    }
+
     fn lane_state(&self, _state: &(), lane: u32) {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
     }
 }
 
@@ -159,18 +187,26 @@ impl Algorithm for AlternateDirection {
     }
 }
 
-/// 64-replica circuit: complement.
-impl BatchAlgorithm for AlternateDirection {
+/// Lane-word circuit at any arity: complement.
+impl<W: LaneWord> BatchAlgorithm<W> for AlternateDirection {
     type BatchState = ();
 
     fn initial_batch_state(&self) {}
 
-    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+    fn compute_word(&self, _state: &mut (), view: &ViewWords<W>) -> W {
         !view.dir
     }
 
+    fn compute_word_masked(&self, _state: &mut (), view: &ViewWords<W>, act: W) -> W {
+        view.dir ^ act
+    }
+
     fn lane_state(&self, _state: &(), lane: u32) {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
     }
 }
 
@@ -218,29 +254,32 @@ impl Algorithm for RandomDirection {
     }
 }
 
-/// 64-replica form: the direction stream ignores the view, and under
-/// FSYNC every lane computes every round, so the per-lane counters are
-/// always equal — one shared counter and one hash serve all 64 lanes
-/// (the chosen direction is broadcast).
-impl BatchAlgorithm for RandomDirection {
+/// Lane-word form at any arity: the direction stream ignores the view,
+/// and when every lane computes together the per-lane counters stay
+/// equal — one shared counter and one hash serve all `W::LANES` lanes
+/// (the chosen direction is broadcast). Lane-uniform activation keeps
+/// this invariant (all-active rounds bump the counter once, all-inactive
+/// rounds leave it alone); lane-mixed activation would desynchronize the
+/// counters, so the masked default's panic is the correct behaviour.
+impl<W: LaneWord> BatchAlgorithm<W> for RandomDirection {
     type BatchState = u64;
 
     fn initial_batch_state(&self) -> u64 {
         0
     }
 
-    fn compute_word(&self, round: &mut u64, _view: &ViewWords) -> u64 {
+    fn compute_word(&self, round: &mut u64, _view: &ViewWords<W>) -> W {
         let h = mix64(self.seed ^ *round);
         *round += 1;
-        if h & 1 == 0 {
-            0
-        } else {
-            u64::MAX
-        }
+        W::splat(h & 1 == 1)
     }
 
     fn lane_state(&self, round: &u64, lane: u32) -> u64 {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
         *round
     }
 }

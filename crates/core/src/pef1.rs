@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
+use dynring_engine::{Algorithm, BatchAlgorithm, LaneWord, LocalDir, View, ViewWords};
 
 /// `PEF_1` (§5.2): one fully synchronous robot on a 2-node
 /// connected-over-time ring.
@@ -48,20 +48,29 @@ impl Algorithm for Pef1 {
     }
 }
 
-/// The branch-free 64-replica circuit: turn exactly in the lanes where
-/// the ahead edge is missing but the behind edge is present —
+/// The branch-free lane-word circuit at any arity: turn exactly in the
+/// lanes where the ahead edge is missing but the behind edge is present —
 /// `dir ← dir ⊕ (¬ahead ∧ behind)`.
-impl BatchAlgorithm for Pef1 {
+impl<W: LaneWord> BatchAlgorithm<W> for Pef1 {
     type BatchState = ();
 
     fn initial_batch_state(&self) {}
 
-    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+    fn compute_word(&self, _state: &mut (), view: &ViewWords<W>) -> W {
         view.dir ^ (!view.exists_edge_ahead() & view.exists_edge_behind())
     }
 
+    fn compute_word_masked(&self, state: &mut (), view: &ViewWords<W>, act: W) -> W {
+        let d = self.compute_word(state, view);
+        (act & d) | (!act & view.dir)
+    }
+
     fn lane_state(&self, _state: &(), lane: u32) {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
     }
 }
 

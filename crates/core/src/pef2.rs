@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
+use dynring_engine::{Algorithm, BatchAlgorithm, LaneWord, LocalDir, View, ViewWords};
 
 /// `PEF_2` (§4.2): two fully synchronous robots on a 3-node
 /// connected-over-time ring.
@@ -51,23 +51,32 @@ impl Algorithm for Pef2 {
     }
 }
 
-/// The branch-free 64-replica circuit: the retarget mask selects lanes
-/// that are isolated with exactly one present edge (`¬others ∧
-/// (left ⊕ right)`); in those lanes the new direction *is* the
-/// right-presence bit (right present ⇒ `Right`, else the single edge is
-/// left ⇒ `Left`), everywhere else the direction is kept.
-impl BatchAlgorithm for Pef2 {
+/// The branch-free lane-word circuit at any arity: the retarget mask
+/// selects lanes that are isolated with exactly one present edge
+/// (`¬others ∧ (left ⊕ right)`); in those lanes the new direction *is*
+/// the right-presence bit (right present ⇒ `Right`, else the single edge
+/// is left ⇒ `Left`), everywhere else the direction is kept.
+impl<W: LaneWord> BatchAlgorithm<W> for Pef2 {
     type BatchState = ();
 
     fn initial_batch_state(&self) {}
 
-    fn compute_word(&self, _state: &mut (), view: &ViewWords) -> u64 {
+    fn compute_word(&self, _state: &mut (), view: &ViewWords<W>) -> W {
         let retarget = !view.others & (view.edge_left ^ view.edge_right);
         (view.dir & !retarget) | (view.edge_right & retarget)
     }
 
+    fn compute_word_masked(&self, state: &mut (), view: &ViewWords<W>, act: W) -> W {
+        let d = self.compute_word(state, view);
+        (act & d) | (!act & view.dir)
+    }
+
     fn lane_state(&self, _state: &(), lane: u32) {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
     }
 }
 

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dynring_engine::{Algorithm, BatchAlgorithm, LocalDir, View, ViewWords};
+use dynring_engine::{Algorithm, BatchAlgorithm, LaneWord, LocalDir, View, ViewWords};
 
 /// Persistent state of a `PEF_3+` robot: the single boolean
 /// `HasMovedPreviousStep`.
@@ -81,28 +81,41 @@ impl Algorithm for Pef3Plus {
     }
 }
 
-/// The branch-free 64-replica circuit: `HasMovedPreviousStep` is stored
-/// bit-sliced as one word, and the three rules become three word ops —
-/// `flip = moved ∧ others`, `dir ← dir ⊕ flip`,
+/// The branch-free lane-word circuit at any arity: `HasMovedPreviousStep`
+/// is stored bit-sliced as one lane word, and the three rules become
+/// three word ops — `flip = moved ∧ others`, `dir ← dir ⊕ flip`,
 /// `moved ← ExistsEdge(dir)` (the ahead-select on the *new* direction).
-impl BatchAlgorithm for Pef3Plus {
-    type BatchState = u64;
+impl<W: LaneWord> BatchAlgorithm<W> for Pef3Plus {
+    type BatchState = W;
 
-    fn initial_batch_state(&self) -> u64 {
-        0
+    fn initial_batch_state(&self) -> W {
+        W::ZERO
     }
 
-    fn compute_word(&self, state: &mut u64, view: &ViewWords) -> u64 {
+    fn compute_word(&self, state: &mut W, view: &ViewWords<W>) -> W {
         let flip = *state & view.others;
         let dir = view.dir ^ flip;
         *state = (dir & view.edge_right) | (!dir & view.edge_left);
         dir
     }
 
-    fn lane_state(&self, state: &u64, lane: u32) -> Pef3State {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+    fn compute_word_masked(&self, state: &mut W, view: &ViewWords<W>, act: W) -> W {
+        // Run the circuit everywhere, then restore the inactive lanes:
+        // their direction and `HasMovedPreviousStep` bit must persist.
+        let old = *state;
+        let dir = self.compute_word(state, view);
+        *state = (act & *state) | (!act & old);
+        (act & dir) | (!act & view.dir)
+    }
+
+    fn lane_state(&self, state: &W, lane: u32) -> Pef3State {
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
         Pef3State {
-            has_moved_previous_step: (state >> lane) & 1 == 1,
+            has_moved_previous_step: state.get(lane as usize),
         }
     }
 }

@@ -1,12 +1,15 @@
-//! Lane-vs-serial equivalence of the 64-replica lockstep engine, across
-//! the whole algorithm portfolio.
+//! Lane-vs-serial equivalence of the lockstep engine at every arity,
+//! across the whole algorithm portfolio.
 //!
-//! The contract: lane `i` of a [`BatchSimulator`] driven by
-//! [`BernoulliReplicas`] is **bit-for-bit** the serial [`Simulator`] run
-//! against the lane's derived scalar schedule
-//! ([`BernoulliReplicas::lane`]) — positions, directions, moved flags,
-//! algorithm states and first-cover rounds. The same holds for
-//! [`UniformBatch`] against the shared schedule played serially.
+//! The contract: lane `l` of a [`BatchSimulator`] driven by
+//! [`BernoulliReplicas`] (or, at the wide arities, a
+//! [`BernoulliReplicaBank`]) is **bit-for-bit** the serial [`Simulator`]
+//! run against the lane's derived scalar schedule
+//! ([`BernoulliReplicas::lane`] / [`BernoulliReplicaBank::lane`]) —
+//! positions, directions, moved flags, algorithm states and first-cover
+//! rounds. The same holds for [`UniformBatch`] against the shared
+//! schedule played serially, and under SSYNC activation policies
+//! installed on both engines.
 
 use proptest::prelude::*;
 
@@ -15,10 +18,10 @@ use dynring_core::baselines::{
 };
 use dynring_core::{Pef1, Pef2, Pef3Plus};
 use dynring_engine::{
-    BatchAlgorithm, BatchCoverage, BatchSimulator, Chirality, Oblivious, PerLane, RobotId,
-    RobotPlacement, Simulator, UniformBatch, LANES,
+    BatchAlgorithm, BatchCoverage, BatchSimulator, Chirality, LaneWord, Lanes128, Lanes256,
+    Oblivious, PerLane, RobotId, RobotPlacement, RoundRobinSingle, Simulator, UniformBatch, LANES,
 };
-use dynring_graph::{BernoulliReplicas, EdgeSchedule, NodeId, RingTopology, Time};
+use dynring_graph::{BernoulliReplicaBank, BernoulliReplicas, EdgeSchedule, NodeId, RingTopology, Time};
 
 fn spread(n: usize, k: usize) -> Vec<RobotPlacement> {
     (0..k)
@@ -272,6 +275,135 @@ proptest! {
     }
 }
 
+/// The wide-arity form of [`check_bernoulli_equivalence`]: a
+/// [`BernoulliReplicaBank`] drives a `W`-lane batch, and every compared
+/// lane must match the serial run of that lane's derived scalar schedule
+/// — optionally with [`RoundRobinSingle`] SSYNC activation installed on
+/// both engines.
+fn check_bank_equivalence<A, W>(
+    algorithm: A,
+    n: usize,
+    k: usize,
+    p: f64,
+    seed: u64,
+    horizon: u64,
+    ssync: bool,
+) -> Result<(), TestCaseError>
+where
+    A: BatchAlgorithm<W> + Clone,
+    W: LaneWord,
+{
+    let ring = RingTopology::new(n).expect("valid ring");
+    let seeds: Vec<u64> = (0..W::WORDS as u64).map(|w| seed.wrapping_add(w)).collect();
+    let bank = BernoulliReplicaBank::new(ring.clone(), p, &seeds).expect("valid p");
+    let placements = spread(n, k);
+    let mut batch = BatchSimulator::<_, _, W>::new(
+        ring.clone(),
+        algorithm.clone(),
+        bank.clone(),
+        placements.clone(),
+    )
+    .expect("valid setup");
+    if ssync {
+        batch.set_activation(RoundRobinSingle);
+    }
+    // Plane boundaries plus an interior lane per plane.
+    let lanes: Vec<u32> = (0..W::WORDS as u32)
+        .flat_map(|w| [w * 64, w * 64 + 29, w * 64 + 63])
+        .collect();
+    let mut serials: Vec<_> = lanes
+        .iter()
+        .map(|&lane| {
+            let mut sim = Simulator::new(
+                ring.clone(),
+                algorithm.clone(),
+                Oblivious::new(bank.lane(lane)),
+                placements.clone(),
+            )
+            .expect("valid setup");
+            if ssync {
+                sim.set_activation(RoundRobinSingle);
+            }
+            sim
+        })
+        .collect();
+    for t in 1..=horizon {
+        batch.step();
+        for (&lane, serial) in lanes.iter().zip(serials.iter_mut()) {
+            serial.step_quiet();
+            prop_assert_eq!(
+                batch.lane_snapshots(lane),
+                serial.snapshots(),
+                "{} ({} lanes{}) n={} k={} p={} t={} lane {}: snapshots",
+                algorithm.name(),
+                W::LANES,
+                if ssync { ", ssync" } else { "" },
+                n,
+                k,
+                p,
+                t,
+                lane
+            );
+            for robot in 0..k {
+                prop_assert_eq!(
+                    &batch.lane_state(RobotId::new(robot), lane),
+                    serial.state_of(RobotId::new(robot)),
+                    "{} ({} lanes{}) n={} k={} p={} t={} lane {} robot {}: state",
+                    algorithm.name(),
+                    W::LANES,
+                    if ssync { ", ssync" } else { "" },
+                    n,
+                    k,
+                    p,
+                    t,
+                    lane,
+                    robot
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The arity generalization of the core contract: at 64, 128 and 256
+    /// lanes, every lane of a bank-driven batch matches its derived
+    /// serial run — native circuit (bit-sliced state) and scalar
+    /// fallback alike.
+    #[test]
+    fn wide_circuit_lanes_match_serial(
+        n in 5usize..10,
+        k in 3usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n);
+        check_bank_equivalence::<_, u64>(Pef3Plus::new(), n, k, 0.5, seed, 50, false)?;
+        check_bank_equivalence::<_, Lanes128>(Pef3Plus::new(), n, k, 0.5, seed, 50, false)?;
+        check_bank_equivalence::<_, Lanes256>(Pef3Plus::new(), n, k, 0.5, seed, 50, false)?;
+        check_bank_equivalence::<_, Lanes256>(BounceOnMissingEdge, n, k, 0.4, seed, 50, false)?;
+        check_bank_equivalence::<_, Lanes128>(PerLane(Pef3Plus::new()), n, k, 0.5, seed, 40, false)?;
+    }
+
+    /// The SSYNC widening: under `RoundRobinSingle` activation words the
+    /// batch engine still reproduces every lane's serial SSYNC run — at
+    /// every arity, for stateful circuits and the fallback.
+    #[test]
+    fn ssync_batch_lanes_match_serial(
+        n in 5usize..10,
+        k in 3usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n);
+        check_bank_equivalence::<_, u64>(Pef3Plus::new(), n, k, 0.5, seed, 60, true)?;
+        check_bank_equivalence::<_, Lanes128>(Pef3Plus::new(), n, k, 0.5, seed, 60, true)?;
+        check_bank_equivalence::<_, Lanes256>(Pef3Plus::new(), n, k, 0.5, seed, 60, true)?;
+        check_bank_equivalence::<_, Lanes256>(AlwaysTurnOnTower, n, k, 0.6, seed, 60, true)?;
+        check_bank_equivalence::<_, u64>(PerLane(Pef3Plus::new()), n, k, 0.5, seed, 40, true)?;
+    }
+}
+
 #[test]
 fn circuit_and_fallback_agree_lane_for_lane() {
     // The two BatchAlgorithm implementations of PEF_3+ (native circuit vs
@@ -312,7 +444,7 @@ fn uniform_batch_plays_the_shared_schedule_in_every_lane() {
     schedule.remove_during(dynring_graph::EdgeId::new(2), 3, 9);
     schedule.remove_from(dynring_graph::EdgeId::new(6), 15);
     let placements = spread(8, 3);
-    let mut batch = BatchSimulator::new(
+    let mut batch = BatchSimulator::<_, _, u64>::new(
         ring.clone(),
         Pef3Plus::new(),
         UniformBatch::new(schedule.clone()),

@@ -248,7 +248,7 @@ fn baseline_circuits_match_scalar_over_all_views() {
 fn random_direction_batch_broadcasts_the_scalar_stream() {
     let alg = RandomDirection::new(0xD1CE);
     let (_views, words) = all_view_words();
-    let mut word_state = alg.initial_batch_state();
+    let mut word_state = BatchAlgorithm::<u64>::initial_batch_state(&alg);
     let mut scalar_state = alg.initial_state();
     for round in 0..32 {
         let dir_word = alg.compute_word(&mut word_state, &words);
@@ -264,7 +264,11 @@ fn random_direction_batch_broadcasts_the_scalar_stream() {
             expected,
             "round {round}"
         );
-        assert_eq!(alg.lane_state(&word_state, 17), scalar_state, "round {round}");
+        assert_eq!(
+            BatchAlgorithm::<u64>::lane_state(&alg, &word_state, 17),
+            scalar_state,
+            "round {round}"
+        );
     }
 }
 

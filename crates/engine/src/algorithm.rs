@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use dynring_graph::LaneWord;
+
 use crate::{LocalDir, View, ViewWords};
 
 /// A deterministic robot algorithm, executed identically by every robot
@@ -54,58 +56,83 @@ impl<A: Algorithm> Algorithm for &A {
     }
 }
 
-/// The 64-lane form of an [`Algorithm`], for the lockstep batch engine
+/// The lane-word form of an [`Algorithm`], for the lockstep batch engine
 /// ([`crate::BatchSimulator`]): one Compute call advances the same robot
-/// in 64 independent replicas at once.
+/// in `W::LANES` independent replicas at once. The arity `W`
+/// ([`LaneWord`]) defaults to `u64`, so `A: BatchAlgorithm` keeps meaning
+/// the original 64-lane form.
 ///
 /// The contract mirrors the scalar one lane by lane: for every lane `l`,
 /// [`BatchAlgorithm::compute_word`] must behave exactly as
 /// [`Algorithm::compute`] on the scalar view [`ViewWords::lane`]`(l)` and
 /// the scalar state [`BatchAlgorithm::lane_state`]`(l)` — same returned
-/// direction (bit `l` of the result, [`ViewWords::dir_bit`] encoding),
+/// direction (lane `l` of the result, [`ViewWords::dir_bit`] encoding),
 /// same state update. The batch engine's lane-vs-serial equivalence
 /// proptests pin this for every implementation.
 ///
 /// Implementations fall in two camps:
 ///
 /// - **boolean circuits** over the view words (the portfolio algorithms:
-///   `PEF_1`/`PEF_2`/`PEF_3+` and the baselines) — branch-free, 64
-///   replicas per word operation, with the per-robot state itself stored
-///   bit-sliced (e.g. `PEF_3+`'s `HasMovedPreviousStep` is one `u64`);
-/// - **the scalar fallback** [`PerLane`], which keeps 64 scalar states
-///   and loops [`Algorithm::compute`] over the lanes — every algorithm
-///   works in the batch engine from day one, just without the word-level
-///   speedup.
-pub trait BatchAlgorithm: Algorithm {
-    /// One robot's persistent memory across all 64 lanes (bit-sliced for
-    /// circuit implementations, `Vec<State>` for the scalar fallback).
+///   `PEF_1`/`PEF_2`/`PEF_3+` and the baselines) — branch-free,
+///   `W::LANES` replicas per word operation, with the per-robot state
+///   itself stored bit-sliced (e.g. `PEF_3+`'s `HasMovedPreviousStep` is
+///   one lane word);
+/// - **the scalar fallback** [`PerLane`], which keeps one scalar state
+///   per lane and loops [`Algorithm::compute`] over the lanes — every
+///   algorithm works in the batch engine from day one, just without the
+///   word-level speedup.
+pub trait BatchAlgorithm<W: LaneWord = u64>: Algorithm {
+    /// One robot's persistent memory across all `W::LANES` lanes
+    /// (bit-sliced for circuit implementations, `Vec<State>` for the
+    /// scalar fallback).
     type BatchState: Clone + fmt::Debug;
 
     /// The batch state with every lane at [`Algorithm::initial_state`].
     fn initial_batch_state(&self) -> Self::BatchState;
 
-    /// The Compute phase for all 64 lanes of one robot: observe `view`,
-    /// update `state`, return the new direction word (bit `l` set ⇔ lane
-    /// `l` now points `Right`).
-    fn compute_word(&self, state: &mut Self::BatchState, view: &ViewWords) -> u64;
+    /// The Compute phase for all `W::LANES` lanes of one robot: observe
+    /// `view`, update `state`, return the new direction word (lane `l`
+    /// set ⇔ lane `l` now points `Right`).
+    fn compute_word(&self, state: &mut Self::BatchState, view: &ViewWords<W>) -> W;
+
+    /// The SSYNC form of [`BatchAlgorithm::compute_word`]: only lanes set
+    /// in `act` run Compute; every other lane must keep its direction
+    /// (return `view.dir`'s bit) *and* its state untouched.
+    ///
+    /// The default handles the lane-uniform words the built-in activation
+    /// policies produce (all-ones → full compute, all-zeros → nothing)
+    /// and panics on a lane-mixed word; circuit implementations override
+    /// it with a masked merge so arbitrary per-lane activation words work.
+    fn compute_word_masked(&self, state: &mut Self::BatchState, view: &ViewWords<W>, act: W) -> W {
+        if act == W::ONES {
+            self.compute_word(state, view)
+        } else if act == W::ZERO {
+            view.dir
+        } else {
+            panic!(
+                "{}: no masked batch circuit for lane-mixed activation",
+                self.name()
+            )
+        }
+    }
 
     /// The scalar state of lane `lane` (observer-side: equivalence tests
     /// and Monte Carlo inspection).
     ///
     /// # Panics
     ///
-    /// Implementations may panic when `lane ≥ 64`.
+    /// Implementations may panic when `lane ≥ W::LANES`.
     fn lane_state(&self, state: &Self::BatchState, lane: u32) -> Self::State;
 }
 
 /// The lane-by-lane scalar fallback: runs any [`Algorithm`] in the batch
-/// engine by keeping 64 per-lane states and calling [`Algorithm::compute`]
-/// once per lane.
+/// engine by keeping one scalar state per lane and calling
+/// [`Algorithm::compute`] once per lane.
 ///
 /// No word-level speedup — the point is universality: an algorithm
 /// without a boolean-circuit [`BatchAlgorithm`] implementation still gets
 /// the batch engine's shared Look phase (one slice ladder per edge for
-/// all 64 replicas) and its SoA bookkeeping.
+/// all lanes of a plane) and its SoA bookkeeping, at any arity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PerLane<A>(pub A);
 
@@ -125,19 +152,31 @@ impl<A: Algorithm> Algorithm for PerLane<A> {
     }
 }
 
-impl<A: Algorithm> BatchAlgorithm for PerLane<A> {
+impl<A: Algorithm, W: LaneWord> BatchAlgorithm<W> for PerLane<A> {
     type BatchState = Vec<A::State>;
 
     fn initial_batch_state(&self) -> Self::BatchState {
-        (0..64).map(|_| self.0.initial_state()).collect()
+        (0..W::LANES).map(|_| self.0.initial_state()).collect()
     }
 
-    fn compute_word(&self, state: &mut Self::BatchState, view: &ViewWords) -> u64 {
-        debug_assert_eq!(state.len(), 64, "one scalar state per lane");
-        let mut dir = 0u64;
+    fn compute_word(&self, state: &mut Self::BatchState, view: &ViewWords<W>) -> W {
+        debug_assert_eq!(state.len(), W::LANES, "one scalar state per lane");
+        let mut dir = W::ZERO;
         for (lane, slot) in state.iter_mut().enumerate() {
             let scalar = view.lane(lane as u32);
-            dir |= ViewWords::dir_bit(self.0.compute(slot, &scalar)) << lane;
+            dir.set(lane, ViewWords::dir_bit(self.0.compute(slot, &scalar)) == 1);
+        }
+        dir
+    }
+
+    fn compute_word_masked(&self, state: &mut Self::BatchState, view: &ViewWords<W>, act: W) -> W {
+        debug_assert_eq!(state.len(), W::LANES, "one scalar state per lane");
+        let mut dir = view.dir;
+        for (lane, slot) in state.iter_mut().enumerate() {
+            if act.get(lane) {
+                let scalar = view.lane(lane as u32);
+                dir.set(lane, ViewWords::dir_bit(self.0.compute(slot, &scalar)) == 1);
+            }
         }
         dir
     }
@@ -190,7 +229,7 @@ mod tests {
     #[test]
     fn per_lane_fallback_matches_scalar_compute_in_every_lane() {
         let batch = PerLane(Bouncer);
-        let mut batch_state = batch.initial_batch_state();
+        let mut batch_state = BatchAlgorithm::<u64>::initial_batch_state(&batch);
         // A different view per lane: cycle the 16 observable combinations.
         let views: Vec<View> = (0..16u32)
             .map(|bits| {
@@ -202,10 +241,10 @@ mod tests {
                 )
             })
             .collect();
-        let words = ViewWords::from_lanes(&views);
+        let words: ViewWords = ViewWords::from_lanes(&views);
         let mut scalar_states: Vec<u32> = (0..64).map(|_| Bouncer.initial_state()).collect();
         for round in 0..5 {
-            let dir_word = batch.compute_word(&mut batch_state, &words);
+            let dir_word = BatchAlgorithm::<u64>::compute_word(&batch, &mut batch_state, &words);
             for lane in 0..64u32 {
                 let view = words.lane(lane);
                 let expected = Bouncer.compute(&mut scalar_states[lane as usize], &view);
@@ -215,10 +254,79 @@ mod tests {
                     "round {round} lane {lane}"
                 );
                 assert_eq!(
-                    batch.lane_state(&batch_state, lane),
+                    BatchAlgorithm::<u64>::lane_state(&batch, &batch_state, lane),
                     scalar_states[lane as usize],
                     "round {round} lane {lane} state"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn per_lane_fallback_runs_at_every_arity() {
+        use dynring_graph::{LaneWord, Lanes128, Lanes256};
+
+        fn check<W: LaneWord>() {
+            let batch = PerLane(Bouncer);
+            let mut batch_state: Vec<u32> = BatchAlgorithm::<W>::initial_batch_state(&batch);
+            assert_eq!(batch_state.len(), W::LANES);
+            let views: Vec<View> = (0..16u32)
+                .map(|bits| {
+                    View::new(
+                        ViewWords::dir_from_bit(bits & 1 == 1),
+                        bits & 2 != 0,
+                        bits & 4 != 0,
+                        bits & 8 != 0,
+                    )
+                })
+                .collect();
+            let words: ViewWords<W> = ViewWords::from_lanes(&views);
+            let mut scalar_states: Vec<u32> =
+                (0..W::LANES).map(|_| Bouncer.initial_state()).collect();
+            let dir_word = batch.compute_word(&mut batch_state, &words);
+            for (lane, state) in scalar_states.iter_mut().enumerate() {
+                let view = words.lane(lane as u32);
+                let expected = Bouncer.compute(state, &view);
+                assert_eq!(
+                    ViewWords::dir_from_bit(dir_word.get(lane)),
+                    expected,
+                    "lane {lane}"
+                );
+            }
+        }
+        check::<u64>();
+        check::<Lanes128>();
+        check::<Lanes256>();
+    }
+
+    #[test]
+    fn per_lane_masked_compute_freezes_inactive_lanes() {
+        use dynring_graph::LaneWord;
+
+        let batch = PerLane(Bouncer);
+        let mut batch_state: Vec<u32> = BatchAlgorithm::<u64>::initial_batch_state(&batch);
+        let views: Vec<View> = (0..16u32)
+            .map(|bits| {
+                View::new(
+                    ViewWords::dir_from_bit(bits & 1 == 1),
+                    bits & 2 != 0,
+                    bits & 4 != 0,
+                    bits & 8 != 0,
+                )
+            })
+            .collect();
+        let words: ViewWords = ViewWords::from_lanes(&views);
+        // Activate odd lanes only.
+        let act = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let dir_word = batch.compute_word_masked(&mut batch_state, &words, act);
+        for (lane, &state) in batch_state.iter().enumerate() {
+            if act.get(lane) {
+                // Active lanes computed once (Bouncer counts calls).
+                assert_eq!(state, 1, "lane {lane}");
+            } else {
+                // Inactive lanes: untouched state, direction preserved.
+                assert_eq!(state, 0, "lane {lane}");
+                assert_eq!(dir_word.get(lane), words.dir.get(lane), "lane {lane}");
             }
         }
     }

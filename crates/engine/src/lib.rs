@@ -81,6 +81,10 @@ pub use dynamics::{AdaptiveFn, Capturing, Dynamics, EdgeProbe, Oblivious, Observ
 pub use error::EngineError;
 pub use robot::{RobotId, RobotPlacement, RobotSnapshot};
 pub use simulator::Simulator;
-pub use ssync::{ActivationPolicy, EveryKth, FullActivation, RoundRobinSingle};
+pub use ssync::{ActivationPolicy, BatchActivation, EveryKth, FullActivation, RoundRobinSingle};
 pub use trace::{ExecutionTrace, RobotRound, RoundRecord, Tower};
 pub use view::{View, ViewWords};
+
+// The batch engine's arity vocabulary, re-exported so downstream crates can
+// pick a lane width without importing dynring-graph directly.
+pub use dynring_graph::{LaneWord, LaneWords, Lanes128, Lanes256, LANES_PER_WORD};

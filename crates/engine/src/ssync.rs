@@ -8,7 +8,7 @@
 //! the paper restricts itself to FSYNC; `dynring-adversary` replays that
 //! impossibility with these policies.
 
-use dynring_graph::Time;
+use dynring_graph::{LaneWord, Time};
 
 /// Decides which robots are activated each round.
 ///
@@ -132,9 +132,58 @@ impl ActivationPolicy for EveryKth {
     }
 }
 
+/// The word-parallel form of [`ActivationPolicy`] for the batch engine:
+/// one activation bit per robot per lane, structurally identical to the
+/// presence words. Lane `l` of [`BatchActivation::activation_word`] must
+/// equal what [`ActivationPolicy::activate`] returns for the same
+/// `(time, robots, robot)` — the serial-equivalence contract extended to
+/// scheduling.
+///
+/// The built-in deterministic policies ([`FullActivation`],
+/// [`RoundRobinSingle`], [`EveryKth`]) are *lane-uniform*: every lane
+/// activates the same robots, so their words are all-ones or all-zeros
+/// and the engine can skip a fully-inactive robot outright. Lane-mixed
+/// policies are allowed; they route through
+/// [`crate::BatchAlgorithm::compute_word_masked`].
+pub trait BatchActivation<W: LaneWord = u64> {
+    /// The activation word of `robot` at round `time` over `robots`
+    /// robots: lane `l` set ⇔ replica `l` activates this robot.
+    fn activation_word(&mut self, time: Time, robots: usize, robot: usize) -> W;
+
+    /// `true` when every robot activates in every lane every round
+    /// (FSYNC). Mirrors [`ActivationPolicy::is_full`]: the batch engine
+    /// uses it to skip activation words entirely.
+    fn is_full(&self) -> bool {
+        false
+    }
+}
+
+impl<W: LaneWord> BatchActivation<W> for FullActivation {
+    fn activation_word(&mut self, _time: Time, _robots: usize, _robot: usize) -> W {
+        W::ONES
+    }
+
+    fn is_full(&self) -> bool {
+        true
+    }
+}
+
+impl<W: LaneWord> BatchActivation<W> for RoundRobinSingle {
+    fn activation_word(&mut self, time: Time, robots: usize, robot: usize) -> W {
+        W::splat(robots > 0 && (time % robots as Time) as usize == robot)
+    }
+}
+
+impl<W: LaneWord> BatchActivation<W> for EveryKth {
+    fn activation_word(&mut self, time: Time, _robots: usize, robot: usize) -> W {
+        W::splat((robot as Time) % self.k == time % self.k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dynring_graph::{Lanes128, Lanes256};
 
     #[test]
     fn full_activation_activates_everyone() {
@@ -178,5 +227,33 @@ mod tests {
     #[should_panic(expected = "modulus must be at least 1")]
     fn every_kth_rejects_zero() {
         let _ = EveryKth::new(0);
+    }
+
+    fn words_match_scalar<W: LaneWord, P: ActivationPolicy + BatchActivation<W> + Clone>(p: &P) {
+        let mut scalar = p.clone();
+        let mut batch = p.clone();
+        for t in 0..24 {
+            let robots = 1 + (t as usize % 5);
+            let bits = scalar.activate(t, robots);
+            for (robot, &on) in bits.iter().enumerate() {
+                let word = batch.activation_word(t, robots, robot);
+                assert_eq!(
+                    word,
+                    W::splat(on),
+                    "t={t} robots={robots} robot={robot}: built-in policies are lane-uniform"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activation_words_match_the_scalar_policies_at_every_arity() {
+        words_match_scalar::<u64, _>(&FullActivation);
+        words_match_scalar::<u64, _>(&RoundRobinSingle);
+        words_match_scalar::<u64, _>(&EveryKth::new(3));
+        words_match_scalar::<Lanes128, _>(&RoundRobinSingle);
+        words_match_scalar::<Lanes256, _>(&EveryKth::new(2));
+        assert!(BatchActivation::<u64>::is_full(&FullActivation));
+        assert!(!BatchActivation::<Lanes256>::is_full(&RoundRobinSingle));
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dynring_graph::LaneWord;
 use serde::{Deserialize, Serialize};
 
 use crate::LocalDir;
@@ -84,24 +85,27 @@ impl View {
     }
 }
 
-/// The 64-lane word form of [`View`] used by the batch engine: bit `l` of
-/// every word is replica `l`'s observation of the same robot.
+/// The lane-word form of [`View`] used by the batch engine: lane `l` of
+/// every word is replica `l`'s observation of the same robot. The arity
+/// `W` ([`LaneWord`]: `u64`, `Lanes128`, `Lanes256`) fixes the replica
+/// count; the default keeps the original 64-lane form spelled `ViewWords`.
 ///
 /// Direction encoding: a set bit means [`LocalDir::Right`], a clear bit
 /// [`LocalDir::Left`] (see [`ViewWords::dir_bit`]). Boolean observations
 /// (`edge_left`, `edge_right`, `others`) are plain bit-sliced booleans.
 /// With this convention every portfolio algorithm's Compute rule becomes a
-/// short boolean circuit over whole words — 64 replicas per operation.
+/// short boolean circuit over whole words — `W::LANES` replicas per
+/// operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ViewWords {
-    /// Direction word: bit `l` set ⇔ lane `l`'s `dir` is `Right`.
-    pub dir: u64,
+pub struct ViewWords<W: LaneWord = u64> {
+    /// Direction word: lane `l` set ⇔ lane `l`'s `dir` is `Right`.
+    pub dir: W,
     /// `ExistsEdge(left)` word.
-    pub edge_left: u64,
+    pub edge_left: W,
     /// `ExistsEdge(right)` word.
-    pub edge_right: u64,
+    pub edge_right: W,
     /// `ExistsOtherRobotsOnCurrentNode()` word.
-    pub others: u64,
+    pub others: W,
 }
 
 impl ViewWords {
@@ -121,16 +125,18 @@ impl ViewWords {
             LocalDir::Left
         }
     }
+}
 
+impl<W: LaneWord> ViewWords<W> {
     /// `ExistsEdge(dir)` in every lane: the word form of
     /// [`View::exists_edge_ahead`].
-    pub fn exists_edge_ahead(&self) -> u64 {
+    pub fn exists_edge_ahead(&self) -> W {
         (self.dir & self.edge_right) | (!self.dir & self.edge_left)
     }
 
     /// `ExistsEdge(dir̄)` in every lane: the word form of
     /// [`View::exists_edge_behind`].
-    pub fn exists_edge_behind(&self) -> u64 {
+    pub fn exists_edge_behind(&self) -> W {
         (self.dir & self.edge_left) | (!self.dir & self.edge_right)
     }
 
@@ -139,14 +145,19 @@ impl ViewWords {
     ///
     /// # Panics
     ///
-    /// Panics when `lane ≥ 64`.
+    /// Panics when `lane ≥ W::LANES`.
     pub fn lane(&self, lane: u32) -> View {
-        assert!(lane < 64, "lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < W::LANES,
+            "lanes are 0..{}, got {lane}",
+            W::LANES
+        );
+        let l = lane as usize;
         View::new(
-            Self::dir_from_bit((self.dir >> lane) & 1 == 1),
-            (self.edge_left >> lane) & 1 == 1,
-            (self.edge_right >> lane) & 1 == 1,
-            (self.others >> lane) & 1 == 1,
+            ViewWords::dir_from_bit(self.dir.get(l)),
+            self.edge_left.get(l),
+            self.edge_right.get(l),
+            self.others.get(l),
         )
     }
 
@@ -155,21 +166,25 @@ impl ViewWords {
     ///
     /// # Panics
     ///
-    /// Panics when `views` is empty or holds more than 64 entries.
+    /// Panics when `views` is empty or holds more than `W::LANES` entries.
     pub fn from_lanes(views: &[View]) -> Self {
-        assert!(!views.is_empty() && views.len() <= 64, "1..=64 lanes");
+        assert!(
+            !views.is_empty() && views.len() <= W::LANES,
+            "1..={} lanes",
+            W::LANES
+        );
         let mut words = ViewWords {
-            dir: 0,
-            edge_left: 0,
-            edge_right: 0,
-            others: 0,
+            dir: W::ZERO,
+            edge_left: W::ZERO,
+            edge_right: W::ZERO,
+            others: W::ZERO,
         };
-        for lane in 0..64usize {
+        for lane in 0..W::LANES {
             let v = views[lane.min(views.len() - 1)];
-            words.dir |= Self::dir_bit(v.dir) << lane;
-            words.edge_left |= u64::from(v.edge_left) << lane;
-            words.edge_right |= u64::from(v.edge_right) << lane;
-            words.others |= u64::from(v.other_robots) << lane;
+            words.dir.set(lane, ViewWords::dir_bit(v.dir) == 1);
+            words.edge_left.set(lane, v.edge_left);
+            words.edge_right.set(lane, v.edge_right);
+            words.others.set(lane, v.other_robots);
         }
         words
     }
@@ -250,12 +265,54 @@ mod tests {
                 )
             })
             .collect();
-        let words = ViewWords::from_lanes(&combos);
+        let words: ViewWords = ViewWords::from_lanes(&combos);
         for lane in 0..16u32 {
             assert_eq!(words.lane(lane), combos[lane as usize], "lane {lane}");
         }
         // Lanes beyond the input repeat the last view.
         assert_eq!(words.lane(63), combos[15]);
+    }
+
+    #[test]
+    fn wide_view_words_round_trip_every_arity() {
+        use dynring_graph::{Lanes128, Lanes256};
+
+        fn check<W: LaneWord>() {
+            let combos: Vec<View> = (0..16u32)
+                .map(|bits| {
+                    View::new(
+                        ViewWords::dir_from_bit(bits & 1 == 1),
+                        bits & 2 != 0,
+                        bits & 4 != 0,
+                        bits & 8 != 0,
+                    )
+                })
+                .collect();
+            let words: ViewWords<W> = ViewWords::from_lanes(&combos);
+            for lane in 0..16u32 {
+                assert_eq!(words.lane(lane), combos[lane as usize], "lane {lane}");
+            }
+            // Lanes beyond the input repeat the last view, out to the top
+            // lane of the arity.
+            assert_eq!(words.lane(W::LANES as u32 - 1), combos[15]);
+            let ahead = words.exists_edge_ahead();
+            for lane in 0..W::LANES {
+                let v = combos[lane.min(15)];
+                assert_eq!(ahead.get(lane), v.exists_edge_ahead(), "lane {lane}");
+            }
+        }
+        check::<u64>();
+        check::<Lanes128>();
+        check::<Lanes256>();
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes are 0..128, got 128")]
+    fn wide_lane_bound_panics_with_arity_in_the_message() {
+        use dynring_graph::Lanes128;
+        let words: ViewWords<Lanes128> =
+            ViewWords::from_lanes(&[View::new(LocalDir::Left, false, false, false)]);
+        let _ = words.lane(128);
     }
 
     #[test]
@@ -270,7 +327,7 @@ mod tests {
                 )
             })
             .collect();
-        let words = ViewWords::from_lanes(&combos);
+        let words: ViewWords = ViewWords::from_lanes(&combos);
         let ahead = words.exists_edge_ahead();
         let behind = words.exists_edge_behind();
         for (lane, v) in combos.iter().enumerate() {

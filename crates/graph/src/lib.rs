@@ -61,6 +61,7 @@ mod error;
 pub mod generators;
 mod ids;
 pub mod journey;
+mod lane;
 mod orientation;
 pub mod render;
 mod ring;
@@ -69,12 +70,13 @@ mod schedule;
 pub use edge_set::EdgeSet;
 pub use error::GraphError;
 pub use ids::{EdgeId, NodeId};
+pub use lane::{LaneWord, LaneWords, Lanes128, Lanes256, LANES_PER_WORD};
 pub use orientation::GlobalDir;
 pub use ring::RingTopology;
 pub use schedule::{
-    AbsenceIntervals, AlwaysPresent, BernoulliLane, BernoulliReplicas, BernoulliSchedule,
-    EdgeSchedule, Minus, PeriodicSchedule, RemovalTable, ScriptedSchedule, TailBehavior,
-    TimeInterval, WithEventualMissing,
+    AbsenceIntervals, AlwaysPresent, BernoulliLane, BernoulliReplicaBank, BernoulliReplicas,
+    BernoulliSchedule, EdgeSchedule, Minus, PeriodicSchedule, RemovalTable, ScriptedSchedule,
+    TailBehavior, TimeInterval, WithEventualMissing,
 };
 
 /// Discrete global time, as in the paper: time is mapped to `ℕ`.

@@ -1277,15 +1277,123 @@ impl BernoulliReplicas {
         }
     }
 
+    /// The compact-list counterpart of
+    /// [`BernoulliReplicas::presence_words_sparse_into`]: writes the
+    /// presence word of `edges[i]` into `out[i]` (not `out[edges[i]]`),
+    /// so a caller can gather a handful of edges into a small dense
+    /// buffer instead of scattering into a ring-sized one. Duplicate
+    /// edges are allowed. Bit-for-bit identical to the full fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is shorter than `edges`.
+    pub fn presence_list_words_into(&self, t: Time, edges: &[u32], out: &mut [u64]) {
+        assert!(
+            out.len() >= edges.len(),
+            "compact presence buffer must hold one word per listed edge"
+        );
+        match SlicePlan::quantize(self.presence_probability) {
+            SlicePlan::Never => out[..edges.len()].fill(0),
+            SlicePlan::Always => out[..edges.len()].fill(u64::MAX),
+            SlicePlan::Sliced { pattern, levels } => {
+                let prefix = self.time_prefix(t);
+                for (&e, slot) in edges.iter().zip(out.iter_mut()) {
+                    let mut acc = 0u64;
+                    for level in 0..levels {
+                        let r = Self::draw(prefix, e as usize, level);
+                        acc = if (pattern >> level) & 1 == 1 { r | acc } else { r & acc };
+                    }
+                    *slot = acc;
+                }
+            }
+        }
+    }
+
+    /// The fused Look-phase gather of the lockstep batch engine: for each
+    /// of the 64 lane positions `positions[l]` (node indices on the
+    /// ring), packs the presence bit of that lane's clockwise edge (edge
+    /// `positions[l]`) and counter-clockwise edge (edge
+    /// `positions[l] − 1 mod n`) into bit `l` of the returned
+    /// `(clockwise, counter_clockwise)` pair.
+    ///
+    /// Bit-for-bit identical to drawing each edge's
+    /// [`BernoulliReplicas::presence_word`] and masking out bit `l`, but
+    /// with the slice plan and time prefix hoisted and **no intermediate
+    /// edge-list or word buffers** — per round and lane the engine pays
+    /// exactly `2 · slice_levels` widening multiplies and nothing else,
+    /// which is what keeps the wide-arity batch round sampling-bound
+    /// rather than memory-bound.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when a position is not a node of the ring
+    /// (hot path: release builds skip the range check).
+    pub fn presence_pair_bits(&self, t: Time, positions: &[u32]) -> (u64, u64) {
+        let n = self.ring.node_count() as u32;
+        debug_assert!(
+            positions.iter().all(|&v| v < n),
+            "lane positions must be nodes of the ring with {n} nodes"
+        );
+        match SlicePlan::quantize(self.presence_probability) {
+            SlicePlan::Never => (0, 0),
+            SlicePlan::Always => (u64::MAX, u64::MAX),
+            SlicePlan::Sliced { pattern, levels } => {
+                let prefix = self.time_prefix(t);
+                let mut cw = 0u64;
+                let mut ccw = 0u64;
+                let mut mask = 1u64;
+                if levels == 1 {
+                    // One-level ladders (p = 0.5 among them) are the hot
+                    // case: the quantizer strips trailing zeros so the
+                    // pattern LSB is always set, and a one-level ladder
+                    // *is* its draw — no accumulator, no pattern branch.
+                    for &v in positions {
+                        let e_cw = v as usize;
+                        let e_ccw = (if v == 0 { n - 1 } else { v - 1 }) as usize;
+                        cw |= Self::draw(prefix, e_cw, 0) & mask;
+                        ccw |= Self::draw(prefix, e_ccw, 0) & mask;
+                        mask = mask.rotate_left(1);
+                    }
+                    return (cw, ccw);
+                }
+                for &v in positions {
+                    let e_cw = v as usize;
+                    let e_ccw = (if v == 0 { n - 1 } else { v - 1 }) as usize;
+                    let mut acc_cw = 0u64;
+                    let mut acc_ccw = 0u64;
+                    for level in 0..levels {
+                        let r_cw = Self::draw(prefix, e_cw, level);
+                        let r_ccw = Self::draw(prefix, e_ccw, level);
+                        if (pattern >> level) & 1 == 1 {
+                            acc_cw |= r_cw;
+                            acc_ccw |= r_ccw;
+                        } else {
+                            acc_cw &= r_cw;
+                            acc_ccw &= r_ccw;
+                        }
+                    }
+                    cw |= acc_cw & mask;
+                    ccw |= acc_ccw & mask;
+                    mask = mask.rotate_left(1);
+                }
+                (cw, ccw)
+            }
+        }
+    }
+
     /// The scalar schedule of lane `lane`: a pure [`EdgeSchedule`] whose
     /// presence bits are exactly this stream's bit `lane` — the derived
     /// per-replica seed of the serial-equivalence contract.
     ///
     /// # Panics
     ///
-    /// Panics when `lane ≥ 64`.
+    /// Panics when `lane ≥` [`crate::LANES_PER_WORD`].
     pub fn lane(&self, lane: u32) -> BernoulliLane {
-        assert!(lane < 64, "replica lanes are 0..64, got {lane}");
+        assert!(
+            (lane as usize) < crate::lane::LANES_PER_WORD,
+            "replica lanes are 0..{}, got {lane}",
+            crate::lane::LANES_PER_WORD
+        );
         BernoulliLane {
             replicas: self.clone(),
             lane,
@@ -1338,6 +1446,81 @@ impl EdgeSchedule for BernoulliLane {
                 out.insert(EdgeId::new(e));
             }
         }
+    }
+}
+
+/// A bank of independent [`BernoulliReplicas`] streams over the same ring
+/// and probability — the wide-arity presence source for the batch engine.
+///
+/// Plane `w` (a 64-lane block) is the stream seeded `seeds[w]`, so global
+/// lane `l` of the bank is lane `l % 64` of stream `l / 64`. A wide batch
+/// is thereby a *composite* of ordinary 64-lane batches: running the bank
+/// at 128 or 256 lanes produces, plane by plane, exactly the bits a
+/// 64-lane run over each seed would — the arity-independence half of the
+/// lane-vs-serial equivalence contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BernoulliReplicaBank {
+    streams: Vec<BernoulliReplicas>,
+}
+
+impl BernoulliReplicaBank {
+    /// Creates one 64-lane stream per entry of `seeds`, all over `ring`
+    /// with presence probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidProbability`] unless `0 ≤ p ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` is empty.
+    pub fn new(ring: RingTopology, p: f64, seeds: &[u64]) -> Result<Self, GraphError> {
+        assert!(!seeds.is_empty(), "a replica bank needs at least one plane seed");
+        let streams = seeds
+            .iter()
+            .map(|&seed| BernoulliReplicas::new(ring.clone(), p, seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BernoulliReplicaBank { streams })
+    }
+
+    /// The ring shared by every plane.
+    pub fn ring(&self) -> &RingTopology {
+        self.streams[0].ring()
+    }
+
+    /// Number of 64-lane planes (words) in the bank.
+    pub fn words(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total lane count: `64 · words()`.
+    pub fn lanes(&self) -> usize {
+        self.streams.len() * crate::lane::LANES_PER_WORD
+    }
+
+    /// The 64-lane stream of plane `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `word ≥ words()`.
+    pub fn stream(&self, word: usize) -> &BernoulliReplicas {
+        &self.streams[word]
+    }
+
+    /// The scalar schedule of global lane `lane`: lane `lane % 64` of
+    /// plane `lane / 64` — the serial-equivalence reference at any arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane ≥ lanes()`.
+    pub fn lane(&self, lane: u32) -> BernoulliLane {
+        let per = crate::lane::LANES_PER_WORD as u32;
+        assert!(
+            (lane as usize) < self.lanes(),
+            "replica lanes are 0..{}, got {lane}",
+            self.lanes()
+        );
+        self.streams[(lane / per) as usize].lane(lane % per)
     }
 }
 

@@ -33,12 +33,25 @@ bench-smoke:
 bench-report:
     cargo run --release -- bench-report
 
+# CI gate for the lane-arity stack (see docs/PERFORMANCE.md): the
+# bit-identity tests pinning lane l of every arity (64/128/256) and of
+# the batch-routed SSYNC units to the serial engine, the capability-based
+# route dispatch, the cross-arity proptests, and a 256-replica Monte
+# Carlo sweep driven through the auto-arity dispatch.
+batch-arity-smoke:
+    cargo test -q -p dynring-analysis --lib -- arity ragged ssync
+    cargo test -q -p dynring-engine --lib -- arity sparse_fill ssync wide
+    cargo test -q -p dynring-campaign --lib -- routing batch_route ssync
+    cargo test -q -p dynring-core --test batch_equivalence
+    cargo run --release -- montecarlo --n 16 --k 3 --p 0.5 --replicas 256 --horizon 2000 --seed 7
+
 # Reproduce the paper's Table 1 from the CLI.
 table1:
     cargo run --release -- table1
 
-# Small fixed-seed Monte Carlo sweep on the 64-lane batch engine (the
-# summary JSON of this exact configuration is pinned by a test).
+# Small fixed-seed Monte Carlo sweep on the lockstep batch engine (256
+# replicas auto-select the 256-lane arity; the summary JSON of this
+# exact configuration is pinned by a test).
 montecarlo:
     cargo run --release -- montecarlo --n 16 --k 3 --p 0.5 --replicas 256 --horizon 2000 --seed 7
 

@@ -17,9 +17,10 @@
 //! - **sweep scaling**: a reduced Table 1 grid, serial vs. all-cores
 //!   parallel, with the resulting speedup.
 //!
-//! - **batch vs serial replicas**: the 64-lane lockstep engine's
-//!   aggregate replica-rounds/sec against 64 serial lane runs on one
-//!   thread (the Monte Carlo workload's two execution strategies).
+//! - **batch vs serial replicas**: the lockstep engine's aggregate
+//!   replica-rounds/sec against the same number of serial lane runs on
+//!   one thread (the Monte Carlo workload's two execution strategies),
+//!   at 64/128/256 lanes and under the SSYNC round-robin activation.
 //!
 //! All workloads are deterministic; only wall-clock timing varies between
 //! machines. Numbers are means over the whole measurement window.
@@ -30,10 +31,15 @@
 //! PR 2 (schema-v3) quiet numbers, added the `batch` block
 //! (`batch_replica_rounds_per_sec`) and the `(n, k) = (256, 64)`
 //! large-team workload, and gated static-path flatness across ring
-//! sizes; v5 (this PR) extends the batch workloads to
-//! `n ∈ {1024, 4096}` — feasible now that the snapshot fill is
-//! demand-driven on large rings — and gates batch flatness: the n = 4096
-//! batch rate must stay within 2× of n = 64 in the same run.
+//! sizes; v5 extended the batch workloads to `n ∈ {1024, 4096}` —
+//! feasible now that the snapshot fill is demand-driven on large rings —
+//! and gated batch flatness (the n = 4096 batch rate must stay within 2×
+//! of n = 64 in the same run); v6 (this PR) adds the wide-arity batch
+//! workloads (`bernoulli-batch-128`/`-256` over seeded replica banks)
+//! and the SSYNC batch workload (`bernoulli-batch-ssync`, round-robin
+//! activation words), all gated against committed figures by the same
+//! per-`(workload, n, k)` matching once a v6 snapshot is committed, and
+//! extends the flatness gate to the 256-lane workload.
 
 use std::time::Instant;
 
@@ -44,15 +50,18 @@ use dynring_analysis::parallel::available_workers;
 use dynring_analysis::table1::run_table1_with_workers;
 use dynring_analysis::Table1Options;
 use dynring_bench::workloads::{
-    batch_bernoulli_sim, bernoulli_sim, bernoulli_sim_p, placements, serial_lane_sims, static_sim,
-    BERNOULLI_P,
+    batch_bernoulli_bank_sim, batch_bernoulli_sim, bernoulli_sim, bernoulli_sim_p, placements,
+    serial_bank_lane_sims, serial_lane_sims, ssync_batch_bernoulli_sim, ssync_serial_lane_sims,
+    static_sim, BERNOULLI_P,
 };
 use dynring_core::Pef3Plus;
-use dynring_engine::{Dynamics, Simulator};
-use dynring_graph::{BernoulliSchedule, RingTopology};
+use dynring_engine::{
+    BatchDynamics, BatchSimulator, Dynamics, LaneWord, Lanes128, Lanes256, Oblivious, Simulator,
+};
+use dynring_graph::{BernoulliLane, BernoulliSchedule, RingTopology};
 
 /// Schema tag of the emitted JSON.
-pub const SCHEMA: &str = "dynring-bench-engine/v5";
+pub const SCHEMA: &str = "dynring-bench-engine/v6";
 
 /// One measured engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,26 +106,29 @@ pub struct BaselineSample {
     pub rounds_per_sec: f64,
 }
 
-/// One measured batch-engine configuration: the 64-replica lockstep
-/// engine against 64 serial lane runs (same stream, same algorithm, one
-/// thread), in aggregate replica-rounds per second.
+/// One measured batch-engine configuration: the lockstep engine against
+/// the same number of serial lane runs (same streams, same algorithm,
+/// one thread), in aggregate replica-rounds per second.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchSample {
-    /// Workload label (`bernoulli-batch`).
+    /// Workload label (`bernoulli-batch` for the 64-lane FSYNC engine,
+    /// `bernoulli-batch-128`/`-256` for the wide arities over seeded
+    /// replica banks, `bernoulli-batch-ssync` for the 64-lane engine
+    /// under round-robin activation words).
     pub workload: String,
     /// Ring size `n`.
     pub ring_size: usize,
     /// Robots `k` (per replica).
     pub robots: usize,
-    /// Replicas per batch (the lane count, 64).
+    /// Replicas per batch (the lane arity: 64, 128 or 256).
     pub lanes: usize,
     /// Presence probability of the replica stream.
     pub p: f64,
     /// Aggregate replica-rounds/sec of the lockstep engine (batch
-    /// rounds/sec × 64).
+    /// rounds/sec × lanes).
     pub batch_replica_rounds_per_sec: f64,
-    /// Aggregate replica-rounds/sec of 64 serial `Simulator` runs over
-    /// the derived lane schedules, one thread.
+    /// Aggregate replica-rounds/sec of `lanes` serial `Simulator` runs
+    /// over the derived lane schedules, one thread.
     pub serial_replica_rounds_per_sec: f64,
     /// `batch / serial`.
     pub speedup: f64,
@@ -213,6 +225,37 @@ fn throughput(rounds: u64, mut run: impl FnMut(u64)) -> f64 {
     }
 }
 
+/// Measures one batch-vs-serial pair at lane arity `W`: the lockstep
+/// engine's aggregate replica-rounds/sec against `W::LANES` serial lane
+/// `Simulator`s run back to back on this thread.
+fn sample_batch<D: BatchDynamics<W>, W: LaneWord>(
+    workload: &str,
+    n: usize,
+    k: usize,
+    rounds: u64,
+    mut batch_sim: BatchSimulator<Pef3Plus, D, W>,
+    mut lane_sims: Vec<Simulator<Pef3Plus, Oblivious<BernoulliLane>>>,
+) -> BatchSample {
+    let lanes = W::LANES;
+    let batch_rate = throughput(rounds / 16, |r| batch_sim.run(r)) * lanes as f64;
+    // One closure "round" advances every lane once: `lanes` replica-rounds.
+    let serial_rate = throughput(rounds / (4 * lanes as u64), |r| {
+        for sim in &mut lane_sims {
+            sim.run(r);
+        }
+    }) * lanes as f64;
+    BatchSample {
+        workload: workload.to_string(),
+        ring_size: n,
+        robots: k,
+        lanes,
+        p: BERNOULLI_P,
+        batch_replica_rounds_per_sec: batch_rate,
+        serial_replica_rounds_per_sec: serial_rate,
+        speedup: batch_rate / serial_rate,
+    }
+}
+
 fn sample_pair<D: Dynamics>(
     workload: &str,
     n: usize,
@@ -272,30 +315,54 @@ pub fn collect(quick: bool) -> BenchReport {
     }
 
     // Batch vs serial replica throughput: the Monte Carlo acceptance
-    // workload. Both sides advance 64 replicas of the same scenario over
-    // the same per-replica stream; the batch side runs them in lockstep,
-    // the serial side one lane schedule after another on this thread.
+    // workload. Both sides advance the same replicas over the same
+    // per-replica streams; the batch side runs them in lockstep, the
+    // serial side one lane schedule after another on this thread.
     let mut batch = Vec::new();
     for (n, k) in [(64usize, 3usize), (256, 3), (1024, 3), (4096, 3)] {
-        let mut batch_sim = batch_bernoulli_sim(n, k, BERNOULLI_P);
-        let batch_rate = throughput(rounds / 16, |r| batch_sim.run(r)) * 64.0;
-        let mut lanes = serial_lane_sims(n, k, BERNOULLI_P);
-        // One closure "round" advances every lane once: 64 replica-rounds.
-        let serial_rate = throughput(rounds / 256, |r| {
-            for sim in &mut lanes {
-                sim.run(r);
-            }
-        }) * 64.0;
-        batch.push(BatchSample {
-            workload: "bernoulli-batch".to_string(),
-            ring_size: n,
-            robots: k,
-            lanes: 64,
-            p: BERNOULLI_P,
-            batch_replica_rounds_per_sec: batch_rate,
-            serial_replica_rounds_per_sec: serial_rate,
-            speedup: batch_rate / serial_rate,
-        });
+        batch.push(sample_batch::<_, u64>(
+            "bernoulli-batch",
+            n,
+            k,
+            rounds,
+            batch_bernoulli_sim(n, k, BERNOULLI_P),
+            serial_lane_sims(n, k, BERNOULLI_P),
+        ));
+    }
+    // The wide arities over seeded replica banks (one stream per 64-lane
+    // plane): the generic engine's headline numbers. n = 1024/4096
+    // exercise the fused sparse gather, n = 64 the full fill.
+    for (n, k) in [(64usize, 3usize), (1024, 3)] {
+        batch.push(sample_batch::<_, Lanes128>(
+            "bernoulli-batch-128",
+            n,
+            k,
+            rounds,
+            batch_bernoulli_bank_sim::<Lanes128>(n, k, BERNOULLI_P),
+            serial_bank_lane_sims::<Lanes128>(n, k, BERNOULLI_P),
+        ));
+    }
+    for (n, k) in [(64usize, 3usize), (1024, 3), (4096, 3)] {
+        batch.push(sample_batch::<_, Lanes256>(
+            "bernoulli-batch-256",
+            n,
+            k,
+            rounds,
+            batch_bernoulli_bank_sim::<Lanes256>(n, k, BERNOULLI_P),
+            serial_bank_lane_sims::<Lanes256>(n, k, BERNOULLI_P),
+        ));
+    }
+    // The SSYNC batch route: round-robin activation words against the
+    // serial engine under the same policy.
+    for (n, k) in [(64usize, 3usize), (1024, 3)] {
+        batch.push(sample_batch::<_, u64>(
+            "bernoulli-batch-ssync",
+            n,
+            k,
+            rounds,
+            ssync_batch_bernoulli_sim(n, k, BERNOULLI_P),
+            ssync_serial_lane_sims(n, k, BERNOULLI_P),
+        ));
     }
 
     // Quiet-path p-sweep: the sparse probe cost tracks the bit-sliced
@@ -499,42 +566,57 @@ pub fn check_regression(committed: &BenchReport, current: &BenchReport) -> Resul
         }
     }
 
-    // Batch flatness within the current run: the sparse fill keeps the
-    // lockstep round O(robots), so n = 4096 must deliver at least
-    // BATCH_FLATNESS_TOLERANCE of the n = 64 replica throughput. No
-    // calibration — both samples come from the same machine.
-    let batch_rate = |report: &BenchReport, n: usize| {
+    // Batch flatness within the current run: the fused sparse gather
+    // keeps the lockstep round O(robots), so n = 4096 must deliver at
+    // least BATCH_FLATNESS_TOLERANCE of the n = 64 replica throughput —
+    // at 64 lanes and, when the v6 wide workloads are present, at 256
+    // lanes too. No calibration — both samples come from the same
+    // machine.
+    let batch_rate = |report: &BenchReport, workload: &str, n: usize| {
         report
             .batch
             .iter()
-            .find(|s| s.ring_size == n && s.robots == 3)
+            .find(|s| s.workload == workload && s.ring_size == n && s.robots == 3)
             .map(|s| s.batch_replica_rounds_per_sec)
     };
-    let flatness_pair = (batch_rate(current, 64), batch_rate(current, 4096));
-    if !current.batch.is_empty() && (flatness_pair.0.is_none() || flatness_pair.1.is_none()) {
-        // Mirror the zero-comparable-samples rule: losing one of the two
-        // flatness workloads must fail loudly, not skip the gate.
-        regressions.push(
-            "REGRESSION workload=batch-flatness n4096=missing n64=missing \
-             gate=n/a reason=no-n64-n4096-sample-pair (workload dropped or renamed?)"
-                .to_string(),
+    for workload in ["bernoulli-batch", "bernoulli-batch-256"] {
+        // The 64-lane pair is mandatory whenever any batch sample exists;
+        // the 256-lane pair only once that family is emitted (pre-v6
+        // snapshots don't have it).
+        let required = if workload == "bernoulli-batch" {
+            !current.batch.is_empty()
+        } else {
+            current.batch.iter().any(|s| s.workload == workload)
+        };
+        let flatness_pair = (
+            batch_rate(current, workload, 64),
+            batch_rate(current, workload, 4096),
         );
-    }
-    if let (Some(small), Some(large)) = flatness_pair {
-        let flatness = large / small;
-        let _ = writeln!(
-            table,
-            "batch flatness:  n=4096 at {:.2}x of n=64 ({:>14.0} vs {:>14.0} rr/s)",
-            flatness, large, small
-        );
-        if flatness < BATCH_FLATNESS_TOLERANCE {
-            // Both figures come from the *current* run (flatness gates
-            // are within-run), so neither is labeled "committed".
+        if required && (flatness_pair.0.is_none() || flatness_pair.1.is_none()) {
+            // Mirror the zero-comparable-samples rule: losing one of the
+            // two flatness workloads must fail loudly, not skip the gate.
             regressions.push(format!(
-                "REGRESSION workload=batch-flatness n4096={large:.0} rr/s \
-                 n64={small:.0} rr/s ratio={flatness:.2} gate={BATCH_FLATNESS_TOLERANCE:.2} \
-                 (the sparse snapshot fill no longer decouples the lockstep round from n)"
+                "REGRESSION workload={workload}-flatness n4096=missing n64=missing \
+                 gate=n/a reason=no-n64-n4096-sample-pair (workload dropped or renamed?)"
             ));
+        }
+        if let (Some(small), Some(large)) = flatness_pair {
+            let flatness = large / small;
+            let _ = writeln!(
+                table,
+                "batch flatness ({workload}): n=4096 at {:.2}x of n=64 ({:>14.0} vs {:>14.0} rr/s)",
+                flatness, large, small
+            );
+            if flatness < BATCH_FLATNESS_TOLERANCE {
+                // Both figures come from the *current* run (flatness
+                // gates are within-run), so neither is labeled
+                // "committed".
+                regressions.push(format!(
+                    "REGRESSION workload={workload}-flatness n4096={large:.0} rr/s \
+                     n64={small:.0} rr/s ratio={flatness:.2} gate={BATCH_FLATNESS_TOLERANCE:.2} \
+                     (the sparse gather no longer decouples the lockstep round from n)"
+                ));
+            }
         }
     }
 
@@ -609,15 +691,16 @@ pub fn render(report: &BenchReport) -> String {
         );
     }
     if !report.batch.is_empty() {
-        let _ = writeln!(out, "\nbatch engine (64 replica lanes) vs 64 serial lane runs:");
+        let _ = writeln!(out, "\nbatch engine vs serial lane runs (aggregate replica-rounds):");
         for s in &report.batch {
             let _ = writeln!(
                 out,
-                "  {} n={:<5} k={:<3} p={:<4} batch {:>14.0} rr/s, serial {:>14.0} rr/s ({:.1}x)",
+                "  {:<21} n={:<5} k={:<3} p={:<4} lanes={:<4} batch {:>14.0} rr/s, serial {:>14.0} rr/s ({:.1}x)",
                 s.workload,
                 s.ring_size,
                 s.robots,
                 s.p,
+                s.lanes,
                 s.batch_replica_rounds_per_sec,
                 s.serial_replica_rounds_per_sec,
                 s.speedup

@@ -33,7 +33,7 @@ fn smoke_spec_plans_at_least_200_units_across_both_routes() {
     let batch = plan
         .units
         .iter()
-        .filter(|u| dynring_campaign::route_unit(&u.unit) == dynring_campaign::Route::Batch)
+        .filter(|u| dynring_campaign::route_unit(&u.unit).is_batch())
         .count();
     assert!(batch > 0, "the smoke must exercise the batch route");
     assert!(batch < plan.units.len(), "and the serial route");
@@ -90,7 +90,11 @@ fn cli_run_interrupt_resume_matches_the_pinned_report() {
         serde_json::from_str(&pinned).expect("pinned report parses");
     assert_eq!(report, pinned_report);
     assert!(report.is_complete());
-    assert_eq!(report.batch_units, 60);
+    // Bernoulli × {FSYNC, SSYNC} both batch-route since the SSYNC
+    // widening; the smoke's 8-replica units all pick the 64-lane arity.
+    assert_eq!(report.batch_units, 120);
+    assert_eq!(report.serial_units, 120);
+    assert_eq!(report.batch_units_by_arity.get(&64), Some(&120));
     assert!(report.sealed, "a completed campaign must be sealed");
 
     // The finished store certifies at level 1 and at level 2 (sampled
