@@ -1,0 +1,450 @@
+//! The per-campaign JSONL *events ledger*: out-of-band telemetry that
+//! survives the run.
+//!
+//! A campaign executed with telemetry enabled (`--metrics-out`) appends
+//! one JSON line per observation to a sibling of its result store,
+//! `<store>.events.jsonl` ([`EventLedger::for_store`]): per-unit
+//! execution events from the runner, wave boundaries, and supervisor
+//! lifecycle events (spawn, heartbeat stall, retry, steal, quarantine,
+//! merge). The ledger is **strictly observational** — nothing in the
+//! certify path reads it, and result-store bytes are identical whether
+//! it exists or not.
+//!
+//! Like the store, the ledger is an append-only JSONL file whose final
+//! line may be torn by a crash: loading tolerates (and measures) a torn
+//! tail, and [`EventLedger::appender`] truncates it away before
+//! appending — recording a [`Event::TornTail`] so the loss itself is
+//! observable. Unlike the store, a corrupt *interior* line is skipped
+//! and counted rather than refused: the ledger is forensic data, and
+//! one damaged observation must not make the rest unreadable.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+use crate::CampaignError;
+
+/// Ledger schema tag (stamped on [`Event::RunStart`]); bump on
+/// incompatible change.
+pub const EVENTS_SCHEMA: &str = "dynring-events-v1";
+
+/// Suffix appended to a store path to name its ledger.
+pub const LEDGER_SUFFIX: &str = ".events.jsonl";
+
+/// One observation. Externally tagged JSON: `{"Unit":{...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A `run`/`resume`/`work` invocation started executing.
+    RunStart {
+        /// Ledger schema tag ([`EVENTS_SCHEMA`]).
+        schema: String,
+        /// Campaign name.
+        name: String,
+        /// Spec content hash.
+        spec_hash: String,
+        /// Units in this invocation's slice of the plan.
+        planned: usize,
+        /// Units already complete when it started.
+        skipped: usize,
+    },
+    /// One work unit executed.
+    Unit {
+        /// Unit content hash (the store key).
+        hash: String,
+        /// Plan index.
+        index: usize,
+        /// Algorithm display name.
+        algorithm: String,
+        /// Dynamics display name.
+        dynamics: String,
+        /// Scheduler display name.
+        scheduler: String,
+        /// `"batch"` or `"serial"`.
+        route: String,
+        /// Lane arity of the batch route; 0 on the serial route.
+        arity: u64,
+        /// Replicas executed.
+        replicas: usize,
+        /// Replicas that covered within the horizon.
+        covered: usize,
+        /// Replica-rounds advanced: summed cover times plus the full
+        /// horizon for every uncovered replica.
+        replica_rounds: u64,
+        /// Wall time of the unit's execution in microseconds.
+        wall_us: u64,
+    },
+    /// One runner wave appended and fsynced.
+    Wave {
+        /// Units in the wave.
+        units: usize,
+        /// Wall time of the wave in microseconds.
+        wall_us: u64,
+    },
+    /// The invocation finished (cleanly or budget-capped).
+    RunEnd {
+        /// Units executed by this invocation.
+        executed: usize,
+        /// Units still pending after it.
+        pending: usize,
+    },
+    /// The supervisor spawned a worker process for a shard.
+    Spawn {
+        /// Shard index.
+        shard: usize,
+        /// Attempt number (0 = first spawn).
+        attempt: usize,
+    },
+    /// A worker was killed for a stalled heartbeat.
+    Stall {
+        /// Shard index.
+        shard: usize,
+    },
+    /// A dead shard was scheduled for restart.
+    Retry {
+        /// Shard index.
+        shard: usize,
+        /// Attempts already spent.
+        attempt: usize,
+        /// Death reason token (`exit-status-N`, `stalled`, …).
+        reason: String,
+        /// Backoff before the restart, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// An exhausted or straggling shard's remainder was re-sharded.
+    Steal {
+        /// Parent shard index.
+        shard: usize,
+        /// Death reason token.
+        reason: String,
+        /// Units the parent completed before retirement.
+        done: usize,
+        /// Units re-sharded onto children.
+        remaining: usize,
+        /// Child sub-shards created.
+        pieces: usize,
+    },
+    /// A shard was given up on.
+    Quarantine {
+        /// Shard index.
+        shard: usize,
+        /// Attempts spent.
+        attempts: usize,
+        /// Death reason token.
+        reason: String,
+        /// First plan index lost.
+        start: usize,
+        /// Units lost.
+        units: usize,
+    },
+    /// Shard stores were folded into the canonical store.
+    Merge {
+        /// Shard stores read.
+        shards: usize,
+        /// Records written to the canonical store.
+        merged: usize,
+        /// Whether the canonical store was sealed.
+        sealed: bool,
+    },
+    /// The appender truncated a torn ledger tail (the loss itself).
+    TornTail {
+        /// Bytes discarded.
+        bytes: u64,
+    },
+}
+
+/// One ledger line: a wall-clock stamp plus the observation.
+///
+/// Timestamps are Unix epoch milliseconds — the ledger is forensic and
+/// *not* deterministic (unlike result stores and metric snapshots);
+/// only its aggregations' shapes are.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Unix epoch milliseconds at append time.
+    pub t_ms: u64,
+    /// The observation.
+    pub event: Event,
+}
+
+/// Wall clock as Unix epoch milliseconds (0 before the epoch).
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// A parsed ledger: every readable observation plus damage accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedLedger {
+    /// Every parseable event, in file order.
+    pub events: Vec<EventRecord>,
+    /// Bytes up to the end of the last parseable line (the truncation
+    /// point an appender would use).
+    pub valid_len: u64,
+    /// Bytes past `valid_len` (a torn trailing line; 0 when clean).
+    pub torn_bytes: u64,
+    /// Corrupt *interior* lines skipped (ledgers degrade, not refuse).
+    pub skipped_lines: usize,
+}
+
+/// Handle to a campaign's events ledger file.
+#[derive(Debug, Clone)]
+pub struct EventLedger {
+    path: PathBuf,
+}
+
+impl EventLedger {
+    /// A ledger at an explicit path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        EventLedger { path: path.into() }
+    }
+
+    /// The canonical ledger of the store at `store_path`:
+    /// `<store>.events.jsonl`.
+    pub fn for_store(store_path: &Path) -> Self {
+        EventLedger {
+            path: PathBuf::from(format!("{}{LEDGER_SUFFIX}", store_path.display())),
+        }
+    }
+
+    /// The ledger's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the ledger file exists on disk.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Parses the ledger. A missing file is an empty ledger; a torn
+    /// final line and corrupt interior lines are measured, not errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on filesystem trouble only.
+    pub fn load(&self) -> Result<LoadedLedger, CampaignError> {
+        let mut bytes = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(LoadedLedger {
+                    events: Vec::new(),
+                    valid_len: 0,
+                    torn_bytes: 0,
+                    skipped_lines: 0,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let mut events = Vec::new();
+        let mut valid_len = 0u64;
+        let mut skipped_lines = 0usize;
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                // Unterminated final line: torn mid-write.
+                break;
+            };
+            let parsed = std::str::from_utf8(&bytes[offset..offset + nl])
+                .ok()
+                .and_then(|s| serde_json::from_str::<EventRecord>(s).ok());
+            match parsed {
+                Some(record) => {
+                    events.push(record);
+                }
+                None => {
+                    // A terminated line that does not parse is damage,
+                    // not a tear: event lines never contain newlines, so
+                    // a torn write is always an *unterminated* prefix.
+                    // Skip it and keep reading.
+                    skipped_lines += 1;
+                }
+            }
+            offset += nl + 1;
+            valid_len = offset as u64;
+        }
+        Ok(LoadedLedger {
+            events,
+            valid_len,
+            torn_bytes: bytes.len() as u64 - valid_len,
+            skipped_lines,
+        })
+    }
+
+    /// Opens the ledger for appending, truncating any torn tail first
+    /// (mirroring [`crate::ResultStore::open_for_append`]) and
+    /// recording the truncation itself as an [`Event::TornTail`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`].
+    pub fn appender(&self) -> Result<LedgerAppender, CampaignError> {
+        let loaded = self.load()?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&self.path)?;
+        let on_disk = file.metadata()?.len();
+        file.set_len(loaded.valid_len)?;
+        if on_disk != loaded.valid_len {
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let mut appender = LedgerAppender { file };
+        if loaded.torn_bytes > 0 {
+            appender.append(Event::TornTail { bytes: loaded.torn_bytes })?;
+        }
+        Ok(appender)
+    }
+}
+
+/// An open ledger appender (one JSON line per event).
+#[derive(Debug)]
+pub struct LedgerAppender {
+    file: File,
+}
+
+impl LedgerAppender {
+    /// Appends `event` stamped with the current wall clock.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] / [`CampaignError::Json`].
+    pub fn append(&mut self, event: Event) -> Result<(), CampaignError> {
+        self.append_at(now_ms(), event)
+    }
+
+    /// Appends `event` with an explicit stamp (deterministic tests).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] / [`CampaignError::Json`].
+    pub fn append_at(&mut self, t_ms: u64, event: Event) -> Result<(), CampaignError> {
+        let mut json = serde_json::to_string(&EventRecord { t_ms, event })?;
+        json.push('\n');
+        self.file.write_all(json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Flushes appended events to disk (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`].
+    pub fn sync(&mut self) -> Result<(), CampaignError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> EventLedger {
+        let path = std::env::temp_dir().join(format!("dynring_events_test_{name}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        EventLedger::new(path)
+    }
+
+    fn unit_event(index: usize) -> Event {
+        Event::Unit {
+            hash: format!("h{index}"),
+            index,
+            algorithm: "PEF_3+".into(),
+            dynamics: "bernoulli(p=0.5)".into(),
+            scheduler: "sync".into(),
+            route: "batch".into(),
+            arity: 64,
+            replicas: 8,
+            covered: 8,
+            replica_rounds: 640,
+            wall_us: 1500,
+        }
+    }
+
+    #[test]
+    fn missing_ledgers_load_empty() {
+        let ledger = temp("missing");
+        let loaded = ledger.load().expect("loads");
+        assert_eq!(loaded.events.len(), 0);
+        assert_eq!(loaded.torn_bytes, 0);
+    }
+
+    #[test]
+    fn events_round_trip_in_order() {
+        let ledger = temp("roundtrip");
+        let mut app = ledger.appender().expect("opens");
+        app.append_at(10, unit_event(0)).expect("appends");
+        app.append_at(20, Event::Wave { units: 1, wall_us: 2000 }).expect("appends");
+        app.sync().expect("syncs");
+        drop(app);
+        let loaded = ledger.load().expect("loads");
+        assert_eq!(loaded.events.len(), 2);
+        assert_eq!(loaded.events[0].t_ms, 10);
+        assert_eq!(loaded.events[0].event, unit_event(0));
+        assert_eq!(loaded.torn_bytes, 0);
+        assert_eq!(loaded.skipped_lines, 0);
+        let _ = std::fs::remove_file(ledger.path());
+    }
+
+    #[test]
+    fn torn_tails_are_measured_then_truncated_and_recorded() {
+        let ledger = temp("torn");
+        let mut app = ledger.appender().expect("opens");
+        app.append_at(10, unit_event(0)).expect("appends");
+        drop(app);
+        // Tear: an unterminated half-line at the end.
+        let tear = b"{\"t_ms\":20,\"event\":{\"Wave";
+        let mut file =
+            OpenOptions::new().append(true).open(ledger.path()).expect("opens raw");
+        file.write_all(tear).expect("tears");
+        drop(file);
+        let loaded = ledger.load().expect("loads");
+        assert_eq!(loaded.events.len(), 1);
+        assert_eq!(loaded.torn_bytes, tear.len() as u64);
+        // Reopening truncates the tear and records it.
+        let mut app = ledger.appender().expect("reopens");
+        app.append_at(30, unit_event(1)).expect("appends");
+        drop(app);
+        let loaded = ledger.load().expect("loads");
+        assert_eq!(loaded.torn_bytes, 0);
+        assert_eq!(loaded.events.len(), 3);
+        assert_eq!(loaded.events[1].event, Event::TornTail { bytes: tear.len() as u64 });
+        assert_eq!(loaded.events[2].event, unit_event(1));
+        let _ = std::fs::remove_file(ledger.path());
+    }
+
+    #[test]
+    fn corrupt_interior_lines_are_skipped_not_fatal() {
+        let ledger = temp("interior");
+        let mut app = ledger.appender().expect("opens");
+        app.append_at(10, unit_event(0)).expect("appends");
+        drop(app);
+        let mut file =
+            OpenOptions::new().append(true).open(ledger.path()).expect("opens raw");
+        file.write_all(b"not json at all\n").expect("damages");
+        drop(file);
+        let mut app = ledger.appender().expect("reopens past damage");
+        app.append_at(20, unit_event(1)).expect("appends");
+        drop(app);
+        let loaded = ledger.load().expect("loads");
+        assert_eq!(loaded.events.len(), 2);
+        assert_eq!(loaded.skipped_lines, 1);
+        assert_eq!(loaded.torn_bytes, 0);
+        let _ = std::fs::remove_file(ledger.path());
+    }
+
+    #[test]
+    fn ledger_path_is_a_store_sibling() {
+        let ledger = EventLedger::for_store(Path::new("/tmp/camp.jsonl"));
+        assert_eq!(ledger.path(), Path::new("/tmp/camp.jsonl.events.jsonl"));
+    }
+}

@@ -31,7 +31,8 @@ use dynring_analysis::seeds::mix64;
 /// Env var a `campaign work` child reads for a process-level fault:
 /// `exit-after-units:<k>`, `kill-after-bytes:<b>`,
 /// `stall-after-units:<k>`, `io-error-after-units:<k>`,
-/// `poison-unit:<hash>` or `poison-index:<plan index>`.
+/// `poison-unit:<hash>`, `poison-index:<plan index>` or
+/// `slow-unit:<plan index>:<ms>`.
 pub const WORKER_FAULT_ENV: &str = "DYNRING_WORKER_FAULT";
 /// Env var restricting [`WORKER_FAULT_ENV`] to one shard index; unset
 /// means every shard faults.
@@ -78,6 +79,18 @@ pub enum ProcessFault {
     /// (resolved to the unit hash against the plan); easier to script
     /// than a 16-hex-digit hash.
     PoisonIndex(usize),
+    /// Sleep `ms` milliseconds before executing the unit at this global
+    /// plan index — a benign straggler, not a failure. The run completes
+    /// with identical store bytes; only its *timing* changes, which the
+    /// telemetry tests use to pin a known-slow unit's wall-time into the
+    /// events ledger and to drive the supervisor's straggler detector
+    /// without raw `sleep` hacks.
+    SlowUnit {
+        /// Global plan index of the unit to delay.
+        index: usize,
+        /// Injected delay in milliseconds.
+        ms: u64,
+    },
 }
 
 impl ProcessFault {
@@ -92,6 +105,18 @@ impl ProcessFault {
                 return Err(format!("malformed worker fault {s:?}: empty unit hash"));
             }
             return Ok(ProcessFault::PoisonUnit(arg.to_string()));
+        }
+        if kind == "slow-unit" {
+            let (index, ms) = arg.split_once(':').ok_or_else(|| {
+                format!("malformed worker fault {s:?}: expected slow-unit:<index>:<ms>")
+            })?;
+            let index: usize = index.parse().map_err(|_| {
+                format!("malformed worker fault {s:?}: {index:?} is not a plan index")
+            })?;
+            let ms: u64 = ms.parse().map_err(|_| {
+                format!("malformed worker fault {s:?}: {ms:?} is not a millisecond count")
+            })?;
+            return Ok(ProcessFault::SlowUnit { index, ms });
         }
         let n: u64 = arg
             .parse()
@@ -293,6 +318,10 @@ mod tests {
             ProcessFault::parse("poison-index:37"),
             Ok(ProcessFault::PoisonIndex(37))
         );
+        assert_eq!(
+            ProcessFault::parse("slow-unit:5:250"),
+            Ok(ProcessFault::SlowUnit { index: 5, ms: 250 })
+        );
         for bad in [
             "exit-after-units",
             "exit-after-units:x",
@@ -300,6 +329,9 @@ mod tests {
             "",
             "poison-unit:",
             "poison-index:abc",
+            "slow-unit:5",
+            "slow-unit:x:250",
+            "slow-unit:5:fast",
         ] {
             assert!(ProcessFault::parse(bad).is_err(), "{bad:?} must refuse");
         }

@@ -21,6 +21,12 @@
 //!   is a no-op, and a torn trailing write is truncated away;
 //! - [`aggregate`] — folds a store into the grouped cover-time /
 //!   survival [`CampaignReport`];
+//! - [`events`] / [`metrics`] — out-of-band observability: a
+//!   torn-tail-tolerant per-campaign events ledger
+//!   (`<store>.events.jsonl`) and its per-(algorithm × dynamics ×
+//!   scheduler × route) time/throughput aggregation behind `dynring
+//!   metrics show|diff|top`. Telemetry never changes store bytes (see
+//!   `docs/OBSERVABILITY.md`);
 //! - [`shard`] / [`supervise`] / [`merge`] — the distributed story:
 //!   deterministically partition a plan into disjoint shard ranges
 //!   ([`ShardManifest`]), run each shard as a supervised child process
@@ -79,9 +85,11 @@ use dynring_analysis::ScenarioError;
 
 pub mod aggregate;
 pub mod certify;
+pub mod events;
 pub mod executor;
 pub mod fault;
 pub mod merge;
+pub mod metrics;
 pub mod runner;
 pub mod shard;
 pub mod spec;
@@ -91,11 +99,16 @@ pub mod trace;
 
 pub use aggregate::{aggregate, render, CampaignGroup, CampaignReport};
 pub use certify::{certify, render_verdict, CertifyFailure, CertifyOptions, CertifyVerdict};
+pub use events::{Event, EventLedger, EventRecord, LedgerAppender, LoadedLedger, EVENTS_SCHEMA};
 pub use executor::{
     execute_unit, execute_unit_on, route_unit, Route, UnitMeasurement, UnitRecord,
 };
 pub use fault::{FailPlan, FaultKind, ProcessFault};
 pub use merge::{merge_manifest, merge_stores, MergeOutcome};
+pub use metrics::{
+    coarse_rate, render_diff, render_summary, render_top, summarize, FaultSummary,
+    LedgerSummary, MetricsGroup,
+};
 pub use runner::{load_report, run_campaign, RunOptions, RunOutcome};
 pub use shard::{
     shard_range, ShardEntry, ShardManifest, ShardSel, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1,

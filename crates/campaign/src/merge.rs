@@ -203,6 +203,13 @@ fn merge_impl(
     appender.sync()?;
     drop(appender);
     std::fs::rename(&tmp_path, out.path())?;
+    // Out-of-band merge accounting (the appender above already counted
+    // its raw writes and fsyncs).
+    let obs = dynring_obs::global();
+    obs.counter(dynring_obs::names::MERGE_UNITS).add(merged as u64);
+    if let Ok(meta) = std::fs::metadata(out.path()) {
+        obs.counter(dynring_obs::names::MERGE_BYTES).add(meta.len());
+    }
     Ok(MergeOutcome { shards: shards.len(), merged, held_back, missing, sealed })
 }
 

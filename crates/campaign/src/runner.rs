@@ -11,9 +11,14 @@
 //! execution and routing are pure functions of the unit, the store bytes
 //! are identical for every `workers` value.
 
-use dynring_analysis::parallel::{available_workers, par_map};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
-use crate::executor::execute_unit;
+use dynring_analysis::parallel::{available_workers, par_map};
+use dynring_obs::{labeled, names};
+
+use crate::events::{Event, EventLedger, LedgerAppender, EVENTS_SCHEMA};
+use crate::executor::{execute_unit, route_unit, UnitRecord};
 use crate::fault::FailPlan;
 use crate::shard::ShardSel;
 use crate::spec::{CampaignSpec, PlannedUnit};
@@ -46,6 +51,18 @@ pub struct RunOptions {
     /// draws the unit dies; everything before it survives on disk. `None`
     /// outside the fault-injection tests.
     pub poison: Option<String>,
+    /// Out-of-band telemetry: when set, per-unit and per-wave events
+    /// are appended to the events ledger at this path (see
+    /// [`crate::events`]; the CLI points it at `<store>.events.jsonl`).
+    /// Registry counters update regardless. Telemetry never changes
+    /// store bytes — see `docs/OBSERVABILITY.md`.
+    pub events: Option<PathBuf>,
+    /// Test-only deterministic straggler (`DYNRING_WORKER_FAULT=
+    /// slow-unit:INDEX:MS`): sleep this many milliseconds before
+    /// executing the unit with this hash. Shapes wall time only, never
+    /// bytes — the straggler-stealing and latency-histogram tests use
+    /// it to avoid flaky timing.
+    pub slow_unit: Option<(String, u64)>,
 }
 
 impl Default for RunOptions {
@@ -57,6 +74,8 @@ impl Default for RunOptions {
             fault: None,
             shard: None,
             poison: None,
+            events: None,
+            slow_unit: None,
         }
     }
 }
@@ -198,6 +217,25 @@ pub fn run_campaign(
             planned_units: plan.units.len(),
         })?;
     }
+    // Out-of-band telemetry: the process registry always counts; the
+    // events ledger (when enabled) additionally records per-unit and
+    // per-wave observations. Nothing here touches the store appender's
+    // bytes.
+    let obs = dynring_obs::global();
+    let mut ledger = match &opts.events {
+        Some(path) => {
+            let mut app = EventLedger::new(path).appender()?;
+            app.append(Event::RunStart {
+                schema: EVENTS_SCHEMA.into(),
+                name: plan.name.clone(),
+                spec_hash: plan.spec_hash.clone(),
+                planned: slice.len(),
+                skipped,
+            })?;
+            Some(app)
+        }
+        None => None,
+    };
     // Waves bound interruption loss; the wave size only shapes latency,
     // never bytes (records are appended in plan order either way). Each
     // wave is fsynced, so a power cut loses at most one wave.
@@ -205,12 +243,33 @@ pub fn run_campaign(
     let wave_size = (workers * 4).max(8);
     let mut executed = 0usize;
     for wave in pending[..budget].chunks(wave_size) {
-        let results = par_map(wave, workers, |planned| execute_unit(planned));
-        for result in results {
-            appender.append_record(result?)?;
+        let wave_start = Instant::now();
+        let slow = opts.slow_unit.as_ref();
+        let results = par_map(wave, workers, |planned| {
+            let unit_start = Instant::now();
+            // The injected delay counts as unit wall time: the whole
+            // point of `slow-unit` is a unit that *measures* slow.
+            if let Some((hash, ms)) = slow {
+                if planned.hash == *hash {
+                    std::thread::sleep(Duration::from_millis(*ms));
+                }
+            }
+            (execute_unit(planned), unit_start.elapsed())
+        });
+        for (result, wall) in results {
+            let record = result?;
+            observe_unit(obs, ledger.as_mut(), &record, wall)?;
+            appender.append_record(record)?;
             executed += 1;
         }
         appender.sync()?;
+        let wave_us = u64::try_from(wave_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        obs.counter(names::CAMPAIGN_WAVES).inc();
+        obs.histogram(names::CAMPAIGN_WAVE_WALL_US).record(wave_us);
+        if let Some(app) = ledger.as_mut() {
+            app.append(Event::Wave { units: wave.len(), wall_us: wave_us })?;
+            app.sync()?;
+        }
     }
     if let Some(hash) = poisoned {
         return Err(CampaignError::InjectedFault(format!(
@@ -225,12 +284,71 @@ pub fn run_campaign(
         appender.seal()?;
         appender.sync()?;
     }
+    if let Some(app) = ledger.as_mut() {
+        app.append(Event::RunEnd { executed, pending: pending.len() - executed })?;
+        app.sync()?;
+    }
     Ok(RunOutcome {
         planned: slice.len(),
         skipped,
         executed,
         pending: pending.len() - executed,
     })
+}
+
+/// Records one executed unit into the process registry and (when
+/// enabled) the events ledger. Strictly observational: the record is
+/// appended to the store unchanged afterwards.
+fn observe_unit(
+    obs: &dynring_obs::Registry,
+    ledger: Option<&mut LedgerAppender>,
+    record: &UnitRecord,
+    wall: Duration,
+) -> Result<(), CampaignError> {
+    let unit = &record.unit;
+    let route = route_unit(unit);
+    let route_name = route.name();
+    let wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+    let uncovered = record.result.replicas.saturating_sub(record.result.covered) as u64;
+    let replica_rounds = record.result.total_cover_time + uncovered * unit.horizon;
+    obs.counter(&labeled(names::CAMPAIGN_UNITS, &[("route", route_name)])).inc();
+    obs.counter(&labeled(names::CAMPAIGN_REPLICA_ROUNDS, &[("route", route_name)]))
+        .add(replica_rounds);
+    obs.histogram(&labeled(names::CAMPAIGN_UNIT_WALL_US, &[("route", route_name)]))
+        .record(wall_us);
+    let arity = route.arity().map_or(0, |a| a.lanes() as u64);
+    if route.is_batch() {
+        obs.counter(&labeled(
+            names::CAMPAIGN_BATCH_ARITY_UNITS,
+            &[("arity", &arity.to_string())],
+        ))
+        .inc();
+        // The batch-eligible dynamics (pure Bernoulli banks) all
+        // support the sparse gather, so the engine's size cutover alone
+        // decides the fill mode (a ring has as many edges as nodes).
+        let mode = if dynring_engine::sparse_fill_default(unit.robots, unit.ring_size) {
+            "sparse"
+        } else {
+            "full"
+        };
+        obs.counter(&labeled(names::CAMPAIGN_SPARSE_GATHER_UNITS, &[("mode", mode)])).inc();
+    }
+    if let Some(app) = ledger {
+        app.append(Event::Unit {
+            hash: record.hash.clone(),
+            index: record.index,
+            algorithm: unit.algorithm.name().into(),
+            dynamics: unit.dynamics.name().into(),
+            scheduler: unit.scheduler.name().into(),
+            route: record.route.clone(),
+            arity,
+            replicas: record.result.replicas,
+            covered: record.result.covered,
+            replica_rounds,
+            wall_us,
+        })?;
+    }
+    Ok(())
 }
 
 /// Loads a store and folds it into the report for `spec`.

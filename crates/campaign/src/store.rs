@@ -29,6 +29,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use dynring_obs::names as obs_names;
 use serde::{Deserialize, Serialize};
 
 use crate::executor::UnitRecord;
@@ -577,6 +578,14 @@ impl ResultStore {
     /// [`CampaignError::Io`].
     pub fn appender(&self, loaded: &LoadedStore) -> Result<StoreAppender, CampaignError> {
         let file = self.open_for_append(loaded.valid_len)?;
+        // Out-of-band I/O accounting (see `docs/OBSERVABILITY.md`):
+        // instruments resolve once per appender, counts never feed back
+        // into what gets written.
+        let obs = dynring_obs::global();
+        if loaded.torn_bytes > 0 {
+            obs.counter(obs_names::STORE_TORN_TAILS).inc();
+            obs.counter(obs_names::STORE_TORN_BYTES).add(loaded.torn_bytes);
+        }
         Ok(StoreAppender {
             file,
             header: loaded.header.clone(),
@@ -584,6 +593,8 @@ impl ResultStore {
             records: loaded.records.len(),
             bytes: loaded.valid_len,
             fault: None,
+            bytes_appended: obs.counter(obs_names::STORE_BYTES_APPENDED),
+            fsyncs: obs.counter(obs_names::STORE_FSYNCS),
         })
     }
 }
@@ -600,6 +611,8 @@ pub struct StoreAppender {
     records: usize,
     bytes: u64,
     fault: Option<FailPlan>,
+    bytes_appended: std::sync::Arc<dynring_obs::Counter>,
+    fsyncs: std::sync::Arc<dynring_obs::Counter>,
 }
 
 impl StoreAppender {
@@ -693,6 +706,7 @@ impl StoreAppender {
     /// [`CampaignError::Io`].
     pub fn sync(&mut self) -> Result<(), CampaignError> {
         self.file.sync_data()?;
+        self.fsyncs.inc();
         Ok(())
     }
 
@@ -729,6 +743,7 @@ impl StoreAppender {
                 FaultKind::DuplicateAppend { record } if is_record && self.records == record => {
                     self.file.write_all(&buf)?;
                     self.bytes += buf.len() as u64;
+                    self.bytes_appended.add(buf.len() as u64);
                 }
                 FaultKind::IoError { record } if is_record && self.records == record => {
                     return Err(CampaignError::Io(format!(
@@ -740,6 +755,7 @@ impl StoreAppender {
         }
         self.file.write_all(&buf)?;
         self.bytes += buf.len() as u64;
+        self.bytes_appended.add(buf.len() as u64);
         Ok(())
     }
 }

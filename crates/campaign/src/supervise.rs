@@ -43,9 +43,12 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant, SystemTime};
 
 use dynring_analysis::seeds::backoff_jitter_ms;
+use dynring_obs::names as obs_names;
 use serde::Serialize;
 
+use crate::events::{Event, EventLedger, LedgerAppender};
 use crate::fault::SHARD_ATTEMPT_ENV;
+use crate::metrics::coarse_rate;
 use crate::shard::ShardManifest;
 use crate::store::ResultStore;
 use crate::CampaignError;
@@ -54,7 +57,7 @@ use crate::CampaignError;
 const BACKOFF_CAP_MS: u64 = 30_000;
 
 /// Knobs of one supervisor invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuperviseOptions {
     /// Worker threads per child process.
     pub workers_per_proc: usize,
@@ -82,6 +85,13 @@ pub struct SuperviseOptions {
     /// spawn while every other shard has settled is killed and its
     /// remainder stolen. `None` disables straggler stealing.
     pub steal_after_ms: Option<u64>,
+    /// Out-of-band telemetry: append supervisor lifecycle events
+    /// (spawn, stall, retry, steal, quarantine) to the events ledger at
+    /// this path — the CLI points it at the canonical store's
+    /// `<store>.events.jsonl` — and forward `--metrics-out` to every
+    /// worker child, so per-unit events land in the shard stores' own
+    /// ledgers. `None` disables both.
+    pub events: Option<PathBuf>,
 }
 
 impl Default for SuperviseOptions {
@@ -96,6 +106,7 @@ impl Default for SuperviseOptions {
             progress_json: false,
             steal: true,
             steal_after_ms: None,
+            events: None,
         }
     }
 }
@@ -173,11 +184,13 @@ pub struct ShardProgress {
     pub state: String,
 }
 
-/// Reads one store into a static [`ShardProgress`] row (no rate/ETA —
-/// those need two observations; the supervisor's `--progress` view has
-/// them). `total` overrides the denominator when the caller knows the
-/// shard's range (manifest); otherwise the header's planned units are
-/// used.
+/// Reads one store into a static [`ShardProgress`] row. Rate/ETA are
+/// derived coarsely from the store's events ledger when a telemetered
+/// run left one (`<store>.events.jsonl`, first-to-last unit-event
+/// spacing); otherwise they are `None` — the supervisor's `--progress`
+/// view overrides them with its live two-observation rate. `total`
+/// overrides the denominator when the caller knows the shard's range
+/// (manifest); otherwise the header's planned units are used.
 ///
 /// # Errors
 ///
@@ -191,6 +204,21 @@ pub fn shard_progress(
     let total =
         total.or_else(|| loaded.header.as_ref().map(|h| h.planned_units)).unwrap_or(0);
     let completed = loaded.records.len();
+    // A static view has no second observation to derive a rate from —
+    // but a telemetered run left unit timestamps in the store's events
+    // ledger. Derive a coarse units/sec (and ETA) from those, so
+    // one-shot `campaign status` reports rate too.
+    let remaining = total.saturating_sub(completed);
+    let mut units_per_sec = None;
+    let mut eta_secs = None;
+    if remaining > 0 {
+        if let Ok(ledger) = EventLedger::for_store(store.path()).load() {
+            if let Some(rate) = coarse_rate(&ledger.events) {
+                units_per_sec = Some(rate);
+                eta_secs = Some(remaining as f64 / rate);
+            }
+        }
+    }
     let state = if loaded.sealed {
         "sealed"
     } else if total > 0 && completed >= total {
@@ -207,8 +235,8 @@ pub fn shard_progress(
         store: store.path().display().to_string(),
         completed,
         total,
-        units_per_sec: None,
-        eta_secs: None,
+        units_per_sec,
+        eta_secs,
         sealed: loaded.sealed,
         torn: loaded.torn_tail,
         torn_bytes: loaded.torn_bytes,
@@ -297,9 +325,12 @@ fn spawn_worker(
     slot: &mut WorkerSlot,
     attempt: usize,
     workers: usize,
+    ledger: &mut Option<LedgerAppender>,
 ) -> Result<(), CampaignError> {
+    let telemetry = ledger.is_some();
     let log = std::fs::OpenOptions::new().create(true).append(true).open(&slot.log)?;
-    let child = Command::new(exe)
+    let mut command = Command::new(exe);
+    command
         .arg("campaign")
         .arg("work")
         .arg("--spec")
@@ -309,7 +340,15 @@ fn spawn_worker(
         .arg("--index")
         .arg(slot.shard.to_string())
         .arg("--workers")
-        .arg(workers.to_string())
+        .arg(workers.to_string());
+    if telemetry {
+        // Forward telemetry: the child snapshots its own registry and
+        // appends per-unit events to its shard store's ledger.
+        command
+            .arg("--metrics-out")
+            .arg(format!("{}.metrics.json", slot.store.path().display()));
+    }
+    let child = command
         .env(SHARD_ATTEMPT_ENV, attempt.to_string())
         .stdin(Stdio::null())
         .stdout(Stdio::from(log.try_clone()?))
@@ -318,6 +357,10 @@ fn spawn_worker(
     slot.child = Some(child);
     slot.spawned = Instant::now();
     slot.restart_at = None;
+    dynring_obs::global().counter(obs_names::SUPERVISOR_SPAWNS).inc();
+    if let Some(app) = ledger.as_mut() {
+        app.append(Event::Spawn { shard: slot.shard, attempt })?;
+    }
     Ok(())
 }
 
@@ -341,6 +384,11 @@ pub fn supervise(
     opts: &SuperviseOptions,
 ) -> Result<SuperviseOutcome, CampaignError> {
     let now0 = Instant::now();
+    let obs = dynring_obs::global();
+    let mut ledger: Option<LedgerAppender> = match &opts.events {
+        Some(path) => Some(EventLedger::new(path).appender()?),
+        None => None,
+    };
     let mut slots: Vec<WorkerSlot> = manifest
         .entries
         .iter()
@@ -375,7 +423,15 @@ pub fn supervise(
     manifest.write(manifest_path)?;
     for slot in slots.iter_mut().filter(|s| !s.done) {
         let attempt = manifest.entries[slot.shard].attempts - 1;
-        spawn_worker(exe, spec_path, manifest_path, slot, attempt, opts.workers_per_proc)?;
+        spawn_worker(
+            exe,
+            spec_path,
+            manifest_path,
+            slot,
+            attempt,
+            opts.workers_per_proc,
+            &mut ledger,
+        )?;
     }
 
     let timeout = Duration::from_millis(opts.heartbeat_timeout_ms.max(1));
@@ -438,6 +494,12 @@ pub fn supervise(
                 None => None,
             };
             if let Some(mut reason) = death {
+                if reason == "stalled" {
+                    obs.counter(obs_names::SUPERVISOR_STALLS).inc();
+                    if let Some(app) = ledger.as_mut() {
+                        app.append(Event::Stall { shard: slot.shard })?;
+                    }
+                }
                 match shard_health(&slot.store, slot.units) {
                     // Completed before dying (normal exit, or a fault
                     // that fired after the last unit): the shard is done
@@ -486,6 +548,15 @@ pub fn supervise(
                             attempts,
                             delay.as_millis()
                         );
+                        obs.counter(obs_names::SUPERVISOR_RETRIES).inc();
+                        if let Some(app) = ledger.as_mut() {
+                            app.append(Event::Retry {
+                                shard: slot.shard,
+                                attempt: attempts,
+                                reason,
+                                backoff_ms: delay.as_millis() as u64,
+                            })?;
+                        }
                         slot.restart_at = Some(Instant::now() + delay);
                     } else {
                         let entry = &manifest.entries[slot.shard];
@@ -497,6 +568,16 @@ pub fn supervise(
                             slot.shard,
                             start + units
                         );
+                        obs.counter(obs_names::SUPERVISOR_QUARANTINES).inc();
+                        if let Some(app) = ledger.as_mut() {
+                            app.append(Event::Quarantine {
+                                shard: slot.shard,
+                                attempts,
+                                reason: reason.clone(),
+                                start,
+                                units,
+                            })?;
+                        }
                         quarantined.push(ShardFailure {
                             shard: slot.shard,
                             attempts,
@@ -513,6 +594,15 @@ pub fn supervise(
                         attempts,
                         delay.as_millis()
                     );
+                    obs.counter(obs_names::SUPERVISOR_RETRIES).inc();
+                    if let Some(app) = ledger.as_mut() {
+                        app.append(Event::Retry {
+                            shard: slot.shard,
+                            attempt: attempts,
+                            reason,
+                            backoff_ms: delay.as_millis() as u64,
+                        })?;
+                    }
                     slot.restart_at = Some(Instant::now() + delay);
                 }
                 continue;
@@ -532,6 +622,7 @@ pub fn supervise(
                             slot,
                             attempt,
                             opts.workers_per_proc,
+                            &mut ledger,
                         )?;
                         restarts += 1;
                     }
@@ -572,6 +663,16 @@ pub fn supervise(
                 children[0],
                 children[children.len() - 1] + 1
             );
+            obs.counter(obs_names::SUPERVISOR_STEALS).inc();
+            if let Some(app) = ledger.as_mut() {
+                app.append(Event::Steal {
+                    shard: parent,
+                    reason: reason.clone(),
+                    done,
+                    remaining,
+                    pieces: children.len(),
+                })?;
+            }
             slots[idx].done = true;
             slots[idx].units = done;
             steals += 1;
@@ -590,7 +691,15 @@ pub fn supervise(
                     sample: None,
                     rate: None,
                 };
-                spawn_worker(exe, spec_path, manifest_path, &mut slot, 0, opts.workers_per_proc)?;
+                spawn_worker(
+                    exe,
+                    spec_path,
+                    manifest_path,
+                    &mut slot,
+                    0,
+                    opts.workers_per_proc,
+                    &mut ledger,
+                )?;
                 slots.push(slot);
             }
             settled = false;
@@ -618,6 +727,9 @@ pub fn supervise(
             break;
         }
         std::thread::sleep(poll);
+    }
+    if let Some(app) = ledger.as_mut() {
+        app.sync()?;
     }
 
     Ok(SuperviseOutcome {

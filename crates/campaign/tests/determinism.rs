@@ -45,7 +45,7 @@ fn run_to_completion(spec: &CampaignSpec, store: &ResultStore, workers: usize) -
     run_campaign(
         spec,
         store,
-        &RunOptions { workers, max_units: None, fresh: true, fault: None, shard: None, poison: None },
+        &RunOptions { workers, max_units: None, fresh: true, fault: None, shard: None, poison: None, events: None, slow_unit: None },
     )
     .expect("campaign runs");
     std::fs::read(store.path()).expect("store readable")
@@ -79,7 +79,7 @@ proptest! {
         let outcome = run_campaign(
             &spec,
             &interrupted,
-            &RunOptions { workers: 2, max_units: None, fresh: false, fault: None, shard: None, poison: None },
+            &RunOptions { workers: 2, max_units: None, fresh: false, fault: None, shard: None, poison: None, events: None, slow_unit: None },
         );
         // A cut inside the header line leaves no header: the runner then
         // rebuilds the store from scratch, which must also converge.
@@ -128,19 +128,19 @@ proptest! {
         run_campaign(
             &spec,
             &staged,
-            &RunOptions { workers: 1, max_units: Some(stop_a), fresh: true, fault: None, shard: None, poison: None },
+            &RunOptions { workers: 1, max_units: Some(stop_a), fresh: true, fault: None, shard: None, poison: None, events: None, slow_unit: None },
         )
         .expect("first stage runs");
         run_campaign(
             &spec,
             &staged,
-            &RunOptions { workers: 3, max_units: Some(stop_b), fresh: false, fault: None, shard: None, poison: None },
+            &RunOptions { workers: 3, max_units: Some(stop_b), fresh: false, fault: None, shard: None, poison: None, events: None, slow_unit: None },
         )
         .expect("second stage runs");
         run_campaign(
             &spec,
             &staged,
-            &RunOptions { workers: 2, max_units: None, fresh: false, fault: None, shard: None, poison: None },
+            &RunOptions { workers: 2, max_units: None, fresh: false, fault: None, shard: None, poison: None, events: None, slow_unit: None },
         )
         .expect("finishing stage runs");
         let staged_bytes = std::fs::read(staged.path()).expect("store readable");

@@ -43,7 +43,7 @@ fn remove(store: &ResultStore) {
 }
 
 fn shard_opts(sel: ShardSel, fault: Option<FailPlan>) -> RunOptions {
-    RunOptions { workers: 1, max_units: None, fresh: false, fault, shard: Some(sel), poison: None }
+    RunOptions { workers: 1, max_units: None, fresh: false, fault, shard: Some(sel), poison: None, events: None, slow_unit: None }
 }
 
 proptest! {
@@ -64,7 +64,7 @@ proptest! {
 
         let serial = temp_store(&format!("serial_{tag}"));
         run_campaign(&spec, &serial, &RunOptions {
-            workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None,
+            workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None, events: None, slow_unit: None,
         }).expect("serial reference runs");
         let expected = std::fs::read(serial.path()).expect("readable");
 

@@ -52,7 +52,7 @@ fn reference_bytes(tag: &str) -> Vec<u8> {
     run_campaign(
         &spec(),
         &store,
-        &RunOptions { workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None },
+        &RunOptions { workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None, events: None, slow_unit: None },
     )
     .expect("reference campaign runs");
     let bytes = std::fs::read(store.path()).expect("store readable");
@@ -71,13 +71,13 @@ fn run_faulted_then_resume(
     let faulted = run_campaign(
         &spec(),
         &store,
-        &RunOptions { workers: 1, max_units: None, fresh: true, fault: Some(fault), shard: None, poison: None },
+        &RunOptions { workers: 1, max_units: None, fresh: true, fault: Some(fault), shard: None, poison: None, events: None, slow_unit: None },
     )
     .map(|_| ());
     let resumed = run_campaign(
         &spec(),
         &store,
-        &RunOptions { workers: 1, max_units: None, fresh: false, fault: None, shard: None, poison: None },
+        &RunOptions { workers: 1, max_units: None, fresh: false, fault: None, shard: None, poison: None, events: None, slow_unit: None },
     )
     .map(|_| std::fs::read(store.path()).expect("store readable"));
     remove(&store);
@@ -209,7 +209,7 @@ proptest! {
         run_campaign(
             &spec(),
             &store,
-            &RunOptions { workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None },
+            &RunOptions { workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None, events: None, slow_unit: None },
         )
         .expect("campaign runs");
         let mut bytes = std::fs::read(store.path()).expect("store readable");
@@ -247,7 +247,7 @@ fn certify_level_2_catches_a_consistently_altered_result() {
     run_campaign(
         &spec,
         &store,
-        &RunOptions { workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None },
+        &RunOptions { workers: 1, max_units: None, fresh: true, fault: None, shard: None, poison: None, events: None, slow_unit: None },
     )
     .expect("campaign runs");
 

@@ -192,7 +192,7 @@ proptest! {
                 let e = manifest.entries[idx].clone();
                 let store = ResultStore::new(&e.store);
                 let poisoned = run_campaign(&spec, &store, &RunOptions {
-                    poison: Some(poison_hash.clone()),
+                    poison: Some(poison_hash.clone()), events: None, slow_unit: None,
                     ..entry_opts(e.start, e.units)
                 });
                 let died = matches!(poisoned, Err(CampaignError::InjectedFault(_)));

@@ -289,6 +289,15 @@ const PAIRWISE_OCCUPANCY_MAX: usize = 8;
 /// the same at every arity. `2` means "at most half the ring's words".
 const SPARSE_FILL_HEADROOM: usize = 2;
 
+/// Whether a freshly built batch simulator with `robots` robots on an
+/// `edges`-edge ring starts on the demand-driven sparse gather, given
+/// a dynamics that supports it — the size cutover
+/// [`BatchSimulator::new`] applies, exposed so out-of-band telemetry
+/// can label batch units `sparse` vs `full` without building one.
+pub fn sparse_fill_default(robots: usize, edges: usize) -> bool {
+    SPARSE_FILL_HEADROOM * 2 * robots * LANES <= edges
+}
+
 /// The counter-clockwise edge at node `v`: `e_{v-1 mod n}` (the clockwise
 /// edge is `e_v`). Explicit modular arithmetic — `n` is a `u32` node
 /// count ≥ 2, so `v == 0` wraps to `n - 1`.
@@ -357,8 +366,8 @@ impl<A: BatchAlgorithm<W>, D: BatchDynamics<W>, W: LaneWord> BatchSimulator<A, D
         for p in &placements {
             positions.extend(std::iter::repeat_n(p.node.index() as u32, W::LANES));
         }
-        let sparse_fill = dynamics.supports_sparse_gather()
-            && SPARSE_FILL_HEADROOM * 2 * k * LANES <= ring.edge_count();
+        let sparse_fill =
+            dynamics.supports_sparse_gather() && sparse_fill_default(k, ring.edge_count());
         let dirs = placements
             .iter()
             .map(|p| match p.initial_dir {

@@ -75,7 +75,9 @@ mod trace;
 mod view;
 
 pub use algorithm::{Algorithm, BatchAlgorithm, PerLane};
-pub use batch::{BatchCoverage, BatchDynamics, BatchSimulator, UniformBatch, LANES};
+pub use batch::{
+    sparse_fill_default, BatchCoverage, BatchDynamics, BatchSimulator, UniformBatch, LANES,
+};
 pub use direction::{Chirality, LocalDir};
 pub use dynamics::{AdaptiveFn, Capturing, Dynamics, EdgeProbe, Oblivious, Observation, Recurrent};
 pub use error::EngineError;

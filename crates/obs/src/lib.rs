@@ -1,0 +1,627 @@
+//! Out-of-band telemetry for the dynring stack.
+//!
+//! Everything in this crate is *observational*: counters, gauges,
+//! log₂-bucketed histograms, and RAII span timers, aggregated by a
+//! [`Registry`] that snapshots to deterministic-ordered JSON and
+//! Prometheus text exposition format. Nothing here may influence the
+//! bytes a campaign writes — result stores, unit hashes, and chain
+//! seals stay byte-identical whether telemetry is on or off (see
+//! `docs/OBSERVABILITY.md` for the guarantee and the naming scheme).
+//!
+//! Instruments are cheap (`AtomicU64` relaxed ops) and shared
+//! (`Arc`), so hot paths resolve them once and update lock-free; the
+//! registry mutex is only taken at resolve and snapshot time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+pub mod names;
+
+/// Schema tag stamped on every snapshot; bump on incompatible change.
+pub const SNAPSHOT_SCHEMA: &str = "dynring-metrics-v1";
+
+/// Number of log₂ buckets: bucket `b` holds values with `b`
+/// significant bits (`v` in `[2^(b-1), 2^b)`), bucket 0 holds zero.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed level (queue depths, live workers).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge { value: AtomicI64::new(0) }
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (durations in
+/// microseconds, sizes in bytes).
+///
+/// Bucket `b` counts samples with exactly `b` significant bits, i.e.
+/// `v ∈ [2^(b-1), 2^b)`; bucket 0 counts zeros. Quantiles are
+/// estimated from bucket upper bounds, so they are exact to within a
+/// factor of 2 — enough to answer "is p99 microseconds or seconds"
+/// without storing samples. `sum` and `max` are tracked exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a sample: its number of significant bits.
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (`2^b - 1`, saturating).
+#[must_use]
+pub fn bucket_bound(b: usize) -> u64 {
+    if b >= 64 { u64::MAX } else { (1u64 << b) - 1 }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Exact sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper bound of
+    /// the bucket holding the `⌈q·count⌉`-th smallest sample, capped
+    /// at the exact maximum. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        quantile_from_buckets(&counts, self.max(), q)
+    }
+
+    /// Starts an RAII timer that records elapsed microseconds into
+    /// this histogram when dropped.
+    #[must_use]
+    pub fn span(self: &Arc<Self>) -> Span {
+        Span { hist: Arc::clone(self), start: Instant::now() }
+    }
+}
+
+/// Quantile estimate shared by the live histogram and its snapshot:
+/// upper bound of the bucket holding the target rank, capped at `max`.
+fn quantile_from_buckets(counts: &[u64], max: u64, q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (b, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_bound(b).min(max);
+        }
+    }
+    max
+}
+
+/// RAII timer: records elapsed wall microseconds into its histogram
+/// on drop (or explicitly via [`Span::stop`]).
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Stops the timer now, records, and returns elapsed microseconds.
+    #[allow(clippy::must_use_candidate)]
+    pub fn stop(self) -> u64 {
+        let us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.hist.record(us);
+        std::mem::forget(self);
+        us
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.hist.record(us);
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A set of named instruments with deterministic snapshot order.
+///
+/// Names are full series names including sorted labels (see
+/// [`labeled`]); the registry keeps them in a `BTreeMap`, so two runs
+/// that record the same series snapshot to byte-identical JSON.
+/// Resolving a name twice returns the same shared instrument;
+/// resolving an existing name as a different instrument kind panics
+/// (a programming error, not a runtime condition).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn resolve(&self, name: &str, make: impl FnOnce() -> Instrument) -> Instrument {
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.resolve(name, || Instrument::Counter(Arc::new(Counter::new()))) {
+            Instrument::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.resolve(name, || Instrument::Gauge(Arc::new(Gauge::new()))) {
+            Instrument::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.resolve(name, || Instrument::Histogram(Arc::new(Histogram::new()))) {
+            Instrument::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Removes every instrument (used by tests to isolate runs).
+    pub fn clear(&self) {
+        self.inner.lock().expect("obs registry poisoned").clear();
+    }
+
+    /// A deterministic point-in-time snapshot of every instrument,
+    /// sorted by series name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("obs registry poisoned");
+        let metrics = map
+            .iter()
+            .map(|(name, inst)| MetricSnapshot {
+                name: name.clone(),
+                kind: inst.kind().to_string(),
+                value: match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot_value()),
+                },
+            })
+            .collect();
+        Snapshot { schema: SNAPSHOT_SCHEMA.to_string(), metrics }
+    }
+}
+
+impl Histogram {
+    fn snapshot_value(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let max = self.max();
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for (b, c) in counts.iter().enumerate() {
+            if *c > 0 {
+                cumulative += c;
+                buckets.push(BucketCount { le: bucket_bound(b), count: cumulative });
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            max,
+            p50: quantile_from_buckets(&counts, max, 0.50),
+            p90: quantile_from_buckets(&counts, max, 0.90),
+            p99: quantile_from_buckets(&counts, max, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// The process-wide default registry.
+///
+/// Stack layers (store I/O, the campaign runner, the supervisor)
+/// record here so `--metrics-out` can snapshot one place; tests that
+/// need isolation build their own [`Registry`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Builds a full series name: `base{k1="v1",k2="v2"}` with labels
+/// sorted by key (so the same label set always names the same
+/// series). Values are escaped per the Prometheus text format.
+#[must_use]
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let body: Vec<String> =
+        sorted.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{base}{{{}}}", body.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// One non-empty histogram bucket with cumulative count (Prometheus
+/// `le` convention; `le` is the bucket's inclusive upper bound).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Samples at or below `le` (cumulative).
+    pub count: u64,
+}
+
+/// Snapshot of one histogram: exact count/sum/max, bucket-estimated
+/// quantiles, and the non-empty cumulative buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+    /// Estimated median (upper bucket bound, capped at `max`).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets, cumulative counts, ascending `le`.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Snapshot of one instrument's value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(i64),
+    /// A histogram's distribution summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Full series name including sorted labels.
+    pub name: String,
+    /// Instrument kind: `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A deterministic point-in-time capture of a [`Registry`]: series
+/// sorted by name, struct fields in fixed order, no timestamps — two
+/// runs recording the same values serialize byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema tag ([`SNAPSHOT_SCHEMA`]).
+    pub schema: String,
+    /// Every registered series, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Pretty JSON rendering (deterministic key order).
+    ///
+    /// # Panics
+    /// Never in practice: the snapshot types serialize infallibly.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("snapshot serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Prometheus text exposition format (`# TYPE` per metric family,
+    /// `_bucket`/`_sum`/`_count` expansion for histograms).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            let (base, labels) = split_series(&m.name);
+            if !typed.contains(&base) {
+                out.push_str(&format!("# TYPE {base} {}\n", m.kind));
+                typed.push(base);
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{} {v}\n", m.name));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{} {v}\n", m.name));
+                }
+                MetricValue::Histogram(h) => {
+                    for b in &h.buckets {
+                        let le = b.le.to_string();
+                        out.push_str(&format!(
+                            "{base}_bucket{{{}}} {}\n",
+                            join_labels(labels, &le),
+                            b.count
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{base}_bucket{{{}}} {}\n",
+                        join_labels(labels, "+Inf"),
+                        h.count
+                    ));
+                    let suffix = if labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{labels}}}")
+                    };
+                    out.push_str(&format!("{base}_sum{suffix} {}\n", h.sum));
+                    out.push_str(&format!("{base}_count{suffix} {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits `base{labels}` into `(base, labels)` (labels may be empty).
+fn split_series(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+fn join_labels(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("le=\"{le}\"")
+    } else {
+        format!("{labels},le=\"{le}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // p50 rank is 50 -> bucket of 50 (6 bits, bound 63).
+        assert_eq!(h.quantile(0.5), 63);
+        // p99 rank is 99 -> bucket of 99 (7 bits, bound 127) capped at max.
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_deterministic() {
+        let r = Registry::new();
+        r.counter("z_total").add(3);
+        r.counter("a_total").add(1);
+        r.gauge("m_level").set(-2);
+        let h = r.histogram("d_us");
+        h.record(7);
+        h.record(700);
+        let s1 = r.snapshot().to_json_pretty();
+        let s2 = r.snapshot().to_json_pretty();
+        assert_eq!(s1, s2);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "d_us", "m_level", "z_total"]);
+    }
+
+    #[test]
+    fn labeled_sorts_keys_and_escapes() {
+        assert_eq!(labeled("x_total", &[]), "x_total");
+        assert_eq!(
+            labeled("x_total", &[("route", "batch"), ("arity", "64")]),
+            "x_total{arity=\"64\",route=\"batch\"}"
+        );
+        assert_eq!(labeled("x", &[("k", "a\"b")]), "x{k=\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn prometheus_rendering_expands_histograms() {
+        let r = Registry::new();
+        r.counter(&labeled("u_total", &[("route", "batch")])).add(2);
+        let h = r.histogram("w_us");
+        h.record(5);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE u_total counter"));
+        assert!(text.contains("u_total{route=\"batch\"} 2"));
+        assert!(text.contains("# TYPE w_us histogram"));
+        assert!(text.contains("w_us_bucket{le=\"7\"} 1"));
+        assert!(text.contains("w_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("w_us_sum 5"));
+        assert!(text.contains("w_us_count 1"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("c_total").add(9);
+        r.histogram("h_us").record(1000);
+        let snap = r.snapshot();
+        let json = snap.to_json_pretty();
+        let back: Snapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn span_records_elapsed_micros() {
+        let h = Arc::new(Histogram::new());
+        let us = h.span().stop();
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= us);
+        {
+            let _s = h.span();
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.histogram("dual");
+        let _ = r.counter("dual");
+    }
+}

@@ -115,3 +115,22 @@ campaign-smoke:
     cmp target/campaign-smoke.jsonl target/campaign-smoke-oneshot.jsonl
     cargo run --release -- campaign report --spec examples/campaign_smoke.json --store target/campaign-smoke.jsonl --out target/campaign-smoke-report.json
     cmp target/campaign-smoke-report.json examples/campaign_smoke_report.json
+
+# CI gate for the observability layer (see docs/OBSERVABILITY.md): run
+# the smoke spec with --metrics-out, check the store is byte-identical
+# to a plain run and still certifies at level 2, check the snapshot
+# carries the pinned metric names, and aggregate the events ledger with
+# `metrics show` / `top` / `diff`.
+obs-smoke:
+    rm -f target/obs-smoke.jsonl target/obs-smoke.jsonl.events.jsonl target/obs-smoke-plain.jsonl target/obs-metrics.json
+    cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/obs-smoke-plain.jsonl
+    cargo run --release -- campaign run --spec examples/campaign_smoke.json --store target/obs-smoke.jsonl --metrics-out target/obs-metrics.json
+    cmp target/obs-smoke.jsonl target/obs-smoke-plain.jsonl
+    cargo run --release -- certify target/obs-smoke.jsonl --spec examples/campaign_smoke.json --level 2 --sample 8 --seed 7
+    grep -q 'campaign_units_total' target/obs-metrics.json
+    grep -q 'campaign_unit_wall_us' target/obs-metrics.json
+    grep -q 'store_fsyncs_total' target/obs-metrics.json
+    grep -q '"schema": "dynring-metrics-v1"' target/obs-metrics.json
+    cargo run --release -- metrics show target/obs-smoke.jsonl.events.jsonl
+    cargo run --release -- metrics top target/obs-smoke.jsonl.events.jsonl --limit 5
+    cargo run --release -- metrics diff target/obs-smoke.jsonl.events.jsonl target/obs-smoke.jsonl.events.jsonl > /dev/null

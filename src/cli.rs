@@ -34,14 +34,19 @@ USAGE:
                             [--procs P] [--max-retries R] [--backoff-ms B]
                             [--heartbeat-timeout-ms T] [--no-steal]
                             [--steal-after-ms T] [--progress] [--json]
+                            [--metrics-out FILE]
     dynring campaign resume --spec FILE --store FILE [same flags as run]
     dynring campaign report --spec FILE --store FILE [--out FILE]
     dynring campaign shard  --spec FILE --shards N [--index I] [--dir DIR]
                             [--manifest FILE]
     dynring campaign work   --spec FILE --manifest FILE --index I
-                            [--workers W] [--max-units N]
+                            [--workers W] [--max-units N] [--metrics-out FILE]
     dynring campaign merge  --spec FILE --store OUT (--manifest FILE | STORE…)
+                            [--metrics-out FILE]
     dynring campaign status [--manifest FILE] [STORE…] [--json]
+    dynring metrics show LEDGER… [--json]
+    dynring metrics top  LEDGER… [--limit N] [--json]
+    dynring metrics diff LEDGER_A LEDGER_B [--json]
     dynring certify STORE --spec FILE [--level 1|2] [--sample N] [--seed S]
                     [--out FILE]
     dynring bench-report [--out FILE] [--quick] [--check SNAPSHOT]
@@ -92,6 +97,18 @@ present; `status` prints per-store progress (one table row per store,
 or JSON with --json; rows carry torn-tail bytes, and with
 --manifest FILE they come from the shard manifest with per-shard ranges
 and attempt counts).
+With --metrics-out FILE, `run`/`resume`/`work`/`merge` additionally
+record *out-of-band* telemetry (see docs/OBSERVABILITY.md): per-unit
+wall time, route and arity, wave timing, store/merge I/O counters and
+supervisor lifecycle events land in an append-only events ledger at
+<store>.events.jsonl, and an aggregate metrics snapshot is written to
+FILE on exit (Prometheus text format when FILE ends in .prom, pretty
+JSON otherwise). Telemetry never changes store bytes: a telemetered
+run is byte-identical to a plain one and certifies unchanged. `metrics
+show` aggregates one or more ledgers into per-(algorithm × dynamics ×
+scheduler × route) unit counts, wall-time quantiles (p50/p90/p99) and
+throughput plus a retry/steal/quarantine fault summary; `top` ranks
+groups by total wall time; `diff` compares two ledgers group by group.
 `certify` verifies a completed store as a replay bundle (see
 docs/CERTIFY.md): level 1 re-validates the header, every record's hash
 chain, plan membership, ordering and the seal without executing anything;
@@ -212,6 +229,22 @@ pub enum Command {
         progress: bool,
         /// `status`/`--progress`: emit JSON instead of the table.
         json: bool,
+        /// Out-of-band telemetry (run/resume/work/merge): write a
+        /// metrics snapshot to this path on completion (Prometheus text
+        /// when it ends in `.prom`, pretty JSON otherwise) and append
+        /// events to `<store>.events.jsonl`. Never changes store bytes.
+        metrics_out: Option<String>,
+    },
+    /// Aggregate campaign events ledgers into metrics summaries.
+    Metrics {
+        /// Which metrics verb.
+        verb: MetricsVerb,
+        /// Events ledger paths (`<store>.events.jsonl`).
+        ledgers: Vec<String>,
+        /// Emit the summary as JSON instead of the table.
+        json: bool,
+        /// Row cap for `top`.
+        limit: usize,
     },
     /// Certify a campaign store as a replay bundle.
     Certify {
@@ -249,6 +282,18 @@ pub struct Artifact {
     pub schedule: ScriptedSchedule,
     /// The report the original run produced.
     pub report: ScenarioReport,
+}
+
+/// The metrics sub-verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsVerb {
+    /// Aggregate one or more ledgers into per-group time/throughput
+    /// plus a fault summary.
+    Show,
+    /// Compare two ledgers group by group (A → B wall time and rates).
+    Diff,
+    /// Rank groups by total wall time, slowest first.
+    Top,
 }
 
 /// The campaign sub-verbs.
@@ -423,10 +468,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     if positional.contains(&"--quick") && positional[0] != "bench-report" {
         return Err(err("--quick is only valid with bench-report"));
     }
-    if (positional.contains(&"--progress") || positional.contains(&"--json"))
-        && positional[0] != "campaign"
-    {
-        return Err(err("--progress/--json are only valid with campaign"));
+    if positional.contains(&"--progress") && positional[0] != "campaign" {
+        return Err(err("--progress is only valid with campaign"));
+    }
+    if positional.contains(&"--json") && !matches!(positional[0], "campaign" | "metrics") {
+        return Err(err("--json is only valid with campaign or metrics"));
     }
     match positional[0] {
         "capture" => {
@@ -597,6 +643,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "campaign merge needs --manifest FILE or shard STORE… paths",
                 ));
             }
+            let metrics_out = lookup(&pairs, "metrics-out").map(str::to_string);
+            if metrics_out.is_some()
+                && !matches!(
+                    verb,
+                    CampaignVerb::Run
+                        | CampaignVerb::Resume
+                        | CampaignVerb::Work
+                        | CampaignVerb::Merge
+                )
+            {
+                return Err(err(
+                    "--metrics-out is only valid with campaign run/resume/work/merge",
+                ));
+            }
             Ok(Command::Campaign {
                 verb,
                 spec,
@@ -617,6 +677,49 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 steal_after_ms,
                 progress: positional.contains(&"--progress"),
                 json: positional.contains(&"--json"),
+                metrics_out,
+            })
+        }
+        "metrics" => {
+            let verb = match positional.get(1) {
+                Some(&"show") => MetricsVerb::Show,
+                Some(&"diff") => MetricsVerb::Diff,
+                Some(&"top") => MetricsVerb::Top,
+                Some(other) if !other.starts_with("--") => {
+                    return Err(err(format!(
+                        "unknown metrics verb: {other} (expected show | diff | top)"
+                    )))
+                }
+                _ => return Err(err("metrics requires a verb: show | diff | top")),
+            };
+            let ledgers: Vec<String> = positional[2..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(|a| a.to_string())
+                .collect();
+            match verb {
+                MetricsVerb::Diff if ledgers.len() != 2 => {
+                    return Err(err(
+                        "metrics diff needs exactly two ledger paths: LEDGER_A LEDGER_B",
+                    ))
+                }
+                _ if ledgers.is_empty() => {
+                    return Err(err(
+                        "metrics needs at least one events ledger path \
+                         (<store>.events.jsonl)",
+                    ))
+                }
+                _ => {}
+            }
+            let limit: usize = parse_num(&pairs, "limit", 10)?;
+            if lookup(&pairs, "limit").is_some() && verb != MetricsVerb::Top {
+                return Err(err("--limit is only valid with metrics top"));
+            }
+            Ok(Command::Metrics {
+                verb,
+                ledgers,
+                json: positional.contains(&"--json"),
+                limit,
             })
         }
         "certify" => {
@@ -658,6 +761,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }),
         other => Err(err(format!("unknown command: {other}"))),
     }
+}
+
+/// Writes the process-global metrics registry to `path`: Prometheus
+/// text exposition when the path ends in `.prom`, pretty JSON
+/// otherwise. Called at the end of a `--metrics-out` campaign verb, so
+/// the snapshot reflects everything the verb did.
+fn write_metrics_snapshot(path: &str) -> Result<(), Box<dyn Error>> {
+    let snap = dynring_obs::global().snapshot();
+    let text = if path.ends_with(".prom") {
+        snap.to_prometheus()
+    } else {
+        snap.to_json_pretty()
+    };
+    std::fs::write(path, text)?;
+    println!("metrics snapshot written to {path}");
+    Ok(())
 }
 
 /// Executes a parsed command, printing results to stdout.
@@ -819,6 +938,7 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
             steal_after_ms,
             progress,
             json,
+            metrics_out,
         } => {
             use std::path::Path;
 
@@ -828,8 +948,9 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
             };
             use dynring_campaign::{
                 load_report, merge_manifest, merge_stores, render, render_progress,
-                run_campaign, shard_progress, supervise, CampaignError, FailPlan, FaultKind,
-                ResultStore, RunOptions, ShardManifest, ShardSel, SuperviseOptions,
+                run_campaign, shard_progress, supervise, CampaignError, Event, EventLedger,
+                FailPlan, FaultKind, ResultStore, RunOptions, ShardManifest, ShardSel,
+                SuperviseOptions,
             };
 
             // `status` is spec-free: each store is read on its own terms
@@ -932,7 +1053,7 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                     // The shard runs its manifest *range*, not a balanced
                     // index: after a steal the entry may be a generation
                     // child covering an arbitrary sub-range.
-                    let base = RunOptions {
+                    let mut base = RunOptions {
                         workers: workers.unwrap_or_else(available_workers),
                         max_units,
                         fresh: false,
@@ -942,13 +1063,33 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             units: entry.units,
                         }),
                         poison: None,
+                        events: metrics_out.as_ref().map(|_| {
+                            EventLedger::for_store(Path::new(&entry.store))
+                                .path()
+                                .to_path_buf()
+                        }),
+                        slow_unit: None,
                     };
+                    if let Some(ProcessFault::SlowUnit { index: i, ms }) = &fault {
+                        let hash = plan
+                            .units
+                            .get(*i)
+                            .ok_or_else(|| {
+                                CliError(format!(
+                                    "slow-unit index {i} out of range ({} units)",
+                                    plan.units.len()
+                                ))
+                            })?
+                            .hash
+                            .clone();
+                        base.slow_unit = Some((hash, *ms));
+                    }
                     println!(
                         "shard {idx}/{}: {} units, attempt {attempt} (store {})",
                         man.shards, entry.units, entry.store
                     );
                     match &fault {
-                        None => {
+                        None | Some(ProcessFault::SlowUnit { .. }) => {
                             let outcome = run_campaign(&campaign, &shard_store, &base)?;
                             println!(
                                 "shard {idx}: {} executed, {} skipped, {} pending",
@@ -1050,6 +1191,9 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             }
                         }
                     }
+                    if let Some(path) = &metrics_out {
+                        write_metrics_snapshot(path)?;
+                    }
                 }
                 CampaignVerb::Merge => {
                     let out_path = store.expect("parse guarantees --store");
@@ -1064,6 +1208,16 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             stores.iter().map(ResultStore::new).collect();
                         merge_stores(&campaign, &shard_stores, &out_store)?
                     };
+                    if metrics_out.is_some() {
+                        let mut app =
+                            EventLedger::for_store(Path::new(&out_path)).appender()?;
+                        app.append(Event::Merge {
+                            shards: outcome.shards,
+                            merged: outcome.merged,
+                            sealed: outcome.sealed,
+                        })?;
+                        app.sync()?;
+                    }
                     println!(
                         "merged {} units from {} shard stores into {out_path}",
                         outcome.merged, outcome.shards
@@ -1080,6 +1234,9 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                              finish)",
                             outcome.missing, outcome.held_back
                         );
+                    }
+                    if let Some(path) = &metrics_out {
+                        write_metrics_snapshot(path)?;
                     }
                 }
                 CampaignVerb::Run | CampaignVerb::Resume => {
@@ -1131,6 +1288,11 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             steal_after_ms,
                             progress,
                             progress_json: json,
+                            events: metrics_out.as_ref().map(|_| {
+                                EventLedger::for_store(Path::new(&store_path))
+                                    .path()
+                                    .to_path_buf()
+                            }),
                         };
                         println!(
                             "campaign `{}`: {} shards × {} workers over {} units \
@@ -1150,6 +1312,9 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             outcome.steals
                         );
                         if !outcome.is_complete() {
+                            if let Some(path) = &metrics_out {
+                                write_metrics_snapshot(path)?;
+                            }
                             // Distinct exit code (3): the campaign ran, most
                             // shards finished, only quarantined ranges are
                             // missing — unlike a spawn/config failure (1).
@@ -1167,12 +1332,25 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                             );
                         } else {
                             let merged = merge_manifest(&campaign, &man, &result_store)?;
+                            if metrics_out.is_some() {
+                                let mut app = EventLedger::for_store(Path::new(&store_path))
+                                    .appender()?;
+                                app.append(Event::Merge {
+                                    shards: merged.shards,
+                                    merged: merged.merged,
+                                    sealed: merged.sealed,
+                                })?;
+                                app.sync()?;
+                            }
                             println!(
                                 "merged {} units into {store_path} (sealed: {}); \
                                  certify with: dynring certify {store_path} --spec \
                                  {spec_path} --level 2",
                                 merged.merged, merged.sealed
                             );
+                        }
+                        if let Some(path) = &metrics_out {
+                            write_metrics_snapshot(path)?;
                         }
                         return Ok(());
                     }
@@ -1183,6 +1361,12 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         fault: None,
                         shard: None,
                         poison: None,
+                        events: metrics_out.as_ref().map(|_| {
+                            EventLedger::for_store(Path::new(&store_path))
+                                .path()
+                                .to_path_buf()
+                        }),
+                        slow_unit: None,
                     };
                     println!(
                         "campaign `{}`: {} over {} workers (store {store_path})…",
@@ -1206,6 +1390,9 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                              --spec {spec_path} --store {store_path})"
                         );
                     }
+                    if let Some(path) = &metrics_out {
+                        write_metrics_snapshot(path)?;
+                    }
                 }
                 CampaignVerb::Report => {
                     let store_path = store.expect("parse guarantees --store");
@@ -1222,6 +1409,55 @@ pub fn run(command: Command) -> Result<(), Box<dyn Error>> {
                         let json = serde_json::to_string_pretty(&report)?;
                         std::fs::write(&path, json + "\n")?;
                         println!("\nreport written to {path}");
+                    }
+                }
+            }
+        }
+        Command::Metrics { verb, ledgers, json, limit } => {
+            use std::path::Path;
+
+            use dynring_campaign::{
+                render_diff, render_summary, render_top, summarize, EventLedger, LoadedLedger,
+            };
+
+            let load = |path: &String| -> Result<LoadedLedger, Box<dyn Error>> {
+                let ledger = EventLedger::new(Path::new(path));
+                if !ledger.exists() {
+                    return Err(Box::new(CliError(format!(
+                        "no events ledger at {path} (run the campaign with \
+                         --metrics-out to record one)"
+                    ))));
+                }
+                Ok(ledger.load()?)
+            };
+            match verb {
+                MetricsVerb::Show | MetricsVerb::Top => {
+                    let loaded: Vec<LoadedLedger> =
+                        ledgers.iter().map(&load).collect::<Result<_, _>>()?;
+                    let summary = summarize(&loaded);
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&summary)?);
+                    } else if verb == MetricsVerb::Top {
+                        print!("{}", render_top(&summary, limit));
+                    } else {
+                        print!("{}", render_summary(&summary));
+                    }
+                }
+                MetricsVerb::Diff => {
+                    let a = summarize(&[load(&ledgers[0])?]);
+                    let b = summarize(&[load(&ledgers[1])?]);
+                    if json {
+                        #[derive(Serialize)]
+                        struct DiffPair {
+                            a: dynring_campaign::LedgerSummary,
+                            b: dynring_campaign::LedgerSummary,
+                        }
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&DiffPair { a, b })?
+                        );
+                    } else {
+                        print!("{}", render_diff(&a, &b));
                     }
                 }
             }
